@@ -1,0 +1,50 @@
+//! Benchmark: the `[V]`-component primitive (Section 3.2) — the inner loop
+//! of every decomposition algorithm in the workspace — plus GYO join-tree
+//! construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypergraph::{components, VertexId, VertexSet};
+use std::time::Duration;
+use workloads::families;
+
+fn bench_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    for n in [16usize, 64, 256] {
+        let h = families::cycle(n).hypergraph();
+        // Separator: every fourth vertex.
+        let sep = VertexSet::from_iter(
+            h.num_vertices(),
+            (0..n).step_by(4).map(|i| VertexId(i as u32)),
+        );
+        group.bench_with_input(BenchmarkId::new("cycle", n), &(h, sep), |b, (h, sep)| {
+            b.iter(|| components(h, sep))
+        });
+    }
+    for side in [3usize, 6] {
+        let h = families::grid(side, side).hypergraph();
+        let sep = VertexSet::from_iter(
+            h.num_vertices(),
+            (0..h.num_vertices()).step_by(3).map(|i| VertexId(i as u32)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("grid", side),
+            &(h, sep),
+            |b, (h, sep)| b.iter(|| components(h, sep)),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("gyo_join_tree");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    for n in [16usize, 64] {
+        let h = families::path(n).hypergraph();
+        group.bench_with_input(BenchmarkId::new("path", n), &h, |b, h| {
+            b.iter(|| hypergraph::acyclic::join_tree(h).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Benchmark: `k-decomp` recognition cost (Theorem 5.16 — polynomial for
+//! fixed k) across instance families, candidate modes, and the parallel
+//! solver. Regenerates the E11 series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypertree_core::{kdecomp, parallel, CandidateMode};
+use std::time::Duration;
+use workloads::families;
+
+fn bench_kdecomp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kdecomp_cycle_k2");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [8usize, 16, 32] {
+        let h = families::cycle(n).hypergraph();
+        group.bench_with_input(BenchmarkId::new("pruned", n), &h, |b, h| {
+            b.iter(|| kdecomp::decide(h, 2, CandidateMode::Pruned))
+        });
+        group.bench_with_input(BenchmarkId::new("full", n), &h, |b, h| {
+            b.iter(|| kdecomp::decide(h, 2, CandidateMode::Full))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &h, |b, h| {
+            b.iter(|| parallel::decide_parallel(h, 2, CandidateMode::Pruned))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("kdecomp_grid_k2");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for side in [2usize, 3] {
+        let h = families::grid(side, side).hypergraph();
+        group.bench_with_input(BenchmarkId::new("pruned", side), &h, |b, h| {
+            b.iter(|| kdecomp::decide(h, 2, CandidateMode::Pruned))
+        });
+    }
+    group.finish();
+
+    // The exponential contrast: exact query width on Q5 (NP-complete side).
+    let mut group = c.benchmark_group("exact_qw_q5");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let h5 = workloads::paper::q5().hypergraph();
+    group.bench_function("query_width", |b| {
+        b.iter(|| hypertree_core::querydecomp::query_width(&h5, u64::MAX).unwrap())
+    });
+    group.bench_function("hypertree_width", |b| {
+        b.iter(|| hypertree_core::opt::hypertree_width(&h5))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kdecomp);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin experiments -- all
+//! cargo run --release -p bench --bin experiments -- e3 e8
+//! ```
+
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        bench::ALL.iter().map(|(n, _)| *n).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        match bench::ALL.iter().find(|(n, _)| *n == id) {
+            Some((_, f)) => {
+                let t0 = Instant::now();
+                let out = f();
+                println!("{out}");
+                println!("[{id} completed in {:.2?}]", t0.elapsed());
+                println!("{}", "-".repeat(72));
+            }
+            None => {
+                eprintln!("unknown experiment '{id}'; available:");
+                for (n, _) in bench::ALL {
+                    eprintln!("  {n}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}

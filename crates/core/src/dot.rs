@@ -1,0 +1,120 @@
+//! Graphviz (DOT) export for decompositions — render the paper's figures:
+//! `dot -Tpng` on the output of these functions draws trees in the style
+//! of Fig. 2/5/6 of the paper.
+
+use crate::hypertree::HypertreeDecomposition;
+use crate::querydecomp::QueryDecomposition;
+use hypergraph::{Hypergraph, Ix};
+use std::fmt::Write as _;
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// DOT source for a hypertree decomposition; each node shows
+/// `λ` (atom names) over `χ` (variable names).
+pub fn hypertree_to_dot(h: &Hypergraph, hd: &HypertreeDecomposition) -> String {
+    let mut out = String::from("digraph hypertree {\n  node [shape=box, fontname=\"monospace\"];\n");
+    for n in hd.tree().nodes() {
+        let lambda = h.display_edge_set(hd.lambda(n));
+        let chi = h.display_vertex_set(hd.chi(n));
+        writeln!(
+            out,
+            "  n{} [label=\"λ = {}\\nχ = {}\"];",
+            n.index(),
+            escape(&lambda),
+            escape(&chi)
+        )
+        .unwrap();
+    }
+    for n in hd.tree().nodes() {
+        if let Some(p) = hd.tree().parent(n) {
+            writeln!(out, "  n{} -> n{};", p.index(), n.index()).unwrap();
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// DOT source for a (pure) query decomposition; each node shows its atoms.
+pub fn query_decomposition_to_dot(h: &Hypergraph, qd: &QueryDecomposition) -> String {
+    let mut out = String::from("digraph querydecomp {\n  node [shape=box, fontname=\"monospace\"];\n");
+    for n in qd.tree().nodes() {
+        let atoms: Vec<String> = qd
+            .label(n)
+            .iter()
+            .map(|e| h.display_edge(e))
+            .collect();
+        writeln!(
+            out,
+            "  n{} [label=\"{}\"];",
+            n.index(),
+            escape(&atoms.join("\\n"))
+        )
+        .unwrap();
+    }
+    for n in qd.tree().nodes() {
+        if let Some(p) = qd.tree().parent(n) {
+            writeln!(out, "  n{} -> n{};", p.index(), n.index()).unwrap();
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kdecomp::{decompose, CandidateMode};
+
+    fn q1() -> Hypergraph {
+        let mut b = Hypergraph::builder();
+        b.edge_by_names("enrolled", &["S", "C", "R"]);
+        b.edge_by_names("teaches", &["P", "C", "A"]);
+        b.edge_by_names("parent", &["P", "S"]);
+        b.build()
+    }
+
+    #[test]
+    fn hypertree_dot_is_well_formed() {
+        let h = q1();
+        let hd = decompose(&h, 2, CandidateMode::Pruned).unwrap();
+        let dot = hypertree_to_dot(&h, &hd);
+        assert!(dot.starts_with("digraph hypertree {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert_eq!(dot.matches("λ =").count(), hd.len());
+        // One arrow per non-root node.
+        assert_eq!(dot.matches("->").count(), hd.len() - 1);
+    }
+
+    #[test]
+    fn qd_dot_is_well_formed() {
+        use hypergraph::{EdgeSet, RootedTree};
+        let h = q1();
+        let mut tree = RootedTree::new();
+        tree.add_child(tree.root());
+        let mk = |names: &[&str]| {
+            EdgeSet::from_iter(
+                h.num_edges(),
+                names.iter().map(|n| h.edge_by_name(n).unwrap()),
+            )
+        };
+        let qd = crate::querydecomp::QueryDecomposition::new(
+            tree,
+            vec![mk(&["enrolled", "teaches"]), mk(&["enrolled", "parent"])],
+        );
+        let dot = query_decomposition_to_dot(&h, &qd);
+        assert!(dot.contains("enrolled(S,C,R)"));
+        assert_eq!(dot.matches("->").count(), 1);
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let mut b = Hypergraph::builder();
+        b.edge_by_names("odd\"name", &["X"]);
+        let h = b.build();
+        let hd = decompose(&h, 1, CandidateMode::Pruned).unwrap();
+        let dot = hypertree_to_dot(&h, &hd);
+        assert!(dot.contains("odd\\\"name"));
+    }
+}

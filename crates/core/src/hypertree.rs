@@ -1,0 +1,466 @@
+//! Hypertree decompositions (Definition 4.1 of the paper).
+//!
+//! A hypertree for a hypergraph `H` is a triple `⟨T, χ, λ⟩`: a rooted tree
+//! `T` with a set of variables `χ(p)` and a set of edges `λ(p)` on each
+//! node. It is a *hypertree decomposition* iff
+//!
+//! 1. every edge `A` has a node `p` with `var(A) ⊆ χ(p)` (coverage);
+//! 2. for every variable `Y`, `{p | Y ∈ χ(p)}` induces a connected subtree
+//!    (connectedness condition);
+//! 3. `χ(p) ⊆ var(λ(p))` for every node;
+//! 4. `var(λ(p)) ∩ χ(T_p) ⊆ χ(p)` for every node (the "special condition":
+//!    a variable that λ re-introduces below `p` must already be in `χ(p)`).
+//!
+//! The width is `max_p |λ(p)|`; `hw(H)` is the minimum width over all
+//! hypertree decompositions. The validator here is deliberately independent
+//! of the solvers in [`crate::kdecomp`]: everything a solver produces is
+//! re-checked against the definition.
+
+use hypergraph::{EdgeSet, Hypergraph, Ix, NodeId, RootedTree, VertexId, VertexSet};
+use std::fmt;
+
+/// A hypertree decomposition candidate `⟨T, χ, λ⟩`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HypertreeDecomposition {
+    tree: RootedTree,
+    chi: Vec<VertexSet>,
+    lambda: Vec<EdgeSet>,
+}
+
+/// A violation of Definition 4.1 (or of structural sanity).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HdViolation {
+    /// Condition 1: this edge's variables are covered by no `χ(p)`.
+    UncoveredEdge(hypergraph::EdgeId),
+    /// Condition 2: this variable's `χ`-occurrences are not connected.
+    DisconnectedVertex(VertexId),
+    /// Condition 3: `χ(p) ⊄ var(λ(p))` at this node.
+    ChiNotCoveredByLambda(NodeId),
+    /// Condition 4: `var(λ(p)) ∩ χ(T_p) ⊄ χ(p)` at this node.
+    SpecialConditionViolated(NodeId),
+}
+
+impl fmt::Display for HdViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdViolation::UncoveredEdge(e) => write!(f, "condition 1: edge {e} uncovered"),
+            HdViolation::DisconnectedVertex(v) => {
+                write!(f, "condition 2: variable {v} occurrences disconnected")
+            }
+            HdViolation::ChiNotCoveredByLambda(n) => {
+                write!(f, "condition 3: chi(p) not within var(lambda(p)) at node {n}")
+            }
+            HdViolation::SpecialConditionViolated(n) => {
+                write!(f, "condition 4: descendant chi reuses lambda variables at node {n}")
+            }
+        }
+    }
+}
+
+impl HypertreeDecomposition {
+    /// Assemble from parts. `chi` and `lambda` must have one entry per tree
+    /// node; semantic validity is checked by [`Self::validate`].
+    pub fn new(tree: RootedTree, chi: Vec<VertexSet>, lambda: Vec<EdgeSet>) -> Self {
+        assert_eq!(tree.len(), chi.len(), "one chi label per node");
+        assert_eq!(tree.len(), lambda.len(), "one lambda label per node");
+        HypertreeDecomposition { tree, chi, lambda }
+    }
+
+    /// The trivial one-node decomposition with `λ = all edges`,
+    /// `χ = var(H)`: always valid, width `|edges(H)|`.
+    pub fn trivial(h: &Hypergraph) -> Self {
+        let tree = RootedTree::new();
+        HypertreeDecomposition {
+            tree,
+            chi: vec![h.vertices_of_edges(&h.all_edges())],
+            lambda: vec![h.all_edges()],
+        }
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> &RootedTree {
+        &self.tree
+    }
+
+    /// `χ(p)`.
+    pub fn chi(&self, p: NodeId) -> &VertexSet {
+        &self.chi[p.index()]
+    }
+
+    /// `λ(p)`.
+    pub fn lambda(&self, p: NodeId) -> &EdgeSet {
+        &self.lambda[p.index()]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Decomposition trees always have at least the root.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Width: `max_p |λ(p)|`.
+    pub fn width(&self) -> usize {
+        self.lambda.iter().map(EdgeSet::len).max().unwrap_or(0)
+    }
+
+    /// `χ(T_p)`: the union of `χ` over the subtree rooted at `p`.
+    pub fn chi_subtree(&self, p: NodeId) -> VertexSet {
+        let mut out = self.chi[p.index()].clone();
+        for n in self.tree.subtree(p) {
+            out.union_with(&self.chi[n.index()]);
+        }
+        out
+    }
+
+    /// Check all four conditions of Definition 4.1 against `h`, collecting
+    /// every violation (an empty list means the decomposition is valid).
+    pub fn violations(&self, h: &Hypergraph) -> Vec<HdViolation> {
+        let mut out = Vec::new();
+
+        // Condition 1: coverage of every edge.
+        for e in h.edges() {
+            let vars = h.edge_vertices(e);
+            if !self
+                .tree
+                .nodes()
+                .any(|p| vars.is_subset_of(&self.chi[p.index()]))
+            {
+                out.push(HdViolation::UncoveredEdge(e));
+            }
+        }
+
+        // Condition 2: connectedness of each variable's chi occurrences.
+        for v in h.vertices() {
+            let mut members = 0usize;
+            let mut tops = 0usize;
+            for n in self.tree.nodes() {
+                if !self.chi[n.index()].contains(v) {
+                    continue;
+                }
+                members += 1;
+                let parent_in = self
+                    .tree
+                    .parent(n)
+                    .map(|p| self.chi[p.index()].contains(v))
+                    .unwrap_or(false);
+                if !parent_in {
+                    tops += 1;
+                }
+            }
+            if members > 0 && tops != 1 {
+                out.push(HdViolation::DisconnectedVertex(v));
+            }
+        }
+
+        // Conditions 3 and 4 per node.
+        for p in self.tree.nodes() {
+            let lambda_vars = h.vertices_of_edges(&self.lambda[p.index()]);
+            if !self.chi[p.index()].is_subset_of(&lambda_vars) {
+                out.push(HdViolation::ChiNotCoveredByLambda(p));
+            }
+            let mut reused = lambda_vars;
+            reused.intersect_with(&self.chi_subtree(p));
+            if !reused.is_subset_of(&self.chi[p.index()]) {
+                out.push(HdViolation::SpecialConditionViolated(p));
+            }
+        }
+
+        out
+    }
+
+    /// `Ok(())` iff this is a hypertree decomposition of `h`.
+    pub fn validate(&self, h: &Hypergraph) -> Result<(), Vec<HdViolation>> {
+        let v = self.violations(h);
+        if v.is_empty() {
+            Ok(())
+        } else {
+            Err(v)
+        }
+    }
+
+    /// `true` iff this is a *complete* decomposition of `h`
+    /// (Definition 4.2): every edge `A` has a node `p` with
+    /// `var(A) ⊆ χ(p)` **and** `A ∈ λ(p)`.
+    pub fn is_complete(&self, h: &Hypergraph) -> bool {
+        h.edges().all(|e| {
+            let vars = h.edge_vertices(e);
+            self.tree.nodes().any(|p| {
+                self.lambda[p.index()].contains(e) && vars.is_subset_of(&self.chi[p.index()])
+            })
+        })
+    }
+
+    /// Transform into a complete decomposition (Lemma 4.4): every edge not
+    /// yet carried by a covering node gets a fresh child
+    /// `λ = {A}, χ = var(A)` under some node that covers it. Width and
+    /// validity are preserved; the result has `O(‖Q‖ + ‖HD‖)` nodes.
+    pub fn complete(&self, h: &Hypergraph) -> HypertreeDecomposition {
+        let mut out = self.clone();
+        for e in h.edges() {
+            let vars = h.edge_vertices(e);
+            let carried = out.tree.nodes().any(|p| {
+                out.lambda[p.index()].contains(e) && vars.is_subset_of(&out.chi[p.index()])
+            });
+            if carried {
+                continue;
+            }
+            let host = out
+                .tree
+                .nodes()
+                .find(|&p| vars.is_subset_of(&out.chi[p.index()]))
+                .expect("complete() requires a valid decomposition (condition 1)");
+            let child = out.tree.add_child(host);
+            debug_assert_eq!(child.index(), out.chi.len());
+            out.chi.push(vars.clone());
+            out.lambda.push(EdgeSet::singleton(h.num_edges(), e));
+        }
+        out
+    }
+
+    /// Render the decomposition in the paper's *atom representation*
+    /// (Fig. 7): each node shows its λ atoms, with variables that are not in
+    /// `χ(p)` replaced by `_`.
+    pub fn display(&self, h: &Hypergraph) -> String {
+        let mut out = String::new();
+        for n in self.tree.pre_order() {
+            let indent = "  ".repeat(self.tree.depth(n));
+            let atoms: Vec<String> = self.lambda[n.index()]
+                .iter()
+                .map(|e| {
+                    let args: Vec<&str> = h
+                        .edge_vertex_list(e)
+                        .iter()
+                        .map(|&v| {
+                            if self.chi[n.index()].contains(v) {
+                                h.vertex_name(v)
+                            } else {
+                                "_"
+                            }
+                        })
+                        .collect();
+                    format!("{}({})", h.edge_name(e), args.join(","))
+                })
+                .collect();
+            out.push_str(&format!("{indent}{{{}}}\n", atoms.join(", ")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::EdgeId;
+
+    /// Q1 of Example 1.1.
+    fn q1() -> Hypergraph {
+        let mut b = Hypergraph::builder();
+        b.edge_by_names("enrolled", &["S", "C", "R"]);
+        b.edge_by_names("teaches", &["P", "C", "A"]);
+        b.edge_by_names("parent", &["P", "S"]);
+        b.build()
+    }
+
+    fn vset(h: &Hypergraph, names: &[&str]) -> VertexSet {
+        let mut s = h.empty_vertex_set();
+        for n in names {
+            s.insert(h.vertex_by_name(n).unwrap());
+        }
+        s
+    }
+
+    fn eset(h: &Hypergraph, names: &[&str]) -> EdgeSet {
+        let mut s = h.empty_edge_set();
+        for n in names {
+            s.insert(h.edge_by_name(n).unwrap());
+        }
+        s
+    }
+
+    /// Fig. 6a: the 2-width HD of Q1 — root χ={P,S,C,A},
+    /// λ={teaches,parent}; child χ={S,C,R}, λ={enrolled}. (The root χ
+    /// includes A so that `teaches` is fully covered, making the
+    /// decomposition complete per Example 4.3.)
+    pub(crate) fn fig6a(h: &Hypergraph) -> HypertreeDecomposition {
+        let mut tree = RootedTree::new();
+        tree.add_child(tree.root());
+        HypertreeDecomposition::new(
+            tree,
+            vec![vset(h, &["P", "S", "C", "A"]), vset(h, &["S", "C", "R"])],
+            vec![eset(h, &["teaches", "parent"]), eset(h, &["enrolled"])],
+        )
+    }
+
+    #[test]
+    fn fig6a_is_a_valid_width2_hd() {
+        let h = q1();
+        let hd = fig6a(&h);
+        assert_eq!(hd.validate(&h), Ok(()));
+        assert_eq!(hd.width(), 2);
+        assert!(hd.is_complete(&h));
+    }
+
+    #[test]
+    fn trivial_decomposition_is_valid() {
+        let h = q1();
+        let hd = HypertreeDecomposition::trivial(&h);
+        assert_eq!(hd.validate(&h), Ok(()));
+        assert_eq!(hd.width(), 3);
+        assert!(hd.is_complete(&h));
+    }
+
+    #[test]
+    fn condition1_violation_detected() {
+        let h = q1();
+        // Single node that covers only two atoms.
+        let hd = HypertreeDecomposition::new(
+            RootedTree::new(),
+            vec![vset(&h, &["P", "S", "C", "A"])],
+            vec![eset(&h, &["teaches", "parent"])],
+        );
+        let violations = hd.violations(&h);
+        assert!(violations.contains(&HdViolation::UncoveredEdge(EdgeId(0))));
+    }
+
+    #[test]
+    fn condition2_violation_detected() {
+        let h = q1();
+        // S occurs at root and grandchild but not at the middle node.
+        let mut tree = RootedTree::new();
+        let mid = tree.add_child(tree.root());
+        tree.add_child(mid);
+        let hd = HypertreeDecomposition::new(
+            tree,
+            vec![
+                vset(&h, &["S", "C", "R"]),
+                vset(&h, &["P", "C", "A"]),
+                vset(&h, &["P", "S"]),
+            ],
+            vec![
+                eset(&h, &["enrolled"]),
+                eset(&h, &["teaches"]),
+                eset(&h, &["parent"]),
+            ],
+        );
+        let s = h.vertex_by_name("S").unwrap();
+        assert!(hd.violations(&h).contains(&HdViolation::DisconnectedVertex(s)));
+    }
+
+    #[test]
+    fn condition3_violation_detected() {
+        let h = q1();
+        // χ mentions A but λ = {parent} does not provide it.
+        let hd = HypertreeDecomposition::new(
+            RootedTree::new(),
+            vec![vset(&h, &["P", "S", "A"])],
+            vec![eset(&h, &["parent"])],
+        );
+        assert!(hd
+            .violations(&h)
+            .contains(&HdViolation::ChiNotCoveredByLambda(NodeId(0))));
+    }
+
+    #[test]
+    fn condition4_violation_detected() {
+        let h = q1();
+        // Root: λ={enrolled}, χ={S} — drops C — but C reappears below in a
+        // child that also covers teaches and parent; then R never connects.
+        let mut tree = RootedTree::new();
+        tree.add_child(tree.root());
+        let hd = HypertreeDecomposition::new(
+            tree,
+            vec![vset(&h, &["S"]), vset(&h, &["P", "S", "C", "A", "R"])],
+            vec![
+                eset(&h, &["enrolled"]),
+                eset(&h, &["teaches", "parent", "enrolled"]),
+            ],
+        );
+        // var(λ(root)) = {S,C,R}; χ(T_root) contains C and R but χ(root)
+        // does not: condition 4 fires at the root.
+        assert!(hd
+            .violations(&h)
+            .contains(&HdViolation::SpecialConditionViolated(NodeId(0))));
+    }
+
+    #[test]
+    fn completion_adds_missing_atoms() {
+        let h = q1();
+        // A complete width-2 HD (Fig. 6a shape).
+        let hd = fig6a(&h);
+        assert!(hd.is_complete(&h));
+        // An HD that covers `parent` without carrying it in any λ.
+        let mut tree = RootedTree::new();
+        tree.add_child(tree.root());
+        let hd = HypertreeDecomposition::new(
+            tree,
+            vec![vset(&h, &["P", "S", "C", "A"]), vset(&h, &["S", "C", "R"])],
+            vec![
+                eset(&h, &["teaches", "parent"]),
+                eset(&h, &["enrolled"]),
+            ],
+        );
+        assert_eq!(hd.validate(&h), Ok(()));
+        assert!(hd.is_complete(&h));
+
+        // Width-3 single-node decomposition carrying only two atoms.
+        let hd = HypertreeDecomposition::new(
+            RootedTree::new(),
+            vec![vset(&h, &["P", "S", "C", "A", "R"])],
+            vec![eset(&h, &["teaches", "parent", "enrolled"])],
+        );
+        let mut lambda_small = hd.clone();
+        lambda_small.lambda[0] = eset(&h, &["teaches", "enrolled"]);
+        // parent is covered but not carried.
+        assert_eq!(lambda_small.validate(&h), Ok(()));
+        assert!(!lambda_small.is_complete(&h));
+        let completed = lambda_small.complete(&h);
+        assert!(completed.is_complete(&h));
+        assert_eq!(completed.validate(&h), Ok(()));
+        assert_eq!(completed.width(), 2);
+        assert_eq!(completed.len(), 2);
+    }
+
+    #[test]
+    fn chi_subtree_unions() {
+        let h = q1();
+        let hd = fig6a(&h);
+        let root_union = hd.chi_subtree(NodeId(0));
+        assert_eq!(root_union, vset(&h, &["P", "S", "C", "A", "R"]));
+        assert_eq!(hd.chi_subtree(NodeId(1)), vset(&h, &["S", "C", "R"]));
+    }
+
+    #[test]
+    fn atom_representation_masks_non_chi_vars() {
+        let h = q1();
+        // Root drops A from χ: teaches(P,C,A) renders as teaches(_,C,_)-ish.
+        let mut tree = RootedTree::new();
+        tree.add_child(tree.root());
+        let hd = HypertreeDecomposition::new(
+            tree,
+            vec![vset(&h, &["P", "S", "C"]), vset(&h, &["S", "C", "R"])],
+            vec![eset(&h, &["teaches", "parent"]), eset(&h, &["enrolled"])],
+        );
+        let s = hd.display(&h);
+        assert!(s.contains("teaches("), "{s}");
+        assert!(s.contains(",_"), "expected a masked variable in {s}");
+        assert!(s.contains("enrolled(S,C,R)"), "{s}");
+        // Fig. 6a itself masks nothing.
+        assert!(!fig6a(&h).display(&h).contains('_'));
+    }
+
+    #[test]
+    fn width_of_empty_lambda() {
+        let h = Hypergraph::from_edge_lists(0, &[]);
+        let hd = HypertreeDecomposition::new(
+            RootedTree::new(),
+            vec![VertexSet::empty(0)],
+            vec![EdgeSet::empty(0)],
+        );
+        assert_eq!(hd.width(), 0);
+        assert_eq!(hd.validate(&h), Ok(()));
+    }
+}

@@ -1,0 +1,379 @@
+//! The `k-decomp` algorithm (Fig. 10 of the paper), deterministically.
+//!
+//! The paper presents `k-decomp` as an alternating procedure: *guess* a
+//! λ-label `S` of at most `k` edges for the current `[R]`-component `C_R`,
+//! *check* (2a) `∀P ∈ atoms(C_R): var(P) ∩ var(R) ⊆ var(S)` and (2b)
+//! `var(S) ∩ C_R ≠ ∅`, then recurse on every `[var(S)]`-component inside
+//! `C_R`. We determinise it as a memoised top-down search:
+//!
+//! * Check (2a) is equivalent to `Conn(C_R, R) ⊆ var(S)` where
+//!   `Conn = ⋃_{P ∈ atoms(C_R)} (var(P) ∩ var(R))`, and `Conn` is the only
+//!   part of `R` the subproblem depends on — so `(C_R, Conn)` is a sound
+//!   memoisation key and the search runs in polynomial time for fixed `k`
+//!   (the determinisation of Theorem 5.16; Appendix B gives the same idea
+//!   as a Datalog program, implemented in [`crate::datalog`]).
+//! * [`CandidateMode::Full`] enumerates every `≤ k`-subset of edges exactly
+//!   as Step 1 does — complete by Theorem 5.14.
+//! * [`CandidateMode::Pruned`] restricts candidates to edges meeting
+//!   `C_R ∪ Conn`, the restriction used by the authors' follow-up
+//!   implementation (det-k-decomp, \[22\]); it is cross-validated against
+//!   `Full` by exhaustive and property tests.
+//!
+//! On success, a witness tree is extracted with the χ-labels of
+//! Lemma 5.13 — `χ(root) = var(λ(root))`, `χ(s) = var(λ(s)) ∩ (χ(r) ∪ C)`
+//! — and the result is a normal-form hypertree decomposition of width ≤ k.
+
+use crate::hypertree::HypertreeDecomposition;
+use crate::subsets::subsets;
+use hypergraph::{
+    components_within, connecting_set, Component, EdgeId, EdgeSet, Hypergraph, Ix, RootedTree,
+    VertexSet,
+};
+use rustc_hash::FxHashMap;
+
+/// How λ-label candidates are enumerated.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum CandidateMode {
+    /// All `≤ k`-subsets of `edges(H)` — the literal Step 1 of Fig. 10.
+    Full,
+    /// Only subsets of edges meeting `C_R ∪ Conn(C_R, R)` — the
+    /// det-k-decomp restriction; much faster and validated against `Full`.
+    #[default]
+    Pruned,
+}
+
+/// Decide `hw(H) ≤ k` (Theorem 5.14: `k-decomp` accepts iff `hw(H) ≤ k`).
+pub fn decide(h: &Hypergraph, k: usize, mode: CandidateMode) -> bool {
+    Solver::new(h, k, mode).decide()
+}
+
+/// Compute a width-`≤ k` hypertree decomposition in normal form, if one
+/// exists (Theorem 5.18 made deterministic).
+pub fn decompose(h: &Hypergraph, k: usize, mode: CandidateMode) -> Option<HypertreeDecomposition> {
+    let mut solver = Solver::new(h, k, mode);
+    if !solver.decide() {
+        return None;
+    }
+    let hd = solver.extract();
+    debug_assert_eq!(hd.validate(h), Ok(()), "witness tree must validate");
+    debug_assert!(hd.width() <= k.max(1));
+    Some(hd)
+}
+
+/// Memoised deterministic solver for one `(H, k)` instance.
+struct Solver<'h> {
+    h: &'h Hypergraph,
+    k: usize,
+    mode: CandidateMode,
+    /// Edges with at least one vertex (nullary edges need no covering).
+    pool_all: Vec<EdgeId>,
+    /// `(component, Conn) → chosen λ-label`, `None` = undecomposable.
+    memo: FxHashMap<(VertexSet, VertexSet), Option<EdgeSet>>,
+}
+
+impl<'h> Solver<'h> {
+    fn new(h: &'h Hypergraph, k: usize, mode: CandidateMode) -> Self {
+        assert!(k >= 1, "hypertree width is only defined for k ≥ 1");
+        let pool_all = h
+            .edges()
+            .filter(|&e| !h.edge_vertices(e).is_empty())
+            .collect();
+        Solver {
+            h,
+            k,
+            mode,
+            pool_all,
+            memo: FxHashMap::default(),
+        }
+    }
+
+    /// The initial pseudo-component: `comp(s0) = var(Q)` (all vertices that
+    /// occur in edges), with every non-nullary edge attached.
+    fn root_component(&self) -> Option<Component> {
+        if self.pool_all.is_empty() {
+            return None;
+        }
+        let mut vertices = self.h.empty_vertex_set();
+        let mut edges = self.h.empty_edge_set();
+        for &e in &self.pool_all {
+            vertices.union_with(self.h.edge_vertices(e));
+            edges.insert(e);
+        }
+        Some(Component { vertices, edges })
+    }
+
+    fn decide(&mut self) -> bool {
+        match self.root_component() {
+            None => true, // no edges: the trivial decomposition works
+            Some(c0) => {
+                let conn = self.h.empty_vertex_set();
+                self.decomposable(&c0, &conn)
+            }
+        }
+    }
+
+    /// `k-decomposable(C_R, R)` of Fig. 10, memoised on `(C_R, Conn)`.
+    fn decomposable(&mut self, comp: &Component, conn: &VertexSet) -> bool {
+        let key = (comp.vertices.clone(), conn.clone());
+        if let Some(cached) = self.memo.get(&key) {
+            return cached.is_some();
+        }
+        // Mark in-progress as failure; components strictly shrink along the
+        // recursion (children live inside comp \ var(S)), so no cycles can
+        // actually revisit the key — this is belt and braces.
+        self.memo.insert(key.clone(), None);
+
+        let pool = self.candidate_pool(comp, conn);
+        let mut chosen: Option<EdgeSet> = None;
+        'candidates: for s in subsets(pool.len(), self.k) {
+            let mut label = self.h.empty_edge_set();
+            let mut label_vars = self.h.empty_vertex_set();
+            for &i in &s {
+                label.insert(pool[i]);
+                label_vars.union_with(self.h.edge_vertices(pool[i]));
+            }
+            // Step 2a: Conn(C_R, R) ⊆ var(S).
+            if !conn.is_subset_of(&label_vars) {
+                continue;
+            }
+            // Step 2b: var(S) ∩ C_R ≠ ∅.
+            if !label_vars.intersects(&comp.vertices) {
+                continue;
+            }
+            // Step 4: recurse on the [var(S)]-components inside C_R.
+            for child in components_within(self.h, &label_vars, &comp.vertices) {
+                let child_conn = connecting_set(self.h, &child, &label_vars);
+                if !self.decomposable(&child, &child_conn) {
+                    continue 'candidates;
+                }
+            }
+            chosen = Some(label);
+            break;
+        }
+
+        let ok = chosen.is_some();
+        self.memo.insert(key, chosen);
+        ok
+    }
+
+    fn candidate_pool(&self, comp: &Component, conn: &VertexSet) -> Vec<EdgeId> {
+        match self.mode {
+            CandidateMode::Full => self.pool_all.clone(),
+            CandidateMode::Pruned => {
+                let mut relevant = comp.vertices.clone();
+                relevant.union_with(conn);
+                self.pool_all
+                    .iter()
+                    .copied()
+                    .filter(|&e| self.h.edge_vertices(e).intersects(&relevant))
+                    .collect()
+            }
+        }
+    }
+
+    /// Rebuild the witness tree from the memo (Lemma 5.13 labelling).
+    fn extract(&mut self) -> HypertreeDecomposition {
+        let h = self.h;
+        let Some(c0) = self.root_component() else {
+            // No edges: one node with empty labels, width 0.
+            return HypertreeDecomposition::new(
+                RootedTree::new(),
+                vec![h.empty_vertex_set()],
+                vec![h.empty_edge_set()],
+            );
+        };
+
+        let mut tree = RootedTree::new();
+        let mut chi: Vec<VertexSet> = Vec::new();
+        let mut lambda: Vec<EdgeSet> = Vec::new();
+
+        let root_label = self
+            .memo
+            .get(&(c0.vertices.clone(), h.empty_vertex_set()))
+            .cloned()
+            .flatten()
+            .expect("extract() runs only after a successful decide()");
+        let root_vars = h.vertices_of_edges(&root_label);
+        chi.push(root_vars.clone());
+        lambda.push(root_label.clone());
+
+        // (tree node, chosen label vars, component handled at that node)
+        let mut stack = vec![(tree.root(), root_vars, c0)];
+        while let Some((node, label_vars, comp)) = stack.pop() {
+            for child in components_within(h, &label_vars, &comp.vertices) {
+                let child_conn = connecting_set(h, &child, &label_vars);
+                let child_label = self
+                    .memo
+                    .get(&(child.vertices.clone(), child_conn))
+                    .cloned()
+                    .flatten()
+                    .expect("every reachable subproblem was solved");
+                let child_label_vars = h.vertices_of_edges(&child_label);
+                // χ(s) = var(λ(s)) ∩ (χ(r) ∪ C)   (witness-tree labelling)
+                let mut child_chi = chi[node.index()].clone();
+                child_chi.union_with(&child.vertices);
+                child_chi.intersect_with(&child_label_vars);
+                let child_node = tree.add_child(node);
+                debug_assert_eq!(child_node.index(), chi.len());
+                chi.push(child_chi);
+                lambda.push(child_label);
+                stack.push((child_node, child_label_vars, child));
+            }
+        }
+
+        HypertreeDecomposition::new(tree, chi, lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::acyclic;
+
+    fn q1() -> Hypergraph {
+        let mut b = Hypergraph::builder();
+        b.edge_by_names("enrolled", &["S", "C", "R"]);
+        b.edge_by_names("teaches", &["P", "C", "A"]);
+        b.edge_by_names("parent", &["P", "S"]);
+        b.build()
+    }
+
+    /// Q5 of Example 3.5 (hw = 2, Fig. 6b).
+    fn q5() -> Hypergraph {
+        let mut b = Hypergraph::builder();
+        b.edge_by_names("a", &["S", "X", "Xp", "C", "F"]);
+        b.edge_by_names("b", &["S", "Y", "Yp", "Cp", "Fp"]);
+        b.edge_by_names("c", &["C", "Cp", "Z"]);
+        b.edge_by_names("d", &["X", "Z"]);
+        b.edge_by_names("e", &["Y", "Z"]);
+        b.edge_by_names("f", &["F", "Fp", "Zp"]);
+        b.edge_by_names("g", &["Xp", "Zp"]);
+        b.edge_by_names("h", &["Yp", "Zp"]);
+        b.edge_by_names("j", &["J", "X", "Y", "Xp", "Yp"]);
+        b.build()
+    }
+
+    #[test]
+    fn q1_has_hypertree_width_2() {
+        let h = q1();
+        for mode in [CandidateMode::Full, CandidateMode::Pruned] {
+            assert!(!decide(&h, 1, mode), "Q1 is cyclic, so hw > 1");
+            assert!(decide(&h, 2, mode));
+            let hd = decompose(&h, 2, mode).unwrap();
+            assert_eq!(hd.validate(&h), Ok(()));
+            assert_eq!(hd.width(), 2);
+        }
+    }
+
+    #[test]
+    fn q5_has_hypertree_width_2() {
+        let h = q5();
+        for mode in [CandidateMode::Full, CandidateMode::Pruned] {
+            assert!(!decide(&h, 1, mode));
+            let hd = decompose(&h, 2, mode).expect("hw(Q5) = 2 per Example 4.3");
+            assert_eq!(hd.validate(&h), Ok(()));
+            assert_eq!(hd.width(), 2);
+        }
+    }
+
+    #[test]
+    fn acyclic_iff_width_1() {
+        // Theorem 4.5 on a few shapes.
+        let path = Hypergraph::from_edge_lists(4, &[&[0, 1], &[1, 2], &[2, 3]]);
+        assert!(decide(&path, 1, CandidateMode::Pruned));
+        let hd = decompose(&path, 1, CandidateMode::Pruned).unwrap();
+        assert_eq!(hd.width(), 1);
+
+        let triangle = Hypergraph::from_edge_lists(3, &[&[0, 1], &[1, 2], &[0, 2]]);
+        assert!(!decide(&triangle, 1, CandidateMode::Pruned));
+        assert!(decide(&triangle, 2, CandidateMode::Pruned));
+        assert!(!acyclic::is_acyclic(&triangle));
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let empty = Hypergraph::from_edge_lists(0, &[]);
+        assert!(decide(&empty, 1, CandidateMode::Pruned));
+        let hd = decompose(&empty, 1, CandidateMode::Pruned).unwrap();
+        assert_eq!(hd.width(), 0);
+        assert_eq!(hd.validate(&empty), Ok(()));
+
+        let single = Hypergraph::from_edge_lists(3, &[&[0, 1, 2]]);
+        let hd = decompose(&single, 1, CandidateMode::Pruned).unwrap();
+        assert_eq!(hd.width(), 1);
+        assert_eq!(hd.len(), 1);
+    }
+
+    #[test]
+    fn nullary_edges_are_ignored() {
+        let h = Hypergraph::from_edge_lists(2, &[&[], &[0, 1], &[]]);
+        let hd = decompose(&h, 1, CandidateMode::Pruned).unwrap();
+        assert_eq!(hd.validate(&h), Ok(()));
+        assert_eq!(hd.width(), 1);
+    }
+
+    #[test]
+    fn disconnected_hypergraphs_decompose() {
+        let h = Hypergraph::from_edge_lists(6, &[&[0, 1], &[1, 2], &[3, 4], &[4, 5]]);
+        let hd = decompose(&h, 1, CandidateMode::Pruned).expect("disconnected acyclic: hw = 1");
+        assert_eq!(hd.validate(&h), Ok(()));
+        // Two triangles, disjoint: hw = 2.
+        let two = Hypergraph::from_edge_lists(
+            6,
+            &[&[0, 1], &[1, 2], &[0, 2], &[3, 4], &[4, 5], &[3, 5]],
+        );
+        assert!(!decide(&two, 1, CandidateMode::Pruned));
+        let hd = decompose(&two, 2, CandidateMode::Pruned).unwrap();
+        assert_eq!(hd.validate(&two), Ok(()));
+    }
+
+    #[test]
+    fn cycles_have_width_2() {
+        for n in 3..10 {
+            let edges: Vec<Vec<usize>> = (0..n).map(|i| vec![i, (i + 1) % n]).collect();
+            let slices: Vec<&[usize]> = edges.iter().map(|e| e.as_slice()).collect();
+            let h = Hypergraph::from_edge_lists(n, &slices);
+            assert!(!decide(&h, 1, CandidateMode::Pruned), "C{n} is cyclic");
+            let hd = decompose(&h, 2, CandidateMode::Pruned).expect("cycles have hw 2");
+            assert_eq!(hd.validate(&h), Ok(()));
+            assert_eq!(hd.width(), 2);
+        }
+    }
+
+    #[test]
+    fn modes_agree_on_small_hypergraphs() {
+        // Exhaustive-ish sweep over tiny hypergraphs.
+        let shapes: Vec<Vec<Vec<usize>>> = vec![
+            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 0], vec![0, 2]],
+            vec![vec![0, 1, 2], vec![2, 3], vec![3, 4], vec![4, 0]],
+            vec![vec![0, 1], vec![0, 1]],
+            vec![vec![0], vec![1], vec![0, 1]],
+        ];
+        for edges in shapes {
+            let slices: Vec<&[usize]> = edges.iter().map(|e| e.as_slice()).collect();
+            let max_v = edges.iter().flatten().max().map(|&m| m + 1).unwrap_or(0);
+            let h = Hypergraph::from_edge_lists(max_v, &slices);
+            for k in 1..=3 {
+                assert_eq!(
+                    decide(&h, k, CandidateMode::Full),
+                    decide(&h, k, CandidateMode::Pruned),
+                    "modes disagree on {edges:?} at k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn witness_is_normal_form_sized() {
+        // Lemma 5.7: NF decompositions have at most |var(Q)| nodes.
+        let h = q5();
+        let hd = decompose(&h, 2, CandidateMode::Pruned).unwrap();
+        assert!(hd.len() <= h.num_vertices());
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 1")]
+    fn k_zero_panics() {
+        decide(&q1(), 0, CandidateMode::Pruned);
+    }
+}

@@ -1,0 +1,470 @@
+//! Normal-form hypertree decompositions (Definition 5.1, Theorem 5.4).
+//!
+//! A hypertree decomposition is in *normal form* if for every vertex `r`
+//! and child `s`:
+//!
+//! 1. there is exactly one `[χ(r)]`-component `C_r` with
+//!    `χ(T_s) = C_r ∪ (χ(s) ∩ χ(r))`;
+//! 2. `χ(s) ∩ C_r ≠ ∅`;
+//! 3. `var(λ(s)) ∩ χ(r) ⊆ χ(s)`.
+//!
+//! Theorem 5.4: every width-`k` decomposition can be rewritten into normal
+//! form without increasing the width. [`normalize`] implements the proof's
+//! transformation literally: children whose χ adds nothing are deleted and
+//! their subtrees lifted (Fig. 9), subtrees straddling several
+//! `[r]`-components are split into one copy per component, and condition 3
+//! is restored by enlarging χ. Normal form is what makes decompositions
+//! canonical enough for `k-decomp` to find (Lemma 5.9) and caps the tree at
+//! `|var(Q)|` nodes (Lemma 5.7).
+
+use crate::hypertree::HypertreeDecomposition;
+use hypergraph::{components, EdgeSet, Hypergraph, Ix, NodeId, RootedTree, VertexSet};
+
+/// A violation of Definition 5.1 at the child node carried by the variant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NfViolation {
+    /// Condition 1 fails at this child: `χ(T_s)` is not one
+    /// `[r]`-component plus shared χ.
+    NotOneComponent(NodeId),
+    /// Condition 2 fails: the child's χ misses its component entirely.
+    NoNewVariables(NodeId),
+    /// Condition 3 fails: λ re-imports parent-χ variables the child drops.
+    LambdaEscapesChi(NodeId),
+}
+
+/// All Definition 5.1 violations of `hd` (empty = normal form).
+pub fn nf_violations(h: &Hypergraph, hd: &HypertreeDecomposition) -> Vec<NfViolation> {
+    let mut out = Vec::new();
+    let tree = hd.tree();
+    for r in tree.nodes() {
+        let chi_r = hd.chi(r);
+        let comps = components(h, chi_r);
+        for &s in tree.children(r) {
+            let chi_s = hd.chi(s);
+            let chi_ts = hd.chi_subtree(s);
+            let new_vars = chi_ts.difference(chi_r);
+            let shared_ok = chi_ts.intersection(chi_r).is_subset_of(chi_s);
+            let unique_component = comps.iter().find(|c| c.vertices == new_vars);
+            match unique_component {
+                Some(c) if shared_ok => {
+                    if !chi_s.intersects(&c.vertices) {
+                        out.push(NfViolation::NoNewVariables(s));
+                    }
+                }
+                _ => out.push(NfViolation::NotOneComponent(s)),
+            }
+            let lambda_vars = h.vertices_of_edges(hd.lambda(s));
+            if !lambda_vars.intersection(chi_r).is_subset_of(chi_s) {
+                out.push(NfViolation::LambdaEscapesChi(s));
+            }
+        }
+    }
+    out
+}
+
+/// `true` iff `hd` satisfies Definition 5.1.
+pub fn is_normal_form(h: &Hypergraph, hd: &HypertreeDecomposition) -> bool {
+    nf_violations(h, hd).is_empty()
+}
+
+/// `treecomp(s)` for a normal-form decomposition: `var(Q)` at the root,
+/// otherwise the unique `[parent]`-component the subtree handles.
+pub fn treecomp(h: &Hypergraph, hd: &HypertreeDecomposition, s: NodeId) -> VertexSet {
+    match hd.tree().parent(s) {
+        None => h.all_vertices(),
+        Some(r) => hd.chi_subtree(s).difference(hd.chi(r)),
+    }
+}
+
+/// Rewrite `hd` (which must be a valid decomposition of `h`) into normal
+/// form without increasing its width (Theorem 5.4).
+pub fn normalize(h: &Hypergraph, hd: &HypertreeDecomposition) -> HypertreeDecomposition {
+    debug_assert_eq!(hd.validate(h), Ok(()), "normalize() needs a valid input");
+    let mut arena = Arena::from_hd(hd);
+    process(h, &mut arena, 0);
+    let out = arena.into_hd();
+    debug_assert_eq!(out.validate(h), Ok(()));
+    debug_assert!(is_normal_form(h, &out));
+    debug_assert!(out.width() <= hd.width().max(1));
+    out
+}
+
+/// Mutable working representation during normalisation.
+struct Arena {
+    chi: Vec<VertexSet>,
+    lambda: Vec<EdgeSet>,
+    children: Vec<Vec<usize>>,
+}
+
+impl Arena {
+    fn from_hd(hd: &HypertreeDecomposition) -> Self {
+        let n = hd.len();
+        let tree = hd.tree();
+        Arena {
+            chi: (0..n).map(|i| hd.chi(NodeId::new(i)).clone()).collect(),
+            lambda: (0..n).map(|i| hd.lambda(NodeId::new(i)).clone()).collect(),
+            children: (0..n)
+                .map(|i| {
+                    tree.children(NodeId::new(i))
+                        .iter()
+                        .map(|c| c.index())
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    fn add_node(&mut self, chi: VertexSet, lambda: EdgeSet) -> usize {
+        self.chi.push(chi);
+        self.lambda.push(lambda);
+        self.children.push(Vec::new());
+        self.chi.len() - 1
+    }
+
+    fn subtree(&self, s: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![s];
+        while let Some(v) = stack.pop() {
+            out.push(v);
+            stack.extend(self.children[v].iter().copied());
+        }
+        out
+    }
+
+    fn chi_subtree(&self, s: usize) -> VertexSet {
+        let mut out = self.chi[s].clone();
+        for v in self.subtree(s) {
+            out.union_with(&self.chi[v]);
+        }
+        out
+    }
+
+    /// Rebuild an immutable decomposition from the (possibly sparse) arena,
+    /// keeping only nodes reachable from the root.
+    fn into_hd(self) -> HypertreeDecomposition {
+        let mut tree = RootedTree::new();
+        let mut chi = vec![self.chi[0].clone()];
+        let mut lambda = vec![self.lambda[0].clone()];
+        let mut stack = vec![(tree.root(), 0usize)];
+        while let Some((node, old)) = stack.pop() {
+            for &c in &self.children[old] {
+                let child = tree.add_child(node);
+                chi.push(self.chi[c].clone());
+                lambda.push(self.lambda[c].clone());
+                stack.push((child, c));
+            }
+        }
+        HypertreeDecomposition::new(tree, chi, lambda)
+    }
+}
+
+/// Normalise the children of `r`, then recurse (the Theorem 5.4 sweep).
+fn process(h: &Hypergraph, arena: &mut Arena, r: usize) {
+    loop {
+        let mut changed = false;
+        let snapshot = arena.children[r].clone();
+        for s in snapshot {
+            if !arena.children[r].contains(&s) {
+                continue; // removed by an earlier rewrite in this pass
+            }
+            let chi_r = arena.chi[r].clone();
+            let chi_s = arena.chi[s].clone();
+            let chi_ts = arena.chi_subtree(s);
+            let new_vars = chi_ts.difference(&chi_r);
+
+            if new_vars.is_empty() {
+                // Fig. 9: χ(T_s) ⊆ χ(r) — but the subtree may still carry
+                // λ-atoms needed for coverage; lifting s's children to r and
+                // dropping s is safe because every χ is within χ(r)...
+                // coverage of edges happens through χ, which survives in the
+                // lifted children. Only s itself is deleted.
+                lift(arena, r, s);
+                changed = true;
+                continue;
+            }
+
+            let comps = components(h, &chi_r);
+            let meets: Vec<usize> = comps
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.vertices.intersects(&new_vars))
+                .map(|(i, _)| i)
+                .collect();
+            let cond1 = meets.len() == 1
+                && comps[meets[0]].vertices == new_vars
+                && chi_ts.intersection(&chi_r).is_subset_of(&chi_s);
+
+            if !cond1 {
+                // Split T_s into one copy per [r]-component it straddles.
+                let subtree = arena.subtree(s);
+                arena.children[r].retain(|&c| c != s);
+                for &ci in &meets {
+                    let comp = &comps[ci].vertices;
+                    copy_component_subtree(arena, h, r, s, &subtree, comp, &chi_r);
+                }
+                changed = true;
+                continue;
+            }
+
+            // Condition 2: the child itself must meet its component.
+            if !chi_s.intersects(&new_vars) {
+                lift(arena, r, s);
+                changed = true;
+                continue;
+            }
+
+            // Condition 3: pull λ-variables shared with the parent into χ.
+            let lambda_vars = h.vertices_of_edges(&arena.lambda[s]);
+            let fix = lambda_vars.intersection(&chi_r);
+            if !fix.is_subset_of(&arena.chi[s]) {
+                arena.chi[s].union_with(&fix);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let children = arena.children[r].clone();
+    for s in children {
+        process(h, arena, s);
+    }
+}
+
+/// Delete `s` (a child of `r`) and attach its children to `r`.
+fn lift(arena: &mut Arena, r: usize, s: usize) {
+    let grandchildren = std::mem::take(&mut arena.children[s]);
+    let pos = arena.children[r]
+        .iter()
+        .position(|&c| c == s)
+        .expect("s is a child of r");
+    arena.children[r].remove(pos);
+    arena.children[r].extend(grandchildren);
+}
+
+/// The Theorem 5.4 splitting step: copy the nodes of `subtree` whose χ
+/// meets `comp` (they induce a connected subtree by Lemma 5.3), relabel
+/// `χ' = χ ∩ (comp ∪ χ(r))`, and attach the copy's root under `r`.
+fn copy_component_subtree(
+    arena: &mut Arena,
+    _h: &Hypergraph,
+    r: usize,
+    s: usize,
+    subtree: &[usize],
+    comp: &VertexSet,
+    chi_r: &VertexSet,
+) {
+    let members: Vec<usize> = subtree
+        .iter()
+        .copied()
+        .filter(|&v| arena.chi[v].intersects(comp))
+        .collect();
+    debug_assert!(!members.is_empty());
+
+    // parent map within the original subtree
+    let mut parent_of = vec![usize::MAX; arena.chi.len()];
+    for &v in subtree {
+        for &c in &arena.children[v] {
+            parent_of[c] = v;
+        }
+    }
+
+    let mut allowed = comp.clone();
+    allowed.union_with(chi_r);
+
+    // Create the copies.
+    let mut copy_of: rustc_hash::FxHashMap<usize, usize> = rustc_hash::FxHashMap::default();
+    for &v in &members {
+        let chi = arena.chi[v].intersection(&allowed);
+        let lambda = arena.lambda[v].clone();
+        let id = arena.add_node(chi, lambda);
+        copy_of.insert(v, id);
+    }
+    // Wire the copies together; the member set is connected (Lemma 5.3),
+    // so a member's parent is in the set unless the member is the copy root.
+    let mut root_copy = None;
+    for &v in &members {
+        let p = if v == s { usize::MAX } else { parent_of[v] };
+        if p != usize::MAX && copy_of.contains_key(&p) {
+            let pc = copy_of[&p];
+            let vc = copy_of[&v];
+            arena.children[pc].push(vc);
+        } else {
+            debug_assert!(root_copy.is_none(), "component subtree has one root");
+            root_copy = Some(copy_of[&v]);
+        }
+    }
+    arena.children[r].push(root_copy.expect("non-empty member set"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kdecomp::{decompose, CandidateMode};
+
+
+    fn q1() -> Hypergraph {
+        let mut b = Hypergraph::builder();
+        b.edge_by_names("enrolled", &["S", "C", "R"]);
+        b.edge_by_names("teaches", &["P", "C", "A"]);
+        b.edge_by_names("parent", &["P", "S"]);
+        b.build()
+    }
+
+    fn q5() -> Hypergraph {
+        let mut b = Hypergraph::builder();
+        b.edge_by_names("a", &["S", "X", "Xp", "C", "F"]);
+        b.edge_by_names("b", &["S", "Y", "Yp", "Cp", "Fp"]);
+        b.edge_by_names("c", &["C", "Cp", "Z"]);
+        b.edge_by_names("d", &["X", "Z"]);
+        b.edge_by_names("e", &["Y", "Z"]);
+        b.edge_by_names("f", &["F", "Fp", "Zp"]);
+        b.edge_by_names("g", &["Xp", "Zp"]);
+        b.edge_by_names("h", &["Yp", "Zp"]);
+        b.edge_by_names("j", &["J", "X", "Y", "Xp", "Yp"]);
+        b.build()
+    }
+
+    fn vset(h: &Hypergraph, names: &[&str]) -> VertexSet {
+        let mut s = h.empty_vertex_set();
+        for n in names {
+            s.insert(h.vertex_by_name(n).unwrap());
+        }
+        s
+    }
+
+    fn eset(h: &Hypergraph, names: &[&str]) -> EdgeSet {
+        let mut s = h.empty_edge_set();
+        for n in names {
+            s.insert(h.edge_by_name(n).unwrap());
+        }
+        s
+    }
+
+    #[test]
+    fn fig6a_is_normal_form() {
+        let h = q1();
+        let mut tree = RootedTree::new();
+        tree.add_child(tree.root());
+        let hd = HypertreeDecomposition::new(
+            tree,
+            vec![vset(&h, &["P", "S", "C"]), vset(&h, &["S", "C", "R"])],
+            vec![eset(&h, &["teaches", "parent"]), eset(&h, &["enrolled"])],
+        );
+        assert!(is_normal_form(&h, &hd));
+        // treecomp of the child is the [root]-component {R}.
+        assert_eq!(
+            treecomp(&h, &hd, NodeId(1)),
+            vset(&h, &["R"])
+        );
+        assert_eq!(treecomp(&h, &hd, NodeId(0)), h.all_vertices());
+    }
+
+    #[test]
+    fn kdecomp_witnesses_are_normal_form() {
+        // Lemma 5.13: witness trees of accepting computations are NF.
+        for h in [q1(), q5()] {
+            let hd = decompose(&h, 2, CandidateMode::Full).unwrap();
+            assert!(
+                is_normal_form(&h, &hd),
+                "violations: {:?}",
+                nf_violations(&h, &hd)
+            );
+        }
+    }
+
+    #[test]
+    fn redundant_chain_is_flattened() {
+        // Root and an identical child: the child violates condition 2
+        // (adds no variables) and must be lifted away.
+        let h = q1();
+        let mut tree = RootedTree::new();
+        let dup = tree.add_child(tree.root());
+        tree.add_child(dup);
+        let all3 = eset(&h, &["enrolled", "teaches", "parent"]);
+        let allv = vset(&h, &["S", "C", "R", "P", "A"]);
+        let hd = HypertreeDecomposition::new(
+            tree,
+            vec![allv.clone(), allv.clone(), allv.clone()],
+            vec![all3.clone(), all3.clone(), all3],
+        );
+        assert!(!is_normal_form(&h, &hd));
+        let nf = normalize(&h, &hd);
+        assert_eq!(nf.len(), 1);
+        assert!(is_normal_form(&h, &nf));
+        assert_eq!(nf.width(), 3);
+    }
+
+    #[test]
+    fn straddling_subtree_is_split() {
+        // Fragment of Q5 (without d,e,g,h) with root {a,b}: the
+        // [root]-components are {Z}, {Z'}, {J}. A single child covering
+        // c(C,C',Z), f(F,F',Z') and j(J,…) straddles all three components
+        // and must be split into three subtrees.
+        let mut b = Hypergraph::builder();
+        b.edge_by_names("a", &["S", "X", "Xp", "C", "F"]);
+        b.edge_by_names("b", &["S", "Y", "Yp", "Cp", "Fp"]);
+        b.edge_by_names("c", &["C", "Cp", "Z"]);
+        b.edge_by_names("f", &["F", "Fp", "Zp"]);
+        b.edge_by_names("j", &["J", "X", "Y", "Xp", "Yp"]);
+        let frag = b.build();
+        let mut tree = RootedTree::new();
+        tree.add_child(tree.root());
+        let hd = HypertreeDecomposition::new(
+            tree,
+            vec![
+                vset(&frag, &["S", "X", "Xp", "C", "F", "Y", "Yp", "Cp", "Fp"]),
+                vset(&frag, &["C", "Cp", "Z", "F", "Fp", "Zp", "J", "X", "Y", "Xp", "Yp"]),
+            ],
+            vec![
+                eset(&frag, &["a", "b"]),
+                eset(&frag, &["c", "f", "j"]),
+            ],
+        );
+        assert_eq!(hd.validate(&frag), Ok(()));
+        assert!(!is_normal_form(&frag, &hd));
+        let nf = normalize(&frag, &hd);
+        assert!(is_normal_form(&frag, &nf));
+        assert!(nf.width() <= hd.width());
+        // The root now has one child per straddled component: {Z}, {Z'}, {J}.
+        assert_eq!(nf.tree().children(NodeId(0)).len(), 3);
+    }
+
+    #[test]
+    fn condition3_fix_enlarges_chi() {
+        let h = q1();
+        let mut tree = RootedTree::new();
+        tree.add_child(tree.root());
+        // The child's λ carries `parent`, whose variable P sits in the
+        // parent's χ but not in the child's χ: valid per Definition 4.1
+        // (P's occurrences stay connected; condition 4 holds because P is
+        // not in χ(T_child)), but it violates NF condition 3.
+        let hd = HypertreeDecomposition::new(
+            tree,
+            vec![vset(&h, &["P", "S", "C", "A"]), vset(&h, &["S", "C", "R"])],
+            vec![
+                eset(&h, &["teaches", "parent"]),
+                eset(&h, &["enrolled", "parent"]),
+            ],
+        );
+        assert_eq!(hd.validate(&h), Ok(()));
+        assert!(nf_violations(&h, &hd)
+            .iter()
+            .any(|v| matches!(v, NfViolation::LambdaEscapesChi(_))));
+        let nf = normalize(&h, &hd);
+        assert!(is_normal_form(&h, &nf));
+        // P was pulled into the child's χ.
+        let child = nf.tree().children(NodeId(0))[0];
+        assert!(nf.chi(child).contains(h.vertex_by_name("P").unwrap()));
+    }
+
+    #[test]
+    fn normalize_bounds_node_count() {
+        // Lemma 5.7 via Theorem 5.4: NF decompositions have ≤ |var| nodes.
+        let h = q5();
+        let hd = HypertreeDecomposition::trivial(&h).complete(&h);
+        let nf = normalize(&h, &hd);
+        assert!(is_normal_form(&h, &nf));
+        assert!(nf.len() <= h.num_vertices());
+    }
+}

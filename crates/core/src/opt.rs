@@ -1,0 +1,138 @@
+//! Exact hypertree width and optimal decompositions.
+//!
+//! `hw(H)` is found by iterative deepening on `k` (each `k-decomp` run is
+//! polynomial for fixed `k`, Theorem 5.16); the trivial single-node
+//! decomposition bounds the search by `|edges(H)|`. Theorem 6.1(a) — every
+//! width-`k` query decomposition is a width-`k` hypertree decomposition
+//! with `χ(p) = var(λ(p))` — is implemented by
+//! [`from_query_decomposition`].
+
+use crate::hypertree::HypertreeDecomposition;
+use crate::kdecomp::{decide, decompose, CandidateMode};
+use crate::querydecomp::QueryDecomposition;
+use hypergraph::{Hypergraph, NodeId};
+
+/// The exact hypertree width of `h` (0 for edgeless hypergraphs).
+pub fn hypertree_width(h: &Hypergraph) -> usize {
+    hypertree_width_with(h, CandidateMode::Pruned)
+}
+
+/// [`hypertree_width`] with an explicit candidate mode.
+pub fn hypertree_width_with(h: &Hypergraph, mode: CandidateMode) -> usize {
+    let m = h
+        .edges()
+        .filter(|&e| !h.edge_vertices(e).is_empty())
+        .count();
+    if m == 0 {
+        return 0;
+    }
+    (1..=m)
+        .find(|&k| decide(h, k, mode))
+        .expect("the trivial decomposition has width m")
+}
+
+/// An optimal (minimum-width, normal-form) hypertree decomposition of `h`.
+pub fn optimal_decomposition(h: &Hypergraph) -> HypertreeDecomposition {
+    let k = hypertree_width(h).max(1);
+    decompose(h, k, CandidateMode::Pruned).expect("k = hw(h) must succeed")
+}
+
+/// Theorem 6.1(a): reinterpret a (pure) query decomposition as a hypertree
+/// decomposition of the same width by setting `χ(p) = var(λ(p))`.
+pub fn from_query_decomposition(
+    h: &Hypergraph,
+    qd: &QueryDecomposition,
+) -> HypertreeDecomposition {
+    let tree = qd.tree().clone();
+    let mut chi = Vec::with_capacity(tree.len());
+    let mut lambda = Vec::with_capacity(tree.len());
+    for n in tree.nodes() {
+        let label = qd.label(n).clone();
+        chi.push(h.vertices_of_edges(&label));
+        lambda.push(label);
+    }
+    HypertreeDecomposition::new(tree, chi, lambda)
+}
+
+/// Check `hw(h) = expected` and return a validated witness of that width.
+/// Test helper used across the workspace's experiment code.
+pub fn assert_width(h: &Hypergraph, expected: usize) -> HypertreeDecomposition {
+    let hw = hypertree_width(h);
+    assert_eq!(hw, expected, "hypertree width mismatch");
+    let hd = optimal_decomposition(h);
+    assert_eq!(hd.validate(h), Ok(()));
+    assert_eq!(hd.width(), expected);
+    hd
+}
+
+/// `true` iff node `p` of `hd` is a leaf covering nothing new — used by
+/// width statistics in the experiments harness.
+pub fn is_redundant_leaf(hd: &HypertreeDecomposition, p: NodeId) -> bool {
+    hd.tree().is_leaf(p)
+        && hd
+            .tree()
+            .parent(p)
+            .map(|parent| hd.chi(p).is_subset_of(hd.chi(parent)))
+            .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::acyclic;
+
+    #[test]
+    fn widths_of_known_shapes() {
+        let path = Hypergraph::from_edge_lists(4, &[&[0, 1], &[1, 2], &[2, 3]]);
+        assert_eq!(hypertree_width(&path), 1);
+        let triangle = Hypergraph::from_edge_lists(3, &[&[0, 1], &[1, 2], &[0, 2]]);
+        assert_eq!(hypertree_width(&triangle), 2);
+        let empty = Hypergraph::from_edge_lists(3, &[]);
+        assert_eq!(hypertree_width(&empty), 0);
+    }
+
+    #[test]
+    fn acyclic_iff_width_one_matches_gyo() {
+        // Theorem 4.5 cross-checked against the independent GYO oracle.
+        let shapes: Vec<Vec<Vec<usize>>> = vec![
+            vec![vec![0, 1], vec![1, 2]],
+            vec![vec![0, 1], vec![1, 2], vec![0, 2]],
+            vec![vec![0, 1, 2], vec![1, 2, 3], vec![2, 3, 4]],
+            vec![vec![0, 1], vec![2]],
+            vec![vec![0, 1, 2], vec![0, 1], vec![1, 2], vec![0, 2]],
+        ];
+        for edges in shapes {
+            let slices: Vec<&[usize]> = edges.iter().map(|e| e.as_slice()).collect();
+            let max_v = edges.iter().flatten().max().map(|&m| m + 1).unwrap_or(0);
+            let h = Hypergraph::from_edge_lists(max_v, &slices);
+            assert_eq!(
+                acyclic::is_acyclic(&h),
+                hypertree_width(&h) <= 1,
+                "mismatch on {edges:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_decomposition_validates() {
+        let h = Hypergraph::from_edge_lists(
+            6,
+            &[&[0, 1], &[1, 2], &[2, 3], &[3, 4], &[4, 5], &[5, 0]],
+        );
+        let hd = optimal_decomposition(&h);
+        assert_eq!(hd.width(), 2);
+        assert_eq!(hd.validate(&h), Ok(()));
+    }
+
+    #[test]
+    fn modes_agree_on_width() {
+        let h = Hypergraph::from_edge_lists(
+            5,
+            &[&[0, 1, 2], &[2, 3], &[3, 4], &[4, 0], &[1, 3]],
+        );
+        assert_eq!(
+            hypertree_width_with(&h, CandidateMode::Full),
+            hypertree_width_with(&h, CandidateMode::Pruned)
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! A parallel `k-decomp` — the executable stand-in for the paper's
+//! parallelizability results (Theorem 5.16: recognising `hw ≤ k` is in
+//! LOGCFL ⊆ AC¹, i.e. highly parallelizable).
+//!
+//! We obviously do not run an alternating Turing machine; instead we
+//! exploit the same structural fact the ATM does: once a λ-label `S` is
+//! fixed, the `[var(S)]`-components inside the current component are
+//! *independent* subproblems (the universal branching of Step 4). The
+//! solver evaluates them on scoped worker threads, sharing the
+//! `(component, Conn)` memo table behind a `parking_lot::RwLock`. Two
+//! workers may race to solve the same key — both compute the same answer,
+//! one insert wins; correctness is unaffected, only a little work is
+//! duplicated (this is the standard lock-light memoisation trade).
+//!
+//! Spawning is throttled by `depth < PARALLEL_DEPTH` and a minimum
+//! component size so that small instances do not drown in thread overhead;
+//! the ablation experiment E11 measures the crossover.
+
+use crate::kdecomp::CandidateMode;
+use crate::subsets::subsets;
+use hypergraph::{components_within, connecting_set, Component, EdgeId, Hypergraph, VertexSet};
+use parking_lot::RwLock;
+use rustc_hash::FxHashMap;
+
+/// Spawn threads only this deep in the recursion.
+const PARALLEL_DEPTH: usize = 3;
+/// Components smaller than this are solved inline.
+const MIN_PARALLEL_COMPONENT: usize = 4;
+
+type Memo = RwLock<FxHashMap<(VertexSet, VertexSet), bool>>;
+
+/// Decide `hw(H) ≤ k` using scoped worker threads over independent
+/// components. Produces the same answer as [`crate::kdecomp::decide`].
+pub fn decide_parallel(h: &Hypergraph, k: usize, mode: CandidateMode) -> bool {
+    assert!(k >= 1, "hypertree width is only defined for k ≥ 1");
+    let pool_all: Vec<EdgeId> = h
+        .edges()
+        .filter(|&e| !h.edge_vertices(e).is_empty())
+        .collect();
+    if pool_all.is_empty() {
+        return true;
+    }
+    let mut vertices = h.empty_vertex_set();
+    let mut edges = h.empty_edge_set();
+    for &e in &pool_all {
+        vertices.union_with(h.edge_vertices(e));
+        edges.insert(e);
+    }
+    let ctx = Ctx {
+        h,
+        k,
+        mode,
+        pool_all,
+        memo: RwLock::new(FxHashMap::default()),
+    };
+    let root = Component { vertices, edges };
+    let conn = h.empty_vertex_set();
+    decomposable(&ctx, &root, &conn, 0)
+}
+
+struct Ctx<'h> {
+    h: &'h Hypergraph,
+    k: usize,
+    mode: CandidateMode,
+    pool_all: Vec<EdgeId>,
+    memo: Memo,
+}
+
+fn decomposable(ctx: &Ctx<'_>, comp: &Component, conn: &VertexSet, depth: usize) -> bool {
+    let key = (comp.vertices.clone(), conn.clone());
+    if let Some(&cached) = ctx.memo.read().get(&key) {
+        return cached;
+    }
+    let h = ctx.h;
+
+    let pool: Vec<EdgeId> = match ctx.mode {
+        CandidateMode::Full => ctx.pool_all.clone(),
+        CandidateMode::Pruned => {
+            let mut relevant = comp.vertices.clone();
+            relevant.union_with(conn);
+            ctx.pool_all
+                .iter()
+                .copied()
+                .filter(|&e| h.edge_vertices(e).intersects(&relevant))
+                .collect()
+        }
+    };
+
+    let mut ok = false;
+    'candidates: for s in subsets(pool.len(), ctx.k) {
+        let mut label_vars = h.empty_vertex_set();
+        for &i in &s {
+            label_vars.union_with(h.edge_vertices(pool[i]));
+        }
+        if !conn.is_subset_of(&label_vars) || !label_vars.intersects(&comp.vertices) {
+            continue;
+        }
+        let children = components_within(h, &label_vars, &comp.vertices);
+        let (big, small): (Vec<_>, Vec<_>) = children
+            .into_iter()
+            .partition(|c| c.vertices.len() >= MIN_PARALLEL_COMPONENT);
+
+        // Small components inline; big ones on scoped threads when shallow.
+        for child in &small {
+            let child_conn = connecting_set(h, child, &label_vars);
+            if !decomposable(ctx, child, &child_conn, depth + 1) {
+                continue 'candidates;
+            }
+        }
+        let all_big_ok = if depth < PARALLEL_DEPTH && big.len() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = big
+                    .iter()
+                    .map(|child| {
+                        let child_conn = connecting_set(h, child, &label_vars);
+                        scope.spawn(move || decomposable(ctx, child, &child_conn, depth + 1))
+                    })
+                    .collect();
+                handles.into_iter().all(|j| j.join().expect("worker panicked"))
+            })
+        } else {
+            big.iter().all(|child| {
+                let child_conn = connecting_set(h, child, &label_vars);
+                decomposable(ctx, child, &child_conn, depth + 1)
+            })
+        };
+        if all_big_ok {
+            ok = true;
+            break;
+        }
+    }
+
+    ctx.memo.write().insert(key, ok);
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kdecomp::decide;
+
+    fn cycle(n: usize) -> Hypergraph {
+        let edges: Vec<Vec<usize>> = (0..n).map(|i| vec![i, (i + 1) % n]).collect();
+        let slices: Vec<&[usize]> = edges.iter().map(|e| e.as_slice()).collect();
+        Hypergraph::from_edge_lists(n, &slices)
+    }
+
+    #[test]
+    fn agrees_with_sequential_on_cycles() {
+        for n in [3, 6, 10] {
+            let h = cycle(n);
+            for k in 1..=2 {
+                assert_eq!(
+                    decide_parallel(&h, k, CandidateMode::Pruned),
+                    decide(&h, k, CandidateMode::Pruned),
+                    "cycle {n}, k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_on_branching_instances() {
+        // A star of triangles: many independent components after fixing
+        // the hub — exactly the shape that exercises parallel branches.
+        let mut edges: Vec<Vec<usize>> = Vec::new();
+        let mut v = 1;
+        for _ in 0..4 {
+            edges.push(vec![0, v]);
+            edges.push(vec![v, v + 1]);
+            edges.push(vec![v + 1, v + 2]);
+            edges.push(vec![v + 2, v]);
+            v += 3;
+        }
+        let slices: Vec<&[usize]> = edges.iter().map(|e| e.as_slice()).collect();
+        let h = Hypergraph::from_edge_lists(v, &slices);
+        for k in 1..=3 {
+            assert_eq!(
+                decide_parallel(&h, k, CandidateMode::Pruned),
+                decide(&h, k, CandidateMode::Pruned),
+                "k {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn trivial_inputs() {
+        let empty = Hypergraph::from_edge_lists(0, &[]);
+        assert!(decide_parallel(&empty, 1, CandidateMode::Pruned));
+        let single = Hypergraph::from_edge_lists(2, &[&[0, 1]]);
+        assert!(decide_parallel(&single, 1, CandidateMode::Full));
+    }
+}

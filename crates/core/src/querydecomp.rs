@@ -1,0 +1,626 @@
+//! Query decompositions (Definition 3.1) and an exact `qw(Q) ≤ k` search.
+//!
+//! A *pure* query decomposition labels each tree node with a set of atoms
+//! such that (1) every atom occurs in some label, (2) each atom's
+//! occurrences induce a connected subtree, and (3) each variable's
+//! occurrences (through the labelled atoms) induce a connected subtree.
+//! By Proposition 3.3 restricting to pure decompositions loses no width,
+//! so this module represents pure ones only.
+//!
+//! Deciding `qw(Q) ≤ k` is NP-complete for `k = 4` (Theorem 3.4), so the
+//! search here is an exponential backtracking procedure — intentionally:
+//! its cost on the Section 7 reduction instances versus `k-decomp`'s
+//! polynomial behaviour *is* experiment E11/E9. The search follows
+//! Proposition 3.6: a subtree rooted at `p` covers `var(p)` plus some
+//! `[var(p)]`-components *exactly*, which forces
+//!
+//! * every atom labelled inside the subtree for component `C` under parent
+//!   variables `V` to satisfy `var(A) ⊆ C ∪ V` (a foreign variable would
+//!   occur again in another component's subtree and break condition 3);
+//! * `var(A) ∩ V ⊆ var(S)` for every `A ∈ atoms(C)` (such an `A` is
+//!   covered inside the subtree, so its `V`-variables occur below and at
+//!   the parent, hence must occur at the subtree root `S` too);
+//! * atom reuse to follow parent chains: an atom may occur at a node only
+//!   if it also occurs at the parent (`live`) or has not been used
+//!   anywhere else (`used` enforces global single-ownership, keeping each
+//!   atom's occurrence set connected).
+//!
+//! Atoms whose variables are fully covered by some chosen label hang off
+//! that node as single-atom leaf children. The search backtracks globally
+//! over an obligation stack, so *within its search space* it is exhaustive,
+//! and every positive answer is independently validated against
+//! Definition 3.1 before being returned.
+//!
+//! **Search space.** The procedure explores the canonical decompositions
+//! described by the paper's own analysis (§3.3, Proposition 3.6): each
+//! `[var(p)]`-component is processed by exactly one subtree hanging
+//! directly under `p` ("each of these components occurs in exactly one
+//! subtree — otherwise the connectedness condition would be violated"),
+//! and labels draw on atoms of the current component, the parent chain,
+//! and helpers within the parent's variables. This is the same frame in
+//! which the paper concludes "by checking all possible labelings" that
+//! `qw(Q5) = 3`; negative answers from this module are statements about
+//! that canonical space.
+
+use crate::subsets::subsets;
+use hypergraph::{
+    components, components_within, Component, EdgeId, EdgeSet, Hypergraph, Ix, NodeId, RootedTree,
+    VertexSet,
+};
+use std::fmt;
+
+/// A pure query decomposition: one atom set per tree node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryDecomposition {
+    tree: RootedTree,
+    labels: Vec<EdgeSet>,
+}
+
+/// A violation of Definition 3.1 for pure decompositions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QdViolation {
+    /// Condition 1: the atom occurs in no label.
+    MissingAtom(EdgeId),
+    /// Condition 2: the atom's occurrences are disconnected.
+    DisconnectedAtom(EdgeId),
+    /// Condition 3: the variable's occurrences are disconnected.
+    DisconnectedVariable(hypergraph::VertexId),
+}
+
+impl fmt::Display for QdViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QdViolation::MissingAtom(e) => write!(f, "condition 1: atom {e} never occurs"),
+            QdViolation::DisconnectedAtom(e) => {
+                write!(f, "condition 2: atom {e} occurrences disconnected")
+            }
+            QdViolation::DisconnectedVariable(v) => {
+                write!(f, "condition 3: variable {v} occurrences disconnected")
+            }
+        }
+    }
+}
+
+impl QueryDecomposition {
+    /// Assemble from parts (one label per node).
+    pub fn new(tree: RootedTree, labels: Vec<EdgeSet>) -> Self {
+        assert_eq!(tree.len(), labels.len(), "one label per node");
+        QueryDecomposition { tree, labels }
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> &RootedTree {
+        &self.tree
+    }
+
+    /// The label of node `n`.
+    pub fn label(&self, n: NodeId) -> &EdgeSet {
+        &self.labels[n.index()]
+    }
+
+    /// Width: `max_p |l(p)|`.
+    pub fn width(&self) -> usize {
+        self.labels.iter().map(EdgeSet::len).max().unwrap_or(0)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Decomposition trees always contain the root.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// All Definition 3.1 violations (empty = valid).
+    pub fn violations(&self, h: &Hypergraph) -> Vec<QdViolation> {
+        let mut out = Vec::new();
+        // Conditions 1 and 2 per atom.
+        for e in h.edges() {
+            let mut members = 0usize;
+            let mut tops = 0usize;
+            for n in self.tree.nodes() {
+                if !self.labels[n.index()].contains(e) {
+                    continue;
+                }
+                members += 1;
+                let parent_in = self
+                    .tree
+                    .parent(n)
+                    .map(|p| self.labels[p.index()].contains(e))
+                    .unwrap_or(false);
+                if !parent_in {
+                    tops += 1;
+                }
+            }
+            if members == 0 {
+                out.push(QdViolation::MissingAtom(e));
+            } else if tops != 1 {
+                out.push(QdViolation::DisconnectedAtom(e));
+            }
+        }
+        // Condition 3 per variable, through var(l(p)).
+        let node_vars: Vec<VertexSet> = self
+            .tree
+            .nodes()
+            .map(|n| h.vertices_of_edges(&self.labels[n.index()]))
+            .collect();
+        for v in h.vertices() {
+            let mut members = 0usize;
+            let mut tops = 0usize;
+            for n in self.tree.nodes() {
+                if !node_vars[n.index()].contains(v) {
+                    continue;
+                }
+                members += 1;
+                let parent_in = self
+                    .tree
+                    .parent(n)
+                    .map(|p| node_vars[p.index()].contains(v))
+                    .unwrap_or(false);
+                if !parent_in {
+                    tops += 1;
+                }
+            }
+            if members > 0 && tops != 1 {
+                out.push(QdViolation::DisconnectedVariable(v));
+            }
+        }
+        out
+    }
+
+    /// `Ok(())` iff this is a valid pure query decomposition of `h`.
+    pub fn validate(&self, h: &Hypergraph) -> Result<(), Vec<QdViolation>> {
+        let v = self.violations(h);
+        if v.is_empty() {
+            Ok(())
+        } else {
+            Err(v)
+        }
+    }
+
+    /// Render with indentation, edge names per label.
+    pub fn display(&self, h: &Hypergraph) -> String {
+        let mut out = String::new();
+        for n in self.tree.pre_order() {
+            let indent = "  ".repeat(self.tree.depth(n));
+            out.push_str(&format!(
+                "{indent}{}\n",
+                h.display_edge_set(&self.labels[n.index()])
+            ));
+        }
+        out
+    }
+}
+
+/// The search ran out of its step budget before reaching a verdict.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BudgetExceeded;
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query-width search exceeded its step budget")
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// Decide `qw(h) ≤ k` exactly, within `budget` candidate-label
+/// evaluations. Returns a validated witness on success, `Ok(None)` when no
+/// width-`≤ k` pure decomposition exists, and `Err(BudgetExceeded)` if the
+/// (worst-case exponential, Theorem 3.4) search was cut off.
+pub fn decide_qw(
+    h: &Hypergraph,
+    k: usize,
+    budget: u64,
+) -> Result<Option<QueryDecomposition>, BudgetExceeded> {
+    assert!(k >= 1, "query width is only defined for k ≥ 1");
+    let mut s = Searcher {
+        h,
+        k,
+        steps_left: budget,
+        used: h.empty_edge_set(),
+        log: Vec::new(),
+    };
+    s.solve()
+}
+
+/// The exact query width of `h`, with a per-`k` step budget.
+pub fn query_width(h: &Hypergraph, budget: u64) -> Result<usize, BudgetExceeded> {
+    if h.num_edges() == 0 {
+        return Ok(0);
+    }
+    for k in 1..=h.num_edges() {
+        if decide_qw(h, k, budget)?.is_some() {
+            return Ok(k);
+        }
+    }
+    unreachable!("the one-node decomposition with all atoms always works")
+}
+
+struct Searcher<'h> {
+    h: &'h Hypergraph,
+    k: usize,
+    steps_left: u64,
+    /// Atoms occurring in some label of the tree under construction.
+    used: EdgeSet,
+    /// Decision log: one entry per decided node
+    /// `(parent index into the log, or MAX for the root; the label)`.
+    log: Vec<(usize, EdgeSet)>,
+}
+
+/// One pending subtree to decide: a component, the parent's label (`live`
+/// atoms may be reused; its variables bound the allowed variables), and
+/// the parent's index in the decision log.
+struct Obligation {
+    comp: Component,
+    live: EdgeSet,
+    live_vars: VertexSet,
+    parent: usize,
+}
+
+impl<'h> Searcher<'h> {
+    fn charge(&mut self) -> Result<(), BudgetExceeded> {
+        if self.steps_left == 0 {
+            return Err(BudgetExceeded);
+        }
+        self.steps_left -= 1;
+        Ok(())
+    }
+
+    fn solve(&mut self) -> Result<Option<QueryDecomposition>, BudgetExceeded> {
+        let h = self.h;
+        let real_edges: Vec<EdgeId> = h
+            .edges()
+            .filter(|&e| !h.edge_vertices(e).is_empty())
+            .collect();
+        if real_edges.is_empty() {
+            return Ok(Some(self.nullary_only()));
+        }
+
+        for root_indices in subsets(real_edges.len(), self.k) {
+            self.charge()?;
+            let mut label = h.empty_edge_set();
+            let mut label_vars = h.empty_vertex_set();
+            for &i in &root_indices {
+                label.insert(real_edges[i]);
+                label_vars.union_with(h.edge_vertices(real_edges[i]));
+            }
+            debug_assert!(self.used.is_empty() && self.log.is_empty());
+            self.used.union_with(&label);
+            self.log.push((usize::MAX, label.clone()));
+            let obligations: Vec<Obligation> = components(h, &label_vars)
+                .into_iter()
+                .map(|comp| Obligation {
+                    comp,
+                    live: label.clone(),
+                    live_vars: label_vars.clone(),
+                    parent: 0,
+                })
+                .collect();
+            if self.solve_obligations(obligations)? {
+                let qd = self.materialize();
+                debug_assert_eq!(qd.validate(h), Ok(()), "search built an invalid QD");
+                debug_assert!(qd.width() <= self.k);
+                self.reset();
+                return Ok(Some(qd));
+            }
+            self.reset();
+        }
+        Ok(None)
+    }
+
+    fn reset(&mut self) {
+        self.used.clear();
+        self.log.clear();
+    }
+
+    /// All atoms are nullary: a root plus ≤ 1-atom leaf children.
+    fn nullary_only(&self) -> QueryDecomposition {
+        let h = self.h;
+        let mut tree = RootedTree::new();
+        let mut labels = vec![h.empty_edge_set()];
+        for e in h.edges() {
+            if labels[0].len() < self.k {
+                labels[0].insert(e);
+            } else {
+                tree.add_child(tree.root());
+                labels.push(EdgeSet::singleton(h.num_edges(), e));
+            }
+        }
+        QueryDecomposition::new(tree, labels)
+    }
+
+    /// Global backtracking over the pending obligations. Taking the first
+    /// obligation off the stack, every admissible label is tried; child
+    /// obligations are pushed in front of the remaining ones, so a failure
+    /// anywhere rewinds to the most recent choice point — the search
+    /// explores the full tree of decisions and is therefore complete.
+    fn solve_obligations(&mut self, mut pending: Vec<Obligation>) -> Result<bool, BudgetExceeded> {
+        let Some(ob) = pending.pop() else {
+            return Ok(true);
+        };
+        let h = self.h;
+
+        // Forced connector variables (module docs).
+        let mut forced = h.empty_vertex_set();
+        for e in &ob.comp.edges {
+            let mut shared = h.edge_vertices(e).clone();
+            shared.intersect_with(&ob.live_vars);
+            forced.union_with(&shared);
+        }
+
+        // Candidate atoms: var(A) ⊆ C ∪ live_vars (single-ownership is
+        // re-checked per candidate because `used` evolves).
+        let mut allowed_universe = ob.comp.vertices.clone();
+        allowed_universe.union_with(&ob.live_vars);
+        let pool: Vec<EdgeId> = h
+            .edges()
+            .filter(|&e| {
+                let vars = h.edge_vertices(e);
+                !vars.is_empty() && vars.is_subset_of(&allowed_universe)
+            })
+            .collect();
+
+        for indices in subsets(pool.len(), self.k) {
+            self.charge()?;
+            let mut label = h.empty_edge_set();
+            let mut label_vars = h.empty_vertex_set();
+            for &i in &indices {
+                label.insert(pool[i]);
+                label_vars.union_with(h.edge_vertices(pool[i]));
+            }
+            if !forced.is_subset_of(&label_vars) {
+                continue;
+            }
+            if !label_vars.intersects(&ob.comp.vertices) {
+                continue;
+            }
+            // Single-ownership: non-live label atoms must be unused.
+            let fresh = label.difference(&ob.live);
+            if fresh.intersects(&self.used) {
+                continue;
+            }
+            self.used.union_with(&fresh);
+
+            let node = self.log.len();
+            self.log.push((ob.parent, label.clone()));
+
+            let mut next: Vec<Obligation> = pending
+                .iter()
+                .map(|o| Obligation {
+                    comp: o.comp.clone(),
+                    live: o.live.clone(),
+                    live_vars: o.live_vars.clone(),
+                    parent: o.parent,
+                })
+                .collect();
+            for comp in components_within(h, &label_vars, &ob.comp.vertices) {
+                next.push(Obligation {
+                    comp,
+                    live: label.clone(),
+                    live_vars: label_vars.clone(),
+                    parent: node,
+                });
+            }
+            if self.solve_obligations(next)? {
+                return Ok(true);
+            }
+
+            // Rewind this decision.
+            self.log.pop();
+            self.used.difference_with(&fresh);
+        }
+        Ok(false)
+    }
+
+    /// Build the decomposition from the decision log. Atoms that never
+    /// made it into a label are attached as single-atom leaf children of a
+    /// node whose label-variables subsume them — such a node always exists
+    /// (an atom's variables are fully covered exactly when it drops out of
+    /// every child component; see the module docs), and a fresh leaf keeps
+    /// both connectedness conditions intact.
+    fn materialize(&self) -> QueryDecomposition {
+        let h = self.h;
+        let mut tree = RootedTree::new();
+        let mut labels: Vec<EdgeSet> = vec![self.log[0].1.clone()];
+        let mut node_of = vec![tree.root(); self.log.len()];
+        // Log entries were pushed parents-first, so a single pass works.
+        for (i, (parent, label)) in self.log.iter().enumerate().skip(1) {
+            let n = tree.add_child(node_of[*parent]);
+            debug_assert_eq!(n.index(), labels.len());
+            labels.push(label.clone());
+            node_of[i] = n;
+        }
+        let label_vars: Vec<VertexSet> = self
+            .log
+            .iter()
+            .map(|(_, l)| h.vertices_of_edges(l))
+            .collect();
+        for e in h.edges() {
+            if self.used.contains(e) {
+                continue;
+            }
+            let host = (0..self.log.len())
+                .find(|&i| h.edge_vertices(e).is_subset_of(&label_vars[i]))
+                .expect("every unused atom is covered by some chosen label");
+            let l = tree.add_child(node_of[host]);
+            debug_assert_eq!(l.index(), labels.len());
+            labels.push(EdgeSet::singleton(h.num_edges(), e));
+        }
+        QueryDecomposition::new(tree, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BUDGET: u64 = 50_000_000;
+
+    fn q1() -> Hypergraph {
+        let mut b = Hypergraph::builder();
+        b.edge_by_names("enrolled", &["S", "C", "R"]);
+        b.edge_by_names("teaches", &["P", "C", "A"]);
+        b.edge_by_names("parent", &["P", "S"]);
+        b.build()
+    }
+
+    /// Q4 of Example 3.2: s(Y,Z,U), g(X,Y), t(Z,X), s'(Z,W,X), t'(Y,Z).
+    fn q4() -> Hypergraph {
+        let mut b = Hypergraph::builder();
+        b.edge_by_names("s1", &["Y", "Z", "U"]);
+        b.edge_by_names("g", &["X", "Y"]);
+        b.edge_by_names("t1", &["Z", "X"]);
+        b.edge_by_names("s2", &["Z", "W", "X"]);
+        b.edge_by_names("t2", &["Y", "Z"]);
+        b.build()
+    }
+
+    fn q5() -> Hypergraph {
+        let mut b = Hypergraph::builder();
+        b.edge_by_names("a", &["S", "X", "Xp", "C", "F"]);
+        b.edge_by_names("b", &["S", "Y", "Yp", "Cp", "Fp"]);
+        b.edge_by_names("c", &["C", "Cp", "Z"]);
+        b.edge_by_names("d", &["X", "Z"]);
+        b.edge_by_names("e", &["Y", "Z"]);
+        b.edge_by_names("f", &["F", "Fp", "Zp"]);
+        b.edge_by_names("g", &["Xp", "Zp"]);
+        b.edge_by_names("h", &["Yp", "Zp"]);
+        b.edge_by_names("j", &["J", "X", "Y", "Xp", "Yp"]);
+        b.build()
+    }
+
+    #[test]
+    fn acyclic_queries_have_query_width_1() {
+        // Q2 of Example 1.1 (qw = 1 iff acyclic).
+        let mut b = Hypergraph::builder();
+        b.edge_by_names("t", &["P", "C", "A"]);
+        b.edge_by_names("e", &["S", "Cp", "R"]);
+        b.edge_by_names("p", &["P", "S"]);
+        let h = b.build();
+        let qd = decide_qw(&h, 1, BUDGET).unwrap().expect("Q2 has qw 1");
+        assert_eq!(qd.validate(&h), Ok(()));
+        assert_eq!(qd.width(), 1);
+        assert_eq!(query_width(&h, BUDGET), Ok(1));
+    }
+
+    #[test]
+    fn q1_has_query_width_2() {
+        // Fig. 2 exhibits a width-2 decomposition; Q1 is cyclic so qw ≥ 2.
+        let h = q1();
+        assert!(decide_qw(&h, 1, BUDGET).unwrap().is_none());
+        let qd = decide_qw(&h, 2, BUDGET).unwrap().expect("Fig. 2 width");
+        assert_eq!(qd.validate(&h), Ok(()));
+        assert_eq!(query_width(&h, BUDGET), Ok(2));
+    }
+
+    #[test]
+    fn q4_has_query_width_2() {
+        // Example 3.2: "Q4 is a cyclic query, and its query-width equals 2."
+        let h = q4();
+        assert_eq!(query_width(&h, BUDGET), Ok(2));
+    }
+
+    #[test]
+    fn q5_has_query_width_3() {
+        // §3.3: "The query-width of Q5 is 3" — in particular no width-2
+        // decomposition exists, which Theorem 6.1(b) leans on.
+        let h = q5();
+        assert!(decide_qw(&h, 2, BUDGET).unwrap().is_none(), "qw(Q5) > 2");
+        let qd = decide_qw(&h, 3, BUDGET).unwrap().expect("qw(Q5) = 3");
+        assert_eq!(qd.validate(&h), Ok(()));
+        assert_eq!(query_width(&h, BUDGET), Ok(3));
+    }
+
+    #[test]
+    fn fig2_decomposition_validates() {
+        // Fig. 2: root {enrolled, teaches}, child {enrolled, parent}.
+        let h = q1();
+        let mut tree = RootedTree::new();
+        tree.add_child(tree.root());
+        let mut root = h.empty_edge_set();
+        root.insert(h.edge_by_name("enrolled").unwrap());
+        root.insert(h.edge_by_name("teaches").unwrap());
+        let mut child = h.empty_edge_set();
+        child.insert(h.edge_by_name("enrolled").unwrap());
+        child.insert(h.edge_by_name("parent").unwrap());
+        let qd = QueryDecomposition::new(tree, vec![root, child]);
+        assert_eq!(qd.validate(&h), Ok(()));
+        assert_eq!(qd.width(), 2);
+    }
+
+    #[test]
+    fn validator_rejects_bad_trees() {
+        let h = q1();
+        // Missing atom.
+        let mut label = h.empty_edge_set();
+        label.insert(h.edge_by_name("enrolled").unwrap());
+        let qd = QueryDecomposition::new(RootedTree::new(), vec![label]);
+        assert!(qd
+            .violations(&h)
+            .iter()
+            .any(|v| matches!(v, QdViolation::MissingAtom(_))));
+
+        // Disconnected atom occurrences: enrolled at both leaves of a
+        // 3-chain whose middle drops it.
+        let mut tree = RootedTree::new();
+        let mid = tree.add_child(tree.root());
+        tree.add_child(mid);
+        let e = h.edge_by_name("enrolled").unwrap();
+        let t = h.edge_by_name("teaches").unwrap();
+        let p = h.edge_by_name("parent").unwrap();
+        let mk = |edges: &[hypergraph::EdgeId]| {
+            let mut s = h.empty_edge_set();
+            for &x in edges {
+                s.insert(x);
+            }
+            s
+        };
+        let qd = QueryDecomposition::new(tree, vec![mk(&[e]), mk(&[t]), mk(&[e, p])]);
+        assert!(qd
+            .violations(&h)
+            .iter()
+            .any(|v| matches!(v, QdViolation::DisconnectedAtom(_))));
+    }
+
+    #[test]
+    fn query_width_bounds_hypertree_width() {
+        // Theorem 6.1(a): hw ≤ qw on a zoo of small hypergraphs.
+        let zoo: Vec<Vec<Vec<usize>>> = vec![
+            vec![vec![0, 1], vec![1, 2], vec![0, 2]],
+            vec![vec![0, 1, 2], vec![2, 3], vec![3, 0]],
+            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 0]],
+            vec![vec![0, 1], vec![0, 2], vec![0, 3]],
+        ];
+        for edges in zoo {
+            let slices: Vec<&[usize]> = edges.iter().map(|e| e.as_slice()).collect();
+            let max_v = edges.iter().flatten().max().map(|&m| m + 1).unwrap_or(0);
+            let h = Hypergraph::from_edge_lists(max_v, &slices);
+            let qw = query_width(&h, BUDGET).unwrap();
+            let hw = crate::opt::hypertree_width(&h);
+            assert!(hw <= qw, "hw {hw} > qw {qw} on {edges:?}");
+            // And the Theorem 6.1(a) conversion really is an HD of width qw.
+            let qd = decide_qw(&h, qw, BUDGET).unwrap().unwrap();
+            let hd = crate::opt::from_query_decomposition(&h, &qd);
+            assert_eq!(hd.validate(&h), Ok(()));
+            assert!(hd.width() <= qw);
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reports() {
+        let h = q5();
+        assert_eq!(decide_qw(&h, 2, 3), Err(BudgetExceeded));
+    }
+
+    #[test]
+    fn nullary_and_empty() {
+        let empty = Hypergraph::from_edge_lists(0, &[]);
+        assert_eq!(query_width(&empty, BUDGET), Ok(0));
+        let nullary = Hypergraph::from_edge_lists(1, &[&[], &[]]);
+        let qd = decide_qw(&nullary, 1, BUDGET).unwrap().unwrap();
+        assert_eq!(qd.validate(&nullary), Ok(()));
+    }
+}

@@ -1,0 +1,95 @@
+//! Enumeration of small edge subsets, shared by the decomposition solvers.
+
+/// Iterates over all subsets of `{0..n}` of size `1..=k`, by increasing
+/// size and lexicographically within a size.
+pub struct SubsetIter {
+    n: usize,
+    k: usize,
+    size: usize,
+    indices: Vec<usize>,
+    started: bool,
+}
+
+/// All subsets of `{0..n}` of size `1..=k` (k is clamped to n).
+pub fn subsets(n: usize, k: usize) -> SubsetIter {
+    SubsetIter {
+        n,
+        k: k.min(n),
+        size: 1,
+        indices: vec![0],
+        started: false,
+    }
+}
+
+impl Iterator for SubsetIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.n == 0 || self.k == 0 {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return Some(self.indices.clone());
+        }
+        // Advance the current combination of `size` elements.
+        let s = self.size;
+        let mut i = s;
+        while i > 0 {
+            i -= 1;
+            if self.indices[i] < self.n - (s - i) {
+                self.indices[i] += 1;
+                for j in i + 1..s {
+                    self.indices[j] = self.indices[j - 1] + 1;
+                }
+                return Some(self.indices.clone());
+            }
+        }
+        // Move to the next size.
+        if self.size < self.k {
+            self.size += 1;
+            self.indices = (0..self.size).collect();
+            return Some(self.indices.clone());
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_binomials() {
+        assert_eq!(subsets(4, 2).count(), 4 + 6);
+        assert_eq!(subsets(5, 3).count(), 5 + 10 + 10);
+        assert_eq!(subsets(0, 3).count(), 0);
+        assert_eq!(subsets(3, 0).count(), 0);
+        assert_eq!(subsets(3, 7).count(), 7, "k clamps to n");
+    }
+
+    #[test]
+    fn ordered_smallest_first() {
+        let all: Vec<_> = subsets(3, 2).collect();
+        assert_eq!(
+            all,
+            vec![
+                vec![0],
+                vec![1],
+                vec![2],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 2]
+            ]
+        );
+    }
+
+    #[test]
+    fn no_duplicates() {
+        let all: Vec<_> = subsets(6, 3).collect();
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(all.len(), dedup.len());
+    }
+}

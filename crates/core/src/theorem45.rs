@@ -1,0 +1,254 @@
+//! The constructive content of Theorem 4.5: *a conjunctive query is
+//! acyclic iff `hw(Q) = 1`* — in the "if" direction, a width-1 hypertree
+//! decomposition is rewritten into an actual join tree, following the
+//! proof: complete the decomposition (every λ is then a singleton `{A}`
+//! with `χ = var(A)` at its canonical node `v(A)`), redirect the children
+//! of every duplicate node to the canonical one, and read the remaining
+//! tree as a join tree.
+//!
+//! Together with GYO ([`hypergraph::acyclic`]) this closes the loop: GYO
+//! certifies acyclicity with a join tree, `k-decomp` at `k = 1` certifies
+//! it with a decomposition, and this module converts between the two —
+//! each converted artifact is checked by the other side's validator in the
+//! tests.
+
+use crate::hypertree::HypertreeDecomposition;
+use hypergraph::{EdgeId, Hypergraph, Ix, JoinTree, NodeId, RootedTree};
+
+/// Convert a width-1 hypertree decomposition of `h` into a join tree
+/// (the "if" direction of Theorem 4.5). Panics if `hd` is not a valid
+/// width-≤1 decomposition; returns `None` when `h` has no edges (join
+/// trees need at least one atom).
+pub fn join_tree_of_width1(h: &Hypergraph, hd: &HypertreeDecomposition) -> Option<JoinTree> {
+    assert!(hd.width() <= 1, "Theorem 4.5 needs a width-1 decomposition");
+    assert_eq!(hd.validate(h), Ok(()), "input must be a valid decomposition");
+    if h.num_edges() == 0 {
+        return None;
+    }
+
+    // Completion: afterwards every atom A sits on some node with
+    // λ = {A}; since the width is 1 and χ ⊆ var(λ), nodes carrying A in λ
+    // and covering var(A) in χ have χ = var(A) exactly.
+    let complete = hd.complete(h);
+    let tree = complete.tree();
+
+    // Mutable arena over the completed tree.
+    let n = complete.len();
+    let mut children: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            tree.children(NodeId::new(i))
+                .iter()
+                .map(|c| c.index())
+                .collect()
+        })
+        .collect();
+    let mut parent: Vec<Option<usize>> = (0..n)
+        .map(|i| tree.parent(NodeId::new(i)).map(|p| p.index()))
+        .collect();
+    let atom_of: Vec<Option<EdgeId>> = (0..n)
+        .map(|i| complete.lambda(NodeId::new(i)).first())
+        .collect();
+
+    let depth = |parent: &Vec<Option<usize>>, mut v: usize| -> usize {
+        let mut d = 0;
+        while let Some(p) = parent[v] {
+            d += 1;
+            v = p;
+        }
+        d
+    };
+
+    let mut alive = vec![true; n];
+    let mut root = 0usize;
+
+    // Pre-pass: delete λ-empty nodes (condition 3 forces χ = ∅ there, so
+    // no variable connects through them; their child subtrees are
+    // variable-disjoint and may be stitched anywhere).
+    for v in 0..n {
+        if atom_of[v].is_some() {
+            continue;
+        }
+        let kids = std::mem::take(&mut children[v]);
+        alive[v] = false;
+        match parent[v] {
+            Some(p) => {
+                children[p].retain(|&c| c != v);
+                for &c in &kids {
+                    parent[c] = Some(p);
+                }
+                children[p].extend(kids);
+            }
+            None => {
+                // v is the current root: promote the first child, hang the
+                // rest under it. A valid decomposition of a hypergraph
+                // with edges has at least one atom-carrying node.
+                let mut kids = kids.into_iter();
+                let new_root = kids.next().expect("edges exist, so nodes remain");
+                parent[new_root] = None;
+                root = new_root;
+                for c in kids {
+                    parent[c] = Some(new_root);
+                    children[new_root].push(c);
+                }
+            }
+        }
+    }
+
+    // Canonical node per atom: the topmost node with λ = {A} and
+    // χ = var(A) (ties broken by id). For the root, condition 4 forces
+    // χ = var(λ), so the root is always canonical for its atom; more
+    // generally a canonical target is never a proper descendant of the
+    // node merged into it (topmost-ness), so no cycles can form.
+    let mut canonical: Vec<Option<usize>> = vec![None; h.num_edges()];
+    for v in 0..n {
+        if !alive[v] {
+            continue;
+        }
+        let Some(a) = atom_of[v] else { continue };
+        if complete.chi(NodeId::new(v)) != h.edge_vertices(a) {
+            continue;
+        }
+        match canonical[a.index()] {
+            None => canonical[a.index()] = Some(v),
+            Some(best) => {
+                if depth(&parent, v) < depth(&parent, best) {
+                    canonical[a.index()] = Some(v);
+                }
+            }
+        }
+    }
+
+    // Merge every other atom-carrying node into its atom's canonical node
+    // (nodes with χ ⊊ var(A) merge there too: their χ is contained in the
+    // canonical node's χ, so connectedness survives the rewiring).
+    for v in 0..n {
+        if !alive[v] {
+            continue;
+        }
+        let a = atom_of[v].expect("empty nodes were removed");
+        let target = canonical[a.index()].expect("completion placed every atom");
+        if target == v {
+            continue;
+        }
+        let kids = std::mem::take(&mut children[v]);
+        for &c in &kids {
+            parent[c] = Some(target);
+        }
+        children[target].extend(kids);
+        match parent[v] {
+            Some(p) => children[p].retain(|&c| c != v),
+            None => {
+                // v was the root; the canonical node (topmost for the
+                // root's atom) must be the root itself, so this branch is
+                // unreachable — keep it as a hard error.
+                unreachable!("the root is canonical for its own atom");
+            }
+        }
+        alive[v] = false;
+    }
+
+    // Walk up to the surviving root (alive nodes always have alive
+    // parents: deletions re-home children immediately).
+    while let Some(p) = parent[root] {
+        debug_assert!(alive[p]);
+        root = p;
+    }
+    if !alive[root] {
+        root = canonical.iter().flatten().copied().next()?;
+        while let Some(p) = parent[root] {
+            root = p;
+        }
+    }
+
+    // Rebuild as a JoinTree.
+    let mut out_tree = RootedTree::new();
+    let mut node_edge = vec![atom_of[root].expect("canonical nodes carry an atom")];
+    let mut stack = vec![(out_tree.root(), root)];
+    while let Some((node, old)) = stack.pop() {
+        for &c in &children[old] {
+            debug_assert!(alive[c]);
+            let child = out_tree.add_child(node);
+            node_edge.push(atom_of[c].expect("canonical nodes carry an atom"));
+            debug_assert_eq!(node_edge.len(), child.index() + 1);
+            stack.push((child, c));
+        }
+    }
+    let jt = JoinTree::new(out_tree, node_edge);
+    debug_assert_eq!(jt.validate(h), Ok(()), "Theorem 4.5 construction failed");
+    Some(jt)
+}
+
+/// The "only if" direction of Theorem 4.5: a join tree *is* a width-1
+/// hypertree decomposition with `λ(p) = {A_p}`, `χ(p) = var(A_p)`.
+pub fn width1_of_join_tree(h: &Hypergraph, jt: &JoinTree) -> HypertreeDecomposition {
+    let tree = jt.tree().clone();
+    let mut chi = Vec::with_capacity(tree.len());
+    let mut lambda = Vec::with_capacity(tree.len());
+    for node in tree.nodes() {
+        let e = jt.edge_at(node);
+        chi.push(h.edge_vertices(e).clone());
+        lambda.push(hypergraph::EdgeSet::singleton(h.num_edges(), e));
+    }
+    let hd = HypertreeDecomposition::new(tree, chi, lambda);
+    debug_assert_eq!(hd.validate(h), Ok(()));
+    hd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kdecomp::{decompose, CandidateMode};
+    use hypergraph::acyclic;
+
+    fn q2() -> Hypergraph {
+        let mut b = Hypergraph::builder();
+        b.edge_by_names("t", &["P", "C", "A"]);
+        b.edge_by_names("e", &["S", "Cp", "R"]);
+        b.edge_by_names("p", &["P", "S"]);
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_on_q2() {
+        let h = q2();
+        // GYO join tree → width-1 HD → join tree again.
+        let jt = acyclic::join_tree(&h).unwrap();
+        let hd = width1_of_join_tree(&h, &jt);
+        assert_eq!(hd.width(), 1);
+        let jt2 = join_tree_of_width1(&h, &hd).unwrap();
+        assert_eq!(jt2.validate(&h), Ok(()));
+    }
+
+    #[test]
+    fn kdecomp_witness_converts_to_join_tree() {
+        for edges in [
+            vec![vec![0usize, 1], vec![1, 2], vec![2, 3]],
+            vec![vec![0, 1, 2], vec![1, 2], vec![2], vec![2, 3]],
+            vec![vec![0, 1], vec![2, 3]],
+            vec![vec![0, 1], vec![0, 1], vec![1, 2]],
+        ] {
+            let slices: Vec<&[usize]> = edges.iter().map(|e| e.as_slice()).collect();
+            let max_v = edges.iter().flatten().max().map(|&m| m + 1).unwrap();
+            let h = Hypergraph::from_edge_lists(max_v, &slices);
+            let hd = decompose(&h, 1, CandidateMode::Full).expect("acyclic");
+            let jt = join_tree_of_width1(&h, &hd).expect("edges exist");
+            assert_eq!(jt.validate(&h), Ok(()), "on {edges:?}");
+            assert_eq!(jt.len(), h.num_edges());
+        }
+    }
+
+    #[test]
+    fn empty_hypergraph_has_no_join_tree() {
+        let h = Hypergraph::from_edge_lists(0, &[]);
+        let hd = decompose(&h, 1, CandidateMode::Full).unwrap();
+        assert!(join_tree_of_width1(&h, &hd).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "width-1")]
+    fn width2_inputs_are_rejected() {
+        let triangle = Hypergraph::from_edge_lists(3, &[&[0, 1], &[1, 2], &[0, 2]]);
+        let hd = decompose(&triangle, 2, CandidateMode::Full).unwrap();
+        join_tree_of_width1(&triangle, &hd);
+    }
+}

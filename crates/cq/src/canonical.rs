@@ -1,0 +1,93 @@
+//! Canonical queries of hypergraphs (Definition A.2 of the paper).
+//!
+//! The canonical query `cq(H)` of a hypergraph `H` has one atom per edge,
+//! whose arguments are the edge's vertices in lexicographic (here: id)
+//! order. Theorem A.3 states that the hypertree decompositions of `H` and
+//! of `cq(H)` coincide; because [`crate::ConjunctiveQuery::hypergraph`]
+//! preserves vertex and edge indices, `cq` and `hypergraph` are mutually
+//! inverse up to naming, which the tests below pin down.
+
+use crate::query::{ConjunctiveQuery, QueryBuilder, Term};
+use hypergraph::Hypergraph;
+
+/// The canonical (Boolean) conjunctive query of a hypergraph.
+pub fn canonical_query(h: &Hypergraph) -> ConjunctiveQuery {
+    let mut b = QueryBuilder::default();
+    // Intern the variables first so ids line up with the hypergraph.
+    let vars: Vec<_> = h.vertices().map(|v| b.var(h.vertex_name(v))).collect();
+    for e in h.edges() {
+        let terms: Vec<Term> = h
+            .edge_vertices(e)
+            .iter()
+            .map(|v| Term::Var(vars[hypergraph::Ix::index(v)]))
+            .collect();
+        b.atom(h.edge_name(e).to_string(), terms);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::{EdgeId, Ix};
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let h = Hypergraph::from_edge_lists(5, &[&[0, 1, 2], &[2, 3], &[4]]);
+        let q = canonical_query(&h);
+        assert!(q.is_boolean());
+        assert_eq!(q.atoms().len(), h.num_edges());
+        let h2 = q.hypergraph();
+        assert_eq!(h2.num_vertices(), h.num_vertices());
+        assert_eq!(h2.num_edges(), h.num_edges());
+        for e in h.edges() {
+            assert_eq!(h2.edge_vertices(e), h.edge_vertices(e));
+        }
+    }
+
+    #[test]
+    fn vertex_ids_are_stable() {
+        let mut b = Hypergraph::builder();
+        b.edge_by_names("r", &["B", "A"]);
+        b.edge_by_names("s", &["A", "C"]);
+        let h = b.build();
+        let q = canonical_query(&h);
+        for v in h.vertices() {
+            assert_eq!(q.var_name(v), h.vertex_name(v));
+        }
+    }
+
+    #[test]
+    fn duplicate_vertex_names_are_tolerated() {
+        // Hypergraphs may carry duplicate names (e.g. after mechanical
+        // generation); the canonical query interns by name, so duplicates
+        // collapse onto one variable. This is intentional and documented
+        // behaviour: generators in this workspace produce unique names.
+        let mut b = Hypergraph::builder();
+        b.add_vertex("X");
+        b.add_vertex("X");
+        b.add_edge("r", &[hypergraph::VertexId(0), hypergraph::VertexId(1)]);
+        let h = b.build();
+        let q = canonical_query(&h);
+        assert_eq!(q.num_vars(), 1);
+        assert_eq!(q.atom_vars(0).len(), 1);
+    }
+
+    #[test]
+    fn empty_hypergraph() {
+        let h = Hypergraph::from_edge_lists(0, &[]);
+        let q = canonical_query(&h);
+        assert_eq!(q.atoms().len(), 0);
+        assert_eq!(q.num_vars(), 0);
+    }
+
+    #[test]
+    fn nullary_edge_becomes_nullary_atom() {
+        let h = Hypergraph::from_edge_lists(1, &[&[], &[0]]);
+        let q = canonical_query(&h);
+        assert_eq!(q.atom(0).arity(), 0);
+        assert_eq!(q.atom(1).arity(), 1);
+        assert_eq!(q.hypergraph().edge_vertices(EdgeId(0)).len(), 0);
+        let _ = EdgeId::new(0).index();
+    }
+}

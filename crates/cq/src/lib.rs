@@ -1,0 +1,31 @@
+//! Conjunctive-query front end for the hypertree-decomposition workspace.
+//!
+//! Queries are rule-based conjunctive queries in the sense of Section 2.1 of
+//! *Gottlob, Leone, Scarcello: Hypertree Decompositions and Tractable
+//! Queries*: `ans(u) ← r1(u1) ∧ … ∧ rn(un)`. The crate provides
+//!
+//! * the [`ConjunctiveQuery`] AST with interned variables,
+//! * a datalog-style parser ([`parse_query`]),
+//! * the query hypergraph `H(Q)` ([`ConjunctiveQuery::hypergraph`]) and the
+//!   canonical query `cq(H)` of a hypergraph ([`canonical_query`],
+//!   Appendix A), which are mutually inverse up to naming.
+//!
+//! # Example
+//!
+//! ```
+//! use cq::parse_query;
+//!
+//! let q = parse_query("ans :- enrolled(S,C,R), teaches(P,C,A), parent(P,S).").unwrap();
+//! assert!(q.is_boolean());
+//! assert!(!hypergraph::acyclic::is_acyclic(&q.hypergraph())); // Q1 is cyclic
+//! ```
+
+#![warn(missing_docs)]
+
+mod canonical;
+mod parser;
+mod query;
+
+pub use canonical::canonical_query;
+pub use parser::{parse_query, ParseError};
+pub use query::{Atom, ConjunctiveQuery, QueryBuilder, Term};

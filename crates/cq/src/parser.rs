@@ -1,0 +1,282 @@
+//! A hand-rolled parser for datalog-style conjunctive queries.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query := head ( ":-" | "<-" ) body "."?
+//! head  := ident [ "(" terms ")" ]
+//! body  := atom { "," atom }
+//! atom  := ident [ "(" terms ")" ]
+//! terms := term { "," term }
+//! term  := VARIABLE | NATURAL
+//! ```
+//!
+//! Identifiers match `[A-Za-z_][A-Za-z0-9_']*`; a term starting with an
+//! uppercase letter or `_` is a variable (the trailing `'` supports the
+//! paper's primed variables like `X'`), and natural numbers are constants.
+//! Lowercase terms are rejected with a hint: symbolic constants must be
+//! encoded as numbers so that query constants and database values live in
+//! the same domain.
+
+use crate::query::{Atom, ConjunctiveQuery, QueryBuilder, Term};
+use std::fmt;
+
+/// A parse error with byte position and message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where the error was detected.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a conjunctive query, e.g.
+/// `ans(S) :- enrolled(S,C,R), teaches(P,C,A), parent(P,S).`
+pub fn parse_query(input: &str) -> Result<ConjunctiveQuery, ParseError> {
+    Parser::new(input).query()
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+#[derive(Debug, PartialEq)]
+enum RawTerm {
+    Var(String),
+    Const(u64),
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input, pos: 0 }
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            position: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn rest(&self) -> &str {
+        &self.input[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let mut chars = rest.char_indices();
+        match chars.next() {
+            Some((_, c)) if c.is_ascii_alphabetic() || c == '_' => {}
+            _ => return self.error("expected an identifier"),
+        }
+        let end = rest
+            .char_indices()
+            .find(|&(_, c)| !(c.is_ascii_alphanumeric() || c == '_' || c == '\''))
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        let name = rest[..end].to_string();
+        self.pos += end;
+        Ok(name)
+    }
+
+    fn number(&mut self) -> Result<u64, ParseError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|&(_, c)| !c.is_ascii_digit())
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return self.error("expected a number");
+        }
+        let value: u64 = rest[..end]
+            .parse()
+            .map_err(|_| ParseError {
+                position: self.pos,
+                message: "number too large for u64".to_string(),
+            })?;
+        self.pos += end;
+        Ok(value)
+    }
+
+    fn term(&mut self) -> Result<RawTerm, ParseError> {
+        self.skip_ws();
+        match self.rest().chars().next() {
+            Some(c) if c.is_ascii_digit() => Ok(RawTerm::Const(self.number()?)),
+            Some(c) if c.is_ascii_uppercase() || c == '_' => Ok(RawTerm::Var(self.ident()?)),
+            Some(c) if c.is_ascii_lowercase() => self.error(
+                "lowercase terms are not supported: encode symbolic constants as numbers",
+            ),
+            _ => self.error("expected a term (variable or number)"),
+        }
+    }
+
+    fn atom(&mut self) -> Result<(String, Vec<RawTerm>), ParseError> {
+        let predicate = self.ident()?;
+        let mut terms = Vec::new();
+        if self.eat("(")
+            && !self.eat(")") {
+                loop {
+                    terms.push(self.term()?);
+                    if self.eat(")") {
+                        break;
+                    }
+                    if !self.eat(",") {
+                        return self.error("expected ',' or ')' in argument list");
+                    }
+                }
+            }
+        Ok((predicate, terms))
+    }
+
+    fn query(&mut self) -> Result<ConjunctiveQuery, ParseError> {
+        let (head_name, head_terms) = self.atom()?;
+        if !self.eat(":-") && !self.eat("<-") {
+            return self.error("expected ':-' or '<-' after the head");
+        }
+        let mut body = Vec::new();
+        loop {
+            body.push(self.atom()?);
+            if !self.eat(",") {
+                break;
+            }
+        }
+        self.eat(".");
+        self.skip_ws();
+        if !self.rest().is_empty() {
+            return self.error("trailing input after the query");
+        }
+
+        // Intern head variables first so their ids follow head order, then
+        // the body. The head may only use variables that appear in the body
+        // (checked by QueryBuilder::build).
+        let mut b = QueryBuilder::default();
+        let to_terms = |b: &mut QueryBuilder, raw: Vec<RawTerm>| -> Vec<Term> {
+            raw.into_iter()
+                .map(|t| match t {
+                    RawTerm::Var(name) => Term::Var(b.var(&name)),
+                    RawTerm::Const(c) => Term::Const(c),
+                })
+                .collect()
+        };
+        let head = to_terms(&mut b, head_terms);
+        let body_atoms: Vec<Atom> = body
+            .into_iter()
+            .map(|(predicate, raw)| Atom {
+                terms: to_terms(&mut b, raw),
+                predicate,
+            })
+            .collect();
+        for atom in body_atoms {
+            b.atom(atom.predicate, atom.terms);
+        }
+        b.head_raw(head_name, head);
+        let q = b.try_build().map_err(|message| ParseError {
+            position: self.pos,
+            message,
+        })?;
+        Ok(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_q1() {
+        let q = parse_query("ans :- enrolled(S,C,R), teaches(P,C,A), parent(P,S).").unwrap();
+        assert_eq!(q.atoms().len(), 3);
+        assert_eq!(q.num_vars(), 5);
+        assert!(q.is_boolean());
+    }
+
+    #[test]
+    fn parses_arrow_syntax_and_no_dot() {
+        let q = parse_query("ans(X) <- r(X, Y), s(Y)").unwrap();
+        assert_eq!(q.head_vars().len(), 1);
+        assert_eq!(q.to_string(), "ans(X) :- r(X,Y), s(Y).");
+    }
+
+    #[test]
+    fn roundtrips_display() {
+        let text = "ans(S,C) :- enrolled(S,C,R), teaches(P,C,A), parent(P,S).";
+        let q = parse_query(text).unwrap();
+        let q2 = parse_query(&q.to_string()).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn parses_constants_and_primes() {
+        let q = parse_query("ans :- r(X', 42, X'), s(_U).").unwrap();
+        assert_eq!(q.num_vars(), 2);
+        assert!(q.var_by_name("X'").is_some());
+        assert!(q.var_by_name("_U").is_some());
+        assert_eq!(q.atom(0).terms[1], Term::Const(42));
+    }
+
+    #[test]
+    fn parses_nullary_atoms() {
+        let q = parse_query("ans :- flag, r(X).").unwrap();
+        assert_eq!(q.atom(0).arity(), 0);
+        let q2 = parse_query("ans :- flag(), r(X).").unwrap();
+        assert_eq!(q2.atom(0).arity(), 0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("ans").is_err());
+        assert!(parse_query("ans :- r(X").is_err());
+        assert!(parse_query("ans :- r(X,)").is_err());
+        assert!(parse_query("ans :- r(X). trailing").is_err());
+        assert!(parse_query("ans : - r(X)").is_err());
+        assert!(parse_query("1ans :- r(X)").is_err());
+    }
+
+    #[test]
+    fn rejects_lowercase_terms_with_hint() {
+        let err = parse_query("ans :- r(x).").unwrap_err();
+        assert!(err.message.contains("symbolic constants"));
+        assert!(err.to_string().contains("parse error at byte"));
+    }
+
+    #[test]
+    fn rejects_unsafe_heads() {
+        let err = parse_query("ans(Z) :- r(X).").unwrap_err();
+        assert!(err.message.contains("head variable"));
+    }
+
+    #[test]
+    fn head_variable_ids_come_first() {
+        let q = parse_query("ans(B, A) :- r(A, B, C).").unwrap();
+        assert_eq!(q.var_name(hypergraph::VertexId(0)), "B");
+        assert_eq!(q.var_name(hypergraph::VertexId(1)), "A");
+    }
+}

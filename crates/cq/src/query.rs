@@ -1,0 +1,383 @@
+//! Conjunctive queries as datalog rules (Section 2.1 of the paper).
+//!
+//! A conjunctive query `Q: ans(u) ← r1(u1) ∧ … ∧ rn(un)` is stored with its
+//! variables interned: variable `i` of the query is vertex `i` of the query
+//! hypergraph `H(Q)`, so decompositions computed on the hypergraph can be
+//! read back against the query without translation tables.
+
+use hypergraph::{Hypergraph, Ix, VertexId, VertexSet};
+use std::fmt;
+
+/// A term: an interned variable or an integer constant.
+///
+/// The paper restricts attention to constant-free Boolean queries; constants
+/// are supported end-to-end here because the evaluation engine handles them
+/// with a selection, but the decomposition theory only ever sees `var(A)`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A query variable (indexes the query's variable table).
+    Var(VertexId),
+    /// An integer constant.
+    Const(u64),
+}
+
+/// An atom `r(t1, …, tk)` in the body of a query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Atom {
+    /// Relation name.
+    pub predicate: String,
+    /// Argument terms, in relation-schema order.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// The distinct variables of the atom, in first-occurrence order.
+    pub fn variables(&self) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        for t in &self.terms {
+            if let Term::Var(v) = t {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+}
+
+/// A conjunctive query: interned variables, a head, and a body of atoms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    var_names: Vec<String>,
+    head_name: String,
+    head: Vec<Term>,
+    atoms: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// Start building a query (head defaults to the Boolean head `ans`).
+    pub fn builder() -> QueryBuilder {
+        QueryBuilder::default()
+    }
+
+    /// Number of interned variables, `|var(Q)|`.
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// Name of a variable.
+    pub fn var_name(&self, v: VertexId) -> &str {
+        &self.var_names[v.index()]
+    }
+
+    /// Look up a variable by name.
+    pub fn var_by_name(&self, name: &str) -> Option<VertexId> {
+        self.var_names
+            .iter()
+            .position(|n| n == name)
+            .map(VertexId::new)
+    }
+
+    /// The atoms of the body, `atoms(Q)`.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// The i-th atom of the body.
+    pub fn atom(&self, i: usize) -> &Atom {
+        &self.atoms[i]
+    }
+
+    /// Head predicate name (`ans` by convention).
+    pub fn head_name(&self) -> &str {
+        &self.head_name
+    }
+
+    /// Head terms.
+    pub fn head(&self) -> &[Term] {
+        &self.head
+    }
+
+    /// The distinct head variables in first-occurrence order (the output
+    /// schema of a non-Boolean query).
+    pub fn head_vars(&self) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        for t in &self.head {
+            if let Term::Var(v) = t {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+        }
+        out
+    }
+
+    /// `true` iff the head is variable-free (a Boolean conjunctive query).
+    pub fn is_boolean(&self) -> bool {
+        self.head_vars().is_empty()
+    }
+
+    /// `var(A)` for the i-th atom, as a vertex set over `var(Q)`.
+    pub fn atom_vars(&self, i: usize) -> VertexSet {
+        let mut s = VertexSet::empty(self.num_vars());
+        for t in &self.atoms[i].terms {
+            if let Term::Var(v) = t {
+                s.insert(*v);
+            }
+        }
+        s
+    }
+
+    /// The query hypergraph `H(Q)` (§2.1): vertices are the variables of
+    /// `Q`, and every atom `A` contributes the hyperedge `var(A)`.
+    /// Vertex `i` of the hypergraph is variable `i` of the query, and edge
+    /// `j` is atom `j`.
+    pub fn hypergraph(&self) -> Hypergraph {
+        let mut b = Hypergraph::builder();
+        for name in &self.var_names {
+            b.add_vertex(name.clone());
+        }
+        for (i, atom) in self.atoms.iter().enumerate() {
+            let vars = atom.variables();
+            // Disambiguate repeated predicate names so edges stay addressable.
+            let count_before = self.atoms[..i]
+                .iter()
+                .filter(|a| a.predicate == atom.predicate)
+                .count();
+            let name = if count_before == 0
+                && self.atoms[i + 1..]
+                    .iter()
+                    .all(|a| a.predicate != atom.predicate)
+            {
+                atom.predicate.clone()
+            } else {
+                format!("{}#{}", atom.predicate, count_before)
+            };
+            b.add_edge(name, &vars);
+        }
+        b.build()
+    }
+
+    /// Render a single atom.
+    pub fn display_atom(&self, i: usize) -> String {
+        self.render_atom(&self.atoms[i])
+    }
+
+    fn render_atom(&self, atom: &Atom) -> String {
+        if atom.terms.is_empty() {
+            return atom.predicate.clone();
+        }
+        let args: Vec<String> = atom
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => self.var_name(*v).to_string(),
+                Term::Const(c) => c.to_string(),
+            })
+            .collect();
+        format!("{}({})", atom.predicate, args.join(","))
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let head_atom = Atom {
+            predicate: self.head_name.clone(),
+            terms: self.head.clone(),
+        };
+        write!(f, "{} :- ", self.render_atom(&head_atom))?;
+        let body: Vec<String> = self.atoms.iter().map(|a| self.render_atom(a)).collect();
+        write!(f, "{}.", body.join(", "))
+    }
+}
+
+/// Incremental builder for [`ConjunctiveQuery`].
+#[derive(Default)]
+pub struct QueryBuilder {
+    var_names: Vec<String>,
+    head_name: Option<String>,
+    head: Vec<Term>,
+    atoms: Vec<Atom>,
+}
+
+impl QueryBuilder {
+    /// Intern a variable by name, returning its id.
+    pub fn var(&mut self, name: &str) -> VertexId {
+        match self.var_names.iter().position(|n| n == name) {
+            Some(i) => VertexId::new(i),
+            None => {
+                self.var_names.push(name.to_string());
+                VertexId::new(self.var_names.len() - 1)
+            }
+        }
+    }
+
+    /// Add a body atom with explicit terms.
+    pub fn atom(&mut self, predicate: impl Into<String>, terms: Vec<Term>) -> &mut Self {
+        self.atoms.push(Atom {
+            predicate: predicate.into(),
+            terms,
+        });
+        self
+    }
+
+    /// Add a body atom whose arguments are the named variables.
+    pub fn atom_vars(&mut self, predicate: impl Into<String>, vars: &[&str]) -> &mut Self {
+        let terms = vars.iter().map(|v| Term::Var(self.var(v))).collect();
+        self.atom(predicate, terms)
+    }
+
+    /// Set the head to `name(vars…)`. Without a call, the head is the
+    /// propositional `ans` (a Boolean query).
+    pub fn head(&mut self, name: impl Into<String>, vars: &[&str]) -> &mut Self {
+        self.head_name = Some(name.into());
+        self.head = vars.iter().map(|v| Term::Var(self.var(v))).collect();
+        self
+    }
+
+    /// Set the head from already-built terms (used by the parser).
+    pub fn head_raw(&mut self, name: impl Into<String>, terms: Vec<Term>) -> &mut Self {
+        self.head_name = Some(name.into());
+        self.head = terms;
+        self
+    }
+
+    /// Finish building, reporting unsafe queries (a head variable that does
+    /// not occur in the body) as an error.
+    pub fn try_build(&mut self) -> Result<ConjunctiveQuery, String> {
+        let q = ConjunctiveQuery {
+            var_names: std::mem::take(&mut self.var_names),
+            head_name: self.head_name.take().unwrap_or_else(|| "ans".to_string()),
+            head: std::mem::take(&mut self.head),
+            atoms: std::mem::take(&mut self.atoms),
+        };
+        for v in q.head_vars() {
+            let occurs = (0..q.atoms.len()).any(|i| q.atom_vars(i).contains(v));
+            if !occurs {
+                return Err(format!(
+                    "unsafe query: head variable {} not in the body",
+                    q.var_name(v)
+                ));
+            }
+        }
+        Ok(q)
+    }
+
+    /// Finish building. Panics on unsafe queries; see [`Self::try_build`].
+    pub fn build(&mut self) -> ConjunctiveQuery {
+        match self.try_build() {
+            Ok(q) => q,
+            Err(msg) => panic!("{msg}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q1() -> ConjunctiveQuery {
+        let mut b = ConjunctiveQuery::builder();
+        b.atom_vars("enrolled", &["S", "C", "R"]);
+        b.atom_vars("teaches", &["P", "C", "A"]);
+        b.atom_vars("parent", &["P", "S"]);
+        b.build()
+    }
+
+    #[test]
+    fn builds_and_displays_q1() {
+        let q = q1();
+        assert_eq!(q.num_vars(), 5);
+        assert!(q.is_boolean());
+        assert_eq!(
+            q.to_string(),
+            "ans :- enrolled(S,C,R), teaches(P,C,A), parent(P,S)."
+        );
+        assert_eq!(q.display_atom(2), "parent(P,S)");
+    }
+
+    #[test]
+    fn variable_interning_is_shared() {
+        let q = q1();
+        let s = q.var_by_name("S").unwrap();
+        assert!(q.atom_vars(0).contains(s));
+        assert!(q.atom_vars(2).contains(s));
+        assert!(!q.atom_vars(1).contains(s));
+        assert_eq!(q.var_name(s), "S");
+    }
+
+    #[test]
+    fn hypergraph_mirrors_query() {
+        let q = q1();
+        let h = q.hypergraph();
+        assert_eq!(h.num_vertices(), q.num_vars());
+        assert_eq!(h.num_edges(), q.atoms().len());
+        for i in 0..q.atoms().len() {
+            assert_eq!(h.edge_vertices(hypergraph::EdgeId::new(i)), &q.atom_vars(i));
+        }
+        assert_eq!(h.vertex_name(q.var_by_name("P").unwrap()), "P");
+    }
+
+    #[test]
+    fn non_boolean_head() {
+        let mut b = ConjunctiveQuery::builder();
+        b.atom_vars("r", &["X", "Y"]);
+        b.head("ans", &["X"]);
+        let q = b.build();
+        assert!(!q.is_boolean());
+        assert_eq!(q.head_vars(), vec![q.var_by_name("X").unwrap()]);
+        assert_eq!(q.to_string(), "ans(X) :- r(X,Y).");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsafe query")]
+    fn unsafe_head_panics() {
+        let mut b = ConjunctiveQuery::builder();
+        b.atom_vars("r", &["X"]);
+        b.head("ans", &["Z"]);
+        b.build();
+    }
+
+    #[test]
+    fn constants_and_repeated_vars() {
+        let mut b = ConjunctiveQuery::builder();
+        let x = b.var("X");
+        b.atom("r", vec![Term::Var(x), Term::Var(x), Term::Const(7)]);
+        let q = b.build();
+        assert_eq!(q.atom(0).variables(), vec![x]);
+        assert_eq!(q.atom_vars(0).len(), 1);
+        assert_eq!(q.to_string(), "ans :- r(X,X,7).");
+        // The hypergraph edge has a single vertex.
+        let h = q.hypergraph();
+        assert_eq!(h.edge_vertices(hypergraph::EdgeId(0)).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_predicates_get_distinct_edge_names() {
+        let mut b = ConjunctiveQuery::builder();
+        b.atom_vars("t", &["X", "Y"]);
+        b.atom_vars("t", &["Y", "Z"]);
+        b.atom_vars("u", &["Z"]);
+        let q = b.build();
+        let h = q.hypergraph();
+        assert_eq!(h.edge_name(hypergraph::EdgeId(0)), "t#0");
+        assert_eq!(h.edge_name(hypergraph::EdgeId(1)), "t#1");
+        assert_eq!(h.edge_name(hypergraph::EdgeId(2)), "u");
+    }
+
+    #[test]
+    fn nullary_atom() {
+        let mut b = ConjunctiveQuery::builder();
+        b.atom("flag", vec![]);
+        b.atom_vars("r", &["X"]);
+        let q = b.build();
+        assert_eq!(q.atom(0).arity(), 0);
+        assert_eq!(q.to_string(), "ans :- flag, r(X).");
+        assert!(q.hypergraph().edge_vertices(hypergraph::EdgeId(0)).is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for the query front end: parser/printer round-trips and
+//! query↔hypergraph consistency on randomly generated queries.
+
+use cq::{canonical_query, parse_query, ConjunctiveQuery, QueryBuilder, Term};
+use proptest::prelude::*;
+
+/// Strategy: a random Boolean query with ≤ `max_vars` variables and
+/// 1..=`max_atoms` atoms over small arities, built through the API.
+fn arb_query(max_vars: usize, max_atoms: usize) -> impl Strategy<Value = ConjunctiveQuery> {
+    let atom = proptest::collection::vec(0..max_vars, 1..=3);
+    proptest::collection::vec(atom, 1..=max_atoms).prop_map(|atoms| {
+        let mut b = QueryBuilder::default();
+        for (i, vars) in atoms.iter().enumerate() {
+            let terms: Vec<Term> = vars
+                .iter()
+                .map(|&v| Term::Var(b.var(&format!("V{v}"))))
+                .collect();
+            b.atom(format!("p{i}"), terms);
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Display → parse is the identity on generated queries.
+    #[test]
+    fn parser_roundtrip(q in arb_query(6, 6)) {
+        let text = q.to_string();
+        let reparsed = parse_query(&text).unwrap();
+        prop_assert_eq!(&q, &reparsed, "{}", text);
+    }
+
+    /// The query hypergraph mirrors atoms exactly: one edge per atom with
+    /// the atom's distinct variables.
+    #[test]
+    fn hypergraph_mirrors_atoms(q in arb_query(6, 6)) {
+        let h = q.hypergraph();
+        prop_assert_eq!(h.num_edges(), q.atoms().len());
+        prop_assert_eq!(h.num_vertices(), q.num_vars());
+        for i in 0..q.atoms().len() {
+            prop_assert_eq!(
+                h.edge_vertices(hypergraph::EdgeId(i as u32)),
+                &q.atom_vars(i)
+            );
+        }
+    }
+
+    /// canonical_query ∘ hypergraph preserves structure (Theorem A.3's
+    /// underlying isomorphism).
+    #[test]
+    fn canonical_query_roundtrip(q in arb_query(5, 5)) {
+        let h = q.hypergraph();
+        let canon = canonical_query(&h);
+        let h2 = canon.hypergraph();
+        prop_assert_eq!(h.num_vertices(), h2.num_vertices());
+        prop_assert_eq!(h.num_edges(), h2.num_edges());
+        for e in h.edges() {
+            prop_assert_eq!(h.edge_vertices(e), h2.edge_vertices(e));
+        }
+    }
+
+    /// Constants survive the round trip too.
+    #[test]
+    fn constants_roundtrip(c in 0u64..1000) {
+        let text = format!("ans(X) :- r(X, {c}), s({c}).");
+        let q = parse_query(&text).unwrap();
+        prop_assert_eq!(q.atom(0).terms[1], Term::Const(c));
+        let q2 = parse_query(&q.to_string()).unwrap();
+        prop_assert_eq!(q, q2);
+    }
+}

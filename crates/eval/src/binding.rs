@@ -1,0 +1,199 @@
+//! Binding query atoms to database relations.
+//!
+//! An atom `r(X, 7, X, Y)` over relation `r` binds to a *canonical
+//! relation* over its distinct variables `[X, Y]`: constants become
+//! selections, repeated variables become equality selections, and the
+//! result is projected onto the first occurrence of each variable. All
+//! evaluation engines work on these canonical (variables, relation) pairs.
+
+use cq::{ConjunctiveQuery, Term};
+use hypergraph::VertexId;
+use relation::{ops, Database, Relation, Value};
+use std::fmt;
+
+/// An atom bound to data: the distinct variables (first-occurrence order)
+/// and the canonical relation over them.
+#[derive(Clone, Debug)]
+pub struct BoundAtom {
+    /// Distinct variables of the atom, in first-occurrence order.
+    pub vars: Vec<VertexId>,
+    /// Canonical relation: one column per entry of `vars`.
+    pub rel: Relation,
+}
+
+/// Errors surfaced while binding atoms to relations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// The database relation has a different arity than the atom.
+    ArityMismatch {
+        /// Relation name.
+        predicate: String,
+        /// Arity used in the query atom.
+        atom_arity: usize,
+        /// Arity of the stored relation.
+        relation_arity: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::ArityMismatch {
+                predicate,
+                atom_arity,
+                relation_arity,
+            } => write!(
+                f,
+                "atom over '{predicate}' has arity {atom_arity} but the relation has arity {relation_arity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Bind atom `i` of `q` against `db`. A missing relation binds to the
+/// empty relation (the query is then unsatisfiable through this atom),
+/// matching the logical reading of a database as a set of ground facts.
+pub fn bind_atom(q: &ConjunctiveQuery, i: usize, db: &Database) -> Result<BoundAtom, EvalError> {
+    let atom = q.atom(i);
+    let vars = atom.variables();
+    let rel = match db.get(&atom.predicate) {
+        None => return Ok(BoundAtom {
+            rel: Relation::new(vars.len()),
+            vars,
+        }),
+        Some(r) => r,
+    };
+    if rel.arity() != atom.arity() {
+        return Err(EvalError::ArityMismatch {
+            predicate: atom.predicate.clone(),
+            atom_arity: atom.arity(),
+            relation_arity: rel.arity(),
+        });
+    }
+
+    let mut current = rel.clone();
+    // Constant selections.
+    for (col, term) in atom.terms.iter().enumerate() {
+        if let Term::Const(c) = term {
+            current = ops::select_const(&current, col, Value(*c));
+        }
+    }
+    // Repeated-variable selections against the first occurrence.
+    let mut first_col: Vec<Option<usize>> = vec![None; q.num_vars()];
+    for (col, term) in atom.terms.iter().enumerate() {
+        if let Term::Var(v) = term {
+            match first_col[hypergraph::Ix::index(*v)] {
+                None => first_col[hypergraph::Ix::index(*v)] = Some(col),
+                Some(first) => current = ops::select_eq(&current, first, col),
+            }
+        }
+    }
+    // Project onto the first occurrence of each distinct variable.
+    let cols: Vec<usize> = vars
+        .iter()
+        .map(|v| first_col[hypergraph::Ix::index(*v)].expect("variable has a column"))
+        .collect();
+    let rel = ops::project(&current, &cols);
+    Ok(BoundAtom { vars, rel })
+}
+
+/// Bind every atom of `q`.
+pub fn bind_all(q: &ConjunctiveQuery, db: &Database) -> Result<Vec<BoundAtom>, EvalError> {
+    (0..q.atoms().len()).map(|i| bind_atom(q, i, db)).collect()
+}
+
+/// Column pairs joining two bound atoms on their shared variables.
+pub fn shared_columns(left: &BoundAtom, right: &BoundAtom) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    for (i, v) in left.vars.iter().enumerate() {
+        if let Some(j) = right.vars.iter().position(|w| w == v) {
+            pairs.push((i, j));
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::parse_query;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_fact("r", &[1, 1, 5]);
+        db.add_fact("r", &[1, 2, 5]);
+        db.add_fact("r", &[2, 2, 7]);
+        db
+    }
+
+    #[test]
+    fn plain_binding_projects_distinct_vars() {
+        let q = parse_query("ans :- r(X, Y, Z).").unwrap();
+        let b = bind_atom(&q, 0, &db()).unwrap();
+        assert_eq!(b.vars.len(), 3);
+        assert_eq!(b.rel.len(), 3);
+    }
+
+    #[test]
+    fn repeated_variables_select_equal_columns() {
+        let q = parse_query("ans :- r(X, X, Z).").unwrap();
+        let b = bind_atom(&q, 0, &db()).unwrap();
+        assert_eq!(b.vars.len(), 2);
+        assert_eq!(b.rel.len(), 2); // (1,5) and (2,7)
+        assert!(b.rel.contains_row(&[Value(1), Value(5)]));
+        assert!(b.rel.contains_row(&[Value(2), Value(7)]));
+    }
+
+    #[test]
+    fn constants_select() {
+        let q = parse_query("ans :- r(1, Y, Z).").unwrap();
+        let b = bind_atom(&q, 0, &db()).unwrap();
+        assert_eq!(b.vars.len(), 2);
+        assert_eq!(b.rel.len(), 2);
+        let q = parse_query("ans :- r(9, Y, Z).").unwrap();
+        let b = bind_atom(&q, 0, &db()).unwrap();
+        assert!(b.rel.is_empty());
+    }
+
+    #[test]
+    fn missing_relation_binds_empty() {
+        let q = parse_query("ans :- missing(X).").unwrap();
+        let b = bind_atom(&q, 0, &db()).unwrap();
+        assert!(b.rel.is_empty());
+        assert_eq!(b.rel.arity(), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let q = parse_query("ans :- r(X, Y).").unwrap();
+        let err = bind_atom(&q, 0, &db()).unwrap_err();
+        assert!(matches!(err, EvalError::ArityMismatch { .. }));
+        assert!(err.to_string().contains("arity"));
+    }
+
+    #[test]
+    fn shared_columns_align_variables() {
+        let q = parse_query("ans :- r(X, Y, Z), r(Y, W, X).").unwrap();
+        let all = bind_all(&q, &db()).unwrap();
+        let pairs = shared_columns(&all[0], &all[1]);
+        // left vars [X,Y,Z]; right vars [Y,W,X]: X→(0,2), Y→(1,0).
+        assert_eq!(pairs, vec![(0, 2), (1, 0)]);
+    }
+
+    #[test]
+    fn projection_dedups_canonical_relation() {
+        let mut db = Database::new();
+        db.add_fact("s", &[1, 10]);
+        db.add_fact("s", &[1, 20]);
+        let q = parse_query("ans :- s(X, _Y), s(X, _Z).").unwrap();
+        let b = bind_atom(&q, 0, &db).unwrap();
+        assert_eq!(b.rel.len(), 2);
+        // Projecting a single var away duplicates rows → dedup keeps 1.
+        let q1 = parse_query("ans(X) :- s(X, 10).").unwrap();
+        let b1 = bind_atom(&q1, 0, &db).unwrap();
+        assert_eq!(b1.vars.len(), 1);
+        assert_eq!(b1.rel.len(), 1);
+    }
+}

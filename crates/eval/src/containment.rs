@@ -1,0 +1,185 @@
+//! Conjunctive-query containment — one of the paper's "equivalent
+//! problems" (§1.1, §1.4: "Similar results hold for the equivalent problem
+//! of conjunctive query containment Q1 ⊑ Q2, where hw(Q2) ≤ k").
+//!
+//! By the Chandra–Merlin theorem, `Q1 ⊑ Q2` iff there is a homomorphism
+//! from `Q2` to `Q1` preserving the head — equivalently, iff `Q2`'s head
+//! tuple appears in `Q2`'s answer over the *canonical (frozen) database*
+//! of `Q1`, where every variable of `Q1` becomes a fresh constant. That
+//! evaluation is exactly the problem the decomposition machinery makes
+//! tractable: the cost is governed by `hw(Q2)`, not by `Q1`.
+
+use crate::binding::EvalError;
+use cq::{ConjunctiveQuery, Term};
+use hypergraph::Ix;
+use relation::{Database, Value};
+
+/// The canonical ("frozen") database of a query: each atom becomes one
+/// fact, with variables frozen to fresh constants above every constant
+/// mentioned in the query. Returns the database and the frozen value of
+/// each variable.
+pub fn canonical_database(q: &ConjunctiveQuery) -> (Database, Vec<Value>) {
+    let max_const = q
+        .atoms()
+        .iter()
+        .flat_map(|a| a.terms.iter())
+        .filter_map(|t| match t {
+            Term::Const(c) => Some(*c),
+            Term::Var(_) => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let freeze = |v: hypergraph::VertexId| Value(max_const + 1 + v.index() as u64);
+    let frozen: Vec<Value> = (0..q.num_vars())
+        .map(|i| freeze(hypergraph::VertexId::new(i)))
+        .collect();
+
+    let mut db = Database::new();
+    for atom in q.atoms() {
+        let tuple: Vec<u64> = atom
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => frozen[v.index()].0,
+                Term::Const(c) => *c,
+            })
+            .collect();
+        db.add_fact(&atom.predicate, &tuple);
+    }
+    (db, frozen)
+}
+
+/// Decide `Q1 ⊑ Q2` (every answer of `Q1` is an answer of `Q2`, over every
+/// database). The heads must have the same arity; Boolean heads are
+/// compared as 0-ary. Planning uses `Q2`'s structure, so bounded `hw(Q2)`
+/// gives the polynomial bound of the paper's equivalent-problem results.
+pub fn contained_in(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> Result<bool, EvalError> {
+    if q1.head().len() != q2.head().len() {
+        return Ok(false);
+    }
+    let (db, frozen) = canonical_database(q1);
+    if q2.is_boolean() && q1.is_boolean() {
+        return crate::evaluate_boolean(q2, &db);
+    }
+    // The frozen head tuple of Q1 must be among Q2's answers. Constants in
+    // either head must line up positionally.
+    let target: Vec<Value> = q1
+        .head()
+        .iter()
+        .map(|t| match t {
+            Term::Var(v) => frozen[v.index()],
+            Term::Const(c) => Value(*c),
+        })
+        .collect();
+    // Q2's answers are enumerated over its distinct head variables; expand
+    // to the full head term list for comparison.
+    let answers = crate::evaluate(q2, &db)?;
+    let head_vars = q2.head_vars();
+    for row in answers.rows() {
+        let expanded: Vec<Value> = q2
+            .head()
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => {
+                    let i = head_vars.iter().position(|w| w == v).expect("head var");
+                    row[i]
+                }
+                Term::Const(c) => Value(*c),
+            })
+            .collect();
+        if expanded == target {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Decide query equivalence `Q1 ≡ Q2` (mutual containment).
+pub fn equivalent(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> Result<bool, EvalError> {
+    Ok(contained_in(q1, q2)? && contained_in(q2, q1)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::parse_query;
+
+    #[test]
+    fn longer_paths_are_contained_in_shorter() {
+        let p3 = parse_query("ans(X,Z) :- r(X,Y), r(Y,Z), r(Z,W).").unwrap();
+        let p2 = parse_query("ans(X,Z) :- r(X,Y), r(Y,Z).").unwrap();
+        assert_eq!(contained_in(&p3, &p2), Ok(true));
+        assert_eq!(contained_in(&p2, &p3), Ok(false));
+        assert_eq!(equivalent(&p2, &p3), Ok(false));
+    }
+
+    #[test]
+    fn boolean_triangle_contained_in_edge() {
+        let triangle = parse_query("ans :- r(X,Y), r(Y,Z), r(Z,X).").unwrap();
+        let edge = parse_query("ans :- r(A,B).").unwrap();
+        assert_eq!(contained_in(&triangle, &edge), Ok(true));
+        assert_eq!(contained_in(&edge, &triangle), Ok(false));
+    }
+
+    #[test]
+    fn renamed_queries_are_equivalent() {
+        let a = parse_query("ans(X) :- r(X,Y), s(Y).").unwrap();
+        let b = parse_query("ans(U) :- r(U,V), s(V).").unwrap();
+        assert_eq!(equivalent(&a, &b), Ok(true));
+    }
+
+    #[test]
+    fn redundant_atoms_do_not_matter() {
+        // Classic minimisation example: a duplicated atom is redundant.
+        let a = parse_query("ans(X) :- r(X,Y).").unwrap();
+        let b = parse_query("ans(X) :- r(X,Y), r(X,Z).").unwrap();
+        assert_eq!(equivalent(&a, &b), Ok(true));
+    }
+
+    #[test]
+    fn constants_must_match() {
+        let q5 = parse_query("ans(X) :- r(X, 5).").unwrap();
+        let qy = parse_query("ans(X) :- r(X, Y).").unwrap();
+        assert_eq!(contained_in(&q5, &qy), Ok(true), "specific ⊑ general");
+        assert_eq!(contained_in(&qy, &q5), Ok(false), "general ⊄ specific");
+    }
+
+    #[test]
+    fn head_arity_mismatch_is_not_contained() {
+        let a = parse_query("ans(X) :- r(X,Y).").unwrap();
+        let b = parse_query("ans(X,Y) :- r(X,Y).").unwrap();
+        assert_eq!(contained_in(&a, &b), Ok(false));
+    }
+
+    #[test]
+    fn repeated_head_variables() {
+        let diag = parse_query("ans(X,X) :- r(X,X).").unwrap();
+        let pair = parse_query("ans(X,Y) :- r(X,Y).").unwrap();
+        assert_eq!(contained_in(&diag, &pair), Ok(true));
+        assert_eq!(contained_in(&pair, &diag), Ok(false));
+    }
+
+    #[test]
+    fn containment_with_cyclic_right_side() {
+        // Q2 cyclic (hw = 2): the evaluation routes through the
+        // decomposition pipeline.
+        let k4 = parse_query(
+            "ans :- r(A,B), r(B,C), r(C,D), r(D,A), r(A,C), r(B,D).",
+        )
+        .unwrap();
+        let triangle = parse_query("ans :- r(X,Y), r(Y,Z), r(Z,X).").unwrap();
+        // K4 contains triangles: hom triangle → K4 exists.
+        assert_eq!(contained_in(&k4, &triangle), Ok(true));
+        // A triangle has no K4 substructure.
+        assert_eq!(contained_in(&triangle, &k4), Ok(false));
+    }
+
+    #[test]
+    fn canonical_database_freezes_above_constants() {
+        let q = parse_query("ans :- r(X, 100), s(X).").unwrap();
+        let (db, frozen) = canonical_database(&q);
+        assert!(frozen[0].0 > 100);
+        assert_eq!(db.get("r").unwrap().len(), 1);
+        assert_eq!(db.get("s").unwrap().len(), 1);
+    }
+}

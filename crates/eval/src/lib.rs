@@ -1,0 +1,197 @@
+//! Query evaluation for the hypertree-decomposition workspace.
+//!
+//! Three engines, mirroring the paper's narrative:
+//!
+//! * [`naive`] — full joins with a row budget: the baseline whose
+//!   exponential intermediate results motivate the whole theory;
+//! * [`yannakakis`] — the acyclic-query algorithm (Boolean sweep, full
+//!   reducer, output-polynomial enumeration);
+//! * [`reduction`] — Lemma 4.6: evaluate *cyclic* queries of bounded
+//!   hypertree width by reducing to an acyclic instance and running
+//!   Yannakakis (Theorems 4.7 / 4.8).
+//!
+//! [`evaluate_boolean`] and [`evaluate`] pick the strategy automatically:
+//! acyclic queries go straight to Yannakakis; cyclic ones get an optimal
+//! hypertree decomposition first.
+//!
+//! # Example
+//!
+//! ```
+//! use cq::parse_query;
+//! use relation::Database;
+//!
+//! // Q1 of Example 1.1 — cyclic (hw = 2).
+//! let q = parse_query("ans :- enrolled(S,C,R), teaches(P,C,A), parent(P,S).").unwrap();
+//! let mut db = Database::new();
+//! db.add_fact("enrolled", &[2, 7, 2000]);
+//! db.add_fact("teaches", &[1, 7, 1]);
+//! db.add_fact("parent", &[1, 2]);
+//! assert_eq!(eval::evaluate_boolean(&q, &db), Ok(true));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod binding;
+pub mod containment;
+pub mod counting;
+pub mod naive;
+pub mod reduction;
+pub mod yannakakis;
+
+pub use binding::{bind_all, bind_atom, BoundAtom, EvalError};
+pub use containment::{contained_in, equivalent};
+pub use counting::count_assignments;
+
+use cq::ConjunctiveQuery;
+use hypergraph::{acyclic, Ix};
+use hypertree_core::{kdecomp, opt, CandidateMode, HypertreeDecomposition};
+use relation::{Database, Relation};
+
+/// A prepared evaluation strategy for a query (reusable across databases).
+#[derive(Clone, Debug)]
+pub enum Strategy {
+    /// The query is acyclic: evaluate on this join tree.
+    JoinTree(hypergraph::JoinTree),
+    /// The query is cyclic: evaluate through this hypertree decomposition.
+    Hypertree(HypertreeDecomposition),
+}
+
+impl Strategy {
+    /// Plan `q`: a join tree if acyclic, otherwise an optimal-width
+    /// hypertree decomposition (Theorem 5.18 + Lemma 4.6 pipeline).
+    pub fn plan(q: &ConjunctiveQuery) -> Strategy {
+        let h = q.hypergraph();
+        match acyclic::join_tree(&h) {
+            Some(jt) => Strategy::JoinTree(jt),
+            None => Strategy::Hypertree(opt::optimal_decomposition(&h)),
+        }
+    }
+
+    /// Plan with an explicit width bound; `None` if `hw(q) > k`.
+    pub fn plan_with_width(q: &ConjunctiveQuery, k: usize) -> Option<Strategy> {
+        let h = q.hypergraph();
+        if let Some(jt) = acyclic::join_tree(&h) {
+            return Some(Strategy::JoinTree(jt));
+        }
+        kdecomp::decompose(&h, k, CandidateMode::Pruned).map(Strategy::Hypertree)
+    }
+
+    /// The width of the plan (1 for join trees, per Theorem 4.5).
+    pub fn width(&self) -> usize {
+        match self {
+            Strategy::JoinTree(_) => 1,
+            Strategy::Hypertree(hd) => hd.width(),
+        }
+    }
+
+    /// Evaluate the Boolean query under this plan.
+    pub fn boolean(&self, q: &ConjunctiveQuery, db: &Database) -> Result<bool, EvalError> {
+        match self {
+            Strategy::JoinTree(jt) => {
+                let bound = bind_all(q, db)?;
+                if bound.is_empty() {
+                    return Ok(true); // empty body is vacuously true
+                }
+                let nodes: Vec<BoundAtom> = jt
+                    .tree()
+                    .nodes()
+                    .map(|n| bound[jt.edge_at(n).index()].clone())
+                    .collect();
+                Ok(yannakakis::boolean(jt.tree(), &nodes))
+            }
+            Strategy::Hypertree(hd) => reduction::boolean_via_hd(q, db, hd),
+        }
+    }
+
+    /// Evaluate the (possibly non-Boolean) query under this plan,
+    /// returning the answers over the head variables.
+    pub fn enumerate(&self, q: &ConjunctiveQuery, db: &Database) -> Result<Relation, EvalError> {
+        match self {
+            Strategy::JoinTree(jt) => {
+                let bound = bind_all(q, db)?;
+                if bound.is_empty() {
+                    let mut rel = Relation::new(0);
+                    rel.push_row(&[]);
+                    return Ok(rel);
+                }
+                let nodes: Vec<BoundAtom> = jt
+                    .tree()
+                    .nodes()
+                    .map(|n| bound[jt.edge_at(n).index()].clone())
+                    .collect();
+                Ok(yannakakis::enumerate(jt.tree(), &nodes, &q.head_vars()))
+            }
+            Strategy::Hypertree(hd) => reduction::enumerate_via_hd(q, db, hd),
+        }
+    }
+}
+
+/// Answer the Boolean query `q` on `db`, planning automatically.
+pub fn evaluate_boolean(q: &ConjunctiveQuery, db: &Database) -> Result<bool, EvalError> {
+    Strategy::plan(q).boolean(q, db)
+}
+
+/// Compute the answer relation of `q` on `db` (over the head variables),
+/// planning automatically. Output-polynomial for bounded hypertree width
+/// (Corollary 5.20).
+pub fn evaluate(q: &ConjunctiveQuery, db: &Database) -> Result<Relation, EvalError> {
+    Strategy::plan(q).enumerate(q, db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::parse_query;
+    use relation::Value;
+
+    #[test]
+    fn plans_pick_the_right_engine() {
+        let acyclic_q = parse_query("ans :- r(X,Y), s(Y,Z).").unwrap();
+        assert!(matches!(Strategy::plan(&acyclic_q), Strategy::JoinTree(_)));
+        let cyclic_q = parse_query("ans :- r(X,Y), s(Y,Z), t(Z,X).").unwrap();
+        let plan = Strategy::plan(&cyclic_q);
+        assert!(matches!(plan, Strategy::Hypertree(_)));
+        assert_eq!(plan.width(), 2);
+    }
+
+    #[test]
+    fn plan_with_width_respects_bound() {
+        let cyclic_q = parse_query("ans :- r(X,Y), s(Y,Z), t(Z,X).").unwrap();
+        assert!(Strategy::plan_with_width(&cyclic_q, 1).is_none());
+        assert!(Strategy::plan_with_width(&cyclic_q, 2).is_some());
+    }
+
+    #[test]
+    fn triangle_query_end_to_end() {
+        let q = parse_query("ans(X,Y,Z) :- r(X,Y), s(Y,Z), t(Z,X).").unwrap();
+        let mut db = Database::new();
+        db.add_fact("r", &[1, 2]);
+        db.add_fact("s", &[2, 3]);
+        db.add_fact("t", &[3, 1]);
+        db.add_fact("t", &[3, 9]);
+        assert_eq!(evaluate_boolean(&q, &db), Ok(true));
+        let out = evaluate(&q, &db).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains_row(&[Value(1), Value(2), Value(3)]));
+    }
+
+    #[test]
+    fn engines_agree_on_q2() {
+        let q = parse_query("ans :- teaches(P,C,A), enrolled(S,C2,R), parent(P,S).").unwrap();
+        let mut db = Database::new();
+        db.add_fact("teaches", &[1, 7, 100]);
+        db.add_fact("enrolled", &[2, 8, 200]);
+        db.add_fact("parent", &[1, 2]);
+        let auto = evaluate_boolean(&q, &db).unwrap();
+        let naive = naive::evaluate_boolean(&q, &db, Default::default(), 1 << 20).unwrap();
+        assert_eq!(auto, naive);
+        assert!(auto);
+    }
+
+    #[test]
+    fn empty_database_yields_false() {
+        let q = parse_query("ans :- r(X).").unwrap();
+        assert_eq!(evaluate_boolean(&q, &Database::new()), Ok(false));
+        assert!(evaluate(&q, &Database::new()).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,219 @@
+//! Naive join evaluation — the baseline the paper's Introduction argues
+//! against: joining atoms left to right without semijoin reduction can
+//! build intermediate results that are exponentially larger than both the
+//! input and the output. A row budget turns that blow-up into a reportable
+//! outcome instead of an OOM, so the benchmark harness can chart exactly
+//! where the naive strategy collapses (experiment E10).
+
+use crate::binding::{bind_all, shared_columns, BoundAtom, EvalError};
+use cq::ConjunctiveQuery;
+use hypergraph::VertexId;
+use relation::{ops, Database, Relation};
+use std::fmt;
+
+/// Why naive evaluation did not produce an answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NaiveError {
+    /// An intermediate result exceeded the row budget.
+    BudgetExceeded {
+        /// Rows of the offending intermediate result.
+        rows: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+    /// Binding failed (arity mismatch).
+    Bind(EvalError),
+}
+
+impl fmt::Display for NaiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NaiveError::BudgetExceeded { rows, budget } => {
+                write!(f, "intermediate result of {rows} rows exceeded budget {budget}")
+            }
+            NaiveError::Bind(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for NaiveError {}
+
+impl From<EvalError> for NaiveError {
+    fn from(e: EvalError) -> Self {
+        NaiveError::Bind(e)
+    }
+}
+
+/// Join order strategies for the naive engine.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum JoinOrder {
+    /// Atoms in query order — the textbook worst case.
+    AsWritten,
+    /// Greedy: start from the smallest relation, repeatedly join the atom
+    /// sharing variables with the current result (smallest first).
+    #[default]
+    GreedySmallest,
+}
+
+/// Evaluate `q` naively (full joins, no reduction), returning the answers
+/// projected onto the head variables. `budget` caps the number of rows any
+/// intermediate result may reach.
+pub fn evaluate(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    order: JoinOrder,
+    budget: usize,
+) -> Result<Relation, NaiveError> {
+    let bound = bind_all(q, db)?;
+    let joined = join_all(&bound, order, budget)?;
+    let head = q.head_vars();
+    let cols: Vec<usize> = head
+        .iter()
+        .map(|v| {
+            joined
+                .vars
+                .iter()
+                .position(|w| w == v)
+                .expect("safe queries have head vars in the body")
+        })
+        .collect();
+    Ok(ops::project(&joined.rel, &cols))
+}
+
+/// Evaluate the Boolean query: `true` iff the full join is non-empty.
+pub fn evaluate_boolean(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    order: JoinOrder,
+    budget: usize,
+) -> Result<bool, NaiveError> {
+    let bound = bind_all(q, db)?;
+    Ok(!join_all(&bound, order, budget)?.rel.is_empty())
+}
+
+/// Join every bound atom into one relation over the union of variables.
+fn join_all(bound: &[BoundAtom], order: JoinOrder, budget: usize) -> Result<BoundAtom, NaiveError> {
+    if bound.is_empty() {
+        // Empty body: the query is vacuously true — one empty tuple.
+        let mut rel = Relation::new(0);
+        rel.push_row(&[]);
+        return Ok(BoundAtom { vars: Vec::new(), rel });
+    }
+
+    let mut remaining: Vec<usize> = (0..bound.len()).collect();
+    let first = match order {
+        JoinOrder::AsWritten => 0,
+        JoinOrder::GreedySmallest => remaining
+            .iter()
+            .copied()
+            .min_by_key(|&i| bound[i].rel.len())
+            .expect("non-empty"),
+    };
+    remaining.retain(|&i| i != first);
+    let mut acc = bound[first].clone();
+
+    while !remaining.is_empty() {
+        let next = match order {
+            JoinOrder::AsWritten => remaining[0],
+            JoinOrder::GreedySmallest => {
+                // Prefer atoms connected to the accumulator, smallest first.
+                let connected: Vec<usize> = remaining
+                    .iter()
+                    .copied()
+                    .filter(|&i| bound[i].vars.iter().any(|v| acc.vars.contains(v)))
+                    .collect();
+                let pool = if connected.is_empty() { &remaining } else { &connected };
+                pool.iter()
+                    .copied()
+                    .min_by_key(|&i| bound[i].rel.len())
+                    .expect("non-empty pool")
+            }
+        };
+        remaining.retain(|&i| i != next);
+
+        let right = &bound[next];
+        let pairs = shared_columns(&acc, right);
+        let keep: Vec<usize> = (0..right.vars.len())
+            .filter(|&j| !acc.vars.contains(&right.vars[j]))
+            .collect();
+        let rel = ops::join(&acc.rel, &right.rel, &pairs, &keep);
+        if rel.len() > budget {
+            return Err(NaiveError::BudgetExceeded {
+                rows: rel.len(),
+                budget,
+            });
+        }
+        let mut vars: Vec<VertexId> = acc.vars.clone();
+        for j in keep {
+            vars.push(right.vars[j]);
+        }
+        acc = BoundAtom { vars, rel };
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::parse_query;
+    use relation::Value;
+
+    fn chain_db(n: u64) -> Database {
+        let mut db = Database::new();
+        for i in 0..n {
+            db.add_fact("r", &[i, i + 1]);
+        }
+        db
+    }
+
+    #[test]
+    fn path_query_both_orders() {
+        let q = parse_query("ans(A,C) :- r(A,B), r(B,C).").unwrap();
+        let db = chain_db(5);
+        for order in [JoinOrder::AsWritten, JoinOrder::GreedySmallest] {
+            let out = evaluate(&q, &db, order, 1_000_000).unwrap();
+            assert_eq!(out.len(), 4);
+            assert!(out.contains_row(&[Value(0), Value(2)]));
+        }
+    }
+
+    #[test]
+    fn boolean_answers() {
+        let q = parse_query("ans :- r(A,B), r(B,C).").unwrap();
+        assert!(evaluate_boolean(&q, &chain_db(3), JoinOrder::default(), 1000).unwrap());
+        let q2 = parse_query("ans :- r(A,A).").unwrap();
+        assert!(!evaluate_boolean(&q2, &chain_db(3), JoinOrder::default(), 1000).unwrap());
+    }
+
+    #[test]
+    fn budget_fires_on_cross_products() {
+        // Two disconnected atoms force a cross product of 100×100 rows.
+        let q = parse_query("ans :- r(A,B), s(C,D).").unwrap();
+        let mut db = Database::new();
+        for i in 0..100 {
+            db.add_fact("r", &[i, i]);
+            db.add_fact("s", &[i, i]);
+        }
+        let err = evaluate(&q, &db, JoinOrder::AsWritten, 5_000).unwrap_err();
+        assert!(matches!(err, NaiveError::BudgetExceeded { rows: 10_000, .. }));
+        // A large enough budget lets it through.
+        let out = evaluate(&q, &db, JoinOrder::AsWritten, 100_000).unwrap();
+        assert_eq!(out.arity(), 0);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn empty_body_is_true() {
+        let q = cq::ConjunctiveQuery::builder().build();
+        let db = Database::new();
+        assert!(evaluate_boolean(&q, &db, JoinOrder::default(), 10).unwrap());
+    }
+
+    #[test]
+    fn constants_flow_through() {
+        let q = parse_query("ans(B) :- r(0, B).").unwrap();
+        let out = evaluate(&q, &chain_db(5), JoinOrder::default(), 1000).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains_row(&[Value(1)]));
+    }
+}

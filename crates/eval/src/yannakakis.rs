@@ -1,0 +1,245 @@
+//! Yannakakis' algorithm over join trees (§1.1, §2.1 of the paper).
+//!
+//! For acyclic queries the paper's tractability results all route through
+//! this algorithm: a Boolean query is answered by one bottom-up semijoin
+//! sweep; a full reducer (bottom-up + top-down sweeps) makes every
+//! remaining tuple participate in some answer; and non-Boolean answers are
+//! assembled bottom-up with projections onto output ∪ connector variables,
+//! giving the output-polynomial bound of Theorem 4.8 / Corollary 5.20.
+//!
+//! The functions here are generic over "annotated relations" — `(variable
+//! list, relation)` pairs on the nodes of a rooted tree — so the same code
+//! serves plain acyclic queries and the acyclic instances produced by the
+//! Lemma 4.6 reduction.
+
+use crate::binding::BoundAtom;
+use hypergraph::{Ix, NodeId, RootedTree, VertexId};
+use relation::{ops, Relation};
+
+/// Column pairs between two variable lists (join keys on shared vars).
+fn var_pairs(left: &[VertexId], right: &[VertexId]) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    for (i, v) in left.iter().enumerate() {
+        if let Some(j) = right.iter().position(|w| w == v) {
+            pairs.push((i, j));
+        }
+    }
+    pairs
+}
+
+/// One bottom-up semijoin sweep; returns the root relation's emptiness
+/// inverted, i.e. `true` iff the Boolean query holds.
+///
+/// This is the Boolean version of Yannakakis' algorithm: children are
+/// semijoined into their parents in post-order, so the root stays non-empty
+/// iff a globally consistent assignment exists.
+pub fn boolean(tree: &RootedTree, nodes: &[BoundAtom]) -> bool {
+    assert_eq!(tree.len(), nodes.len(), "one bound atom per node");
+    let mut rels: Vec<Relation> = nodes.iter().map(|b| b.rel.clone()).collect();
+    for n in tree.post_order() {
+        if let Some(p) = tree.parent(n) {
+            let pairs = var_pairs(&nodes[p.index()].vars, &nodes[n.index()].vars);
+            rels[p.index()] = ops::semijoin(&rels[p.index()], &rels[n.index()], &pairs);
+            if rels[p.index()].is_empty() {
+                return false; // early exit: the parent can never recover
+            }
+        }
+    }
+    !rels[tree.root().index()].is_empty()
+}
+
+/// The full reducer: bottom-up then top-down semijoin sweeps. Afterwards
+/// every tuple of every node participates in at least one answer.
+pub fn full_reduce(tree: &RootedTree, nodes: &[BoundAtom]) -> Vec<Relation> {
+    assert_eq!(tree.len(), nodes.len(), "one bound atom per node");
+    let mut rels: Vec<Relation> = nodes.iter().map(|b| b.rel.clone()).collect();
+    for n in tree.post_order() {
+        if let Some(p) = tree.parent(n) {
+            let pairs = var_pairs(&nodes[p.index()].vars, &nodes[n.index()].vars);
+            rels[p.index()] = ops::semijoin(&rels[p.index()], &rels[n.index()], &pairs);
+        }
+    }
+    for n in tree.pre_order() {
+        if let Some(p) = tree.parent(n) {
+            let pairs = var_pairs(&nodes[n.index()].vars, &nodes[p.index()].vars);
+            rels[n.index()] = ops::semijoin(&rels[n.index()], &rels[p.index()], &pairs);
+        }
+    }
+    rels
+}
+
+/// Enumerate the answers projected onto `output` (Theorem 4.8 shape):
+/// full-reduce, then join bottom-up keeping only output variables and the
+/// variables shared with the yet-unjoined parent.
+pub fn enumerate(tree: &RootedTree, nodes: &[BoundAtom], output: &[VertexId]) -> Relation {
+    let rels = full_reduce(tree, nodes);
+    // Working annotations: (vars, relation) per node, consumed bottom-up.
+    let mut work: Vec<(Vec<VertexId>, Relation)> = nodes
+        .iter()
+        .zip(rels)
+        .map(|(b, r)| (b.vars.clone(), r))
+        .collect();
+
+    for n in tree.post_order() {
+        // Join all children (already projected) into this node.
+        let children: Vec<NodeId> = tree.children(n).to_vec();
+        let (mut vars, mut rel) = work[n.index()].clone();
+        for c in children {
+            let (cvars, crel) = std::mem::take(&mut work[c.index()]);
+            let pairs = var_pairs(&vars, &cvars);
+            let keep: Vec<usize> = (0..cvars.len())
+                .filter(|&j| !vars.contains(&cvars[j]))
+                .collect();
+            rel = ops::join(&rel, &crel, &pairs, &keep);
+            for j in keep {
+                vars.push(cvars[j]);
+            }
+        }
+        // Project onto output vars plus connector vars with the parent.
+        let parent_vars: Vec<VertexId> = tree
+            .parent(n)
+            .map(|p| nodes[p.index()].vars.clone())
+            .unwrap_or_default();
+        let keep_cols: Vec<usize> = (0..vars.len())
+            .filter(|&i| output.contains(&vars[i]) || parent_vars.contains(&vars[i]))
+            .collect();
+        let projected_vars: Vec<VertexId> = keep_cols.iter().map(|&i| vars[i]).collect();
+        let projected = ops::project(&rel, &keep_cols);
+        work[n.index()] = (projected_vars, projected);
+    }
+
+    // Root now holds the answers over (a permutation of) the output vars;
+    // order the columns as requested, duplicating columns for repeated
+    // output variables.
+    let (vars, rel) = &work[tree.root().index()];
+    if output.iter().any(|v| !vars.contains(v)) {
+        // Some output variable vanished: only possible when the result is
+        // empty (full reduction would otherwise have kept it via an atom).
+        debug_assert!(rel.is_empty());
+        return Relation::new(output.len());
+    }
+    let cols: Vec<usize> = output
+        .iter()
+        .map(|v| vars.iter().position(|w| w == v).expect("checked above"))
+        .collect();
+    ops::project(rel, &cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::bind_all;
+    use cq::parse_query;
+    use hypergraph::acyclic;
+    use relation::{Database, Value};
+
+    /// Build the join-tree order of bound atoms for an acyclic query.
+    fn tree_and_nodes(
+        q: &cq::ConjunctiveQuery,
+        db: &Database,
+    ) -> (RootedTree, Vec<BoundAtom>) {
+        let h = q.hypergraph();
+        let jt = acyclic::join_tree(&h).expect("query must be acyclic");
+        let bound = bind_all(q, db).unwrap();
+        // Node n of the join tree carries edge e = atom index.
+        let nodes: Vec<BoundAtom> = jt
+            .tree()
+            .nodes()
+            .map(|n| bound[jt.edge_at(n).index()].clone())
+            .collect();
+        (jt.tree().clone(), nodes)
+    }
+
+    /// Example 1.1's Q2 over a database where it holds.
+    #[test]
+    fn q2_true_instance() {
+        let q = parse_query("ans :- teaches(P,C,A), enrolled(S,C2,R), parent(P,S).").unwrap();
+        let mut db = Database::new();
+        db.add_fact("teaches", &[1, 7, 100]);
+        db.add_fact("enrolled", &[2, 8, 200]);
+        db.add_fact("parent", &[1, 2]);
+        let (tree, nodes) = tree_and_nodes(&q, &db);
+        assert!(boolean(&tree, &nodes));
+    }
+
+    #[test]
+    fn q2_false_instance() {
+        let q = parse_query("ans :- teaches(P,C,A), enrolled(S,C2,R), parent(P,S).").unwrap();
+        let mut db = Database::new();
+        db.add_fact("teaches", &[1, 7, 100]);
+        db.add_fact("enrolled", &[2, 8, 200]);
+        db.add_fact("parent", &[3, 2]); // person 3 teaches nothing
+        let (tree, nodes) = tree_and_nodes(&q, &db);
+        assert!(!boolean(&tree, &nodes));
+    }
+
+    #[test]
+    fn full_reducer_keeps_only_participating_tuples() {
+        let q = parse_query("ans :- r(X,Y), s(Y,Z).").unwrap();
+        let mut db = Database::new();
+        db.add_fact("r", &[1, 10]);
+        db.add_fact("r", &[2, 20]); // 20 has no s-partner
+        db.add_fact("s", &[10, 100]);
+        db.add_fact("s", &[30, 300]); // 30 has no r-partner
+        let (tree, nodes) = tree_and_nodes(&q, &db);
+        let reduced = full_reduce(&tree, &nodes);
+        for r in &reduced {
+            assert_eq!(r.len(), 1, "exactly the participating tuple remains");
+        }
+    }
+
+    #[test]
+    fn enumeration_projects_answers() {
+        let q = parse_query("ans(X, Z) :- r(X,Y), s(Y,Z).").unwrap();
+        let mut db = Database::new();
+        db.add_fact("r", &[1, 10]);
+        db.add_fact("r", &[2, 10]);
+        db.add_fact("s", &[10, 100]);
+        db.add_fact("s", &[10, 200]);
+        let (tree, nodes) = tree_and_nodes(&q, &db);
+        let out = enumerate(&tree, &nodes, &q.head_vars());
+        assert_eq!(out.len(), 4);
+        assert!(out.contains_row(&[Value(2), Value(200)]));
+    }
+
+    #[test]
+    fn enumeration_of_empty_result() {
+        let q = parse_query("ans(X) :- r(X,Y), s(Y,Z).").unwrap();
+        let mut db = Database::new();
+        db.add_fact("r", &[1, 10]);
+        db.add_fact("s", &[99, 100]);
+        let (tree, nodes) = tree_and_nodes(&q, &db);
+        let out = enumerate(&tree, &nodes, &q.head_vars());
+        assert!(out.is_empty());
+        assert_eq!(out.arity(), 1);
+    }
+
+    #[test]
+    fn path_query_longer_chain() {
+        let q = parse_query("ans(A,D) :- r(A,B), r(B,C), r(C,D).").unwrap();
+        let mut db = Database::new();
+        for i in 0..10u64 {
+            db.add_fact("r", &[i, i + 1]);
+        }
+        let (tree, nodes) = tree_and_nodes(&q, &db);
+        let out = enumerate(&tree, &nodes, &q.head_vars());
+        assert_eq!(out.len(), 8); // paths 0→3 .. 7→10
+        assert!(out.contains_row(&[Value(0), Value(3)]));
+        assert!(boolean(&tree, &nodes));
+    }
+
+    #[test]
+    fn disconnected_query_via_stitched_tree() {
+        // Two independent components: Boolean semantics must AND them.
+        let q = parse_query("ans :- r(X,Y), s(Z,W).").unwrap();
+        let mut db = Database::new();
+        db.add_fact("r", &[1, 2]);
+        let (tree, nodes) = tree_and_nodes(&q, &db);
+        assert!(!boolean(&tree, &nodes), "s is empty");
+        let mut db2 = Database::new();
+        db2.add_fact("r", &[1, 2]);
+        db2.add_fact("s", &[3, 4]);
+        let (tree2, nodes2) = tree_and_nodes(&q, &db2);
+        assert!(boolean(&tree2, &nodes2));
+    }
+}

@@ -1,0 +1,259 @@
+//! Acyclicity testing and join-tree construction via GYO reduction.
+//!
+//! The paper (§2.1) uses the standard database-theoretic notion of
+//! (α-)acyclicity: `Q` is acyclic iff it has a join tree. The classic
+//! Graham / Yu–Özsoyoğlu (GYO) reduction decides this: repeatedly
+//!
+//! 1. delete a vertex that occurs in at most one remaining edge ("ear"
+//!    vertex), and
+//! 2. delete an edge whose remaining vertices are contained in another
+//!    remaining edge, recording the container as its join-tree parent,
+//!
+//! until nothing changes. The hypergraph is acyclic iff at most one edge
+//! remains. For disconnected acyclic hypergraphs the component trees are
+//! stitched under a single root, which preserves the connectedness
+//! condition because distinct components share no variables.
+
+use crate::hypergraph::Hypergraph;
+use crate::ids::{EdgeId, Ix};
+use crate::jointree::JoinTree;
+use crate::tree::RootedTree;
+
+/// Outcome of the GYO reduction.
+#[derive(Clone, Debug)]
+pub enum GyoOutcome {
+    /// The hypergraph is acyclic; a valid join tree is attached when it has
+    /// at least one edge.
+    Acyclic(Option<JoinTree>),
+    /// The hypergraph is cyclic; the ids of the irreducible core edges are
+    /// returned (useful diagnostics: these edges form the obstruction).
+    Cyclic(Vec<EdgeId>),
+}
+
+/// `true` iff `h` is acyclic (has a join tree / hw = 1, Theorem 4.5).
+pub fn is_acyclic(h: &Hypergraph) -> bool {
+    matches!(gyo(h), GyoOutcome::Acyclic(_))
+}
+
+/// A join tree of `h`, or `None` if `h` is cyclic or has no edges.
+pub fn join_tree(h: &Hypergraph) -> Option<JoinTree> {
+    match gyo(h) {
+        GyoOutcome::Acyclic(jt) => jt,
+        GyoOutcome::Cyclic(_) => None,
+    }
+}
+
+/// Run the GYO reduction, producing either a join tree or the cyclic core.
+pub fn gyo(h: &Hypergraph) -> GyoOutcome {
+    let m = h.num_edges();
+    if m == 0 {
+        return GyoOutcome::Acyclic(None);
+    }
+    let mut work: Vec<_> = (0..m).map(|e| h.edge_vertices(EdgeId::new(e)).clone()).collect();
+    let mut alive: Vec<bool> = vec![true; m];
+    let mut alive_count = m;
+    let mut parent: Vec<Option<EdgeId>> = vec![None; m];
+
+    let mut changed = true;
+    while changed && alive_count > 1 {
+        changed = false;
+
+        // Rule 1: remove ear vertices (in exactly one remaining edge).
+        for v in h.vertices() {
+            let mut owner = None;
+            let mut count = 0;
+            for e in h.vertex_edges(v) {
+                if alive[e.index()] && work[e.index()].contains(v) {
+                    owner = Some(e);
+                    count += 1;
+                    if count > 1 {
+                        break;
+                    }
+                }
+            }
+            if count == 1 {
+                work[owner.unwrap().index()].remove(v);
+                changed = true;
+            }
+        }
+
+        // Rule 2: remove contained edges, recording the container as parent.
+        for e in 0..m {
+            if !alive[e] {
+                continue;
+            }
+            for f in 0..m {
+                if e == f || !alive[f] {
+                    continue;
+                }
+                let contained = work[e].is_subset_of(&work[f]);
+                // Break ties between equal edges by id, so exactly one of a
+                // duplicated pair is removed per pass.
+                if contained && (work[e] != work[f] || e > f) {
+                    alive[e] = false;
+                    alive_count -= 1;
+                    parent[e] = Some(EdgeId::new(f));
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    if alive_count > 1 {
+        let core = (0..m)
+            .filter(|&e| alive[e])
+            .map(EdgeId::new)
+            .collect();
+        return GyoOutcome::Cyclic(core);
+    }
+
+    // Exactly one edge is left: it becomes the root of the join tree.
+    let root_edge = EdgeId::new((0..m).position(|e| alive[e]).expect("one edge remains"));
+    let mut children: Vec<Vec<EdgeId>> = vec![Vec::new(); m];
+    #[allow(clippy::needless_range_loop)] // the index is the edge id
+    for e in 0..m {
+        if let Some(p) = parent[e] {
+            children[p.index()].push(EdgeId::new(e));
+        }
+    }
+
+    let mut tree = RootedTree::new();
+    let mut node_edge = vec![root_edge];
+    let mut stack = vec![(tree.root(), root_edge)];
+    while let Some((node, e)) = stack.pop() {
+        for &c in &children[e.index()] {
+            let child = tree.add_child(node);
+            node_edge.push(c);
+            debug_assert_eq!(node_edge.len(), child.index() + 1);
+            stack.push((child, c));
+        }
+    }
+    let jt = JoinTree::new(tree, node_edge);
+    debug_assert_eq!(jt.validate(h), Ok(()), "GYO produced an invalid join tree");
+    GyoOutcome::Acyclic(Some(jt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn named(edges: &[(&str, &[&str])]) -> Hypergraph {
+        let mut b = Hypergraph::builder();
+        for (name, vars) in edges {
+            b.edge_by_names(*name, vars);
+        }
+        b.build()
+    }
+
+    /// Q1 of Example 1.1 is cyclic (triangle-shaped sharing).
+    #[test]
+    fn q1_is_cyclic() {
+        let h = named(&[
+            ("enrolled", &["S", "C", "R"]),
+            ("teaches", &["P", "C", "A"]),
+            ("parent", &["P", "S"]),
+        ]);
+        assert!(!is_acyclic(&h));
+        assert!(join_tree(&h).is_none());
+        match gyo(&h) {
+            GyoOutcome::Cyclic(core) => assert_eq!(core.len(), 3),
+            GyoOutcome::Acyclic(_) => panic!("Q1 must be cyclic"),
+        }
+    }
+
+    /// Q2 of Example 1.1 is acyclic (Fig. 1 shows a join tree).
+    #[test]
+    fn q2_is_acyclic() {
+        let h = named(&[
+            ("teaches", &["P", "C", "A"]),
+            ("enrolled", &["S", "Cp", "R"]),
+            ("parent", &["P", "S"]),
+        ]);
+        let jt = join_tree(&h).expect("Q2 is acyclic");
+        assert_eq!(jt.validate(&h), Ok(()));
+        assert_eq!(jt.len(), 3);
+    }
+
+    /// Q3 of Example 2.1:
+    /// r(Y,Z), g(X,Y), s(Y,Z,U), s'(Z,U,W), t(Y,Z), t'(Z,U) — acyclic, Fig. 3.
+    #[test]
+    fn q3_is_acyclic() {
+        let h = named(&[
+            ("r", &["Y", "Z"]),
+            ("g", &["X", "Y"]),
+            ("s1", &["Y", "Z", "U"]),
+            ("s2", &["Z", "U", "W"]),
+            ("t1", &["Y", "Z"]),
+            ("t2", &["Z", "U"]),
+        ]);
+        let jt = join_tree(&h).expect("Q3 is acyclic");
+        assert_eq!(jt.validate(&h), Ok(()));
+    }
+
+    #[test]
+    fn triangle_graph_is_cyclic() {
+        let h = Hypergraph::from_edge_lists(3, &[&[0, 1], &[1, 2], &[0, 2]]);
+        assert!(!is_acyclic(&h));
+    }
+
+    #[test]
+    fn path_and_star_are_acyclic() {
+        let path = Hypergraph::from_edge_lists(4, &[&[0, 1], &[1, 2], &[2, 3]]);
+        assert!(is_acyclic(&path));
+        let star = Hypergraph::from_edge_lists(4, &[&[0, 1], &[0, 2], &[0, 3]]);
+        let jt = join_tree(&star).unwrap();
+        assert_eq!(jt.validate(&star), Ok(()));
+    }
+
+    #[test]
+    fn covered_cycle_is_acyclic() {
+        // A triangle plus an edge covering it: α-acyclic.
+        let h = Hypergraph::from_edge_lists(3, &[&[0, 1], &[1, 2], &[0, 2], &[0, 1, 2]]);
+        let jt = join_tree(&h).expect("covered triangle is α-acyclic");
+        assert_eq!(jt.validate(&h), Ok(()));
+    }
+
+    #[test]
+    fn duplicate_edges_are_handled() {
+        let h = Hypergraph::from_edge_lists(2, &[&[0, 1], &[0, 1], &[0, 1]]);
+        let jt = join_tree(&h).unwrap();
+        assert_eq!(jt.len(), 3);
+        assert_eq!(jt.validate(&h), Ok(()));
+    }
+
+    #[test]
+    fn disconnected_acyclic_is_stitched() {
+        let h = Hypergraph::from_edge_lists(4, &[&[0, 1], &[2, 3]]);
+        let jt = join_tree(&h).expect("two disjoint edges are acyclic");
+        assert_eq!(jt.len(), 2);
+        assert_eq!(jt.validate(&h), Ok(()));
+    }
+
+    #[test]
+    fn disconnected_with_one_cyclic_component() {
+        let h = Hypergraph::from_edge_lists(
+            5,
+            &[&[0, 1], &[1, 2], &[0, 2], &[3, 4]],
+        );
+        assert!(!is_acyclic(&h));
+    }
+
+    #[test]
+    fn empty_and_single_edge() {
+        let h = Hypergraph::from_edge_lists(0, &[]);
+        assert!(is_acyclic(&h));
+        assert!(join_tree(&h).is_none());
+        let h = Hypergraph::from_edge_lists(2, &[&[0, 1]]);
+        let jt = join_tree(&h).unwrap();
+        assert_eq!(jt.len(), 1);
+    }
+
+    #[test]
+    fn nullary_edges_are_absorbed() {
+        let h = Hypergraph::from_edge_lists(2, &[&[], &[0, 1], &[]]);
+        let jt = join_tree(&h).expect("empty edges never create cycles");
+        assert_eq!(jt.len(), 3);
+        assert_eq!(jt.validate(&h), Ok(()));
+    }
+}

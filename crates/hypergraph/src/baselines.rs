@@ -1,0 +1,214 @@
+//! Structural CSP decomposition baselines referenced in Section 6.
+//!
+//! The paper (quoting its companion comparison paper \[21\]) situates bounded
+//! hypertree-width against the structural CSP methods: biconnected
+//! components (Freuder), cycle cutsets (Dechter), and tree clustering /
+//! treewidth of the primal graph. We implement the first two here (tree
+//! clustering is the primal treewidth computed in [`crate::treewidth`]), so
+//! experiment E14 can regenerate the "hypertree width is the most general"
+//! comparison table.
+
+use crate::graph::Graph;
+
+/// The biconnected components of `g` (Hopcroft–Tarjan), each returned as the
+/// list of its vertices. Bridges are biconnected components of size 2;
+/// isolated vertices belong to no component.
+pub fn biconnected_components(g: &Graph) -> Vec<Vec<usize>> {
+    let n = g.len();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut timer = 0usize;
+    let mut edge_stack: Vec<(usize, usize)> = Vec::new();
+    let mut out: Vec<Vec<usize>> = Vec::new();
+
+    // Iterative DFS: each frame is (vertex, parent, neighbour iterator state).
+    for start in 0..n {
+        if disc[start] != usize::MAX {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize, Vec<usize>, usize)> = Vec::new();
+        disc[start] = timer;
+        low[start] = timer;
+        timer += 1;
+        stack.push((start, usize::MAX, g.neighbors(start).collect(), 0));
+        while let Some((u, parent, nbrs, idx)) = stack.last_mut() {
+            let (u, parent) = (*u, *parent);
+            if *idx < nbrs.len() {
+                let v = nbrs[*idx];
+                *idx += 1;
+                if v == parent {
+                    continue;
+                }
+                if disc[v] == usize::MAX {
+                    edge_stack.push((u, v));
+                    disc[v] = timer;
+                    low[v] = timer;
+                    timer += 1;
+                    let v_nbrs: Vec<usize> = g.neighbors(v).collect();
+                    stack.push((v, u, v_nbrs, 0));
+                } else if disc[v] < disc[u] {
+                    edge_stack.push((u, v));
+                    low[u] = low[u].min(disc[v]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&mut (p, _, _, _)) = stack.last_mut() {
+                    low[p] = low[p].min(low[u]);
+                    if low[u] >= disc[p] {
+                        // p is an articulation point (or the root): pop the
+                        // component containing the tree edge (p, u).
+                        let mut comp_vertices = Vec::new();
+                        let mut seen = vec![false; n];
+                        while let Some(&(a, b)) = edge_stack.last() {
+                            if disc[a] < disc[u] && a != p {
+                                break;
+                            }
+                            edge_stack.pop();
+                            for x in [a, b] {
+                                if !seen[x] {
+                                    seen[x] = true;
+                                    comp_vertices.push(x);
+                                }
+                            }
+                            if (a, b) == (p, u) {
+                                break;
+                            }
+                        }
+                        if !comp_vertices.is_empty() {
+                            out.push(comp_vertices);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Width of the biconnected-components method (Freuder): the size of the
+/// largest biconnected component of the primal graph; 1 for forests.
+pub fn biconnected_width(g: &Graph) -> usize {
+    biconnected_components(g)
+        .iter()
+        .map(|c| c.len())
+        .max()
+        .unwrap_or(1)
+}
+
+/// A cycle cutset computed greedily: repeatedly remove the highest-degree
+/// vertex that lies on a cycle until the graph is a forest. Returns the
+/// removed vertices. (Finding a minimum cutset is NP-hard; the greedy bound
+/// suffices for the E14 comparison, where only the *growth* matters.)
+pub fn greedy_cycle_cutset(g: &Graph) -> Vec<usize> {
+    let mut current = g.clone();
+    let mut cutset = Vec::new();
+    while !current.is_forest() {
+        // Only vertices inside a biconnected component of ≥ 3 vertices lie
+        // on a cycle; removing anything else is wasted work.
+        let on_cycle: Vec<usize> = biconnected_components(&current)
+            .into_iter()
+            .filter(|c| c.len() >= 3)
+            .flatten()
+            .collect();
+        let v = on_cycle
+            .iter()
+            .copied()
+            .max_by_key(|&v| current.degree(v))
+            .expect("non-forest graphs have a cycle vertex");
+        cutset.push(v);
+        current = current.without_nodes(&[v]);
+    }
+    cutset
+}
+
+/// Width of the cycle-cutset method: cutset size + 1.
+pub fn cycle_cutset_width(g: &Graph) -> usize {
+    greedy_cycle_cutset(g).len() + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n);
+        }
+        g
+    }
+
+    #[test]
+    fn biconnected_of_cycle_is_whole_cycle() {
+        let comps = biconnected_components(&cycle(5));
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 5);
+        assert_eq!(biconnected_width(&cycle(5)), 5);
+    }
+
+    #[test]
+    fn biconnected_of_path_is_bridges() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        let mut comps = biconnected_components(&g);
+        comps.iter_mut().for_each(|c| c.sort_unstable());
+        comps.sort();
+        assert_eq!(comps, vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
+        assert_eq!(biconnected_width(&g), 2);
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_vertex() {
+        // 0-1-2-0 and 2-3-4-2: vertex 2 is an articulation point.
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        g.add_edge(4, 2);
+        let mut comps = biconnected_components(&g);
+        comps.iter_mut().for_each(|c| c.sort_unstable());
+        comps.sort();
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![2, 3, 4]]);
+    }
+
+    #[test]
+    fn isolated_and_empty_graphs() {
+        assert!(biconnected_components(&Graph::new(3)).is_empty());
+        assert_eq!(biconnected_width(&Graph::new(3)), 1);
+        assert!(biconnected_components(&Graph::new(0)).is_empty());
+    }
+
+    #[test]
+    fn cutset_of_forest_is_empty() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert!(greedy_cycle_cutset(&g).is_empty());
+        assert_eq!(cycle_cutset_width(&g), 1);
+    }
+
+    #[test]
+    fn cutset_breaks_all_cycles() {
+        let g = cycle(6);
+        let cut = greedy_cycle_cutset(&g);
+        assert!(!cut.is_empty());
+        assert!(g.without_nodes(&cut).is_forest());
+        assert_eq!(cut.len(), 1, "one vertex suffices for a single cycle");
+    }
+
+    #[test]
+    fn cutset_on_two_disjoint_cycles() {
+        let mut g = Graph::new(8);
+        for i in 0..4 {
+            g.add_edge(i, (i + 1) % 4);
+            g.add_edge(4 + i, 4 + (i + 1) % 4);
+        }
+        let cut = greedy_cycle_cutset(&g);
+        assert_eq!(cut.len(), 2);
+        assert!(g.without_nodes(&cut).is_forest());
+    }
+}

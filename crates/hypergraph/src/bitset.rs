@@ -1,0 +1,398 @@
+//! Dense, typed bitsets over a fixed universe.
+//!
+//! Sets of vertices and sets of edges are the working currency of every
+//! algorithm in this workspace: `[V]`-components, separators, λ-labels,
+//! χ-labels, memoisation keys. [`IdSet`] stores them as packed `u64` words
+//! with a phantom index type, so a set of [`crate::VertexId`]s can never be
+//! confused with a set of [`crate::EdgeId`]s.
+//!
+//! The universe size is fixed at construction and all words beyond it are
+//! kept zero, so `Eq`/`Ord`/`Hash` on the word vector are structural set
+//! equality/ordering — which is what makes these sets usable as hash-map
+//! keys in the k-decomp memo tables.
+
+use crate::ids::Ix;
+use std::fmt;
+use std::marker::PhantomData;
+
+const WORD_BITS: usize = 64;
+
+/// A set of typed ids drawn from a universe `{0, .., universe-1}`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IdSet<T: Ix> {
+    words: Vec<u64>,
+    universe: u32,
+    _marker: PhantomData<T>,
+}
+
+impl<T: Ix> IdSet<T> {
+    /// The empty set over a universe of `universe` ids.
+    pub fn empty(universe: usize) -> Self {
+        IdSet {
+            words: vec![0; universe.div_ceil(WORD_BITS)],
+            universe: universe as u32,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The full set `{0, .., universe-1}`.
+    pub fn full(universe: usize) -> Self {
+        let mut s = Self::empty(universe);
+        s.insert_all();
+        s
+    }
+
+    /// A singleton `{id}` over the given universe.
+    pub fn singleton(universe: usize, id: T) -> Self {
+        let mut s = Self::empty(universe);
+        s.insert(id);
+        s
+    }
+
+    /// Build a set from an iterator of ids.
+    pub fn from_iter<I: IntoIterator<Item = T>>(universe: usize, ids: I) -> Self {
+        let mut s = Self::empty(universe);
+        for id in ids {
+            s.insert(id);
+        }
+        s
+    }
+
+    /// Number of ids in the universe (not the cardinality of the set).
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe as usize
+    }
+
+    /// Insert `id`; returns `true` if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, id: T) -> bool {
+        let i = id.index();
+        debug_assert!(i < self.universe as usize, "id {i} outside universe");
+        let word = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    /// Remove `id`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, id: T) -> bool {
+        let i = id.index();
+        debug_assert!(i < self.universe as usize, "id {i} outside universe");
+        let word = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        let present = *word & mask != 0;
+        *word &= !mask;
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, id: T) -> bool {
+        let i = id.index();
+        if i >= self.universe as usize {
+            return false;
+        }
+        self.words[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
+    }
+
+    /// Make this the full universe.
+    pub fn insert_all(&mut self) {
+        for w in &mut self.words {
+            *w = u64::MAX;
+        }
+        self.mask_tail();
+    }
+
+    /// Make this the empty set.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Cardinality of the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` iff the set has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place union: `self ∪= other`.
+    pub fn union_with(&mut self, other: &Self) {
+        self.check_same_universe(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection: `self ∩= other`.
+    pub fn intersect_with(&mut self, other: &Self) {
+        self.check_same_universe(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference: `self \= other`.
+    pub fn difference_with(&mut self, other: &Self) {
+        self.check_same_universe(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Fresh union `self ∪ other`.
+    #[must_use]
+    pub fn union(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// Fresh intersection `self ∩ other`.
+    #[must_use]
+    pub fn intersection(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// Fresh difference `self \ other`.
+    #[must_use]
+    pub fn difference(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.difference_with(other);
+        out
+    }
+
+    /// Fresh complement w.r.t. the universe.
+    #[must_use]
+    pub fn complement(&self) -> Self {
+        let mut out = self.clone();
+        for w in &mut out.words {
+            *w = !*w;
+        }
+        out.mask_tail();
+        out
+    }
+
+    /// `true` iff `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &Self) -> bool {
+        self.check_same_universe(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// `true` iff `self ⊂ other` (proper subset).
+    pub fn is_proper_subset_of(&self, other: &Self) -> bool {
+        self.is_subset_of(other) && self != other
+    }
+
+    /// `true` iff `self ∩ other ≠ ∅`.
+    pub fn intersects(&self, other: &Self) -> bool {
+        self.check_same_universe(other);
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// `true` iff `self ∩ other = ∅`.
+    pub fn is_disjoint_from(&self, other: &Self) -> bool {
+        !self.intersects(other)
+    }
+
+    /// Smallest id in the set, if any.
+    pub fn first(&self) -> Option<T> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(T::new(wi * WORD_BITS + w.trailing_zeros() as usize));
+            }
+        }
+        None
+    }
+
+    /// Iterate over the members in increasing id order.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter {
+            words: &self.words,
+            word_index: 0,
+            current: self.words.first().copied().unwrap_or(0),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Collect the members into a `Vec` (increasing id order).
+    pub fn to_vec(&self) -> Vec<T> {
+        self.iter().collect()
+    }
+
+    #[inline]
+    fn mask_tail(&mut self) {
+        let n = self.universe as usize;
+        if !n.is_multiple_of(WORD_BITS) {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << (n % WORD_BITS)) - 1;
+            }
+        }
+    }
+
+    #[inline]
+    fn check_same_universe(&self, other: &Self) {
+        debug_assert_eq!(
+            self.universe, other.universe,
+            "set operation across different universes"
+        );
+    }
+}
+
+/// Iterator over the members of an [`IdSet`].
+pub struct Iter<'a, T: Ix> {
+    words: &'a [u64],
+    word_index: usize,
+    current: u64,
+    _marker: PhantomData<T>,
+}
+
+impl<T: Ix> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        while self.current == 0 {
+            self.word_index += 1;
+            if self.word_index >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_index];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(T::new(self.word_index * WORD_BITS + bit))
+    }
+}
+
+impl<'a, T: Ix> IntoIterator for &'a IdSet<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+impl<T: Ix> fmt::Debug for IdSet<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// A set of vertices.
+pub type VertexSet = IdSet<crate::VertexId>;
+/// A set of edges.
+pub type EdgeSet = IdSet<crate::EdgeId>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VertexId;
+
+    fn set(universe: usize, members: &[usize]) -> VertexSet {
+        VertexSet::from_iter(universe, members.iter().map(|&i| VertexId::new(i)))
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = VertexSet::empty(130);
+        assert!(s.insert(VertexId(0)));
+        assert!(s.insert(VertexId(64)));
+        assert!(s.insert(VertexId(129)));
+        assert!(!s.insert(VertexId(129)), "double insert reports not fresh");
+        assert!(s.contains(VertexId(64)));
+        assert!(!s.contains(VertexId(63)));
+        assert_eq!(s.len(), 3);
+        assert!(s.remove(VertexId(64)));
+        assert!(!s.remove(VertexId(64)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = set(10, &[1, 2, 3]);
+        let b = set(10, &[3, 4]);
+        assert_eq!(a.union(&b), set(10, &[1, 2, 3, 4]));
+        assert_eq!(a.intersection(&b), set(10, &[3]));
+        assert_eq!(a.difference(&b), set(10, &[1, 2]));
+        assert!(a.intersects(&b));
+        assert!(!a.is_disjoint_from(&b));
+        assert!(set(10, &[1, 2]).is_subset_of(&a));
+        assert!(set(10, &[1, 2]).is_proper_subset_of(&a));
+        assert!(!a.is_proper_subset_of(&a));
+        assert!(a.is_subset_of(&a));
+    }
+
+    #[test]
+    fn complement_masks_the_tail() {
+        let a = set(70, &[0, 69]);
+        let c = a.complement();
+        assert_eq!(c.len(), 68);
+        assert!(!c.contains(VertexId(0)));
+        assert!(!c.contains(VertexId(69)));
+        assert!(c.contains(VertexId(68)));
+        // Complementing twice restores the original, so Eq is structural.
+        assert_eq!(c.complement(), a);
+    }
+
+    #[test]
+    fn full_and_clear() {
+        let mut f = VertexSet::full(67);
+        assert_eq!(f.len(), 67);
+        f.clear();
+        assert!(f.is_empty());
+        assert!(VertexSet::empty(0).is_empty());
+        assert_eq!(VertexSet::full(0).len(), 0);
+    }
+
+    #[test]
+    fn iteration_in_order() {
+        let s = set(200, &[5, 0, 199, 64, 65]);
+        assert_eq!(
+            s.to_vec(),
+            vec![
+                VertexId(0),
+                VertexId(5),
+                VertexId(64),
+                VertexId(65),
+                VertexId(199)
+            ]
+        );
+        assert_eq!(s.first(), Some(VertexId(0)));
+        assert_eq!(VertexSet::empty(10).first(), None);
+    }
+
+    #[test]
+    fn equality_is_set_equality() {
+        let a = set(100, &[7, 90]);
+        let mut b = VertexSet::empty(100);
+        b.insert(VertexId(90));
+        b.insert(VertexId(7));
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        a.hash(&mut h1);
+        b.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn singleton_and_from_iter() {
+        let s = VertexSet::singleton(5, VertexId(3));
+        assert_eq!(s.to_vec(), vec![VertexId(3)]);
+        let t = VertexSet::from_iter(5, [VertexId(1), VertexId(1), VertexId(4)]);
+        assert_eq!(t.len(), 2);
+    }
+}

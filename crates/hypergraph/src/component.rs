@@ -1,0 +1,302 @@
+//! `[V]`-components and `[V]`-paths (Section 3.2 of the paper).
+//!
+//! For a set of variables `V`, two variables `X, Y ∉ V` are `[V]`-adjacent
+//! if some edge contains both of them and avoids `V` on those positions
+//! (formally `{X,Y} ⊆ var(A) − V`). A `[V]`-component is a maximal
+//! `[V]`-connected non-empty set of variables disjoint from `V`.
+//!
+//! Components drive both the k-decomp algorithm (Fig. 10) and the
+//! query-decomposition search, so this module is a hot path: it works
+//! entirely on bitsets and visits every edge at most once per call.
+
+use crate::bitset::{EdgeSet, VertexSet};
+use crate::hypergraph::Hypergraph;
+use crate::ids::VertexId;
+
+/// A `[V]`-component: its vertices `C` and `atoms(C)`, the edges meeting it.
+///
+/// Note that for every edge `A` with `var(A) ⊄ V` there is exactly one
+/// component `C` with `A ∈ atoms(C)` (observation at the end of §3.2),
+/// which is why each component can own its edge set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Component {
+    /// The variables of the component (disjoint from the separator).
+    pub vertices: VertexSet,
+    /// `atoms(C) = {A | var(A) ∩ C ≠ ∅}`.
+    pub edges: EdgeSet,
+}
+
+impl Component {
+    /// `true` iff the component's variables lie within `within`.
+    pub fn is_within(&self, within: &VertexSet) -> bool {
+        self.vertices.is_subset_of(within)
+    }
+}
+
+/// All `[separator]`-components of `h`.
+///
+/// Vertices that occur in no edge do not form components (they are not
+/// `[V]`-connected to themselves via any atom, and the paper's queries have
+/// no such variables); callers that care use
+/// [`Hypergraph::isolated_vertices`].
+pub fn components(h: &Hypergraph, separator: &VertexSet) -> Vec<Component> {
+    let n = h.num_vertices();
+    let mut visited = separator.clone();
+    let mut edge_seen = h.empty_edge_set();
+    let mut out = Vec::new();
+    let mut queue: Vec<VertexId> = Vec::new();
+
+    for start in h.vertices() {
+        if visited.contains(start) || h.vertex_edges(start).is_empty() {
+            continue;
+        }
+        let mut comp = Component {
+            vertices: VertexSet::empty(n),
+            edges: h.empty_edge_set(),
+        };
+        visited.insert(start);
+        comp.vertices.insert(start);
+        queue.push(start);
+        while let Some(x) = queue.pop() {
+            for e in h.vertex_edges(x) {
+                if !edge_seen.insert(e) {
+                    continue;
+                }
+                comp.edges.insert(e);
+                for w in h.edge_vertices(e) {
+                    if !visited.contains(w) {
+                        visited.insert(w);
+                        comp.vertices.insert(w);
+                        queue.push(w);
+                    }
+                }
+            }
+        }
+        out.push(comp);
+    }
+    out
+}
+
+/// The `[separator]`-components whose vertices lie inside `within`
+/// (Step 4 of `k-decomp`: "for each `[var(S)]`-component `C` such that
+/// `C ⊆ C_R`").
+pub fn components_within(
+    h: &Hypergraph,
+    separator: &VertexSet,
+    within: &VertexSet,
+) -> Vec<Component> {
+    components(h, separator)
+        .into_iter()
+        .filter(|c| c.is_within(within))
+        .collect()
+}
+
+/// `true` iff there is a `[separator]`-path from `x` to `y`.
+///
+/// Defined per §3.2: a `[V]`-path may *start and end* at vertices of `V`
+/// only when `h = 0` (trivial path `x = y`); here we use the common reading
+/// that `x, y ∉ V` and every step uses an edge avoiding `V` beyond its two
+/// endpoints — i.e. `x` and `y` lie in one `[V]`-component, or `x = y`.
+pub fn connected(h: &Hypergraph, separator: &VertexSet, x: VertexId, y: VertexId) -> bool {
+    if x == y {
+        return true;
+    }
+    if separator.contains(x) || separator.contains(y) {
+        return false;
+    }
+    components(h, separator)
+        .iter()
+        .any(|c| c.vertices.contains(x) && c.vertices.contains(y))
+}
+
+/// The connecting set `Conn(C, R) = ⋃_{A ∈ atoms(C)} (var(A) ∩ var(R))`.
+///
+/// Step 2(a) of `k-decomp` demands `∀A ∈ atoms(C_R): var(A) ∩ var(R) ⊆
+/// var(S)`; since a union of sets is contained in `var(S)` iff each of them
+/// is, that check is equivalent to `Conn(C_R, R) ⊆ var(S)` — and `Conn` is
+/// the only part of `R` the subproblem depends on, which makes it the
+/// memoisation key of the deterministic solver.
+pub fn connecting_set(h: &Hypergraph, component: &Component, separator_vars: &VertexSet) -> VertexSet {
+    let mut conn = h.empty_vertex_set();
+    for e in &component.edges {
+        let mut shared = h.edge_vertices(e).clone();
+        shared.intersect_with(separator_vars);
+        conn.union_with(&shared);
+    }
+    conn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Q5 from Example 3.5:
+    /// a(S,X,X',C,F), b(S,Y,Y',C',F'), c(C,C',Z), d(X,Z), e(Y,Z),
+    /// f(F,F',Z'), g(X',Z'), h(Y',Z'), j(J,X,Y,X',Y').
+    pub(crate) fn q5() -> Hypergraph {
+        let mut b = Hypergraph::builder();
+        b.edge_by_names("a", &["S", "X", "Xp", "C", "F"]);
+        b.edge_by_names("b", &["S", "Y", "Yp", "Cp", "Fp"]);
+        b.edge_by_names("c", &["C", "Cp", "Z"]);
+        b.edge_by_names("d", &["X", "Z"]);
+        b.edge_by_names("e", &["Y", "Z"]);
+        b.edge_by_names("f", &["F", "Fp", "Zp"]);
+        b.edge_by_names("g", &["Xp", "Zp"]);
+        b.edge_by_names("h", &["Yp", "Zp"]);
+        b.edge_by_names("j", &["J", "X", "Y", "Xp", "Yp"]);
+        b.build()
+    }
+
+    fn vset(h: &Hypergraph, names: &[&str]) -> VertexSet {
+        let mut s = h.empty_vertex_set();
+        for n in names {
+            s.insert(h.vertex_by_name(n).unwrap());
+        }
+        s
+    }
+
+    #[test]
+    fn empty_separator_gives_connected_components() {
+        let h = q5();
+        let comps = components(&h, &h.empty_vertex_set());
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].vertices, h.all_vertices());
+        assert_eq!(comps[0].edges, h.all_edges());
+    }
+
+    /// The running example of §3.3: with `var(p0) = var(a) ∪ var(b)` fixed,
+    /// the three components are {J}, {Z}, {Z'}.
+    #[test]
+    fn q5_root_components_match_paper() {
+        let h = q5();
+        let sep = vset(&h, &["S", "X", "Xp", "C", "F", "Y", "Yp", "Cp", "Fp"]);
+        let mut comps = components(&h, &sep);
+        comps.sort_by_key(|c| c.vertices.first());
+        assert_eq!(comps.len(), 3);
+        let names: Vec<VertexSet> = vec![
+            vset(&h, &["Z"]),
+            vset(&h, &["Zp"]),
+            vset(&h, &["J"]),
+        ];
+        for want in names {
+            assert!(
+                comps.iter().any(|c| c.vertices == want),
+                "missing component {:?}",
+                h.display_vertex_set(&want)
+            );
+        }
+        // atoms({Z}) = {c, d, e}; atoms({Z'}) = {f, g, h}; atoms({J}) = {j}.
+        let z = comps
+            .iter()
+            .find(|c| c.vertices == vset(&h, &["Z"]))
+            .unwrap();
+        assert_eq!(h.display_edge_set(&z.edges), "{c,d,e}");
+        let j = comps
+            .iter()
+            .find(|c| c.vertices == vset(&h, &["J"]))
+            .unwrap();
+        assert_eq!(h.display_edge_set(&j.edges), "{j}");
+    }
+
+    #[test]
+    fn separator_vertices_belong_to_no_component() {
+        let h = q5();
+        let sep = vset(&h, &["Z"]);
+        for c in components(&h, &sep) {
+            assert!(c.vertices.is_disjoint_from(&sep));
+            assert!(!c.vertices.is_empty());
+        }
+    }
+
+    #[test]
+    fn components_partition_the_rest() {
+        let h = q5();
+        let sep = vset(&h, &["X", "Y", "Zp"]);
+        let comps = components(&h, &sep);
+        let mut seen = h.empty_vertex_set();
+        for c in &comps {
+            assert!(seen.is_disjoint_from(&c.vertices), "components overlap");
+            seen.union_with(&c.vertices);
+        }
+        seen.union_with(&sep);
+        assert_eq!(seen, h.all_vertices());
+    }
+
+    #[test]
+    fn each_uncovered_edge_in_exactly_one_component() {
+        let h = q5();
+        let sep = vset(&h, &["S", "Z", "Zp"]);
+        let comps = components(&h, &sep);
+        for e in h.edges() {
+            let owners = comps
+                .iter()
+                .filter(|c| c.edges.contains(e))
+                .count();
+            if h.edge_vertices(e).is_subset_of(&sep) {
+                assert_eq!(owners, 0, "{} fully in separator", h.edge_name(e));
+            } else {
+                assert_eq!(owners, 1, "{} should be owned once", h.edge_name(e));
+            }
+        }
+    }
+
+    #[test]
+    fn components_within_filters() {
+        let h = q5();
+        // Root component split: fix var(a) ∪ var(b); take component {Z}.
+        let root_sep = vset(&h, &["S", "X", "Xp", "C", "F", "Y", "Yp", "Cp", "Fp"]);
+        let z_comp = components(&h, &root_sep)
+            .into_iter()
+            .find(|c| c.vertices == vset(&h, &["Z"]))
+            .unwrap();
+        // Now separate with var({c,d,e}) ⊇ {Z}: inside {Z} nothing remains.
+        let sep = vset(&h, &["C", "Cp", "Z", "X", "Y"]);
+        let within = components_within(&h, &sep, &z_comp.vertices);
+        assert!(within.is_empty());
+        // With an empty separator there is one component and it is not
+        // inside {Z}.
+        let all = components_within(&h, &h.empty_vertex_set(), &z_comp.vertices);
+        assert!(all.is_empty());
+    }
+
+    #[test]
+    fn connectivity_queries() {
+        let h = q5();
+        let z = h.vertex_by_name("Z").unwrap();
+        let zp = h.vertex_by_name("Zp").unwrap();
+        let j = h.vertex_by_name("J").unwrap();
+        assert!(connected(&h, &h.empty_vertex_set(), z, zp));
+        let sep = vset(&h, &["S", "X", "Xp", "C", "F", "Y", "Yp", "Cp", "Fp"]);
+        assert!(!connected(&h, &sep, z, zp));
+        assert!(!connected(&h, &sep, z, j));
+        assert!(connected(&h, &sep, z, z));
+        // Separator members are on no [V]-path to anything else.
+        let x = h.vertex_by_name("X").unwrap();
+        assert!(!connected(&h, &sep, x, z));
+    }
+
+    #[test]
+    fn connecting_set_matches_definition() {
+        let h = q5();
+        let root_sep = vset(&h, &["S", "X", "Xp", "C", "F", "Y", "Yp", "Cp", "Fp"]);
+        let z_comp = components(&h, &root_sep)
+            .into_iter()
+            .find(|c| c.vertices == vset(&h, &["Z"]))
+            .unwrap();
+        // atoms({Z}) = {c,d,e}; their intersection with the separator is
+        // {C,C'} ∪ {X} ∪ {Y}.
+        let conn = connecting_set(&h, &z_comp, &root_sep);
+        assert_eq!(conn, vset(&h, &["C", "Cp", "X", "Y"]));
+    }
+
+    #[test]
+    fn disconnected_hypergraph_components() {
+        let h = Hypergraph::from_edge_lists(5, &[&[0, 1], &[2, 3]]);
+        let comps = components(&h, &h.empty_vertex_set());
+        assert_eq!(comps.len(), 2);
+        // vertex 4 is isolated: no component contains it.
+        assert!(comps
+            .iter()
+            .all(|c| !c.vertices.contains(VertexId(4))));
+    }
+}

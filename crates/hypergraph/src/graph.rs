@@ -1,0 +1,264 @@
+//! Simple undirected graphs: the primal (Gaifman) graph and the
+//! variable–atom incidence graph VAIG of a query (Section 6 of the paper),
+//! plus the graph substrate for the treewidth and CSP-method baselines.
+
+use crate::hypergraph::Hypergraph;
+use crate::ids::{EdgeId, Ix, VertexId};
+
+/// An undirected simple graph on `n` nodes with bitset adjacency rows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    /// `adj[u]` is the neighbourhood of `u` as a bitmask over nodes.
+    adj: Vec<Vec<u64>>,
+    n: usize,
+    labels: Vec<String>,
+}
+
+impl Graph {
+    /// An edgeless graph with `n` nodes labelled `0..n`.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![vec![0u64; n.div_ceil(64)]; n],
+            n,
+            labels: (0..n).map(|i| i.to_string()).collect(),
+        }
+    }
+
+    /// Replace the node labels (used for display in experiment tables).
+    pub fn set_labels(&mut self, labels: Vec<String>) {
+        assert_eq!(labels.len(), self.n);
+        self.labels = labels;
+    }
+
+    /// Node label.
+    pub fn label(&self, u: usize) -> &str {
+        &self.labels[u]
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` iff the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Add the undirected edge `{u, v}` (self-loops are ignored).
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        if u == v {
+            return;
+        }
+        self.adj[u][v / 64] |= 1 << (v % 64);
+        self.adj[v][u / 64] |= 1 << (u % 64);
+    }
+
+    /// `true` iff `{u, v}` is an edge.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u != v && self.adj[u][v / 64] & (1 << (v % 64)) != 0
+    }
+
+    /// Iterate over the neighbours of `u`.
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        BitIter {
+            words: &self.adj[u],
+            word_index: 0,
+            current: self.adj[u].first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        (0..self.n).map(|u| self.degree(u)).sum::<usize>() / 2
+    }
+
+    /// `true` iff the graph has no cycles (is a forest).
+    pub fn is_forest(&self) -> bool {
+        let mut visited = vec![false; self.n];
+        for start in 0..self.n {
+            if visited[start] {
+                continue;
+            }
+            // BFS tracking parents: a visited neighbour that is not the
+            // parent closes a cycle.
+            let mut queue = vec![(start, usize::MAX)];
+            visited[start] = true;
+            while let Some((u, parent)) = queue.pop() {
+                let mut seen_parent = false;
+                for v in self.neighbors(u) {
+                    if v == parent && !seen_parent {
+                        seen_parent = true;
+                        continue;
+                    }
+                    if visited[v] {
+                        return false;
+                    }
+                    visited[v] = true;
+                    queue.push((v, u));
+                }
+            }
+        }
+        true
+    }
+
+    /// The subgraph induced by deleting `removed` nodes (kept nodes keep
+    /// their indices; removed nodes become isolated).
+    pub fn without_nodes(&self, removed: &[usize]) -> Graph {
+        let mut g = self.clone();
+        for &r in removed {
+            for v in 0..self.n {
+                g.adj[r][v / 64] &= !(1 << (v % 64));
+                g.adj[v][r / 64] &= !(1 << (r % 64));
+            }
+        }
+        g
+    }
+}
+
+struct BitIter<'a> {
+    words: &'a [u64],
+    word_index: usize,
+    current: u64,
+}
+
+impl Iterator for BitIter<'_> {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_index += 1;
+            if self.word_index >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_index];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_index * 64 + bit)
+    }
+}
+
+/// The primal (Gaifman) graph `G(Q)`: nodes are the variables; two variables
+/// are adjacent iff they occur together in some atom (§6).
+pub fn primal_graph(h: &Hypergraph) -> Graph {
+    let mut g = Graph::new(h.num_vertices());
+    g.set_labels(h.vertices().map(|v| h.vertex_name(v).to_string()).collect());
+    for e in h.edges() {
+        let members: Vec<VertexId> = h.edge_vertices(e).to_vec();
+        for (i, &u) in members.iter().enumerate() {
+            for &v in &members[i + 1..] {
+                g.add_edge(u.index(), v.index());
+            }
+        }
+    }
+    g
+}
+
+/// The variable–atom incidence graph `VAIG(Q)` (§6): a bipartite graph whose
+/// nodes are the variables (indices `0..n`) followed by the atoms (indices
+/// `n..n+m`), with an edge between variable `X` and atom `A` iff `X ∈ var(A)`.
+pub fn incidence_graph(h: &Hypergraph) -> Graph {
+    let n = h.num_vertices();
+    let mut g = Graph::new(n + h.num_edges());
+    let mut labels: Vec<String> = h.vertices().map(|v| h.vertex_name(v).to_string()).collect();
+    labels.extend(h.edges().map(|e| h.edge_name(e).to_string()));
+    g.set_labels(labels);
+    for e in h.edges() {
+        for v in h.edge_vertices(e) {
+            g.add_edge(v.index(), n + e.index());
+        }
+    }
+    g
+}
+
+/// Index of the node representing edge `e` inside [`incidence_graph`].
+pub fn incidence_node_of_edge(h: &Hypergraph, e: EdgeId) -> usize {
+    h.num_vertices() + e.index()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_graph_ops() {
+        let mut g = Graph::new(70);
+        g.add_edge(0, 69);
+        g.add_edge(0, 1);
+        g.add_edge(1, 1); // self loop ignored
+        assert!(g.has_edge(69, 0));
+        assert!(!g.has_edge(1, 1));
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0).collect::<Vec<_>>(), vec![1, 69]);
+    }
+
+    #[test]
+    fn forest_detection() {
+        let mut path = Graph::new(4);
+        path.add_edge(0, 1);
+        path.add_edge(1, 2);
+        path.add_edge(2, 3);
+        assert!(path.is_forest());
+        let mut cycle = path.clone();
+        cycle.add_edge(3, 0);
+        assert!(!cycle.is_forest());
+        assert!(Graph::new(0).is_forest());
+        assert!(Graph::new(5).is_forest());
+    }
+
+    #[test]
+    fn without_nodes_breaks_cycles() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        assert!(!g.is_forest());
+        assert!(g.without_nodes(&[2]).is_forest());
+    }
+
+    #[test]
+    fn primal_graph_of_q1() {
+        let mut b = Hypergraph::builder();
+        b.edge_by_names("enrolled", &["S", "C", "R"]);
+        b.edge_by_names("teaches", &["P", "C", "A"]);
+        b.edge_by_names("parent", &["P", "S"]);
+        let h = b.build();
+        let g = primal_graph(&h);
+        let s = h.vertex_by_name("S").unwrap().index();
+        let c = h.vertex_by_name("C").unwrap().index();
+        let p = h.vertex_by_name("P").unwrap().index();
+        let r = h.vertex_by_name("R").unwrap().index();
+        let a = h.vertex_by_name("A").unwrap().index();
+        assert!(g.has_edge(s, c));
+        assert!(g.has_edge(p, s));
+        assert!(g.has_edge(p, a));
+        assert!(!g.has_edge(r, a));
+        assert_eq!(g.label(s), "S");
+    }
+
+    #[test]
+    fn incidence_graph_is_bipartite_by_construction() {
+        let h = Hypergraph::from_edge_lists(3, &[&[0, 1], &[1, 2]]);
+        let g = incidence_graph(&h);
+        assert_eq!(g.len(), 5);
+        // Variable 1 touches both atoms.
+        assert!(g.has_edge(1, 3));
+        assert!(g.has_edge(1, 4));
+        // No variable-variable or atom-atom edges.
+        for u in 0..3 {
+            for v in 0..3 {
+                assert!(!g.has_edge(u, v), "unexpected edge {u}-{v}");
+            }
+        }
+        assert!(!g.has_edge(3, 4));
+        assert_eq!(incidence_node_of_edge(&h, EdgeId(1)), 4);
+    }
+}

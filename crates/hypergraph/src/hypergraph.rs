@@ -1,0 +1,362 @@
+//! The hypergraph data type (Appendix A of the paper).
+//!
+//! A hypergraph `H = (V, H)` has named vertices (query variables) and named
+//! hyperedges (query atoms); the edge set of a conjunctive query `Q` is
+//! `{var(A) | A ∈ atoms(Q)}`, one edge per atom (duplicated variable sets
+//! are kept as distinct edges, mirroring distinct atoms).
+
+use crate::bitset::{EdgeSet, VertexSet};
+use crate::ids::{EdgeId, Ix, VertexId};
+use std::fmt;
+
+/// An immutable hypergraph over named vertices and edges.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Hypergraph {
+    vertex_names: Vec<String>,
+    edge_names: Vec<String>,
+    /// Vertex set of each edge.
+    edge_verts: Vec<VertexSet>,
+    /// Vertices of each edge in first-occurrence (atom argument) order —
+    /// used for display so figures match the paper's atom representation.
+    edge_lists: Vec<Vec<VertexId>>,
+    /// Edges incident to each vertex.
+    incident: Vec<EdgeSet>,
+}
+
+impl Hypergraph {
+    /// Start building a hypergraph.
+    pub fn builder() -> HypergraphBuilder {
+        HypergraphBuilder::default()
+    }
+
+    /// Build a hypergraph from raw vertex-index lists, with synthetic names
+    /// (`X0, X1, ..` / `e0, e1, ..`). Convenient in tests and generators.
+    pub fn from_edge_lists(num_vertices: usize, edges: &[&[usize]]) -> Self {
+        let mut b = HypergraphBuilder::default();
+        for i in 0..num_vertices {
+            b.add_vertex(format!("X{i}"));
+        }
+        for (i, e) in edges.iter().enumerate() {
+            let vs: Vec<VertexId> = e.iter().map(|&v| VertexId::new(v)).collect();
+            b.add_edge(format!("e{i}"), &vs);
+        }
+        b.build()
+    }
+
+    /// Number of vertices, `|var(H)|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_names.len()
+    }
+
+    /// Number of hyperedges, `|edges(H)|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edge_names.len()
+    }
+
+    /// Iterate over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.num_vertices()).map(VertexId::new)
+    }
+
+    /// Iterate over all edge ids.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.num_edges()).map(EdgeId::new)
+    }
+
+    /// The vertex set `var(e)` of an edge.
+    #[inline]
+    pub fn edge_vertices(&self, e: EdgeId) -> &VertexSet {
+        &self.edge_verts[e.index()]
+    }
+
+    /// The vertices of an edge in first-occurrence (argument) order.
+    #[inline]
+    pub fn edge_vertex_list(&self, e: EdgeId) -> &[VertexId] {
+        &self.edge_lists[e.index()]
+    }
+
+    /// The edges incident to a vertex.
+    #[inline]
+    pub fn vertex_edges(&self, v: VertexId) -> &EdgeSet {
+        &self.incident[v.index()]
+    }
+
+    /// Name of a vertex.
+    pub fn vertex_name(&self, v: VertexId) -> &str {
+        &self.vertex_names[v.index()]
+    }
+
+    /// Name of an edge.
+    pub fn edge_name(&self, e: EdgeId) -> &str {
+        &self.edge_names[e.index()]
+    }
+
+    /// Look up a vertex by name (linear scan; fine off the hot path).
+    pub fn vertex_by_name(&self, name: &str) -> Option<VertexId> {
+        self.vertex_names
+            .iter()
+            .position(|n| n == name)
+            .map(VertexId::new)
+    }
+
+    /// Look up an edge by name (linear scan; fine off the hot path).
+    pub fn edge_by_name(&self, name: &str) -> Option<EdgeId> {
+        self.edge_names
+            .iter()
+            .position(|n| n == name)
+            .map(EdgeId::new)
+    }
+
+    /// An empty vertex set sized for this hypergraph.
+    pub fn empty_vertex_set(&self) -> VertexSet {
+        VertexSet::empty(self.num_vertices())
+    }
+
+    /// An empty edge set sized for this hypergraph.
+    pub fn empty_edge_set(&self) -> EdgeSet {
+        EdgeSet::empty(self.num_edges())
+    }
+
+    /// The set of all vertices, `var(H)`.
+    pub fn all_vertices(&self) -> VertexSet {
+        VertexSet::full(self.num_vertices())
+    }
+
+    /// The set of all edges.
+    pub fn all_edges(&self) -> EdgeSet {
+        EdgeSet::full(self.num_edges())
+    }
+
+    /// `var(R)` for a set of edges `R`: the union of their vertex sets.
+    pub fn vertices_of_edges(&self, edges: &EdgeSet) -> VertexSet {
+        let mut out = self.empty_vertex_set();
+        for e in edges {
+            out.union_with(self.edge_vertices(e));
+        }
+        out
+    }
+
+    /// Vertices that occur in no edge at all (possible for queries whose
+    /// head mentions a variable the body does not, and for isolated CSP
+    /// variables).
+    pub fn isolated_vertices(&self) -> VertexSet {
+        let mut out = self.empty_vertex_set();
+        for v in self.vertices() {
+            if self.incident[v.index()].is_empty() {
+                out.insert(v);
+            }
+        }
+        out
+    }
+
+    /// `true` iff every pair of vertices is linked by a `[∅]`-path.
+    /// (Vertices in no edge count as their own components.)
+    pub fn is_connected(&self) -> bool {
+        crate::component::components(self, &self.empty_vertex_set()).len()
+            + self.isolated_vertices().len()
+            <= 1
+    }
+
+    /// Render an edge as `name(V1,..,Vk)` in argument order.
+    pub fn display_edge(&self, e: EdgeId) -> String {
+        let vars: Vec<&str> = self
+            .edge_vertex_list(e)
+            .iter()
+            .map(|&v| self.vertex_name(v))
+            .collect();
+        format!("{}({})", self.edge_name(e), vars.join(","))
+    }
+
+    /// Render a vertex set as `{A,B,C}` using vertex names.
+    pub fn display_vertex_set(&self, s: &VertexSet) -> String {
+        let names: Vec<&str> = s.iter().map(|v| self.vertex_name(v)).collect();
+        format!("{{{}}}", names.join(","))
+    }
+
+    /// Render an edge set as `{e1,e2}` using edge names.
+    pub fn display_edge_set(&self, s: &EdgeSet) -> String {
+        let names: Vec<&str> = s.iter().map(|e| self.edge_name(e)).collect();
+        format!("{{{}}}", names.join(","))
+    }
+}
+
+impl fmt::Debug for Hypergraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Hypergraph({} vertices, {} edges)",
+            self.num_vertices(),
+            self.num_edges()
+        )?;
+        for e in self.edges() {
+            writeln!(f, "  {}", self.display_edge(e))?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`Hypergraph`].
+#[derive(Default)]
+pub struct HypergraphBuilder {
+    vertex_names: Vec<String>,
+    edge_names: Vec<String>,
+    edge_members: Vec<Vec<VertexId>>,
+}
+
+impl HypergraphBuilder {
+    /// Add a vertex and return its id. Names need not be unique, but lookups
+    /// by name return the first match.
+    pub fn add_vertex(&mut self, name: impl Into<String>) -> VertexId {
+        let id = VertexId::new(self.vertex_names.len());
+        self.vertex_names.push(name.into());
+        id
+    }
+
+    /// Add the named vertex if not present, otherwise return the existing id.
+    pub fn vertex(&mut self, name: &str) -> VertexId {
+        match self.vertex_names.iter().position(|n| n == name) {
+            Some(i) => VertexId::new(i),
+            None => self.add_vertex(name),
+        }
+    }
+
+    /// Add an edge over the given vertices (duplicates within the list are
+    /// collapsed: an edge is a *set* of vertices).
+    pub fn add_edge(&mut self, name: impl Into<String>, vertices: &[VertexId]) -> EdgeId {
+        let id = EdgeId::new(self.edge_names.len());
+        self.edge_names.push(name.into());
+        self.edge_members.push(vertices.to_vec());
+        id
+    }
+
+    /// Add an edge referring to vertices by name, creating them on demand.
+    pub fn edge_by_names(&mut self, name: impl Into<String>, vertices: &[&str]) -> EdgeId {
+        let vs: Vec<VertexId> = vertices.iter().map(|v| self.vertex(v)).collect();
+        self.add_edge(name, &vs)
+    }
+
+    /// Number of vertices added so far.
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_names.len()
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Hypergraph {
+        let n = self.vertex_names.len();
+        let mut edge_verts = Vec::with_capacity(self.edge_members.len());
+        let mut edge_lists = Vec::with_capacity(self.edge_members.len());
+        let mut incident = vec![EdgeSet::empty(self.edge_members.len()); n];
+        for (ei, members) in self.edge_members.iter().enumerate() {
+            let mut vs = VertexSet::empty(n);
+            let mut list = Vec::with_capacity(members.len());
+            for &v in members {
+                assert!(v.index() < n, "edge refers to unknown vertex {v:?}");
+                if vs.insert(v) {
+                    list.push(v);
+                    incident[v.index()].insert(EdgeId::new(ei));
+                }
+            }
+            edge_verts.push(vs);
+            edge_lists.push(list);
+        }
+        Hypergraph {
+            vertex_names: self.vertex_names,
+            edge_names: self.edge_names,
+            edge_verts,
+            edge_lists,
+            incident,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's query Q1 (Example 1.1) as a hypergraph:
+    /// enrolled(S,C,R), teaches(P,C,A), parent(P,S).
+    pub(crate) fn q1_hypergraph() -> Hypergraph {
+        let mut b = Hypergraph::builder();
+        b.edge_by_names("enrolled", &["S", "C", "R"]);
+        b.edge_by_names("teaches", &["P", "C", "A"]);
+        b.edge_by_names("parent", &["P", "S"]);
+        b.build()
+    }
+
+    #[test]
+    fn builds_q1() {
+        let h = q1_hypergraph();
+        assert_eq!(h.num_vertices(), 5); // S C R P A
+        assert_eq!(h.num_edges(), 3);
+        let s = h.vertex_by_name("S").unwrap();
+        let enrolled = h.edge_by_name("enrolled").unwrap();
+        let parent = h.edge_by_name("parent").unwrap();
+        assert!(h.edge_vertices(enrolled).contains(s));
+        assert!(h.edge_vertices(parent).contains(s));
+        assert_eq!(h.vertex_edges(s).len(), 2);
+        assert!(h.is_connected());
+    }
+
+    #[test]
+    fn vertices_of_edges_is_union() {
+        let h = q1_hypergraph();
+        let mut es = h.empty_edge_set();
+        es.insert(h.edge_by_name("enrolled").unwrap());
+        es.insert(h.edge_by_name("parent").unwrap());
+        let vs = h.vertices_of_edges(&es);
+        assert_eq!(vs.len(), 4); // S C R P
+        assert!(vs.contains(h.vertex_by_name("P").unwrap()));
+        assert!(!vs.contains(h.vertex_by_name("A").unwrap()));
+    }
+
+    #[test]
+    fn from_edge_lists_and_duplicates() {
+        // Duplicate vertices inside one edge collapse; duplicate edges stay.
+        let h = Hypergraph::from_edge_lists(3, &[&[0, 1, 1], &[0, 1], &[2]]);
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.edge_vertices(EdgeId(0)).len(), 2);
+        assert_eq!(h.edge_vertices(EdgeId(0)), h.edge_vertices(EdgeId(1)));
+    }
+
+    #[test]
+    fn isolated_vertices_and_connectivity() {
+        let h = Hypergraph::from_edge_lists(4, &[&[0, 1]]);
+        let iso = h.isolated_vertices();
+        assert_eq!(iso.len(), 2);
+        assert!(!h.is_connected());
+        let h2 = Hypergraph::from_edge_lists(2, &[&[0], &[1]]);
+        assert!(!h2.is_connected());
+        let h3 = Hypergraph::from_edge_lists(2, &[&[0, 1]]);
+        assert!(h3.is_connected());
+    }
+
+    #[test]
+    fn empty_hypergraph() {
+        let h = Hypergraph::from_edge_lists(0, &[]);
+        assert_eq!(h.num_vertices(), 0);
+        assert_eq!(h.num_edges(), 0);
+        assert!(h.is_connected());
+        assert!(h.all_vertices().is_empty());
+    }
+
+    #[test]
+    fn display_helpers() {
+        let h = q1_hypergraph();
+        // Edges display in argument order.
+        assert_eq!(h.display_edge(EdgeId(2)), "parent(P,S)");
+        let vs = h.edge_vertices(EdgeId(2)).clone();
+        // Set iteration order is id order: P was interned after S.
+        assert_eq!(h.display_vertex_set(&vs), "{S,P}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown vertex")]
+    fn edge_with_unknown_vertex_panics() {
+        let mut b = Hypergraph::builder();
+        b.add_vertex("X");
+        b.add_edge("bad", &[VertexId(3)]);
+        b.build();
+    }
+}

@@ -1,0 +1,101 @@
+//! Typed indices for vertices, edges, and tree nodes.
+//!
+//! All arenas in this workspace are index-based: a [`VertexId`] is an offset
+//! into the vertex table of a [`crate::Hypergraph`], an [`EdgeId`] an offset
+//! into its edge table, and a [`NodeId`] an offset into a
+//! [`crate::RootedTree`]. Using `u32` newtypes keeps hot structures compact
+//! (see the type-size guidance in the Rust Performance Book) while preventing
+//! the classic bug of indexing the wrong arena.
+
+use std::fmt;
+
+/// Trait for arena indices, connecting typed ids to raw `usize` offsets.
+pub trait Ix: Copy + Eq + Ord + std::hash::Hash + fmt::Debug {
+    /// Build an id from a raw offset.
+    fn new(index: usize) -> Self;
+    /// The raw offset of this id.
+    fn index(self) -> usize;
+}
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl Ix for $name {
+            #[inline]
+            fn new(index: usize) -> Self {
+                debug_assert!(index <= u32::MAX as usize);
+                $name(index as u32)
+            }
+            #[inline]
+            fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(index: usize) -> Self {
+                <$name as Ix>::new(index)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Index of a vertex (a query variable) in a hypergraph.
+    VertexId,
+    "v"
+);
+define_id!(
+    /// Index of a hyperedge (a query atom) in a hypergraph.
+    EdgeId,
+    "e"
+);
+define_id!(
+    /// Index of a node in a [`crate::RootedTree`].
+    NodeId,
+    "n"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let v = VertexId::new(17);
+        assert_eq!(v.index(), 17);
+        assert_eq!(v, VertexId(17));
+        let e: EdgeId = 3usize.into();
+        assert_eq!(e.index(), 3);
+    }
+
+    #[test]
+    fn debug_prefixes() {
+        assert_eq!(format!("{:?}", VertexId(2)), "v2");
+        assert_eq!(format!("{:?}", EdgeId(5)), "e5");
+        assert_eq!(format!("{:?}", NodeId(0)), "n0");
+        assert_eq!(format!("{}", VertexId(2)), "2");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(VertexId(1) < VertexId(2));
+        assert!(EdgeId(0) < EdgeId(10));
+    }
+}

@@ -1,0 +1,202 @@
+//! Join trees (Section 1.1 / Section 2.1 of the paper).
+//!
+//! A join tree `JT(Q)` of a query `Q` is a tree whose vertices are the atoms
+//! of `Q` such that for every variable `X`, the atoms containing `X` induce
+//! a connected subtree (the *connectedness condition*). `Q` is acyclic iff
+//! it has a join tree (Beeri–Fagin–Maier–Yannakakis / Bernstein–Goodman).
+
+use crate::hypergraph::Hypergraph;
+use crate::ids::{EdgeId, Ix, NodeId};
+use crate::tree::RootedTree;
+
+/// A join tree over the edges (atoms) of a hypergraph. Every edge appears
+/// on exactly one node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinTree {
+    tree: RootedTree,
+    /// `node_edge[n]` = the atom sitting on tree node `n`.
+    node_edge: Vec<EdgeId>,
+}
+
+/// Why a candidate join tree is not valid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JoinTreeViolation {
+    /// The tree does not have one node per hyperedge.
+    NotAPermutationOfEdges,
+    /// A variable's occurrences do not induce a connected subtree.
+    Disconnected {
+        /// The variable whose occurrences are split across the tree.
+        vertex: crate::VertexId,
+    },
+}
+
+impl JoinTree {
+    /// Assemble a join tree from a tree shape and the edge on each node.
+    /// Structural invariants are asserted; semantic validity (the
+    /// connectedness condition) is checked separately by [`JoinTree::validate`].
+    pub fn new(tree: RootedTree, node_edge: Vec<EdgeId>) -> Self {
+        assert_eq!(tree.len(), node_edge.len(), "one edge per node");
+        JoinTree { tree, node_edge }
+    }
+
+    /// The underlying tree shape.
+    pub fn tree(&self) -> &RootedTree {
+        &self.tree
+    }
+
+    /// The atom on node `n`.
+    pub fn edge_at(&self, n: NodeId) -> EdgeId {
+        self.node_edge[n.index()]
+    }
+
+    /// Number of nodes (= number of atoms).
+    pub fn len(&self) -> usize {
+        self.node_edge.len()
+    }
+
+    /// Join trees always contain at least one node.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The node carrying a given edge, if any.
+    pub fn node_of(&self, e: EdgeId) -> Option<NodeId> {
+        self.node_edge
+            .iter()
+            .position(|&x| x == e)
+            .map(NodeId::new)
+    }
+
+    /// Check that this is a join tree of `h`: one node per edge of `h`, and
+    /// the connectedness condition holds for every vertex.
+    pub fn validate(&self, h: &Hypergraph) -> Result<(), JoinTreeViolation> {
+        if self.node_edge.len() != h.num_edges() {
+            return Err(JoinTreeViolation::NotAPermutationOfEdges);
+        }
+        let mut seen = h.empty_edge_set();
+        for &e in &self.node_edge {
+            if !seen.insert(e) {
+                return Err(JoinTreeViolation::NotAPermutationOfEdges);
+            }
+        }
+        for v in h.vertices() {
+            // Nodes whose atom contains v must induce a connected subtree:
+            // in a rooted tree this holds iff exactly one such node has a
+            // parent outside the set (or no such node exists).
+            let mut members = 0usize;
+            let mut tops = 0usize;
+            for n in self.tree.nodes() {
+                if !h.edge_vertices(self.edge_at(n)).contains(v) {
+                    continue;
+                }
+                members += 1;
+                let parent_in = self
+                    .tree
+                    .parent(n)
+                    .map(|p| h.edge_vertices(self.edge_at(p)).contains(v))
+                    .unwrap_or(false);
+                if !parent_in {
+                    tops += 1;
+                }
+            }
+            if members > 0 && tops != 1 {
+                return Err(JoinTreeViolation::Disconnected { vertex: v });
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the tree with indentation, for diagnostics and the
+    /// experiments harness.
+    pub fn display(&self, h: &Hypergraph) -> String {
+        let mut out = String::new();
+        for n in self.tree.pre_order() {
+            let indent = "  ".repeat(self.tree.depth(n));
+            out.push_str(&indent);
+            out.push_str(&h.display_edge(self.edge_at(n)));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Q2 of Example 1.1: teaches(P,C,A), enrolled(S,C',R), parent(P,S).
+    fn q2() -> Hypergraph {
+        let mut b = Hypergraph::builder();
+        b.edge_by_names("t", &["P", "C", "A"]);
+        b.edge_by_names("e", &["S", "Cp", "R"]);
+        b.edge_by_names("p", &["P", "S"]);
+        b.build()
+    }
+
+    /// Fig. 1: p(P,S) at the root with children t(P,C,A) and e(S,C',R).
+    fn fig1_join_tree(h: &Hypergraph) -> JoinTree {
+        let mut t = RootedTree::new();
+        t.add_child(t.root());
+        t.add_child(t.root());
+        JoinTree::new(
+            t,
+            vec![
+                h.edge_by_name("p").unwrap(),
+                h.edge_by_name("t").unwrap(),
+                h.edge_by_name("e").unwrap(),
+            ],
+        )
+    }
+
+    #[test]
+    fn fig1_validates() {
+        let h = q2();
+        let jt = fig1_join_tree(&h);
+        assert_eq!(jt.validate(&h), Ok(()));
+        assert_eq!(jt.len(), 3);
+        assert_eq!(jt.node_of(h.edge_by_name("e").unwrap()), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn wrong_shape_is_rejected() {
+        let h = q2();
+        // Chain t - e - p: variable P occurs in t and p but not in e.
+        let mut t = RootedTree::new();
+        let mid = t.add_child(t.root());
+        t.add_child(mid);
+        let jt = JoinTree::new(
+            t,
+            vec![
+                h.edge_by_name("t").unwrap(),
+                h.edge_by_name("e").unwrap(),
+                h.edge_by_name("p").unwrap(),
+            ],
+        );
+        let p = h.vertex_by_name("P").unwrap();
+        assert_eq!(jt.validate(&h), Err(JoinTreeViolation::Disconnected { vertex: p }));
+    }
+
+    #[test]
+    fn missing_or_duplicate_edges_rejected() {
+        let h = q2();
+        let t = RootedTree::new();
+        let jt = JoinTree::new(t, vec![h.edge_by_name("p").unwrap()]);
+        assert_eq!(jt.validate(&h), Err(JoinTreeViolation::NotAPermutationOfEdges));
+
+        let mut t = RootedTree::new();
+        t.add_child(t.root());
+        t.add_child(t.root());
+        let e = h.edge_by_name("e").unwrap();
+        let jt = JoinTree::new(t, vec![e, e, h.edge_by_name("p").unwrap()]);
+        assert_eq!(jt.validate(&h), Err(JoinTreeViolation::NotAPermutationOfEdges));
+    }
+
+    #[test]
+    fn display_indents() {
+        let h = q2();
+        let jt = fig1_join_tree(&h);
+        let s = jt.display(&h);
+        assert!(s.starts_with("p(P,S)\n"));
+        assert!(s.contains("\n  t(P,C,A)\n"));
+    }
+}

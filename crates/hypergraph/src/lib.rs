@@ -1,0 +1,51 @@
+//! Hypergraph substrate for the hypertree-decomposition workspace.
+//!
+//! This crate provides everything below the decomposition layer of
+//! *Gottlob, Leone, Scarcello: Hypertree Decompositions and Tractable
+//! Queries* (PODS'99 / JCSS 2002):
+//!
+//! * [`Hypergraph`] — named vertices (query variables) and hyperedges
+//!   (query atoms), per Appendix A;
+//! * [`component`] — `[V]`-components, `[V]`-paths and connecting sets
+//!   (Section 3.2), the combinatorial engine behind `k-decomp`;
+//! * [`acyclic`] — GYO reduction, acyclicity, join-tree construction, and
+//!   [`JoinTree`] validation against the connectedness condition (§1.1);
+//! * [`graph`], [`treewidth`], [`baselines`] — the primal graph, the
+//!   variable–atom incidence graph, exact/heuristic treewidth, biconnected
+//!   components and cycle cutsets used by the Section 6 comparisons;
+//! * [`RootedTree`] and the typed [`IdSet`] bitsets shared by every layer
+//!   above.
+//!
+//! # Example
+//!
+//! ```
+//! use hypergraph::{Hypergraph, acyclic};
+//!
+//! // Q1 from Example 1.1 of the paper: cyclic.
+//! let mut b = Hypergraph::builder();
+//! b.edge_by_names("enrolled", &["S", "C", "R"]);
+//! b.edge_by_names("teaches", &["P", "C", "A"]);
+//! b.edge_by_names("parent", &["P", "S"]);
+//! let q1 = b.build();
+//! assert!(!acyclic::is_acyclic(&q1));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod acyclic;
+pub mod baselines;
+mod bitset;
+pub mod component;
+pub mod graph;
+mod hypergraph;
+mod ids;
+pub mod jointree;
+pub mod tree;
+pub mod treewidth;
+
+pub use bitset::{EdgeSet, IdSet, VertexSet};
+pub use component::{components, components_within, connecting_set, Component};
+pub use hypergraph::{Hypergraph, HypergraphBuilder};
+pub use ids::{EdgeId, Ix, NodeId, VertexId};
+pub use jointree::{JoinTree, JoinTreeViolation};
+pub use tree::RootedTree;

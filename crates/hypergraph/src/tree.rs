@@ -1,0 +1,246 @@
+//! A rooted tree arena shared by join trees and decomposition trees.
+
+use crate::ids::{Ix, NodeId};
+
+/// A rooted tree stored as parent/children arrays. Node `0` is the root.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RootedTree {
+    parent: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+}
+
+impl RootedTree {
+    /// A tree with a single root node.
+    pub fn new() -> Self {
+        RootedTree {
+            parent: vec![None],
+            children: vec![Vec::new()],
+        }
+    }
+
+    /// The root node.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` iff the tree is a lone root (it can never be empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Add a child under `parent` and return its id.
+    pub fn add_child(&mut self, parent: NodeId) -> NodeId {
+        assert!(parent.index() < self.len(), "unknown parent {parent:?}");
+        let id = NodeId::new(self.len());
+        self.parent.push(Some(parent));
+        self.children.push(Vec::new());
+        self.children[parent.index()].push(id);
+        id
+    }
+
+    /// The parent of `n`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.parent[n.index()]
+    }
+
+    /// The children of `n`.
+    #[inline]
+    pub fn children(&self, n: NodeId) -> &[NodeId] {
+        &self.children[n.index()]
+    }
+
+    /// Iterate over all node ids in creation order (root first).
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.len()).map(NodeId::new)
+    }
+
+    /// `true` iff `n` is a leaf.
+    pub fn is_leaf(&self, n: NodeId) -> bool {
+        self.children[n.index()].is_empty()
+    }
+
+    /// Depth of `n` (root has depth 0).
+    pub fn depth(&self, n: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = n;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// `true` iff `anc` is `n` or a proper ancestor of `n`.
+    pub fn is_ancestor_or_self(&self, anc: NodeId, n: NodeId) -> bool {
+        let mut cur = Some(n);
+        while let Some(c) = cur {
+            if c == anc {
+                return true;
+            }
+            cur = self.parent(c);
+        }
+        false
+    }
+
+    /// Pre-order traversal of the whole tree.
+    pub fn pre_order(&self) -> Vec<NodeId> {
+        self.pre_order_from(self.root())
+    }
+
+    /// Pre-order traversal of the subtree rooted at `n`.
+    pub fn pre_order_from(&self, n: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut stack = vec![n];
+        while let Some(x) = stack.pop() {
+            out.push(x);
+            // Reverse so that children are visited left-to-right.
+            for &c in self.children(x).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Post-order traversal of the whole tree (children before parents).
+    pub fn post_order(&self) -> Vec<NodeId> {
+        let mut order = self.pre_order();
+        order.reverse();
+        order
+    }
+
+    /// The nodes of the subtree `T_n` rooted at `n` (per the paper's
+    /// `vertices(T_p)` notation).
+    pub fn subtree(&self, n: NodeId) -> Vec<NodeId> {
+        self.pre_order_from(n)
+    }
+
+    /// The unique path from `a` to `b` (inclusive).
+    pub fn path(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
+        // Walk both to the root, find the lowest common ancestor.
+        let mut anc_a = Vec::new();
+        let mut cur = Some(a);
+        while let Some(c) = cur {
+            anc_a.push(c);
+            cur = self.parent(c);
+        }
+        let mut from_b = Vec::new();
+        let mut cur = Some(b);
+        let lca = loop {
+            let c = cur.expect("nodes in the same tree always share the root");
+            if let Some(pos) = anc_a.iter().position(|&x| x == c) {
+                break pos;
+            }
+            from_b.push(c);
+            cur = self.parent(c);
+        };
+        let mut path: Vec<NodeId> = anc_a[..=lca].to_vec();
+        path.extend(from_b.iter().rev());
+        path
+    }
+
+    /// Check structural sanity (each non-root has a consistent parent link;
+    /// the graph is a tree). Used by validators and tests.
+    pub fn is_consistent(&self) -> bool {
+        if self.parent[0].is_some() {
+            return false;
+        }
+        for n in self.nodes().skip(1) {
+            match self.parent(n) {
+                None => return false,
+                Some(p) => {
+                    if !self.children(p).contains(&n) {
+                        return false;
+                    }
+                }
+            }
+        }
+        // Reachability from the root covers everything exactly once.
+        self.pre_order().len() == self.len()
+    }
+}
+
+impl Default for RootedTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds:         0
+    ///               /   \
+    ///              1     2
+    ///             / \     \
+    ///            3   4     5
+    fn sample() -> RootedTree {
+        let mut t = RootedTree::new();
+        let n1 = t.add_child(t.root());
+        let n2 = t.add_child(t.root());
+        t.add_child(n1);
+        t.add_child(n1);
+        t.add_child(n2);
+        t
+    }
+
+    #[test]
+    fn structure() {
+        let t = sample();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.parent(NodeId(3)), Some(NodeId(1)));
+        assert_eq!(t.children(NodeId(1)), &[NodeId(3), NodeId(4)]);
+        assert!(t.is_leaf(NodeId(5)));
+        assert!(!t.is_leaf(NodeId(2)));
+        assert_eq!(t.depth(NodeId(0)), 0);
+        assert_eq!(t.depth(NodeId(4)), 2);
+        assert!(t.is_consistent());
+    }
+
+    #[test]
+    fn traversals() {
+        let t = sample();
+        let pre: Vec<u32> = t.pre_order().iter().map(|n| n.0).collect();
+        assert_eq!(pre, vec![0, 1, 3, 4, 2, 5]);
+        let post = t.post_order();
+        // Every child appears before its parent.
+        for n in t.nodes() {
+            if let Some(p) = t.parent(n) {
+                let pos_n = post.iter().position(|&x| x == n).unwrap();
+                let pos_p = post.iter().position(|&x| x == p).unwrap();
+                assert!(pos_n < pos_p);
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_and_ancestry() {
+        let t = sample();
+        let sub: Vec<u32> = t.subtree(NodeId(1)).iter().map(|n| n.0).collect();
+        assert_eq!(sub, vec![1, 3, 4]);
+        assert!(t.is_ancestor_or_self(NodeId(1), NodeId(4)));
+        assert!(t.is_ancestor_or_self(NodeId(4), NodeId(4)));
+        assert!(!t.is_ancestor_or_self(NodeId(2), NodeId(4)));
+    }
+
+    #[test]
+    fn paths() {
+        let t = sample();
+        let p: Vec<u32> = t.path(NodeId(3), NodeId(5)).iter().map(|n| n.0).collect();
+        assert_eq!(p, vec![3, 1, 0, 2, 5]);
+        let p: Vec<u32> = t.path(NodeId(3), NodeId(4)).iter().map(|n| n.0).collect();
+        assert_eq!(p, vec![3, 1, 4]);
+        assert_eq!(t.path(NodeId(2), NodeId(2)), vec![NodeId(2)]);
+        // Path from ancestor to descendant.
+        let p: Vec<u32> = t.path(NodeId(0), NodeId(4)).iter().map(|n| n.0).collect();
+        assert_eq!(p, vec![0, 1, 4]);
+    }
+}

@@ -1,0 +1,337 @@
+//! Treewidth: exact computation for small graphs and elimination-order
+//! heuristics for larger ones.
+//!
+//! Section 6 of the paper compares bounded hypertree-width against bounded
+//! treewidth of the primal graph and of the variable–atom incidence graph
+//! (Theorem 6.2: the family `Qn` has query- and hypertree-width 1 but
+//! `tw(VAIG(Qn)) = n`). This module provides the treewidth side of those
+//! comparisons.
+//!
+//! The exact algorithm is the classic dynamic program over sets of
+//! eliminated vertices: the fill-in neighbourhood of `v` after eliminating a
+//! set `S` depends only on `S` (vertices reachable from `v` through `S`),
+//! so `tw = best(∅)` with `best(S) = min_{v ∉ S} max(fill_deg(S, v),
+//! best(S ∪ {v}))`. It is exponential in `n` and guarded accordingly.
+
+use crate::graph::Graph;
+use rustc_hash::FxHashMap;
+
+/// Hard cap for [`treewidth_exact`]; beyond this the DP table (one entry per
+/// subset of vertices) would not fit in memory.
+pub const EXACT_LIMIT: usize = 20;
+
+/// The width of eliminating `g` in the given `order`: the maximum degree a
+/// vertex has (in the progressively filled-in graph) at its elimination.
+/// This equals the width of the tree decomposition induced by `order`.
+pub fn elimination_width(g: &Graph, order: &[usize]) -> usize {
+    let n = g.len();
+    assert_eq!(order.len(), n, "order must cover every vertex");
+    let mut adj: Vec<Vec<bool>> = (0..n)
+        .map(|u| (0..n).map(|v| g.has_edge(u, v)).collect())
+        .collect();
+    let mut eliminated = vec![false; n];
+    let mut width = 0;
+    for &v in order {
+        let nbrs: Vec<usize> = (0..n)
+            .filter(|&u| !eliminated[u] && adj[v][u])
+            .collect();
+        width = width.max(nbrs.len());
+        for (i, &a) in nbrs.iter().enumerate() {
+            for &b in &nbrs[i + 1..] {
+                adj[a][b] = true;
+                adj[b][a] = true;
+            }
+        }
+        eliminated[v] = true;
+    }
+    width
+}
+
+/// Greedy minimum-degree elimination order.
+pub fn min_degree_order(g: &Graph) -> Vec<usize> {
+    greedy_order(g, |adj, eliminated, v, n| {
+        (0..n).filter(|&u| !eliminated[u] && adj[v][u]).count()
+    })
+}
+
+/// Greedy minimum-fill elimination order (minimise the number of fill edges
+/// created by eliminating the vertex).
+pub fn min_fill_order(g: &Graph) -> Vec<usize> {
+    greedy_order(g, |adj, eliminated, v, n| {
+        let nbrs: Vec<usize> = (0..n).filter(|&u| !eliminated[u] && adj[v][u]).collect();
+        let mut fill = 0;
+        for (i, &a) in nbrs.iter().enumerate() {
+            for &b in &nbrs[i + 1..] {
+                if !adj[a][b] {
+                    fill += 1;
+                }
+            }
+        }
+        fill
+    })
+}
+
+fn greedy_order(
+    g: &Graph,
+    score: impl Fn(&[Vec<bool>], &[bool], usize, usize) -> usize,
+) -> Vec<usize> {
+    let n = g.len();
+    let mut adj: Vec<Vec<bool>> = (0..n)
+        .map(|u| (0..n).map(|v| g.has_edge(u, v)).collect())
+        .collect();
+    let mut eliminated = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&v| !eliminated[v])
+            .min_by_key(|&v| score(&adj, &eliminated, v, n))
+            .expect("vertices remain");
+        let nbrs: Vec<usize> = (0..n).filter(|&u| !eliminated[u] && adj[v][u]).collect();
+        for (i, &a) in nbrs.iter().enumerate() {
+            for &b in &nbrs[i + 1..] {
+                adj[a][b] = true;
+                adj[b][a] = true;
+            }
+        }
+        eliminated[v] = true;
+        order.push(v);
+    }
+    order
+}
+
+/// Heuristic treewidth upper bound: best of min-degree and min-fill.
+pub fn treewidth_upper_bound(g: &Graph) -> usize {
+    let d = elimination_width(g, &min_degree_order(g));
+    let f = elimination_width(g, &min_fill_order(g));
+    d.min(f)
+}
+
+/// Lower bound via maximum minimum degree over the min-degree elimination
+/// (the MMD bound: every graph contains a subgraph of min degree ≥ this, and
+/// treewidth is at least the min degree of any subgraph).
+pub fn treewidth_lower_bound(g: &Graph) -> usize {
+    let n = g.len();
+    let mut adj: Vec<Vec<bool>> = (0..n)
+        .map(|u| (0..n).map(|v| g.has_edge(u, v)).collect())
+        .collect();
+    let mut alive = vec![true; n];
+    let mut best = 0;
+    #[allow(clippy::needless_range_loop)] // u is a vertex id, not a position
+    for _ in 0..n {
+        let (v, deg) = (0..n)
+            .filter(|&v| alive[v])
+            .map(|v| {
+                let d = (0..n).filter(|&u| alive[u] && adj[v][u]).count();
+                (v, d)
+            })
+            .min_by_key(|&(_, d)| d)
+            .expect("vertices remain");
+        best = best.max(deg);
+        // Remove v (no fill-in: we are shrinking to subgraphs).
+        alive[v] = false;
+        for u in 0..n {
+            adj[v][u] = false;
+            adj[u][v] = false;
+        }
+    }
+    best
+}
+
+/// Exact treewidth by the eliminated-set dynamic program. Returns `None`
+/// when `g` has more than [`EXACT_LIMIT`] vertices.
+pub fn treewidth_exact(g: &Graph) -> Option<usize> {
+    let n = g.len();
+    if n > EXACT_LIMIT {
+        return None;
+    }
+    if n == 0 {
+        return Some(0);
+    }
+    let adj: Vec<u32> = (0..n)
+        .map(|u| {
+            let mut m = 0u32;
+            for v in g.neighbors(u) {
+                m |= 1 << v;
+            }
+            m
+        })
+        .collect();
+    let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    let mut memo: FxHashMap<u32, usize> = FxHashMap::default();
+
+    /// Degree of `v` in the fill graph after eliminating `s`: the number of
+    /// non-eliminated vertices reachable from `v` via paths through `s`.
+    fn fill_degree(adj: &[u32], s: u32, v: usize) -> usize {
+        let mut frontier = adj[v];
+        let mut seen_elim = 0u32; // eliminated vertices already expanded
+        let mut reach = 0u32; // reachable live vertices
+        loop {
+            reach |= frontier & !s;
+            let new_elim = frontier & s & !seen_elim;
+            if new_elim == 0 {
+                break;
+            }
+            seen_elim |= new_elim;
+            let mut f = 0u32;
+            let mut rest = new_elim;
+            while rest != 0 {
+                let u = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                f |= adj[u];
+            }
+            frontier = f;
+        }
+        reach &= !(1 << v);
+        reach.count_ones() as usize
+    }
+
+    fn best(adj: &[u32], full: u32, s: u32, memo: &mut FxHashMap<u32, usize>) -> usize {
+        if s == full {
+            return 0;
+        }
+        if let Some(&w) = memo.get(&s) {
+            return w;
+        }
+        let mut result = usize::MAX;
+        let mut rest = full & !s;
+        while rest != 0 {
+            let v = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            let d = fill_degree(adj, s, v);
+            if d >= result {
+                continue; // cannot beat the best choice found so far
+            }
+            let w = best(adj, full, s | (1 << v), memo).max(d);
+            result = result.min(w);
+        }
+        memo.insert(s, result);
+        result
+    }
+
+    Some(best(&adj, full, 0, &mut memo))
+}
+
+/// Exact treewidth when feasible, heuristic upper bound otherwise; the
+/// second component records whether the value is exact.
+pub fn treewidth(g: &Graph) -> (usize, bool) {
+    match treewidth_exact(g) {
+        Some(w) => (w, true),
+        None => (treewidth_upper_bound(g), false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 1..n {
+            g.add_edge(i - 1, i);
+        }
+        g
+    }
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = path(n);
+        g.add_edge(n - 1, 0);
+        g
+    }
+
+    fn clique(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                g.add_edge(i, j);
+            }
+        }
+        g
+    }
+
+    fn complete_bipartite(a: usize, b: usize) -> Graph {
+        let mut g = Graph::new(a + b);
+        for i in 0..a {
+            for j in 0..b {
+                g.add_edge(i, a + j);
+            }
+        }
+        g
+    }
+
+    fn grid(w: usize, h: usize) -> Graph {
+        let mut g = Graph::new(w * h);
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    g.add_edge(y * w + x, y * w + x + 1);
+                }
+                if y + 1 < h {
+                    g.add_edge(y * w + x, (y + 1) * w + x);
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn known_treewidths_exact() {
+        assert_eq!(treewidth_exact(&path(8)), Some(1));
+        assert_eq!(treewidth_exact(&cycle(8)), Some(2));
+        assert_eq!(treewidth_exact(&clique(6)), Some(5));
+        assert_eq!(treewidth_exact(&complete_bipartite(3, 5)), Some(3));
+        assert_eq!(treewidth_exact(&grid(3, 3)), Some(3));
+        assert_eq!(treewidth_exact(&grid(4, 4)), Some(4));
+    }
+
+    #[test]
+    fn degenerate_graphs() {
+        assert_eq!(treewidth_exact(&Graph::new(0)), Some(0));
+        assert_eq!(treewidth_exact(&Graph::new(5)), Some(0));
+        assert_eq!(treewidth_exact(&path(1)), Some(0));
+        assert_eq!(treewidth_exact(&path(2)), Some(1));
+    }
+
+    #[test]
+    fn exact_limit_guard() {
+        let g = Graph::new(EXACT_LIMIT + 1);
+        assert_eq!(treewidth_exact(&g), None);
+        let (w, exact) = treewidth(&g);
+        assert_eq!(w, 0);
+        assert!(!exact);
+    }
+
+    #[test]
+    fn heuristics_bracket_the_exact_value() {
+        for g in [path(7), cycle(9), clique(5), grid(3, 4), complete_bipartite(2, 6)] {
+            let exact = treewidth_exact(&g).unwrap();
+            assert!(treewidth_upper_bound(&g) >= exact);
+            assert!(treewidth_lower_bound(&g) <= exact);
+        }
+    }
+
+    #[test]
+    fn heuristics_are_tight_on_easy_graphs() {
+        assert_eq!(treewidth_upper_bound(&path(10)), 1);
+        assert_eq!(treewidth_upper_bound(&cycle(10)), 2);
+        assert_eq!(treewidth_upper_bound(&clique(7)), 6);
+    }
+
+    #[test]
+    fn elimination_width_of_given_orders() {
+        let g = cycle(5);
+        // Eliminating around the cycle gives width 2.
+        assert_eq!(elimination_width(&g, &[0, 1, 2, 3, 4]), 2);
+        let k = clique(4);
+        assert_eq!(elimination_width(&k, &[3, 2, 1, 0]), 3);
+    }
+
+    #[test]
+    fn orders_are_permutations() {
+        let g = grid(3, 3);
+        for order in [min_degree_order(&g), min_fill_order(&g)] {
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..9).collect::<Vec<_>>());
+        }
+    }
+}

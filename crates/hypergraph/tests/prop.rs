@@ -1,0 +1,113 @@
+//! Property tests for the hypergraph substrate.
+
+use hypergraph::{acyclic, components, graph, treewidth, Hypergraph, Ix, VertexId, VertexSet};
+use proptest::prelude::*;
+
+/// Strategy: a random hypergraph with up to `max_v` vertices and `max_e`
+/// edges, each edge a non-empty subset of the vertices.
+fn arb_hypergraph(max_v: usize, max_e: usize) -> impl Strategy<Value = Hypergraph> {
+    (1..=max_v).prop_flat_map(move |n| {
+        proptest::collection::vec(
+            proptest::collection::btree_set(0..n, 1..=n.min(4)),
+            0..=max_e,
+        )
+        .prop_map(move |edges| {
+            let edge_refs: Vec<Vec<usize>> = edges.into_iter().map(|s| s.into_iter().collect()).collect();
+            let slices: Vec<&[usize]> = edge_refs.iter().map(|e| e.as_slice()).collect();
+            Hypergraph::from_edge_lists(n, &slices)
+        })
+    })
+}
+
+/// Strategy: a random separator for a hypergraph with `n` vertices.
+fn arb_separator(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::btree_set(0..n, 0..=n).prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// [V]-components partition var(H) \ V (minus isolated vertices) and are
+    /// pairwise disjoint; no component meets the separator.
+    #[test]
+    fn components_partition(h in arb_hypergraph(10, 8), sep_raw in arb_separator(10)) {
+        let n = h.num_vertices();
+        let sep = VertexSet::from_iter(n, sep_raw.iter().filter(|&&v| v < n).map(|&v| VertexId::new(v)));
+        let comps = components(&h, &sep);
+        let mut seen = h.empty_vertex_set();
+        for c in &comps {
+            prop_assert!(!c.vertices.is_empty());
+            prop_assert!(c.vertices.is_disjoint_from(&sep));
+            prop_assert!(seen.is_disjoint_from(&c.vertices));
+            seen.union_with(&c.vertices);
+        }
+        // Every non-separator vertex that occurs in some edge is covered.
+        for v in h.vertices() {
+            if !sep.contains(v) && !h.vertex_edges(v).is_empty() {
+                prop_assert!(seen.contains(v));
+            }
+        }
+    }
+
+    /// Every edge not fully inside the separator belongs to exactly one
+    /// component (the §3.2 observation).
+    #[test]
+    fn edges_owned_once(h in arb_hypergraph(10, 8), sep_raw in arb_separator(10)) {
+        let n = h.num_vertices();
+        let sep = VertexSet::from_iter(n, sep_raw.iter().filter(|&&v| v < n).map(|&v| VertexId::new(v)));
+        let comps = components(&h, &sep);
+        for e in h.edges() {
+            let owners = comps.iter().filter(|c| c.edges.contains(e)).count();
+            if h.edge_vertices(e).is_subset_of(&sep) {
+                prop_assert_eq!(owners, 0);
+            } else {
+                prop_assert_eq!(owners, 1);
+            }
+        }
+    }
+
+    /// GYO join trees always satisfy the connectedness condition, and
+    /// is_acyclic agrees with join-tree existence.
+    #[test]
+    fn gyo_join_trees_validate(h in arb_hypergraph(9, 8)) {
+        match acyclic::join_tree(&h) {
+            Some(jt) => {
+                prop_assert!(acyclic::is_acyclic(&h));
+                prop_assert_eq!(jt.validate(&h), Ok(()));
+            }
+            None => {
+                prop_assert!(h.num_edges() == 0 || !acyclic::is_acyclic(&h));
+            }
+        }
+    }
+
+    /// Treewidth heuristics bracket the exact value on random primal graphs.
+    #[test]
+    fn treewidth_bounds(h in arb_hypergraph(9, 8)) {
+        let g = graph::primal_graph(&h);
+        let exact = treewidth::treewidth_exact(&g).expect("within exact limit");
+        prop_assert!(treewidth::treewidth_upper_bound(&g) >= exact);
+        prop_assert!(treewidth::treewidth_lower_bound(&g) <= exact);
+        // Any concrete elimination order is an upper bound too.
+        let order: Vec<usize> = (0..g.len()).collect();
+        prop_assert!(treewidth::elimination_width(&g, &order) >= exact);
+    }
+
+    /// A hypergraph whose edges are binary and form a tree is acyclic.
+    #[test]
+    fn binary_tree_hypergraphs_are_acyclic(n in 2usize..10) {
+        let edges: Vec<Vec<usize>> = (1..n).map(|i| vec![(i - 1) / 2, i]).collect();
+        let slices: Vec<&[usize]> = edges.iter().map(|e| e.as_slice()).collect();
+        let h = Hypergraph::from_edge_lists(n, &slices);
+        prop_assert!(acyclic::is_acyclic(&h));
+    }
+
+    /// Pure cycles of length ≥ 3 over binary edges are cyclic.
+    #[test]
+    fn binary_cycles_are_cyclic(n in 3usize..12) {
+        let edges: Vec<Vec<usize>> = (0..n).map(|i| vec![i, (i + 1) % n]).collect();
+        let slices: Vec<&[usize]> = edges.iter().map(|e| e.as_slice()).collect();
+        let h = Hypergraph::from_edge_lists(n, &slices);
+        prop_assert!(!acyclic::is_acyclic(&h));
+    }
+}

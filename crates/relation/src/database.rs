@@ -1,0 +1,166 @@
+//! Database instances: named relations plus a string dictionary.
+//!
+//! Following the paper's convention (§2.1), a database is a set of ground
+//! facts `r(a1,…,ak)`. Values are integers; the [`Dictionary`] interns
+//! symbolic domain elements so example databases can be written with names.
+
+use crate::relation::{Relation, Value};
+use rustc_hash::FxHashMap;
+
+/// A database instance: a map from relation names to relation instances.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    relations: FxHashMap<String, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Insert (or replace) a relation under `name`.
+    pub fn insert(&mut self, name: impl Into<String>, relation: Relation) {
+        self.relations.insert(name.into(), relation);
+    }
+
+    /// The relation named `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Add a single fact `name(values…)`, creating the relation on demand.
+    /// Panics if the arity disagrees with earlier facts for `name`.
+    pub fn add_fact(&mut self, name: &str, values: &[u64]) {
+        let rel = self
+            .relations
+            .entry(name.to_string())
+            .or_insert_with(|| Relation::new(values.len()));
+        let row: Vec<Value> = values.iter().map(|&v| Value(v)).collect();
+        rel.push_row(&row);
+    }
+
+    /// Iterate over `(name, relation)` pairs.
+    pub fn relations(&self) -> impl Iterator<Item = (&str, &Relation)> {
+        self.relations.iter().map(|(n, r)| (n.as_str(), r))
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// `true` iff the database has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// The maximum relation size `r` (in rows) over the database — the
+    /// quantity the `O(r^k)` bound of Lemma 4.6 is stated in.
+    pub fn max_relation_rows(&self) -> usize {
+        self.relations.values().map(Relation::len).max().unwrap_or(0)
+    }
+
+    /// Total number of tuples.
+    pub fn total_rows(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+}
+
+/// Interns symbolic domain elements as consecutive integers.
+#[derive(Clone, Debug, Default)]
+pub struct Dictionary {
+    by_name: FxHashMap<String, Value>,
+    names: Vec<String>,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Intern `name`, returning a stable value.
+    pub fn intern(&mut self, name: &str) -> Value {
+        if let Some(&v) = self.by_name.get(name) {
+            return v;
+        }
+        let v = Value(self.names.len() as u64);
+        self.by_name.insert(name.to_string(), v);
+        self.names.push(name.to_string());
+        v
+    }
+
+    /// The value of `name`, if interned.
+    pub fn lookup(&self, name: &str) -> Option<Value> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of `value`, if it was produced by this dictionary.
+    pub fn name_of(&self, value: Value) -> Option<&str> {
+        self.names.get(value.0 as usize).map(String::as_str)
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` iff nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facts_build_relations() {
+        let mut db = Database::new();
+        db.add_fact("parent", &[1, 2]);
+        db.add_fact("parent", &[1, 3]);
+        db.add_fact("person", &[1]);
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.get("parent").unwrap().len(), 2);
+        assert_eq!(db.get("person").unwrap().arity(), 1);
+        assert!(db.get("missing").is_none());
+        assert_eq!(db.max_relation_rows(), 2);
+        assert_eq!(db.total_rows(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_conflicts_panic() {
+        let mut db = Database::new();
+        db.add_fact("r", &[1, 2]);
+        db.add_fact("r", &[1]);
+    }
+
+    #[test]
+    fn dictionary_roundtrip() {
+        let mut d = Dictionary::new();
+        let ann = d.intern("ann");
+        let bob = d.intern("bob");
+        assert_ne!(ann, bob);
+        assert_eq!(d.intern("ann"), ann);
+        assert_eq!(d.lookup("bob"), Some(bob));
+        assert_eq!(d.name_of(ann), Some("ann"));
+        assert_eq!(d.name_of(Value(99)), None);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn example_1_1_database() {
+        // A tiny instance where Q1 (student enrolled in a course taught by
+        // a parent) is true: person 1 teaches course 7, person 2 is their
+        // child and enrolled in course 7.
+        let mut db = Database::new();
+        db.add_fact("teaches", &[1, 7, 100]);
+        db.add_fact("enrolled", &[2, 7, 200]);
+        db.add_fact("parent", &[1, 2]);
+        assert_eq!(db.get("teaches").unwrap().arity(), 3);
+        assert_eq!(db.total_rows(), 3);
+    }
+}

@@ -1,0 +1,208 @@
+//! Relational-algebra operators: projection, selection, hash join and
+//! semijoin. These are the building blocks of Yannakakis' algorithm and of
+//! the Lemma 4.6 reduction in the `eval` crate.
+//!
+//! All operators are positional: the caller supplies column indices. The
+//! `eval` crate owns the mapping between query variables and columns.
+
+use crate::relation::{Relation, Value};
+
+/// `π_cols(r)` with set semantics (duplicates removed). Columns may repeat
+/// and reorder.
+pub fn project(r: &Relation, cols: &[usize]) -> Relation {
+    let mut out = Relation::with_capacity(cols.len(), r.len());
+    let mut buf: Vec<Value> = Vec::with_capacity(cols.len());
+    for row in r.rows() {
+        buf.clear();
+        buf.extend(cols.iter().map(|&c| row[c]));
+        out.push_row(&buf);
+    }
+    out.dedup();
+    out
+}
+
+/// `σ_{col = v}(r)`.
+pub fn select_const(r: &Relation, col: usize, v: Value) -> Relation {
+    let mut out = Relation::new(r.arity());
+    for row in r.rows() {
+        if row[col] == v {
+            out.push_row(row);
+        }
+    }
+    out
+}
+
+/// `σ_{a = b}(r)` for two columns.
+pub fn select_eq(r: &Relation, a: usize, b: usize) -> Relation {
+    let mut out = Relation::new(r.arity());
+    for row in r.rows() {
+        if row[a] == row[b] {
+            out.push_row(row);
+        }
+    }
+    out
+}
+
+/// Hash join of `left` and `right` on the column pairs `on`
+/// (`left[l] = right[r]` for each `(l, r)` in `on`). The output schema is
+/// all columns of `left` followed by `right_keep` columns of `right`.
+/// With `on` empty this is a cartesian product.
+pub fn join(
+    left: &Relation,
+    right: &Relation,
+    on: &[(usize, usize)],
+    right_keep: &[usize],
+) -> Relation {
+    let right_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+    let index = right.index_on(&right_cols);
+    let mut out = Relation::new(left.arity() + right_keep.len());
+    let mut key: Vec<Value> = Vec::with_capacity(on.len());
+    let mut buf: Vec<Value> = Vec::with_capacity(out.arity());
+    for lrow in left.rows() {
+        key.clear();
+        key.extend(on.iter().map(|&(l, _)| lrow[l]));
+        if let Some(matches) = index.get(&key) {
+            for &ri in matches {
+                let rrow = right.row(ri);
+                buf.clear();
+                buf.extend_from_slice(lrow);
+                buf.extend(right_keep.iter().map(|&c| rrow[c]));
+                out.push_row(&buf);
+            }
+        }
+    }
+    out
+}
+
+/// Semijoin `left ⋉ right` on the column pairs `on`: the rows of `left`
+/// with at least one matching row in `right`. With `on` empty the result is
+/// `left` if `right` is non-empty and empty otherwise — exactly the Boolean
+/// cross-component behaviour Yannakakis needs on stitched join trees.
+pub fn semijoin(left: &Relation, right: &Relation, on: &[(usize, usize)]) -> Relation {
+    if on.is_empty() {
+        return if right.is_empty() {
+            Relation::new(left.arity())
+        } else {
+            left.clone()
+        };
+    }
+    let right_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+    let index = right.index_on(&right_cols);
+    let mut out = Relation::new(left.arity());
+    let mut key: Vec<Value> = Vec::with_capacity(on.len());
+    for lrow in left.rows() {
+        key.clear();
+        key.extend(on.iter().map(|&(l, _)| lrow[l]));
+        if index.contains_key(&key) {
+            out.push_row(lrow);
+        }
+    }
+    out
+}
+
+/// Set union of two relations of equal arity.
+pub fn union(a: &Relation, b: &Relation) -> Relation {
+    assert_eq!(a.arity(), b.arity(), "union arity mismatch");
+    let mut out = a.clone();
+    for row in b.rows() {
+        out.push_row(row);
+    }
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(rows: &[[u64; 2]]) -> Relation {
+        Relation::from_rows(2, rows)
+    }
+
+    #[test]
+    fn project_dedups_and_reorders() {
+        let rel = r(&[[1, 10], [2, 10], [1, 10]]);
+        let p = project(&rel, &[1]);
+        assert_eq!(p.len(), 1);
+        assert!(p.contains_row(&[Value(10)]));
+        let swapped = project(&rel, &[1, 0]);
+        assert!(swapped.contains_row(&[Value(10), Value(2)]));
+        let dup = project(&rel, &[0, 0]);
+        assert!(dup.contains_row(&[Value(1), Value(1)]));
+        assert_eq!(dup.len(), 2);
+    }
+
+    #[test]
+    fn selections() {
+        let rel = r(&[[1, 1], [1, 2], [2, 2]]);
+        assert_eq!(select_const(&rel, 0, Value(1)).len(), 2);
+        assert_eq!(select_eq(&rel, 0, 1).len(), 2);
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop() {
+        let a = r(&[[1, 10], [2, 20], [3, 30]]);
+        let b = r(&[[10, 100], [10, 101], [30, 300]]);
+        let j = join(&a, &b, &[(1, 0)], &[1]);
+        assert_eq!(j.arity(), 3);
+        assert_eq!(j.len(), 3);
+        assert!(j.contains_row(&[Value(1), Value(10), Value(100)]));
+        assert!(j.contains_row(&[Value(1), Value(10), Value(101)]));
+        assert!(j.contains_row(&[Value(3), Value(30), Value(300)]));
+    }
+
+    #[test]
+    fn join_on_multiple_columns() {
+        let a = r(&[[1, 2], [1, 3]]);
+        let b = r(&[[1, 2], [1, 3], [2, 2]]);
+        let j = join(&a, &b, &[(0, 0), (1, 1)], &[]);
+        assert_eq!(j.len(), 2);
+    }
+
+    #[test]
+    fn empty_on_is_cartesian_product() {
+        let a = r(&[[1, 2], [3, 4]]);
+        let b = Relation::from_rows(1, &[[7], [8], [9]]);
+        let j = join(&a, &b, &[], &[0]);
+        assert_eq!(j.len(), 6);
+    }
+
+    #[test]
+    fn semijoin_filters() {
+        let a = r(&[[1, 10], [2, 20], [3, 30]]);
+        let b = Relation::from_rows(1, &[[10], [30]]);
+        let s = semijoin(&a, &b, &[(1, 0)]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.contains_row(&[Value(2), Value(20)]));
+    }
+
+    #[test]
+    fn semijoin_without_shared_columns_is_boolean_guard() {
+        let a = r(&[[1, 2]]);
+        let nonempty = Relation::from_rows(1, &[[5]]);
+        let empty = Relation::new(1);
+        assert_eq!(semijoin(&a, &nonempty, &[]).len(), 1);
+        assert_eq!(semijoin(&a, &empty, &[]).len(), 0);
+    }
+
+    #[test]
+    fn union_dedups() {
+        let a = r(&[[1, 2]]);
+        let b = r(&[[1, 2], [3, 4]]);
+        assert_eq!(union(&a, &b).len(), 2);
+    }
+
+    #[test]
+    fn nullary_interactions() {
+        let mut truth = Relation::new(0);
+        truth.push_row(&[]);
+        let a = r(&[[1, 2]]);
+        // Joining against a nullary truth value keeps rows.
+        let j = join(&a, &truth, &[], &[]);
+        assert_eq!(j.len(), 1);
+        let falsum = Relation::new(0);
+        assert_eq!(join(&a, &falsum, &[], &[]).len(), 0);
+        assert_eq!(semijoin(&a, &truth, &[]).len(), 1);
+        assert_eq!(semijoin(&a, &falsum, &[]).len(), 0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Relations: flat, row-major tuple stores with hash indexes.
+
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::fmt;
+
+/// An atomic database value. The universe `U` of a database instance
+/// (Section 2.1 of the paper) is encoded as `u64`; symbolic domains are
+/// interned to integers by the caller.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Value(pub u64);
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value(v)
+    }
+}
+
+/// A relation instance: a multiset of `arity`-tuples stored row-major.
+///
+/// Duplicate rows are representable (intermediate results may produce them);
+/// [`Relation::dedup`] restores set semantics where the algorithms need it.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Relation {
+    arity: usize,
+    data: Vec<Value>,
+    /// Presence flag for the empty tuple of a nullary relation: a 0-ary
+    /// relation is either `{}` or `{()}`, and its rows carry no data cells.
+    nullary: bool,
+}
+
+impl Relation {
+    /// An empty relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Relation {
+            arity,
+            data: Vec::new(),
+            nullary: false,
+        }
+    }
+
+    /// An empty relation with space reserved for `rows` tuples.
+    pub fn with_capacity(arity: usize, rows: usize) -> Self {
+        Relation {
+            arity,
+            data: Vec::with_capacity(arity * rows),
+            nullary: false,
+        }
+    }
+
+    /// Build from explicit rows (deduplicated).
+    pub fn from_rows<R: AsRef<[u64]>>(arity: usize, rows: &[R]) -> Self {
+        let mut r = Relation::with_capacity(arity, rows.len());
+        for row in rows {
+            let row = row.as_ref();
+            assert_eq!(row.len(), arity, "row arity mismatch");
+            r.data.extend(row.iter().map(|&v| Value(v)));
+        }
+        r.dedup();
+        r
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self.arity {
+            0 => usize::from(self.nullary),
+            arity => self.data.len() / arity,
+        }
+    }
+
+    /// `true` iff the relation has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a row.
+    pub fn push_row(&mut self, row: &[Value]) {
+        assert_eq!(row.len(), self.arity, "row arity mismatch");
+        if self.arity == 0 {
+            self.nullary = true;
+            return;
+        }
+        self.data.extend_from_slice(row);
+    }
+
+    /// The `i`-th row.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Value] {
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Iterate over rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[Value]> {
+        RowsIter {
+            rel: self,
+            next: 0,
+        }
+    }
+
+    /// Set-semantics membership test (linear; use an index on hot paths).
+    pub fn contains_row(&self, row: &[Value]) -> bool {
+        if self.arity == 0 {
+            return self.nullary && row.is_empty();
+        }
+        self.rows().any(|r| r == row)
+    }
+
+    /// Remove duplicate rows (order not preserved).
+    pub fn dedup(&mut self) {
+        if self.arity == 0 {
+            return;
+        }
+        let mut seen: FxHashSet<&[Value]> = FxHashSet::default();
+        let mut keep = Vec::with_capacity(self.len());
+        for i in 0..self.len() {
+            if seen.insert(self.row(i)) {
+                keep.push(i);
+            }
+        }
+        if keep.len() == self.len() {
+            return;
+        }
+        let mut data = Vec::with_capacity(keep.len() * self.arity);
+        for i in keep {
+            data.extend_from_slice(self.row(i));
+        }
+        self.data = data;
+    }
+
+    /// Build a hash index mapping key tuples (the projections onto `cols`)
+    /// to the row indices carrying them.
+    pub fn index_on(&self, cols: &[usize]) -> FxHashMap<Vec<Value>, Vec<usize>> {
+        let mut index: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
+        for i in 0..self.len() {
+            let row = self.row(i);
+            let key: Vec<Value> = cols.iter().map(|&c| row[c]).collect();
+            index.entry(key).or_default().push(i);
+        }
+        index
+    }
+
+    /// Total number of cells (rows × arity); the paper's `‖r‖` size measure
+    /// up to a constant.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// Iterator over the rows of a relation.
+struct RowsIter<'a> {
+    rel: &'a Relation,
+    next: usize,
+}
+
+impl<'a> Iterator for RowsIter<'a> {
+    type Item = &'a [Value];
+    fn next(&mut self) -> Option<&'a [Value]> {
+        if self.next >= self.rel.len() {
+            return None;
+        }
+        let i = self.next;
+        self.next += 1;
+        if self.rel.arity == 0 {
+            Some(&[])
+        } else {
+            Some(self.rel.row(i))
+        }
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Relation(arity={}, rows={})", self.arity, self.len())?;
+        for row in self.rows().take(20) {
+            writeln!(f, "  {row:?}")?;
+        }
+        if self.len() > 20 {
+            writeln!(f, "  … {} more", self.len() - 20)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_rows() {
+        let mut r = Relation::new(2);
+        r.push_row(&[Value(1), Value(2)]);
+        r.push_row(&[Value(3), Value(4)]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.row(1), &[Value(3), Value(4)]);
+        assert_eq!(r.rows().count(), 2);
+        assert!(r.contains_row(&[Value(1), Value(2)]));
+        assert!(!r.contains_row(&[Value(2), Value(1)]));
+        assert_eq!(r.size(), 4);
+    }
+
+    #[test]
+    fn from_rows_dedups() {
+        let r = Relation::from_rows(2, &[[1, 2], [1, 2], [3, 4]]);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn dedup_preserves_distinct_rows() {
+        let mut r = Relation::new(1);
+        for v in [5u64, 5, 7, 5, 7] {
+            r.push_row(&[Value(v)]);
+        }
+        r.dedup();
+        assert_eq!(r.len(), 2);
+        assert!(r.contains_row(&[Value(5)]));
+        assert!(r.contains_row(&[Value(7)]));
+    }
+
+    #[test]
+    fn index_groups_rows() {
+        let r = Relation::from_rows(2, &[[1, 10], [1, 20], [2, 30]]);
+        let idx = r.index_on(&[0]);
+        assert_eq!(idx[&vec![Value(1)]].len(), 2);
+        assert_eq!(idx[&vec![Value(2)]].len(), 1);
+        assert!(!idx.contains_key(&vec![Value(3)]));
+        // Composite keys.
+        let idx2 = r.index_on(&[1, 0]);
+        assert_eq!(idx2[&vec![Value(10), Value(1)]], vec![0]);
+    }
+
+    #[test]
+    fn nullary_relations() {
+        let mut t = Relation::new(0);
+        assert!(t.is_empty());
+        t.push_row(&[]);
+        assert_eq!(t.len(), 1);
+        assert!(t.contains_row(&[]));
+        t.push_row(&[]);
+        assert_eq!(t.len(), 1, "nullary relations are sets");
+        assert_eq!(t.rows().count(), 1);
+        assert_eq!(t.rows().next(), Some(&[][..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut r = Relation::new(2);
+        r.push_row(&[Value(1)]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the relational operators: every hash-based operator
+//! is checked against a naive nested-loop reference model.
+
+use proptest::prelude::*;
+use relation::{ops, Relation, Value};
+
+fn arb_relation(arity: usize, max_rows: usize, domain: u64) -> impl Strategy<Value = Relation> {
+    proptest::collection::vec(
+        proptest::collection::vec(0..domain, arity..=arity),
+        0..=max_rows,
+    )
+    .prop_map(move |rows| Relation::from_rows(arity, &rows))
+}
+
+/// Reference nested-loop join.
+fn join_reference(
+    left: &Relation,
+    right: &Relation,
+    on: &[(usize, usize)],
+    right_keep: &[usize],
+) -> Vec<Vec<Value>> {
+    let mut out = Vec::new();
+    for l in left.rows() {
+        for r in right.rows() {
+            if on.iter().all(|&(a, b)| l[a] == r[b]) {
+                let mut row = l.to_vec();
+                row.extend(right_keep.iter().map(|&c| r[c]));
+                out.push(row);
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Hash join ≡ nested-loop join (as multisets of rows).
+    #[test]
+    fn join_matches_reference(
+        left in arb_relation(2, 12, 4),
+        right in arb_relation(2, 12, 4),
+    ) {
+        let joined = ops::join(&left, &right, &[(1, 0)], &[1]);
+        let mut expected = join_reference(&left, &right, &[(1, 0)], &[1]);
+        let mut actual: Vec<Vec<Value>> = joined.rows().map(|r| r.to_vec()).collect();
+        expected.sort();
+        actual.sort();
+        prop_assert_eq!(actual, expected);
+    }
+
+    /// Semijoin = the rows of `left` that the join would keep.
+    #[test]
+    fn semijoin_matches_join_support(
+        left in arb_relation(2, 12, 4),
+        right in arb_relation(2, 12, 4),
+    ) {
+        let semi = ops::semijoin(&left, &right, &[(0, 0)]);
+        for row in left.rows() {
+            let kept = semi.contains_row(row);
+            let joins = right.rows().any(|r| r[0] == row[0]);
+            prop_assert_eq!(kept, joins);
+        }
+        // Semijoin never invents rows.
+        for row in semi.rows() {
+            prop_assert!(left.contains_row(row));
+        }
+    }
+
+    /// Projection produces set semantics and only requested columns.
+    #[test]
+    fn project_properties(rel in arb_relation(3, 15, 3)) {
+        let p = ops::project(&rel, &[2, 0]);
+        prop_assert_eq!(p.arity(), 2);
+        // Idempotent under identity projection of the result.
+        let p2 = ops::project(&p, &[0, 1]);
+        prop_assert_eq!(p2.len(), p.len());
+        // Every projected row originates from some source row.
+        for row in p.rows() {
+            prop_assert!(rel.rows().any(|r| r[2] == row[0] && r[0] == row[1]));
+        }
+        // And every source row projects in.
+        for r in rel.rows() {
+            prop_assert!(p.contains_row(&[r[2], r[0]]));
+        }
+    }
+
+    /// Union is commutative and bounded by the sum of cardinalities.
+    #[test]
+    fn union_properties(a in arb_relation(2, 10, 3), b in arb_relation(2, 10, 3)) {
+        let ab = ops::union(&a, &b);
+        let ba = ops::union(&b, &a);
+        prop_assert_eq!(ab.len(), ba.len());
+        for row in ab.rows() {
+            prop_assert!(ba.contains_row(row));
+            prop_assert!(a.contains_row(row) || b.contains_row(row));
+        }
+        prop_assert!(ab.len() <= a.len() + b.len());
+    }
+
+    /// Selections commute with each other.
+    #[test]
+    fn selections_commute(rel in arb_relation(3, 15, 3), v in 0u64..3) {
+        let a = ops::select_eq(&ops::select_const(&rel, 0, Value(v)), 1, 2);
+        let b = ops::select_const(&ops::select_eq(&rel, 1, 2), 0, Value(v));
+        let mut ra: Vec<Vec<Value>> = a.rows().map(|r| r.to_vec()).collect();
+        let mut rb: Vec<Vec<Value>> = b.rows().map(|r| r.to_vec()).collect();
+        ra.sort();
+        rb.sort();
+        prop_assert_eq!(ra, rb);
+    }
+
+    /// Dedup makes `from_rows` idempotent.
+    #[test]
+    fn dedup_idempotent(rel in arb_relation(2, 15, 3)) {
+        let rows: Vec<Vec<u64>> = rel
+            .rows()
+            .map(|r| r.iter().map(|v| v.0).collect())
+            .collect();
+        let rebuilt = Relation::from_rows(2, &rows);
+        prop_assert_eq!(rebuilt.len(), rel.len());
+    }
+}

@@ -1,0 +1,220 @@
+//! Parameterised query families used by the experiments.
+//!
+//! Includes the Theorem 6.2 family `Qn` (query- and hypertree-width 1 but
+//! `tw(VAIG(Qn)) = n`), cycles (the canonical hw = 2 family), paths and
+//! stars (acyclic controls), grids, cliques, and k-uniform hypercycles.
+
+use cq::{ConjunctiveQuery, QueryBuilder, Term};
+use hypergraph::Hypergraph;
+
+/// The Theorem 6.2 family:
+/// `Qn = ans ← q(X1..Xn,Y1) ∧ q(X1..Xn,Y2) ∧ … ∧ q(X1..Xn,Yn)`.
+/// `qw(Qn) = hw(Qn) = 1` while `tw(VAIG(Qn)) = n`.
+pub fn qn(n: usize) -> ConjunctiveQuery {
+    assert!(n >= 1);
+    let mut b = QueryBuilder::default();
+    let xs: Vec<_> = (1..=n).map(|i| b.var(&format!("X{i}"))).collect();
+    for j in 1..=n {
+        let mut terms: Vec<Term> = xs.iter().map(|&x| Term::Var(x)).collect();
+        terms.push(Term::Var(b.var(&format!("Y{j}"))));
+        b.atom("q", terms);
+    }
+    b.build()
+}
+
+/// The cycle query `C_n`: `r1(X1,X2), r2(X2,X3), …, rn(Xn,X1)`.
+/// Cyclic for `n ≥ 3` with `hw = qw = 2`.
+pub fn cycle(n: usize) -> ConjunctiveQuery {
+    assert!(n >= 1);
+    let mut b = QueryBuilder::default();
+    let vars: Vec<_> = (0..n).map(|i| b.var(&format!("X{i}"))).collect();
+    for i in 0..n {
+        b.atom(
+            format!("r{i}"),
+            vec![Term::Var(vars[i]), Term::Var(vars[(i + 1) % n])],
+        );
+    }
+    b.build()
+}
+
+/// The path query `P_n`: `r1(X1,X2), …, rn(Xn,Xn+1)` — acyclic.
+pub fn path(n: usize) -> ConjunctiveQuery {
+    assert!(n >= 1);
+    let mut b = QueryBuilder::default();
+    let vars: Vec<_> = (0..=n).map(|i| b.var(&format!("X{i}"))).collect();
+    for i in 0..n {
+        b.atom(
+            format!("r{i}"),
+            vec![Term::Var(vars[i]), Term::Var(vars[i + 1])],
+        );
+    }
+    b.build()
+}
+
+/// Non-Boolean variant of [`path`] returning the endpoints:
+/// `ans(X0, Xn) ← …` — the workhorse of the enumeration experiments.
+pub fn path_endpoints(n: usize) -> ConjunctiveQuery {
+    assert!(n >= 1);
+    let mut b = QueryBuilder::default();
+    b.head("ans", &["X0", &format!("X{n}")]);
+    let vars: Vec<_> = (0..=n).map(|i| b.var(&format!("X{i}"))).collect();
+    for i in 0..n {
+        b.atom(
+            format!("r{i}"),
+            vec![Term::Var(vars[i]), Term::Var(vars[i + 1])],
+        );
+    }
+    b.build()
+}
+
+/// The star query: `r1(H,X1), …, rn(H,Xn)` — acyclic.
+pub fn star(n: usize) -> ConjunctiveQuery {
+    assert!(n >= 1);
+    let mut b = QueryBuilder::default();
+    let hub = b.var("H");
+    for i in 0..n {
+        let leaf = b.var(&format!("X{i}"));
+        b.atom(format!("r{i}"), vec![Term::Var(hub), Term::Var(leaf)]);
+    }
+    b.build()
+}
+
+/// The `w × h` grid query over binary edge atoms: treewidth `min(w,h)` of
+/// the primal graph; hypertree width grows with `min(w,h)` as well.
+pub fn grid(w: usize, h: usize) -> ConjunctiveQuery {
+    assert!(w >= 1 && h >= 1);
+    let mut b = QueryBuilder::default();
+    let var = |b: &mut QueryBuilder, x: usize, y: usize| b.var(&format!("V{x}_{y}"));
+    let mut i = 0;
+    for y in 0..h {
+        for x in 0..w {
+            let v = var(&mut b, x, y);
+            if x + 1 < w {
+                let r = var(&mut b, x + 1, y);
+                b.atom(format!("e{i}"), vec![Term::Var(v), Term::Var(r)]);
+                i += 1;
+            }
+            if y + 1 < h {
+                let d = var(&mut b, x, y + 1);
+                b.atom(format!("e{i}"), vec![Term::Var(v), Term::Var(d)]);
+                i += 1;
+            }
+        }
+    }
+    b.build()
+}
+
+/// The clique query `K_n` over binary atoms (all pairs).
+pub fn clique(n: usize) -> ConjunctiveQuery {
+    assert!(n >= 2);
+    let mut b = QueryBuilder::default();
+    let vars: Vec<_> = (0..n).map(|i| b.var(&format!("X{i}"))).collect();
+    let mut e = 0;
+    for i in 0..n {
+        for j in i + 1..n {
+            b.atom(
+                format!("r{e}"),
+                vec![Term::Var(vars[i]), Term::Var(vars[j])],
+            );
+            e += 1;
+        }
+    }
+    b.build()
+}
+
+/// A k-uniform hypercycle: `n` atoms of arity `k`, atom `i` spanning
+/// variables `i·(k-1) .. i·(k-1)+k-1` cyclically. Generalises [`cycle`]
+/// (`k = 2`); hypertree width stays 2 while primal treewidth grows with
+/// `k` — fodder for the E14 comparison.
+pub fn hypercycle(n: usize, k: usize) -> ConjunctiveQuery {
+    assert!(n >= 2 && k >= 2);
+    let total = n * (k - 1);
+    let mut b = QueryBuilder::default();
+    let vars: Vec<_> = (0..total).map(|i| b.var(&format!("X{i}"))).collect();
+    for i in 0..n {
+        let start = i * (k - 1);
+        let terms: Vec<Term> = (0..k)
+            .map(|j| Term::Var(vars[(start + j) % total]))
+            .collect();
+        b.atom(format!("r{i}"), terms);
+    }
+    b.build()
+}
+
+/// Convenience: the query hypergraph of a family member.
+pub fn hypergraph_of(q: &ConjunctiveQuery) -> Hypergraph {
+    q.hypergraph()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::{acyclic, graph, treewidth};
+    use hypertree_core::opt;
+
+    #[test]
+    fn qn_family_matches_theorem_6_2() {
+        for n in 1..=4 {
+            let q = qn(n);
+            assert_eq!(q.atoms().len(), n);
+            let h = q.hypergraph();
+            // qw = hw = 1: acyclic (all atoms share X1..Xn).
+            assert!(acyclic::is_acyclic(&h), "Qn is acyclic");
+            assert_eq!(opt::hypertree_width(&h), 1);
+            // tw(VAIG(Qn)) = n (contains K_{n,n} as a subgraph).
+            let vaig = graph::incidence_graph(&h);
+            if vaig.len() <= treewidth::EXACT_LIMIT {
+                assert_eq!(treewidth::treewidth_exact(&vaig), Some(n));
+            }
+        }
+    }
+
+    #[test]
+    fn cycles_have_width_2() {
+        for n in 3..8 {
+            let h = cycle(n).hypergraph();
+            assert!(!acyclic::is_acyclic(&h));
+            assert_eq!(opt::hypertree_width(&h), 2);
+        }
+        assert!(acyclic::is_acyclic(&cycle(2).hypergraph()));
+    }
+
+    #[test]
+    fn paths_and_stars_are_acyclic() {
+        for n in 1..6 {
+            assert!(acyclic::is_acyclic(&path(n).hypergraph()));
+            assert!(acyclic::is_acyclic(&star(n).hypergraph()));
+        }
+        assert_eq!(path(4).atoms().len(), 4);
+        assert_eq!(path_endpoints(3).head_vars().len(), 2);
+    }
+
+    #[test]
+    fn grid_widths_grow() {
+        assert_eq!(opt::hypertree_width(&grid(2, 2).hypergraph()), 2);
+        assert_eq!(opt::hypertree_width(&grid(1, 5).hypergraph()), 1);
+        let g33 = grid(3, 3).hypergraph();
+        assert_eq!(g33.num_edges(), 12);
+        assert!(opt::hypertree_width(&g33) >= 2);
+    }
+
+    #[test]
+    fn clique_structure() {
+        let k4 = clique(4).hypergraph();
+        assert_eq!(k4.num_edges(), 6);
+        assert_eq!(opt::hypertree_width(&k4), 2);
+    }
+
+    #[test]
+    fn hypercycle_generalises_cycle() {
+        let c = hypercycle(5, 2).hypergraph();
+        assert_eq!(c.num_edges(), 5);
+        assert_eq!(opt::hypertree_width(&c), 2);
+        let h3 = hypercycle(4, 3).hypergraph();
+        assert_eq!(h3.num_vertices(), 8);
+        assert_eq!(opt::hypertree_width(&h3), 2);
+        // Primal treewidth grows with arity even though hw is flat.
+        let primal = graph::primal_graph(&h3);
+        assert!(treewidth::treewidth_exact(&primal).unwrap() >= 2);
+    }
+}

@@ -1,0 +1,17 @@
+//! Workloads for the hypertree-decomposition reproduction: the paper's
+//! concrete queries and figures ([`paper`]), parameterised families
+//! ([`families`], including the Theorem 6.2 `Qn` family), strict
+//! 3-partitioning systems ([`tps`], Lemma 7.3), the Theorem 3.4 XC3S
+//! reduction ([`xc3s`], Section 7 / Fig. 11), and seeded random instance
+//! and database generators ([`random`]).
+
+#![warn(missing_docs)]
+
+pub mod families;
+pub mod paper;
+pub mod random;
+pub mod tps;
+pub mod xc3s;
+
+pub use tps::{strict_3ps, ThreePartitioningSystem};
+pub use xc3s::{fig11_decomposition, reduce_to_query, Reduction, Xc3sInstance};

@@ -1,0 +1,257 @@
+//! The paper's concrete queries and decompositions.
+//!
+//! Q1/Q2 (Example 1.1), Q3 (Example 2.1), Q4 (Example 3.2), Q5
+//! (Example 3.5), plus executable encodings of the figures: Fig. 2 and
+//! Fig. 4 (query decompositions of Q1, Q4), Fig. 5 (a width-3 query
+//! decomposition of Q5), and Fig. 6a/6b–Fig. 7 (the hypertree
+//! decompositions of Q1 and Q5, the latter in its atom representation).
+
+use cq::{parse_query, ConjunctiveQuery};
+use hypergraph::{EdgeSet, Hypergraph, RootedTree, VertexSet};
+use hypertree_core::{HypertreeDecomposition, QueryDecomposition};
+
+/// Q1 (Example 1.1): is some student enrolled in a course taught by a
+/// parent? Cyclic; `qw(Q1) = hw(Q1) = 2`.
+pub fn q1() -> ConjunctiveQuery {
+    parse_query("ans :- enrolled(S,C,R), teaches(P,C,A), parent(P,S).").unwrap()
+}
+
+/// Q2 (Example 1.1): is there a professor with a child enrolled in some
+/// course? Acyclic (Fig. 1 shows a join tree).
+pub fn q2() -> ConjunctiveQuery {
+    parse_query("ans :- teaches(P,C,A), enrolled(S,C2,R), parent(P,S).").unwrap()
+}
+
+/// Q3 (Example 2.1): acyclic (Fig. 3 shows a join tree).
+pub fn q3() -> ConjunctiveQuery {
+    parse_query("ans :- r(Y,Z), g(X,Y), s(Y,Z,U), s(Z,U,W), t(Y,Z), t(Z,U).").unwrap()
+}
+
+/// Q4 (Example 3.2): cyclic with `qw(Q4) = 2` (Fig. 4).
+pub fn q4() -> ConjunctiveQuery {
+    parse_query("ans :- s(Y,Z,U), g(X,Y), t(Z,X), s(Z,W,X), t(Y,Z).").unwrap()
+}
+
+/// Q5 (Example 3.5), the running example: `qw(Q5) = 3` but `hw(Q5) = 2`
+/// (the Theorem 6.1(b) separation witness).
+pub fn q5() -> ConjunctiveQuery {
+    parse_query(
+        "ans :- a(S,X,X',C,F), b(S,Y,Y',C',F'), c(C,C',Z), d(X,Z), e(Y,Z), \
+         f(F,F',Z'), g(X',Z'), h(Y',Z'), j(J,X,Y,X',Y').",
+    )
+    .unwrap()
+}
+
+fn vset(h: &Hypergraph, names: &[&str]) -> VertexSet {
+    let mut s = h.empty_vertex_set();
+    for n in names {
+        s.insert(
+            h.vertex_by_name(n)
+                .unwrap_or_else(|| panic!("unknown vertex {n}")),
+        );
+    }
+    s
+}
+
+fn eset(h: &Hypergraph, names: &[&str]) -> EdgeSet {
+    let mut s = h.empty_edge_set();
+    for n in names {
+        s.insert(
+            h.edge_by_name(n)
+                .unwrap_or_else(|| panic!("unknown edge {n}")),
+        );
+    }
+    s
+}
+
+/// Fig. 2: the 2-width query decomposition of Q1 —
+/// root `{enrolled, teaches}`, child `{enrolled, parent}`.
+pub fn fig2_query_decomposition(h: &Hypergraph) -> QueryDecomposition {
+    let mut tree = RootedTree::new();
+    tree.add_child(tree.root());
+    QueryDecomposition::new(
+        tree,
+        vec![
+            eset(h, &["enrolled", "teaches"]),
+            eset(h, &["enrolled", "parent"]),
+        ],
+    )
+}
+
+/// Fig. 4: a pure 2-width query decomposition of Q4 — root `{s#0, s#1}`
+/// (the two ternary atoms cover all variables), with the binary atoms as
+/// leaf children.
+pub fn fig4_query_decomposition(h: &Hypergraph) -> QueryDecomposition {
+    let mut tree = RootedTree::new();
+    tree.add_child(tree.root());
+    tree.add_child(tree.root());
+    tree.add_child(tree.root());
+    QueryDecomposition::new(
+        tree,
+        vec![
+            eset(h, &["s#0", "s#1"]),
+            eset(h, &["g"]),
+            eset(h, &["t#0"]),
+            eset(h, &["t#1"]),
+        ],
+    )
+}
+
+/// Fig. 5 (shape): a 3-width query decomposition of Q5 — root `{a, b}`
+/// with children `{j}`, `{c, d, e}`, `{f, g, h}`. (The paper notes Q5
+/// "admits several other possible query decompositions of width 3".)
+pub fn fig5_query_decomposition(h: &Hypergraph) -> QueryDecomposition {
+    let mut tree = RootedTree::new();
+    tree.add_child(tree.root());
+    tree.add_child(tree.root());
+    tree.add_child(tree.root());
+    QueryDecomposition::new(
+        tree,
+        vec![
+            eset(h, &["a", "b"]),
+            eset(h, &["j"]),
+            eset(h, &["c", "d", "e"]),
+            eset(h, &["f", "g", "h"]),
+        ],
+    )
+}
+
+/// Fig. 6a: the complete 2-width hypertree decomposition of Q1 —
+/// root `χ={P,S,C,A}, λ={teaches, parent}`; child `χ={S,C,R},
+/// λ={enrolled}`.
+pub fn fig6a_hypertree(h: &Hypergraph) -> HypertreeDecomposition {
+    let mut tree = RootedTree::new();
+    tree.add_child(tree.root());
+    HypertreeDecomposition::new(
+        tree,
+        vec![vset(h, &["P", "S", "C", "A"]), vset(h, &["S", "C", "R"])],
+        vec![eset(h, &["teaches", "parent"]), eset(h, &["enrolled"])],
+    )
+}
+
+/// Fig. 6b / Fig. 7: the 2-width hypertree decomposition HD5 of Q5.
+///
+/// In atom representation (Fig. 7):
+///
+/// ```text
+/// {a(S,X,X',C,F), b(S,Y,Y',C',F')}
+///   {c(C,C',Z), j(_,X,Y,_,_)}
+///     {d(X,Z)}
+///     {e(Y,Z)}
+///   {f(F,F',Z'), j(_,_,_,X',Y')}
+///     {g(X',Z')}
+///     {h(Y',Z')}
+///   {j(J,X,Y,X',Y')}
+/// ```
+pub fn fig6b_hypertree(h: &Hypergraph) -> HypertreeDecomposition {
+    let mut tree = RootedTree::new();
+    let n_zc = tree.add_child(tree.root()); // handles component {Z}
+    tree.add_child(n_zc); // d
+    tree.add_child(n_zc); // e
+    let n_zp = tree.add_child(tree.root()); // handles component {Z'}
+    tree.add_child(n_zp); // g
+    tree.add_child(n_zp); // h
+    tree.add_child(tree.root()); // handles component {J}
+    HypertreeDecomposition::new(
+        tree,
+        vec![
+            vset(h, &["S", "X", "X'", "C", "F", "Y", "Y'", "C'", "F'"]),
+            vset(h, &["C", "C'", "Z", "X", "Y"]),
+            vset(h, &["X", "Z"]),
+            vset(h, &["Y", "Z"]),
+            vset(h, &["F", "F'", "Z'", "X'", "Y'"]),
+            vset(h, &["X'", "Z'"]),
+            vset(h, &["Y'", "Z'"]),
+            vset(h, &["J", "X", "Y", "X'", "Y'"]),
+        ],
+        vec![
+            eset(h, &["a", "b"]),
+            eset(h, &["c", "j"]),
+            eset(h, &["d"]),
+            eset(h, &["e"]),
+            eset(h, &["f", "j"]),
+            eset(h, &["g"]),
+            eset(h, &["h"]),
+            eset(h, &["j"]),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::acyclic;
+    use hypertree_core::{normal_form, opt};
+
+    #[test]
+    fn q1_cyclic_q2_q3_acyclic() {
+        assert!(!acyclic::is_acyclic(&q1().hypergraph()));
+        let jt2 = acyclic::join_tree(&q2().hypergraph()).expect("Q2 acyclic (Fig. 1)");
+        assert_eq!(jt2.validate(&q2().hypergraph()), Ok(()));
+        let jt3 = acyclic::join_tree(&q3().hypergraph()).expect("Q3 acyclic (Fig. 3)");
+        assert_eq!(jt3.validate(&q3().hypergraph()), Ok(()));
+        assert!(!acyclic::is_acyclic(&q4().hypergraph()));
+        assert!(!acyclic::is_acyclic(&q5().hypergraph()));
+    }
+
+    #[test]
+    fn fig2_and_fig4_validate_at_width_2() {
+        let h1 = q1().hypergraph();
+        let qd = fig2_query_decomposition(&h1);
+        assert_eq!(qd.validate(&h1), Ok(()));
+        assert_eq!(qd.width(), 2);
+
+        let h4 = q4().hypergraph();
+        let qd4 = fig4_query_decomposition(&h4);
+        assert_eq!(qd4.validate(&h4), Ok(()));
+        assert_eq!(qd4.width(), 2);
+    }
+
+    #[test]
+    fn fig5_validates_at_width_3() {
+        let h = q5().hypergraph();
+        let qd = fig5_query_decomposition(&h);
+        assert_eq!(qd.validate(&h), Ok(()));
+        assert_eq!(qd.width(), 3);
+    }
+
+    #[test]
+    fn fig6a_validates_and_is_nf() {
+        let h = q1().hypergraph();
+        let hd = fig6a_hypertree(&h);
+        assert_eq!(hd.validate(&h), Ok(()));
+        assert_eq!(hd.width(), 2);
+        assert!(hd.is_complete(&h));
+        assert!(normal_form::is_normal_form(&h, &hd));
+    }
+
+    #[test]
+    fn fig6b_validates_at_width_2() {
+        let h = q5().hypergraph();
+        let hd = fig6b_hypertree(&h);
+        assert_eq!(hd.validate(&h), Ok(()));
+        assert_eq!(hd.width(), 2);
+        assert!(hd.is_complete(&h));
+    }
+
+    #[test]
+    fn widths_match_the_paper() {
+        // hw(Q1) = 2 (Example 4.3); hw(Q5) = 2 (Example 4.3);
+        // hw(Q2) = hw(Q3) = 1 (acyclic, Theorem 4.5).
+        assert_eq!(opt::hypertree_width(&q1().hypergraph()), 2);
+        assert_eq!(opt::hypertree_width(&q2().hypergraph()), 1);
+        assert_eq!(opt::hypertree_width(&q3().hypergraph()), 1);
+        assert_eq!(opt::hypertree_width(&q4().hypergraph()), 2);
+        assert_eq!(opt::hypertree_width(&q5().hypergraph()), 2);
+    }
+
+    #[test]
+    fn fig7_atom_representation_masks_j() {
+        let h = q5().hypergraph();
+        let hd = fig6b_hypertree(&h);
+        let display = hd.display(&h);
+        // The {c, j} node masks J, X', Y' inside j.
+        assert!(display.contains("j(_,X,Y,_,_)"), "{display}");
+        assert!(display.contains("j(J,X,Y,X',Y')"), "{display}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Random instances and databases (seeded, reproducible).
+//!
+//! Random hypergraphs and queries drive the property tests and the width
+//! surveys; the database generators produce (a) uniform random relations
+//! with controlled size/domain, (b) instances with a *planted* satisfying
+//! assignment (guaranteed-true Boolean queries), and (c) the adversarial
+//! "blow-up" databases for experiment E10, where naive join intermediate
+//! results grow multiplicatively while the decomposition-based engines
+//! stay flat.
+
+use cq::{ConjunctiveQuery, QueryBuilder, Term};
+use hypergraph::Hypergraph;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use relation::{Database, Relation};
+
+/// A seeded RNG for reproducible workloads.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A random hypergraph: `n` vertices, `m` edges, arities in
+/// `2..=max_arity`, every edge a uniformly chosen vertex subset.
+pub fn random_hypergraph(rng: &mut StdRng, n: usize, m: usize, max_arity: usize) -> Hypergraph {
+    assert!(n >= 1 && max_arity >= 2);
+    let mut b = Hypergraph::builder();
+    for i in 0..n {
+        b.add_vertex(format!("X{i}"));
+    }
+    for e in 0..m {
+        let arity = rng.random_range(2..=max_arity.min(n));
+        let mut members: Vec<usize> = (0..n).collect();
+        // Partial Fisher–Yates: the first `arity` entries are the edge.
+        for i in 0..arity {
+            let j = rng.random_range(i..n);
+            members.swap(i, j);
+        }
+        let vs: Vec<hypergraph::VertexId> = members[..arity]
+            .iter()
+            .map(|&v| hypergraph::VertexId(v as u32))
+            .collect();
+        b.add_edge(format!("e{e}"), &vs);
+    }
+    b.build()
+}
+
+/// A random Boolean conjunctive query with the same shape distribution as
+/// [`random_hypergraph`]; atom `i` uses predicate `r{i}`.
+pub fn random_query(rng: &mut StdRng, n_vars: usize, m_atoms: usize, max_arity: usize) -> ConjunctiveQuery {
+    let h = random_hypergraph(rng, n_vars, m_atoms, max_arity);
+    let mut b = QueryBuilder::default();
+    let vars: Vec<_> = h
+        .vertices()
+        .map(|v| b.var(h.vertex_name(v)))
+        .collect();
+    for e in h.edges() {
+        let terms: Vec<Term> = h
+            .edge_vertices(e)
+            .iter()
+            .map(|v| Term::Var(vars[hypergraph::Ix::index(v)]))
+            .collect();
+        b.atom(format!("r{}", hypergraph::Ix::index(e)), terms);
+    }
+    b.build()
+}
+
+/// A uniform random database for `q`: each predicate gets `rows` tuples
+/// with values drawn from `0..domain`.
+pub fn random_database(rng: &mut StdRng, q: &ConjunctiveQuery, domain: u64, rows: usize) -> Database {
+    let mut db = Database::new();
+    for atom in q.atoms() {
+        if db.get(&atom.predicate).is_none() {
+            db.insert(atom.predicate.clone(), Relation::new(atom.arity()));
+        }
+    }
+    let preds: Vec<(String, usize)> = q
+        .atoms()
+        .iter()
+        .map(|a| (a.predicate.clone(), a.arity()))
+        .collect();
+    for (pred, arity) in preds {
+        let mut rel = Relation::with_capacity(arity, rows);
+        let mut buf = vec![relation::Value(0); arity];
+        for _ in 0..rows {
+            for v in buf.iter_mut() {
+                *v = relation::Value(rng.random_range(0..domain));
+            }
+            rel.push_row(&buf);
+        }
+        rel.dedup();
+        db.insert(pred, rel);
+    }
+    db
+}
+
+/// Like [`random_database`], but with a planted satisfying assignment so
+/// the Boolean query is guaranteed true: one consistent tuple per atom is
+/// inserted on top of the random ones.
+pub fn planted_database(
+    rng: &mut StdRng,
+    q: &ConjunctiveQuery,
+    domain: u64,
+    rows: usize,
+) -> Database {
+    let mut db = random_database(rng, q, domain, rows);
+    let assignment: Vec<u64> = (0..q.num_vars()).map(|_| rng.random_range(0..domain)).collect();
+    for atom in q.atoms() {
+        let tuple: Vec<u64> = atom
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => assignment[hypergraph::Ix::index(*v)],
+                Term::Const(c) => *c,
+            })
+            .collect();
+        db.add_fact(&atom.predicate, &tuple);
+    }
+    db
+}
+
+/// The E10 adversarial database for chain/cycle queries over binary
+/// predicates `r0..r{n-1}`: every relation is the same random bipartite
+/// relation on `0..domain` with out-degree ≈ `degree`, so naive
+/// left-to-right joins grow by a factor ≈ `degree` per step while the
+/// final (cycle-closing) result stays sparse.
+pub fn blowup_database(
+    rng: &mut StdRng,
+    num_predicates: usize,
+    domain: u64,
+    degree: usize,
+) -> Database {
+    let mut db = Database::new();
+    for p in 0..num_predicates {
+        let mut rel = Relation::with_capacity(2, domain as usize * degree);
+        for x in 0..domain {
+            for _ in 0..degree {
+                let y = rng.random_range(0..domain);
+                rel.push_row(&[relation::Value(x), relation::Value(y)]);
+            }
+        }
+        rel.dedup();
+        db.insert(format!("r{p}"), rel);
+    }
+    db
+}
+
+/// A path-shaped database where every `r{i}` is the successor relation on
+/// `0..domain` — linear joins, used as the benign E10 control.
+pub fn successor_database(num_predicates: usize, domain: u64) -> Database {
+    let mut db = Database::new();
+    for p in 0..num_predicates {
+        let mut rel = Relation::with_capacity(2, domain as usize);
+        for x in 0..domain.saturating_sub(1) {
+            rel.push_row(&[relation::Value(x), relation::Value(x + 1)]);
+        }
+        db.insert(format!("r{p}"), rel);
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+
+    #[test]
+    fn generators_are_reproducible() {
+        let h1 = random_hypergraph(&mut rng(7), 8, 6, 3);
+        let h2 = random_hypergraph(&mut rng(7), 8, 6, 3);
+        assert_eq!(h1, h2);
+        let q1 = random_query(&mut rng(9), 6, 5, 3);
+        let q2 = random_query(&mut rng(9), 6, 5, 3);
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn random_database_shapes() {
+        let q = families::path(3);
+        let db = random_database(&mut rng(1), &q, 50, 100);
+        for atom in q.atoms() {
+            let rel = db.get(&atom.predicate).unwrap();
+            assert_eq!(rel.arity(), 2);
+            assert!(rel.len() <= 100);
+            assert!(rel.len() > 50, "dedup should not halve uniform data");
+        }
+    }
+
+    #[test]
+    fn planted_database_is_satisfiable() {
+        let q = families::cycle(5);
+        let db = planted_database(&mut rng(3), &q, 40, 30);
+        assert_eq!(eval::evaluate_boolean(&q, &db), Ok(true));
+    }
+
+    #[test]
+    fn blowup_database_has_expected_degree() {
+        let db = blowup_database(&mut rng(4), 3, 100, 5);
+        let r0 = db.get("r0").unwrap();
+        assert!(r0.len() > 400, "≈ domain × degree rows");
+        assert!(r0.len() <= 500);
+    }
+
+    #[test]
+    fn successor_database_chains() {
+        let db = successor_database(2, 10);
+        let q = families::path_endpoints(2);
+        let out = eval::evaluate(&q, &db).unwrap();
+        assert_eq!(out.len(), 8); // (0,2) .. (7,9)
+    }
+}

@@ -1,0 +1,196 @@
+//! Strict 3-partitioning systems (Definition 7.2, Lemma 7.3).
+//!
+//! A 3PS on a base set `S` is a family of 3-partitions of `S` whose
+//! classes are pairwise distinct across partitions. It is *strict* when
+//! the only way to write `S` as a union of three classes is to take one of
+//! the designated partitions. Lemma 7.3 constructs a strict `(m,k)`-3PS
+//! (at least `m` partitions, every class of size ≥ `k`) in `O(m² + km)`
+//! time — the combinatorial backbone of the Theorem 3.4 NP-hardness
+//! reduction.
+
+/// A 3-partitioning system over base set `{0, .., base_size-1}`.
+#[derive(Clone, Debug)]
+pub struct ThreePartitioningSystem {
+    base_size: usize,
+    /// `partitions[i]` = the classes `(Sᵢa, Sᵢb, Sᵢc)` as sorted id lists.
+    partitions: Vec<[Vec<usize>; 3]>,
+}
+
+impl ThreePartitioningSystem {
+    /// Number of elements in the base set `S`.
+    pub fn base_size(&self) -> usize {
+        self.base_size
+    }
+
+    /// The designated 3-partitions.
+    pub fn partitions(&self) -> &[[Vec<usize>; 3]] {
+        &self.partitions
+    }
+
+    /// All classes, flattened.
+    pub fn classes(&self) -> Vec<&Vec<usize>> {
+        self.partitions.iter().flat_map(|p| p.iter()).collect()
+    }
+
+    /// Check the 3PS axioms: each partition's classes are non-empty,
+    /// disjoint, and cover `S`; classes are pairwise distinct across the
+    /// family.
+    pub fn is_valid(&self) -> bool {
+        let mut seen_classes: Vec<&Vec<usize>> = Vec::new();
+        for p in &self.partitions {
+            let mut covered = vec![false; self.base_size];
+            let mut count = 0usize;
+            for class in p {
+                if class.is_empty() {
+                    return false;
+                }
+                for &x in class {
+                    if x >= self.base_size || covered[x] {
+                        return false; // out of range or overlapping
+                    }
+                    covered[x] = true;
+                    count += 1;
+                }
+            }
+            if count != self.base_size {
+                return false; // not a cover
+            }
+            for class in p {
+                if seen_classes.contains(&class) {
+                    return false; // class repeated across partitions
+                }
+                seen_classes.push(class);
+            }
+        }
+        true
+    }
+
+    /// Exhaustively check strictness: every triple of classes whose union
+    /// is `S` must be (a permutation of) a designated partition.
+    /// `O(c³·|S|)` — use on the small systems of the test suite.
+    pub fn is_strict_exhaustive(&self) -> bool {
+        let classes = self.classes();
+        let c = classes.len();
+        for i in 0..c {
+            for j in i + 1..c {
+                for l in j + 1..c {
+                    let mut covered = vec![false; self.base_size];
+                    for &x in classes[i].iter().chain(classes[j]).chain(classes[l]) {
+                        covered[x] = true;
+                    }
+                    if covered.iter().all(|&b| b) && !self.is_designated(&[i, j, l]) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn is_designated(&self, class_indices: &[usize; 3]) -> bool {
+        // Class t of partition p has flat index 3p + t.
+        let p = class_indices[0] / 3;
+        class_indices.iter().all(|&ci| ci / 3 == p)
+    }
+}
+
+/// The Lemma 7.3 construction of a strict `(m,k)`-3PS.
+///
+/// Base set `S = T ∪ T' ∪ T''` with `T = {X_1..X_{3k+m}}`,
+/// `T' = {X'_1..X'_m}`, `T'' = {X''_a, X''_b, X''_c}`, and for `1 ≤ i ≤ m`
+///
+/// * `Sᵢa = {X_1..X_{k+i-1}} ∪ {X'_1..X'_{m-i}} ∪ {X''_a}`
+/// * `Sᵢb = {X_{k+i}..X_{2k+i-1}} ∪ {X''_b}`
+/// * `Sᵢc = {X_{2k+i}..X_{3k+m}} ∪ {X'_{m-i+1}..X'_m} ∪ {X''_c}`
+///
+/// Element ids: `X_j ↦ j-1`, `X'_j ↦ 3k+m + j-1`, `X''_{a,b,c} ↦` the last
+/// three ids.
+pub fn strict_3ps(m: usize, k: usize) -> ThreePartitioningSystem {
+    assert!(m >= 1 && k >= 1);
+    let t_len = 3 * k + m;
+    let tp_len = m;
+    let base_size = t_len + tp_len + 3;
+    let t = |j: usize| j - 1; // X_j, 1-based
+    let tp = |j: usize| t_len + j - 1; // X'_j, 1-based
+    let tpp = |which: usize| t_len + tp_len + which; // X''_{a,b,c}
+
+    let mut partitions = Vec::with_capacity(m);
+    for i in 1..=m {
+        let sa: Vec<usize> = (1..=k + i - 1)
+            .map(t)
+            .chain((1..=m - i).map(tp))
+            .chain([tpp(0)])
+            .collect();
+        let sb: Vec<usize> = (k + i..=2 * k + i - 1).map(t).chain([tpp(1)]).collect();
+        let sc: Vec<usize> = (2 * k + i..=3 * k + m)
+            .map(t)
+            .chain((m - i + 1..=m).map(tp))
+            .chain([tpp(2)])
+            .collect();
+        partitions.push([sa, sb, sc]);
+    }
+    ThreePartitioningSystem {
+        base_size,
+        partitions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_is_valid_and_strict() {
+        for (m, k) in [(1, 1), (2, 2), (3, 2), (4, 3), (5, 2)] {
+            let s = strict_3ps(m, k);
+            assert!(s.is_valid(), "invalid 3PS for m={m}, k={k}");
+            assert!(s.is_strict_exhaustive(), "not strict for m={m}, k={k}");
+            assert_eq!(s.partitions().len(), m);
+        }
+    }
+
+    #[test]
+    fn class_sizes_meet_the_k_bound() {
+        let s = strict_3ps(4, 3);
+        for p in s.partitions() {
+            for class in p {
+                assert!(class.len() >= 3, "class smaller than k");
+            }
+        }
+    }
+
+    #[test]
+    fn base_size_matches_lemma() {
+        // |S| = (3k + m) + m + 3.
+        let s = strict_3ps(5, 2);
+        assert_eq!(s.base_size(), 6 + 5 + 5 + 3);
+    }
+
+    #[test]
+    fn validity_checker_catches_broken_systems() {
+        let mut s = strict_3ps(2, 2);
+        // Duplicate a class across partitions.
+        s.partitions[1][1] = s.partitions[0][1].clone();
+        assert!(!s.is_valid());
+
+        let mut s2 = strict_3ps(2, 2);
+        // Remove an element from a class: no longer a cover.
+        s2.partitions[0][0].pop();
+        assert!(!s2.is_valid());
+    }
+
+    #[test]
+    fn strictness_checker_catches_loose_systems() {
+        // A hand-built non-strict system: S = {0,1,2,3,4,5} with two
+        // partitions sharing a "rotated" cover.
+        let s = ThreePartitioningSystem {
+            base_size: 6,
+            partitions: vec![
+                [vec![0, 1], vec![2, 3], vec![4, 5]],
+                [vec![0, 1, 2], vec![3], vec![4, 5, 0]],
+            ],
+        };
+        // {0,1} ∪ {2,3} ∪ {4,5,0} = S but is not designated.
+        assert!(!s.is_strict_exhaustive());
+    }
+}

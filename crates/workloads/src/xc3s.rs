@@ -1,0 +1,357 @@
+//! The Section 7 NP-hardness gadget: reducing EXACT COVER BY 3-SETS to
+//! "does this query have query-width ≤ 4?" (Theorem 3.4).
+//!
+//! An XC3S instance `I = (R, D)` has `|R| = 3s` elements and a family `D`
+//! of 3-element subsets; it is positive iff `s` members of `D` partition
+//! `R`. The reduction builds a query whose atoms are
+//!
+//! * `BLOCKA_a` / `BLOCKB_a` for `0 ≤ a ≤ s` — two 4-atom blocks over the
+//!   28 fresh variables `C_a = {V^a_ij}` arranged so that (Lemma 7.1) any
+//!   width-4 decomposition must place each block on two adjacent 4-element
+//!   nodes;
+//! * `LINK_a = link(Y_{a-1}, Z_a)` for `1 ≤ a ≤ s` — chaining the blocks;
+//! * `W[D_i]` for each triple `D_i = {x,y,z} ∈ D` — three atoms
+//!   `s(x, Sᵢa), s(y, Sᵢb), s(z, Sᵢc)` over the classes of a strict
+//!   `(m+1,2)`-3PS (Lemma 7.3), so that covering the base set `S` with
+//!   three atoms is only possible by taking a whole `W[D_i]`.
+//!
+//! A width-4 decomposition then has to dedicate one node per chain slot to
+//! `{link} ∪ W[D_i]` for some triple, and Facts 1–8 of the proof force the
+//! chosen triples to be disjoint — an exact cover. Conversely
+//! [`fig11_decomposition`] builds the paper's Fig. 11 witness from a cover.
+
+use crate::tps::{strict_3ps, ThreePartitioningSystem};
+use cq::{ConjunctiveQuery, QueryBuilder, Term};
+use hypergraph::{EdgeSet, RootedTree};
+use hypertree_core::QueryDecomposition;
+
+/// An EXACT COVER BY 3-SETS instance.
+#[derive(Clone, Debug)]
+pub struct Xc3sInstance {
+    /// `|R| = 3s` elements, identified as `0..num_elements`.
+    pub num_elements: usize,
+    /// The collection `D` of 3-element subsets (each sorted).
+    pub triples: Vec<[usize; 3]>,
+}
+
+impl Xc3sInstance {
+    /// Build an instance, normalising the triples.
+    pub fn new(num_elements: usize, mut triples: Vec<[usize; 3]>) -> Self {
+        assert!(num_elements.is_multiple_of(3), "|R| must be 3s");
+        for t in &mut triples {
+            t.sort_unstable();
+            assert!(t[0] != t[1] && t[1] != t[2], "triples have 3 elements");
+            assert!(t[2] < num_elements, "element out of range");
+        }
+        Xc3sInstance {
+            num_elements,
+            triples,
+        }
+    }
+
+    /// `s = |R| / 3`.
+    pub fn s(&self) -> usize {
+        self.num_elements / 3
+    }
+
+    /// Exhaustively search for an exact cover; returns the indices of the
+    /// chosen triples. Exponential, as it must be; fine for gadget sizes.
+    pub fn solve(&self) -> Option<Vec<usize>> {
+        let mut covered = vec![false; self.num_elements];
+        let mut chosen = Vec::new();
+        if self.solve_rec(&mut covered, &mut chosen) {
+            Some(chosen)
+        } else {
+            None
+        }
+    }
+
+    fn solve_rec(&self, covered: &mut [bool], chosen: &mut Vec<usize>) -> bool {
+        let Some(first) = covered.iter().position(|&c| !c) else {
+            return true; // everything covered exactly
+        };
+        for (i, t) in self.triples.iter().enumerate() {
+            if t.contains(&first) && t.iter().all(|&x| !covered[x]) {
+                for &x in t {
+                    covered[x] = true;
+                }
+                chosen.push(i);
+                if self.solve_rec(covered, chosen) {
+                    return true;
+                }
+                chosen.pop();
+                for &x in t {
+                    covered[x] = false;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// The reduction output: the query plus the bookkeeping needed to build
+/// the Fig. 11 decomposition and to locate atoms in the query hypergraph.
+#[derive(Clone, Debug)]
+pub struct Reduction {
+    /// The constructed conjunctive query.
+    pub query: ConjunctiveQuery,
+    /// `s` from the instance.
+    pub s: usize,
+    /// Atom indices of `BLOCKA_a` (4 atoms each), `0 ≤ a ≤ s`.
+    pub block_a: Vec<[usize; 4]>,
+    /// Atom indices of `BLOCKB_a` (4 atoms each), `0 ≤ a ≤ s`.
+    pub block_b: Vec<[usize; 4]>,
+    /// Atom index of `LINK_a`, `1 ≤ a ≤ s` (position `a-1`).
+    pub links: Vec<usize>,
+    /// Atom indices of `W[D_i]` per triple `i` (3 atoms each).
+    pub w_triples: Vec<[usize; 3]>,
+}
+
+/// Build the Theorem 3.4 query for an XC3S instance.
+pub fn reduce_to_query(inst: &Xc3sInstance) -> Reduction {
+    let s = inst.s();
+    let m = inst.triples.len();
+    let tps: ThreePartitioningSystem = strict_3ps(m + 1, 2);
+    let base: Vec<String> = (0..tps.base_size()).map(|i| format!("B{i}")).collect();
+
+    let mut b = QueryBuilder::default();
+    let base_vars = |b: &mut QueryBuilder, class: &[usize]| -> Vec<Term> {
+        class.iter().map(|&i| Term::Var(b.var(&base[i]))).collect()
+    };
+
+    // s_0 drives the blocks; split S⁰a into S' (first element) ∪ S'' (rest).
+    let s0 = &tps.partitions()[0];
+    let (s0a, s0b, s0c) = (&s0[0], &s0[1], &s0[2]);
+    let s_prime: Vec<usize> = vec![s0a[0]];
+    let s_dprime: Vec<usize> = s0a[1..].to_vec();
+
+    // P^a_i: the 7 pair-variables of C_a incident to index i (1-based).
+    let p_vars = |b: &mut QueryBuilder, a: usize, i: usize| -> Vec<Term> {
+        let mut out = Vec::with_capacity(7);
+        for j in 1..i {
+            out.push(Term::Var(b.var(&format!("V{a}_{j}_{i}"))));
+        }
+        for k in i + 1..=8 {
+            out.push(Term::Var(b.var(&format!("V{a}_{i}_{k}"))));
+        }
+        out
+    };
+
+    let mut block_a = Vec::with_capacity(s + 1);
+    let mut block_b = Vec::with_capacity(s + 1);
+    let mut atom_count = 0usize;
+    let mut push_atom = |b: &mut QueryBuilder, pred: &str, terms: Vec<Term>| -> usize {
+        b.atom(pred.to_string(), terms);
+        atom_count += 1;
+        atom_count - 1
+    };
+
+    for a in 0..=s {
+        let mut ids_a = [0usize; 4];
+        // q(P^a_1, S', Z_a)
+        let mut terms = p_vars(&mut b, a, 1);
+        terms.extend(base_vars(&mut b, &s_prime));
+        terms.push(Term::Var(b.var(&format!("Z{a}"))));
+        ids_a[0] = push_atom(&mut b, "q", terms);
+        // pa(P^a_2, S'')
+        let mut terms = p_vars(&mut b, a, 2);
+        terms.extend(base_vars(&mut b, &s_dprime));
+        ids_a[1] = push_atom(&mut b, "pa", terms);
+        // pb(P^a_3, S⁰b)
+        let mut terms = p_vars(&mut b, a, 3);
+        terms.extend(base_vars(&mut b, s0b));
+        ids_a[2] = push_atom(&mut b, "pb", terms);
+        // pc(P^a_4, S⁰c)
+        let mut terms = p_vars(&mut b, a, 4);
+        terms.extend(base_vars(&mut b, s0c));
+        ids_a[3] = push_atom(&mut b, "pc", terms);
+        block_a.push(ids_a);
+
+        let mut ids_b = [0usize; 4];
+        // q(P^a_5, S', Y_a)
+        let mut terms = p_vars(&mut b, a, 5);
+        terms.extend(base_vars(&mut b, &s_prime));
+        terms.push(Term::Var(b.var(&format!("Y{a}"))));
+        ids_b[0] = push_atom(&mut b, "q", terms);
+        // pa(P^a_6, S'')
+        let mut terms = p_vars(&mut b, a, 6);
+        terms.extend(base_vars(&mut b, &s_dprime));
+        ids_b[1] = push_atom(&mut b, "pa", terms);
+        // pb(P^a_7, S⁰b)
+        let mut terms = p_vars(&mut b, a, 7);
+        terms.extend(base_vars(&mut b, s0b));
+        ids_b[2] = push_atom(&mut b, "pb", terms);
+        // pc(P^a_8, S⁰c)
+        let mut terms = p_vars(&mut b, a, 8);
+        terms.extend(base_vars(&mut b, s0c));
+        ids_b[3] = push_atom(&mut b, "pc", terms);
+        block_b.push(ids_b);
+    }
+
+    let mut links = Vec::with_capacity(s);
+    for a in 1..=s {
+        let y = b.var(&format!("Y{}", a - 1));
+        let z = b.var(&format!("Z{a}"));
+        links.push(push_atom(&mut b, "link", vec![Term::Var(y), Term::Var(z)]));
+    }
+
+    let mut w_triples = Vec::with_capacity(m);
+    for (i, t) in inst.triples.iter().enumerate() {
+        let si = &tps.partitions()[i + 1];
+        let mut ids = [0usize; 3];
+        for (cls, (&elem, class)) in t.iter().zip(si.iter()).enumerate() {
+            let mut terms = vec![Term::Var(b.var(&format!("E{elem}")))];
+            terms.extend(base_vars(&mut b, class));
+            ids[cls] = push_atom(&mut b, "s", terms);
+        }
+        w_triples.push(ids);
+    }
+
+    Reduction {
+        query: b.build(),
+        s,
+        block_a,
+        block_b,
+        links,
+        w_triples,
+    }
+}
+
+/// Build the Fig. 11 width-4 query decomposition from an exact cover
+/// (`cover[a-1]` = index of the triple used at chain slot `a`).
+pub fn fig11_decomposition(red: &Reduction, cover: &[usize]) -> QueryDecomposition {
+    assert_eq!(cover.len(), red.s, "a cover picks s triples");
+    let h = red.query.hypergraph();
+    let m_edges = h.num_edges();
+    let eset = |ids: &[usize]| -> EdgeSet {
+        EdgeSet::from_iter(m_edges, ids.iter().map(|&i| hypergraph::EdgeId(i as u32)))
+    };
+
+    // The element-variable of a W atom is its first term.
+    let elem_var = |atom_id: usize| -> usize {
+        match red.query.atom(atom_id).terms[0] {
+            Term::Var(v) => hypergraph::Ix::index(v),
+            Term::Const(_) => unreachable!("W atoms start with a variable"),
+        }
+    };
+    // (W atom id, owning triple index) pairs.
+    let w_atoms: Vec<(usize, usize)> = red
+        .w_triples
+        .iter()
+        .enumerate()
+        .flat_map(|(i, ids)| ids.iter().map(move |&id| (id, i)))
+        .collect();
+
+    let mut tree = RootedTree::new();
+    let mut labels: Vec<EdgeSet> = Vec::new();
+
+    // Root va0 = BLOCKA_0; child vb0 = BLOCKB_0.
+    labels.push(eset(&red.block_a[0]));
+    let mut vb = tree.add_child(tree.root());
+    labels.push(eset(&red.block_b[0]));
+
+    for a in 1..=red.s {
+        let triple_idx = cover[a - 1];
+        // vca = {LINK_a} ∪ W[D^a].
+        let mut vca_ids = vec![red.links[a - 1]];
+        vca_ids.extend(red.w_triples[triple_idx]);
+        let vca = tree.add_child(vb);
+        labels.push(eset(&vca_ids));
+
+        // Remaining atoms of W(D^a): W atoms of *other* triples whose
+        // element variable belongs to the chosen triple — they hang as
+        // leaves under vca.
+        let chosen_elems: Vec<usize> = red.w_triples[triple_idx]
+            .iter()
+            .map(|&id| elem_var(id))
+            .collect();
+        for &(watom, wtriple) in &w_atoms {
+            if wtriple != triple_idx && chosen_elems.contains(&elem_var(watom)) {
+                let leaf = tree.add_child(vca);
+                labels.push(eset(&[watom]));
+                debug_assert_eq!(hypergraph::Ix::index(leaf), labels.len() - 1);
+            }
+        }
+
+        // va_a = BLOCKA_a under vca; vb_a = BLOCKB_a under va_a.
+        let va = tree.add_child(vca);
+        labels.push(eset(&red.block_a[a]));
+        vb = tree.add_child(va);
+        labels.push(eset(&red.block_b[a]));
+    }
+
+    QueryDecomposition::new(tree, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example Ie of Section 7: R = {0..5},
+    /// D1={0,2,3}, D2={0,1,3}, D3={2,3,5}, D4={2,4,5} (0-indexed from the
+    /// paper's X1..X6). Positive: D2 ∪ D4 partitions R.
+    pub(crate) fn paper_instance() -> Xc3sInstance {
+        Xc3sInstance::new(
+            6,
+            vec![[0, 2, 3], [0, 1, 3], [2, 3, 5], [2, 4, 5]],
+        )
+    }
+
+    #[test]
+    fn brute_force_solves_the_paper_instance() {
+        let inst = paper_instance();
+        let cover = inst.solve().expect("Ie is positive");
+        assert_eq!(cover.len(), 2);
+        // D2 (index 1) and D4 (index 3) form the cover.
+        assert_eq!(cover, vec![1, 3]);
+    }
+
+    #[test]
+    fn negative_instances_are_detected() {
+        // No triple contains element 5.
+        let inst = Xc3sInstance::new(6, vec![[0, 1, 2], [1, 2, 3], [0, 3, 4]]);
+        assert!(inst.solve().is_none());
+        // Overlapping-only family.
+        let inst2 = Xc3sInstance::new(6, vec![[0, 1, 2], [2, 3, 4], [4, 5, 0]]);
+        assert!(inst2.solve().is_none());
+    }
+
+    #[test]
+    fn reduction_counts_add_up() {
+        let inst = paper_instance();
+        let red = reduce_to_query(&inst);
+        let s = inst.s();
+        let m = inst.triples.len();
+        // 8 block atoms per level, s links, 3m W atoms.
+        assert_eq!(
+            red.query.atoms().len(),
+            8 * (s + 1) + s + 3 * m
+        );
+        assert_eq!(red.block_a.len(), s + 1);
+        assert_eq!(red.links.len(), s);
+        assert_eq!(red.w_triples.len(), m);
+    }
+
+    #[test]
+    fn fig11_validates_at_width_4() {
+        let inst = paper_instance();
+        let red = reduce_to_query(&inst);
+        let cover = inst.solve().unwrap();
+        let qd = fig11_decomposition(&red, &cover);
+        let h = red.query.hypergraph();
+        assert_eq!(qd.validate(&h), Ok(()), "Fig. 11 must be a valid QD");
+        assert_eq!(qd.width(), 4);
+    }
+
+    #[test]
+    fn tiny_positive_instance_end_to_end() {
+        // s = 1: R = {0,1,2}, one matching triple plus a decoy that
+        // cannot cover alone.
+        let inst = Xc3sInstance::new(3, vec![[0, 1, 2]]);
+        let red = reduce_to_query(&inst);
+        let cover = inst.solve().unwrap();
+        let qd = fig11_decomposition(&red, &cover);
+        assert_eq!(qd.validate(&red.query.hypergraph()), Ok(()));
+        assert_eq!(qd.width(), 4);
+    }
+}

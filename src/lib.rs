@@ -1,0 +1,104 @@
+//! # hypertree — Hypertree Decompositions and Tractable Queries
+//!
+//! A Rust implementation of *Gottlob, Leone, Scarcello: "Hypertree
+//! Decompositions and Tractable Queries"* (PODS'99; JCSS 64(3), 2002):
+//! hypertree decompositions, the `k-decomp` recognition algorithm, query
+//! decompositions, and decomposition-guided conjunctive-query evaluation,
+//! together with the acyclic-query, relational, and graph-theoretic
+//! substrate they stand on.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use hypertree::prelude::*;
+//!
+//! // Example 1.1 of the paper: is some student enrolled in a course
+//! // taught by their own parent? (Cyclic — no join tree exists.)
+//! let q = parse_query("ans :- enrolled(S,C,R), teaches(P,C,A), parent(P,S).").unwrap();
+//!
+//! // Structural analysis: hypertree width 2, with a witness decomposition.
+//! assert_eq!(hypertree_width(&q), 2);
+//! let hd = decompose(&q, 2).expect("width-2 decomposition exists");
+//! assert_eq!(hd.validate(&q.hypergraph()), Ok(()));
+//!
+//! // Evaluation: the decomposition turns the cyclic query into an acyclic
+//! // one (Lemma 4.6) evaluated with Yannakakis' algorithm.
+//! let mut db = Database::new();
+//! db.add_fact("enrolled", &[2, 7, 2000]);
+//! db.add_fact("teaches", &[1, 7, 1]);
+//! db.add_fact("parent", &[1, 2]);
+//! assert_eq!(evaluate_boolean(&q, &db), Ok(true));
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`hypergraph`] — hypergraphs, `[V]`-components, GYO/join trees,
+//!   primal & incidence graphs, treewidth, CSP baselines;
+//! * [`cq`] — conjunctive queries, parser, canonical queries;
+//! * [`relation`] — relations, databases, joins/semijoins;
+//! * [`core`] (crate `hypertree-core`) — hypertree decompositions,
+//!   normal form, `k-decomp` (top-down, bottom-up Datalog, parallel),
+//!   query decompositions;
+//! * [`eval`] — naive, Yannakakis, and decomposition-guided engines;
+//! * [`workloads`] — the paper's queries and figures, query families, the
+//!   Section 7 NP-hardness gadget, random generators.
+
+#![warn(missing_docs)]
+
+pub use cq;
+pub use eval;
+pub use hypergraph;
+pub use hypertree_core as core;
+pub use relation;
+pub use workloads;
+
+use cq::ConjunctiveQuery;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use crate::{decompose, hypertree_width, query_width};
+    pub use cq::{parse_query, ConjunctiveQuery, QueryBuilder, Term};
+    pub use eval::{evaluate, evaluate_boolean, Strategy};
+    pub use hypergraph::{Hypergraph, JoinTree};
+    pub use hypertree_core::{HypertreeDecomposition, QueryDecomposition};
+    pub use relation::{Database, Relation, Value};
+}
+
+/// The hypertree width `hw(Q)` of a conjunctive query (Definition 4.1;
+/// computed via iterative deepening over `k-decomp`, Theorem 5.16).
+pub fn hypertree_width(q: &ConjunctiveQuery) -> usize {
+    hypertree_core::opt::hypertree_width(&q.hypergraph())
+}
+
+/// A width-`≤ k` normal-form hypertree decomposition of `q`, if one exists
+/// (Theorem 5.18).
+pub fn decompose(q: &ConjunctiveQuery, k: usize) -> Option<hypertree_core::HypertreeDecomposition> {
+    hypertree_core::kdecomp::decompose(
+        &q.hypergraph(),
+        k,
+        hypertree_core::CandidateMode::Pruned,
+    )
+}
+
+/// The query width `qw(Q)` (Definition 3.1), computed by the exact
+/// exponential search — NP-complete in general (Theorem 3.4), so a step
+/// budget guards the search.
+pub fn query_width(
+    q: &ConjunctiveQuery,
+    budget: u64,
+) -> Result<usize, hypertree_core::BudgetExceeded> {
+    hypertree_core::querydecomp::query_width(&q.hypergraph(), budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_roundtrip() {
+        let q = parse_query("ans :- r(X,Y), s(Y,Z), t(Z,X).").unwrap();
+        assert_eq!(crate::hypertree_width(&q), 2);
+        assert!(crate::decompose(&q, 1).is_none());
+        assert_eq!(crate::query_width(&q, 1_000_000), Ok(2));
+    }
+}

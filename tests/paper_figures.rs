@@ -1,0 +1,167 @@
+//! End-to-end reproduction of the paper's worked figures and examples,
+//! spanning every crate in the workspace. The experiments binary prints
+//! these as tables; here they are pinned as assertions.
+
+use hypertree::core::{kdecomp, normal_form, opt, querydecomp, CandidateMode};
+use hypertree::hypergraph::{acyclic, graph, treewidth};
+use hypertree::prelude::*;
+use hypertree::workloads::{families, paper};
+
+const QW_BUDGET: u64 = 50_000_000;
+
+/// Example 1.1 + Fig. 1: Q1 cyclic, Q2 acyclic with a valid join tree.
+#[test]
+fn example_1_1() {
+    assert!(!acyclic::is_acyclic(&paper::q1().hypergraph()));
+    let h2 = paper::q2().hypergraph();
+    let jt = acyclic::join_tree(&h2).expect("Fig. 1");
+    assert_eq!(jt.validate(&h2), Ok(()));
+}
+
+/// Example 2.1 + Fig. 3: Q3 acyclic.
+#[test]
+fn example_2_1() {
+    let h3 = paper::q3().hypergraph();
+    let jt = acyclic::join_tree(&h3).expect("Fig. 3");
+    assert_eq!(jt.validate(&h3), Ok(()));
+}
+
+/// Fig. 2 and Example 3.2 / Fig. 4: the width-2 query decompositions.
+#[test]
+fn figures_2_and_4() {
+    let h1 = paper::q1().hypergraph();
+    let fig2 = paper::fig2_query_decomposition(&h1);
+    assert_eq!(fig2.validate(&h1), Ok(()));
+    assert_eq!(fig2.width(), 2);
+    assert_eq!(querydecomp::query_width(&h1, QW_BUDGET), Ok(2));
+
+    let h4 = paper::q4().hypergraph();
+    let fig4 = paper::fig4_query_decomposition(&h4);
+    assert_eq!(fig4.validate(&h4), Ok(()));
+    assert_eq!(fig4.width(), 2);
+    assert_eq!(querydecomp::query_width(&h4, QW_BUDGET), Ok(2));
+}
+
+/// Example 3.5 / Fig. 5: qw(Q5) = 3 — width 2 is impossible, width 3 works.
+#[test]
+fn example_3_5_query_width() {
+    let h5 = paper::q5().hypergraph();
+    assert!(querydecomp::decide_qw(&h5, 2, QW_BUDGET).unwrap().is_none());
+    let qd = querydecomp::decide_qw(&h5, 3, QW_BUDGET).unwrap().expect("Fig. 5");
+    assert_eq!(qd.validate(&h5), Ok(()));
+    let fig5 = paper::fig5_query_decomposition(&h5);
+    assert_eq!(fig5.validate(&h5), Ok(()));
+    assert_eq!(fig5.width(), 3);
+}
+
+/// Example 4.3 / Fig. 6 / Fig. 7: hw(Q1) = hw(Q5) = 2, with the paper's
+/// decompositions validating, and Fig. 7's masking reproduced.
+#[test]
+fn example_4_3_hypertree_decompositions() {
+    let h1 = paper::q1().hypergraph();
+    let fig6a = paper::fig6a_hypertree(&h1);
+    assert_eq!(fig6a.validate(&h1), Ok(()));
+    assert_eq!(fig6a.width(), 2);
+    assert_eq!(opt::hypertree_width(&h1), 2);
+
+    let h5 = paper::q5().hypergraph();
+    let fig6b = paper::fig6b_hypertree(&h5);
+    assert_eq!(fig6b.validate(&h5), Ok(()));
+    assert_eq!(fig6b.width(), 2);
+    assert_eq!(opt::hypertree_width(&h5), 2);
+    assert!(fig6b.is_complete(&h5));
+    let display = fig6b.display(&h5);
+    assert!(display.contains("j(_,X,Y,_,_)"));
+    assert!(display.contains("j(J,X,Y,X',Y')"));
+}
+
+/// Theorem 6.1: hw ≤ qw everywhere; strictly smaller on Q5.
+#[test]
+fn theorem_6_1_separation() {
+    for q in [paper::q1(), paper::q2(), paper::q3(), paper::q4()] {
+        let h = q.hypergraph();
+        let hw = opt::hypertree_width(&h);
+        let qw = querydecomp::query_width(&h, QW_BUDGET).unwrap();
+        assert!(hw <= qw);
+    }
+    let h5 = paper::q5().hypergraph();
+    assert!(opt::hypertree_width(&h5) < querydecomp::query_width(&h5, QW_BUDGET).unwrap());
+}
+
+/// Theorem 6.2: the Qn family separates bounded hw/qw from bounded
+/// incidence treewidth.
+#[test]
+fn theorem_6_2_family() {
+    for n in 1..=5 {
+        let h = families::qn(n).hypergraph();
+        assert_eq!(opt::hypertree_width(&h), 1);
+        assert_eq!(querydecomp::query_width(&h, QW_BUDGET), Ok(1));
+        let vaig = graph::incidence_graph(&h);
+        if vaig.len() <= treewidth::EXACT_LIMIT {
+            assert_eq!(treewidth::treewidth_exact(&vaig), Some(n));
+        } else {
+            assert!(treewidth::treewidth_lower_bound(&vaig) >= 2);
+        }
+    }
+}
+
+/// Lemma 4.6 / Fig. 8 / Theorems 4.7, 4.8 end to end: evaluate Q5 via the
+/// paper's own HD5 and cross-check with the naive engine, Boolean and
+/// enumerating.
+#[test]
+fn lemma_4_6_pipeline_on_q5() {
+    let q = parse_query(
+        "ans(Z, Z') :- a(S,X,X',C,F), b(S,Y,Y',C',F'), c(C,C',Z), d(X,Z), e(Y,Z), \
+         f(F,F',Z'), g(X',Z'), h(Y',Z'), j(J,X,Y,X',Y').",
+    )
+    .unwrap();
+    let h = q.hypergraph();
+    let hd = paper::fig6b_hypertree(&h);
+    let mut rng = hypertree::workloads::random::rng(2024);
+    let db = hypertree::workloads::random::planted_database(&mut rng, &q, 12, 40);
+
+    let via_hd = hypertree::eval::reduction::enumerate_via_hd(&q, &db, &hd).unwrap();
+    let naive = hypertree::eval::naive::evaluate(
+        &q,
+        &db,
+        hypertree::eval::naive::JoinOrder::GreedySmallest,
+        1 << 24,
+    )
+    .unwrap();
+    assert_eq!(via_hd.len(), naive.len());
+    for row in naive.rows() {
+        assert!(via_hd.contains_row(row), "missing {row:?}");
+    }
+    assert!(!via_hd.is_empty(), "planted assignment guarantees answers");
+
+    // Boolean agreement through the automatic planner as well.
+    assert_eq!(evaluate_boolean(&q, &db), Ok(true));
+}
+
+/// Theorem 5.4 / Lemma 5.7 / Lemma 5.13: normal form across the examples.
+#[test]
+fn normal_form_theorems() {
+    for q in [paper::q1(), paper::q4(), paper::q5()] {
+        let h = q.hypergraph();
+        let k = opt::hypertree_width(&h);
+        let witness = kdecomp::decompose(&h, k, CandidateMode::Full).unwrap();
+        assert!(normal_form::is_normal_form(&h, &witness), "Lemma 5.13");
+        assert!(witness.len() <= h.num_vertices(), "Lemma 5.7");
+        let renorm = normal_form::normalize(&h, &witness);
+        assert!(renorm.width() <= witness.width(), "Theorem 5.4");
+    }
+}
+
+/// The quickstart pipeline from the README, pinned.
+#[test]
+fn readme_quickstart() {
+    let q = parse_query("ans :- enrolled(S,C,R), teaches(P,C,A), parent(P,S).").unwrap();
+    assert_eq!(hypertree::hypertree_width(&q), 2);
+    let hd = hypertree::decompose(&q, 2).unwrap();
+    assert_eq!(hd.validate(&q.hypergraph()), Ok(()));
+    let mut db = Database::new();
+    db.add_fact("enrolled", &[2, 7, 2000]);
+    db.add_fact("teaches", &[1, 7, 1]);
+    db.add_fact("parent", &[1, 2]);
+    assert_eq!(evaluate_boolean(&q, &db), Ok(true));
+}

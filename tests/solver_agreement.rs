@@ -1,0 +1,164 @@
+//! Cross-validation of the four `hw ≤ k` decision procedures — the
+//! top-down solver in both candidate modes (Fig. 10 literal and the
+//! det-k-decomp restriction), the bottom-up Appendix B Datalog program,
+//! and the parallel solver — plus structural properties of every witness.
+
+use hypertree::core::{datalog, kdecomp, normal_form, opt, querydecomp, CandidateMode};
+use hypertree::hypergraph::{acyclic, Hypergraph};
+use hypertree::workloads::random;
+use proptest::prelude::*;
+
+fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    (1usize..=8, 0usize..=7).prop_flat_map(|(n, m)| {
+        proptest::collection::vec(proptest::collection::btree_set(0..n, 1..=n.min(4)), m..=m)
+            .prop_map(move |edges| {
+                let lists: Vec<Vec<usize>> =
+                    edges.into_iter().map(|s| s.into_iter().collect()).collect();
+                let slices: Vec<&[usize]> = lists.iter().map(|e| e.as_slice()).collect();
+                Hypergraph::from_edge_lists(n, &slices)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Theorem 5.14 determinised: all four deciders give the same verdict.
+    #[test]
+    fn deciders_agree(h in arb_hypergraph(), k in 1usize..=3) {
+        let full = kdecomp::decide(&h, k, CandidateMode::Full);
+        prop_assert_eq!(full, kdecomp::decide(&h, k, CandidateMode::Pruned));
+        prop_assert_eq!(full, datalog::decide_bottom_up(&h, k));
+        prop_assert_eq!(full, hypertree::core::parallel::decide_parallel(&h, k, CandidateMode::Pruned));
+    }
+
+    /// Theorem 4.5: GYO acyclicity coincides with hw ≤ 1, and the two
+    /// certificate forms convert into each other (the constructive proof).
+    #[test]
+    fn acyclic_iff_width_one(h in arb_hypergraph()) {
+        prop_assert_eq!(
+            acyclic::is_acyclic(&h),
+            kdecomp::decide(&h, 1, CandidateMode::Full)
+        );
+        if let Some(hd) = kdecomp::decompose(&h, 1, CandidateMode::Full) {
+            // Width-1 witness → join tree (if direction).
+            if h.num_edges() > 0 {
+                let jt = hypertree::core::theorem45::join_tree_of_width1(&h, &hd)
+                    .expect("edges exist");
+                prop_assert_eq!(jt.validate(&h), Ok(()));
+                // Join tree → width-1 decomposition (only-if direction).
+                let back = hypertree::core::theorem45::width1_of_join_tree(&h, &jt);
+                prop_assert_eq!(back.validate(&h), Ok(()));
+                prop_assert!(back.width() <= 1);
+            }
+        }
+    }
+
+    /// Every extracted witness validates, respects the width bound, is in
+    /// normal form (Lemma 5.13), and has ≤ |var| nodes (Lemma 5.7).
+    #[test]
+    fn witnesses_are_valid_nf(h in arb_hypergraph(), k in 1usize..=3) {
+        if let Some(hd) = kdecomp::decompose(&h, k, CandidateMode::Full) {
+            prop_assert_eq!(hd.validate(&h), Ok(()));
+            prop_assert!(hd.width() <= k.max(1));
+            prop_assert!(normal_form::is_normal_form(&h, &hd));
+            prop_assert!(hd.len() <= h.num_vertices().max(1));
+        }
+    }
+
+    /// hw is monotone in k and matches the iterative-deepening width.
+    #[test]
+    fn width_is_consistent(h in arb_hypergraph()) {
+        let hw = opt::hypertree_width(&h);
+        for k in 1..=3usize {
+            prop_assert_eq!(kdecomp::decide(&h, k, CandidateMode::Pruned), k >= hw || hw == 0);
+        }
+    }
+
+    /// Theorem 6.1(a): hw ≤ qw, and the query-decomposition embedding is a
+    /// valid hypertree decomposition of no larger width.
+    #[test]
+    fn hw_bounded_by_qw(h in arb_hypergraph()) {
+        let qw = querydecomp::query_width(&h, 2_000_000);
+        prop_assume!(qw.is_ok()); // tiny instances: budget practically never fires
+        let qw = qw.unwrap();
+        let hw = opt::hypertree_width(&h);
+        prop_assert!(hw <= qw, "hw {hw} > qw {qw}");
+        if qw > 0 {
+            let qd = querydecomp::decide_qw(&h, qw, 2_000_000).unwrap().unwrap();
+            prop_assert_eq!(qd.validate(&h), Ok(()));
+            let embedded = opt::from_query_decomposition(&h, &qd);
+            prop_assert_eq!(embedded.validate(&h), Ok(()));
+            prop_assert!(embedded.width() <= qw);
+        }
+    }
+
+    /// Normalisation is idempotent in effect: output always passes the NF
+    /// validator and never widens.
+    #[test]
+    fn normalization_contract(h in arb_hypergraph(), k in 1usize..=3) {
+        if let Some(hd) = kdecomp::decompose(&h, k, CandidateMode::Pruned) {
+            let complete = hd.complete(&h);
+            prop_assert_eq!(complete.validate(&h), Ok(()));
+            let nf = normal_form::normalize(&h, &complete);
+            prop_assert!(normal_form::is_normal_form(&h, &nf));
+            prop_assert!(nf.width() <= complete.width().max(1));
+            prop_assert_eq!(nf.validate(&h), Ok(()));
+        }
+    }
+}
+
+/// Exhaustive agreement over *every* hypergraph on ≤ 4 vertices with ≤ 3
+/// distinct non-empty edges (575 hypergraphs × k ∈ {1, 2}).
+#[test]
+fn exhaustive_tiny_hypergraphs() {
+    let universe: Vec<Vec<usize>> = (1u32..16)
+        .map(|mask| (0..4).filter(|&v| mask & (1 << v) != 0).collect())
+        .collect();
+    let mut count = 0;
+    for i in 0..universe.len() {
+        for j in i..universe.len() {
+            for l in j..universe.len() {
+                let edges: Vec<&[usize]> = if i == j && j == l {
+                    vec![universe[i].as_slice()]
+                } else if i == j {
+                    vec![universe[i].as_slice(), universe[l].as_slice()]
+                } else if j == l {
+                    vec![universe[i].as_slice(), universe[j].as_slice()]
+                } else {
+                    vec![
+                        universe[i].as_slice(),
+                        universe[j].as_slice(),
+                        universe[l].as_slice(),
+                    ]
+                };
+                let h = Hypergraph::from_edge_lists(4, &edges);
+                for k in 1..=2 {
+                    let full = kdecomp::decide(&h, k, CandidateMode::Full);
+                    assert_eq!(full, kdecomp::decide(&h, k, CandidateMode::Pruned));
+                    assert_eq!(full, datalog::decide_bottom_up(&h, k));
+                }
+                assert_eq!(
+                    acyclic::is_acyclic(&h),
+                    kdecomp::decide(&h, 1, CandidateMode::Full)
+                );
+                count += 1;
+            }
+        }
+    }
+    assert!(count >= 500, "swept {count} hypergraphs");
+}
+
+/// Randomised smoke test on larger instances than proptest reaches.
+#[test]
+fn larger_random_agreement() {
+    let mut rng = random::rng(0x5EED);
+    for _ in 0..10 {
+        let h = random::random_hypergraph(&mut rng, 12, 10, 4);
+        for k in 1..=2 {
+            let a = kdecomp::decide(&h, k, CandidateMode::Full);
+            let b = kdecomp::decide(&h, k, CandidateMode::Pruned);
+            assert_eq!(a, b);
+        }
+    }
+}

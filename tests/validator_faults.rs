@@ -1,0 +1,151 @@
+//! Fault injection: the independent validators must detect random
+//! corruptions of known-valid artifacts. A validator that accepts
+//! everything would make every other green test meaningless, so here we
+//! break decompositions on purpose and require a complaint.
+
+use hypertree::core::{kdecomp, CandidateMode, HypertreeDecomposition};
+use hypertree::hypergraph::{EdgeSet, Ix, NodeId, VertexSet};
+use hypertree::workloads::{families, paper, random};
+
+/// Rebuild an HD with one χ entry replaced.
+fn with_chi(
+    hd: &HypertreeDecomposition,
+    node: NodeId,
+    chi: VertexSet,
+) -> HypertreeDecomposition {
+    let tree = hd.tree().clone();
+    let chis: Vec<VertexSet> = tree
+        .nodes()
+        .map(|n| if n == node { chi.clone() } else { hd.chi(n).clone() })
+        .collect();
+    let lambdas: Vec<EdgeSet> = tree.nodes().map(|n| hd.lambda(n).clone()).collect();
+    HypertreeDecomposition::new(tree, chis, lambdas)
+}
+
+/// Rebuild an HD with one λ entry replaced.
+fn with_lambda(
+    hd: &HypertreeDecomposition,
+    node: NodeId,
+    lambda: EdgeSet,
+) -> HypertreeDecomposition {
+    let tree = hd.tree().clone();
+    let chis: Vec<VertexSet> = tree.nodes().map(|n| hd.chi(n).clone()).collect();
+    let lambdas: Vec<EdgeSet> = tree
+        .nodes()
+        .map(|n| if n == node { lambda.clone() } else { hd.lambda(n).clone() })
+        .collect();
+    HypertreeDecomposition::new(tree, chis, lambdas)
+}
+
+/// Dropping single vertices from χ labels of an optimal decomposition:
+/// most removals must be flagged (a decomposition may carry genuine slack
+/// — e.g. a variable covered again elsewhere — so a few removals can stay
+/// valid; a validator that flags nothing would be broken).
+#[test]
+fn chi_removals_are_mostly_detected() {
+    for q in [paper::q1(), paper::q5(), families::cycle(6)] {
+        let h = q.hypergraph();
+        let hd = hypertree::core::opt::optimal_decomposition(&h);
+        assert_eq!(hd.validate(&h), Ok(()));
+        let mut detected = 0;
+        let mut total = 0;
+        for n in hd.tree().nodes() {
+            for v in hd.chi(n).iter() {
+                let mut chi = hd.chi(n).clone();
+                chi.remove(v);
+                let corrupted = with_chi(&hd, n, chi);
+                total += 1;
+                if corrupted.validate(&h).is_err() {
+                    detected += 1;
+                }
+            }
+        }
+        assert!(
+            2 * detected >= total && detected >= 1,
+            "only {detected}/{total} χ-corruptions detected on {q}"
+        );
+    }
+}
+
+/// Emptying any λ label must be detected (condition 3 at least).
+#[test]
+fn lambda_removals_are_detected() {
+    for q in [paper::q1(), paper::q5()] {
+        let h = q.hypergraph();
+        let hd = hypertree::core::opt::optimal_decomposition(&h);
+        for n in hd.tree().nodes() {
+            if hd.chi(n).is_empty() {
+                continue;
+            }
+            let corrupted = with_lambda(&hd, n, h.empty_edge_set());
+            assert!(
+                corrupted.validate(&h).is_err(),
+                "emptied λ at {n:?} accepted on {q}"
+            );
+        }
+    }
+}
+
+/// Swapping χ labels between two random nodes of a witness is caught
+/// unless the labels are equal.
+#[test]
+fn chi_swaps_are_detected() {
+    let mut rng = random::rng(0xFA57);
+    for _ in 0..40 {
+        let hg = random::random_hypergraph(&mut rng, 7, 6, 3);
+        let Some(hd) = kdecomp::decompose(&hg, 2, CandidateMode::Pruned) else {
+            continue;
+        };
+        if hd.len() < 2 {
+            continue;
+        }
+        let a = NodeId::new(0);
+        let b = NodeId::new(hd.len() - 1);
+        if hd.chi(a) == hd.chi(b) {
+            continue;
+        }
+        let swapped = with_chi(&with_chi(&hd, a, hd.chi(b).clone()), b, hd.chi(a).clone());
+        assert!(
+            swapped.validate(&hg).is_err(),
+            "χ swap accepted on {hg:?}"
+        );
+    }
+}
+
+/// Join-tree validator: moving any non-root subtree under a different
+/// parent in a path query's join tree breaks connectedness.
+#[test]
+fn join_tree_rewires_are_detected() {
+    use hypertree::hypergraph::{acyclic, JoinTree, RootedTree};
+    let h = families::path(5).hypergraph();
+    let jt = acyclic::join_tree(&h).unwrap();
+    assert_eq!(jt.validate(&h), Ok(()));
+    // Rebuild as a star: everything under the root. For a path query this
+    // must violate connectedness for some middle variable.
+    let mut tree = RootedTree::new();
+    let edges: Vec<_> = jt.tree().nodes().map(|n| jt.edge_at(n)).collect();
+    for _ in 1..edges.len() {
+        tree.add_child(NodeId::new(0));
+    }
+    let star = JoinTree::new(tree, edges);
+    assert!(star.validate(&h).is_err());
+}
+
+/// Query-decomposition validator: removing `parent` from the Fig. 2 child
+/// leaves that atom with no occurrence anywhere — condition 1 must fire.
+#[test]
+fn qd_corruptions_are_detected() {
+    use hypertree::core::{QdViolation, QueryDecomposition};
+    let h = paper::q1().hypergraph();
+    let qd = paper::fig2_query_decomposition(&h);
+    assert_eq!(qd.validate(&h), Ok(()));
+    let tree = qd.tree().clone();
+    let mut child_label = qd.label(NodeId::new(1)).clone();
+    child_label.remove(h.edge_by_name("parent").unwrap());
+    let corrupted =
+        QueryDecomposition::new(tree, vec![qd.label(NodeId::new(0)).clone(), child_label]);
+    let violations = corrupted.validate(&h).unwrap_err();
+    assert!(violations
+        .iter()
+        .any(|v| matches!(v, QdViolation::MissingAtom(_))));
+}
