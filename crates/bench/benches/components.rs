@@ -9,7 +9,9 @@ use workloads::families;
 
 fn bench_components(c: &mut Criterion) {
     let mut group = c.benchmark_group("components");
-    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
     for n in [16usize, 64, 256] {
         let h = families::cycle(n).hypergraph();
         // Separator: every fourth vertex.
@@ -27,16 +29,16 @@ fn bench_components(c: &mut Criterion) {
             h.num_vertices(),
             (0..h.num_vertices()).step_by(3).map(|i| VertexId(i as u32)),
         );
-        group.bench_with_input(
-            BenchmarkId::new("grid", side),
-            &(h, sep),
-            |b, (h, sep)| b.iter(|| components(h, sep)),
-        );
+        group.bench_with_input(BenchmarkId::new("grid", side), &(h, sep), |b, (h, sep)| {
+            b.iter(|| components(h, sep))
+        });
     }
     group.finish();
 
     let mut group = c.benchmark_group("gyo_join_tree");
-    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
     for n in [16usize, 64] {
         let h = families::path(n).hypergraph();
         group.bench_with_input(BenchmarkId::new("path", n), &h, |b, h| {

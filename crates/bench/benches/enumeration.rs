@@ -8,7 +8,9 @@ use workloads::{families, random};
 fn bench_enumeration(c: &mut Criterion) {
     let q = families::path_endpoints(4);
     let mut group = c.benchmark_group("enumerate_path4");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for domain in [200u64, 800] {
         let db = random::successor_database(4, domain);
         group.bench_with_input(BenchmarkId::from_parameter(domain), &db, |b, db| {
@@ -23,7 +25,9 @@ fn bench_enumeration(c: &mut Criterion) {
     let mut rng = random::rng(33);
     let db = random::planted_database(&mut rng, &qc, 80, 300);
     let mut group = c.benchmark_group("cycle6_boolean");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("hypertree_plan", |b| {
         b.iter(|| plan.boolean(&qc, &db).unwrap())
     });

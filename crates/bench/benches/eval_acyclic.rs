@@ -11,7 +11,9 @@ fn bench_eval_acyclic(c: &mut Criterion) {
     let plan = eval::Strategy::plan(&q);
 
     let mut group = c.benchmark_group("acyclic_path5");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for degree in [2usize, 4] {
         let mut rng = random::rng(100 + degree as u64);
         let db = random::blowup_database(&mut rng, 5, 150, degree);

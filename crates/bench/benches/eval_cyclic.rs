@@ -11,7 +11,9 @@ fn bench_eval_cyclic(c: &mut Criterion) {
     let plan = eval::Strategy::plan_with_width(&q, 2).expect("cycles have hw 2");
 
     let mut group = c.benchmark_group("cyclic_c5");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for degree in [2usize, 4] {
         let mut rng = random::rng(200 + degree as u64);
         let db = random::blowup_database(&mut rng, 5, 100, degree);

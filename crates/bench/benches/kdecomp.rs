@@ -9,7 +9,9 @@ use workloads::families;
 
 fn bench_kdecomp(c: &mut Criterion) {
     let mut group = c.benchmark_group("kdecomp_cycle_k2");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [8usize, 16, 32] {
         let h = families::cycle(n).hypergraph();
         group.bench_with_input(BenchmarkId::new("pruned", n), &h, |b, h| {
@@ -25,7 +27,9 @@ fn bench_kdecomp(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("kdecomp_grid_k2");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for side in [2usize, 3] {
         let h = families::grid(side, side).hypergraph();
         group.bench_with_input(BenchmarkId::new("pruned", side), &h, |b, h| {
@@ -36,7 +40,9 @@ fn bench_kdecomp(c: &mut Criterion) {
 
     // The exponential contrast: exact query width on Q5 (NP-complete side).
     let mut group = c.benchmark_group("exact_qw_q5");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let h5 = workloads::paper::q5().hypergraph();
     group.bench_function("query_width", |b| {
         b.iter(|| hypertree_core::querydecomp::query_width(&h5, u64::MAX).unwrap())

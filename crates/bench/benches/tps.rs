@@ -7,7 +7,9 @@ use workloads::{tps, xc3s};
 
 fn bench_tps(c: &mut Criterion) {
     let mut group = c.benchmark_group("strict_3ps");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for m in [8usize, 32, 128] {
         group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
             b.iter(|| tps::strict_3ps(m, 2))
@@ -16,9 +18,13 @@ fn bench_tps(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("xc3s_reduction");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let inst = xc3s::Xc3sInstance::new(6, vec![[0, 2, 3], [0, 1, 3], [2, 3, 5], [2, 4, 5]]);
-    group.bench_function("build_query_Ie", |b| b.iter(|| xc3s::reduce_to_query(&inst)));
+    group.bench_function("build_query_Ie", |b| {
+        b.iter(|| xc3s::reduce_to_query(&inst))
+    });
     let red = xc3s::reduce_to_query(&inst);
     let cover = inst.solve().unwrap();
     group.bench_function("fig11_decomposition", |b| {

@@ -25,7 +25,11 @@ fn ms(d: std::time::Duration) -> String {
 pub fn e1() -> String {
     let mut out = String::new();
     writeln!(out, "E1: acyclicity and join trees (Fig. 1, Fig. 3)").unwrap();
-    for (name, q) in [("Q1", paper::q1()), ("Q2", paper::q2()), ("Q3", paper::q3())] {
+    for (name, q) in [
+        ("Q1", paper::q1()),
+        ("Q2", paper::q2()),
+        ("Q3", paper::q3()),
+    ] {
         let h = q.hypergraph();
         match acyclic::join_tree(&h) {
             Some(jt) => {
@@ -59,15 +63,29 @@ pub fn e2() -> String {
     let h1 = paper::q1().hypergraph();
     let fig2 = paper::fig2_query_decomposition(&h1);
     assert_eq!(fig2.validate(&h1), Ok(()));
-    writeln!(out, "Fig. 2 decomposition of Q1 validates at width {}:", fig2.width()).unwrap();
+    writeln!(
+        out,
+        "Fig. 2 decomposition of Q1 validates at width {}:",
+        fig2.width()
+    )
+    .unwrap();
     for line in fig2.display(&h1).lines() {
         writeln!(out, "    {line}").unwrap();
     }
     let h5 = paper::q5().hypergraph();
     let fig5 = paper::fig5_query_decomposition(&h5);
     assert_eq!(fig5.validate(&h5), Ok(()));
-    writeln!(out, "Fig. 5 decomposition of Q5 validates at width {}", fig5.width()).unwrap();
-    writeln!(out, "and no width-2 query decomposition of Q5 exists (checked exhaustively)").unwrap();
+    writeln!(
+        out,
+        "Fig. 5 decomposition of Q5 validates at width {}",
+        fig5.width()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "and no width-2 query decomposition of Q5 exists (checked exhaustively)"
+    )
+    .unwrap();
     out
 }
 
@@ -85,12 +103,22 @@ pub fn e3() -> String {
     let h5 = paper::q5().hypergraph();
     let fig6b = paper::fig6b_hypertree(&h5);
     assert_eq!(fig6b.validate(&h5), Ok(()));
-    writeln!(out, "Fig. 6b/7 (Q5), width {} (atom representation):", fig6b.width()).unwrap();
+    writeln!(
+        out,
+        "Fig. 6b/7 (Q5), width {} (atom representation):",
+        fig6b.width()
+    )
+    .unwrap();
     for line in fig6b.display(&h5).lines() {
         writeln!(out, "    {line}").unwrap();
     }
-    writeln!(out, "hw(Q1) = {}, hw(Q5) = {} — Theorem 6.1(b): hw(Q5) < qw(Q5) = 3",
-        opt::hypertree_width(&h1), opt::hypertree_width(&h5)).unwrap();
+    writeln!(
+        out,
+        "hw(Q1) = {}, hw(Q5) = {} — Theorem 6.1(b): hw(Q5) < qw(Q5) = 3",
+        opt::hypertree_width(&h1),
+        opt::hypertree_width(&h5)
+    )
+    .unwrap();
     out
 }
 
@@ -120,7 +148,12 @@ pub fn e4() -> String {
     .unwrap();
     let via_hd = eval::reduction::boolean_via_hd(&q, &db, &hd).unwrap();
     let naive = eval::naive::evaluate_boolean(&q, &db, JoinOrder::GreedySmallest, 1 << 24).unwrap();
-    writeln!(out, "Q5 answer via reduction: {via_hd}; naive agrees: {}", via_hd == naive).unwrap();
+    writeln!(
+        out,
+        "Q5 answer via reduction: {via_hd}; naive agrees: {}",
+        via_hd == naive
+    )
+    .unwrap();
     assert_eq!(via_hd, naive);
     assert!(via_hd, "planted database must satisfy the query");
     out
@@ -130,8 +163,16 @@ pub fn e4() -> String {
 pub fn e5() -> String {
     use hypergraph::RootedTree;
     let mut out = String::new();
-    writeln!(out, "E5: normal form (Definition 5.1, Theorem 5.4, Lemma 5.7)").unwrap();
-    for (name, q) in [("Q1", paper::q1()), ("Q4", paper::q4()), ("Q5", paper::q5())] {
+    writeln!(
+        out,
+        "E5: normal form (Definition 5.1, Theorem 5.4, Lemma 5.7)"
+    )
+    .unwrap();
+    for (name, q) in [
+        ("Q1", paper::q1()),
+        ("Q4", paper::q4()),
+        ("Q5", paper::q5()),
+    ] {
         let h = q.hypergraph();
         // A deliberately redundant decomposition: three stacked copies of
         // the trivial node, plus one single-atom child per atom.
@@ -164,17 +205,26 @@ pub fn e5() -> String {
         assert!(nf.len() <= h.num_vertices());
         assert!(nf.width() <= messy.width());
         // k-decomp witnesses are already NF (Lemma 5.13).
-        let witness = kdecomp::decompose(&h, opt::hypertree_width(&h), CandidateMode::Pruned).unwrap();
+        let witness =
+            kdecomp::decompose(&h, opt::hypertree_width(&h), CandidateMode::Pruned).unwrap();
         assert!(normal_form::is_normal_form(&h, &witness));
     }
-    writeln!(out, "all k-decomp witness trees are in normal form (Lemma 5.13)").unwrap();
+    writeln!(
+        out,
+        "all k-decomp witness trees are in normal form (Lemma 5.13)"
+    )
+    .unwrap();
     out
 }
 
 /// E6 — Fig. 10 / Theorem 5.14: agreement of the four deciders.
 pub fn e6() -> String {
     let mut out = String::new();
-    writeln!(out, "E6: k-decomp correctness — four independent deciders agree").unwrap();
+    writeln!(
+        out,
+        "E6: k-decomp correctness — four independent deciders agree"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<22} {:>2} {:>8} {:>10} {:>10} {:>10} {:>10}",
@@ -231,7 +281,11 @@ pub fn e6() -> String {
 /// E7 — Theorem 4.5: acyclic ⟺ hw = 1 on random hypergraphs.
 pub fn e7() -> String {
     let mut out = String::new();
-    writeln!(out, "E7: Theorem 4.5 (acyclic ⟺ hw = 1) on 200 random hypergraphs").unwrap();
+    writeln!(
+        out,
+        "E7: Theorem 4.5 (acyclic ⟺ hw = 1) on 200 random hypergraphs"
+    )
+    .unwrap();
     let mut rng = random::rng(11);
     let mut acyclic_count = 0;
     for _ in 0..200 {
@@ -283,7 +337,11 @@ pub fn e8() -> String {
 /// E9 — Theorem 3.4 / Section 7 / Fig. 11: the XC3S reduction.
 pub fn e9() -> String {
     let mut out = String::new();
-    writeln!(out, "E9: the XC3S → query-width-4 reduction (Section 7, Fig. 11)").unwrap();
+    writeln!(
+        out,
+        "E9: the XC3S → query-width-4 reduction (Section 7, Fig. 11)"
+    )
+    .unwrap();
     let instances: Vec<(&str, xc3s::Xc3sInstance)> = vec![
         ("s=1 positive", xc3s::Xc3sInstance::new(3, vec![[0, 1, 2]])),
         (
@@ -302,7 +360,11 @@ pub fn e9() -> String {
             out,
             "{name}: |atoms| = {}, brute force: {} — ",
             red.query.atoms().len(),
-            if verdict.is_some() { "positive" } else { "negative" }
+            if verdict.is_some() {
+                "positive"
+            } else {
+                "negative"
+            }
         )
         .unwrap();
         match &verdict {
@@ -310,7 +372,12 @@ pub fn e9() -> String {
                 let qd = xc3s::fig11_decomposition(&red, cover);
                 let h = red.query.hypergraph();
                 assert_eq!(qd.validate(&h), Ok(()));
-                writeln!(out, "Fig. 11 decomposition validates at width {}", qd.width()).unwrap();
+                writeln!(
+                    out,
+                    "Fig. 11 decomposition validates at width {}",
+                    qd.width()
+                )
+                .unwrap();
             }
             None => {
                 writeln!(out, "no exact cover, so no width-4 QD per Theorem 3.4").unwrap();
@@ -332,7 +399,11 @@ pub fn e9() -> String {
 /// E10a — acyclic evaluation: Yannakakis vs naive on path queries.
 pub fn e10a() -> String {
     let mut out = String::new();
-    writeln!(out, "E10a: Boolean path query, Yannakakis vs naive (budget 2^22 rows)").unwrap();
+    writeln!(
+        out,
+        "E10a: Boolean path query, Yannakakis vs naive (budget 2^22 rows)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:>7} {:>7} {:>18} {:>18} {:>12}",
@@ -371,14 +442,22 @@ pub fn e10a() -> String {
         )
         .unwrap();
     }
-    writeln!(out, "shape: Yannakakis flat; naive grows ~degree^len and aborts").unwrap();
+    writeln!(
+        out,
+        "shape: Yannakakis flat; naive grows ~degree^len and aborts"
+    )
+    .unwrap();
     out
 }
 
 /// E10b — cyclic evaluation (hw = 2): hypertree pipeline vs naive.
 pub fn e10b() -> String {
     let mut out = String::new();
-    writeln!(out, "E10b: Boolean cycle query C6 (hw = 2), hypertree vs naive").unwrap();
+    writeln!(
+        out,
+        "E10b: Boolean cycle query C6 (hw = 2), hypertree vs naive"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:>7} {:>7} {:>18} {:>18}",
@@ -422,7 +501,11 @@ pub fn e10b() -> String {
 /// parallel; versus the exponential qw search.
 pub fn e11() -> String {
     let mut out = String::new();
-    writeln!(out, "E11: k-decomp scaling on cycles (k = 2, pruned candidates)").unwrap();
+    writeln!(
+        out,
+        "E11: k-decomp scaling on cycles (k = 2, pruned candidates)"
+    )
+    .unwrap();
     writeln!(out, "{:>4} {:>12} {:>12}", "n", "sequential", "parallel").unwrap();
     for n in [8usize, 16, 32, 64] {
         let h = families::cycle(n).hypergraph();
@@ -434,7 +517,11 @@ pub fn e11() -> String {
         let t_par = t0.elapsed();
         writeln!(out, "{:>4} {:>12} {:>12}", n, ms(t_seq), ms(t_par)).unwrap();
     }
-    writeln!(out, "\nexact qw search on Q5 vs hw check (the NP-hard contrast):").unwrap();
+    writeln!(
+        out,
+        "\nexact qw search on Q5 vs hw check (the NP-hard contrast):"
+    )
+    .unwrap();
     let h5 = paper::q5().hypergraph();
     let t0 = Instant::now();
     let hw = opt::hypertree_width(&h5);
@@ -442,15 +529,30 @@ pub fn e11() -> String {
     let t0 = Instant::now();
     let qw = querydecomp::query_width(&h5, QW_BUDGET).unwrap();
     let t_qw = t0.elapsed();
-    writeln!(out, "hw(Q5) = {hw} in {}; qw(Q5) = {qw} in {}", ms(t_hw), ms(t_qw)).unwrap();
+    writeln!(
+        out,
+        "hw(Q5) = {hw} in {}; qw(Q5) = {qw} in {}",
+        ms(t_hw),
+        ms(t_qw)
+    )
+    .unwrap();
     out
 }
 
 /// E12 — Lemma 7.3: strict (m,k)-3PS construction cost and validity.
 pub fn e12() -> String {
     let mut out = String::new();
-    writeln!(out, "E12: strict (m,2)-3PS construction (Lemma 7.3: O(m²+km))").unwrap();
-    writeln!(out, "{:>6} {:>8} {:>12} {:>16}", "m", "|S|", "construct", "strict?").unwrap();
+    writeln!(
+        out,
+        "E12: strict (m,2)-3PS construction (Lemma 7.3: O(m²+km))"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>6} {:>8} {:>12} {:>16}",
+        "m", "|S|", "construct", "strict?"
+    )
+    .unwrap();
     for m in [4usize, 8, 16, 32, 64] {
         let t0 = Instant::now();
         let s = tps::strict_3ps(m, 2);
@@ -477,8 +579,17 @@ pub fn e12() -> String {
 /// E13 — Corollary 5.20: output-polynomial enumeration.
 pub fn e13() -> String {
     let mut out = String::new();
-    writeln!(out, "E13: output-polynomial enumeration (path endpoints, fixed input)").unwrap();
-    writeln!(out, "{:>8} {:>10} {:>12} {:>14}", "domain", "output", "time", "time/output").unwrap();
+    writeln!(
+        out,
+        "E13: output-polynomial enumeration (path endpoints, fixed input)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>8} {:>10} {:>12} {:>14}",
+        "domain", "output", "time", "time/output"
+    )
+    .unwrap();
     let q = families::path_endpoints(4);
     for domain in [200u64, 400, 800, 1600] {
         let db = random::successor_database(4, domain);
@@ -495,7 +606,11 @@ pub fn e13() -> String {
         )
         .unwrap();
     }
-    writeln!(out, "shape: time grows linearly with output (and input) size").unwrap();
+    writeln!(
+        out,
+        "shape: time grows linearly with output (and input) size"
+    )
+    .unwrap();
     out
 }
 
@@ -503,7 +618,11 @@ pub fn e13() -> String {
 pub fn e14() -> String {
     use hypergraph::baselines;
     let mut out = String::new();
-    writeln!(out, "E14: width comparison across methods (Section 6 / [21])").unwrap();
+    writeln!(
+        out,
+        "E14: width comparison across methods (Section 6 / [21])"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<16} {:>4} {:>6} {:>9} {:>8} {:>7} {:>7}",
@@ -546,7 +665,11 @@ pub fn e14() -> String {
         )
         .unwrap();
     }
-    writeln!(out, "(~ = heuristic bound) hw is the lowest column throughout — the §6 claim").unwrap();
+    writeln!(
+        out,
+        "(~ = heuristic bound) hw is the lowest column throughout — the §6 claim"
+    )
+    .unwrap();
     out
 }
 

@@ -222,7 +222,14 @@ mod tests {
             vec![vec![0, 1], vec![2, 3]],
             vec![vec![0], vec![0, 1], vec![1]],
             vec![vec![0, 1, 2, 3]],
-            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 0], vec![0, 2], vec![1, 3]],
+            vec![
+                vec![0, 1],
+                vec![1, 2],
+                vec![2, 3],
+                vec![3, 0],
+                vec![0, 2],
+                vec![1, 3],
+            ],
         ];
         for edges in zoo {
             let slices: Vec<&[usize]> = edges.iter().map(|e| e.as_slice()).collect();

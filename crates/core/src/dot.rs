@@ -14,7 +14,8 @@ fn escape(s: &str) -> String {
 /// DOT source for a hypertree decomposition; each node shows
 /// `λ` (atom names) over `χ` (variable names).
 pub fn hypertree_to_dot(h: &Hypergraph, hd: &HypertreeDecomposition) -> String {
-    let mut out = String::from("digraph hypertree {\n  node [shape=box, fontname=\"monospace\"];\n");
+    let mut out =
+        String::from("digraph hypertree {\n  node [shape=box, fontname=\"monospace\"];\n");
     for n in hd.tree().nodes() {
         let lambda = h.display_edge_set(hd.lambda(n));
         let chi = h.display_vertex_set(hd.chi(n));
@@ -38,13 +39,10 @@ pub fn hypertree_to_dot(h: &Hypergraph, hd: &HypertreeDecomposition) -> String {
 
 /// DOT source for a (pure) query decomposition; each node shows its atoms.
 pub fn query_decomposition_to_dot(h: &Hypergraph, qd: &QueryDecomposition) -> String {
-    let mut out = String::from("digraph querydecomp {\n  node [shape=box, fontname=\"monospace\"];\n");
+    let mut out =
+        String::from("digraph querydecomp {\n  node [shape=box, fontname=\"monospace\"];\n");
     for n in qd.tree().nodes() {
-        let atoms: Vec<String> = qd
-            .label(n)
-            .iter()
-            .map(|e| h.display_edge(e))
-            .collect();
+        let atoms: Vec<String> = qd.label(n).iter().map(|e| h.display_edge(e)).collect();
         writeln!(
             out,
             "  n{} [label=\"{}\"];",

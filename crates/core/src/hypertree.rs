@@ -48,10 +48,16 @@ impl fmt::Display for HdViolation {
                 write!(f, "condition 2: variable {v} occurrences disconnected")
             }
             HdViolation::ChiNotCoveredByLambda(n) => {
-                write!(f, "condition 3: chi(p) not within var(lambda(p)) at node {n}")
+                write!(
+                    f,
+                    "condition 3: chi(p) not within var(lambda(p)) at node {n}"
+                )
             }
             HdViolation::SpecialConditionViolated(n) => {
-                write!(f, "condition 4: descendant chi reuses lambda variables at node {n}")
+                write!(
+                    f,
+                    "condition 4: descendant chi reuses lambda variables at node {n}"
+                )
             }
         }
     }
@@ -347,7 +353,9 @@ mod tests {
             ],
         );
         let s = h.vertex_by_name("S").unwrap();
-        assert!(hd.violations(&h).contains(&HdViolation::DisconnectedVertex(s)));
+        assert!(hd
+            .violations(&h)
+            .contains(&HdViolation::DisconnectedVertex(s)));
     }
 
     #[test]
@@ -398,10 +406,7 @@ mod tests {
         let hd = HypertreeDecomposition::new(
             tree,
             vec![vset(&h, &["P", "S", "C", "A"]), vset(&h, &["S", "C", "R"])],
-            vec![
-                eset(&h, &["teaches", "parent"]),
-                eset(&h, &["enrolled"]),
-            ],
+            vec![eset(&h, &["teaches", "parent"]), eset(&h, &["enrolled"])],
         );
         assert_eq!(hd.validate(&h), Ok(()));
         assert!(hd.is_complete(&h));

@@ -318,10 +318,8 @@ mod tests {
         let hd = decompose(&h, 1, CandidateMode::Pruned).expect("disconnected acyclic: hw = 1");
         assert_eq!(hd.validate(&h), Ok(()));
         // Two triangles, disjoint: hw = 2.
-        let two = Hypergraph::from_edge_lists(
-            6,
-            &[&[0, 1], &[1, 2], &[0, 2], &[3, 4], &[4, 5], &[3, 5]],
-        );
+        let two =
+            Hypergraph::from_edge_lists(6, &[&[0, 1], &[1, 2], &[0, 2], &[3, 4], &[4, 5], &[3, 5]]);
         assert!(!decide(&two, 1, CandidateMode::Pruned));
         let hd = decompose(&two, 2, CandidateMode::Pruned).unwrap();
         assert_eq!(hd.validate(&two), Ok(()));

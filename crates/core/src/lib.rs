@@ -47,8 +47,8 @@ pub mod normal_form;
 pub mod opt;
 pub mod parallel;
 pub mod querydecomp;
-pub mod theorem45;
 mod subsets;
+pub mod theorem45;
 
 pub use hypertree::{HdViolation, HypertreeDecomposition};
 pub use kdecomp::CandidateMode;

@@ -302,7 +302,6 @@ mod tests {
     use super::*;
     use crate::kdecomp::{decompose, CandidateMode};
 
-
     fn q1() -> Hypergraph {
         let mut b = Hypergraph::builder();
         b.edge_by_names("enrolled", &["S", "C", "R"]);
@@ -353,10 +352,7 @@ mod tests {
         );
         assert!(is_normal_form(&h, &hd));
         // treecomp of the child is the [root]-component {R}.
-        assert_eq!(
-            treecomp(&h, &hd, NodeId(1)),
-            vset(&h, &["R"])
-        );
+        assert_eq!(treecomp(&h, &hd, NodeId(1)), vset(&h, &["R"]));
         assert_eq!(treecomp(&h, &hd, NodeId(0)), h.all_vertices());
     }
 
@@ -414,12 +410,12 @@ mod tests {
             tree,
             vec![
                 vset(&frag, &["S", "X", "Xp", "C", "F", "Y", "Yp", "Cp", "Fp"]),
-                vset(&frag, &["C", "Cp", "Z", "F", "Fp", "Zp", "J", "X", "Y", "Xp", "Yp"]),
+                vset(
+                    &frag,
+                    &["C", "Cp", "Z", "F", "Fp", "Zp", "J", "X", "Y", "Xp", "Yp"],
+                ),
             ],
-            vec![
-                eset(&frag, &["a", "b"]),
-                eset(&frag, &["c", "f", "j"]),
-            ],
+            vec![eset(&frag, &["a", "b"]), eset(&frag, &["c", "f", "j"])],
         );
         assert_eq!(hd.validate(&frag), Ok(()));
         assert!(!is_normal_form(&frag, &hd));

@@ -39,10 +39,7 @@ pub fn optimal_decomposition(h: &Hypergraph) -> HypertreeDecomposition {
 
 /// Theorem 6.1(a): reinterpret a (pure) query decomposition as a hypertree
 /// decomposition of the same width by setting `χ(p) = var(λ(p))`.
-pub fn from_query_decomposition(
-    h: &Hypergraph,
-    qd: &QueryDecomposition,
-) -> HypertreeDecomposition {
+pub fn from_query_decomposition(h: &Hypergraph, qd: &QueryDecomposition) -> HypertreeDecomposition {
     let tree = qd.tree().clone();
     let mut chi = Vec::with_capacity(tree.len());
     let mut lambda = Vec::with_capacity(tree.len());
@@ -115,10 +112,8 @@ mod tests {
 
     #[test]
     fn optimal_decomposition_validates() {
-        let h = Hypergraph::from_edge_lists(
-            6,
-            &[&[0, 1], &[1, 2], &[2, 3], &[3, 4], &[4, 5], &[5, 0]],
-        );
+        let h =
+            Hypergraph::from_edge_lists(6, &[&[0, 1], &[1, 2], &[2, 3], &[3, 4], &[4, 5], &[5, 0]]);
         let hd = optimal_decomposition(&h);
         assert_eq!(hd.width(), 2);
         assert_eq!(hd.validate(&h), Ok(()));
@@ -126,10 +121,7 @@ mod tests {
 
     #[test]
     fn modes_agree_on_width() {
-        let h = Hypergraph::from_edge_lists(
-            5,
-            &[&[0, 1, 2], &[2, 3], &[3, 4], &[4, 0], &[1, 3]],
-        );
+        let h = Hypergraph::from_edge_lists(5, &[&[0, 1, 2], &[2, 3], &[3, 4], &[4, 0], &[1, 3]]);
         assert_eq!(
             hypertree_width_with(&h, CandidateMode::Full),
             hypertree_width_with(&h, CandidateMode::Pruned)

@@ -116,7 +116,9 @@ fn decomposable(ctx: &Ctx<'_>, comp: &Component, conn: &VertexSet, depth: usize)
                         scope.spawn(move || decomposable(ctx, child, &child_conn, depth + 1))
                     })
                     .collect();
-                handles.into_iter().all(|j| j.join().expect("worker panicked"))
+                handles
+                    .into_iter()
+                    .all(|j| j.join().expect("worker panicked"))
             })
         } else {
             big.iter().all(|child| {

@@ -21,7 +21,11 @@ use hypergraph::{EdgeId, Hypergraph, Ix, JoinTree, NodeId, RootedTree};
 /// trees need at least one atom).
 pub fn join_tree_of_width1(h: &Hypergraph, hd: &HypertreeDecomposition) -> Option<JoinTree> {
     assert!(hd.width() <= 1, "Theorem 4.5 needs a width-1 decomposition");
-    assert_eq!(hd.validate(h), Ok(()), "input must be a valid decomposition");
+    assert_eq!(
+        hd.validate(h),
+        Ok(()),
+        "input must be a valid decomposition"
+    );
     if h.num_edges() == 0 {
         return None;
     }

@@ -115,12 +115,10 @@ impl<'a> Parser<'a> {
         if end == 0 {
             return self.error("expected a number");
         }
-        let value: u64 = rest[..end]
-            .parse()
-            .map_err(|_| ParseError {
-                position: self.pos,
-                message: "number too large for u64".to_string(),
-            })?;
+        let value: u64 = rest[..end].parse().map_err(|_| ParseError {
+            position: self.pos,
+            message: "number too large for u64".to_string(),
+        })?;
         self.pos += end;
         Ok(value)
     }
@@ -130,9 +128,8 @@ impl<'a> Parser<'a> {
         match self.rest().chars().next() {
             Some(c) if c.is_ascii_digit() => Ok(RawTerm::Const(self.number()?)),
             Some(c) if c.is_ascii_uppercase() || c == '_' => Ok(RawTerm::Var(self.ident()?)),
-            Some(c) if c.is_ascii_lowercase() => self.error(
-                "lowercase terms are not supported: encode symbolic constants as numbers",
-            ),
+            Some(c) if c.is_ascii_lowercase() => self
+                .error("lowercase terms are not supported: encode symbolic constants as numbers"),
             _ => self.error("expected a term (variable or number)"),
         }
     }
@@ -140,18 +137,17 @@ impl<'a> Parser<'a> {
     fn atom(&mut self) -> Result<(String, Vec<RawTerm>), ParseError> {
         let predicate = self.ident()?;
         let mut terms = Vec::new();
-        if self.eat("(")
-            && !self.eat(")") {
-                loop {
-                    terms.push(self.term()?);
-                    if self.eat(")") {
-                        break;
-                    }
-                    if !self.eat(",") {
-                        return self.error("expected ',' or ')' in argument list");
-                    }
+        if self.eat("(") && !self.eat(")") {
+            loop {
+                terms.push(self.term()?);
+                if self.eat(")") {
+                    break;
+                }
+                if !self.eat(",") {
+                    return self.error("expected ',' or ')' in argument list");
                 }
             }
+        }
         Ok((predicate, terms))
     }
 

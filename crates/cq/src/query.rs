@@ -378,6 +378,9 @@ mod tests {
         let q = b.build();
         assert_eq!(q.atom(0).arity(), 0);
         assert_eq!(q.to_string(), "ans :- flag, r(X).");
-        assert!(q.hypergraph().edge_vertices(hypergraph::EdgeId(0)).is_empty());
+        assert!(q
+            .hypergraph()
+            .edge_vertices(hypergraph::EdgeId(0))
+            .is_empty());
     }
 }

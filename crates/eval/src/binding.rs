@@ -59,10 +59,12 @@ pub fn bind_atom(q: &ConjunctiveQuery, i: usize, db: &Database) -> Result<BoundA
     let atom = q.atom(i);
     let vars = atom.variables();
     let rel = match db.get(&atom.predicate) {
-        None => return Ok(BoundAtom {
-            rel: Relation::new(vars.len()),
-            vars,
-        }),
+        None => {
+            return Ok(BoundAtom {
+                rel: Relation::new(vars.len()),
+                vars,
+            })
+        }
         Some(r) => r,
     };
     if rel.arity() != atom.arity() {

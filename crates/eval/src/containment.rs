@@ -163,10 +163,7 @@ mod tests {
     fn containment_with_cyclic_right_side() {
         // Q2 cyclic (hw = 2): the evaluation routes through the
         // decomposition pipeline.
-        let k4 = parse_query(
-            "ans :- r(A,B), r(B,C), r(C,D), r(D,A), r(A,C), r(B,D).",
-        )
-        .unwrap();
+        let k4 = parse_query("ans :- r(A,B), r(B,C), r(C,D), r(D,A), r(A,C), r(B,D).").unwrap();
         let triangle = parse_query("ans :- r(X,Y), r(Y,Z), r(Z,X).").unwrap();
         // K4 contains triangles: hom triangle → K4 exists.
         assert_eq!(contained_in(&k4, &triangle), Ok(true));

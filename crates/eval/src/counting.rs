@@ -28,11 +28,7 @@ pub fn count_assignments(q: &ConjunctiveQuery, db: &Database) -> Result<u128, Ev
 }
 
 /// [`count_assignments`] under an explicit plan.
-pub fn count_with(
-    plan: &Strategy,
-    q: &ConjunctiveQuery,
-    db: &Database,
-) -> Result<u128, EvalError> {
+pub fn count_with(plan: &Strategy, q: &ConjunctiveQuery, db: &Database) -> Result<u128, EvalError> {
     let (tree, nodes) = match plan {
         Strategy::JoinTree(jt) => {
             let bound = crate::bind_all(q, db)?;

@@ -29,7 +29,10 @@ impl fmt::Display for NaiveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NaiveError::BudgetExceeded { rows, budget } => {
-                write!(f, "intermediate result of {rows} rows exceeded budget {budget}")
+                write!(
+                    f,
+                    "intermediate result of {rows} rows exceeded budget {budget}"
+                )
             }
             NaiveError::Bind(e) => write!(f, "{e}"),
         }
@@ -97,7 +100,10 @@ fn join_all(bound: &[BoundAtom], order: JoinOrder, budget: usize) -> Result<Boun
         // Empty body: the query is vacuously true — one empty tuple.
         let mut rel = Relation::new(0);
         rel.push_row(&[]);
-        return Ok(BoundAtom { vars: Vec::new(), rel });
+        return Ok(BoundAtom {
+            vars: Vec::new(),
+            rel,
+        });
     }
 
     let mut remaining: Vec<usize> = (0..bound.len()).collect();
@@ -122,7 +128,11 @@ fn join_all(bound: &[BoundAtom], order: JoinOrder, budget: usize) -> Result<Boun
                     .copied()
                     .filter(|&i| bound[i].vars.iter().any(|v| acc.vars.contains(v)))
                     .collect();
-                let pool = if connected.is_empty() { &remaining } else { &connected };
+                let pool = if connected.is_empty() {
+                    &remaining
+                } else {
+                    &connected
+                };
                 pool.iter()
                     .copied()
                     .min_by_key(|&i| bound[i].rel.len())
@@ -195,7 +205,10 @@ mod tests {
             db.add_fact("s", &[i, i]);
         }
         let err = evaluate(&q, &db, JoinOrder::AsWritten, 5_000).unwrap_err();
-        assert!(matches!(err, NaiveError::BudgetExceeded { rows: 10_000, .. }));
+        assert!(matches!(
+            err,
+            NaiveError::BudgetExceeded { rows: 10_000, .. }
+        ));
         // A large enough budget lets it through.
         let out = evaluate(&q, &db, JoinOrder::AsWritten, 100_000).unwrap();
         assert_eq!(out.arity(), 0);

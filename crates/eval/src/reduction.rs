@@ -43,7 +43,11 @@ pub fn reduce(
     hd: &HypertreeDecomposition,
 ) -> Result<ReducedInstance, EvalError> {
     let h = q.hypergraph();
-    debug_assert_eq!(hd.validate(&h), Ok(()), "reduce() needs a valid decomposition");
+    debug_assert_eq!(
+        hd.validate(&h),
+        Ok(()),
+        "reduce() needs a valid decomposition"
+    );
     let complete = hd.complete(&h);
     let bound = bind_all(q, db)?;
 
@@ -65,8 +69,7 @@ pub fn reduce(
             let keep_cols: Vec<usize> = (0..atom.vars.len())
                 .filter(|&i| chi.contains(&atom.vars[i]))
                 .collect();
-            let restricted_vars: Vec<VertexId> =
-                keep_cols.iter().map(|&i| atom.vars[i]).collect();
+            let restricted_vars: Vec<VertexId> = keep_cols.iter().map(|&i| atom.vars[i]).collect();
             let restricted = if keep_cols.len() == atom.vars.len() {
                 atom.rel.clone()
             } else {
@@ -182,10 +185,7 @@ mod tests {
 
     #[test]
     fn enumeration_matches_naive() {
-        let q = parse_query(
-            "ans(S) :- enrolled(S,C,R), teaches(P,C,A), parent(P,S).",
-        )
-        .unwrap();
+        let q = parse_query("ans(S) :- enrolled(S,C,R), teaches(P,C,A), parent(P,S).").unwrap();
         let hd = hd_for(&q);
         let db = q1_db_true();
         let via_hd = enumerate_via_hd(&q, &db, &hd).unwrap();

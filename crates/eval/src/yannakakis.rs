@@ -134,10 +134,7 @@ mod tests {
     use relation::{Database, Value};
 
     /// Build the join-tree order of bound atoms for an acyclic query.
-    fn tree_and_nodes(
-        q: &cq::ConjunctiveQuery,
-        db: &Database,
-    ) -> (RootedTree, Vec<BoundAtom>) {
+    fn tree_and_nodes(q: &cq::ConjunctiveQuery, db: &Database) -> (RootedTree, Vec<BoundAtom>) {
         let h = q.hypergraph();
         let jt = acyclic::join_tree(&h).expect("query must be acyclic");
         let bound = bind_all(q, db).unwrap();

@@ -49,7 +49,9 @@ pub fn gyo(h: &Hypergraph) -> GyoOutcome {
     if m == 0 {
         return GyoOutcome::Acyclic(None);
     }
-    let mut work: Vec<_> = (0..m).map(|e| h.edge_vertices(EdgeId::new(e)).clone()).collect();
+    let mut work: Vec<_> = (0..m)
+        .map(|e| h.edge_vertices(EdgeId::new(e)).clone())
+        .collect();
     let mut alive: Vec<bool> = vec![true; m];
     let mut alive_count = m;
     let mut parent: Vec<Option<EdgeId>> = vec![None; m];
@@ -101,10 +103,7 @@ pub fn gyo(h: &Hypergraph) -> GyoOutcome {
     }
 
     if alive_count > 1 {
-        let core = (0..m)
-            .filter(|&e| alive[e])
-            .map(EdgeId::new)
-            .collect();
+        let core = (0..m).filter(|&e| alive[e]).map(EdgeId::new).collect();
         return GyoOutcome::Cyclic(core);
     }
 
@@ -232,10 +231,7 @@ mod tests {
 
     #[test]
     fn disconnected_with_one_cyclic_component() {
-        let h = Hypergraph::from_edge_lists(
-            5,
-            &[&[0, 1], &[1, 2], &[0, 2], &[3, 4]],
-        );
+        let h = Hypergraph::from_edge_lists(5, &[&[0, 1], &[1, 2], &[0, 2], &[3, 4]]);
         assert!(!is_acyclic(&h));
     }
 

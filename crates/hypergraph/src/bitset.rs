@@ -187,7 +187,10 @@ impl<T: Ix> IdSet<T> {
     /// `true` iff `self ⊆ other`.
     pub fn is_subset_of(&self, other: &Self) -> bool {
         self.check_same_universe(other);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// `true` iff `self ⊂ other` (proper subset).

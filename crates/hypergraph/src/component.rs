@@ -116,7 +116,11 @@ pub fn connected(h: &Hypergraph, separator: &VertexSet, x: VertexId, y: VertexId
 /// is, that check is equivalent to `Conn(C_R, R) ⊆ var(S)` — and `Conn` is
 /// the only part of `R` the subproblem depends on, which makes it the
 /// memoisation key of the deterministic solver.
-pub fn connecting_set(h: &Hypergraph, component: &Component, separator_vars: &VertexSet) -> VertexSet {
+pub fn connecting_set(
+    h: &Hypergraph,
+    component: &Component,
+    separator_vars: &VertexSet,
+) -> VertexSet {
     let mut conn = h.empty_vertex_set();
     for e in &component.edges {
         let mut shared = h.edge_vertices(e).clone();
@@ -173,11 +177,7 @@ mod tests {
         let mut comps = components(&h, &sep);
         comps.sort_by_key(|c| c.vertices.first());
         assert_eq!(comps.len(), 3);
-        let names: Vec<VertexSet> = vec![
-            vset(&h, &["Z"]),
-            vset(&h, &["Zp"]),
-            vset(&h, &["J"]),
-        ];
+        let names: Vec<VertexSet> = vec![vset(&h, &["Z"]), vset(&h, &["Zp"]), vset(&h, &["J"])];
         for want in names {
             assert!(
                 comps.iter().any(|c| c.vertices == want),
@@ -228,10 +228,7 @@ mod tests {
         let sep = vset(&h, &["S", "Z", "Zp"]);
         let comps = components(&h, &sep);
         for e in h.edges() {
-            let owners = comps
-                .iter()
-                .filter(|c| c.edges.contains(e))
-                .count();
+            let owners = comps.iter().filter(|c| c.edges.contains(e)).count();
             if h.edge_vertices(e).is_subset_of(&sep) {
                 assert_eq!(owners, 0, "{} fully in separator", h.edge_name(e));
             } else {
@@ -295,8 +292,6 @@ mod tests {
         let comps = components(&h, &h.empty_vertex_set());
         assert_eq!(comps.len(), 2);
         // vertex 4 is isolated: no component contains it.
-        assert!(comps
-            .iter()
-            .all(|c| !c.vertices.contains(VertexId(4))));
+        assert!(comps.iter().all(|c| !c.vertices.contains(VertexId(4))));
     }
 }

@@ -61,10 +61,7 @@ impl JoinTree {
 
     /// The node carrying a given edge, if any.
     pub fn node_of(&self, e: EdgeId) -> Option<NodeId> {
-        self.node_edge
-            .iter()
-            .position(|&x| x == e)
-            .map(NodeId::new)
+        self.node_edge.iter().position(|&x| x == e).map(NodeId::new)
     }
 
     /// Check that this is a join tree of `h`: one node per edge of `h`, and
@@ -173,7 +170,10 @@ mod tests {
             ],
         );
         let p = h.vertex_by_name("P").unwrap();
-        assert_eq!(jt.validate(&h), Err(JoinTreeViolation::Disconnected { vertex: p }));
+        assert_eq!(
+            jt.validate(&h),
+            Err(JoinTreeViolation::Disconnected { vertex: p })
+        );
     }
 
     #[test]
@@ -181,14 +181,20 @@ mod tests {
         let h = q2();
         let t = RootedTree::new();
         let jt = JoinTree::new(t, vec![h.edge_by_name("p").unwrap()]);
-        assert_eq!(jt.validate(&h), Err(JoinTreeViolation::NotAPermutationOfEdges));
+        assert_eq!(
+            jt.validate(&h),
+            Err(JoinTreeViolation::NotAPermutationOfEdges)
+        );
 
         let mut t = RootedTree::new();
         t.add_child(t.root());
         t.add_child(t.root());
         let e = h.edge_by_name("e").unwrap();
         let jt = JoinTree::new(t, vec![e, e, h.edge_by_name("p").unwrap()]);
-        assert_eq!(jt.validate(&h), Err(JoinTreeViolation::NotAPermutationOfEdges));
+        assert_eq!(
+            jt.validate(&h),
+            Err(JoinTreeViolation::NotAPermutationOfEdges)
+        );
     }
 
     #[test]

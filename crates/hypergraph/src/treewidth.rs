@@ -32,9 +32,7 @@ pub fn elimination_width(g: &Graph, order: &[usize]) -> usize {
     let mut eliminated = vec![false; n];
     let mut width = 0;
     for &v in order {
-        let nbrs: Vec<usize> = (0..n)
-            .filter(|&u| !eliminated[u] && adj[v][u])
-            .collect();
+        let nbrs: Vec<usize> = (0..n).filter(|&u| !eliminated[u] && adj[v][u]).collect();
         width = width.max(nbrs.len());
         for (i, &a) in nbrs.iter().enumerate() {
             for &b in &nbrs[i + 1..] {
@@ -302,7 +300,13 @@ mod tests {
 
     #[test]
     fn heuristics_bracket_the_exact_value() {
-        for g in [path(7), cycle(9), clique(5), grid(3, 4), complete_bipartite(2, 6)] {
+        for g in [
+            path(7),
+            cycle(9),
+            clique(5),
+            grid(3, 4),
+            complete_bipartite(2, 6),
+        ] {
             let exact = treewidth_exact(&g).unwrap();
             assert!(treewidth_upper_bound(&g) >= exact);
             assert!(treewidth_lower_bound(&g) <= exact);

@@ -12,7 +12,8 @@ fn arb_hypergraph(max_v: usize, max_e: usize) -> impl Strategy<Value = Hypergrap
             0..=max_e,
         )
         .prop_map(move |edges| {
-            let edge_refs: Vec<Vec<usize>> = edges.into_iter().map(|s| s.into_iter().collect()).collect();
+            let edge_refs: Vec<Vec<usize>> =
+                edges.into_iter().map(|s| s.into_iter().collect()).collect();
             let slices: Vec<&[usize]> = edge_refs.iter().map(|e| e.as_slice()).collect();
             Hypergraph::from_edge_lists(n, &slices)
         })

@@ -58,7 +58,11 @@ impl Database {
     /// The maximum relation size `r` (in rows) over the database — the
     /// quantity the `O(r^k)` bound of Lemma 4.6 is stated in.
     pub fn max_relation_rows(&self) -> usize {
-        self.relations.values().map(Relation::len).max().unwrap_or(0)
+        self.relations
+            .values()
+            .map(Relation::len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total number of tuples.

@@ -110,10 +110,7 @@ impl Relation {
 
     /// Iterate over rows.
     pub fn rows(&self) -> impl Iterator<Item = &[Value]> {
-        RowsIter {
-            rel: self,
-            next: 0,
-        }
+        RowsIter { rel: self, next: 0 }
     }
 
     /// Set-semantics membership test (linear; use an index on hot paths).

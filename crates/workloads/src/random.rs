@@ -46,13 +46,15 @@ pub fn random_hypergraph(rng: &mut StdRng, n: usize, m: usize, max_arity: usize)
 
 /// A random Boolean conjunctive query with the same shape distribution as
 /// [`random_hypergraph`]; atom `i` uses predicate `r{i}`.
-pub fn random_query(rng: &mut StdRng, n_vars: usize, m_atoms: usize, max_arity: usize) -> ConjunctiveQuery {
+pub fn random_query(
+    rng: &mut StdRng,
+    n_vars: usize,
+    m_atoms: usize,
+    max_arity: usize,
+) -> ConjunctiveQuery {
     let h = random_hypergraph(rng, n_vars, m_atoms, max_arity);
     let mut b = QueryBuilder::default();
-    let vars: Vec<_> = h
-        .vertices()
-        .map(|v| b.var(h.vertex_name(v)))
-        .collect();
+    let vars: Vec<_> = h.vertices().map(|v| b.var(h.vertex_name(v))).collect();
     for e in h.edges() {
         let terms: Vec<Term> = h
             .edge_vertices(e)
@@ -66,7 +68,12 @@ pub fn random_query(rng: &mut StdRng, n_vars: usize, m_atoms: usize, max_arity: 
 
 /// A uniform random database for `q`: each predicate gets `rows` tuples
 /// with values drawn from `0..domain`.
-pub fn random_database(rng: &mut StdRng, q: &ConjunctiveQuery, domain: u64, rows: usize) -> Database {
+pub fn random_database(
+    rng: &mut StdRng,
+    q: &ConjunctiveQuery,
+    domain: u64,
+    rows: usize,
+) -> Database {
     let mut db = Database::new();
     for atom in q.atoms() {
         if db.get(&atom.predicate).is_none() {
@@ -103,7 +110,9 @@ pub fn planted_database(
     rows: usize,
 ) -> Database {
     let mut db = random_database(rng, q, domain, rows);
-    let assignment: Vec<u64> = (0..q.num_vars()).map(|_| rng.random_range(0..domain)).collect();
+    let assignment: Vec<u64> = (0..q.num_vars())
+        .map(|_| rng.random_range(0..domain))
+        .collect();
     for atom in q.atoms() {
         let tuple: Vec<u64> = atom
             .terms

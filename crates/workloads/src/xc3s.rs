@@ -291,10 +291,7 @@ mod tests {
     /// D1={0,2,3}, D2={0,1,3}, D3={2,3,5}, D4={2,4,5} (0-indexed from the
     /// paper's X1..X6). Positive: D2 ∪ D4 partitions R.
     pub(crate) fn paper_instance() -> Xc3sInstance {
-        Xc3sInstance::new(
-            6,
-            vec![[0, 2, 3], [0, 1, 3], [2, 3, 5], [2, 4, 5]],
-        )
+        Xc3sInstance::new(6, vec![[0, 2, 3], [0, 1, 3], [2, 3, 5], [2, 4, 5]])
     }
 
     #[test]
@@ -323,10 +320,7 @@ mod tests {
         let s = inst.s();
         let m = inst.triples.len();
         // 8 block atoms per level, s links, 3m W atoms.
-        assert_eq!(
-            red.query.atoms().len(),
-            8 * (s + 1) + s + 3 * m
-        );
+        assert_eq!(red.query.atoms().len(), 8 * (s + 1) + s + 3 * m);
         assert_eq!(red.block_a.len(), s + 1);
         assert_eq!(red.links.len(), s);
         assert_eq!(red.w_triples.len(), m);

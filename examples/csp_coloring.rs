@@ -47,10 +47,17 @@ fn colour_database(colours: u64) -> Database {
 fn main() {
     let n = 12;
     let q = ladder_coloring_query(n);
-    println!("ladder with {n} rungs: {} constraints, {} variables", q.atoms().len(), q.num_vars());
+    println!(
+        "ladder with {n} rungs: {} constraints, {} variables",
+        q.atoms().len(),
+        q.num_vars()
+    );
 
     let h = q.hypergraph();
-    println!("acyclic: {}", hypertree::hypergraph::acyclic::is_acyclic(&h));
+    println!(
+        "acyclic: {}",
+        hypertree::hypergraph::acyclic::is_acyclic(&h)
+    );
     println!("hypertree width: {}", hypertree::hypertree_width(&q));
 
     // 3 colours: satisfiable (ladders are bipartite, 2 would do).

@@ -13,7 +13,10 @@ fn main() {
     println!("Q1: {q1}");
 
     let h = q1.hypergraph();
-    println!("acyclic: {}", hypertree::hypergraph::acyclic::is_acyclic(&h));
+    println!(
+        "acyclic: {}",
+        hypertree::hypergraph::acyclic::is_acyclic(&h)
+    );
 
     // Structural analysis.
     let hw = hypertree::hypertree_width(&q1);
@@ -33,11 +36,13 @@ fn main() {
     db.add_fact("teaches", &[4, 8, 0]);
     db.add_fact("parent", &[1, 2]); // person 1 is a parent of student 2
 
-    println!("Q1 on the sample database: {:?}", evaluate_boolean(&q1, &db));
+    println!(
+        "Q1 on the sample database: {:?}",
+        evaluate_boolean(&q1, &db)
+    );
 
     // Non-Boolean variant: which students are enrolled with a parent?
-    let q1_open =
-        parse_query("ans(S) :- enrolled(S,C,R), teaches(P,C,A), parent(P,S).").unwrap();
+    let q1_open = parse_query("ans(S) :- enrolled(S,C,R), teaches(P,C,A), parent(P,S).").unwrap();
     let answers = evaluate(&q1_open, &db).unwrap();
     println!("answers of {q1_open}:");
     for row in answers.rows() {

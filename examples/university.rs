@@ -12,11 +12,7 @@
 use hypertree::prelude::*;
 use std::time::Instant;
 
-fn build_database(
-    num_people: u64,
-    num_courses: u64,
-    enrolments_per_student: u64,
-) -> Database {
+fn build_database(num_people: u64, num_courses: u64, enrolments_per_student: u64) -> Database {
     // People 0..p are professors, p..num_people are students.
     let professors = num_people / 10;
     let mut db = Database::new();
@@ -75,7 +71,10 @@ fn main() {
             5_000_000,
         ) {
             Ok(naive_answer) => {
-                println!("  naive (as written):   {naive_answer} in {:?}", t.elapsed());
+                println!(
+                    "  naive (as written):   {naive_answer} in {:?}",
+                    t.elapsed()
+                );
                 assert_eq!(naive_answer, answer, "engines must agree");
             }
             Err(e) => println!("  naive (as written):   aborted — {e}"),
@@ -85,7 +84,10 @@ fn main() {
     // Who are the students taught by their own parent?
     let open = parse_query("ans(S, C) :- enrolled(S,C,R), teaches(P,C,A), parent(P,S).").unwrap();
     let hits = evaluate(&open, &db).unwrap();
-    println!("\nstudents enrolled in a course taught by their parent: {}", hits.len());
+    println!(
+        "\nstudents enrolled in a course taught by their parent: {}",
+        hits.len()
+    );
     for row in hits.rows().take(5) {
         println!("  student {} in course {}", row[0], row[1]);
     }

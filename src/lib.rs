@@ -73,11 +73,7 @@ pub fn hypertree_width(q: &ConjunctiveQuery) -> usize {
 /// A width-`≤ k` normal-form hypertree decomposition of `q`, if one exists
 /// (Theorem 5.18).
 pub fn decompose(q: &ConjunctiveQuery, k: usize) -> Option<hypertree_core::HypertreeDecomposition> {
-    hypertree_core::kdecomp::decompose(
-        &q.hypergraph(),
-        k,
-        hypertree_core::CandidateMode::Pruned,
-    )
+    hypertree_core::kdecomp::decompose(&q.hypergraph(), k, hypertree_core::CandidateMode::Pruned)
 }
 
 /// The query width `qw(Q)` (Definition 3.1), computed by the exact

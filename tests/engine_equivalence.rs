@@ -71,8 +71,9 @@ fn all_widths_agree() {
         let q = random::random_query(&mut rng, 6, 5, 3);
         let h = q.hypergraph();
         let db = random::random_database(&mut rng, &q, 4, 12);
-        let reference = eval::naive::evaluate_boolean(&q, &db, JoinOrder::GreedySmallest, NAIVE_BUDGET)
-            .unwrap();
+        let reference =
+            eval::naive::evaluate_boolean(&q, &db, JoinOrder::GreedySmallest, NAIVE_BUDGET)
+                .unwrap();
         // Trivial decomposition (width = m).
         let trivial = HypertreeDecomposition::trivial(&h);
         assert_eq!(
@@ -100,8 +101,7 @@ fn constants_and_repeats_agree() {
         db.add_fact("r", &[i, i + 1, 3]);
         db.add_fact("s", &[i, (i * 3) % 10]);
     }
-    let naive =
-        eval::naive::evaluate(&q, &db, JoinOrder::AsWritten, NAIVE_BUDGET).unwrap();
+    let naive = eval::naive::evaluate(&q, &db, JoinOrder::AsWritten, NAIVE_BUDGET).unwrap();
     let planned = eval::evaluate(&q, &db).unwrap();
     assert_eq!(naive.len(), planned.len());
     for row in naive.rows() {

@@ -1,0 +1,129 @@
+//! The paper's running examples, asserted end-to-end through the
+//! `hypertree` facade alone (parse → structural analysis → decomposition
+//! → evaluation), plus the §1.1 acyclicity ⇔ join-tree characterization.
+//!
+//! Complements `paper_figures.rs` (which pins the figure tables via the
+//! `workloads::paper` constructors) by driving everything through the
+//! public quick-start API instead.
+
+use hypertree::hypergraph::{acyclic, Hypergraph};
+use hypertree::prelude::*;
+
+/// Example 1.1, Q1: "is some student enrolled in a course taught by their
+/// own parent?" — cyclic, hypertree width exactly 2, and evaluable on a
+/// concrete database through the Lemma 4.6 reduction.
+#[test]
+fn example_1_1_student_teaches_parent() {
+    let q = parse_query("ans :- enrolled(S,C,R), teaches(P,C,A), parent(P,S).").unwrap();
+
+    // Cyclic: no join tree exists for H(Q1).
+    let h = q.hypergraph();
+    assert!(!acyclic::is_acyclic(&h));
+    assert!(acyclic::join_tree(&h).is_none());
+
+    // hw(Q1) = 2 (Example 4.3), witnessed by a valid decomposition at
+    // k = 2 and the absence of one at k = 1.
+    assert_eq!(hypertree_width(&q), 2);
+    assert!(decompose(&q, 1).is_none());
+    let hd = decompose(&q, 2).expect("width-2 decomposition exists");
+    assert_eq!(hd.validate(&h), Ok(()));
+    assert!(hd.width() <= 2);
+
+    // Evaluation end-to-end: person 1 teaches course 7 and is a parent of
+    // student 2, who is enrolled in course 7 — so the query is true...
+    let mut db = Database::new();
+    db.add_fact("enrolled", &[2, 7, 2000]);
+    db.add_fact("teaches", &[1, 7, 1]);
+    db.add_fact("parent", &[1, 2]);
+    assert_eq!(evaluate_boolean(&q, &db), Ok(true));
+
+    // ...and false once the enrollment moves to a different course.
+    let mut db2 = Database::new();
+    db2.add_fact("enrolled", &[2, 8, 2000]);
+    db2.add_fact("teaches", &[1, 7, 1]);
+    db2.add_fact("parent", &[1, 2]);
+    assert_eq!(evaluate_boolean(&q, &db2), Ok(false));
+
+    // Non-Boolean head: the answer names the student.
+    let qs = parse_query("ans(S) :- enrolled(S,C,R), teaches(P,C,A), parent(P,S).").unwrap();
+    let out = evaluate(&qs, &db).unwrap();
+    assert_eq!(out.len(), 1);
+    assert!(out.contains_row(&[Value(2)]));
+}
+
+/// Example 1.1, Q2: widening `teaches` and `parent` by the course/student
+/// makes the query acyclic — the facade agrees on every characterization.
+#[test]
+fn example_1_1_q2_acyclic_variant() {
+    let q2 = parse_query("ans :- enrolled(S,C,R), teaches(P,C,A), parent(P,S,C).").unwrap();
+    let h = q2.hypergraph();
+
+    // Acyclic ⇔ a join tree exists, and the GYO tree satisfies the
+    // connectedness condition.
+    assert!(acyclic::is_acyclic(&h));
+    let jt = acyclic::join_tree(&h).expect("Q2 is acyclic");
+    assert_eq!(jt.validate(&h), Ok(()));
+    assert_eq!(jt.len(), h.num_edges());
+
+    // Acyclic queries have hypertree width 1 (Definition 4.1 / §4).
+    assert_eq!(hypertree_width(&q2), 1);
+    let hd = decompose(&q2, 1).expect("acyclic ⇒ width-1 decomposition");
+    assert_eq!(hd.validate(&h), Ok(()));
+
+    // And evaluation goes through the Yannakakis path.
+    let mut db = Database::new();
+    db.add_fact("enrolled", &[2, 7, 2000]);
+    db.add_fact("teaches", &[1, 7, 1]);
+    db.add_fact("parent", &[1, 2, 7]);
+    assert_eq!(evaluate_boolean(&q2, &db), Ok(true));
+}
+
+/// The §1.1 characterization on raw hypergraphs, through the facade's
+/// `hypergraph` re-export: acyclic ⇔ join tree exists (with a valid
+/// connectedness condition), on both sides of the divide.
+#[test]
+fn acyclicity_join_tree_characterization() {
+    // A path of binary edges is acyclic.
+    let mut b = Hypergraph::builder();
+    b.edge_by_names("r1", &["A", "B"]);
+    b.edge_by_names("r2", &["B", "C"]);
+    b.edge_by_names("r3", &["C", "D"]);
+    let path = b.build();
+    assert!(acyclic::is_acyclic(&path));
+    let jt = acyclic::join_tree(&path).expect("paths are acyclic");
+    assert_eq!(jt.validate(&path), Ok(()));
+
+    // A triangle of binary edges is the smallest cyclic hypergraph...
+    let mut b = Hypergraph::builder();
+    b.edge_by_names("r", &["X", "Y"]);
+    b.edge_by_names("s", &["Y", "Z"]);
+    b.edge_by_names("t", &["Z", "X"]);
+    let triangle = b.build();
+    assert!(!acyclic::is_acyclic(&triangle));
+    assert!(acyclic::join_tree(&triangle).is_none());
+
+    // ...but covering it with one ternary edge restores acyclicity
+    // (α-acyclicity is not hereditary — the classic sanity check).
+    let mut b = Hypergraph::builder();
+    b.edge_by_names("r", &["X", "Y"]);
+    b.edge_by_names("s", &["Y", "Z"]);
+    b.edge_by_names("t", &["Z", "X"]);
+    b.edge_by_names("u", &["X", "Y", "Z"]);
+    let covered = b.build();
+    assert!(acyclic::is_acyclic(&covered));
+    let jt = acyclic::join_tree(&covered).expect("covered triangle is acyclic");
+    assert_eq!(jt.validate(&covered), Ok(()));
+}
+
+/// The Example 1.1 narrative as width arithmetic: Q1 sits strictly
+/// between "acyclic" (hw = 1) and the treewidth-style bounds, with
+/// qw(Q1) = hw(Q1) = 2 (Fig. 2 / Example 4.3).
+#[test]
+fn example_1_1_width_relations() {
+    let q = parse_query("ans :- enrolled(S,C,R), teaches(P,C,A), parent(P,S).").unwrap();
+    let hw = hypertree_width(&q);
+    let qw = query_width(&q, 1_000_000).expect("tiny instance, within budget");
+    assert_eq!(hw, 2);
+    assert_eq!(qw, 2);
+    assert!(hw <= qw, "Theorem 6.1: hw ≤ qw");
+}

@@ -47,7 +47,9 @@ fn figures_2_and_4() {
 fn example_3_5_query_width() {
     let h5 = paper::q5().hypergraph();
     assert!(querydecomp::decide_qw(&h5, 2, QW_BUDGET).unwrap().is_none());
-    let qd = querydecomp::decide_qw(&h5, 3, QW_BUDGET).unwrap().expect("Fig. 5");
+    let qd = querydecomp::decide_qw(&h5, 3, QW_BUDGET)
+        .unwrap()
+        .expect("Fig. 5");
     assert_eq!(qd.validate(&h5), Ok(()));
     let fig5 = paper::fig5_query_decomposition(&h5);
     assert_eq!(fig5.validate(&h5), Ok(()));

@@ -118,8 +118,7 @@ fn homomorphism_exists(from: &cq::ConjunctiveQuery, to: &cq::ConjunctiveQuery) -
                         && a.terms.len() == b.terms.len()
                         && a.terms.iter().zip(&b.terms).all(|(x, y)| match (x, y) {
                             (Term::Var(v), Term::Var(w)) => {
-                                assignment[hypergraph::Ix::index(*v)]
-                                    == hypergraph::Ix::index(*w)
+                                assignment[hypergraph::Ix::index(*v)] == hypergraph::Ix::index(*w)
                             }
                             (Term::Const(c), Term::Const(d)) => c == d,
                             _ => false,

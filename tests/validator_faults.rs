@@ -8,15 +8,17 @@ use hypertree::hypergraph::{EdgeSet, Ix, NodeId, VertexSet};
 use hypertree::workloads::{families, paper, random};
 
 /// Rebuild an HD with one χ entry replaced.
-fn with_chi(
-    hd: &HypertreeDecomposition,
-    node: NodeId,
-    chi: VertexSet,
-) -> HypertreeDecomposition {
+fn with_chi(hd: &HypertreeDecomposition, node: NodeId, chi: VertexSet) -> HypertreeDecomposition {
     let tree = hd.tree().clone();
     let chis: Vec<VertexSet> = tree
         .nodes()
-        .map(|n| if n == node { chi.clone() } else { hd.chi(n).clone() })
+        .map(|n| {
+            if n == node {
+                chi.clone()
+            } else {
+                hd.chi(n).clone()
+            }
+        })
         .collect();
     let lambdas: Vec<EdgeSet> = tree.nodes().map(|n| hd.lambda(n).clone()).collect();
     HypertreeDecomposition::new(tree, chis, lambdas)
@@ -32,7 +34,13 @@ fn with_lambda(
     let chis: Vec<VertexSet> = tree.nodes().map(|n| hd.chi(n).clone()).collect();
     let lambdas: Vec<EdgeSet> = tree
         .nodes()
-        .map(|n| if n == node { lambda.clone() } else { hd.lambda(n).clone() })
+        .map(|n| {
+            if n == node {
+                lambda.clone()
+            } else {
+                hd.lambda(n).clone()
+            }
+        })
         .collect();
     HypertreeDecomposition::new(tree, chis, lambdas)
 }
@@ -105,10 +113,7 @@ fn chi_swaps_are_detected() {
             continue;
         }
         let swapped = with_chi(&with_chi(&hd, a, hd.chi(b).clone()), b, hd.chi(a).clone());
-        assert!(
-            swapped.validate(&hg).is_err(),
-            "χ swap accepted on {hg:?}"
-        );
+        assert!(swapped.validate(&hg).is_err(), "χ swap accepted on {hg:?}");
     }
 }
 

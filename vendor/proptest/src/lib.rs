@@ -1,0 +1,210 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate, vendored
+//! because this workspace builds offline.
+//!
+//! Implements the subset of proptest the workspace's property suites use:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map`, integer
+//!   range strategies, pair strategies, and
+//!   [`collection::vec`] / [`collection::btree_set`];
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`), plus
+//!   [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_assume!`];
+//! * [`ProptestConfig`] with `with_cases`, overridable at run time by the
+//!   `PROPTEST_CASES` environment variable.
+//!
+//! Differences from real proptest, deliberately accepted for a test-only
+//! shim: no shrinking — a failing case panics with the un-minimised
+//! generated inputs (`Debug`-formatted) instead — and generation is
+//! driven by a fixed per-test seed derived from the test's path, so
+//! failures are reproducible run over run. Set `PROPTEST_SEED` to
+//! explore a different deterministic stream.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let __cases = $crate::test_runner::resolved_cases(&__config);
+            let __test_path = concat!(module_path!(), "::", stringify!($name));
+            let mut __rng = $crate::test_runner::TestRng::for_test(__test_path);
+            let mut __done: u32 = 0;
+            let mut __rejected: u32 = 0;
+            while __done < __cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __done += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                        __rejected += 1;
+                        assert!(
+                            __rejected <= __cases.saturating_mul(16).saturating_add(1024),
+                            "{__test_path}: too many prop_assume rejections ({__rejected})"
+                        );
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        let mut __inputs = ::std::string::String::new();
+                        $(__inputs.push_str(&format!(
+                            "  {} = {:?}\n",
+                            stringify!($arg),
+                            &$arg
+                        ));)*
+                        panic!(
+                            "{__test_path}: property failed on case {} of {}: {}\ninputs:\n{}",
+                            __done + 1,
+                            __cases,
+                            msg,
+                            __inputs
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Like `assert!`, but reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            format!($($fmt)*),
+            l,
+            r
+        );
+    }};
+}
+
+/// Like `assert_ne!`, but reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discard the current case (it does not count towards the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    // No `#[test]` attribute on these: the macro emits plain functions we
+    // can invoke (and catch panics from) inside real tests below.
+    crate::proptest! {
+        fn always_passes(x in 0u64..10, y in 1usize..=3) {
+            crate::prop_assert!(x < 10);
+            crate::prop_assert!((1..=3).contains(&y));
+        }
+        fn always_fails(x in 5u64..6) {
+            crate::prop_assert!(x != 5, "x took the only value it can");
+        }
+        fn always_rejects(x in 0u64..10) {
+            crate::prop_assume!(x > 100);
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn macro_runs_cases() {
+        always_passes();
+    }
+
+    #[test]
+    fn failure_reports_generated_inputs() {
+        let err = std::panic::catch_unwind(always_fails).unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic payload is a formatted String");
+        assert!(msg.contains("property failed on case 1"), "got: {msg}");
+        assert!(msg.contains("inputs:"), "got: {msg}");
+        assert!(msg.contains("x = 5"), "got: {msg}");
+    }
+
+    #[test]
+    fn unsatisfiable_assume_aborts_with_reject_message() {
+        let err = std::panic::catch_unwind(always_rejects).unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic payload is a formatted String");
+        assert!(msg.contains("prop_assume rejections"), "got: {msg}");
+    }
+}

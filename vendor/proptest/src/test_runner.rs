@@ -1,0 +1,112 @@
+//! Test-runner plumbing: configuration, the deterministic RNG, and the
+//! case-level error type the assertion macros return.
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// The case count actually used: the `PROPTEST_CASES` environment
+/// variable wins over the in-source configuration, so CI can pin a
+/// cheaper (or more thorough) budget without editing tests.
+pub fn resolved_cases(config: &ProptestConfig) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("PROPTEST_CASES must be an integer, got {s:?}")),
+        Err(_) => config.cases,
+    }
+}
+
+/// Why a single case did not succeed.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: discard the case without counting it.
+    Reject,
+    /// `prop_assert*!` failed: the property is falsified.
+    Fail(String),
+}
+
+/// A deterministic RNG, backed by the vendored `rand` crate's `StdRng`
+/// (like real proptest, which drives generation with a `rand` RNG) and
+/// seeded from a hash of the test path, so every run generates the same
+/// cases. Set `PROPTEST_SEED` to mix in a different seed.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    /// An RNG seeded from the test's path (stable across runs).
+    pub fn for_test(test_path: &str) -> Self {
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if let Ok(extra) = std::env::var("PROPTEST_SEED") {
+            let extra: u64 = extra
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("PROPTEST_SEED must be an integer, got {extra:?}"));
+            seed ^= extra.rotate_left(17);
+        }
+        Self {
+            inner: rand::SeedableRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        rand::RngCore::next_u64(&mut self.inner)
+    }
+
+    /// An unbiased uniform draw from `0..span` (`span > 0`).
+    pub fn below(&mut self, span: u64) -> u64 {
+        assert!(span > 0);
+        rand::RngExt::random_range(&mut self.inner, 0..span)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_test_path() {
+        let mut a = TestRng::for_test("x::y");
+        let mut b = TestRng::for_test("x::y");
+        let mut c = TestRng::for_test("x::z");
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut rng = TestRng::for_test("below");
+        for span in [1u64, 2, 3, 7, 1000] {
+            for _ in 0..100 {
+                assert!(rng.below(span) < span);
+            }
+        }
+    }
+}

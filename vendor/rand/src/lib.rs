@@ -1,0 +1,162 @@
+//! A minimal, dependency-free stand-in for the `rand` crate, vendored
+//! because this workspace builds offline.
+//!
+//! Exposes exactly the subset the workspace uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and [`RngExt::random_range`] over
+//! integer `Range` / `RangeInclusive` bounds. The generator is
+//! xoshiro256** seeded through splitmix64 — deterministic across runs
+//! and platforms, which is what the seeded workload generators need.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of an RNG from seed material.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods, implemented for every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// A uniform sample from `range`. Panics on an empty range.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// A uniform `bool`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<G: RngCore> RngExt for G {}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from `self` using `rng`.
+    fn sample<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (uniform_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + (uniform_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// An unbiased uniform draw from `0..span` (multiply-shift rejection).
+fn uniform_u64<G: RngCore + ?Sized>(rng: &mut G, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Widening-multiply method with rejection of the biased zone.
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let x = rng.next_u64();
+        let wide = (x as u128) * (span as u128);
+        if (wide as u64) >= threshold {
+            return (wide >> 64) as u64;
+        }
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard RNG: xoshiro256** seeded via splitmix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = rng.random_range(3..10);
+            assert!((3..10).contains(&x));
+            let y: u64 = rng.random_range(0..=5);
+            assert!(y <= 5);
+            let z: usize = rng.random_range(4..=4);
+            assert_eq!(z, 4);
+        }
+    }
+
+    #[test]
+    fn covers_full_span() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

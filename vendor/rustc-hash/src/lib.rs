@@ -1,0 +1,113 @@
+//! A minimal, dependency-free stand-in for the `rustc-hash` crate,
+//! vendored because this workspace builds offline.
+//!
+//! Provides [`FxHasher`] — the fast, non-cryptographic multiply-rotate
+//! hash used throughout rustc — plus the usual [`FxHashMap`] /
+//! [`FxHashSet`] type aliases. Exactly the subset of the real crate's
+//! API this workspace uses.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// `BuildHasherDefault` specialised to [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx multiply-rotate hasher: fast and deterministic, not DoS-resistant.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let (chunk, rest) = bytes.split_at(8);
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+            bytes = rest;
+        }
+        if !bytes.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..bytes.len()].copy_from_slice(bytes);
+            self.add_to_hash(u64::from_le_bytes(buf) | ((bytes.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<&str, usize> = FxHashMap::default();
+        m.insert("a", 1);
+        m.insert("b", 2);
+        assert_eq!(m.get("a"), Some(&1));
+        let s: FxHashSet<u64> = (0..100).collect();
+        assert_eq!(s.len(), 100);
+    }
+
+    #[test]
+    fn deterministic() {
+        fn h(bytes: &[u8]) -> u64 {
+            let mut hasher = FxHasher::default();
+            hasher.write(bytes);
+            hasher.finish()
+        }
+        assert_eq!(h(b"hypertree"), h(b"hypertree"));
+        assert_ne!(h(b"hypertree"), h(b"hypertrees"));
+    }
+}
