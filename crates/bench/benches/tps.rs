@@ -1,6 +1,9 @@
-//! Benchmark: strict (m,2)-3PS construction (Lemma 7.3: O(m² + km)) and
-//! the Section 7 reduction build time (E12).
+//! Benchmark: strict (m,2)-3PS construction (Lemma 7.3: O(m² + km)), the
+//! Section 7 reduction build time (E12), and evaluation of the gadget
+//! query through its Fig. 11 decomposition (the `tps/*` entries of
+//! `bench/BENCH_eval.json`).
 
+use bench::baseline;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use workloads::{tps, xc3s};
@@ -29,6 +32,21 @@ fn bench_tps(c: &mut Criterion) {
     let cover = inst.solve().unwrap();
     group.bench_function("fig11_decomposition", |b| {
         b.iter(|| xc3s::fig11_decomposition(&red, &cover))
+    });
+    group.finish();
+
+    // Evaluation of the gadget through the Fig. 11 decomposition: the
+    // Lemma 4.6 reduction alone, and the full Boolean answer.
+    let mut group = c.benchmark_group("fig11_eval");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let (query, hd, db) = baseline::fig11_workload();
+    group.bench_function("reduce", |b| {
+        b.iter(|| eval::reduction::reduce(&query, &db, &hd).unwrap())
+    });
+    group.bench_function("boolean", |b| {
+        b.iter(|| eval::reduction::boolean_via_hd(&query, &db, &hd).unwrap())
     });
     group.finish();
 }

@@ -6,6 +6,8 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
+
 use cq::parse_query;
 use eval::naive::JoinOrder;
 use hypergraph::{acyclic, graph, treewidth, Hypergraph};

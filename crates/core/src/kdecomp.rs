@@ -30,6 +30,7 @@ use hypergraph::{
     VertexSet,
 };
 use rustc_hash::FxHashMap;
+use std::rc::Rc;
 
 /// How λ-label candidates are enumerated.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
@@ -68,7 +69,10 @@ struct Solver<'h> {
     /// Edges with at least one vertex (nullary edges need no covering).
     pool_all: Vec<EdgeId>,
     /// `(component, Conn) → chosen λ-label`, `None` = undecomposable.
-    memo: FxHashMap<(VertexSet, VertexSet), Option<EdgeSet>>,
+    /// Keys are shared `Rc`s so each subproblem clones its two vertex
+    /// sets exactly once (the in-progress marker and the final insert
+    /// reuse the same allocation).
+    memo: FxHashMap<Rc<(VertexSet, VertexSet)>, Option<EdgeSet>>,
 }
 
 impl<'h> Solver<'h> {
@@ -114,14 +118,14 @@ impl<'h> Solver<'h> {
 
     /// `k-decomposable(C_R, R)` of Fig. 10, memoised on `(C_R, Conn)`.
     fn decomposable(&mut self, comp: &Component, conn: &VertexSet) -> bool {
-        let key = (comp.vertices.clone(), conn.clone());
+        let key = Rc::new((comp.vertices.clone(), conn.clone()));
         if let Some(cached) = self.memo.get(&key) {
             return cached.is_some();
         }
         // Mark in-progress as failure; components strictly shrink along the
         // recursion (children live inside comp \ var(S)), so no cycles can
         // actually revisit the key — this is belt and braces.
-        self.memo.insert(key.clone(), None);
+        self.memo.insert(Rc::clone(&key), None);
 
         let pool = self.candidate_pool(comp, conn);
         let mut chosen: Option<EdgeSet> = None;

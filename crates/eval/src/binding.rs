@@ -75,29 +75,40 @@ pub fn bind_atom(q: &ConjunctiveQuery, i: usize, db: &Database) -> Result<BoundA
         });
     }
 
-    let mut current = rel.clone();
-    // Constant selections.
-    for (col, term) in atom.terms.iter().enumerate() {
-        if let Term::Const(c) = term {
-            current = ops::select_const(&current, col, Value(*c));
-        }
-    }
-    // Repeated-variable selections against the first occurrence.
+    // Plan the selections: constants, and repeated variables against
+    // their first occurrence.
+    let mut const_sels: Vec<(usize, Value)> = Vec::new();
+    let mut eq_sels: Vec<(usize, usize)> = Vec::new();
     let mut first_col: Vec<Option<usize>> = vec![None; q.num_vars()];
     for (col, term) in atom.terms.iter().enumerate() {
-        if let Term::Var(v) = term {
-            match first_col[hypergraph::Ix::index(*v)] {
+        match term {
+            Term::Const(c) => const_sels.push((col, Value(*c))),
+            Term::Var(v) => match first_col[hypergraph::Ix::index(*v)] {
                 None => first_col[hypergraph::Ix::index(*v)] = Some(col),
-                Some(first) => current = ops::select_eq(&current, first, col),
-            }
+                Some(first) => eq_sels.push((first, col)),
+            },
         }
     }
-    // Project onto the first occurrence of each distinct variable.
+    // Projection onto the first occurrence of each distinct variable.
     let cols: Vec<usize> = vars
         .iter()
         .map(|v| first_col[hypergraph::Ix::index(*v)].expect("variable has a column"))
         .collect();
-    let rel = ops::project(&current, &cols);
+    let rel = if const_sels.is_empty() && eq_sels.is_empty() {
+        // Common case: project straight off the stored relation (an
+        // identity projection of a deduplicated relation is a cheap
+        // clone that shares its cached indexes).
+        ops::project(rel, &cols)
+    } else {
+        let mut current = rel.clone();
+        for &(col, v) in &const_sels {
+            current.retain_select(col, v);
+        }
+        for &(a, b) in &eq_sels {
+            current.retain_select_eq(a, b);
+        }
+        ops::project(&current, &cols)
+    };
     Ok(BoundAtom { vars, rel })
 }
 

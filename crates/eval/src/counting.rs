@@ -11,12 +11,10 @@
 //! independent. This is the classic counting extension of Yannakakis'
 //! algorithm, reproduced here as a consumer of the decomposition API.
 
-use crate::binding::{BoundAtom, EvalError};
+use crate::binding::EvalError;
 use crate::Strategy;
 use cq::ConjunctiveQuery;
-use hypergraph::{Ix, RootedTree};
-use relation::{Database, Value};
-use rustc_hash::FxHashMap;
+use relation::Database;
 
 /// Count the satisfying substitutions of the (Boolean or not) query —
 /// i.e. `|⋈_A rel(A)|` over the distinct variables of `q` — using the
@@ -29,68 +27,26 @@ pub fn count_assignments(q: &ConjunctiveQuery, db: &Database) -> Result<u128, Ev
 
 /// [`count_assignments`] under an explicit plan.
 pub fn count_with(plan: &Strategy, q: &ConjunctiveQuery, db: &Database) -> Result<u128, EvalError> {
-    let (tree, nodes) = match plan {
+    match plan {
         Strategy::JoinTree(jt) => {
             let bound = crate::bind_all(q, db)?;
             if bound.is_empty() {
                 return Ok(1); // the empty substitution
             }
-            let nodes: Vec<BoundAtom> = jt
-                .tree()
-                .nodes()
-                .map(|n| bound[jt.edge_at(n).index()].clone())
-                .collect();
-            (jt.tree().clone(), nodes)
+            let (pipeline, rels) = crate::pipeline_for(jt, bound);
+            Ok(pipeline.count(&rels))
         }
         Strategy::Hypertree(hd) => {
-            let reduced = crate::reduction::reduce(q, db, hd)?;
-            (reduced.tree, reduced.nodes)
-        }
-    };
-    Ok(count_tree(&tree, &nodes))
-}
-
-/// The tree DP. Each node's annotated relation must satisfy the
-/// connectedness condition w.r.t. its variable lists (join trees and
-/// Lemma 4.6 reductions both do).
-fn count_tree(tree: &RootedTree, nodes: &[BoundAtom]) -> u128 {
-    // For every variable of the instance, the assignments it ranges over
-    // are constrained through the node relations; variables absent from
-    // every node do not exist here (binding projects onto atom variables).
-    let mut counts: Vec<Vec<u128>> = nodes.iter().map(|b| vec![1u128; b.rel.len()]).collect();
-
-    for n in tree.post_order() {
-        let Some(p) = tree.parent(n) else { continue };
-        // Group this node's per-tuple counts by the columns shared with
-        // the parent, then fold into the parent's counts.
-        let child = &nodes[n.index()];
-        let parent = &nodes[p.index()];
-        let shared: Vec<(usize, usize)> = parent
-            .vars
-            .iter()
-            .enumerate()
-            .filter_map(|(i, v)| child.vars.iter().position(|w| w == v).map(|j| (i, j)))
-            .collect();
-        let child_cols: Vec<usize> = shared.iter().map(|&(_, j)| j).collect();
-        let mut by_key: FxHashMap<Vec<Value>, u128> = FxHashMap::default();
-        for (i, row) in child.rel.rows().enumerate() {
-            let key: Vec<Value> = child_cols.iter().map(|&c| row[c]).collect();
-            *by_key.entry(key).or_insert(0) += counts[n.index()][i];
-        }
-        let parent_cols: Vec<usize> = shared.iter().map(|&(i, _)| i).collect();
-        for (i, row) in parent.rel.rows().enumerate() {
-            let key: Vec<Value> = parent_cols.iter().map(|&c| row[c]).collect();
-            let factor = by_key.get(&key).copied().unwrap_or(0);
-            counts[p.index()][i] = counts[p.index()][i].saturating_mul(factor);
+            let (pipeline, rels) = crate::reduction::reduce(q, db, hd)?.into_pipeline();
+            Ok(pipeline.count(&rels))
         }
     }
-
-    counts[tree.root().index()].iter().sum()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::binding::BoundAtom;
     use cq::parse_query;
     use relation::Database;
 

@@ -35,12 +35,14 @@ pub mod binding;
 pub mod containment;
 pub mod counting;
 pub mod naive;
+pub mod pipeline;
 pub mod reduction;
 pub mod yannakakis;
 
 pub use binding::{bind_all, bind_atom, BoundAtom, EvalError};
 pub use containment::{contained_in, equivalent};
 pub use counting::count_assignments;
+pub use pipeline::Pipeline;
 
 use cq::ConjunctiveQuery;
 use hypergraph::{acyclic, Ix};
@@ -92,12 +94,8 @@ impl Strategy {
                 if bound.is_empty() {
                     return Ok(true); // empty body is vacuously true
                 }
-                let nodes: Vec<BoundAtom> = jt
-                    .tree()
-                    .nodes()
-                    .map(|n| bound[jt.edge_at(n).index()].clone())
-                    .collect();
-                Ok(yannakakis::boolean(jt.tree(), &nodes))
+                let (pipeline, mut rels) = pipeline_for(jt, bound);
+                Ok(pipeline.boolean(&mut rels))
             }
             Strategy::Hypertree(hd) => reduction::boolean_via_hd(q, db, hd),
         }
@@ -114,16 +112,33 @@ impl Strategy {
                     rel.push_row(&[]);
                     return Ok(rel);
                 }
-                let nodes: Vec<BoundAtom> = jt
-                    .tree()
-                    .nodes()
-                    .map(|n| bound[jt.edge_at(n).index()].clone())
-                    .collect();
-                Ok(yannakakis::enumerate(jt.tree(), &nodes, &q.head_vars()))
+                let (pipeline, mut rels) = pipeline_for(jt, bound);
+                Ok(pipeline.enumerate(&mut rels, &q.head_vars()))
             }
             Strategy::Hypertree(hd) => reduction::enumerate_via_hd(q, db, hd),
         }
     }
+}
+
+/// Compile a [`Pipeline`] for a join tree, moving each bound atom's
+/// relation into its tree slot (join trees visit every edge exactly once,
+/// so nothing is cloned).
+pub(crate) fn pipeline_for(
+    jt: &hypergraph::JoinTree,
+    bound: Vec<BoundAtom>,
+) -> (Pipeline, Vec<Relation>) {
+    let mut slots: Vec<Option<BoundAtom>> = bound.into_iter().map(Some).collect();
+    let tree = jt.tree();
+    let mut vars = Vec::with_capacity(tree.len());
+    let mut rels = Vec::with_capacity(tree.len());
+    for n in tree.nodes() {
+        let b = slots[jt.edge_at(n).index()]
+            .take()
+            .expect("join trees visit each edge exactly once");
+        vars.push(b.vars);
+        rels.push(b.rel);
+    }
+    (Pipeline::new(tree, vars), rels)
 }
 
 /// Answer the Boolean query `q` on `db`, planning automatically.

@@ -1,0 +1,343 @@
+//! The planned Yannakakis pipeline: one rooted join tree, planned once,
+//! run many ways.
+//!
+//! [`Pipeline`] precomputes everything the semijoin sweeps need — the
+//! post-/pre-order schedules and, per join-tree edge, the shared-variable
+//! column lists for both directions — and then runs `boolean` /
+//! `full_reduce` / `enumerate` / `count` *in place* over a caller-owned
+//! `&mut [Relation]`:
+//!
+//! * node relations are never cloned — sweeps filter rows with
+//!   [`Relation::retain_semijoin_cols`] instead of materializing new
+//!   relations;
+//! * every index is obtained through [`Relation::index_on`], which
+//!   memoizes per `(relation, columns)` pair, so no index is ever rebuilt
+//!   within a run (in-place filtering invalidates a relation's cache only
+//!   when rows were actually removed, so e.g. a parent indexed during the
+//!   bottom-up sweep serves the top-down sweep for all of its children
+//!   with the same connector columns, and unchanged relations keep their
+//!   indexes across sweeps).
+//!
+//! The wrappers in [`crate::yannakakis`] keep the historical
+//! `(tree, &[BoundAtom]) -> owned results` API on top of this; the
+//! planner ([`crate::Strategy`]), the Lemma 4.6 reduction and the
+//! counting extension all drive the pipeline directly.
+
+use crate::binding::BoundAtom;
+use hypergraph::{Ix, NodeId, RootedTree, VertexId};
+use relation::{ops, Relation};
+
+/// Column pairs between two variable lists (join keys on shared vars).
+pub(crate) fn var_pairs(left: &[VertexId], right: &[VertexId]) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    for (i, v) in left.iter().enumerate() {
+        if let Some(j) = right.iter().position(|w| w == v) {
+            pairs.push((i, j));
+        }
+    }
+    pairs
+}
+
+/// A compiled evaluation plan over a rooted join tree: traversal orders
+/// plus per-edge join-column lists, computed once and reused by every run.
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    tree: RootedTree,
+    /// Per node: its variable list (one column per variable).
+    vars: Vec<Vec<VertexId>>,
+    post: Vec<NodeId>,
+    pre: Vec<NodeId>,
+    /// Per non-root node: the columns of the *parent* shared with it.
+    parent_cols: Vec<Vec<usize>>,
+    /// Per non-root node: its own columns shared with the parent (aligned
+    /// with `parent_cols`).
+    child_cols: Vec<Vec<usize>>,
+}
+
+impl Pipeline {
+    /// Plan the tree with the given per-node variable lists.
+    pub fn new(tree: &RootedTree, vars: Vec<Vec<VertexId>>) -> Self {
+        assert_eq!(tree.len(), vars.len(), "one variable list per node");
+        let mut parent_cols = Vec::with_capacity(tree.len());
+        let mut child_cols = Vec::with_capacity(tree.len());
+        for n in tree.nodes() {
+            match tree.parent(n) {
+                Some(p) => {
+                    let pairs = var_pairs(&vars[p.index()], &vars[n.index()]);
+                    parent_cols.push(pairs.iter().map(|&(i, _)| i).collect());
+                    child_cols.push(pairs.iter().map(|&(_, j)| j).collect());
+                }
+                None => {
+                    parent_cols.push(Vec::new());
+                    child_cols.push(Vec::new());
+                }
+            }
+        }
+        Pipeline {
+            tree: tree.clone(),
+            post: tree.post_order(),
+            pre: tree.pre_order(),
+            vars,
+            parent_cols,
+            child_cols,
+        }
+    }
+
+    /// Plan from annotated nodes (variable lists are copied; relations are
+    /// not touched — pass them to the run methods).
+    pub fn from_nodes(tree: &RootedTree, nodes: &[BoundAtom]) -> Self {
+        Self::new(tree, nodes.iter().map(|b| b.vars.clone()).collect())
+    }
+
+    /// The planned tree.
+    pub fn tree(&self) -> &RootedTree {
+        &self.tree
+    }
+
+    /// The variable list of node `n`.
+    pub fn node_vars(&self, n: NodeId) -> &[VertexId] {
+        &self.vars[n.index()]
+    }
+
+    /// One bottom-up semijoin sweep, in place; returns `true` iff the
+    /// Boolean query holds (the root stays non-empty). Exits early as soon
+    /// as any parent empties — it can never recover.
+    pub fn boolean(&self, rels: &mut [Relation]) -> bool {
+        assert_eq!(rels.len(), self.tree.len(), "one relation per node");
+        for &n in &self.post {
+            if let Some(p) = self.tree.parent(n) {
+                let (parent, child) = pair_mut(rels, p.index(), n.index());
+                parent.retain_semijoin_cols(
+                    &self.parent_cols[n.index()],
+                    child,
+                    &self.child_cols[n.index()],
+                );
+                if parent.is_empty() {
+                    return false;
+                }
+            }
+        }
+        !rels[self.tree.root().index()].is_empty()
+    }
+
+    /// The full reducer: bottom-up then top-down semijoin sweeps, in
+    /// place. Afterwards every remaining tuple of every node participates
+    /// in at least one answer.
+    pub fn full_reduce(&self, rels: &mut [Relation]) {
+        assert_eq!(rels.len(), self.tree.len(), "one relation per node");
+        for &n in &self.post {
+            if let Some(p) = self.tree.parent(n) {
+                let (parent, child) = pair_mut(rels, p.index(), n.index());
+                parent.retain_semijoin_cols(
+                    &self.parent_cols[n.index()],
+                    child,
+                    &self.child_cols[n.index()],
+                );
+            }
+        }
+        for &n in &self.pre {
+            if let Some(p) = self.tree.parent(n) {
+                let (parent, child) = pair_mut(rels, p.index(), n.index());
+                child.retain_semijoin_cols(
+                    &self.child_cols[n.index()],
+                    parent,
+                    &self.parent_cols[n.index()],
+                );
+            }
+        }
+    }
+
+    /// Enumerate the answers projected onto `output` (Theorem 4.8 shape):
+    /// full-reduce in place, then join bottom-up keeping only output
+    /// variables and the variables shared with the yet-unjoined parent.
+    ///
+    /// Consumes the contents of `rels` (each slot is left empty).
+    pub fn enumerate(&self, rels: &mut [Relation], output: &[VertexId]) -> Relation {
+        self.full_reduce(rels);
+        // Working annotations: (vars, relation) per node, consumed
+        // bottom-up; the reduced relations are moved in, not cloned.
+        let mut work: Vec<(Vec<VertexId>, Relation)> = self
+            .vars
+            .iter()
+            .cloned()
+            .zip(rels.iter_mut().map(std::mem::take))
+            .collect();
+
+        for &n in &self.post {
+            let (mut vars, mut rel) = std::mem::take(&mut work[n.index()]);
+            for &c in self.tree.children(n) {
+                let (cvars, crel) = std::mem::take(&mut work[c.index()]);
+                let pairs = var_pairs(&vars, &cvars);
+                let keep: Vec<usize> = (0..cvars.len())
+                    .filter(|&j| !vars.contains(&cvars[j]))
+                    .collect();
+                rel = ops::join(&rel, &crel, &pairs, &keep);
+                for j in keep {
+                    vars.push(cvars[j]);
+                }
+            }
+            // Project onto output vars plus connector vars with the parent.
+            let parent_vars: &[VertexId] = match self.tree.parent(n) {
+                Some(p) => &self.vars[p.index()],
+                None => &[],
+            };
+            let keep_cols: Vec<usize> = (0..vars.len())
+                .filter(|&i| output.contains(&vars[i]) || parent_vars.contains(&vars[i]))
+                .collect();
+            let projected_vars: Vec<VertexId> = keep_cols.iter().map(|&i| vars[i]).collect();
+            let projected = ops::project(&rel, &keep_cols);
+            work[n.index()] = (projected_vars, projected);
+        }
+
+        // Root now holds the answers over (a permutation of) the output
+        // vars; order the columns as requested, duplicating columns for
+        // repeated output variables.
+        let (vars, rel) = &work[self.tree.root().index()];
+        if output.iter().any(|v| !vars.contains(v)) {
+            // Some output variable vanished: only possible when the result
+            // is empty (full reduction would otherwise have kept it via an
+            // atom).
+            debug_assert!(rel.is_empty());
+            return Relation::new(output.len());
+        }
+        let cols: Vec<usize> = output
+            .iter()
+            .map(|v| vars.iter().position(|w| w == v).expect("checked above"))
+            .collect();
+        ops::project(rel, &cols)
+    }
+
+    /// Count the satisfying substitutions by the bottom-up product-sum DP
+    /// (the counting extension of Yannakakis' algorithm; see
+    /// [`crate::counting`]). Read-only: probes the nodes' cached indexes,
+    /// clones nothing, and leaves `rels` untouched.
+    pub fn count(&self, rels: &[Relation]) -> u128 {
+        assert_eq!(rels.len(), self.tree.len(), "one relation per node");
+        let mut counts: Vec<Vec<u128>> = rels.iter().map(|r| vec![1u128; r.len()]).collect();
+
+        for &n in &self.post {
+            let Some(p) = self.tree.parent(n) else {
+                continue;
+            };
+            let child = &rels[n.index()];
+            let parent = &rels[p.index()];
+            // Per-group sums of the child's tuple counts, laid out by the
+            // cached index's group ids.
+            let index = child.index_on(&self.child_cols[n.index()]);
+            let child_counts = &counts[n.index()];
+            let sums: Vec<u128> = index
+                .groups()
+                .map(|g| g.iter().map(|&i| child_counts[i as usize]).sum())
+                .collect();
+            let parent_cols = &self.parent_cols[n.index()];
+            let parent_counts = &mut counts[p.index()];
+            for (i, row) in parent.rows().enumerate() {
+                let factor = index.probe_gid(row, parent_cols).map_or(0, |g| sums[g]);
+                parent_counts[i] = parent_counts[i].saturating_mul(factor);
+            }
+        }
+
+        counts[self.tree.root().index()].iter().sum()
+    }
+}
+
+/// Split mutable access to a (parent, child) pair of node relations.
+fn pair_mut(rels: &mut [Relation], a: usize, b: usize) -> (&mut Relation, &mut Relation) {
+    assert_ne!(a, b, "tree edges never self-loop");
+    if a < b {
+        let (left, right) = rels.split_at_mut(b);
+        (&mut left[a], &mut right[0])
+    } else {
+        let (left, right) = rels.split_at_mut(a);
+        (&mut right[0], &mut left[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::bind_all;
+    use cq::parse_query;
+    use hypergraph::acyclic;
+    use relation::{Database, Value};
+
+    fn pipeline_and_rels(q: &cq::ConjunctiveQuery, db: &Database) -> (Pipeline, Vec<Relation>) {
+        let h = q.hypergraph();
+        let jt = acyclic::join_tree(&h).expect("query must be acyclic");
+        let bound = bind_all(q, db).unwrap();
+        let mut slots: Vec<Option<BoundAtom>> = bound.into_iter().map(Some).collect();
+        let mut vars = Vec::new();
+        let mut rels = Vec::new();
+        for n in jt.tree().nodes() {
+            let b = slots[jt.edge_at(n).index()]
+                .take()
+                .expect("join trees visit each edge once");
+            vars.push(b.vars);
+            rels.push(b.rel);
+        }
+        (Pipeline::new(jt.tree(), vars), rels)
+    }
+
+    #[test]
+    fn boolean_sweep_in_place() {
+        let q = parse_query("ans :- r(X,Y), s(Y,Z).").unwrap();
+        let mut db = Database::new();
+        db.add_fact("r", &[1, 10]);
+        db.add_fact("s", &[10, 100]);
+        let (pl, mut rels) = pipeline_and_rels(&q, &db);
+        assert!(pl.boolean(&mut rels));
+        let mut db2 = Database::new();
+        db2.add_fact("r", &[1, 10]);
+        db2.add_fact("s", &[11, 100]);
+        let (pl2, mut rels2) = pipeline_and_rels(&q, &db2);
+        assert!(!pl2.boolean(&mut rels2));
+    }
+
+    #[test]
+    fn no_index_is_built_twice_for_the_same_pair() {
+        // A star query: the hub is semijoined by three children bottom-up
+        // and indexed once for all three probes of the top-down sweep.
+        let q = parse_query("ans :- hub(A,B,C), p(A), p2(B), p3(C).").unwrap();
+        let mut db = Database::new();
+        for i in 0..50u64 {
+            db.add_fact("hub", &[i, i % 7, i % 5]);
+            db.add_fact("p", &[i % 9]);
+            db.add_fact("p2", &[i % 7]);
+            db.add_fact("p3", &[i % 4]);
+        }
+        let (pl, mut rels) = pipeline_and_rels(&q, &db);
+        let before = relation::stats::index_builds();
+        pl.full_reduce(&mut rels);
+        let built = relation::stats::index_builds() - before;
+        // Bottom-up: one index per child (3). Top-down: one per distinct
+        // (parent, connector-columns) pair, built at most once each (3
+        // single-column lists on the hub) — and none of the 6 pairs twice.
+        assert!(built <= 6, "expected ≤ 6 index builds, saw {built}");
+        // A second run may rebuild indexes of relations the first run's
+        // top-down sweep filtered, but it filters nothing itself (the
+        // instance is fixpointed) — so a third run finds every cache warm
+        // and builds nothing at all.
+        pl.full_reduce(&mut rels);
+        let before = relation::stats::index_builds();
+        pl.full_reduce(&mut rels);
+        assert_eq!(relation::stats::index_builds() - before, 0);
+    }
+
+    #[test]
+    fn count_matches_enumerate_cardinality_on_distinct_vars() {
+        let q = parse_query("ans(H,X,Y) :- r(H,X), s(H,Y).").unwrap();
+        let mut db = Database::new();
+        for x in 0..3 {
+            db.add_fact("r", &[1, x]);
+        }
+        for y in 0..5 {
+            db.add_fact("s", &[1, y]);
+        }
+        let (pl, rels) = pipeline_and_rels(&q, &db);
+        assert_eq!(pl.count(&rels), 15);
+        let mut rels2 = rels.clone();
+        let out = pl.enumerate(&mut rels2, &q.head_vars());
+        assert_eq!(out.len(), 15);
+        assert!(out.contains_row(&[Value(1), Value(2), Value(4)]));
+    }
+}

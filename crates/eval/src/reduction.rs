@@ -33,6 +33,14 @@ impl ReducedInstance {
     pub fn size_cells(&self) -> usize {
         self.nodes.iter().map(|b| b.rel.size()).sum()
     }
+
+    /// Compile the instance into a [`crate::Pipeline`] plus its node
+    /// relations, moving (not cloning) the relations out of the nodes.
+    pub fn into_pipeline(self) -> (crate::Pipeline, Vec<Relation>) {
+        let (vars, rels): (Vec<_>, Vec<_>) =
+            self.nodes.into_iter().map(|b| (b.vars, b.rel)).unzip();
+        (crate::Pipeline::new(&self.tree, vars), rels)
+    }
 }
 
 /// Run the Lemma 4.6 construction for `q`, `db`, and a (not necessarily
@@ -88,32 +96,45 @@ pub fn reduce(
                 acc_vars.push(restricted_vars[j]);
             }
         }
-        // Project (and order) onto χ(p). Every χ-variable is provided by
-        // some λ-atom (Condition 3 of Definition 4.1).
-        let cols: Vec<usize> = chi
-            .iter()
-            .map(|v| {
-                acc_vars
-                    .iter()
-                    .position(|w| w == v)
-                    .expect("condition 3: chi ⊆ var(lambda)")
-            })
-            .collect();
-        let rel = ops::project(&acc, &cols);
-        nodes.push(BoundAtom { vars: chi, rel });
+        // Project onto χ(p). Every χ-variable is provided by some λ-atom
+        // (Condition 3 of Definition 4.1), so when no column needs to be
+        // dropped the accumulator already *is* the node relation — it is
+        // kept under its accumulation-order variable list instead of
+        // being permuted into χ-order (bound atoms carry their own
+        // variable lists, so downstream consumers do not care).
+        if acc_vars.len() == chi.len() {
+            acc.dedup(); // no-op unless acc lost its distinctness proof
+            nodes.push(BoundAtom {
+                vars: acc_vars,
+                rel: acc,
+            });
+        } else {
+            let cols: Vec<usize> = chi
+                .iter()
+                .map(|v| {
+                    acc_vars
+                        .iter()
+                        .position(|w| w == v)
+                        .expect("condition 3: chi ⊆ var(lambda)")
+                })
+                .collect();
+            let rel = ops::project(&acc, &cols);
+            nodes.push(BoundAtom { vars: chi, rel });
+        }
     }
     Ok(ReducedInstance { tree, nodes })
 }
 
 /// Boolean evaluation through the reduction (Theorem 4.7):
-/// Lemma 4.6 + the Boolean Yannakakis sweep.
+/// Lemma 4.6 + the Boolean Yannakakis sweep, run in place over the
+/// freshly built node relations (nothing is cloned).
 pub fn boolean_via_hd(
     q: &ConjunctiveQuery,
     db: &Database,
     hd: &HypertreeDecomposition,
 ) -> Result<bool, EvalError> {
-    let reduced = reduce(q, db, hd)?;
-    Ok(crate::yannakakis::boolean(&reduced.tree, &reduced.nodes))
+    let (pipeline, mut rels) = reduce(q, db, hd)?.into_pipeline();
+    Ok(pipeline.boolean(&mut rels))
 }
 
 /// Non-Boolean evaluation through the reduction (Theorem 4.8 /
@@ -124,12 +145,8 @@ pub fn enumerate_via_hd(
     db: &Database,
     hd: &HypertreeDecomposition,
 ) -> Result<Relation, EvalError> {
-    let reduced = reduce(q, db, hd)?;
-    Ok(crate::yannakakis::enumerate(
-        &reduced.tree,
-        &reduced.nodes,
-        &q.head_vars(),
-    ))
+    let (pipeline, mut rels) = reduce(q, db, hd)?.into_pipeline();
+    Ok(pipeline.enumerate(&mut rels, &q.head_vars()))
 }
 
 #[cfg(test)]

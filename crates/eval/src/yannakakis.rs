@@ -13,19 +13,9 @@
 //! Lemma 4.6 reduction.
 
 use crate::binding::BoundAtom;
-use hypergraph::{Ix, NodeId, RootedTree, VertexId};
-use relation::{ops, Relation};
-
-/// Column pairs between two variable lists (join keys on shared vars).
-fn var_pairs(left: &[VertexId], right: &[VertexId]) -> Vec<(usize, usize)> {
-    let mut pairs = Vec::new();
-    for (i, v) in left.iter().enumerate() {
-        if let Some(j) = right.iter().position(|w| w == v) {
-            pairs.push((i, j));
-        }
-    }
-    pairs
-}
+use crate::pipeline::Pipeline;
+use hypergraph::{RootedTree, VertexId};
+use relation::Relation;
 
 /// One bottom-up semijoin sweep; returns the root relation's emptiness
 /// inverted, i.e. `true` iff the Boolean query holds.
@@ -33,96 +23,38 @@ fn var_pairs(left: &[VertexId], right: &[VertexId]) -> Vec<(usize, usize)> {
 /// This is the Boolean version of Yannakakis' algorithm: children are
 /// semijoined into their parents in post-order, so the root stays non-empty
 /// iff a globally consistent assignment exists.
+///
+/// Convenience wrapper: plans a [`Pipeline`] and copies the node relations
+/// once up front. Callers that own their relations (or evaluate the same
+/// tree repeatedly) should drive [`Pipeline`] directly and skip the copy.
 pub fn boolean(tree: &RootedTree, nodes: &[BoundAtom]) -> bool {
-    assert_eq!(tree.len(), nodes.len(), "one bound atom per node");
+    let pipeline = Pipeline::from_nodes(tree, nodes);
     let mut rels: Vec<Relation> = nodes.iter().map(|b| b.rel.clone()).collect();
-    for n in tree.post_order() {
-        if let Some(p) = tree.parent(n) {
-            let pairs = var_pairs(&nodes[p.index()].vars, &nodes[n.index()].vars);
-            rels[p.index()] = ops::semijoin(&rels[p.index()], &rels[n.index()], &pairs);
-            if rels[p.index()].is_empty() {
-                return false; // early exit: the parent can never recover
-            }
-        }
-    }
-    !rels[tree.root().index()].is_empty()
+    pipeline.boolean(&mut rels)
 }
 
 /// The full reducer: bottom-up then top-down semijoin sweeps. Afterwards
 /// every tuple of every node participates in at least one answer.
+///
+/// Wrapper over [`Pipeline::full_reduce`]; see [`boolean`] on when to use
+/// the pipeline directly.
 pub fn full_reduce(tree: &RootedTree, nodes: &[BoundAtom]) -> Vec<Relation> {
-    assert_eq!(tree.len(), nodes.len(), "one bound atom per node");
+    let pipeline = Pipeline::from_nodes(tree, nodes);
     let mut rels: Vec<Relation> = nodes.iter().map(|b| b.rel.clone()).collect();
-    for n in tree.post_order() {
-        if let Some(p) = tree.parent(n) {
-            let pairs = var_pairs(&nodes[p.index()].vars, &nodes[n.index()].vars);
-            rels[p.index()] = ops::semijoin(&rels[p.index()], &rels[n.index()], &pairs);
-        }
-    }
-    for n in tree.pre_order() {
-        if let Some(p) = tree.parent(n) {
-            let pairs = var_pairs(&nodes[n.index()].vars, &nodes[p.index()].vars);
-            rels[n.index()] = ops::semijoin(&rels[n.index()], &rels[p.index()], &pairs);
-        }
-    }
+    pipeline.full_reduce(&mut rels);
     rels
 }
 
 /// Enumerate the answers projected onto `output` (Theorem 4.8 shape):
 /// full-reduce, then join bottom-up keeping only output variables and the
 /// variables shared with the yet-unjoined parent.
+///
+/// Wrapper over [`Pipeline::enumerate`]; see [`boolean`] on when to use
+/// the pipeline directly.
 pub fn enumerate(tree: &RootedTree, nodes: &[BoundAtom], output: &[VertexId]) -> Relation {
-    let rels = full_reduce(tree, nodes);
-    // Working annotations: (vars, relation) per node, consumed bottom-up.
-    let mut work: Vec<(Vec<VertexId>, Relation)> = nodes
-        .iter()
-        .zip(rels)
-        .map(|(b, r)| (b.vars.clone(), r))
-        .collect();
-
-    for n in tree.post_order() {
-        // Join all children (already projected) into this node.
-        let children: Vec<NodeId> = tree.children(n).to_vec();
-        let (mut vars, mut rel) = work[n.index()].clone();
-        for c in children {
-            let (cvars, crel) = std::mem::take(&mut work[c.index()]);
-            let pairs = var_pairs(&vars, &cvars);
-            let keep: Vec<usize> = (0..cvars.len())
-                .filter(|&j| !vars.contains(&cvars[j]))
-                .collect();
-            rel = ops::join(&rel, &crel, &pairs, &keep);
-            for j in keep {
-                vars.push(cvars[j]);
-            }
-        }
-        // Project onto output vars plus connector vars with the parent.
-        let parent_vars: Vec<VertexId> = tree
-            .parent(n)
-            .map(|p| nodes[p.index()].vars.clone())
-            .unwrap_or_default();
-        let keep_cols: Vec<usize> = (0..vars.len())
-            .filter(|&i| output.contains(&vars[i]) || parent_vars.contains(&vars[i]))
-            .collect();
-        let projected_vars: Vec<VertexId> = keep_cols.iter().map(|&i| vars[i]).collect();
-        let projected = ops::project(&rel, &keep_cols);
-        work[n.index()] = (projected_vars, projected);
-    }
-
-    // Root now holds the answers over (a permutation of) the output vars;
-    // order the columns as requested, duplicating columns for repeated
-    // output variables.
-    let (vars, rel) = &work[tree.root().index()];
-    if output.iter().any(|v| !vars.contains(v)) {
-        // Some output variable vanished: only possible when the result is
-        // empty (full reduction would otherwise have kept it via an atom).
-        debug_assert!(rel.is_empty());
-        return Relation::new(output.len());
-    }
-    let cols: Vec<usize> = output
-        .iter()
-        .map(|v| vars.iter().position(|w| w == v).expect("checked above"))
-        .collect();
-    ops::project(rel, &cols)
+    let pipeline = Pipeline::from_nodes(tree, nodes);
+    let mut rels: Vec<Relation> = nodes.iter().map(|b| b.rel.clone()).collect();
+    pipeline.enumerate(&mut rels, output)
 }
 
 #[cfg(test)]
@@ -130,7 +62,7 @@ mod tests {
     use super::*;
     use crate::binding::bind_all;
     use cq::parse_query;
-    use hypergraph::acyclic;
+    use hypergraph::{acyclic, Ix};
     use relation::{Database, Value};
 
     /// Build the join-tree order of bound atoms for an acyclic query.

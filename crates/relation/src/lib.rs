@@ -27,8 +27,11 @@
 #![warn(missing_docs)]
 
 mod database;
+pub mod index;
 pub mod ops;
 mod relation;
+pub mod stats;
 
 pub use database::{Database, Dictionary};
+pub use index::Index;
 pub use relation::{Relation, Value};

@@ -4,12 +4,37 @@
 //!
 //! All operators are positional: the caller supplies column indices. The
 //! `eval` crate owns the mapping between query variables and columns.
+//!
+//! The operators probe through each relation's cached [`crate::Index`]
+//! (packed keys, no per-row allocation; see [`crate::Relation::index_on`]),
+//! so repeated operations against the same relation share one index
+//! build. Filtering operators that do not need a fresh relation have
+//! in-place counterparts on [`Relation`] itself
+//! ([`Relation::retain_semijoin`], [`Relation::retain_select`]), which the
+//! evaluation pipeline prefers.
 
 use crate::relation::{Relation, Value};
 
 /// `π_cols(r)` with set semantics (duplicates removed). Columns may repeat
 /// and reorder.
+///
+/// Fast paths when the input is known to be a set: an identity column
+/// list is answered by a clone (sharing the cached indexes), and a column
+/// list that merely *permutes* the columns copies rows without any
+/// deduplication — a permutation of a set is still a set. The Lemma 4.6
+/// reduction's final per-node projections are exactly such permutations.
 pub fn project(r: &Relation, cols: &[usize]) -> Relation {
+    if r.is_set() && cols.len() == r.arity() && is_permutation(cols) {
+        if cols.iter().enumerate().all(|(i, &c)| i == c) {
+            return r.clone();
+        }
+        let mut out = Relation::with_capacity(cols.len(), r.len());
+        for row in r.rows() {
+            out.extend_projected(row, cols);
+        }
+        out.set_flags(false, true);
+        return out;
+    }
     let mut out = Relation::with_capacity(cols.len(), r.len());
     let mut buf: Vec<Value> = Vec::with_capacity(cols.len());
     for row in r.rows() {
@@ -21,25 +46,38 @@ pub fn project(r: &Relation, cols: &[usize]) -> Relation {
     out
 }
 
-/// `σ_{col = v}(r)`.
-pub fn select_const(r: &Relation, col: usize, v: Value) -> Relation {
-    let mut out = Relation::new(r.arity());
-    for row in r.rows() {
-        if row[col] == v {
-            out.push_row(row);
+/// `true` iff `cols` names each of `0..cols.len()` exactly once.
+fn is_permutation(cols: &[usize]) -> bool {
+    let mut seen = [false; 64];
+    let mut seen_vec;
+    let seen: &mut [bool] = if cols.len() <= 64 {
+        &mut seen[..cols.len()]
+    } else {
+        seen_vec = vec![false; cols.len()];
+        &mut seen_vec
+    };
+    for &c in cols {
+        if c >= seen.len() || seen[c] {
+            return false;
         }
+        seen[c] = true;
     }
+    true
+}
+
+/// `σ_{col = v}(r)`. See [`Relation::retain_select`] for the in-place
+/// form.
+pub fn select_const(r: &Relation, col: usize, v: Value) -> Relation {
+    let mut out = r.clone();
+    out.retain_select(col, v);
     out
 }
 
-/// `σ_{a = b}(r)` for two columns.
+/// `σ_{a = b}(r)` for two columns. See [`Relation::retain_select_eq`] for
+/// the in-place form.
 pub fn select_eq(r: &Relation, a: usize, b: usize) -> Relation {
-    let mut out = Relation::new(r.arity());
-    for row in r.rows() {
-        if row[a] == row[b] {
-            out.push_row(row);
-        }
-    }
+    let mut out = r.clone();
+    out.retain_select_eq(a, b);
     out
 }
 
@@ -53,24 +91,60 @@ pub fn join(
     on: &[(usize, usize)],
     right_keep: &[usize],
 ) -> Relation {
-    let right_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
-    let index = right.index_on(&right_cols);
     let mut out = Relation::new(left.arity() + right_keep.len());
-    let mut key: Vec<Value> = Vec::with_capacity(on.len());
-    let mut buf: Vec<Value> = Vec::with_capacity(out.arity());
-    for lrow in left.rows() {
-        key.clear();
-        key.extend(on.iter().map(|&(l, _)| lrow[l]));
-        if let Some(matches) = index.get(&key) {
-            for &ri in matches {
-                let rrow = right.row(ri);
-                buf.clear();
-                buf.extend_from_slice(lrow);
-                buf.extend(right_keep.iter().map(|&c| rrow[c]));
-                out.push_row(&buf);
+    if out.arity() == 0 {
+        // Both sides nullary: the output is `{()}` iff both are non-empty.
+        if !left.is_empty() && !right.is_empty() {
+            out.push_row(&[]);
+        }
+        return out;
+    }
+    // Structural flags for the output. It is a set when both inputs are
+    // sets and the kept right columns, together with the join columns,
+    // cover every right column (two matching right rows then can only
+    // produce equal output rows by being equal themselves); it is
+    // additionally sorted for cartesian products of sorted sets that keep
+    // the right columns verbatim.
+    let mut covered = vec![false; right.arity()];
+    for &(_, rc) in on {
+        covered[rc] = true;
+    }
+    for &c in right_keep {
+        covered[c] = true;
+    }
+    let covers_right = covered.iter().all(|&b| b);
+    let distinct = left.is_set() && right.is_set() && covers_right;
+    let keep_identity =
+        right_keep.len() == right.arity() && right_keep.iter().enumerate().all(|(i, &c)| i == c);
+    let sorted = on.is_empty() && keep_identity && left.is_sorted_set() && right.is_sorted_set();
+    if on.is_empty() {
+        // Cartesian product: one conceptual group holding every right
+        // row — no index, no hashing, exact-size output.
+        out.reserve_rows(left.len() * right.len());
+        for lrow in left.rows() {
+            for rrow in right.rows() {
+                out.extend_joined(lrow, rrow, right_keep);
             }
         }
+        out.set_flags(sorted, distinct);
+        return out;
     }
+    let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+    let right_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+    let index = right.index_on(&right_cols);
+    // Exact-size the output in one cheap probe pass: large results then
+    // live in a single allocation instead of a doubling realloc chain.
+    let mut out_rows = 0usize;
+    for lrow in left.rows() {
+        out_rows += index.probe_rows(lrow, &left_cols).len();
+    }
+    out.reserve_rows(out_rows);
+    for lrow in left.rows() {
+        for &ri in index.probe_rows(lrow, &left_cols) {
+            out.extend_joined(lrow, right.row(ri as usize), right_keep);
+        }
+    }
+    out.set_flags(sorted, distinct);
     out
 }
 
@@ -78,25 +152,12 @@ pub fn join(
 /// with at least one matching row in `right`. With `on` empty the result is
 /// `left` if `right` is non-empty and empty otherwise — exactly the Boolean
 /// cross-component behaviour Yannakakis needs on stitched join trees.
+///
+/// Materializes a new relation; the evaluation pipeline uses the in-place
+/// [`Relation::retain_semijoin`] instead.
 pub fn semijoin(left: &Relation, right: &Relation, on: &[(usize, usize)]) -> Relation {
-    if on.is_empty() {
-        return if right.is_empty() {
-            Relation::new(left.arity())
-        } else {
-            left.clone()
-        };
-    }
-    let right_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
-    let index = right.index_on(&right_cols);
-    let mut out = Relation::new(left.arity());
-    let mut key: Vec<Value> = Vec::with_capacity(on.len());
-    for lrow in left.rows() {
-        key.clear();
-        key.extend(on.iter().map(|&(l, _)| lrow[l]));
-        if index.contains_key(&key) {
-            out.push_row(lrow);
-        }
-    }
+    let mut out = left.clone();
+    out.retain_semijoin(on, right);
     out
 }
 
@@ -130,6 +191,9 @@ mod tests {
         let dup = project(&rel, &[0, 0]);
         assert!(dup.contains_row(&[Value(1), Value(1)]));
         assert_eq!(dup.len(), 2);
+        // Identity projection short-circuits but agrees.
+        let id = project(&rel, &[0, 1]);
+        assert_eq!(id, rel);
     }
 
     #[test]
@@ -204,5 +268,17 @@ mod tests {
         assert_eq!(join(&a, &falsum, &[], &[]).len(), 0);
         assert_eq!(semijoin(&a, &truth, &[]).len(), 1);
         assert_eq!(semijoin(&a, &falsum, &[]).len(), 0);
+    }
+
+    #[test]
+    fn join_with_huge_values_uses_wide_keys() {
+        let big = u64::MAX;
+        let a = Relation::from_rows(3, &[[big, big - 1, 1], [big, big, 2]]);
+        let b = Relation::from_rows(3, &[[big, big - 1, 10], [0, 0, 11]]);
+        let j = join(&a, &b, &[(0, 0), (1, 1), (2, 2)], &[]);
+        assert!(j.is_empty());
+        let j2 = join(&a, &b, &[(0, 0), (1, 1)], &[2]);
+        assert_eq!(j2.len(), 1);
+        assert!(j2.contains_row(&[Value(big), Value(big - 1), Value(1), Value(10)]));
     }
 }

@@ -1,0 +1,28 @@
+//! Instrumentation counters for the join kernel.
+//!
+//! The Yannakakis pipeline's contract is that no index is ever rebuilt
+//! for the same `(relation, columns)` pair within a run; these counters
+//! make that testable without threading probes through every API.
+//!
+//! Counters are **per thread** so that concurrent work (e.g. parallel
+//! test threads) cannot perturb a measurement taken around a
+//! single-threaded section of code.
+
+use std::cell::Cell;
+
+thread_local! {
+    static INDEX_BUILDS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Record one physical index construction (called by the kernel).
+pub(crate) fn record_index_build() {
+    INDEX_BUILDS.with(|c| c.set(c.get() + 1));
+}
+
+/// Number of physical index builds on the current thread so far. Cache
+/// hits in [`crate::Relation::index_on`] do not move this counter, so a
+/// delta of this value bounds the distinct `(relation, columns)` pairs
+/// indexed by a section of code.
+pub fn index_builds() -> u64 {
+    INDEX_BUILDS.with(Cell::get)
+}
