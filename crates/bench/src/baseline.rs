@@ -77,7 +77,11 @@ impl Config {
     }
 }
 
-fn measure(cfg: &Config, mut f: impl FnMut()) -> Stats {
+/// Measure `f` under `cfg`: warm up by doubling the iteration count until a
+/// sample takes a measurable slice of the budget, then record
+/// `cfg.sample_size` timed samples. Shared by the eval and decomposition
+/// baselines.
+pub fn measure(cfg: &Config, mut f: impl FnMut()) -> Stats {
     let per_sample = cfg.measurement_time.div_f64(cfg.sample_size as f64);
     let mut iters: u64 = 1;
     loop {
@@ -247,9 +251,15 @@ pub fn run(cfg: &Config) -> Vec<Entry> {
 /// }
 /// ```
 pub fn to_json(label: &str, mode: &str, entries: &[Entry]) -> String {
+    to_json_with_schema("bench-eval/1", label, mode, entries)
+}
+
+/// [`to_json`] with an explicit schema id — the decomposition baseline
+/// emits the same run shape under `bench-decomp/1`.
+pub fn to_json_with_schema(schema: &str, label: &str, mode: &str, entries: &[Entry]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    writeln!(out, "  \"schema\": \"bench-eval/1\",").unwrap();
+    writeln!(out, "  \"schema\": {},", json_string(schema)).unwrap();
     writeln!(out, "  \"label\": {},", json_string(label)).unwrap();
     writeln!(out, "  \"mode\": {},", json_string(mode)).unwrap();
     writeln!(out, "  \"unit\": \"ns/iter\",").unwrap();

@@ -1,0 +1,219 @@
+//! Machine-readable decomposition benchmark baselines
+//! (`bench/BENCH_decomp.json`, schema `bench-decomp/1`).
+//!
+//! Where [`crate::baseline`] tracks the *evaluation* hot path (the join
+//! kernel), this module tracks the *decomposition* hot path: the Fig. 10
+//! `k-decomp` search (Theorems 5.14/5.16), its parallel variant, and the
+//! iterative-deepening `hw` computation. The workloads are the paper's own
+//! instance families:
+//!
+//! * `q5/*` — Q5 of Example 3.5 (hw = 2), decide / decompose / optimal;
+//! * `cycle/*` — cycles (the canonical hw = 2 family), sequential and
+//!   parallel;
+//! * `grid/*` — grid queries, including the negative `grid(4,4) ≤ 2`
+//!   decide that exhausts the candidate space;
+//! * `xc3s/*` — the Section 7 reduction query (38 atoms, 115 variables),
+//!   decided at k = 2 (negative: qw = 4), the largest instance.
+//!
+//! Sampling methodology and the JSON run shape are shared with the eval
+//! baseline ([`crate::baseline::measure`]); reported numbers are
+//! wall-clock nanoseconds per iteration (min/median/max over samples).
+//!
+//! Run with `cargo run --release -p bench --bin bench_decomp -- --smoke`.
+
+use crate::baseline::{measure, Config, Entry};
+use hypergraph::Hypergraph;
+use hypertree_core::{kdecomp, opt, parallel, CandidateMode};
+use workloads::{families, paper, xc3s};
+
+/// The Section 7 reduction query of the planted positive instance `Ie`
+/// (the same instance as [`crate::baseline::fig11_workload`]), as a
+/// hypergraph: 38 atoms over 115 variables.
+pub fn xc3s_hypergraph() -> Hypergraph {
+    let inst = xc3s::Xc3sInstance::new(6, vec![[0, 2, 3], [0, 1, 3], [2, 3, 5], [2, 4, 5]]);
+    xc3s::reduce_to_query(&inst).query.hypergraph()
+}
+
+/// The operation a workload times.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// `kdecomp::decide` (sequential, pruned candidates).
+    Decide,
+    /// `kdecomp::decompose` (decide + witness extraction).
+    Decompose,
+    /// `opt::optimal_decomposition` (iterative deepening, warm-start).
+    Optimal,
+    /// `parallel::decide_parallel`.
+    ParallelDecide,
+}
+
+/// One benchmark workload: a stable entry id, the instance, the width
+/// bound, the timed operation, and the expected `hw ≤ k` verdict.
+pub struct Workload {
+    /// Stable `group/case` id, the key used across PRs.
+    pub id: &'static str,
+    /// The instance hypergraph.
+    pub h: Hypergraph,
+    /// The width bound `k`.
+    pub k: usize,
+    /// The operation the timing loop runs.
+    pub op: Op,
+    /// Whether `hw(h) ≤ k` (asserted by the validation gate).
+    pub positive: bool,
+}
+
+/// Every benchmark workload, in run order. The validation gate and the
+/// timing loop both iterate this list, so an instance cannot be timed
+/// without being cross-checked.
+pub fn workloads() -> Vec<Workload> {
+    let w = |id, h, k, op, positive| Workload {
+        id,
+        h,
+        k,
+        op,
+        positive,
+    };
+    vec![
+        // q5: the paper's running example (hw = 2).
+        w(
+            "q5/decide_k2",
+            paper::q5().hypergraph(),
+            2,
+            Op::Decide,
+            true,
+        ),
+        w(
+            "q5/decompose_k2",
+            paper::q5().hypergraph(),
+            2,
+            Op::Decompose,
+            true,
+        ),
+        w("q5/optimal", paper::q5().hypergraph(), 2, Op::Optimal, true),
+        // Cycles: hw = 2, the E11 scaling family.
+        w(
+            "cycle/decide32_k2",
+            families::cycle(32).hypergraph(),
+            2,
+            Op::Decide,
+            true,
+        ),
+        w(
+            "cycle/decide64_k2",
+            families::cycle(64).hypergraph(),
+            2,
+            Op::Decide,
+            true,
+        ),
+        w(
+            "cycle/parallel24_k2",
+            families::cycle(24).hypergraph(),
+            2,
+            Op::ParallelDecide,
+            true,
+        ),
+        // Grids: positive 3x3, negative 4x4 (exhausts the search).
+        w(
+            "grid/decide33_k2",
+            families::grid(3, 3).hypergraph(),
+            2,
+            Op::Decide,
+            true,
+        ),
+        w(
+            "grid/decide44_k2_neg",
+            families::grid(4, 4).hypergraph(),
+            2,
+            Op::Decide,
+            false,
+        ),
+        // xc3s: the Section 7 gadget query, largest instance (negative at
+        // k = 2: its query width is 4).
+        w(
+            "xc3s/decide_k2_neg",
+            xc3s_hypergraph(),
+            2,
+            Op::Decide,
+            false,
+        ),
+    ]
+}
+
+/// Cross-check every bench workload before timing anything: the expected
+/// verdict holds, and the parallel solver agrees — on a positive instance
+/// it must yield a witness that `validate()`s.
+pub fn validate_parallel_witnesses() {
+    for wl in workloads() {
+        let (name, h, k) = (wl.id, &wl.h, wl.k);
+        assert_eq!(
+            kdecomp::decide(h, k, CandidateMode::Pruned),
+            wl.positive,
+            "{name}: unexpected sequential verdict"
+        );
+        match parallel::decompose_parallel(h, k, CandidateMode::Pruned) {
+            Some(hd) => {
+                assert!(
+                    wl.positive,
+                    "{name}: parallel witness on a negative instance"
+                );
+                assert_eq!(hd.validate(h), Ok(()), "{name}: invalid parallel witness");
+                assert!(hd.width() <= k, "{name}: parallel witness too wide");
+            }
+            None => assert!(
+                !wl.positive,
+                "{name}: parallel solver missed a decomposition"
+            ),
+        }
+    }
+}
+
+/// Run every decomposition workload under `cfg`, in a stable order.
+pub fn run(cfg: &Config) -> Vec<Entry> {
+    validate_parallel_witnesses();
+    let mode = CandidateMode::Pruned;
+    workloads()
+        .into_iter()
+        .map(|wl| {
+            let h = &wl.h;
+            let k = wl.k;
+            let stats = measure(cfg, || match wl.op {
+                Op::Decide => {
+                    std::hint::black_box(kdecomp::decide(h, k, mode));
+                }
+                Op::Decompose => {
+                    std::hint::black_box(kdecomp::decompose(h, k, mode).unwrap());
+                }
+                Op::Optimal => {
+                    std::hint::black_box(opt::optimal_decomposition(h));
+                }
+                Op::ParallelDecide => {
+                    std::hint::black_box(parallel::decide_parallel(h, k, mode));
+                }
+            });
+            Entry { id: wl.id, stats }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_have_expected_shapes() {
+        let hx = xc3s_hypergraph();
+        assert_eq!(hx.num_vertices(), 115);
+        assert_eq!(hx.num_edges(), 38);
+        let wls = workloads();
+        assert_eq!(wls.len(), 9);
+        let mut ids: Vec<_> = wls.iter().map(|w| w.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), wls.len(), "entry ids must be unique");
+    }
+
+    #[test]
+    fn parallel_witnesses_validate_on_bench_instances() {
+        validate_parallel_witnesses();
+    }
+}

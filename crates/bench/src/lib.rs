@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod decomp;
 
 use cq::parse_query;
 use eval::naive::JoinOrder;

@@ -1,0 +1,208 @@
+//! The shared `k-decomp` solver core.
+//!
+//! Both the sequential solver ([`crate::kdecomp`]) and the parallel one
+//! ([`crate::parallel`]) run the same per-subproblem search: build a
+//! candidate pool, enumerate `≤ k`-subsets as λ-label candidates, apply
+//! the Step 2a/2b checks of Fig. 10, and recurse on the `[var(S)]`-
+//! components inside the current component. Before this module existed the
+//! parallel solver carried a drifting copy of that loop; now the loop
+//! lives here once and the two solvers differ only in *how* they recurse
+//! (memo table layout and thread scheduling).
+//!
+//! Engineering choices (in the det-k-decomp spirit, Gottlob–Samer):
+//!
+//! * **Scoped components** — the recursion uses
+//!   [`hypergraph::components_inside`], which sweeps only the edges of the
+//!   current component (legal because check 2a guarantees
+//!   `Conn(C_R, R) ⊆ var(S)`), so a subproblem costs O(|C_R|) rather than
+//!   O(|H|).
+//! * **Candidate ordering** — pool edges are sorted by how much of `Conn`
+//!   they cover (ties: coverage of the component, then id). Check 2a
+//!   demands `Conn ⊆ var(S)`, so subsets drawn from the front of the pool
+//!   are far more likely to pass, and successful labels are found early;
+//!   the order is a permutation, so completeness (Theorem 5.14) is
+//!   untouched.
+//! * **Allocation discipline** — subset enumeration lends one index
+//!   buffer ([`crate::subsets::SubsetState`]); the label edge/vertex sets
+//!   are cleared and refilled per candidate instead of reallocated.
+//! * **Strict shrinkage** — every child component is a proper subset of
+//!   its parent (check 2b removes at least one vertex), asserted in debug
+//!   builds. This is what makes memo cycles impossible and the solvers'
+//!   in-progress markers belt-and-braces.
+
+use crate::hypertree::HypertreeDecomposition;
+use crate::kdecomp::CandidateMode;
+use crate::subsets::SubsetState;
+use hypergraph::{
+    components_inside, connecting_set, Component, EdgeId, EdgeSet, Hypergraph, Ix, RootedTree,
+    VertexSet,
+};
+
+/// One candidate-search engine for a fixed `(H, k, mode)` instance.
+pub(crate) struct SolverCore<'h> {
+    pub h: &'h Hypergraph,
+    pub k: usize,
+    pub mode: CandidateMode,
+    /// Edges with at least one vertex (nullary edges need no covering).
+    pub pool_all: Vec<EdgeId>,
+}
+
+impl<'h> SolverCore<'h> {
+    pub fn new(h: &'h Hypergraph, k: usize, mode: CandidateMode) -> Self {
+        assert!(k >= 1, "hypertree width is only defined for k ≥ 1");
+        let pool_all = h
+            .edges()
+            .filter(|&e| !h.edge_vertices(e).is_empty())
+            .collect();
+        SolverCore {
+            h,
+            k,
+            mode,
+            pool_all,
+        }
+    }
+
+    /// The initial pseudo-component: `comp(s0) = var(Q)` (all vertices that
+    /// occur in edges), with every non-nullary edge attached. `None` when
+    /// the hypergraph has no such edges (trivially decomposable).
+    pub fn root_component(&self) -> Option<Component> {
+        if self.pool_all.is_empty() {
+            return None;
+        }
+        let mut vertices = self.h.empty_vertex_set();
+        let mut edges = self.h.empty_edge_set();
+        for &e in &self.pool_all {
+            vertices.union_with(self.h.edge_vertices(e));
+            edges.insert(e);
+        }
+        Some(Component { vertices, edges })
+    }
+
+    /// The candidate edges for `(comp, conn)`, ordered by the cover
+    /// heuristic.
+    fn candidate_pool(&self, comp: &Component, conn: &VertexSet) -> Vec<EdgeId> {
+        let mut pool = match self.mode {
+            CandidateMode::Full => self.pool_all.clone(),
+            CandidateMode::Pruned => {
+                let mut relevant = comp.vertices.clone();
+                relevant.union_with(conn);
+                self.pool_all
+                    .iter()
+                    .copied()
+                    .filter(|&e| self.h.edge_vertices(e).intersects(&relevant))
+                    .collect()
+            }
+        };
+        // Edges covering more of Conn first (then more of the component,
+        // then id for determinism): subsets from the front of the pool
+        // satisfy check 2a sooner.
+        pool.sort_by_cached_key(|&e| {
+            let vars = self.h.edge_vertices(e);
+            (
+                usize::MAX - vars.intersection_len(conn),
+                usize::MAX - vars.intersection_len(&comp.vertices),
+                e.index(),
+            )
+        });
+        pool
+    }
+
+    /// Search a λ-label for `k-decomposable(comp, conn)`: for each
+    /// candidate `S` passing checks 2a/2b, hand the `[var(S)]`-components
+    /// inside `comp` (paired with their connecting sets) to `children_ok`;
+    /// the first candidate whose children all decompose is returned.
+    pub fn search_label(
+        &self,
+        comp: &Component,
+        conn: &VertexSet,
+        mut children_ok: impl FnMut(&[(Component, VertexSet)]) -> bool,
+    ) -> Option<EdgeSet> {
+        let h = self.h;
+        let pool = self.candidate_pool(comp, conn);
+        let mut label = h.empty_edge_set();
+        let mut label_vars = h.empty_vertex_set();
+        let mut state = SubsetState::new(pool.len(), self.k);
+        while let Some(s) = state.advance() {
+            label.clear();
+            label_vars.clear();
+            for &i in s {
+                label.insert(pool[i]);
+                label_vars.union_with(h.edge_vertices(pool[i]));
+            }
+            // Step 2a: Conn(C_R, R) ⊆ var(S).
+            if !conn.is_subset_of(&label_vars) {
+                continue;
+            }
+            // Step 2b: var(S) ∩ C_R ≠ ∅.
+            if !label_vars.intersects(&comp.vertices) {
+                continue;
+            }
+            // Step 4: the [var(S)]-components inside C_R, via the scoped
+            // sweep (check 2a is exactly its precondition).
+            let children: Vec<(Component, VertexSet)> = components_inside(h, &label_vars, comp)
+                .into_iter()
+                .map(|c| {
+                    debug_assert!(
+                        c.vertices.is_proper_subset_of(&comp.vertices),
+                        "components strictly shrink along the recursion"
+                    );
+                    let child_conn = connecting_set(h, &c, &label_vars);
+                    (c, child_conn)
+                })
+                .collect();
+            if children_ok(&children) {
+                return Some(label);
+            }
+        }
+        None
+    }
+}
+
+/// Rebuild the witness tree (Lemma 5.13 labelling) after a successful
+/// decide: `χ(root) = var(λ(root))`, `χ(s) = var(λ(s)) ∩ (χ(r) ∪ C)`.
+/// `label_of(comp, conn)` must return the λ-label the solver memoised for
+/// that subproblem; it is consulted exactly once per decomposition node.
+pub(crate) fn extract_witness(
+    h: &Hypergraph,
+    root: Option<Component>,
+    mut label_of: impl FnMut(&Component, &VertexSet) -> EdgeSet,
+) -> HypertreeDecomposition {
+    let Some(c0) = root else {
+        // No edges: one node with empty labels, width 0.
+        return HypertreeDecomposition::new(
+            RootedTree::new(),
+            vec![h.empty_vertex_set()],
+            vec![h.empty_edge_set()],
+        );
+    };
+
+    let mut tree = RootedTree::new();
+    let mut chi: Vec<VertexSet> = Vec::new();
+    let mut lambda: Vec<EdgeSet> = Vec::new();
+
+    let root_label = label_of(&c0, &h.empty_vertex_set());
+    let root_vars = h.vertices_of_edges(&root_label);
+    chi.push(root_vars.clone());
+    lambda.push(root_label);
+
+    // (tree node, chosen label vars, component handled at that node)
+    let mut stack = vec![(tree.root(), root_vars, c0)];
+    while let Some((node, label_vars, comp)) = stack.pop() {
+        for child in components_inside(h, &label_vars, &comp) {
+            let child_conn = connecting_set(h, &child, &label_vars);
+            let child_label = label_of(&child, &child_conn);
+            let child_label_vars = h.vertices_of_edges(&child_label);
+            // χ(s) = var(λ(s)) ∩ (χ(r) ∪ C)   (witness-tree labelling)
+            let mut child_chi = chi[node.index()].clone();
+            child_chi.union_with(&child.vertices);
+            child_chi.intersect_with(&child_label_vars);
+            let child_node = tree.add_child(node);
+            debug_assert_eq!(child_node.index(), chi.len());
+            chi.push(child_chi);
+            lambda.push(child_label);
+            stack.push((child_node, child_label_vars, child));
+        }
+    }
+
+    HypertreeDecomposition::new(tree, chi, lambda)
+}

@@ -23,14 +23,10 @@
 //! Lemma 5.13 — `χ(root) = var(λ(root))`, `χ(s) = var(λ(s)) ∩ (χ(r) ∪ C)`
 //! — and the result is a normal-form hypertree decomposition of width ≤ k.
 
+use crate::engine::{extract_witness, SolverCore};
 use crate::hypertree::HypertreeDecomposition;
-use crate::subsets::subsets;
-use hypergraph::{
-    components_within, connecting_set, Component, EdgeId, EdgeSet, Hypergraph, Ix, RootedTree,
-    VertexSet,
-};
+use hypergraph::{EdgeSet, Hypergraph, VertexSet};
 use rustc_hash::FxHashMap;
-use std::rc::Rc;
 
 /// How λ-label candidates are enumerated.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
@@ -51,182 +47,109 @@ pub fn decide(h: &Hypergraph, k: usize, mode: CandidateMode) -> bool {
 /// Compute a width-`≤ k` hypertree decomposition in normal form, if one
 /// exists (Theorem 5.18 made deterministic).
 pub fn decompose(h: &Hypergraph, k: usize, mode: CandidateMode) -> Option<HypertreeDecomposition> {
-    let mut solver = Solver::new(h, k, mode);
-    if !solver.decide() {
-        return None;
-    }
-    let hd = solver.extract();
-    debug_assert_eq!(hd.validate(h), Ok(()), "witness tree must validate");
-    debug_assert!(hd.width() <= k.max(1));
-    Some(hd)
+    Solver::new(h, k, mode).decompose()
 }
 
-/// Memoised deterministic solver for one `(H, k)` instance.
-struct Solver<'h> {
-    h: &'h Hypergraph,
-    k: usize,
-    mode: CandidateMode,
-    /// Edges with at least one vertex (nullary edges need no covering).
-    pool_all: Vec<EdgeId>,
-    /// `(component, Conn) → chosen λ-label`, `None` = undecomposable.
-    /// Keys are shared `Rc`s so each subproblem clones its two vertex
-    /// sets exactly once (the in-progress marker and the final insert
-    /// reuse the same allocation).
-    memo: FxHashMap<Rc<(VertexSet, VertexSet)>, Option<EdgeSet>>,
+/// The memo table: `(component, Conn) → chosen λ-label`, `None` =
+/// undecomposable. Two levels keyed by borrowed sets, so a memo *hit* —
+/// the common case once the search warms up — clones nothing; only a miss
+/// pays for the two key clones.
+type Memo = FxHashMap<VertexSet, FxHashMap<VertexSet, Option<EdgeSet>>>;
+
+/// Memoised deterministic solver for one `(H, k, mode)` instance.
+///
+/// The solver is reusable: [`Solver::decide`] fills the memo, repeated
+/// calls are O(1) (the root subproblem is cached), and
+/// [`Solver::decompose`] extracts the witness from the warm memo without
+/// re-running the search — which is how [`crate::opt`] avoids paying for
+/// `decide` twice during iterative deepening.
+pub struct Solver<'h> {
+    core: SolverCore<'h>,
+    memo: Memo,
+    solved: u64,
 }
 
 impl<'h> Solver<'h> {
-    fn new(h: &'h Hypergraph, k: usize, mode: CandidateMode) -> Self {
-        assert!(k >= 1, "hypertree width is only defined for k ≥ 1");
-        let pool_all = h
-            .edges()
-            .filter(|&e| !h.edge_vertices(e).is_empty())
-            .collect();
+    /// A fresh solver for `hw(h) ≤ k` under the given candidate mode.
+    pub fn new(h: &'h Hypergraph, k: usize, mode: CandidateMode) -> Self {
         Solver {
-            h,
-            k,
-            mode,
-            pool_all,
+            core: SolverCore::new(h, k, mode),
             memo: FxHashMap::default(),
+            solved: 0,
         }
     }
 
-    /// The initial pseudo-component: `comp(s0) = var(Q)` (all vertices that
-    /// occur in edges), with every non-nullary edge attached.
-    fn root_component(&self) -> Option<Component> {
-        if self.pool_all.is_empty() {
-            return None;
-        }
-        let mut vertices = self.h.empty_vertex_set();
-        let mut edges = self.h.empty_edge_set();
-        for &e in &self.pool_all {
-            vertices.union_with(self.h.edge_vertices(e));
-            edges.insert(e);
-        }
-        Some(Component { vertices, edges })
-    }
-
-    fn decide(&mut self) -> bool {
-        match self.root_component() {
+    /// Decide `hw(H) ≤ k`. Memoised: a second call only re-reads the root
+    /// subproblem.
+    pub fn decide(&mut self) -> bool {
+        let Solver { core, memo, solved } = self;
+        match core.root_component() {
             None => true, // no edges: the trivial decomposition works
             Some(c0) => {
-                let conn = self.h.empty_vertex_set();
-                self.decomposable(&c0, &conn)
+                let conn = core.h.empty_vertex_set();
+                decomposable(core, memo, solved, &c0, &conn)
             }
         }
     }
 
-    /// `k-decomposable(C_R, R)` of Fig. 10, memoised on `(C_R, Conn)`.
-    fn decomposable(&mut self, comp: &Component, conn: &VertexSet) -> bool {
-        let key = Rc::new((comp.vertices.clone(), conn.clone()));
-        if let Some(cached) = self.memo.get(&key) {
-            return cached.is_some();
+    /// Decide, then extract the witness tree from the memo (Lemma 5.13
+    /// labelling). The extraction solves no new subproblems.
+    pub fn decompose(&mut self) -> Option<HypertreeDecomposition> {
+        if !self.decide() {
+            return None;
         }
-        // Mark in-progress as failure; components strictly shrink along the
-        // recursion (children live inside comp \ var(S)), so no cycles can
-        // actually revisit the key — this is belt and braces.
-        self.memo.insert(Rc::clone(&key), None);
-
-        let pool = self.candidate_pool(comp, conn);
-        let mut chosen: Option<EdgeSet> = None;
-        'candidates: for s in subsets(pool.len(), self.k) {
-            let mut label = self.h.empty_edge_set();
-            let mut label_vars = self.h.empty_vertex_set();
-            for &i in &s {
-                label.insert(pool[i]);
-                label_vars.union_with(self.h.edge_vertices(pool[i]));
-            }
-            // Step 2a: Conn(C_R, R) ⊆ var(S).
-            if !conn.is_subset_of(&label_vars) {
-                continue;
-            }
-            // Step 2b: var(S) ∩ C_R ≠ ∅.
-            if !label_vars.intersects(&comp.vertices) {
-                continue;
-            }
-            // Step 4: recurse on the [var(S)]-components inside C_R.
-            for child in components_within(self.h, &label_vars, &comp.vertices) {
-                let child_conn = connecting_set(self.h, &child, &label_vars);
-                if !self.decomposable(&child, &child_conn) {
-                    continue 'candidates;
-                }
-            }
-            chosen = Some(label);
-            break;
-        }
-
-        let ok = chosen.is_some();
-        self.memo.insert(key, chosen);
-        ok
+        let h = self.core.h;
+        let memo = &self.memo;
+        let hd = extract_witness(h, self.core.root_component(), |comp, conn| {
+            memo.get(&comp.vertices)
+                .and_then(|inner| inner.get(conn))
+                .cloned()
+                .flatten()
+                .expect("every reachable subproblem was solved")
+        });
+        debug_assert_eq!(hd.validate(h), Ok(()), "witness tree must validate");
+        debug_assert!(hd.width() <= self.core.k.max(1));
+        Some(hd)
     }
 
-    fn candidate_pool(&self, comp: &Component, conn: &VertexSet) -> Vec<EdgeId> {
-        match self.mode {
-            CandidateMode::Full => self.pool_all.clone(),
-            CandidateMode::Pruned => {
-                let mut relevant = comp.vertices.clone();
-                relevant.union_with(conn);
-                self.pool_all
-                    .iter()
-                    .copied()
-                    .filter(|&e| self.h.edge_vertices(e).intersects(&relevant))
-                    .collect()
-            }
-        }
+    /// Number of subproblems solved by search (memo misses) so far —
+    /// instrumentation for the solve-once contract of the warm-start path.
+    pub fn solved_subproblems(&self) -> u64 {
+        self.solved
     }
+}
 
-    /// Rebuild the witness tree from the memo (Lemma 5.13 labelling).
-    fn extract(&mut self) -> HypertreeDecomposition {
-        let h = self.h;
-        let Some(c0) = self.root_component() else {
-            // No edges: one node with empty labels, width 0.
-            return HypertreeDecomposition::new(
-                RootedTree::new(),
-                vec![h.empty_vertex_set()],
-                vec![h.empty_edge_set()],
-            );
-        };
-
-        let mut tree = RootedTree::new();
-        let mut chi: Vec<VertexSet> = Vec::new();
-        let mut lambda: Vec<EdgeSet> = Vec::new();
-
-        let root_label = self
-            .memo
-            .get(&(c0.vertices.clone(), h.empty_vertex_set()))
-            .cloned()
-            .flatten()
-            .expect("extract() runs only after a successful decide()");
-        let root_vars = h.vertices_of_edges(&root_label);
-        chi.push(root_vars.clone());
-        lambda.push(root_label.clone());
-
-        // (tree node, chosen label vars, component handled at that node)
-        let mut stack = vec![(tree.root(), root_vars, c0)];
-        while let Some((node, label_vars, comp)) = stack.pop() {
-            for child in components_within(h, &label_vars, &comp.vertices) {
-                let child_conn = connecting_set(h, &child, &label_vars);
-                let child_label = self
-                    .memo
-                    .get(&(child.vertices.clone(), child_conn))
-                    .cloned()
-                    .flatten()
-                    .expect("every reachable subproblem was solved");
-                let child_label_vars = h.vertices_of_edges(&child_label);
-                // χ(s) = var(λ(s)) ∩ (χ(r) ∪ C)   (witness-tree labelling)
-                let mut child_chi = chi[node.index()].clone();
-                child_chi.union_with(&child.vertices);
-                child_chi.intersect_with(&child_label_vars);
-                let child_node = tree.add_child(node);
-                debug_assert_eq!(child_node.index(), chi.len());
-                chi.push(child_chi);
-                lambda.push(child_label);
-                stack.push((child_node, child_label_vars, child));
-            }
-        }
-
-        HypertreeDecomposition::new(tree, chi, lambda)
+/// `k-decomposable(C_R, R)` of Fig. 10, memoised on `(C_R, Conn)`.
+fn decomposable(
+    core: &SolverCore<'_>,
+    memo: &mut Memo,
+    solved: &mut u64,
+    comp: &hypergraph::Component,
+    conn: &VertexSet,
+) -> bool {
+    if let Some(cached) = memo.get(&comp.vertices).and_then(|inner| inner.get(conn)) {
+        return cached.is_some();
     }
+    // Mark in-progress as failure; components strictly shrink along the
+    // recursion (children live inside comp \ var(S), and check 2b removes
+    // at least one vertex), so no cycles can actually revisit the key —
+    // this is belt and braces, asserted in the shared core.
+    memo.entry(comp.vertices.clone())
+        .or_default()
+        .insert(conn.clone(), None);
+    *solved += 1;
+
+    let chosen = core.search_label(comp, conn, |children| {
+        children
+            .iter()
+            .all(|(child, child_conn)| decomposable(core, memo, solved, child, child_conn))
+    });
+
+    let ok = chosen.is_some();
+    memo.get_mut(&comp.vertices)
+        .expect("in-progress entry present")
+        .insert(conn.clone(), chosen);
+    ok
 }
 
 #[cfg(test)]
@@ -363,6 +286,26 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn extraction_solves_no_new_subproblems() {
+        // The solve-once contract behind the warm-start path: decide()
+        // fills the memo; decompose() only reads it back.
+        let h = q5();
+        let mut solver = Solver::new(&h, 2, CandidateMode::Pruned);
+        assert!(solver.decide());
+        let solved = solver.solved_subproblems();
+        assert!(solved > 0);
+        assert!(solver.decide(), "repeat decide is a memo hit");
+        assert_eq!(solver.solved_subproblems(), solved);
+        let hd = solver.decompose().expect("hw(Q5) = 2");
+        assert_eq!(hd.validate(&h), Ok(()));
+        assert_eq!(
+            solver.solved_subproblems(),
+            solved,
+            "extraction must not re-run the search"
+        );
     }
 
     #[test]

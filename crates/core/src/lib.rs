@@ -41,15 +41,16 @@
 
 pub mod datalog;
 pub mod dot;
+mod engine;
 mod hypertree;
 pub mod kdecomp;
 pub mod normal_form;
 pub mod opt;
 pub mod parallel;
 pub mod querydecomp;
-mod subsets;
+pub mod subsets;
 pub mod theorem45;
 
 pub use hypertree::{HdViolation, HypertreeDecomposition};
-pub use kdecomp::CandidateMode;
+pub use kdecomp::{CandidateMode, Solver};
 pub use querydecomp::{BudgetExceeded, QdViolation, QueryDecomposition};

@@ -8,7 +8,7 @@
 //! [`from_query_decomposition`].
 
 use crate::hypertree::HypertreeDecomposition;
-use crate::kdecomp::{decide, decompose, CandidateMode};
+use crate::kdecomp::{CandidateMode, Solver};
 use crate::querydecomp::QueryDecomposition;
 use hypergraph::{Hypergraph, NodeId};
 
@@ -19,22 +19,45 @@ pub fn hypertree_width(h: &Hypergraph) -> usize {
 
 /// [`hypertree_width`] with an explicit candidate mode.
 pub fn hypertree_width_with(h: &Hypergraph, mode: CandidateMode) -> usize {
-    let m = h
-        .edges()
-        .filter(|&e| !h.edge_vertices(e).is_empty())
-        .count();
-    if m == 0 {
-        return 0;
-    }
-    (1..=m)
-        .find(|&k| decide(h, k, mode))
-        .expect("the trivial decomposition has width m")
+    deepen(h, mode).map_or(0, |(k, _)| k)
 }
 
 /// An optimal (minimum-width, normal-form) hypertree decomposition of `h`.
 pub fn optimal_decomposition(h: &Hypergraph) -> HypertreeDecomposition {
-    let k = hypertree_width(h).max(1);
-    decompose(h, k, CandidateMode::Pruned).expect("k = hw(h) must succeed")
+    optimal_decomposition_with(h, CandidateMode::Pruned)
+}
+
+/// [`optimal_decomposition`] with an explicit candidate mode.
+pub fn optimal_decomposition_with(h: &Hypergraph, mode: CandidateMode) -> HypertreeDecomposition {
+    match deepen(h, mode) {
+        // Warm start: the solver that proved hw ≤ k keeps its memo, so
+        // extraction is a read-back, not a second search.
+        Some((_, mut solver)) => solver
+            .decompose()
+            .expect("k = hw(h) must admit a decomposition"),
+        None => Solver::new(h, 1, mode)
+            .decompose()
+            .expect("edgeless hypergraphs have the trivial decomposition"),
+    }
+}
+
+/// Iterative deepening on `k` (each run is polynomial for fixed `k`,
+/// Theorem 5.16; the trivial single-node decomposition bounds the search
+/// by `|edges(H)|`). Returns `hw(h)` together with the successful solver —
+/// its memo is warm, so the caller can extract the witness without
+/// re-running `decide` from scratch. `None` for edgeless hypergraphs.
+fn deepen(h: &Hypergraph, mode: CandidateMode) -> Option<(usize, Solver<'_>)> {
+    let m = h
+        .edges()
+        .filter(|&e| !h.edge_vertices(e).is_empty())
+        .count();
+    for k in 1..=m {
+        let mut solver = Solver::new(h, k, mode);
+        if solver.decide() {
+            return Some((k, solver));
+        }
+    }
+    None
 }
 
 /// Theorem 6.1(a): reinterpret a (pure) query decomposition as a hypertree

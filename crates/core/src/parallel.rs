@@ -6,114 +6,156 @@
 //! exploit the same structural fact the ATM does: once a λ-label `S` is
 //! fixed, the `[var(S)]`-components inside the current component are
 //! *independent* subproblems (the universal branching of Step 4). The
-//! solver evaluates them on scoped worker threads, sharing the
-//! `(component, Conn)` memo table behind a `parking_lot::RwLock`. Two
-//! workers may race to solve the same key — both compute the same answer,
-//! one insert wins; correctness is unaffected, only a little work is
-//! duplicated (this is the standard lock-light memoisation trade).
+//! per-subproblem search — candidate pool, subset enumeration, checks
+//! 2a/2b, scoped child computation — is the shared
+//! [`crate::engine::SolverCore`], the same code the sequential solver
+//! runs; this module only decides *where* the child subproblems execute:
+//! big components on scoped worker threads (while the recursion is
+//! shallow), small ones inline.
+//!
+//! The memo table lives behind a `parking_lot::RwLock` and stores, per
+//! `(component, Conn)` key, either the finished verdict with its λ-label
+//! (so [`decompose_parallel`] can extract a witness, exactly like the
+//! sequential solver) or an *in-progress* marker tagged with the working
+//! thread:
+//!
+//! * another thread finding the marker simply recomputes — both arrive at
+//!   the same deterministic answer, one insert wins, and only a little
+//!   work is duplicated (the standard lock-light memoisation trade);
+//! * the *same* thread finding its own marker would mean a memo cycle.
+//!   Components strictly shrink along the recursion (asserted in the
+//!   shared core), so this cannot happen; like the sequential solver's
+//!   pending-entry guard it is belt and braces, here made thread-correct
+//!   by the tag — a plain "pending = failure" entry (as this module used
+//!   before it shared the core) would be read by *other* threads as a
+//!   cached negative and silently corrupt the memo.
 //!
 //! Spawning is throttled by `depth < PARALLEL_DEPTH` and a minimum
 //! component size so that small instances do not drown in thread overhead;
 //! the ablation experiment E11 measures the crossover.
 
+use crate::engine::{extract_witness, SolverCore};
+use crate::hypertree::HypertreeDecomposition;
 use crate::kdecomp::CandidateMode;
-use crate::subsets::subsets;
-use hypergraph::{components_within, connecting_set, Component, EdgeId, Hypergraph, VertexSet};
+use hypergraph::{Component, EdgeSet, Hypergraph, VertexSet};
 use parking_lot::RwLock;
 use rustc_hash::FxHashMap;
+use std::thread::ThreadId;
 
 /// Spawn threads only this deep in the recursion.
 const PARALLEL_DEPTH: usize = 3;
 /// Components smaller than this are solved inline.
 const MIN_PARALLEL_COMPONENT: usize = 4;
 
-type Memo = RwLock<FxHashMap<(VertexSet, VertexSet), bool>>;
+/// One memo slot: either a finished subproblem (with its λ-label, `None` =
+/// undecomposable) or a cycle marker for the tagged thread.
+enum Slot {
+    InProgress(ThreadId),
+    Done(Option<EdgeSet>),
+}
+
+type Memo = RwLock<FxHashMap<VertexSet, FxHashMap<VertexSet, Slot>>>;
+
+struct Ctx<'h> {
+    core: SolverCore<'h>,
+    memo: Memo,
+}
 
 /// Decide `hw(H) ≤ k` using scoped worker threads over independent
 /// components. Produces the same answer as [`crate::kdecomp::decide`].
 pub fn decide_parallel(h: &Hypergraph, k: usize, mode: CandidateMode) -> bool {
-    assert!(k >= 1, "hypertree width is only defined for k ≥ 1");
-    let pool_all: Vec<EdgeId> = h
-        .edges()
-        .filter(|&e| !h.edge_vertices(e).is_empty())
-        .collect();
-    if pool_all.is_empty() {
-        return true;
+    match setup(h, k, mode) {
+        None => true,
+        Some((root, ctx)) => decomposable_at(&ctx, &root, &h.empty_vertex_set(), 0),
     }
-    let mut vertices = h.empty_vertex_set();
-    let mut edges = h.empty_edge_set();
-    for &e in &pool_all {
-        vertices.union_with(h.edge_vertices(e));
-        edges.insert(e);
-    }
-    let ctx = Ctx {
-        h,
-        k,
-        mode,
-        pool_all,
-        memo: RwLock::new(FxHashMap::default()),
-    };
-    let root = Component { vertices, edges };
-    let conn = h.empty_vertex_set();
-    decomposable(&ctx, &root, &conn, 0)
 }
 
-struct Ctx<'h> {
-    h: &'h Hypergraph,
+/// Compute a width-`≤ k` hypertree decomposition in normal form using the
+/// parallel solver, if one exists. The witness is extracted from the
+/// memoised λ-labels, exactly as [`crate::kdecomp::decompose`] does.
+pub fn decompose_parallel(
+    h: &Hypergraph,
     k: usize,
     mode: CandidateMode,
-    pool_all: Vec<EdgeId>,
-    memo: Memo,
+) -> Option<HypertreeDecomposition> {
+    let Some((root, ctx)) = setup(h, k, mode) else {
+        // No edges: the trivial decomposition.
+        return Some(extract_witness(h, None, |_, _| h.empty_edge_set()));
+    };
+    if !decomposable_at(&ctx, &root, &h.empty_vertex_set(), 0) {
+        return None;
+    }
+    // All worker threads have joined (scoped), so every touched key holds a
+    // Done slot; the walk below only visits subproblems that succeeded.
+    let memo = ctx.memo.into_inner();
+    let hd = extract_witness(h, Some(root), |comp, child_conn| {
+        match memo.get(&comp.vertices).and_then(|m| m.get(child_conn)) {
+            Some(Slot::Done(Some(label))) => label.clone(),
+            _ => unreachable!("every reachable subproblem was solved"),
+        }
+    });
+    debug_assert_eq!(hd.validate(h), Ok(()), "witness tree must validate");
+    debug_assert!(hd.width() <= k.max(1));
+    Some(hd)
 }
 
-fn decomposable(ctx: &Ctx<'_>, comp: &Component, conn: &VertexSet, depth: usize) -> bool {
-    let key = (comp.vertices.clone(), conn.clone());
-    if let Some(&cached) = ctx.memo.read().get(&key) {
-        return cached;
-    }
-    let h = ctx.h;
-
-    let pool: Vec<EdgeId> = match ctx.mode {
-        CandidateMode::Full => ctx.pool_all.clone(),
-        CandidateMode::Pruned => {
-            let mut relevant = comp.vertices.clone();
-            relevant.union_with(conn);
-            ctx.pool_all
-                .iter()
-                .copied()
-                .filter(|&e| h.edge_vertices(e).intersects(&relevant))
-                .collect()
-        }
+/// Shared setup: `None` when the hypergraph has no covering work at all.
+fn setup(h: &Hypergraph, k: usize, mode: CandidateMode) -> Option<(Component, Ctx<'_>)> {
+    let core = SolverCore::new(h, k, mode);
+    let root = core.root_component()?;
+    let ctx = Ctx {
+        core,
+        memo: RwLock::new(FxHashMap::default()),
     };
+    Some((root, ctx))
+}
 
-    let mut ok = false;
-    'candidates: for s in subsets(pool.len(), ctx.k) {
-        let mut label_vars = h.empty_vertex_set();
-        for &i in &s {
-            label_vars.union_with(h.edge_vertices(pool[i]));
-        }
-        if !conn.is_subset_of(&label_vars) || !label_vars.intersects(&comp.vertices) {
-            continue;
-        }
-        let children = components_within(h, &label_vars, &comp.vertices);
-        let (big, small): (Vec<_>, Vec<_>) = children
-            .into_iter()
-            .partition(|c| c.vertices.len() >= MIN_PARALLEL_COMPONENT);
-
-        // Small components inline; big ones on scoped threads when shallow.
-        for child in &small {
-            let child_conn = connecting_set(h, child, &label_vars);
-            if !decomposable(ctx, child, &child_conn, depth + 1) {
-                continue 'candidates;
+fn decomposable_at(ctx: &Ctx<'_>, comp: &Component, conn: &VertexSet, depth: usize) -> bool {
+    let me = std::thread::current().id();
+    // Fast path: once the memo warms up most calls are Done hits, served
+    // under the shared read lock so workers do not serialize.
+    if let Some(Slot::Done(label)) = ctx
+        .memo
+        .read()
+        .get(&comp.vertices)
+        .and_then(|m| m.get(conn))
+    {
+        return label.is_some();
+    }
+    {
+        // Re-check under the write lock before planting the marker: a
+        // racing thread may have finished (or started) in between.
+        let mut memo = ctx.memo.write();
+        match memo.get(&comp.vertices).and_then(|m| m.get(conn)) {
+            Some(Slot::Done(label)) => return label.is_some(),
+            // Our own marker would be a memo cycle (impossible: components
+            // strictly shrink) — belt and braces, mirroring kdecomp.
+            Some(Slot::InProgress(t)) if *t == me => return false,
+            // Another thread is on it: recompute rather than wait.
+            _ => {
+                memo.entry(comp.vertices.clone())
+                    .or_default()
+                    .insert(conn.clone(), Slot::InProgress(me));
             }
         }
-        let all_big_ok = if depth < PARALLEL_DEPTH && big.len() > 1 {
+    }
+
+    let chosen = ctx.core.search_label(comp, conn, |children| {
+        // Small components inline; big ones on scoped threads when shallow.
+        let (big, small): (Vec<_>, Vec<_>) = children
+            .iter()
+            .partition(|(c, _)| c.vertices.len() >= MIN_PARALLEL_COMPONENT);
+        for (child, child_conn) in &small {
+            if !decomposable_at(ctx, child, child_conn, depth + 1) {
+                return false;
+            }
+        }
+        if depth < PARALLEL_DEPTH && big.len() > 1 {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = big
                     .iter()
-                    .map(|child| {
-                        let child_conn = connecting_set(h, child, &label_vars);
-                        scope.spawn(move || decomposable(ctx, child, &child_conn, depth + 1))
+                    .map(|(child, child_conn)| {
+                        scope.spawn(move || decomposable_at(ctx, child, child_conn, depth + 1))
                     })
                     .collect();
                 handles
@@ -121,25 +163,24 @@ fn decomposable(ctx: &Ctx<'_>, comp: &Component, conn: &VertexSet, depth: usize)
                     .all(|j| j.join().expect("worker panicked"))
             })
         } else {
-            big.iter().all(|child| {
-                let child_conn = connecting_set(h, child, &label_vars);
-                decomposable(ctx, child, &child_conn, depth + 1)
-            })
-        };
-        if all_big_ok {
-            ok = true;
-            break;
+            big.iter()
+                .all(|(child, child_conn)| decomposable_at(ctx, child, child_conn, depth + 1))
         }
-    }
+    });
 
-    ctx.memo.write().insert(key, ok);
+    let ok = chosen.is_some();
+    ctx.memo
+        .write()
+        .entry(comp.vertices.clone())
+        .or_default()
+        .insert(conn.clone(), Slot::Done(chosen));
     ok
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::kdecomp::decide;
+    use crate::kdecomp::{decide, decompose};
 
     fn cycle(n: usize) -> Hypergraph {
         let edges: Vec<Vec<usize>> = (0..n).map(|i| vec![i, (i + 1) % n]).collect();
@@ -186,10 +227,39 @@ mod tests {
     }
 
     #[test]
+    fn parallel_witnesses_validate() {
+        let shapes: Vec<Hypergraph> = vec![
+            cycle(6),
+            cycle(10),
+            Hypergraph::from_edge_lists(4, &[&[0, 1], &[1, 2], &[2, 3]]),
+            Hypergraph::from_edge_lists(3, &[&[0, 1], &[1, 2], &[0, 2]]),
+        ];
+        for h in &shapes {
+            for k in 1..=2 {
+                for mode in [CandidateMode::Full, CandidateMode::Pruned] {
+                    let par = decompose_parallel(h, k, mode);
+                    let seq = decompose(h, k, mode);
+                    assert_eq!(par.is_some(), seq.is_some(), "{h:?} k={k}");
+                    if let Some(hd) = par {
+                        assert_eq!(hd.validate(h), Ok(()));
+                        assert!(hd.width() <= k.max(1));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn trivial_inputs() {
         let empty = Hypergraph::from_edge_lists(0, &[]);
         assert!(decide_parallel(&empty, 1, CandidateMode::Pruned));
+        let hd = decompose_parallel(&empty, 1, CandidateMode::Pruned).unwrap();
+        assert_eq!(hd.width(), 0);
+        assert_eq!(hd.validate(&empty), Ok(()));
         let single = Hypergraph::from_edge_lists(2, &[&[0, 1]]);
         assert!(decide_parallel(&single, 1, CandidateMode::Full));
+        let hd = decompose_parallel(&single, 1, CandidateMode::Full).unwrap();
+        assert_eq!(hd.validate(&single), Ok(()));
+        assert_eq!(hd.width(), 1);
     }
 }

@@ -42,9 +42,9 @@
 //! `qw(Q5) = 3`; negative answers from this module are statements about
 //! that canonical space.
 
-use crate::subsets::subsets;
+use crate::subsets::SubsetState;
 use hypergraph::{
-    components, components_within, Component, EdgeId, EdgeSet, Hypergraph, Ix, NodeId, RootedTree,
+    components, components_inside, Component, EdgeId, EdgeSet, Hypergraph, Ix, NodeId, RootedTree,
     VertexSet,
 };
 use std::fmt;
@@ -279,11 +279,12 @@ impl<'h> Searcher<'h> {
             return Ok(Some(self.nullary_only()));
         }
 
-        for root_indices in subsets(real_edges.len(), self.k) {
+        let mut state = SubsetState::new(real_edges.len(), self.k);
+        while let Some(root_indices) = state.advance() {
             self.charge()?;
             let mut label = h.empty_edge_set();
             let mut label_vars = h.empty_vertex_set();
-            for &i in &root_indices {
+            for &i in root_indices {
                 label.insert(real_edges[i]);
                 label_vars.union_with(h.edge_vertices(real_edges[i]));
             }
@@ -363,11 +364,12 @@ impl<'h> Searcher<'h> {
             })
             .collect();
 
-        for indices in subsets(pool.len(), self.k) {
+        let mut state = SubsetState::new(pool.len(), self.k);
+        while let Some(indices) = state.advance() {
             self.charge()?;
             let mut label = h.empty_edge_set();
             let mut label_vars = h.empty_vertex_set();
-            for &i in &indices {
+            for &i in indices {
                 label.insert(pool[i]);
                 label_vars.union_with(h.edge_vertices(pool[i]));
             }
@@ -396,7 +398,10 @@ impl<'h> Searcher<'h> {
                     parent: o.parent,
                 })
                 .collect();
-            for comp in components_within(h, &label_vars, &ob.comp.vertices) {
+            // Scoped sweep: the `forced ⊆ var(S)` check above is exactly
+            // the `components_inside` precondition (every atom of the
+            // component satisfies `var(A) ⊆ C ∪ live_vars`).
+            for comp in components_inside(h, &label_vars, &ob.comp) {
                 next.push(Obligation {
                     comp,
                     live: label.clone(),

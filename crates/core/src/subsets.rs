@@ -1,8 +1,14 @@
 //! Enumeration of small edge subsets, shared by the decomposition solvers.
+//!
+//! The solvers' innermost loop walks every `≤ k`-subset of a candidate
+//! pool. [`SubsetState`] advances one combination in place and lends out
+//! its index buffer, so a full enumeration performs **one** allocation;
+//! the [`SubsetIter`] wrapper keeps the old cloning [`Iterator`] shape for
+//! tests and non-hot callers.
 
-/// Iterates over all subsets of `{0..n}` of size `1..=k`, by increasing
-/// size and lexicographically within a size.
-pub struct SubsetIter {
+/// In-place enumerator over all subsets of `{0..n}` of size `1..=k`, by
+/// increasing size and lexicographically within a size.
+pub struct SubsetState {
     n: usize,
     k: usize,
     size: usize,
@@ -10,27 +16,28 @@ pub struct SubsetIter {
     started: bool,
 }
 
-/// All subsets of `{0..n}` of size `1..=k` (k is clamped to n).
-pub fn subsets(n: usize, k: usize) -> SubsetIter {
-    SubsetIter {
-        n,
-        k: k.min(n),
-        size: 1,
-        indices: vec![0],
-        started: false,
+impl SubsetState {
+    /// Enumerate subsets of `{0..n}` of size `1..=k` (k is clamped to n).
+    pub fn new(n: usize, k: usize) -> Self {
+        SubsetState {
+            n,
+            k: k.min(n),
+            size: 1,
+            indices: vec![0],
+            started: false,
+        }
     }
-}
 
-impl Iterator for SubsetIter {
-    type Item = Vec<usize>;
-
-    fn next(&mut self) -> Option<Vec<usize>> {
+    /// Advance to the next subset and lend out its indices, or `None` when
+    /// the enumeration is exhausted. The returned slice is valid until the
+    /// next call and must not be stored.
+    pub fn advance(&mut self) -> Option<&[usize]> {
         if self.n == 0 || self.k == 0 {
             return None;
         }
         if !self.started {
             self.started = true;
-            return Some(self.indices.clone());
+            return Some(&self.indices);
         }
         // Advance the current combination of `size` elements.
         let s = self.size;
@@ -42,16 +49,39 @@ impl Iterator for SubsetIter {
                 for j in i + 1..s {
                     self.indices[j] = self.indices[j - 1] + 1;
                 }
-                return Some(self.indices.clone());
+                return Some(&self.indices);
             }
         }
         // Move to the next size.
         if self.size < self.k {
             self.size += 1;
-            self.indices = (0..self.size).collect();
-            return Some(self.indices.clone());
+            self.indices.clear();
+            self.indices.extend(0..self.size);
+            return Some(&self.indices);
         }
         None
+    }
+}
+
+/// Iterates over all subsets of `{0..n}` of size `1..=k`, cloning each one
+/// — a thin wrapper over [`SubsetState`] kept for tests and callers off
+/// the hot path.
+pub struct SubsetIter {
+    state: SubsetState,
+}
+
+/// All subsets of `{0..n}` of size `1..=k` (k is clamped to n).
+pub fn subsets(n: usize, k: usize) -> SubsetIter {
+    SubsetIter {
+        state: SubsetState::new(n, k),
+    }
+}
+
+impl Iterator for SubsetIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        self.state.advance().map(<[usize]>::to_vec)
     }
 }
 
@@ -91,5 +121,20 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(all.len(), dedup.len());
+    }
+
+    #[test]
+    fn state_agrees_with_iterator() {
+        // The lending enumerator and the cloning wrapper see the same
+        // sequence (the wrapper *is* the state, but keep them honest).
+        for (n, k) in [(5usize, 2usize), (6, 3), (1, 1), (4, 4)] {
+            let mut st = SubsetState::new(n, k);
+            let mut from_state = Vec::new();
+            while let Some(s) = st.advance() {
+                from_state.push(s.to_vec());
+            }
+            let from_iter: Vec<_> = subsets(n, k).collect();
+            assert_eq!(from_state, from_iter, "n={n} k={k}");
+        }
     }
 }

@@ -198,6 +198,18 @@ impl<T: Ix> IdSet<T> {
         self.is_subset_of(other) && self != other
     }
 
+    /// `|self ∩ other|` without materialising the intersection — the
+    /// candidate-ordering heuristic of the decomposition solvers calls
+    /// this once per pool edge.
+    pub fn intersection_len(&self, other: &Self) -> usize {
+        self.check_same_universe(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
     /// `true` iff `self ∩ other ≠ ∅`.
     pub fn intersects(&self, other: &Self) -> bool {
         self.check_same_universe(other);

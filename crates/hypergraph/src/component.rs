@@ -12,6 +12,35 @@
 use crate::bitset::{EdgeSet, VertexSet};
 use crate::hypergraph::Hypergraph;
 use crate::ids::VertexId;
+use std::cell::Cell;
+
+thread_local! {
+    static EDGE_VISITS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Edge expansions performed by the sweeps in this module on the current
+/// thread since the last [`reset_edge_visits`]. An *expansion* scans the
+/// vertex list of one edge once; it is the unit the O(·) claims below are
+/// stated in, and the regression tests assert it stays bounded by the
+/// component being swept rather than the whole hypergraph.
+///
+/// Counting is compiled into test and debug builds only, so release hot
+/// loops pay nothing for the instrumentation; in pure release builds this
+/// always reads 0.
+pub fn edge_visits() -> u64 {
+    EDGE_VISITS.with(|c| c.get())
+}
+
+/// Reset the per-thread edge-expansion counter (test/bench instrumentation).
+pub fn reset_edge_visits() {
+    EDGE_VISITS.with(|c| c.set(0));
+}
+
+#[inline]
+fn count_edge_visit() {
+    #[cfg(any(test, debug_assertions))]
+    EDGE_VISITS.with(|c| c.set(c.get() + 1));
+}
 
 /// A `[V]`-component: its vertices `C` and `atoms(C)`, the edges meeting it.
 ///
@@ -62,6 +91,7 @@ pub fn components(h: &Hypergraph, separator: &VertexSet) -> Vec<Component> {
                 if !edge_seen.insert(e) {
                     continue;
                 }
+                count_edge_visit();
                 comp.edges.insert(e);
                 for w in h.edge_vertices(e) {
                     if !visited.contains(w) {
@@ -80,15 +110,117 @@ pub fn components(h: &Hypergraph, separator: &VertexSet) -> Vec<Component> {
 /// The `[separator]`-components whose vertices lie inside `within`
 /// (Step 4 of `k-decomp`: "for each `[var(S)]`-component `C` such that
 /// `C ⊆ C_R`").
+///
+/// Scoped sweep: the BFS starts only from vertices of `within` and expands
+/// only edges it reaches from there, so the cost is proportional to the
+/// components *touching* `within` (plus their boundary), not to `|H|`. A
+/// component that escapes `within` is discarded — its sweep still marks it
+/// visited, so each edge is expanded at most once per call.
 pub fn components_within(
     h: &Hypergraph,
     separator: &VertexSet,
     within: &VertexSet,
 ) -> Vec<Component> {
-    components(h, separator)
-        .into_iter()
-        .filter(|c| c.is_within(within))
-        .collect()
+    let n = h.num_vertices();
+    let mut visited = separator.clone();
+    let mut edge_seen = h.empty_edge_set();
+    let mut out = Vec::new();
+    let mut queue: Vec<VertexId> = Vec::new();
+
+    for start in within {
+        if visited.contains(start) || h.vertex_edges(start).is_empty() {
+            continue;
+        }
+        let mut comp = Component {
+            vertices: VertexSet::empty(n),
+            edges: h.empty_edge_set(),
+        };
+        let mut escaped = false;
+        visited.insert(start);
+        comp.vertices.insert(start);
+        queue.push(start);
+        while let Some(x) = queue.pop() {
+            for e in h.vertex_edges(x) {
+                if !edge_seen.insert(e) {
+                    continue;
+                }
+                count_edge_visit();
+                comp.edges.insert(e);
+                for w in h.edge_vertices(e) {
+                    if !visited.contains(w) {
+                        visited.insert(w);
+                        comp.vertices.insert(w);
+                        queue.push(w);
+                        escaped |= !within.contains(w);
+                    }
+                }
+            }
+        }
+        if !escaped {
+            out.push(comp);
+        }
+    }
+    out
+}
+
+/// The `[separator]`-components inside the component `within` — the
+/// recursion step of `k-decomp` once a λ-label `S` has passed check 2a.
+///
+/// This is the tight form of [`components_within`] for callers that hold
+/// the enclosing [`Component`]: the sweep touches only `within.edges`, so
+/// one call costs O(|within|) regardless of `|H|`.
+///
+/// **Precondition** (checked by `debug_assert`): every vertex of
+/// `within.edges` outside `within.vertices` lies in `separator`. For a
+/// `[R]`-component `C` this is exactly `Conn(C, R) ⊆ separator` — the
+/// Step 2a condition — because `var(A) ⊆ C ∪ var(R)` for every
+/// `A ∈ atoms(C)`. Under it, no sweep can escape `within`, so the result
+/// equals `components_within(h, separator, &within.vertices)`.
+pub fn components_inside(
+    h: &Hypergraph,
+    separator: &VertexSet,
+    within: &Component,
+) -> Vec<Component> {
+    let n = h.num_vertices();
+    let mut visited = separator.clone();
+    let mut edge_seen = h.empty_edge_set();
+    let mut out = Vec::new();
+    let mut queue: Vec<VertexId> = Vec::new();
+
+    for start in &within.vertices {
+        if visited.contains(start) {
+            continue;
+        }
+        let mut comp = Component {
+            vertices: VertexSet::empty(n),
+            edges: h.empty_edge_set(),
+        };
+        visited.insert(start);
+        comp.vertices.insert(start);
+        queue.push(start);
+        while let Some(x) = queue.pop() {
+            for e in h.vertex_edges(x) {
+                if !within.edges.contains(e) || !edge_seen.insert(e) {
+                    continue;
+                }
+                count_edge_visit();
+                comp.edges.insert(e);
+                for w in h.edge_vertices(e) {
+                    if !visited.contains(w) {
+                        visited.insert(w);
+                        comp.vertices.insert(w);
+                        queue.push(w);
+                    }
+                }
+            }
+        }
+        debug_assert!(
+            comp.vertices.is_subset_of(&within.vertices),
+            "components_inside precondition violated: Conn(within, ·) ⊄ separator"
+        );
+        out.push(comp);
+    }
+    out
 }
 
 /// `true` iff there is a `[separator]`-path from `x` to `y`.
@@ -97,6 +229,10 @@ pub fn components_within(
 /// only when `h = 0` (trivial path `x = y`); here we use the common reading
 /// that `x, y ∉ V` and every step uses an edge avoiding `V` beyond its two
 /// endpoints — i.e. `x` and `y` lie in one `[V]`-component, or `x = y`.
+///
+/// Runs a single component sweep from `x` that stops as soon as `y` is
+/// reached, so the cost is bounded by `x`'s component — not by rebuilding
+/// every `[separator]`-component of `h`.
 pub fn connected(h: &Hypergraph, separator: &VertexSet, x: VertexId, y: VertexId) -> bool {
     if x == y {
         return true;
@@ -104,9 +240,28 @@ pub fn connected(h: &Hypergraph, separator: &VertexSet, x: VertexId, y: VertexId
     if separator.contains(x) || separator.contains(y) {
         return false;
     }
-    components(h, separator)
-        .iter()
-        .any(|c| c.vertices.contains(x) && c.vertices.contains(y))
+    let mut visited = separator.clone();
+    let mut edge_seen = h.empty_edge_set();
+    let mut queue = vec![x];
+    visited.insert(x);
+    while let Some(v) = queue.pop() {
+        for e in h.vertex_edges(v) {
+            if !edge_seen.insert(e) {
+                continue;
+            }
+            count_edge_visit();
+            for w in h.edge_vertices(e) {
+                if w == y {
+                    return true;
+                }
+                if !visited.contains(w) {
+                    visited.insert(w);
+                    queue.push(w);
+                }
+            }
+        }
+    }
+    false
 }
 
 /// The connecting set `Conn(C, R) = ⋃_{A ∈ atoms(C)} (var(A) ∩ var(R))`.
@@ -121,12 +276,13 @@ pub fn connecting_set(
     component: &Component,
     separator_vars: &VertexSet,
 ) -> VertexSet {
+    // ⋃_A (var(A) ∩ V) = (⋃_A var(A)) ∩ V: one union per edge, one
+    // intersection at the end, no per-edge scratch set.
     let mut conn = h.empty_vertex_set();
     for e in &component.edges {
-        let mut shared = h.edge_vertices(e).clone();
-        shared.intersect_with(separator_vars);
-        conn.union_with(&shared);
+        conn.union_with(h.edge_vertices(e));
     }
+    conn.intersect_with(separator_vars);
     conn
 }
 
@@ -284,6 +440,94 @@ mod tests {
         // {C,C'} ∪ {X} ∪ {Y}.
         let conn = connecting_set(&h, &z_comp, &root_sep);
         assert_eq!(conn, vset(&h, &["C", "Cp", "X", "Y"]));
+    }
+
+    #[test]
+    fn components_inside_matches_components_within() {
+        let h = q5();
+        // Component {Z} under the root separator; then split it further.
+        let root_sep = vset(&h, &["S", "X", "Xp", "C", "F", "Y", "Yp", "Cp", "Fp"]);
+        for comp in components(&h, &root_sep) {
+            // New separator = var of the component's atoms ∩ old separator
+            // (= Conn) plus one interior vertex, so the precondition holds.
+            let mut sep = connecting_set(&h, &comp, &root_sep);
+            sep.insert(comp.vertices.first().unwrap());
+            let scoped = components_inside(&h, &sep, &comp);
+            let filtered = components_within(&h, &sep, &comp.vertices);
+            assert_eq!(scoped, filtered);
+        }
+    }
+
+    /// The scoped sweeps must not pay for the rest of the hypergraph: two
+    /// far-apart cliques, and sweeping inside the small one visits only its
+    /// own edges (the `[bugfix]` regression for the per-subproblem
+    /// `components_within` rebuild).
+    #[test]
+    fn scoped_sweep_edge_visits_bounded_by_component() {
+        // Big clique on 0..20 (190 edges), small triangle on 20..23.
+        let mut edges: Vec<Vec<usize>> = Vec::new();
+        for i in 0..20 {
+            for j in (i + 1)..20 {
+                edges.push(vec![i, j]);
+            }
+        }
+        edges.push(vec![20, 21]);
+        edges.push(vec![21, 22]);
+        edges.push(vec![20, 22]);
+        let slices: Vec<&[usize]> = edges.iter().map(|e| e.as_slice()).collect();
+        let h = Hypergraph::from_edge_lists(23, &slices);
+
+        let small = components(&h, &h.empty_vertex_set())
+            .into_iter()
+            .find(|c| c.vertices.len() == 3)
+            .expect("triangle component");
+        assert_eq!(small.edges.len(), 3);
+
+        // Scoped recursion step: separate the triangle at one vertex.
+        let sep = VertexSet::singleton(h.num_vertices(), VertexId(20));
+        reset_edge_visits();
+        let inside = components_inside(&h, &sep, &small);
+        assert!(
+            edge_visits() <= small.edges.len() as u64,
+            "visited {} edges",
+            edge_visits()
+        );
+        assert_eq!(inside.len(), 1);
+
+        // components_within is likewise scoped to components touching
+        // `within` — the 190-edge clique is never expanded.
+        reset_edge_visits();
+        let within = components_within(&h, &sep, &small.vertices);
+        assert!(
+            edge_visits() <= small.edges.len() as u64,
+            "visited {} edges",
+            edge_visits()
+        );
+        assert_eq!(within.len(), 1);
+
+        // connected() early-exits inside one component.
+        reset_edge_visits();
+        assert!(connected(&h, &sep, VertexId(21), VertexId(22)));
+        assert!(edge_visits() <= small.edges.len() as u64);
+        // A full sweep, by contrast, pays for every edge.
+        reset_edge_visits();
+        let all = components(&h, &sep);
+        assert_eq!(all.len(), 2);
+        assert_eq!(edge_visits(), h.num_edges() as u64);
+    }
+
+    #[test]
+    fn components_within_drops_escaping_components() {
+        // Path 0-1-2-3: within {1} under separator {} — the component
+        // through 1 escapes to the whole path and must be dropped.
+        let h = Hypergraph::from_edge_lists(4, &[&[0, 1], &[1, 2], &[2, 3]]);
+        let within = VertexSet::singleton(4, VertexId(1));
+        assert!(components_within(&h, &h.empty_vertex_set(), &within).is_empty());
+        // Under separator {0, 2} the component {1} is properly inside.
+        let sep = VertexSet::from_iter(4, [VertexId(0), VertexId(2)]);
+        let comps = components_within(&h, &sep, &within);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].vertices, within);
     }
 
     #[test]

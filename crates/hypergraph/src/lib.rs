@@ -44,7 +44,7 @@ pub mod tree;
 pub mod treewidth;
 
 pub use bitset::{EdgeSet, IdSet, VertexSet};
-pub use component::{components, components_within, connecting_set, Component};
+pub use component::{components, components_inside, components_within, connecting_set, Component};
 pub use hypergraph::{Hypergraph, HypergraphBuilder};
 pub use ids::{EdgeId, Ix, NodeId, VertexId};
 pub use jointree::{JoinTree, JoinTreeViolation};

@@ -32,6 +32,29 @@ proptest! {
         prop_assert_eq!(full, hypertree::core::parallel::decide_parallel(&h, k, CandidateMode::Pruned));
     }
 
+    /// The `modes_agree_on_small_hypergraphs` unit sweep, generalised:
+    /// random ≤ 8-vertex hypergraphs, k ≤ 3, Full/Pruned × sequential/
+    /// parallel — verdicts agree with each other and with the Datalog
+    /// oracle, and both engines' decompose witnesses `validate()`.
+    #[test]
+    fn engines_agree_and_witnesses_validate(h in arb_hypergraph(), k in 1usize..=3) {
+        let datalog_verdict = datalog::decide_bottom_up(&h, k);
+        for mode in [CandidateMode::Full, CandidateMode::Pruned] {
+            let seq = kdecomp::decide(&h, k, mode);
+            let par = hypertree::core::parallel::decide_parallel(&h, k, mode);
+            prop_assert_eq!(seq, par, "sequential vs parallel, {:?}", mode);
+            prop_assert_eq!(seq, datalog_verdict, "solver vs datalog, {:?}", mode);
+            let w_seq = kdecomp::decompose(&h, k, mode);
+            let w_par = hypertree::core::parallel::decompose_parallel(&h, k, mode);
+            prop_assert_eq!(w_seq.is_some(), seq, "sequential witness iff decide");
+            prop_assert_eq!(w_par.is_some(), seq, "parallel witness iff decide");
+            for hd in [w_seq, w_par].into_iter().flatten() {
+                prop_assert_eq!(hd.validate(&h), Ok(()));
+                prop_assert!(hd.width() <= k.max(1));
+            }
+        }
+    }
+
     /// Theorem 4.5: GYO acyclicity coincides with hw ≤ 1, and the two
     /// certificate forms convert into each other (the constructive proof).
     #[test]
