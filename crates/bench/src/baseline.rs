@@ -284,7 +284,7 @@ pub fn to_json_with_schema(schema: &str, label: &str, mode: &str, entries: &[Ent
     out
 }
 
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

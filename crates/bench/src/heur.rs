@@ -1,0 +1,332 @@
+//! The heuristic-subsystem benchmark (`bench/BENCH_heur.json`, schema
+//! `bench-heur/1`).
+//!
+//! Where [`crate::decomp`] tracks the exact engine on the paper's small
+//! families, this harness covers the regime the exact engine cannot
+//! touch: the [`workloads::large`] tier (banded CSPs and a long grid,
+//! hundreds of edges). Per instance it records
+//!
+//! * the width each elimination ordering reaches and the best heuristic
+//!   width after local improvement, with wall-clock;
+//! * the *bounded* exact search seeded by the heuristic width
+//!   ([`opt::hypertree_width_budgeted`]): exact width + time where the
+//!   budget suffices, or the level and steps at which it ran out — on
+//!   every large instance the exact solver does not finish, which is the
+//!   point;
+//! * end-to-end evaluation: the instance's canonical query over a planted
+//!   database, answered through the heuristic GHD (Lemma 4.6 pipeline) —
+//!   gated on the answer being `true` (planted) and on the GHD validating.
+//!
+//! Controls where the exact engine *is* feasible (Q5, cycle(64),
+//! grid(3,3)) pin heuristic-vs-exact width side by side.
+//!
+//! Run with `cargo run --release -p bench --bin bench_heur -- [--smoke]`.
+
+use crate::baseline::json_string;
+use cq::canonical_query;
+use heuristics::{best_decomposition, decompose_with, ALL_ORDERINGS};
+use hypergraph::Hypergraph;
+use hypertree_core::{opt, CandidateMode};
+use std::fmt::Write as _;
+use std::time::Instant;
+use workloads::{families, large, paper, random};
+
+/// Sampling/budget configuration for one run.
+#[derive(Clone, Copy, Debug)]
+pub struct HeurConfig {
+    /// Candidate-step budget per deepening level of the bounded exact
+    /// search.
+    pub exact_steps: u64,
+    /// Timed repetitions per phase (the minimum is reported).
+    pub runs: usize,
+}
+
+impl HeurConfig {
+    /// CI-friendly: small exact budget, single timed run.
+    pub fn smoke() -> Self {
+        HeurConfig {
+            exact_steps: 50_000,
+            runs: 1,
+        }
+    }
+
+    /// Local settings for recorded baselines.
+    pub fn full() -> Self {
+        HeurConfig {
+            exact_steps: 400_000,
+            runs: 3,
+        }
+    }
+}
+
+/// The outcome of the bounded exact search on one instance.
+#[derive(Clone, Debug)]
+pub enum ExactOutcome {
+    /// The search finished: `hw(h)` and its wall-clock.
+    Exact {
+        /// The exact hypertree width.
+        width: usize,
+        /// Wall-clock nanoseconds for the whole deepening run.
+        ns: u128,
+    },
+    /// The budget ran out at level `at_k` after `steps` candidate
+    /// examinations — the exact solver does not finish on this instance.
+    Exhausted {
+        /// Deepening level at which the budget died.
+        at_k: usize,
+        /// Steps spent on that level.
+        steps: u64,
+        /// Wall-clock nanoseconds until the budget died.
+        ns: u128,
+    },
+    /// Every level up to the heuristic width was refuted within budget:
+    /// `hw(h)` exceeds the window (possible because the heuristic width
+    /// only bounds *ghw*, and `ghw ≤ hw`).
+    AboveWindow {
+        /// The refuted window end (= the heuristic width).
+        window_end: usize,
+        /// Wall-clock nanoseconds for the whole refutation.
+        ns: u128,
+    },
+}
+
+/// One measured instance.
+#[derive(Clone, Debug)]
+pub struct HeurEntry {
+    /// Stable `group/case` id.
+    pub id: String,
+    /// `|var(H)|`.
+    pub vertices: usize,
+    /// `|edges(H)|`.
+    pub edges: usize,
+    /// Width per ordering heuristic, in [`ALL_ORDERINGS`] order.
+    pub ordering_widths: Vec<(&'static str, usize)>,
+    /// Best heuristic width (orderings + local improvement).
+    pub heur_width: usize,
+    /// Wall-clock of `best_decomposition`, nanoseconds.
+    pub heur_ns: u128,
+    /// The bounded exact search outcome.
+    pub exact: ExactOutcome,
+    /// Wall-clock of the end-to-end evaluation (reduce + Boolean sweep)
+    /// through the heuristic GHD, nanoseconds.
+    pub eval_ns: u128,
+}
+
+/// Minimum wall-clock of `runs` executions of `f` (at least one), with
+/// the last result.
+fn clocked<R>(runs: usize, mut f: impl FnMut() -> R) -> (u128, R) {
+    let mut best: Option<u128> = None;
+    let mut out: Option<R> = None;
+    for _ in 0..runs.max(1) {
+        let t0 = Instant::now();
+        let r = f();
+        let ns = t0.elapsed().as_nanos();
+        best = Some(best.map_or(ns, |b: u128| b.min(ns)));
+        out = Some(r);
+    }
+    (best.unwrap(), out.unwrap())
+}
+
+/// The instances this harness runs: the large tier plus the exact-feasible
+/// controls.
+pub fn instances() -> Vec<(String, Hypergraph)> {
+    let mut out: Vec<(String, Hypergraph)> = vec![
+        ("control/q5".into(), paper::q5().hypergraph()),
+        ("control/cycle64".into(), families::cycle(64).hypergraph()),
+        ("control/grid3x3".into(), families::grid(3, 3).hypergraph()),
+    ];
+    out.extend(
+        large::large_tier()
+            .into_iter()
+            .map(|i| (i.name.to_string(), i.h)),
+    );
+    out
+}
+
+/// Run the harness under `cfg`. Every instance is gated: the heuristic
+/// GHD must validate (generalized mode), the planted query must answer
+/// `true` through it, and on controls the exact width must not exceed the
+/// heuristic width.
+pub fn run(cfg: &HeurConfig) -> Vec<HeurEntry> {
+    instances()
+        .into_iter()
+        .map(|(id, h)| {
+            let ordering_widths: Vec<(&'static str, usize)> = ALL_ORDERINGS
+                .iter()
+                .map(|&heur| (heur.name(), decompose_with(&h, heur).width()))
+                .collect();
+
+            let (heur_ns, ghd) = clocked(cfg.runs, || best_decomposition(&h));
+            assert_eq!(ghd.validate_ghd(&h), Ok(()), "{id}: invalid heuristic GHD");
+            let heur_width = ghd.width();
+            for &(name, w) in &ordering_widths {
+                assert!(heur_width <= w, "{id}: best wider than {name}");
+            }
+
+            // Bounded exact search, seeded: deepen only up to the
+            // heuristic width.
+            let t0 = Instant::now();
+            let outcome = match opt::hypertree_width_budgeted(
+                &h,
+                CandidateMode::Pruned,
+                1..=heur_width,
+                cfg.exact_steps,
+            ) {
+                opt::BudgetedWidth::Exact(width) => {
+                    assert!(width <= heur_width, "{id}: exact width above heuristic");
+                    ExactOutcome::Exact {
+                        width,
+                        ns: t0.elapsed().as_nanos(),
+                    }
+                }
+                opt::BudgetedWidth::AboveWindow => ExactOutcome::AboveWindow {
+                    window_end: heur_width,
+                    ns: t0.elapsed().as_nanos(),
+                },
+                opt::BudgetedWidth::Exhausted { at_k, steps_used } => ExactOutcome::Exhausted {
+                    at_k,
+                    steps: steps_used,
+                    ns: t0.elapsed().as_nanos(),
+                },
+            };
+
+            // End-to-end evaluation through the heuristic GHD: canonical
+            // query, planted database (guaranteed true), Lemma 4.6
+            // pipeline. Tiny relations keep the r^width bound tame on the
+            // wide large-tier instances.
+            let q = canonical_query(&h);
+            let mut rng = random::rng(0xEB0 ^ h.num_edges() as u64);
+            let db = random::planted_database(&mut rng, &q, 3, 2);
+            let (eval_ns, answer) = clocked(cfg.runs, || {
+                eval::reduction::boolean_via_hd(&q, &db, &ghd).unwrap()
+            });
+            assert!(answer, "{id}: planted instance must answer true");
+
+            HeurEntry {
+                id,
+                vertices: h.num_vertices(),
+                edges: h.num_edges(),
+                ordering_widths,
+                heur_width,
+                heur_ns,
+                exact: outcome,
+                eval_ns,
+            }
+        })
+        .collect()
+}
+
+/// Serialise a run as `bench-heur/1` JSON (hand-rolled like the other
+/// baselines — the workspace builds offline):
+///
+/// ```json
+/// {
+///   "schema": "bench-heur/1", "label": "...", "mode": "smoke" | "full",
+///   "exact_step_budget": n,
+///   "entries": {
+///     "<group/case>": {
+///       "vertices": n, "edges": n,
+///       "widths": {"min-degree": n, "min-fill": n, "cover-greedy": n},
+///       "heur_width": n, "heur_ns": n,
+///       "exact": {"status": "exact" | "exhausted" | "above_window",
+///                  "width": n | null, "at_k": n | null, "steps": n | null,
+///                  "ns": n},
+///       "eval_ns": n
+///     }
+///   }
+/// }
+/// ```
+///
+/// `exact.at_k` is the deepening level the budget died at for
+/// `"exhausted"`, and the refuted window end (= the heuristic width, so
+/// `hw > at_k`) for `"above_window"`; it is `null` for `"exact"`.
+pub fn to_json(label: &str, mode: &str, cfg: &HeurConfig, entries: &[HeurEntry]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    writeln!(out, "  \"schema\": \"bench-heur/1\",").unwrap();
+    writeln!(out, "  \"label\": {},", json_string(label)).unwrap();
+    writeln!(out, "  \"mode\": {},", json_string(mode)).unwrap();
+    writeln!(out, "  \"exact_step_budget\": {},", cfg.exact_steps).unwrap();
+    out.push_str("  \"entries\": {\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        let widths: Vec<String> = e
+            .ordering_widths
+            .iter()
+            .map(|(name, w)| format!("{}: {}", json_string(name), w))
+            .collect();
+        let exact = match &e.exact {
+            ExactOutcome::Exact { width, ns } => format!(
+                "{{\"status\": \"exact\", \"width\": {width}, \"at_k\": null, \
+                 \"steps\": null, \"ns\": {ns}}}"
+            ),
+            ExactOutcome::Exhausted { at_k, steps, ns } => format!(
+                "{{\"status\": \"exhausted\", \"width\": null, \"at_k\": {at_k}, \
+                 \"steps\": {steps}, \"ns\": {ns}}}"
+            ),
+            ExactOutcome::AboveWindow { window_end, ns } => format!(
+                "{{\"status\": \"above_window\", \"width\": null, \"at_k\": {window_end}, \
+                 \"steps\": null, \"ns\": {ns}}}"
+            ),
+        };
+        writeln!(
+            out,
+            "    {}: {{\"vertices\": {}, \"edges\": {}, \"widths\": {{{}}}, \
+             \"heur_width\": {}, \"heur_ns\": {}, \"exact\": {}, \"eval_ns\": {}}}{}",
+            json_string(&e.id),
+            e.vertices,
+            e.edges,
+            widths.join(", "),
+            e.heur_width,
+            e.heur_ns,
+            exact,
+            e.eval_ns,
+            comma
+        )
+        .unwrap();
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_ids_are_unique_and_tier_is_large() {
+        let insts = instances();
+        let mut ids: Vec<_> = insts.iter().map(|(id, _)| id.clone()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), insts.len());
+        let large = insts.iter().filter(|(_, h)| h.num_edges() >= 100).count();
+        assert!(large >= 3, "need ≥ 3 large instances, found {large}");
+    }
+
+    #[test]
+    fn json_shape_is_balanced() {
+        let cfg = HeurConfig {
+            exact_steps: 10,
+            runs: 1,
+        };
+        let entries = vec![HeurEntry {
+            id: "g/c".into(),
+            vertices: 3,
+            edges: 3,
+            ordering_widths: vec![("min-degree", 2)],
+            heur_width: 2,
+            heur_ns: 1000,
+            exact: ExactOutcome::Exhausted {
+                at_k: 1,
+                steps: 10,
+                ns: 500,
+            },
+            eval_ns: 2000,
+        }];
+        let j = to_json("t", "smoke", &cfg, &entries);
+        assert!(j.contains("\"schema\": \"bench-heur/1\""));
+        assert!(j.contains("\"status\": \"exhausted\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

@@ -8,6 +8,7 @@
 
 pub mod baseline;
 pub mod decomp;
+pub mod heur;
 
 use cq::parse_query;
 use eval::naive::JoinOrder;

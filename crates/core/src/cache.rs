@@ -1,0 +1,139 @@
+//! A process-wide decomposition cache.
+//!
+//! Serving workloads ask the same (or structurally identical) queries over
+//! and over; decomposing is the expensive part of planning, and the result
+//! depends only on the query's *hypergraph*, not on the database. The
+//! cache keys on the rendered canonical query `cq(H)` (Definition A.2) —
+//! two hypergraphs with the same vertex/edge structure and names share a
+//! key — and stores `Arc`-shared decompositions so hits clone nothing but
+//! a pointer.
+//!
+//! The map sits behind a `parking_lot::Mutex`: planning is rare and
+//! bursty, the critical section is a hash-map probe, and the heavy work
+//! (the miss path) runs *outside* the lock — concurrent misses on the same
+//! key may both compute, last-write-wins, which is benign because every
+//! computed value for a key is interchangeable.
+
+use crate::hypertree::HypertreeDecomposition;
+use cq::canonical_query;
+use hypergraph::Hypergraph;
+use parking_lot::Mutex;
+use rustc_hash::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A small cache from canonical-query form to a shared decomposition.
+#[derive(Default)]
+pub struct DecompCache {
+    map: Mutex<FxHashMap<String, Arc<HypertreeDecomposition>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DecompCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cache key of `h`: its canonical query, rendered. Stable across
+    /// structurally identical hypergraphs (same names, same edge lists).
+    pub fn key_of(h: &Hypergraph) -> String {
+        canonical_query(h).to_string()
+    }
+
+    /// Look up the decomposition for `h`, computing it with `decompose` on
+    /// a miss. The computation runs outside the lock; its result must be a
+    /// decomposition of `h` (validity is the producer's contract, exactly
+    /// as when calling the producer directly).
+    pub fn get_or_insert_with(
+        &self,
+        h: &Hypergraph,
+        decompose: impl FnOnce(&Hypergraph) -> HypertreeDecomposition,
+    ) -> Arc<HypertreeDecomposition> {
+        let key = Self::key_of(h);
+        if let Some(hit) = self.map.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = Arc::new(decompose(h));
+        self.map.lock().insert(key, Arc::clone(&value));
+        value
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached decompositions.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// `true` iff nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached entry (counters are kept).
+    pub fn clear(&self) {
+        self.map.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt;
+
+    fn triangle() -> Hypergraph {
+        Hypergraph::from_edge_lists(3, &[&[0, 1], &[1, 2], &[0, 2]])
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let cache = DecompCache::new();
+        let h = triangle();
+        let mut computed = 0;
+        let first = cache.get_or_insert_with(&h, |h| {
+            computed += 1;
+            opt::optimal_decomposition(h)
+        });
+        assert_eq!((cache.hits(), cache.misses(), computed), (0, 1, 1));
+        assert_eq!(first.validate(&h), Ok(()));
+
+        // A structurally identical rebuild hits without recomputing.
+        let h2 = triangle();
+        let second = cache.get_or_insert_with(&h2, |_| unreachable!("must be a hit"));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(Arc::ptr_eq(&first, &second), "hits share the same Arc");
+
+        // A different shape misses again.
+        let path = Hypergraph::from_edge_lists(3, &[&[0, 1], &[1, 2]]);
+        let third = cache.get_or_insert_with(&path, opt::optimal_decomposition);
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+        assert_eq!(third.width(), 1);
+        assert_eq!(cache.len(), 2);
+
+        cache.clear();
+        assert!(cache.is_empty());
+        // Cleared: the triangle misses once more.
+        cache.get_or_insert_with(&h, opt::optimal_decomposition);
+        assert_eq!((cache.hits(), cache.misses()), (1, 3));
+    }
+
+    #[test]
+    fn keys_distinguish_names_and_structure() {
+        let a = triangle();
+        assert_eq!(DecompCache::key_of(&a), DecompCache::key_of(&triangle()));
+        let b = Hypergraph::from_edge_lists(3, &[&[0, 1], &[1, 2]]);
+        assert_ne!(DecompCache::key_of(&a), DecompCache::key_of(&b));
+    }
+}

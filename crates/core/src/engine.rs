@@ -37,6 +37,7 @@ use hypergraph::{
     components_inside, connecting_set, Component, EdgeId, EdgeSet, Hypergraph, Ix, RootedTree,
     VertexSet,
 };
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// One candidate-search engine for a fixed `(H, k, mode)` instance.
 pub(crate) struct SolverCore<'h> {
@@ -45,6 +46,16 @@ pub(crate) struct SolverCore<'h> {
     pub mode: CandidateMode,
     /// Edges with at least one vertex (nullary edges need no covering).
     pub pool_all: Vec<EdgeId>,
+    /// Candidate-step budget: the search charges one step per λ-label
+    /// candidate it examines and aborts once `step_limit` is spent. The
+    /// candidate loop dominates the exponential-in-`k` cost, so this bounds
+    /// wall-clock deterministically (no clocks involved). `u64::MAX` means
+    /// unbounded. Atomics because the parallel solver shares the core
+    /// across scoped threads; ordering is relaxed — the budget is a fuel
+    /// gauge, not a synchronisation point.
+    step_limit: u64,
+    steps: AtomicU64,
+    exhausted: AtomicBool,
 }
 
 impl<'h> SolverCore<'h> {
@@ -59,7 +70,46 @@ impl<'h> SolverCore<'h> {
             k,
             mode,
             pool_all,
+            step_limit: u64::MAX,
+            steps: AtomicU64::new(0),
+            exhausted: AtomicBool::new(false),
         }
+    }
+
+    /// Cap the number of candidate steps the search may spend. Once the
+    /// budget is spent the core's searches return `None` and
+    /// [`Self::exhausted`] reports `true` — the solver's memo is then
+    /// tainted with aborted subproblems, so an exhausted solver must be
+    /// discarded, never reused for a definitive answer.
+    pub fn set_step_limit(&mut self, limit: u64) {
+        self.step_limit = limit;
+    }
+
+    /// Candidate steps spent so far. Only counted under a step limit;
+    /// unbounded solvers report 0 (their loop skips the shared counter).
+    pub fn steps_used(&self) -> u64 {
+        self.steps.load(Ordering::Relaxed)
+    }
+
+    /// `true` iff the step budget ran out at some point.
+    pub fn exhausted(&self) -> bool {
+        self.exhausted.load(Ordering::Relaxed)
+    }
+
+    /// Charge one candidate step; `false` once the budget is spent.
+    /// Unbounded solvers skip the counter entirely — the candidate loop is
+    /// the parallel solver's contended hot path, and an always-on shared
+    /// `fetch_add` would tax it for a gauge nobody reads.
+    #[inline]
+    fn charge(&self) -> bool {
+        if self.step_limit == u64::MAX {
+            return true;
+        }
+        if self.steps.fetch_add(1, Ordering::Relaxed) >= self.step_limit {
+            self.exhausted.store(true, Ordering::Relaxed);
+            return false;
+        }
+        true
     }
 
     /// The initial pseudo-component: `comp(s0) = var(Q)` (all vertices that
@@ -123,6 +173,9 @@ impl<'h> SolverCore<'h> {
         let mut label_vars = h.empty_vertex_set();
         let mut state = SubsetState::new(pool.len(), self.k);
         while let Some(s) = state.advance() {
+            if !self.charge() {
+                return None;
+            }
             label.clear();
             label_vars.clear();
             for &i in s {

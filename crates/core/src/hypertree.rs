@@ -27,6 +27,24 @@ pub struct HypertreeDecomposition {
     lambda: Vec<EdgeSet>,
 }
 
+/// Which definition a decomposition is checked against.
+///
+/// A *generalized* hypertree decomposition (GHD) drops the descendant
+/// condition (condition 4 of Definition 4.1). Every width-`k` GHD still
+/// makes the Lemma 4.6 reduction work — conditions 1–3 are all the
+/// evaluation pipeline needs — so heuristic engines that cannot guarantee
+/// the descendant condition validate in [`ValidityMode::Generalized`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum ValidityMode {
+    /// All four conditions of Definition 4.1 (the paper's hypertree
+    /// decompositions; width minimum is `hw(H)`).
+    #[default]
+    Hypertree,
+    /// Conditions 1–3 only (generalized hypertree decompositions; width
+    /// minimum is `ghw(H) ≤ hw(H)`).
+    Generalized,
+}
+
 /// A violation of Definition 4.1 (or of structural sanity).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum HdViolation {
@@ -125,6 +143,13 @@ impl HypertreeDecomposition {
     /// Check all four conditions of Definition 4.1 against `h`, collecting
     /// every violation (an empty list means the decomposition is valid).
     pub fn violations(&self, h: &Hypergraph) -> Vec<HdViolation> {
+        self.violations_with(h, ValidityMode::Hypertree)
+    }
+
+    /// [`Self::violations`] under an explicit [`ValidityMode`]:
+    /// `Generalized` skips condition 4 (the descendant condition), which is
+    /// exactly the GHD relaxation.
+    pub fn violations_with(&self, h: &Hypergraph, mode: ValidityMode) -> Vec<HdViolation> {
         let mut out = Vec::new();
 
         // Condition 1: coverage of every edge.
@@ -162,16 +187,19 @@ impl HypertreeDecomposition {
             }
         }
 
-        // Conditions 3 and 4 per node.
+        // Condition 3 (both modes) and condition 4 (hypertree mode only)
+        // per node.
         for p in self.tree.nodes() {
             let lambda_vars = h.vertices_of_edges(&self.lambda[p.index()]);
             if !self.chi[p.index()].is_subset_of(&lambda_vars) {
                 out.push(HdViolation::ChiNotCoveredByLambda(p));
             }
-            let mut reused = lambda_vars;
-            reused.intersect_with(&self.chi_subtree(p));
-            if !reused.is_subset_of(&self.chi[p.index()]) {
-                out.push(HdViolation::SpecialConditionViolated(p));
+            if mode == ValidityMode::Hypertree {
+                let mut reused = lambda_vars;
+                reused.intersect_with(&self.chi_subtree(p));
+                if !reused.is_subset_of(&self.chi[p.index()]) {
+                    out.push(HdViolation::SpecialConditionViolated(p));
+                }
             }
         }
 
@@ -181,6 +209,19 @@ impl HypertreeDecomposition {
     /// `Ok(())` iff this is a hypertree decomposition of `h`.
     pub fn validate(&self, h: &Hypergraph) -> Result<(), Vec<HdViolation>> {
         let v = self.violations(h);
+        if v.is_empty() {
+            Ok(())
+        } else {
+            Err(v)
+        }
+    }
+
+    /// `Ok(())` iff this is a *generalized* hypertree decomposition of `h`
+    /// (conditions 1–3 of Definition 4.1; the descendant condition is not
+    /// required). Everything the Lemma 4.6 evaluation pipeline consumes is
+    /// checked.
+    pub fn validate_ghd(&self, h: &Hypergraph) -> Result<(), Vec<HdViolation>> {
+        let v = self.violations_with(h, ValidityMode::Generalized);
         if v.is_empty() {
             Ok(())
         } else {
@@ -392,6 +433,33 @@ mod tests {
         assert!(hd
             .violations(&h)
             .contains(&HdViolation::SpecialConditionViolated(NodeId(0))));
+        // The same triple is a perfectly good *generalized* decomposition:
+        // conditions 1–3 hold, only the descendant condition fails.
+        assert_eq!(hd.validate_ghd(&h), Ok(()));
+        assert!(hd.violations_with(&h, ValidityMode::Generalized).is_empty());
+    }
+
+    #[test]
+    fn ghd_mode_still_detects_conditions_1_to_3() {
+        let h = q1();
+        // Missing edge coverage is a violation in both modes.
+        let hd = HypertreeDecomposition::new(
+            RootedTree::new(),
+            vec![vset(&h, &["P", "S", "C", "A"])],
+            vec![eset(&h, &["teaches", "parent"])],
+        );
+        assert!(hd.validate_ghd(&h).is_err());
+        // So is χ ⊄ var(λ).
+        let hd = HypertreeDecomposition::new(
+            RootedTree::new(),
+            vec![vset(&h, &["P", "S", "A"])],
+            vec![eset(&h, &["parent"])],
+        );
+        assert!(hd
+            .violations_with(&h, ValidityMode::Generalized)
+            .contains(&HdViolation::ChiNotCoveredByLambda(NodeId(0))));
+        // Every valid HD is a valid GHD.
+        assert_eq!(fig6a(&h).validate_ghd(&h), Ok(()));
     }
 
     #[test]

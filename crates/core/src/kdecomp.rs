@@ -79,6 +79,44 @@ impl<'h> Solver<'h> {
         }
     }
 
+    /// A solver whose search may spend at most `steps` candidate
+    /// examinations (the unit the exponential-in-`k` loop is measured in).
+    /// Use [`Self::decide_bounded`] with it; once the budget is exhausted
+    /// the memo holds aborted subproblems and the solver answers
+    /// `None` forever — make a fresh solver to retry with a larger budget.
+    pub fn with_budget(h: &'h Hypergraph, k: usize, mode: CandidateMode, steps: u64) -> Self {
+        let mut solver = Self::new(h, k, mode);
+        solver.core.set_step_limit(steps);
+        solver
+    }
+
+    /// Decide `hw(H) ≤ k` within the step budget: `Some(verdict)` when the
+    /// search completed, `None` when the budget ran out first (the verdict
+    /// is then unknown — crucially *not* "no").
+    pub fn decide_bounded(&mut self) -> Option<bool> {
+        if self.core.exhausted() {
+            return None;
+        }
+        let verdict = self.decide();
+        if self.core.exhausted() {
+            None
+        } else {
+            Some(verdict)
+        }
+    }
+
+    /// `true` iff a step budget was exhausted at some point (after which
+    /// the solver's memo is tainted and every answer is `None`).
+    pub fn budget_exhausted(&self) -> bool {
+        self.core.exhausted()
+    }
+
+    /// Candidate steps spent so far (0 on unbounded solvers — only
+    /// budgeted searches pay for the shared counter).
+    pub fn steps_used(&self) -> u64 {
+        self.core.steps_used()
+    }
+
     /// Decide `hw(H) ≤ k`. Memoised: a second call only re-reads the root
     /// subproblem.
     pub fn decide(&mut self) -> bool {
@@ -320,5 +358,25 @@ mod tests {
     #[should_panic(expected = "k ≥ 1")]
     fn k_zero_panics() {
         decide(&q1(), 0, CandidateMode::Pruned);
+    }
+
+    #[test]
+    fn budget_bounds_the_search() {
+        let h = q5();
+        // A tiny budget exhausts: the verdict is unknown, not "no".
+        let mut s = Solver::with_budget(&h, 2, CandidateMode::Pruned, 3);
+        assert_eq!(s.decide_bounded(), None);
+        assert!(s.budget_exhausted());
+        assert_eq!(s.decide_bounded(), None, "exhausted solvers stay exhausted");
+        assert!(s.decompose().is_none());
+        // A generous budget decides and matches the unbounded verdict.
+        let mut s = Solver::with_budget(&h, 2, CandidateMode::Pruned, 1_000_000);
+        assert_eq!(s.decide_bounded(), Some(true));
+        assert!(!s.budget_exhausted());
+        assert!(s.steps_used() > 0);
+        let hd = s.decompose().expect("within budget, extraction works");
+        assert_eq!(hd.validate(&h), Ok(()));
+        let mut s = Solver::with_budget(&h, 1, CandidateMode::Pruned, 1_000_000);
+        assert_eq!(s.decide_bounded(), Some(false));
     }
 }

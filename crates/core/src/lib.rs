@@ -39,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod datalog;
 pub mod dot;
 mod engine;
@@ -51,6 +52,7 @@ pub mod querydecomp;
 pub mod subsets;
 pub mod theorem45;
 
-pub use hypertree::{HdViolation, HypertreeDecomposition};
+pub use cache::DecompCache;
+pub use hypertree::{HdViolation, HypertreeDecomposition, ValidityMode};
 pub use kdecomp::{CandidateMode, Solver};
 pub use querydecomp::{BudgetExceeded, QdViolation, QueryDecomposition};

@@ -10,7 +10,8 @@
 use crate::hypertree::HypertreeDecomposition;
 use crate::kdecomp::{CandidateMode, Solver};
 use crate::querydecomp::QueryDecomposition;
-use hypergraph::{Hypergraph, NodeId};
+use hypergraph::{acyclic, Hypergraph, NodeId};
+use std::ops::RangeInclusive;
 
 /// The exact hypertree width of `h` (0 for edgeless hypergraphs).
 pub fn hypertree_width(h: &Hypergraph) -> usize {
@@ -20,6 +21,30 @@ pub fn hypertree_width(h: &Hypergraph) -> usize {
 /// [`hypertree_width`] with an explicit candidate mode.
 pub fn hypertree_width_with(h: &Hypergraph, mode: CandidateMode) -> usize {
     deepen(h, mode).map_or(0, |(k, _)| k)
+}
+
+/// The number of non-nullary edges of `h` — the width of the trivial
+/// single-node decomposition, hence the upper end of every deepening
+/// window. Factored out so deepening, the solvers, and callers share one
+/// definition of the trivial bound.
+pub fn nonempty_edge_count(h: &Hypergraph) -> usize {
+    h.edges()
+        .filter(|&e| !h.edge_vertices(e).is_empty())
+        .count()
+}
+
+/// A cheap lower bound on `hw(h)`: `0` when there is nothing to cover,
+/// `1` for acyclic hypergraphs, else `2` (Theorem 4.5: `hw ≤ 1` iff
+/// acyclic). Used by the upper-bound-seeded search to stop deepening — and
+/// to skip it entirely when a heuristic witness already meets the bound.
+pub fn hypertree_width_lower_bound(h: &Hypergraph) -> usize {
+    if nonempty_edge_count(h) == 0 {
+        0
+    } else if acyclic::is_acyclic(h) {
+        1
+    } else {
+        2
+    }
 }
 
 /// An optimal (minimum-width, normal-form) hypertree decomposition of `h`.
@@ -41,17 +66,116 @@ pub fn optimal_decomposition_with(h: &Hypergraph, mode: CandidateMode) -> Hypert
     }
 }
 
-/// Iterative deepening on `k` (each run is polynomial for fixed `k`,
-/// Theorem 5.16; the trivial single-node decomposition bounds the search
-/// by `|edges(H)|`). Returns `hw(h)` together with the successful solver —
-/// its memo is warm, so the caller can extract the witness without
-/// re-running `decide` from scratch. `None` for edgeless hypergraphs.
+/// `hw(h)` if it is at most `max_k`, else `None` — iterative deepening
+/// over the window `1..=min(max_k, m)` only, so a caller holding an upper
+/// bound (e.g. a heuristic GHD) never pays for levels above it.
+pub fn hypertree_width_bounded(h: &Hypergraph, mode: CandidateMode, max_k: usize) -> Option<usize> {
+    if nonempty_edge_count(h) == 0 {
+        return Some(0);
+    }
+    deepen_in(h, mode, 1..=max_k).map(|(k, _)| k)
+}
+
+/// Outcome of a budgeted width search ([`hypertree_width_budgeted`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BudgetedWidth {
+    /// The search completed: `hw(h)` is exactly this value.
+    Exact(usize),
+    /// Every level of the window was decided negative: `hw(h) > max_k`.
+    AboveWindow,
+    /// The step budget ran out while deciding level `k` — `hw(h)` is
+    /// unknown beyond `hw(h) ≥ k` (all lower levels were decided negative).
+    Exhausted {
+        /// The level at which the budget ran out.
+        at_k: usize,
+        /// Candidate steps spent on that level before giving up.
+        steps_used: u64,
+    },
+}
+
+/// Iterative deepening over `lo..=min(max_k, m)` where every level gets at
+/// most `steps_per_level` candidate examinations. This is the bounded
+/// exact search the heuristic subsystem leans on: on instances the exact
+/// engine cannot finish, it fails *fast and deterministically* instead of
+/// hanging, and the caller falls back to the heuristic decomposition.
+pub fn hypertree_width_budgeted(
+    h: &Hypergraph,
+    mode: CandidateMode,
+    window: RangeInclusive<usize>,
+    steps_per_level: u64,
+) -> BudgetedWidth {
+    let m = nonempty_edge_count(h);
+    if m == 0 {
+        return BudgetedWidth::Exact(0);
+    }
+    let lo = (*window.start()).max(1);
+    let hi = (*window.end()).min(m);
+    for k in lo..=hi {
+        let mut solver = Solver::with_budget(h, k, mode, steps_per_level);
+        match solver.decide_bounded() {
+            Some(true) => return BudgetedWidth::Exact(k),
+            Some(false) => continue,
+            None => {
+                return BudgetedWidth::Exhausted {
+                    at_k: k,
+                    steps_used: solver.steps_used(),
+                }
+            }
+        }
+    }
+    BudgetedWidth::AboveWindow
+}
+
+/// Optimal decomposition seeded with a known-valid witness: `seed` must be
+/// a valid *hypertree* decomposition of `h` (condition 4 included), so
+/// `hw(h) ≤ seed.width()` and deepening only needs the window
+/// `lb..=seed.width()-1`. Early-exits without any search when the seed
+/// width already meets the [`hypertree_width_lower_bound`]; when the
+/// window comes up empty the seed itself is optimal and is returned.
+pub fn optimal_decomposition_seeded(
+    h: &Hypergraph,
+    mode: CandidateMode,
+    seed: &HypertreeDecomposition,
+) -> HypertreeDecomposition {
+    assert_eq!(
+        seed.validate(h),
+        Ok(()),
+        "the seed must be a valid hypertree decomposition (its width is the upper bound)"
+    );
+    let lb = hypertree_width_lower_bound(h);
+    if seed.width() <= lb {
+        return seed.clone();
+    }
+    match deepen_in(h, mode, lb.max(1)..=seed.width() - 1) {
+        Some((_, mut solver)) => solver
+            .decompose()
+            .expect("a positive level admits a decomposition"),
+        None => seed.clone(),
+    }
+}
+
+/// Iterative deepening on `k` over the full window `1..=m` (each run is
+/// polynomial for fixed `k`, Theorem 5.16; the trivial single-node
+/// decomposition bounds the search by `m = |edges(H)|`). Returns `hw(h)`
+/// together with the successful solver — its memo is warm, so the caller
+/// can extract the witness without re-running `decide` from scratch.
+/// `None` for edgeless hypergraphs.
 fn deepen(h: &Hypergraph, mode: CandidateMode) -> Option<(usize, Solver<'_>)> {
-    let m = h
-        .edges()
-        .filter(|&e| !h.edge_vertices(e).is_empty())
-        .count();
-    for k in 1..=m {
+    deepen_in(h, mode, 1..=nonempty_edge_count(h))
+}
+
+/// [`deepen`] over an explicit window `lo..=hi` (clamped to `1..=m`): the
+/// first level in the window that decides positive wins. Callers with an
+/// upper bound pass `lo..=bound-1`; callers with a lower bound start
+/// there instead of at `1`.
+fn deepen_in(
+    h: &Hypergraph,
+    mode: CandidateMode,
+    window: RangeInclusive<usize>,
+) -> Option<(usize, Solver<'_>)> {
+    let lo = (*window.start()).max(1);
+    let hi = (*window.end()).min(nonempty_edge_count(h));
+    for k in lo..=hi {
         let mut solver = Solver::new(h, k, mode);
         if solver.decide() {
             return Some((k, solver));
@@ -149,5 +273,82 @@ mod tests {
             hypertree_width_with(&h, CandidateMode::Full),
             hypertree_width_with(&h, CandidateMode::Pruned)
         );
+    }
+
+    #[test]
+    fn lower_bound_brackets_the_width() {
+        let empty = Hypergraph::from_edge_lists(3, &[]);
+        assert_eq!(hypertree_width_lower_bound(&empty), 0);
+        let path = Hypergraph::from_edge_lists(4, &[&[0, 1], &[1, 2], &[2, 3]]);
+        assert_eq!(hypertree_width_lower_bound(&path), 1);
+        let triangle = Hypergraph::from_edge_lists(3, &[&[0, 1], &[1, 2], &[0, 2]]);
+        assert_eq!(hypertree_width_lower_bound(&triangle), 2);
+        for h in [&empty, &path, &triangle] {
+            assert!(hypertree_width_lower_bound(h) <= hypertree_width(h));
+        }
+        assert_eq!(nonempty_edge_count(&triangle), 3);
+        assert_eq!(
+            nonempty_edge_count(&Hypergraph::from_edge_lists(2, &[&[], &[0, 1]])),
+            1
+        );
+    }
+
+    #[test]
+    fn bounded_width_respects_the_window() {
+        let triangle = Hypergraph::from_edge_lists(3, &[&[0, 1], &[1, 2], &[0, 2]]);
+        assert_eq!(
+            hypertree_width_bounded(&triangle, CandidateMode::Pruned, 1),
+            None
+        );
+        assert_eq!(
+            hypertree_width_bounded(&triangle, CandidateMode::Pruned, 2),
+            Some(2)
+        );
+        let empty = Hypergraph::from_edge_lists(0, &[]);
+        assert_eq!(
+            hypertree_width_bounded(&empty, CandidateMode::Pruned, 1),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn budgeted_width_reports_exhaustion_honestly() {
+        let triangle = Hypergraph::from_edge_lists(3, &[&[0, 1], &[1, 2], &[0, 2]]);
+        assert_eq!(
+            hypertree_width_budgeted(&triangle, CandidateMode::Pruned, 1..=3, 1_000_000),
+            BudgetedWidth::Exact(2)
+        );
+        assert_eq!(
+            hypertree_width_budgeted(&triangle, CandidateMode::Pruned, 1..=1, 1_000_000),
+            BudgetedWidth::AboveWindow
+        );
+        match hypertree_width_budgeted(&triangle, CandidateMode::Pruned, 1..=3, 1) {
+            BudgetedWidth::Exhausted { at_k, steps_used } => {
+                assert_eq!(at_k, 1);
+                assert!(steps_used >= 1);
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seeded_search_improves_on_wide_seeds_and_keeps_tight_ones() {
+        let h =
+            Hypergraph::from_edge_lists(6, &[&[0, 1], &[1, 2], &[2, 3], &[3, 4], &[4, 5], &[5, 0]]);
+        // The trivial width-6 seed is beaten down to the true optimum 2.
+        let trivial = HypertreeDecomposition::trivial(&h);
+        let hd = optimal_decomposition_seeded(&h, CandidateMode::Pruned, &trivial);
+        assert_eq!(hd.width(), 2);
+        assert_eq!(hd.validate(&h), Ok(()));
+        // A width-2 seed on a cyclic instance meets the lower bound: the
+        // seed itself comes back, with no deepening at all.
+        let seeded_again = optimal_decomposition_seeded(&h, CandidateMode::Pruned, &hd);
+        assert_eq!(seeded_again, hd);
+        // Acyclic instance: lower bound 1 short-circuits a width-1 seed.
+        let path = Hypergraph::from_edge_lists(3, &[&[0, 1], &[1, 2]]);
+        let opt = optimal_decomposition(&path);
+        assert_eq!(opt.width(), 1);
+        let kept = optimal_decomposition_seeded(&path, CandidateMode::Pruned, &opt);
+        assert_eq!(kept, opt);
     }
 }

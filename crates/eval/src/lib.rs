@@ -69,6 +69,40 @@ impl Strategy {
         }
     }
 
+    /// Plan `q` heuristically: a join tree if acyclic, otherwise the best
+    /// elimination-ordering GHD (`heuristics::best_decomposition`). Where
+    /// [`Strategy::plan`] is exponential in the width, this is polynomial
+    /// throughout — the planner for queries beyond the exact engine's
+    /// reach, at the price of a possibly non-optimal width.
+    pub fn plan_heuristic(q: &ConjunctiveQuery) -> Strategy {
+        let h = q.hypergraph();
+        match acyclic::join_tree(&h) {
+            Some(jt) => Strategy::JoinTree(jt),
+            None => Strategy::Hypertree(heuristics::best_decomposition(&h)),
+        }
+    }
+
+    /// Plan `q` adaptively: a join tree if acyclic, otherwise
+    /// `heuristics::decompose_auto` — a heuristic GHD upper bound,
+    /// sharpened by a bounded exact search that spends at most
+    /// `exact_steps` candidate examinations per width level before
+    /// settling for the heuristic witness.
+    pub fn plan_auto(q: &ConjunctiveQuery, exact_steps: u64) -> Strategy {
+        let h = q.hypergraph();
+        match acyclic::join_tree(&h) {
+            Some(jt) => Strategy::JoinTree(jt),
+            None => Strategy::Hypertree(heuristics::decompose_auto(&h, exact_steps).hd),
+        }
+    }
+
+    /// Wrap an externally produced decomposition (exact, heuristic, or
+    /// hand-written). It must validate for `q`'s hypergraph at least in
+    /// [`hypertree_core::ValidityMode::Generalized`] — everything the
+    /// Lemma 4.6 pipeline needs.
+    pub fn from_decomposition(hd: HypertreeDecomposition) -> Strategy {
+        Strategy::Hypertree(hd)
+    }
+
     /// Plan with an explicit width bound; `None` if `hw(q) > k`.
     pub fn plan_with_width(q: &ConjunctiveQuery, k: usize) -> Option<Strategy> {
         let h = q.hypergraph();
@@ -208,5 +242,80 @@ mod tests {
         let q = parse_query("ans :- r(X).").unwrap();
         assert_eq!(evaluate_boolean(&q, &Database::new()), Ok(false));
         assert!(evaluate(&q, &Database::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn heuristic_plans_agree_with_exact_plans() {
+        let q = parse_query("ans(X,Y,Z) :- r(X,Y), s(Y,Z), t(Z,X).").unwrap();
+        let mut db = Database::new();
+        for i in 0..6u64 {
+            db.add_fact("r", &[i, (i + 1) % 6]);
+            db.add_fact("s", &[(i + 1) % 6, (i + 2) % 6]);
+            db.add_fact("t", &[(i + 2) % 6, i]);
+        }
+        for plan in [
+            Strategy::plan_heuristic(&q),
+            Strategy::plan_auto(&q, 10_000),
+        ] {
+            assert!(matches!(plan, Strategy::Hypertree(_)));
+            assert_eq!(
+                plan.boolean(&q, &db).unwrap(),
+                Strategy::plan(&q).boolean(&q, &db).unwrap()
+            );
+            let exact = Strategy::plan(&q).enumerate(&q, &db).unwrap();
+            let heur = plan.enumerate(&q, &db).unwrap();
+            assert_eq!(heur.len(), exact.len());
+        }
+        // Acyclic queries still get join trees.
+        let acyclic_q = parse_query("ans :- r(X,Y), s(Y,Z).").unwrap();
+        assert!(matches!(
+            Strategy::plan_heuristic(&acyclic_q),
+            Strategy::JoinTree(_)
+        ));
+    }
+
+    #[test]
+    fn ghd_without_descendant_condition_drives_the_pipeline() {
+        // A GHD that is *not* a hypertree decomposition (condition 4
+        // fails at the root) still evaluates correctly via Lemma 4.6.
+        use hypergraph::RootedTree;
+        let q = parse_query("ans :- enrolled(S,C,R), teaches(P,C,A), parent(P,S).").unwrap();
+        let h = q.hypergraph();
+        let vset = |names: &[&str]| {
+            let mut s = h.empty_vertex_set();
+            for n in names {
+                s.insert(h.vertex_by_name(n).unwrap());
+            }
+            s
+        };
+        let eset = |names: &[&str]| {
+            let mut s = h.empty_edge_set();
+            for n in names {
+                s.insert(h.edge_by_name(n).unwrap());
+            }
+            s
+        };
+        let mut tree = RootedTree::new();
+        tree.add_child(tree.root());
+        // Root drops C from χ while λ provides it; C reappears below.
+        let hd = HypertreeDecomposition::new(
+            tree,
+            vec![vset(&["S", "R"]), vset(&["P", "S", "C", "A", "R"])],
+            vec![
+                eset(&["enrolled"]),
+                eset(&["teaches", "parent", "enrolled"]),
+            ],
+        );
+        assert!(hd.validate(&h).is_err(), "deliberately not a full HD");
+        assert_eq!(hd.validate_ghd(&h), Ok(()));
+        let mut db = Database::new();
+        db.add_fact("enrolled", &[2, 7, 2000]);
+        db.add_fact("teaches", &[1, 7, 1]);
+        db.add_fact("parent", &[1, 2]);
+        let plan = Strategy::from_decomposition(hd);
+        assert_eq!(plan.boolean(&q, &db), Ok(true));
+        db.insert("parent", relation::Relation::from_rows(2, &[[9u64, 9]]));
+        let plan2 = plan.clone();
+        assert_eq!(plan2.boolean(&q, &db), Ok(false));
     }
 }

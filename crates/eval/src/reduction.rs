@@ -51,10 +51,16 @@ pub fn reduce(
     hd: &HypertreeDecomposition,
 ) -> Result<ReducedInstance, EvalError> {
     let h = q.hypergraph();
+    // The construction only leans on conditions 1–3 (coverage gives every
+    // atom a home node, connectedness makes the tree a join tree of the
+    // induced query, and χ ⊆ var(λ) bounds node relations by r^|λ|) — the
+    // descendant condition plays no role in the proof. Validating in
+    // generalized mode is what lets heuristic GHDs drive the pipeline on
+    // instances the exact solver cannot decompose.
     debug_assert_eq!(
-        hd.validate(&h),
+        hd.validate_ghd(&h),
         Ok(()),
-        "reduce() needs a valid decomposition"
+        "reduce() needs a valid (generalized) decomposition"
     );
     let complete = hd.complete(&h);
     let bound = bind_all(q, db)?;

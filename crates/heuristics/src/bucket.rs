@@ -1,0 +1,246 @@
+//! Bucket elimination: from a vertex elimination order to a generalized
+//! hypertree decomposition.
+//!
+//! Replaying an order through the fill graph yields the classic
+//! elimination tree decomposition: the *bag* of `v` is its closed live
+//! neighbourhood at elimination time, and `bag(v)` hangs under the bag of
+//! the earliest-eliminated other member of `bag(v)`. Every hyperedge is a
+//! clique of the primal graph, so it lands inside the bag of its
+//! first-eliminated member (condition 1); the running-intersection
+//! property of elimination orders gives connectedness (condition 2); and
+//! labelling each bag with a greedy edge cover gives `χ(p) ⊆ var(λ(p))`
+//! (condition 3). The result is a GHD — the descendant condition is *not*
+//! guaranteed, which is exactly why [`hypertree_core::ValidityMode`] grew
+//! a `Generalized` mode.
+//!
+//! Bags that are subsets of their (effective) parent's bag are merged away
+//! before labelling: the standard width-preserving simplification, which
+//! keeps node counts near the number of "interesting" vertices instead of
+//! `|var(H)|`.
+
+use crate::order::{greedy_cover, FillGraph};
+use hypergraph::{Hypergraph, Ix, RootedTree, VertexId, VertexSet};
+use hypertree_core::HypertreeDecomposition;
+
+/// The width-0 single-node decomposition for hypergraphs with no nonempty
+/// edge (nullary edges are covered by any node).
+fn empty_decomposition(h: &Hypergraph) -> HypertreeDecomposition {
+    HypertreeDecomposition::new(
+        RootedTree::new(),
+        vec![h.empty_vertex_set()],
+        vec![h.empty_edge_set()],
+    )
+}
+
+/// Assemble the GHD induced by eliminating `order` (which must enumerate
+/// exactly the edge-incident vertices of `h`, each once — what the
+/// ordering functions in [`crate::order`] produce). The result validates
+/// in [`hypertree_core::ValidityMode::Generalized`]; its width is the
+/// order's cover-width.
+pub fn decompose_with_order(h: &Hypergraph, order: &[VertexId]) -> HypertreeDecomposition {
+    let n = h.num_vertices();
+    if order.is_empty() {
+        return empty_decomposition(h);
+    }
+    let mut fill = FillGraph::new(h);
+    debug_assert_eq!(
+        &VertexSet::from_iter(n, order.iter().copied()),
+        fill.alive(),
+        "order must enumerate exactly the edge-incident vertices"
+    );
+
+    // Pass 1: bags and parent links (by position in the order).
+    let mut pos = vec![usize::MAX; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v.index()] = i;
+    }
+    let mut bags: Vec<VertexSet> = Vec::with_capacity(order.len());
+    let mut parent: Vec<Option<usize>> = Vec::with_capacity(order.len());
+    for &v in order {
+        let bag = fill.bag_of(v);
+        parent.push(bag.iter().filter(|&u| u != v).map(|u| pos[u.index()]).min());
+        bags.push(bag);
+        fill.eliminate(v);
+    }
+
+    // Pass 2: contract tree edges whose endpoint bags are nested, keeping
+    // the superset bag — the standard width-preserving simplification,
+    // applied in both directions (in elimination trees the *parent* bag is
+    // frequently the subset, e.g. along the shrinking chain a single wide
+    // edge produces). `merged_into` chains dropped bags to their survivor.
+    let len = order.len();
+    let mut alive = vec![true; len];
+    let mut merged_into: Vec<usize> = (0..len).collect();
+    let find = |merged_into: &[usize], mut x: usize| -> usize {
+        while merged_into[x] != x {
+            x = merged_into[x];
+        }
+        x
+    };
+    loop {
+        let mut changed = false;
+        for i in 0..len {
+            if !alive[i] {
+                continue;
+            }
+            let Some(p_raw) = parent[i] else { continue };
+            let p = find(&merged_into, p_raw);
+            if bags[i].is_subset_of(&bags[p]) {
+                // Drop i; its children re-resolve to p through the chain.
+                alive[i] = false;
+                merged_into[i] = p;
+                changed = true;
+            } else if bags[p].is_subset_of(&bags[i]) {
+                // Drop the parent; i takes over its parent link.
+                parent[i] = parent[p];
+                alive[p] = false;
+                merged_into[p] = i;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Pass 3: build the tree over surviving bags. The representative of
+    // the last elimination is the root; other parentless bags — one per
+    // extra connected component — also hang under it (they share no
+    // variables with it, so connectedness is unaffected).
+    let root_idx = find(&merged_into, len - 1);
+    debug_assert!(alive[root_idx]);
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); len];
+    for i in 0..len {
+        if !alive[i] || i == root_idx {
+            continue;
+        }
+        let p = match parent[i] {
+            Some(p_raw) => find(&merged_into, p_raw),
+            None => root_idx,
+        };
+        debug_assert_ne!(p, i, "contraction keeps the forest acyclic");
+        children[p].push(i);
+    }
+    let mut tree = RootedTree::new();
+    let mut chi = vec![bags[root_idx].clone()];
+    let mut stack = vec![(root_idx, tree.root())];
+    while let Some((i, node)) = stack.pop() {
+        for &c in &children[i] {
+            let child_node = tree.add_child(node);
+            debug_assert_eq!(child_node.index(), chi.len());
+            chi.push(bags[c].clone());
+            stack.push((c, child_node));
+        }
+    }
+
+    // Pass 4: λ-labels by greedy edge cover of each bag.
+    let lambda = chi.iter().map(|bag| greedy_cover(h, bag)).collect();
+    HypertreeDecomposition::new(tree, chi, lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::{cover_greedy_order, min_degree_order, min_fill_order};
+    use hypertree_core::opt;
+
+    fn check_all_orderings(h: &Hypergraph) -> Vec<HypertreeDecomposition> {
+        [
+            min_degree_order(h),
+            min_fill_order(h),
+            cover_greedy_order(h),
+        ]
+        .into_iter()
+        .map(|order| {
+            let hd = decompose_with_order(h, &order);
+            assert_eq!(hd.validate_ghd(h), Ok(()), "order {order:?} on {h:?}");
+            hd
+        })
+        .collect()
+    }
+
+    #[test]
+    fn cycle_decomposes_at_optimal_width() {
+        let h =
+            Hypergraph::from_edge_lists(6, &[&[0, 1], &[1, 2], &[2, 3], &[3, 4], &[4, 5], &[5, 0]]);
+        for hd in check_all_orderings(&h) {
+            assert_eq!(hd.width(), 2, "cycle bags are 3 vertices / 2 edges");
+        }
+    }
+
+    #[test]
+    fn acyclic_instances_get_width_close_to_one() {
+        let h = Hypergraph::from_edge_lists(4, &[&[0, 1], &[1, 2], &[2, 3]]);
+        for hd in check_all_orderings(&h) {
+            assert!(hd.width() <= 2);
+            assert!(hd.width() >= 1);
+        }
+        // A single wide edge: exactly one bag, one cover edge.
+        let wide = Hypergraph::from_edge_lists(5, &[&[0, 1, 2, 3, 4]]);
+        for hd in check_all_orderings(&wide) {
+            assert_eq!(hd.width(), 1);
+            assert_eq!(hd.len(), 1, "subset bags merge into the wide bag");
+        }
+    }
+
+    #[test]
+    fn disconnected_and_degenerate_shapes() {
+        let disconnected =
+            Hypergraph::from_edge_lists(6, &[&[0, 1], &[1, 2], &[0, 2], &[3, 4], &[4, 5], &[3, 5]]);
+        for hd in check_all_orderings(&disconnected) {
+            assert_eq!(hd.width(), 2);
+        }
+        let empty = Hypergraph::from_edge_lists(0, &[]);
+        let hd = decompose_with_order(&empty, &[]);
+        assert_eq!(hd.validate(&empty), Ok(()));
+        assert_eq!(hd.width(), 0);
+        // Nullary edges and isolated vertices are tolerated.
+        let odd = Hypergraph::from_edge_lists(3, &[&[], &[0, 1]]);
+        let order = min_degree_order(&odd);
+        let hd = decompose_with_order(&odd, &order);
+        assert_eq!(hd.validate_ghd(&odd), Ok(()));
+        assert_eq!(hd.width(), 1);
+    }
+
+    #[test]
+    fn width_never_beats_the_exact_optimum() {
+        let shapes: Vec<Vec<Vec<usize>>> = vec![
+            vec![vec![0, 1], vec![1, 2], vec![0, 2]],
+            vec![
+                vec![0, 1, 2],
+                vec![2, 3],
+                vec![3, 4],
+                vec![4, 0],
+                vec![1, 3],
+            ],
+            vec![
+                vec![0, 1],
+                vec![1, 2],
+                vec![2, 3],
+                vec![3, 0],
+                vec![0, 2],
+                vec![1, 3],
+            ],
+        ];
+        for edges in shapes {
+            let slices: Vec<&[usize]> = edges.iter().map(|e| e.as_slice()).collect();
+            let max_v = edges.iter().flatten().max().map(|&m| m + 1).unwrap_or(0);
+            let h = Hypergraph::from_edge_lists(max_v, &slices);
+            let hw = opt::hypertree_width(&h);
+            for hd in check_all_orderings(&h) {
+                assert!(hd.width() >= hw, "heuristic width below hw on {edges:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn completion_keeps_ghd_validity() {
+        let h = Hypergraph::from_edge_lists(5, &[&[0, 1, 2], &[2, 3], &[3, 4], &[4, 0], &[1, 3]]);
+        for hd in check_all_orderings(&h) {
+            let complete = hd.complete(&h);
+            assert!(complete.is_complete(&h));
+            assert_eq!(complete.validate_ghd(&h), Ok(()));
+            assert_eq!(complete.width(), hd.width());
+        }
+    }
+}

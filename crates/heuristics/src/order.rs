@@ -1,0 +1,297 @@
+//! Vertex elimination orderings over the (progressively filled-in) primal
+//! graph of a hypergraph.
+//!
+//! All three orderings run the same greedy loop — score every live vertex,
+//! eliminate the cheapest, connect its live neighbourhood into a clique
+//! (the *fill*), repeat — and differ only in the score:
+//!
+//! * **min-degree** — fewest live neighbours (the classic CSP ordering);
+//! * **min-fill** — fewest fill edges created by the elimination;
+//! * **cover-greedy** — fewest *hyperedges* a greedy cover needs for the
+//!   closed neighbourhood. This reuses the exact engine's candidate-ranking
+//!   idea (order candidates by how much of the connecting set they cover):
+//!   the closed neighbourhood is exactly the bag the elimination will
+//!   produce, so its greedy cover size is the λ-width the bag will cost —
+//!   scoring by it optimises the hypertree objective directly, where the
+//!   two graph orderings optimise the treewidth proxy.
+//!
+//! Isolated vertices (in no edge) are excluded: they belong to no bag of
+//! any decomposition (`χ ⊆ var(λ)` could never hold for them).
+
+use hypergraph::{EdgeSet, Hypergraph, Ix, VertexId, VertexSet};
+
+/// The primal graph of a hypergraph with in-place fill-in, tracking which
+/// vertices are still live. Shared by the ordering loop (which eliminates
+/// for real) and the bucket assembly (which replays an order).
+pub(crate) struct FillGraph<'h> {
+    h: &'h Hypergraph,
+    /// Adjacency over *all* vertices (dead ones keep stale rows; every
+    /// read masks with `alive`).
+    adj: Vec<VertexSet>,
+    alive: VertexSet,
+}
+
+impl<'h> FillGraph<'h> {
+    /// The primal graph of `h`; only vertices incident to at least one
+    /// edge are alive.
+    pub fn new(h: &'h Hypergraph) -> Self {
+        let n = h.num_vertices();
+        let mut adj = vec![VertexSet::empty(n); n];
+        let mut alive = VertexSet::empty(n);
+        for e in h.edges() {
+            let vars = h.edge_vertices(e);
+            for v in vars {
+                adj[v.index()].union_with(vars);
+                alive.insert(v);
+            }
+        }
+        for (i, row) in adj.iter_mut().enumerate() {
+            row.remove(VertexId::new(i));
+        }
+        FillGraph { h, adj, alive }
+    }
+
+    /// The hypergraph this fill graph was built from.
+    pub fn hypergraph(&self) -> &'h Hypergraph {
+        self.h
+    }
+
+    /// Vertices incident to at least one edge and not yet eliminated.
+    pub fn alive(&self) -> &VertexSet {
+        &self.alive
+    }
+
+    /// The live neighbourhood of `v`.
+    pub fn live_neighbors(&self, v: VertexId) -> VertexSet {
+        self.adj[v.index()].intersection(&self.alive)
+    }
+
+    /// The bag `{v} ∪ N(v)` the elimination of `v` would produce now.
+    pub fn bag_of(&self, v: VertexId) -> VertexSet {
+        let mut bag = self.live_neighbors(v);
+        bag.insert(v);
+        bag
+    }
+
+    /// Number of fill edges eliminating `v` would create now.
+    pub fn fill_in(&self, v: VertexId) -> usize {
+        let nbrs = self.live_neighbors(v);
+        let members: Vec<VertexId> = nbrs.to_vec();
+        let mut fill = 0;
+        for (i, &a) in members.iter().enumerate() {
+            for &b in &members[i + 1..] {
+                if !self.adj[a.index()].contains(b) {
+                    fill += 1;
+                }
+            }
+        }
+        fill
+    }
+
+    /// Eliminate `v`: connect its live neighbourhood into a clique, mark
+    /// it dead, and return the neighbourhood (the vertices whose scores an
+    /// ordering loop must refresh).
+    pub fn eliminate(&mut self, v: VertexId) -> VertexSet {
+        let nbrs = self.live_neighbors(v);
+        for a in &nbrs {
+            self.adj[a.index()].union_with(&nbrs);
+            self.adj[a.index()].remove(a);
+        }
+        self.alive.remove(v);
+        nbrs
+    }
+}
+
+/// Greedy set cover of `target` by hyperedges of `h`: repeatedly take the
+/// edge covering most still-uncovered vertices (smallest id on ties).
+/// Panics if some target vertex occurs in no edge — callers only cover
+/// bags, whose members are all edge-incident by construction.
+pub(crate) fn greedy_cover(h: &Hypergraph, target: &VertexSet) -> EdgeSet {
+    let mut uncovered = target.clone();
+    let mut cover = h.empty_edge_set();
+    while !uncovered.is_empty() {
+        let mut candidates = h.empty_edge_set();
+        for v in &uncovered {
+            candidates.union_with(h.vertex_edges(v));
+        }
+        let mut best: Option<(usize, hypergraph::EdgeId)> = None;
+        for e in &candidates {
+            let gain = h.edge_vertices(e).intersection_len(&uncovered);
+            if best.is_none_or(|(g, _)| gain > g) {
+                best = Some((gain, e));
+            }
+        }
+        let (_, e) = best.expect("bag vertices always occur in some edge");
+        cover.insert(e);
+        uncovered.difference_with(h.edge_vertices(e));
+    }
+    cover
+}
+
+/// How far an elimination's effects reach for a given score.
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum Dirty {
+    /// The score of `u` depends only on `u`'s own neighbourhood set, so
+    /// eliminating `v` can change it only for `u ∈ N(v)` (degree, bag
+    /// cover).
+    Neighbors,
+    /// The score also depends on adjacency *among* `u`'s neighbours
+    /// (fill-in): a fill edge added inside `N(v)` changes the score of
+    /// every vertex adjacent to both endpoints, which can sit two hops
+    /// from `v` — so `N(v)` and all their live neighbours are refreshed.
+    TwoHop,
+}
+
+/// The greedy elimination loop: scores are cached and refreshed only
+/// where the elimination can have changed them (see [`Dirty`]). Lower
+/// scores eliminate first; ties break by vertex id for determinism.
+fn greedy_order(
+    h: &Hypergraph,
+    dirty_reach: Dirty,
+    mut score: impl FnMut(&FillGraph<'_>, VertexId) -> (usize, usize),
+) -> Vec<VertexId> {
+    let mut fill = FillGraph::new(h);
+    let mut scores: Vec<(usize, usize)> = vec![(usize::MAX, usize::MAX); h.num_vertices()];
+    for v in fill.alive().to_vec() {
+        scores[v.index()] = score(&fill, v);
+    }
+    let mut order = Vec::with_capacity(fill.alive().len());
+    loop {
+        let next = fill
+            .alive()
+            .iter()
+            .min_by_key(|v| (scores[v.index()], v.index()));
+        let Some(best) = next else { break };
+        order.push(best);
+        let mut dirty = fill.eliminate(best);
+        if dirty_reach == Dirty::TwoHop {
+            for v in dirty.clone().iter() {
+                dirty.union_with(&fill.live_neighbors(v));
+            }
+        }
+        for v in &dirty {
+            scores[v.index()] = score(&fill, v);
+        }
+    }
+    order
+}
+
+/// Greedy minimum-degree elimination order over the non-isolated vertices.
+pub fn min_degree_order(h: &Hypergraph) -> Vec<VertexId> {
+    greedy_order(h, Dirty::Neighbors, |fill, v| {
+        (fill.live_neighbors(v).len(), 0)
+    })
+}
+
+/// Greedy minimum-fill elimination order (ties: smaller live degree).
+pub fn min_fill_order(h: &Hypergraph) -> Vec<VertexId> {
+    greedy_order(h, Dirty::TwoHop, |fill, v| {
+        (fill.fill_in(v), fill.live_neighbors(v).len())
+    })
+}
+
+/// Greedy cover-width elimination order: eliminate the vertex whose bag a
+/// greedy edge cover pays least for (ties: smaller live degree).
+pub fn cover_greedy_order(h: &Hypergraph) -> Vec<VertexId> {
+    greedy_order(h, Dirty::Neighbors, |fill, v| {
+        (
+            greedy_cover(fill.hypergraph(), &fill.bag_of(v)).len(),
+            fill.live_neighbors(v).len(),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_tail() -> Hypergraph {
+        Hypergraph::from_edge_lists(5, &[&[0, 1], &[1, 2], &[0, 2], &[2, 3], &[3, 4]])
+    }
+
+    #[test]
+    fn orders_enumerate_nonisolated_vertices_once() {
+        let h = Hypergraph::from_edge_lists(6, &[&[0, 1, 2], &[2, 3]]); // 4, 5 isolated
+        for order in [
+            min_degree_order(&h),
+            min_fill_order(&h),
+            cover_greedy_order(&h),
+        ] {
+            let mut ids: Vec<usize> = order.iter().map(|v| v.index()).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, vec![0, 1, 2, 3], "isolated vertices excluded");
+        }
+    }
+
+    #[test]
+    fn min_degree_takes_leaves_first() {
+        let h = triangle_plus_tail();
+        let order = min_degree_order(&h);
+        assert_eq!(order[0], VertexId(4), "the degree-1 tail end goes first");
+    }
+
+    #[test]
+    fn fill_graph_fills_in() {
+        let h = Hypergraph::from_edge_lists(4, &[&[0, 1], &[0, 2], &[0, 3]]);
+        let mut fill = FillGraph::new(&h);
+        assert_eq!(fill.fill_in(VertexId(0)), 3, "star centre fills a triangle");
+        assert_eq!(fill.fill_in(VertexId(1)), 0);
+        let dirty = fill.eliminate(VertexId(0));
+        assert_eq!(dirty.len(), 3);
+        // 1,2,3 are now a clique.
+        assert_eq!(fill.live_neighbors(VertexId(1)).len(), 2);
+        assert_eq!(fill.bag_of(VertexId(2)).len(), 3);
+    }
+
+    #[test]
+    fn greedy_cover_prefers_big_edges() {
+        let h = Hypergraph::from_edge_lists(4, &[&[0, 1, 2, 3], &[0, 1], &[2, 3]]);
+        let target = VertexSet::full(4);
+        let cover = greedy_cover(&h, &target);
+        assert_eq!(cover.len(), 1, "one wide edge suffices");
+        let h2 = Hypergraph::from_edge_lists(4, &[&[0, 1], &[2, 3]]);
+        assert_eq!(greedy_cover(&h2, &VertexSet::full(4)).len(), 2);
+    }
+
+    #[test]
+    fn min_fill_scores_never_go_stale() {
+        // Fill-in can change two hops from an elimination: with v-a, v-b,
+        // a-u, b-u, eliminating v fills a-b and drops u's fill-in from 1
+        // to 0 although u ∉ N(v). Cross-check the incremental order
+        // against a full-rescore reference (same tie-breaks) on that
+        // gadget and on random instances.
+        fn reference_min_fill(h: &Hypergraph) -> Vec<VertexId> {
+            let mut fill = FillGraph::new(h);
+            let mut order = Vec::new();
+            loop {
+                let next = fill
+                    .alive()
+                    .iter()
+                    .min_by_key(|&v| (fill.fill_in(v), fill.live_neighbors(v).len(), v.index()));
+                let Some(best) = next else { break };
+                order.push(best);
+                fill.eliminate(best);
+            }
+            order
+        }
+        // The gadget, plus a pendant on u so v (fill 1) goes before u.
+        let gadget = Hypergraph::from_edge_lists(5, &[&[0, 1], &[0, 2], &[1, 3], &[2, 3], &[3, 4]]);
+        assert_eq!(min_fill_order(&gadget), reference_min_fill(&gadget));
+        for seed in [1u64, 5, 9, 13] {
+            let h =
+                workloads::random::random_hypergraph(&mut workloads::random::rng(seed), 12, 14, 3);
+            assert_eq!(min_fill_order(&h), reference_min_fill(&h), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cover_greedy_sees_hyperedges_where_graphs_see_cliques() {
+        // One wide edge looks like a clique to the graph orderings but
+        // costs a single cover edge.
+        let h = Hypergraph::from_edge_lists(5, &[&[0, 1, 2, 3, 4]]);
+        let order = cover_greedy_order(&h);
+        assert_eq!(order.len(), 5);
+        let fill = FillGraph::new(&h);
+        assert_eq!(greedy_cover(&h, &fill.bag_of(VertexId(0))).len(), 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests for the heuristic subsystem: on random small
+//! hypergraphs — where the exact engine is cheap — every heuristic
+//! decomposition must be a valid GHD and its width an upper bound on the
+//! exact hypertree width, for all three orderings, with and without the
+//! improvement pass.
+
+use heuristics::{
+    best_decomposition, decompose_auto, decompose_with, elimination_order, improve_order,
+    ALL_ORDERINGS,
+};
+use hypergraph::Hypergraph;
+use hypertree_core::opt;
+use proptest::prelude::*;
+
+/// A random hypergraph with up to `max_v` vertices and `max_e` edges,
+/// each edge a non-empty subset of ≤ 4 vertices (the same shape space as
+/// the hypergraph substrate's property suite).
+fn arb_hypergraph(max_v: usize, max_e: usize) -> impl Strategy<Value = Hypergraph> {
+    (1..=max_v).prop_flat_map(move |n| {
+        proptest::collection::vec(
+            proptest::collection::btree_set(0..n, 1..=n.min(4)),
+            0..=max_e,
+        )
+        .prop_map(move |edges| {
+            let edge_refs: Vec<Vec<usize>> =
+                edges.into_iter().map(|s| s.into_iter().collect()).collect();
+            let slices: Vec<&[usize]> = edge_refs.iter().map(|e| e.as_slice()).collect();
+            Hypergraph::from_edge_lists(n, &slices)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every ordering yields a valid GHD whose width upper-bounds `hw(h)`;
+    /// the improvement pass preserves both properties and never widens.
+    #[test]
+    fn heuristic_widths_upper_bound_the_exact_width(h in arb_hypergraph(10, 8)) {
+        let hw = opt::hypertree_width(&h);
+        for heur in ALL_ORDERINGS {
+            let hd = decompose_with(&h, heur);
+            prop_assert_eq!(hd.validate_ghd(&h), Ok(()), "{} produced an invalid GHD", heur.name());
+            prop_assert!(hd.width() >= hw, "{}: width {} below hw {}", heur.name(), hd.width(), hw);
+
+            let order = elimination_order(&h, heur);
+            let (improved, _) = improve_order(&h, &order, 8);
+            prop_assert_eq!(improved.validate_ghd(&h), Ok(()));
+            prop_assert!(improved.width() <= hd.width());
+            prop_assert!(improved.width() >= hw);
+
+            // The completed decomposition (what evaluation consumes) stays
+            // GHD-valid at the same width.
+            let complete = hd.complete(&h);
+            prop_assert!(complete.is_complete(&h));
+            prop_assert_eq!(complete.validate_ghd(&h), Ok(()));
+        }
+    }
+
+    /// `best_decomposition` is never wider than any single ordering, and
+    /// `decompose_auto` with a generous budget returns the exact width.
+    #[test]
+    fn auto_matches_exact_on_small_instances(h in arb_hypergraph(8, 6)) {
+        let hw = opt::hypertree_width(&h);
+        let best = best_decomposition(&h);
+        prop_assert_eq!(best.validate_ghd(&h), Ok(()));
+        prop_assert!(best.width() >= hw);
+
+        let auto = decompose_auto(&h, 1_000_000);
+        prop_assert_eq!(auto.hd.validate_ghd(&h), Ok(()));
+        prop_assert_eq!(auto.hd.width(), hw,
+            "with an ample budget the funnel lands on the exact width");
+    }
+}

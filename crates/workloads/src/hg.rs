@@ -1,0 +1,209 @@
+//! A plain-text hypergraph format (HyperBench style).
+//!
+//! One edge per line, `name(v1,v2,...)`; `#` and `%` start comments;
+//! blank lines and a trailing `,` or `.` after an edge are tolerated.
+//! Vertices are interned by name in order of first occurrence, so
+//! `write ∘ parse` is the identity on the text and `parse ∘ write`
+//! preserves the structure up to vertex renumbering (vertices occurring
+//! in no edge are not representable — the format, like HyperBench's, only
+//! speaks about edges). This is how large external instances (CSP
+//! benchmarks, query logs) enter the workspace without going through the
+//! conjunctive-query parser.
+//!
+//! ```text
+//! # a triangle
+//! e0(X,Y)
+//! e1(Y,Z)
+//! e2(Z,X)
+//! ```
+
+use hypergraph::Hypergraph;
+use std::fmt;
+
+/// A parse failure: the offending 1-based line and what went wrong.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HgParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for HgParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for HgParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> HgParseError {
+    HgParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// `true` for names the writer can emit and the parser reads back
+/// unchanged: non-empty, no whitespace or `( ) , # %` characters.
+fn valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && !s
+            .chars()
+            .any(|c| c.is_whitespace() || matches!(c, '(' | ')' | ',' | '#' | '%'))
+}
+
+/// Parse the `.hg` text into a hypergraph.
+pub fn parse_hg(input: &str) -> Result<Hypergraph, HgParseError> {
+    let mut b = Hypergraph::builder();
+    for (i, raw) in input.lines().enumerate() {
+        let lineno = i + 1;
+        // Strip comments, then surrounding whitespace and a list/statement
+        // terminator.
+        let code = raw.split(['#', '%']).next().unwrap_or("").trim();
+        let code = code
+            .strip_suffix([',', '.'])
+            .map(str::trim_end)
+            .unwrap_or(code);
+        if code.is_empty() {
+            continue;
+        }
+        let Some(open) = code.find('(') else {
+            return Err(err(
+                lineno,
+                format!("expected `name(v1,...)`, got `{code}`"),
+            ));
+        };
+        let Some(rest) = code[open..].strip_prefix('(') else {
+            unreachable!("find('(') guarantees the prefix");
+        };
+        let Some(args) = rest.strip_suffix(')') else {
+            return Err(err(lineno, "missing closing `)`"));
+        };
+        let name = code[..open].trim();
+        if !valid_name(name) {
+            return Err(err(lineno, format!("invalid edge name `{name}`")));
+        }
+        let args = args.trim();
+        let mut vertices = Vec::new();
+        if !args.is_empty() {
+            for v in args.split(',') {
+                let v = v.trim();
+                if !valid_name(v) {
+                    return Err(err(lineno, format!("invalid vertex name `{v}`")));
+                }
+                vertices.push(v);
+            }
+        }
+        b.edge_by_names(name, &vertices);
+    }
+    Ok(b.build())
+}
+
+/// Render `h` in the `.hg` format, one `name(v1,...)` line per edge in
+/// argument order. Panics if a name cannot survive the roundtrip (the
+/// generators in this workspace always produce clean names).
+pub fn write_hg(h: &Hypergraph) -> String {
+    let mut out = String::new();
+    for e in h.edges() {
+        assert!(
+            valid_name(h.edge_name(e)),
+            "edge name {:?} is not writable",
+            h.edge_name(e)
+        );
+        let vars: Vec<&str> = h
+            .edge_vertex_list(e)
+            .iter()
+            .map(|&v| {
+                let name = h.vertex_name(v);
+                assert!(valid_name(name), "vertex name {name:?} is not writable");
+                name
+            })
+            .collect();
+        out.push_str(h.edge_name(e));
+        out.push('(');
+        out.push_str(&vars.join(","));
+        out.push_str(")\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_blanks_and_terminators() {
+        let text = "\
+# triangle with decoration
+e0(X,Y),   % inline comment
+e1(Y,Z).
+
+e2(Z,X)
+";
+        let h = parse_hg(text).unwrap();
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.num_vertices(), 3);
+        assert_eq!(h.display_edge(hypergraph::EdgeId(0)), "e0(X,Y)");
+        assert!(h.is_connected());
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let text = "a(X,Y,Z)\nb(Z,W)\nc(W,X)\nunit(V)\n";
+        let h = parse_hg(text).unwrap();
+        assert_eq!(write_hg(&h), text);
+        let h2 = parse_hg(&write_hg(&h)).unwrap();
+        assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn generated_hypergraphs_roundtrip() {
+        // Vertex *ids* may be renumbered by first occurrence, but the
+        // rendered text — names, arities, argument order — is a fixpoint.
+        let h = crate::random::random_hypergraph(&mut crate::random::rng(11), 20, 30, 4);
+        let text = write_hg(&h);
+        let h2 = parse_hg(&text).unwrap();
+        assert_eq!(write_hg(&h2), text);
+        assert_eq!(h2.num_edges(), h.num_edges());
+        for e in h.edges() {
+            assert_eq!(h2.edge_name(e), h.edge_name(e));
+            assert_eq!(
+                h2.edge_vertices(e).len(),
+                h.edge_vertices(e).len(),
+                "arity preserved for {}",
+                h.edge_name(e)
+            );
+        }
+    }
+
+    #[test]
+    fn nullary_edges_roundtrip() {
+        let h = parse_hg("zero()\none(X)\n").unwrap();
+        assert_eq!(h.num_edges(), 2);
+        assert_eq!(h.edge_vertices(hypergraph::EdgeId(0)).len(), 0);
+        assert_eq!(parse_hg(&write_hg(&h)).unwrap(), h);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_hg("fine(X)\nnot a line\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"), "{e}");
+        let e = parse_hg("broken(X\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("closing"), "{e}");
+        let e = parse_hg("(X,Y)\n").unwrap_err();
+        assert!(e.message.contains("invalid edge name"), "{e}");
+        let e = parse_hg("r(X,,Y)\n").unwrap_err();
+        assert!(e.message.contains("invalid vertex name"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_vertex_mentions_collapse_within_an_edge() {
+        let h = parse_hg("r(X,X,Y)\n").unwrap();
+        assert_eq!(h.edge_vertices(hypergraph::EdgeId(0)).len(), 2);
+        // The writer emits the collapsed argument list.
+        assert_eq!(write_hg(&h), "r(X,Y)\n");
+    }
+}

@@ -1,0 +1,145 @@
+//! The large-instance tier: parameterised CSP-style hypergraphs with
+//! hundreds of edges.
+//!
+//! These instances are the regime the exact `k-decomp` engine cannot
+//! touch — its candidate enumeration is `C(m, k)` per subproblem — while
+//! the heuristic subsystem (`crates/heuristics`) decomposes them in
+//! milliseconds. They are *banded*: every constraint's variables live in a
+//! window of bounded width over the variable line (wrap-around for the
+//! cyclic variant), the classic structure of scheduling/temporal CSPs.
+//! The band keeps the true width small and independent of the instance
+//! size, so heuristic decompositions stay narrow enough to evaluate
+//! through the Lemma 4.6 pipeline — scenario coverage, not just a stress
+//! test.
+
+use hypergraph::{Hypergraph, Ix, VertexId};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A banded random CSP hypergraph: `n_vars` variables, `n_edges`
+/// constraints, each over 2..=`max_arity` distinct variables drawn from a
+/// random window of `band` consecutive variables. When `wrap` is set the
+/// windows wrap around (a cyclic band, so the instance is never acyclic
+/// by accident).
+pub fn banded_csp(
+    rng: &mut StdRng,
+    n_vars: usize,
+    n_edges: usize,
+    band: usize,
+    max_arity: usize,
+    wrap: bool,
+) -> Hypergraph {
+    assert!(n_vars >= band && band >= 2 && max_arity >= 2);
+    let mut b = Hypergraph::builder();
+    for i in 0..n_vars {
+        b.add_vertex(format!("X{i}"));
+    }
+    let offsets = if wrap { n_vars } else { n_vars - band + 1 };
+    for e in 0..n_edges {
+        let offset: usize = rng.random_range(0..offsets);
+        let arity: usize = rng.random_range(2..=max_arity.min(band));
+        // Partial Fisher–Yates over the window positions.
+        let mut window: Vec<usize> = (0..band).collect();
+        for i in 0..arity {
+            let j = rng.random_range(i..band);
+            window.swap(i, j);
+        }
+        let mut vs: Vec<VertexId> = window[..arity]
+            .iter()
+            .map(|&w| VertexId::new((offset + w) % n_vars))
+            .collect();
+        vs.sort_unstable();
+        b.add_edge(format!("e{e}"), &vs);
+    }
+    b.build()
+}
+
+/// One named instance of the large tier.
+pub struct LargeInstance {
+    /// Stable `group/case` id (the bench entry key).
+    pub name: &'static str,
+    /// The instance hypergraph.
+    pub h: Hypergraph,
+}
+
+/// The large-instance tier: every instance has ≥ 100 edges, far beyond
+/// the exact engine's reach, with banded structure that keeps heuristic
+/// widths small. Deterministic (seeded) and stable across runs — bench
+/// entries key on the names.
+pub fn large_tier() -> Vec<LargeInstance> {
+    let gi = |name, h| LargeInstance { name, h };
+    vec![
+        gi(
+            "band/n120_m150_w8",
+            banded_csp(&mut crate::random::rng(0xA11), 120, 150, 8, 3, false),
+        ),
+        gi(
+            "band/n300_m400_w10",
+            banded_csp(&mut crate::random::rng(0xA12), 300, 400, 10, 3, true),
+        ),
+        gi(
+            "band/n500_m700_w12",
+            banded_csp(&mut crate::random::rng(0xA13), 500, 700, 12, 4, true),
+        ),
+        gi(
+            "band/n800_m1000_w8",
+            banded_csp(&mut crate::random::rng(0xA14), 800, 1000, 8, 3, true),
+        ),
+        gi("grid/8x40", crate::families::grid(8, 40).hypergraph()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::Ix;
+
+    #[test]
+    fn tier_is_large_and_deterministic() {
+        let tier = large_tier();
+        assert!(tier.len() >= 4);
+        let large = tier.iter().filter(|i| i.h.num_edges() >= 100).count();
+        assert!(large >= 3, "the tier must carry ≥ 3 instances ≥ 100 edges");
+        let mut names: Vec<_> = tier.iter().map(|i| i.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), tier.len(), "names must be unique");
+        // Determinism: a second construction is structurally identical.
+        for (a, b) in tier.iter().zip(large_tier().iter()) {
+            assert_eq!(a.h, b.h, "{} must be reproducible", a.name);
+        }
+    }
+
+    #[test]
+    fn banded_edges_stay_in_their_window() {
+        let band = 9;
+        let n = 100;
+        let h = banded_csp(&mut crate::random::rng(3), n, 200, band, 4, false);
+        assert_eq!(h.num_edges(), 200);
+        for e in h.edges() {
+            let ids: Vec<usize> = h.edge_vertices(e).iter().map(|v| v.index()).collect();
+            assert!(ids.len() >= 2);
+            let span = ids.iter().max().unwrap() - ids.iter().min().unwrap();
+            assert!(span < band, "edge {ids:?} escapes its band");
+        }
+    }
+
+    #[test]
+    fn tier_roundtrips_through_the_hg_format() {
+        for inst in large_tier() {
+            let text = crate::hg::write_hg(&inst.h);
+            let parsed = crate::hg::parse_hg(&text).unwrap();
+            assert_eq!(
+                crate::hg::write_hg(&parsed),
+                text,
+                "{} must roundtrip at the text level",
+                inst.name
+            );
+            assert_eq!(parsed.num_edges(), inst.h.num_edges());
+            // Vertices in no edge are not representable in the format, so
+            // only edge-incident vertices survive.
+            let incident = inst.h.num_vertices() - inst.h.isolated_vertices().len();
+            assert_eq!(parsed.num_vertices(), incident);
+        }
+    }
+}

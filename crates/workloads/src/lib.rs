@@ -2,12 +2,16 @@
 //! concrete queries and figures ([`paper`]), parameterised families
 //! ([`families`], including the Theorem 6.2 `Qn` family), strict
 //! 3-partitioning systems ([`tps`], Lemma 7.3), the Theorem 3.4 XC3S
-//! reduction ([`xc3s`], Section 7 / Fig. 11), and seeded random instance
-//! and database generators ([`random`]).
+//! reduction ([`xc3s`], Section 7 / Fig. 11), seeded random instance
+//! and database generators ([`random`]), the plain-text `.hg` hypergraph
+//! format ([`hg`]), and the large-instance tier for the heuristic
+//! subsystem ([`large`], hundreds of edges).
 
 #![warn(missing_docs)]
 
 pub mod families;
+pub mod hg;
+pub mod large;
 pub mod paper;
 pub mod random;
 pub mod tps;

@@ -39,14 +39,18 @@
 //! * [`core`] (crate `hypertree-core`) — hypertree decompositions,
 //!   normal form, `k-decomp` (top-down, bottom-up Datalog, parallel),
 //!   query decompositions;
+//! * [`heuristics`] — elimination-ordering GHDs, local improvement, and
+//!   the bounded-exact-search funnel for instances beyond `k-decomp`;
 //! * [`eval`] — naive, Yannakakis, and decomposition-guided engines;
 //! * [`workloads`] — the paper's queries and figures, query families, the
-//!   Section 7 NP-hardness gadget, random generators.
+//!   Section 7 NP-hardness gadget, random generators, the `.hg` format,
+//!   and the large-instance tier.
 
 #![warn(missing_docs)]
 
 pub use cq;
 pub use eval;
+pub use heuristics;
 pub use hypergraph;
 pub use hypertree_core as core;
 pub use relation;
@@ -86,6 +90,16 @@ pub fn query_width(
     hypertree_core::querydecomp::query_width(&q.hypergraph(), budget)
 }
 
+/// A heuristic *generalized* hypertree decomposition of `q`, polynomial
+/// in the query size: the narrowest of the elimination-ordering GHDs
+/// after local improvement. Validates in
+/// [`hypertree_core::ValidityMode::Generalized`] and drives the same
+/// Lemma 4.6 evaluation pipeline — the road into queries whose exact
+/// decomposition is out of reach.
+pub fn decompose_heuristic(q: &ConjunctiveQuery) -> hypertree_core::HypertreeDecomposition {
+    heuristics::best_decomposition(&q.hypergraph())
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -96,5 +110,8 @@ mod tests {
         assert_eq!(crate::hypertree_width(&q), 2);
         assert!(crate::decompose(&q, 1).is_none());
         assert_eq!(crate::query_width(&q, 1_000_000), Ok(2));
+        let ghd = crate::decompose_heuristic(&q);
+        assert_eq!(ghd.validate_ghd(&q.hypergraph()), Ok(()));
+        assert!(ghd.width() >= 2);
     }
 }
