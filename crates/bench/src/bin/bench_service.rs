@@ -1,0 +1,53 @@
+//! Emit the serving-layer benchmark baseline.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_service -- [--smoke] \
+//!     [--label <text>] [--out <path>]
+//! ```
+//!
+//! Prints the `bench-service/1` JSON run to stdout (and to `--out` when
+//! given). `--smoke` uses the short CI streams; the default is the longer
+//! local replay. Recorded runs live in `bench/BENCH_service.json`; see
+//! README.md §Query serving.
+
+use bench::serving;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut label = String::from("local");
+    let mut out_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--label" => {
+                i += 1;
+                label = args.get(i).expect("--label needs a value").clone();
+            }
+            "--out" => {
+                i += 1;
+                out_path = Some(args.get(i).expect("--out needs a value").clone());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_service [--smoke] [--label <text>] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let (cfg, mode) = if smoke {
+        (serving::ServeConfig::smoke(), "smoke")
+    } else {
+        (serving::ServeConfig::full(), "full")
+    };
+    let entries = serving::run(&cfg);
+    let json = serving::to_json(&label, mode, &cfg, &entries);
+    print!("{json}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, &json).expect("write --out file");
+        eprintln!("wrote {path}");
+    }
+}

@@ -9,6 +9,7 @@
 pub mod baseline;
 pub mod decomp;
 pub mod heur;
+pub mod serving;
 
 use cq::parse_query;
 use eval::naive::JoinOrder;

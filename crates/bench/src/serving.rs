@@ -1,0 +1,434 @@
+//! The serving-layer benchmark (`bench/BENCH_service.json`, schema
+//! `bench-service/1`).
+//!
+//! Where the other harnesses time isolated phases (kernel, decomposition,
+//! heuristics), this one replays *request streams* through a
+//! [`service::Service`] — the full front-end path: parse → plan-cache →
+//! decomposition-cache → execute against the snapshot. Per stream it
+//! records
+//!
+//! * the **cold** regime: caches cleared before every request, so each
+//!   one pays parse + plan + decompose + evaluate (the life of a system
+//!   without the serving layer);
+//! * the **hot** regime: the working set prepared once, then replayed —
+//!   each request is a plan-cache hit whose cost is parse + key + one
+//!   `Arc` clone + evaluate. The hot phase is gated on the counters:
+//!   zero plan compilations, zero decompositions;
+//! * a **mixed** 80/20 replay (80% of requests over the two hottest
+//!   queries, the rest uniform) starting cold — the shape of real
+//!   traffic;
+//! * one **batch** submission of the whole stream with mixed
+//!   boolean/count/enumerate operations, exercising dedup plus the
+//!   scoped-thread execution path.
+//!
+//! Streams come from the three workload tiers: `workloads::families`
+//! (cycles, grids, hypercycles), `workloads::large` (banded CSPs via
+//! their canonical queries), and `workloads::tps`/`xc3s` (the Section 7
+//! gadget query).
+//!
+//! Run with `cargo run --release -p bench --bin bench_service -- [--smoke]`.
+
+use crate::baseline::{fig11_workload, json_string};
+use cq::canonical_query;
+use relation::Database;
+use service::{Outcome, Request, Service};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+use workloads::{families, large, random};
+
+/// Replay configuration for one run.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Requests per stream per regime (cold / hot / mixed).
+    pub requests: usize,
+    /// Use the short smoke-tier streams.
+    pub smoke: bool,
+}
+
+impl ServeConfig {
+    /// CI-friendly: short streams, few requests.
+    pub fn smoke() -> Self {
+        ServeConfig {
+            requests: 12,
+            smoke: true,
+        }
+    }
+
+    /// Local settings for recorded baselines.
+    pub fn full() -> Self {
+        ServeConfig {
+            requests: 48,
+            smoke: false,
+        }
+    }
+}
+
+/// One request stream: a working set of query texts over one database.
+pub struct Stream {
+    /// Stable `tier/case` id.
+    pub id: String,
+    /// The working set, as served (query texts).
+    pub texts: Vec<String>,
+    /// The database snapshot the stream runs against.
+    pub db: Database,
+}
+
+/// One measured stream.
+#[derive(Clone, Debug)]
+pub struct ServeEntry {
+    /// Stable `tier/case` id.
+    pub id: String,
+    /// Working-set size (distinct query texts).
+    pub working_set: usize,
+    /// Requests per regime.
+    pub requests: usize,
+    /// Median per-request latency with caches cleared before each
+    /// request, nanoseconds.
+    pub cold_median_ns: u128,
+    /// Median per-request latency with the working set fully cached,
+    /// nanoseconds.
+    pub hot_median_ns: u128,
+    /// Median per-request latency of the 80/20 mixed replay, nanoseconds.
+    pub mixed_median_ns: u128,
+    /// Wall-clock of serving the whole stream as one batch, nanoseconds.
+    pub batch_ns: u128,
+    /// Requests in that batch.
+    pub batch_requests: usize,
+    /// Final service counters (whole stream, all regimes).
+    pub plan_hits: u64,
+    /// Plan-cache misses across the stream.
+    pub plan_misses: u64,
+    /// Decomposition-cache misses (each one decomposed) across the
+    /// stream.
+    pub decomp_misses: u64,
+}
+
+impl ServeEntry {
+    /// Cold-over-hot median latency ratio — the factor the serving layer
+    /// saves on repeated queries.
+    pub fn speedup(&self) -> f64 {
+        self.cold_median_ns as f64 / self.hot_median_ns.max(1) as f64
+    }
+}
+
+/// The request streams for a run. Ids are stable across runs (bench
+/// entries key on them); smoke mode uses shorter family members so CI
+/// stays fast.
+pub fn streams(smoke: bool) -> Vec<Stream> {
+    let mut out = Vec::new();
+
+    // families/cycle — hw = 2, planning is cheap (the heuristic lands on
+    // the acyclicity lower bound), so this is the *adversarial* entry for
+    // the serving layer: the smallest gap it still has to win.
+    let ns: &[usize] = if smoke {
+        &[12, 16, 20]
+    } else {
+        &[16, 24, 32, 40]
+    };
+    let q_max = families::cycle(*ns.last().unwrap());
+    let db = random::planted_database(&mut random::rng(0x5EC1), &q_max, 8, 12);
+    out.push(Stream {
+        id: "families/cycle".into(),
+        texts: ns.iter().map(|&n| families::cycle(n).to_string()).collect(),
+        db,
+    });
+
+    // families/grid — wider (hw grows with the short side, and the
+    // bounded exact deepening works for its budget at k = 2..3), so
+    // planning dominates evaluation.
+    let hs: &[usize] = if smoke { &[4, 5] } else { &[4, 5, 6, 7] };
+    let q_max = families::grid(4, *hs.last().unwrap());
+    let db = random::planted_database(&mut random::rng(0x5EC2), &q_max, 4, 6);
+    out.push(Stream {
+        id: "families/grid4".into(),
+        texts: hs
+            .iter()
+            .map(|&h| families::grid(4, h).to_string())
+            .collect(),
+        db,
+    });
+
+    // families/hypercycle — arity-3 atoms, hw = 2.
+    let ns: &[usize] = if smoke { &[8, 10] } else { &[10, 14, 18] };
+    let q_max = families::hypercycle(*ns.last().unwrap(), 3);
+    let db = random::planted_database(&mut random::rng(0x5EC3), &q_max, 6, 8);
+    out.push(Stream {
+        id: "families/hypercycle3".into(),
+        texts: ns
+            .iter()
+            .map(|&n| families::hypercycle(n, 3).to_string())
+            .collect(),
+        db,
+    });
+
+    // large/band — canonical queries of the large tier: planning means a
+    // full heuristic GHD over hundreds of edges.
+    let take = if smoke { 1 } else { 2 };
+    for inst in large::large_tier().into_iter().take(take) {
+        let q = canonical_query(&inst.h);
+        let db = random::planted_database(
+            &mut random::rng(0xEB0 ^ inst.h.num_edges() as u64),
+            &q,
+            3,
+            2,
+        );
+        out.push(Stream {
+            id: format!("large/{}", inst.name.replace('/', "_")),
+            texts: vec![q.to_string()],
+            db,
+        });
+    }
+
+    // tps/xc3s — the Section 7 NP-hardness gadget as a query (38 atoms,
+    // 115 variables, heuristic width ≈ 6): the heaviest single plan.
+    let (query, _hd, db) = fig11_workload();
+    out.push(Stream {
+        id: "tps/xc3s".into(),
+        texts: vec![query.to_string()],
+        db,
+    });
+
+    out
+}
+
+fn median(mut samples: Vec<u128>) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn expect_bool(id: &str, resp: service::Response) -> bool {
+    match resp {
+        Ok(Outcome::Boolean(b)) => b,
+        other => panic!("{id}: expected a boolean outcome, got {other:?}"),
+    }
+}
+
+/// Replay one stream under `cfg`.
+pub fn run_stream(cfg: &ServeConfig, stream: Stream) -> ServeEntry {
+    let id = stream.id.clone();
+    let svc = Service::new(Arc::new(stream.db));
+    let reqs: Vec<Request> = (0..cfg.requests)
+        .map(|i| Request::boolean(stream.texts[i % stream.texts.len()].clone()))
+        .collect();
+
+    // Cold: every request pays the whole pipeline.
+    let mut cold = Vec::with_capacity(reqs.len());
+    let mut answers = Vec::with_capacity(reqs.len());
+    for r in &reqs {
+        svc.clear_caches();
+        let t0 = Instant::now();
+        let resp = svc.execute(r);
+        cold.push(t0.elapsed().as_nanos());
+        answers.push(expect_bool(&id, resp));
+    }
+
+    // Warm the working set, then replay hot. The counters gate the whole
+    // point: the hot phase must not compile or decompose anything.
+    for text in &stream.texts {
+        expect_bool(&id, svc.execute(&Request::boolean(text.clone())));
+    }
+    let warm = svc.stats();
+    let mut hot = Vec::with_capacity(reqs.len());
+    for (r, &cold_answer) in reqs.iter().zip(&answers) {
+        let t0 = Instant::now();
+        let resp = svc.execute(r);
+        hot.push(t0.elapsed().as_nanos());
+        assert_eq!(expect_bool(&id, resp), cold_answer, "{id}: answer drifted");
+    }
+    let after_hot = svc.stats();
+    assert_eq!(
+        after_hot.plan_misses, warm.plan_misses,
+        "{id}: hot requests must not compile plans"
+    );
+    assert_eq!(
+        after_hot.decomp_misses, warm.decomp_misses,
+        "{id}: hot requests must not decompose"
+    );
+
+    // Mixed 80/20 replay from cold: 80% of requests over the two hottest
+    // texts, the rest uniform, no cache clearing — hits accumulate the
+    // way they would under real traffic.
+    svc.clear_caches();
+    let hot_set = stream.texts.len().min(2);
+    let mut x: u64 = 0x9E3779B97F4A7C15;
+    let mut mixed = Vec::with_capacity(cfg.requests);
+    for _ in 0..cfg.requests {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let idx = if x % 10 < 8 {
+            (x / 16) as usize % hot_set
+        } else {
+            (x / 16) as usize % stream.texts.len()
+        };
+        let req = Request::boolean(stream.texts[idx].clone());
+        let t0 = Instant::now();
+        let resp = svc.execute(&req);
+        mixed.push(t0.elapsed().as_nanos());
+        expect_bool(&id, resp);
+    }
+
+    // The whole stream as one batch with mixed operations: dedup by
+    // canonical key plus scoped-thread execution.
+    let batch: Vec<Request> = reqs
+        .iter()
+        .enumerate()
+        .map(|(i, r)| match i % 3 {
+            0 => Request::boolean(r.text.clone()),
+            1 => Request::count(r.text.clone()),
+            _ => Request::enumerate(r.text.clone()),
+        })
+        .collect();
+    let t0 = Instant::now();
+    let responses = svc.execute_batch(&batch);
+    let batch_ns = t0.elapsed().as_nanos();
+    for (i, resp) in responses.iter().enumerate() {
+        assert!(resp.is_ok(), "{id}: batch slot {i} failed: {resp:?}");
+    }
+
+    let stats = svc.stats();
+    ServeEntry {
+        id,
+        working_set: stream.texts.len(),
+        requests: cfg.requests,
+        cold_median_ns: median(cold),
+        hot_median_ns: median(hot),
+        mixed_median_ns: median(mixed),
+        batch_ns,
+        batch_requests: batch.len(),
+        plan_hits: stats.plan_hits,
+        plan_misses: stats.plan_misses,
+        decomp_misses: stats.decomp_misses,
+    }
+}
+
+/// Run every stream under `cfg`, in a stable order.
+pub fn run(cfg: &ServeConfig) -> Vec<ServeEntry> {
+    streams(cfg.smoke)
+        .into_iter()
+        .map(|s| run_stream(cfg, s))
+        .collect()
+}
+
+/// Serialise a run as `bench-service/1` JSON (hand-rolled like the other
+/// baselines — the workspace builds offline):
+///
+/// ```json
+/// {
+///   "schema": "bench-service/1", "label": "...",
+///   "mode": "smoke" | "full", "requests_per_stream": n,
+///   "entries": {
+///     "<tier/case>": {
+///       "working_set": n, "requests": n,
+///       "cold_median_ns": n, "hot_median_ns": n, "speedup": x.y,
+///       "mixed_median_ns": n, "batch_ns": n, "batch_requests": n,
+///       "plan_hits": n, "plan_misses": n, "decomp_misses": n
+///     }
+///   }
+/// }
+/// ```
+///
+/// `speedup` is `cold_median_ns / hot_median_ns` — the per-query factor
+/// the plan cache saves on a repeated (or α-equivalent) query.
+pub fn to_json(label: &str, mode: &str, cfg: &ServeConfig, entries: &[ServeEntry]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    writeln!(out, "  \"schema\": \"bench-service/1\",").unwrap();
+    writeln!(out, "  \"label\": {},", json_string(label)).unwrap();
+    writeln!(out, "  \"mode\": {},", json_string(mode)).unwrap();
+    writeln!(out, "  \"requests_per_stream\": {},", cfg.requests).unwrap();
+    out.push_str("  \"entries\": {\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        writeln!(
+            out,
+            "    {}: {{\"working_set\": {}, \"requests\": {}, \
+             \"cold_median_ns\": {}, \"hot_median_ns\": {}, \"speedup\": {:.1}, \
+             \"mixed_median_ns\": {}, \"batch_ns\": {}, \"batch_requests\": {}, \
+             \"plan_hits\": {}, \"plan_misses\": {}, \"decomp_misses\": {}}}{}",
+            json_string(&e.id),
+            e.working_set,
+            e.requests,
+            e.cold_median_ns,
+            e.hot_median_ns,
+            e.speedup(),
+            e.mixed_median_ns,
+            e.batch_ns,
+            e.batch_requests,
+            e.plan_hits,
+            e.plan_misses,
+            e.decomp_misses,
+            comma
+        )
+        .unwrap();
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_ids_are_unique_and_texts_parse() {
+        for smoke in [true, false] {
+            let ss = streams(smoke);
+            let mut ids: Vec<_> = ss.iter().map(|s| s.id.clone()).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), ss.len(), "ids must be unique");
+            for s in &ss {
+                assert!(!s.texts.is_empty(), "{}: empty working set", s.id);
+                for text in &s.texts {
+                    let q =
+                        cq::parse_query(text).unwrap_or_else(|e| panic!("{}: {e}: {text}", s.id));
+                    assert_eq!(q.to_string(), *text, "{}: text roundtrip", s.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn a_tiny_stream_replay_produces_sane_numbers() {
+        let cfg = ServeConfig {
+            requests: 4,
+            smoke: true,
+        };
+        // Only the cheapest stream — this runs in debug mode under
+        // `cargo test`.
+        let stream = streams(true).remove(0);
+        assert_eq!(stream.id, "families/cycle");
+        let entry = run_stream(&cfg, stream);
+        assert_eq!(entry.requests, 4);
+        assert!(entry.cold_median_ns > 0 && entry.hot_median_ns > 0);
+        assert!(entry.plan_misses > 0);
+        assert!(entry.plan_hits > 0);
+    }
+
+    #[test]
+    fn json_shape_is_balanced() {
+        let cfg = ServeConfig {
+            requests: 2,
+            smoke: true,
+        };
+        let entries = vec![ServeEntry {
+            id: "t/c".into(),
+            working_set: 1,
+            requests: 2,
+            cold_median_ns: 1000,
+            hot_median_ns: 100,
+            mixed_median_ns: 200,
+            batch_ns: 300,
+            batch_requests: 2,
+            plan_hits: 3,
+            plan_misses: 1,
+            decomp_misses: 1,
+        }];
+        let j = to_json("t", "smoke", &cfg, &entries);
+        assert!(j.contains("\"schema\": \"bench-service/1\""));
+        assert!(j.contains("\"speedup\": 10.0"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

@@ -3,43 +3,87 @@
 //! Serving workloads ask the same (or structurally identical) queries over
 //! and over; decomposing is the expensive part of planning, and the result
 //! depends only on the query's *hypergraph*, not on the database. The
-//! cache keys on the rendered canonical query `cq(H)` (Definition A.2) —
-//! two hypergraphs with the same vertex/edge structure and names share a
-//! key — and stores `Arc`-shared decompositions so hits clone nothing but
-//! a pointer.
+//! cache keys on a rendering of the canonical query `cq(H)` (Definition
+//! A.2) with the variables replaced by their vertex indices: a
+//! decomposition is pure structure (`χ` and `λ` reference vertex and edge
+//! *ids*), so hypergraphs that differ only in vertex naming — α-equivalent
+//! queries — share a key and a cached decomposition. Values are
+//! `Arc`-shared, so hits clone nothing but a pointer.
 //!
 //! The map sits behind a `parking_lot::Mutex`: planning is rare and
 //! bursty, the critical section is a hash-map probe, and the heavy work
 //! (the miss path) runs *outside* the lock — concurrent misses on the same
 //! key may both compute, last-write-wins, which is benign because every
 //! computed value for a key is interchangeable.
+//!
+//! The cache is *bounded*: beyond [`DecompCache::DEFAULT_CAPACITY`]
+//! entries (tunable via [`DecompCache::with_capacity`]), the least
+//! recently used decomposition is evicted — the shared [`crate::lru`]
+//! policy, the same one the serving layer's plan cache uses.
 
 use crate::hypertree::HypertreeDecomposition;
-use cq::canonical_query;
-use hypergraph::Hypergraph;
+use crate::lru::Lru;
+use hypergraph::{Hypergraph, Ix};
 use parking_lot::Mutex;
-use rustc_hash::FxHashMap;
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A small cache from canonical-query form to a shared decomposition.
-#[derive(Default)]
 pub struct DecompCache {
-    map: Mutex<FxHashMap<String, Arc<HypertreeDecomposition>>>,
+    // Arc<str> keys: the LRU keeps a key clone in both its hash map and
+    // its recency slab, and structural keys of large-tier hypergraphs
+    // run to kilobytes — share one allocation instead of copying it.
+    map: Mutex<Lru<Arc<str>, Arc<HypertreeDecomposition>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
+impl Default for DecompCache {
+    fn default() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+}
+
 impl DecompCache {
-    /// An empty cache.
+    /// Default capacity: enough for a large working set of query shapes
+    /// while bounding a serving process that sees adversarial variety.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// An empty cache with the default capacity.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// The cache key of `h`: its canonical query, rendered. Stable across
-    /// structurally identical hypergraphs (same names, same edge lists).
+    /// An empty cache evicting (LRU) beyond `capacity` decompositions.
+    pub fn with_capacity(capacity: usize) -> Self {
+        DecompCache {
+            map: Mutex::new(Lru::with_capacity(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The cache key of `h`: the canonical query's atoms with variables
+    /// rendered as vertex indices — `edge(#0,#2,…)` per edge, in edge
+    /// order — plus the vertex count. Stable across hypergraphs with the
+    /// same edge names and structure regardless of vertex naming, which
+    /// is exactly when a cached decomposition (ids only) is reusable.
     pub fn key_of(h: &Hypergraph) -> String {
-        canonical_query(h).to_string()
+        let mut out = String::new();
+        write!(out, "{}|", h.num_vertices()).unwrap();
+        for e in h.edges() {
+            out.push_str(h.edge_name(e));
+            out.push('(');
+            for (i, v) in h.edge_vertices(e).iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write!(out, "#{}", v.index()).unwrap();
+            }
+            out.push(')');
+        }
+        out
     }
 
     /// Look up the decomposition for `h`, computing it with `decompose` on
@@ -52,13 +96,13 @@ impl DecompCache {
         decompose: impl FnOnce(&Hypergraph) -> HypertreeDecomposition,
     ) -> Arc<HypertreeDecomposition> {
         let key = Self::key_of(h);
-        if let Some(hit) = self.map.lock().get(&key) {
+        if let Some(hit) = self.map.lock().get(key.as_str()) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let value = Arc::new(decompose(h));
-        self.map.lock().insert(key, Arc::clone(&value));
+        self.map.lock().insert(Arc::from(key), Arc::clone(&value));
         value
     }
 
@@ -70,6 +114,19 @@ impl DecompCache {
     /// Cache misses so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Decompositions evicted by capacity pressure so far.
+    pub fn evictions(&self) -> u64 {
+        self.map.lock().evictions()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.map
+            .lock()
+            .capacity()
+            .expect("DecompCache is always bounded")
     }
 
     /// Number of cached decompositions.
@@ -130,10 +187,56 @@ mod tests {
     }
 
     #[test]
-    fn keys_distinguish_names_and_structure() {
+    fn capacity_evicts_least_recently_used() {
+        let cache = DecompCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        let tri = triangle();
+        let path = Hypergraph::from_edge_lists(3, &[&[0, 1], &[1, 2]]);
+        let star = Hypergraph::from_edge_lists(4, &[&[0, 1], &[0, 2], &[0, 3]]);
+        cache.get_or_insert_with(&tri, opt::optimal_decomposition);
+        cache.get_or_insert_with(&path, opt::optimal_decomposition);
+        // Touch the triangle so the path becomes the LRU victim.
+        cache.get_or_insert_with(&tri, |_| unreachable!("hit"));
+        cache.get_or_insert_with(&star, opt::optimal_decomposition);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+        // The path was evicted: looking it up recomputes.
+        let mut recomputed = false;
+        cache.get_or_insert_with(&path, |h| {
+            recomputed = true;
+            opt::optimal_decomposition(h)
+        });
+        assert!(recomputed, "evicted entries miss again");
+        // Re-inserting the path pushed out the then-LRU triangle; the
+        // freshly inserted star is still resident.
+        assert_eq!(cache.evictions(), 2);
+        cache.get_or_insert_with(&star, |_| unreachable!("still cached"));
+    }
+
+    #[test]
+    fn keys_distinguish_structure_but_not_vertex_names() {
         let a = triangle();
         assert_eq!(DecompCache::key_of(&a), DecompCache::key_of(&triangle()));
         let b = Hypergraph::from_edge_lists(3, &[&[0, 1], &[1, 2]]);
         assert_ne!(DecompCache::key_of(&a), DecompCache::key_of(&b));
+        // α-renaming the vertices keeps the key (decompositions are pure
+        // id structure, so the cached value is reusable verbatim)…
+        let mut renamed = Hypergraph::builder();
+        renamed.edge_by_names("e0", &["P", "Q"]);
+        renamed.edge_by_names("e1", &["Q", "R"]);
+        renamed.edge_by_names("e2", &["P", "R"]);
+        assert_eq!(
+            DecompCache::key_of(&a),
+            DecompCache::key_of(&renamed.build())
+        );
+        // …but renaming an *edge* (a different predicate) does not.
+        let mut other_edge = Hypergraph::builder();
+        other_edge.edge_by_names("e0", &["P", "Q"]);
+        other_edge.edge_by_names("e1", &["Q", "R"]);
+        other_edge.edge_by_names("x", &["P", "R"]);
+        assert_ne!(
+            DecompCache::key_of(&a),
+            DecompCache::key_of(&other_edge.build())
+        );
     }
 }

@@ -45,6 +45,7 @@ pub mod dot;
 mod engine;
 mod hypertree;
 pub mod kdecomp;
+pub mod lru;
 pub mod normal_form;
 pub mod opt;
 pub mod parallel;
@@ -55,4 +56,5 @@ pub mod theorem45;
 pub use cache::DecompCache;
 pub use hypertree::{HdViolation, HypertreeDecomposition, ValidityMode};
 pub use kdecomp::{CandidateMode, Solver};
+pub use lru::Lru;
 pub use querydecomp::{BudgetExceeded, QdViolation, QueryDecomposition};

@@ -1,0 +1,344 @@
+//! A bounded map with least-recently-used eviction.
+//!
+//! The serving layer keeps two caches keyed by canonical-query text — the
+//! decomposition cache ([`crate::DecompCache`]) and the plan cache in the
+//! `service` crate — and both need the same policy: bounded memory,
+//! recency-ordered eviction, and an eviction counter for observability.
+//! This module is that policy, written once. It is *not* internally
+//! synchronised; callers wrap it in the lock that fits their access
+//! pattern (both caches use a `parking_lot::Mutex`, since the critical
+//! section is a hash probe).
+//!
+//! The recency list is intrusive: entries live in a slab (`Vec`) and carry
+//! `prev`/`next` slot indices, so `get`/`insert`/eviction are all O(1) —
+//! no allocation once the slab has grown to capacity, and no scan to find
+//! the eviction victim. Each entry's key is cloned into both the hash map
+//! and the slab, so key with something cheap to clone (both caches use
+//! `Arc<str>`, sharing one allocation per key).
+
+use rustc_hash::FxHashMap;
+use std::hash::Hash;
+
+/// Sentinel slot index for "no neighbour".
+const NIL: usize = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A map with least-recently-used eviction once `capacity` is exceeded.
+///
+/// `get` refreshes recency; `insert` evicts the least recently used entry
+/// when the map is full and the key is new. `capacity == None` disables
+/// eviction (the unbounded regime the decomposition cache started with).
+pub struct Lru<K, V> {
+    map: FxHashMap<K, usize>,
+    /// Slot storage; `None` marks slots on the free list.
+    slab: Vec<Option<Entry<K, V>>>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: Option<usize>,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> Lru<K, V> {
+    /// An LRU map evicting beyond `capacity` entries (`capacity ≥ 1`).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(
+            capacity >= 1,
+            "an LRU map needs room for at least one entry"
+        );
+        Self::build(Some(capacity))
+    }
+
+    /// A map that never evicts (the policy degenerates to recency
+    /// bookkeeping only).
+    pub fn unbounded() -> Self {
+        Self::build(None)
+    }
+
+    fn build(capacity: Option<usize>) -> Self {
+        Lru {
+            map: FxHashMap::default(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            evictions: 0,
+        }
+    }
+
+    /// The configured capacity (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` iff no entry is live.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Entries evicted by capacity pressure so far (`clear` does not
+    /// count).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Look up `key`, marking it most recently used on a hit.
+    pub fn get<Q>(&mut self, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let slot = *self.map.get(key)?;
+        self.detach(slot);
+        self.attach_front(slot);
+        self.slab[slot].as_ref().map(|e| &e.value)
+    }
+
+    /// Look up `key` without touching recency (observability reads).
+    pub fn peek<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let slot = *self.map.get(key)?;
+        self.slab[slot].as_ref().map(|e| &e.value)
+    }
+
+    /// Insert `key → value` as most recently used, returning the evicted
+    /// least-recently-used entry when capacity forced one out. Re-inserting
+    /// a live key replaces its value (no eviction).
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&slot) = self.map.get(&key) {
+            self.slab[slot].as_mut().expect("live slot").value = value;
+            self.detach(slot);
+            self.attach_front(slot);
+            return None;
+        }
+        let mut evicted = None;
+        if let Some(cap) = self.capacity {
+            if self.map.len() >= cap {
+                let victim = self.tail;
+                debug_assert_ne!(victim, NIL, "a full map has a tail");
+                self.detach(victim);
+                let entry = self.slab[victim].take().expect("tail slot is live");
+                self.map.remove(&entry.key);
+                self.free.push(victim);
+                self.evictions += 1;
+                evicted = Some((entry.key, entry.value));
+            }
+        }
+        let entry = Entry {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot] = Some(entry);
+                slot
+            }
+            None => {
+                self.slab.push(Some(entry));
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.attach_front(slot);
+        evicted
+    }
+
+    /// Drop every entry (capacity and the eviction counter are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// The keys from most to least recently used (test/debug aid).
+    pub fn keys_by_recency(&self) -> Vec<&K> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut slot = self.head;
+        while slot != NIL {
+            let entry = self.slab[slot].as_ref().expect("listed slot is live");
+            out.push(&entry.key);
+            slot = entry.next;
+        }
+        out
+    }
+
+    /// Unlink `slot` from the recency list.
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = {
+            let e = self.slab[slot].as_ref().expect("live slot");
+            (e.prev, e.next)
+        };
+        match prev {
+            NIL => {
+                if self.head == slot {
+                    self.head = next;
+                }
+            }
+            p => self.slab[p].as_mut().expect("live slot").next = next,
+        }
+        match next {
+            NIL => {
+                if self.tail == slot {
+                    self.tail = prev;
+                }
+            }
+            n => self.slab[n].as_mut().expect("live slot").prev = prev,
+        }
+        let e = self.slab[slot].as_mut().expect("live slot");
+        e.prev = NIL;
+        e.next = NIL;
+    }
+
+    /// Link `slot` at the head (most recently used).
+    fn attach_front(&mut self, slot: usize) {
+        let old_head = self.head;
+        {
+            let e = self.slab[slot].as_mut().expect("live slot");
+            e.prev = NIL;
+            e.next = old_head;
+        }
+        if old_head != NIL {
+            self.slab[old_head].as_mut().expect("live slot").prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru: Lru<&str, u32> = Lru::with_capacity(2);
+        assert!(lru.insert("a", 1).is_none());
+        assert!(lru.insert("b", 2).is_none());
+        assert_eq!(lru.get(&"a"), Some(&1)); // a is now fresher than b
+        let evicted = lru.insert("c", 3);
+        assert_eq!(evicted, Some(("b", 2)));
+        assert_eq!(lru.evictions(), 1);
+        assert_eq!(lru.len(), 2);
+        assert!(lru.peek(&"b").is_none());
+        assert_eq!(lru.keys_by_recency(), vec![&"c", &"a"]);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_evicting() {
+        let mut lru: Lru<u32, u32> = Lru::with_capacity(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        assert!(lru.insert(1, 11).is_none(), "live-key update never evicts");
+        assert_eq!(lru.get(&1), Some(&11));
+        assert_eq!(lru.evictions(), 0);
+        // 2 is now the LRU entry.
+        assert_eq!(lru.insert(3, 30), Some((2, 20)));
+    }
+
+    #[test]
+    fn unbounded_never_evicts() {
+        let mut lru: Lru<u32, u32> = Lru::unbounded();
+        for i in 0..1000 {
+            assert!(lru.insert(i, i).is_none());
+        }
+        assert_eq!(lru.len(), 1000);
+        assert_eq!(lru.evictions(), 0);
+        assert_eq!(lru.capacity(), None);
+    }
+
+    #[test]
+    fn slots_are_reused_after_eviction() {
+        let mut lru: Lru<u32, u32> = Lru::with_capacity(3);
+        for i in 0..100 {
+            lru.insert(i, i);
+        }
+        assert_eq!(lru.len(), 3);
+        assert_eq!(lru.evictions(), 97);
+        assert!(lru.slab.len() <= 3, "slots are recycled, not leaked");
+        assert_eq!(lru.keys_by_recency(), vec![&99, &98, &97]);
+    }
+
+    #[test]
+    fn clear_keeps_the_counter() {
+        let mut lru: Lru<u32, u32> = Lru::with_capacity(1);
+        lru.insert(1, 1);
+        lru.insert(2, 2);
+        assert_eq!(lru.evictions(), 1);
+        lru.clear();
+        assert!(lru.is_empty());
+        assert_eq!(lru.evictions(), 1);
+        lru.insert(3, 3);
+        assert_eq!(lru.get(&3), Some(&3));
+    }
+
+    #[test]
+    fn single_slot_capacity() {
+        let mut lru: Lru<u32, u32> = Lru::with_capacity(1);
+        lru.insert(1, 1);
+        assert_eq!(lru.insert(2, 2), Some((1, 1)));
+        assert_eq!(lru.get(&2), Some(&2));
+        assert!(lru.get(&1).is_none());
+        assert_eq!(lru.keys_by_recency(), vec![&2]);
+    }
+
+    #[test]
+    fn heavy_mixed_traffic_stays_consistent() {
+        // Cross-check against a naive model: vector of keys by recency.
+        let mut lru: Lru<u64, u64> = Lru::with_capacity(8);
+        let mut model: Vec<u64> = Vec::new(); // front = MRU
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for _ in 0..4000 {
+            // xorshift for a deterministic pseudo-random stream
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = x % 24;
+            if x.is_multiple_of(3) {
+                if let Some(pos) = model.iter().position(|&k| k == key) {
+                    model.remove(pos);
+                    model.insert(0, key);
+                    assert_eq!(lru.get(&key), Some(&(key * 10)));
+                } else {
+                    assert!(lru.get(&key).is_none());
+                }
+            } else {
+                if let Some(pos) = model.iter().position(|&k| k == key) {
+                    model.remove(pos);
+                } else if model.len() == 8 {
+                    model.pop();
+                }
+                model.insert(0, key);
+                lru.insert(key, key * 10);
+            }
+            assert_eq!(
+                lru.keys_by_recency()
+                    .into_iter()
+                    .copied()
+                    .collect::<Vec<_>>(),
+                model
+            );
+        }
+        assert!(lru.evictions() > 0);
+    }
+}

@@ -8,7 +8,7 @@
 //! *independent* subproblems (the universal branching of Step 4). The
 //! per-subproblem search — candidate pool, subset enumeration, checks
 //! 2a/2b, scoped child computation — is the shared
-//! [`crate::engine::SolverCore`], the same code the sequential solver
+//! `crate::engine::SolverCore`, the same code the sequential solver
 //! runs; this module only decides *where* the child subproblems execute:
 //! big components on scoped worker threads (while the recursion is
 //! shallow), small ones inline.

@@ -27,5 +27,5 @@ mod parser;
 mod query;
 
 pub use canonical::canonical_query;
-pub use parser::{parse_query, ParseError};
+pub use parser::{parse_query, ParseError, ParseErrorKind};
 pub use query::{Atom, ConjunctiveQuery, QueryBuilder, Term};

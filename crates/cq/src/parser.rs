@@ -21,18 +21,44 @@
 use crate::query::{Atom, ConjunctiveQuery, QueryBuilder, Term};
 use std::fmt;
 
-/// A parse error with byte position and message.
+/// What went wrong, beyond the free-text message. Callers that need to
+/// react to a specific failure (the serving layer distinguishes malformed
+/// requests from structurally invalid ones) match on this instead of
+/// scraping [`ParseError::message`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// A variable occurs more than once in the head atom. The head lists
+    /// *output columns*; repeating one is almost always a typo, and the
+    /// evaluation engines assume distinct head variables.
+    DuplicateHeadVariable(String),
+    /// The body has no atoms (`ans :-` or `ans :- .`). A conjunctive
+    /// query needs at least one atom for its hypergraph to mean anything.
+    EmptyBody,
+    /// Any other syntax error, described by the message alone.
+    Other,
+}
+
+/// A parse error with line/byte position and message, in the same
+/// line-numbered style as the `.hg` hypergraph parser.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
+    /// 1-based line of the input where the error was detected.
+    pub line: usize,
     /// Byte offset into the input where the error was detected.
     pub position: usize,
+    /// The kind of failure, for programmatic handling.
+    pub kind: ParseErrorKind,
     /// Human-readable description.
     pub message: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "line {}: parse error at byte {}: {}",
+            self.line, self.position, self.message
+        )
     }
 }
 
@@ -60,11 +86,30 @@ impl<'a> Parser<'a> {
         Parser { input, pos: 0 }
     }
 
-    fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+    /// 1-based line number of byte offset `pos`.
+    fn line_of(&self, pos: usize) -> usize {
+        self.input[..pos.min(self.input.len())]
+            .bytes()
+            .filter(|&b| b == b'\n')
+            .count()
+            + 1
+    }
+
+    fn error_with<T>(
+        &self,
+        kind: ParseErrorKind,
+        message: impl Into<String>,
+    ) -> Result<T, ParseError> {
         Err(ParseError {
+            line: self.line_of(self.pos),
             position: self.pos,
+            kind,
             message: message.into(),
         })
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        self.error_with(ParseErrorKind::Other, message)
     }
 
     fn rest(&self) -> &str {
@@ -116,7 +161,9 @@ impl<'a> Parser<'a> {
             return self.error("expected a number");
         }
         let value: u64 = rest[..end].parse().map_err(|_| ParseError {
+            line: self.line_of(self.pos),
             position: self.pos,
+            kind: ParseErrorKind::Other,
             message: "number too large for u64".to_string(),
         })?;
         self.pos += end;
@@ -153,8 +200,29 @@ impl<'a> Parser<'a> {
 
     fn query(&mut self) -> Result<ConjunctiveQuery, ParseError> {
         let (head_name, head_terms) = self.atom()?;
+        // Head variables are output columns; a repeat is a dedicated error
+        // rather than a silent dedup.
+        let mut seen_head_vars: Vec<&str> = Vec::new();
+        for t in &head_terms {
+            if let RawTerm::Var(name) = t {
+                if seen_head_vars.contains(&name.as_str()) {
+                    return self.error_with(
+                        ParseErrorKind::DuplicateHeadVariable(name.clone()),
+                        format!("variable {name} occurs twice in the head atom"),
+                    );
+                }
+                seen_head_vars.push(name);
+            }
+        }
         if !self.eat(":-") && !self.eat("<-") {
             return self.error("expected ':-' or '<-' after the head");
+        }
+        self.skip_ws();
+        if self.rest().is_empty() || self.rest().starts_with('.') {
+            return self.error_with(
+                ParseErrorKind::EmptyBody,
+                "the query body has no atoms (a conjunctive query needs at least one)",
+            );
         }
         let mut body = Vec::new();
         loop {
@@ -194,7 +262,9 @@ impl<'a> Parser<'a> {
         }
         b.head_raw(head_name, head);
         let q = b.try_build().map_err(|message| ParseError {
+            line: self.line_of(self.pos),
             position: self.pos,
+            kind: ParseErrorKind::Other,
             message,
         })?;
         Ok(q)
@@ -261,6 +331,38 @@ mod tests {
         let err = parse_query("ans :- r(x).").unwrap_err();
         assert!(err.message.contains("symbolic constants"));
         assert!(err.to_string().contains("parse error at byte"));
+        assert_eq!(err.kind, ParseErrorKind::Other);
+    }
+
+    #[test]
+    fn rejects_duplicate_head_variables_with_dedicated_error() {
+        let err = parse_query("ans(X, Y, X) :- r(X, Y).").unwrap_err();
+        assert_eq!(
+            err.kind,
+            ParseErrorKind::DuplicateHeadVariable("X".to_string())
+        );
+        assert!(err.message.contains("occurs twice in the head"));
+        assert_eq!(err.line, 1);
+        // Constants and distinct variables in the head stay fine.
+        assert!(parse_query("ans(X, Y) :- r(X, Y).").is_ok());
+    }
+
+    #[test]
+    fn rejects_empty_bodies_with_dedicated_error() {
+        for text in ["ans :-", "ans :- .", "ans(X) <- ."] {
+            let err = parse_query(text).unwrap_err();
+            assert_eq!(err.kind, ParseErrorKind::EmptyBody, "{text}");
+            assert!(err.message.contains("no atoms"), "{text}");
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers_like_the_hg_parser() {
+        let err = parse_query("ans :- r(X),\n       s(x).").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().starts_with("line 2: "), "{err}");
+        let err = parse_query("ans :- r(x).").unwrap_err();
+        assert_eq!(err.line, 1);
     }
 
     #[test]

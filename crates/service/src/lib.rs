@@ -1,0 +1,85 @@
+//! A concurrent query-serving subsystem: prepared plans, a plan cache,
+//! and a batched execution front-end.
+//!
+//! The paper's central promise (Gottlob–Leone–Scarcello, PODS'99) is that
+//! once a bounded-width decomposition exists, *evaluation* is the cheap,
+//! repeatable part. This crate turns that promise into a serving layer:
+//!
+//! * [`PreparedQuery`] — one-shot compilation of conjunctive-query text
+//!   (parse → hypergraph → cached decomposition → [`eval::Strategy`])
+//!   into a `Send + Sync` plan object that answers `boolean` /
+//!   `enumerate` / `count` against any compatible
+//!   [`Database`](relation::Database);
+//! * [`PlanCache`] — a bounded LRU over α-invariant canonical keys
+//!   (shared eviction policy with
+//!   [`DecompCache`](hypertree_core::DecompCache), per-layer counters),
+//!   so repeated or α-equivalent query text never re-plans, let alone
+//!   re-decomposes;
+//! * [`Service`] — the front-end: an `Arc<Database>` snapshot, batch
+//!   intake with dedup by canonical key, and scoped-thread execution of
+//!   both the preparations and the per-request evaluations.
+//!
+//! # Example
+//!
+//! ```
+//! use service::{Request, Service};
+//! use std::sync::Arc;
+//!
+//! let mut db = relation::Database::new();
+//! db.add_fact("r", &[1, 2]);
+//! db.add_fact("s", &[2, 3]);
+//! db.add_fact("t", &[3, 1]);
+//! let svc = Service::new(Arc::new(db));
+//!
+//! // A cyclic query decomposes once; the α-renamed repeat is served
+//! // from the plan cache.
+//! let batch = vec![
+//!     Request::boolean("ans :- r(X,Y), s(Y,Z), t(Z,X)."),
+//!     Request::count("ans :- r(A,B), s(B,C), t(C,A)."),
+//! ];
+//! let responses = svc.execute_batch(&batch);
+//! assert_eq!(responses[0], Ok(service::Outcome::Boolean(true)));
+//! assert_eq!(responses[1], Ok(service::Outcome::Count(1)));
+//! assert_eq!(svc.stats().decomp_misses, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod plan_cache;
+pub mod prepared;
+#[allow(clippy::module_inception)]
+pub mod service;
+
+pub use plan_cache::PlanCache;
+pub use prepared::{plan_key, PlanKind, PrepareConfig, PreparedQuery};
+pub use service::{Op, Outcome, Request, Response, Service, ServiceConfig, ServiceStats};
+
+use std::fmt;
+
+/// Why a request could not be served.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The query text did not parse.
+    Parse(cq::ParseError),
+    /// The query parsed and planned, but evaluation failed (e.g. an atom
+    /// whose arity disagrees with the stored relation).
+    Eval(eval::EvalError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Parse(e) => write!(f, "parse: {e}"),
+            ServiceError::Eval(e) => write!(f, "eval: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Parse(e) => Some(e),
+            ServiceError::Eval(e) => Some(e),
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! A bounded cache of prepared plans, keyed by the α-invariant plan key.
+//!
+//! Where the [`DecompCache`](hypertree_core::DecompCache) deduplicates
+//! *decompositions* by hypergraph shape, this cache deduplicates whole
+//! [`PreparedQuery`] objects by query structure: a hit skips planning
+//! altogether — zero decompositions, one `Arc` clone (the request text
+//! is still parsed to render the lookup key).
+//! Eviction is the same shared LRU policy ([`hypertree_core::lru`]) the
+//! decomposition cache uses, so both layers age out cold entries the
+//! same way, each with its own hit/miss/eviction counters.
+
+use crate::PreparedQuery;
+use crate::ServiceError;
+use hypertree_core::lru::Lru;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A bounded LRU cache from plan key to shared prepared plan.
+pub struct PlanCache {
+    // Arc<str> keys: the LRU clones its key into both the hash map and
+    // the recency slab — share one allocation per key.
+    map: Mutex<Lru<Arc<str>, Arc<PreparedQuery>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl PlanCache {
+    /// Default capacity: a serving working set of query shapes.
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    /// An empty cache with the default capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty cache evicting (LRU) beyond `capacity` plans.
+    pub fn with_capacity(capacity: usize) -> Self {
+        PlanCache {
+            map: Mutex::new(Lru::with_capacity(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a plan by key, refreshing its recency.
+    pub fn get(&self, key: &str) -> Option<Arc<PreparedQuery>> {
+        let hit = self.map.lock().get(key).cloned();
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Look up `key`, preparing and inserting on a miss. The preparation
+    /// runs *outside* the lock (it may decompose); concurrent misses on
+    /// the same key may both prepare, last-write-wins — benign, since
+    /// every compilation of a key is interchangeable.
+    pub fn get_or_prepare_with(
+        &self,
+        key: &str,
+        prepare: impl FnOnce() -> Result<PreparedQuery, ServiceError>,
+    ) -> Result<Arc<PreparedQuery>, ServiceError> {
+        if let Some(hit) = self.get(key) {
+            return Ok(hit);
+        }
+        let plan = Arc::new(prepare()?);
+        debug_assert_eq!(plan.key(), key, "plan key must match the lookup key");
+        self.map.lock().insert(Arc::from(key), Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Plans evicted by capacity pressure so far.
+    pub fn evictions(&self) -> u64 {
+        self.map.lock().evictions()
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// `true` iff nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.map
+            .lock()
+            .capacity()
+            .expect("PlanCache is always bounded")
+    }
+
+    /// Drop every cached plan (counters are kept).
+    pub fn clear(&self) {
+        self.map.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prepared::{plan_key, PrepareConfig};
+    use hypertree_core::DecompCache;
+
+    fn prepare(text: &str, decomps: &DecompCache) -> PreparedQuery {
+        PreparedQuery::prepare(text, decomps, &PrepareConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn hits_misses_and_evictions_are_counted() {
+        let decomps = DecompCache::new();
+        let cache = PlanCache::with_capacity(2);
+        let texts = [
+            "ans :- r(X,Y), s(Y,Z), t(Z,X).",
+            "ans :- a(X,Y), b(Y,Z).",
+            "ans :- c(X,Y), d(Y,X).",
+        ];
+        let keys: Vec<String> = texts
+            .iter()
+            .map(|t| plan_key(&cq::parse_query(t).unwrap()))
+            .collect();
+        for (text, key) in texts.iter().zip(&keys) {
+            cache
+                .get_or_prepare_with(key, || Ok(prepare(text, &decomps)))
+                .unwrap();
+        }
+        // 3 inserts into capacity 2: the first key was evicted.
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!((cache.hits(), cache.misses()), (0, 3));
+        assert!(cache.get(&keys[0]).is_none(), "LRU victim");
+        assert!(cache.get(&keys[2]).is_some());
+        assert_eq!((cache.hits(), cache.misses()), (1, 4));
+
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.evictions(), 1, "clear is not an eviction");
+    }
+
+    #[test]
+    fn hit_path_never_reprepares() {
+        let decomps = DecompCache::new();
+        let cache = PlanCache::new();
+        let text = "ans :- r(X,Y), s(Y,Z), t(Z,X).";
+        let key = plan_key(&cq::parse_query(text).unwrap());
+        let first = cache
+            .get_or_prepare_with(&key, || Ok(prepare(text, &decomps)))
+            .unwrap();
+        let second = cache
+            .get_or_prepare_with(&key, || unreachable!("hits never prepare"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "hits share one Arc");
+    }
+}

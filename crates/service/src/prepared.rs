@@ -1,0 +1,270 @@
+//! One-shot query compilation: text → parsed query → (cached)
+//! decomposition → executable [`PreparedQuery`].
+//!
+//! Preparation is the expensive half of serving — parsing is cheap, but a
+//! cyclic query pays for a hypertree/GHD search. A `PreparedQuery` does
+//! that work exactly once and is then a passive, `Send + Sync` plan
+//! object: it holds no reference to any [`Database`], so one prepared
+//! plan answers the same query against any number of database snapshots,
+//! sequentially or concurrently.
+
+use crate::ServiceError;
+use cq::{parse_query, ConjunctiveQuery, Term};
+use eval::{EvalError, Strategy};
+use hypergraph::acyclic;
+use hypertree_core::DecompCache;
+use relation::{Database, Relation};
+use std::fmt::Write as _;
+
+/// Planning knobs for [`PreparedQuery::prepare`].
+#[derive(Clone, Copy, Debug)]
+pub struct PrepareConfig {
+    /// Candidate-step budget per deepening level of the bounded exact
+    /// search inside [`heuristics::decompose_auto`]. Small instances come
+    /// back width-optimal; large ones fall back to the heuristic GHD
+    /// instead of stalling the serving thread.
+    pub exact_steps: u64,
+}
+
+impl Default for PrepareConfig {
+    fn default() -> Self {
+        PrepareConfig {
+            exact_steps: 50_000,
+        }
+    }
+}
+
+/// How a prepared plan evaluates: directly over a join tree (acyclic
+/// queries) or through a decomposition that came out of the shared
+/// [`DecompCache`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanKind {
+    /// The query is acyclic; the plan is a join tree (width 1).
+    JoinTree,
+    /// The query is cyclic; the plan routes through a hypertree/GHD.
+    Decomposition,
+}
+
+/// A fully compiled query: parse + plan, reusable across databases.
+///
+/// Execution methods borrow the database immutably, so any number of
+/// threads can drive the same plan against the same (or different)
+/// snapshots at once — the property the [`crate::Service`] batch engine
+/// is built on.
+#[derive(Clone, Debug)]
+pub struct PreparedQuery {
+    query: ConjunctiveQuery,
+    key: String,
+    strategy: Strategy,
+    kind: PlanKind,
+}
+
+impl PreparedQuery {
+    /// Compile `text` end to end. Decompositions go through `cache`, so
+    /// preparing two queries with the same hypergraph shape decomposes
+    /// once.
+    pub fn prepare(
+        text: &str,
+        cache: &DecompCache,
+        cfg: &PrepareConfig,
+    ) -> Result<PreparedQuery, ServiceError> {
+        let q = parse_query(text).map_err(ServiceError::Parse)?;
+        Ok(Self::prepare_parsed(q, cache, cfg))
+    }
+
+    /// Compile an already parsed query (planning cannot fail: every query
+    /// has at worst the trivial single-node decomposition).
+    pub fn prepare_parsed(
+        q: ConjunctiveQuery,
+        cache: &DecompCache,
+        cfg: &PrepareConfig,
+    ) -> PreparedQuery {
+        let key = plan_key(&q);
+        Self::prepare_parsed_with_key(q, key, cache, cfg)
+    }
+
+    /// [`Self::prepare_parsed`] with the plan key already rendered —
+    /// callers that just probed a cache with the key (the [`crate::Service`]
+    /// miss path) avoid rendering it a second time. `key` must be
+    /// `plan_key(&q)`.
+    pub fn prepare_parsed_with_key(
+        q: ConjunctiveQuery,
+        key: String,
+        cache: &DecompCache,
+        cfg: &PrepareConfig,
+    ) -> PreparedQuery {
+        debug_assert_eq!(key, plan_key(&q), "key must be the query's plan key");
+        let h = q.hypergraph();
+        let (strategy, kind) = match acyclic::join_tree(&h) {
+            Some(jt) => (Strategy::JoinTree(jt), PlanKind::JoinTree),
+            None => {
+                let hd = cache
+                    .get_or_insert_with(&h, |h| heuristics::decompose_auto(h, cfg.exact_steps).hd);
+                // One decomposition clone per *prepare* (not per execution);
+                // the plan must own its data to outlive cache eviction.
+                (
+                    Strategy::from_decomposition((*hd).clone()),
+                    PlanKind::Decomposition,
+                )
+            }
+        };
+        PreparedQuery {
+            query: q,
+            key,
+            strategy,
+            kind,
+        }
+    }
+
+    /// The α-invariant plan-cache key of the compiled query.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// The parsed query this plan answers.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    /// Join tree or decomposition?
+    pub fn kind(&self) -> PlanKind {
+        self.kind
+    }
+
+    /// Width of the underlying plan (1 for join trees).
+    pub fn width(&self) -> usize {
+        self.strategy.width()
+    }
+
+    /// Answer the Boolean query against `db`.
+    pub fn boolean(&self, db: &Database) -> Result<bool, EvalError> {
+        self.strategy.boolean(&self.query, db)
+    }
+
+    /// Enumerate the answers over the head variables against `db`.
+    pub fn enumerate(&self, db: &Database) -> Result<Relation, EvalError> {
+        self.strategy.enumerate(&self.query, db)
+    }
+
+    /// Count the satisfying assignments over `var(Q)` against `db`.
+    pub fn count(&self, db: &Database) -> Result<u128, EvalError> {
+        eval::counting::count_with(&self.strategy, &self.query, db)
+    }
+}
+
+/// The plan-cache key of `q`: the query rendered with its variables
+/// replaced by their interned indices (`#0`, `#1`, … in head-then-body
+/// first-occurrence order). Two queries that differ only by a consistent
+/// renaming of variables — α-equivalent texts — share a key, so the plan
+/// cache serves both from one compilation; predicate names, constants,
+/// atom order, and argument positions all stay significant.
+pub fn plan_key(q: &ConjunctiveQuery) -> String {
+    let mut out = String::new();
+    let render = |out: &mut String, terms: &[Term]| {
+        out.push('(');
+        for (i, t) in terms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match t {
+                Term::Var(v) => write!(out, "#{}", hypergraph::Ix::index(*v)).unwrap(),
+                Term::Const(c) => write!(out, "{c}").unwrap(),
+            }
+        }
+        out.push(')');
+    };
+    out.push_str(q.head_name());
+    render(&mut out, q.head());
+    out.push_str(":-");
+    for (i, atom) in q.atoms().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&atom.predicate);
+        render(&mut out, &atom.terms);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> DecompCache {
+        DecompCache::new()
+    }
+
+    #[test]
+    fn plan_keys_are_alpha_invariant() {
+        let a = parse_query("ans(X) :- r(X,Y), s(Y,Z), t(Z,X).").unwrap();
+        let b = parse_query("ans(U) :- r(U,V), s(V,W), t(W,U).").unwrap();
+        assert_eq!(plan_key(&a), plan_key(&b));
+        // Predicate names, constants, and structure stay significant.
+        let c = parse_query("ans(X) :- r(X,Y), s(Y,Z), u(Z,X).").unwrap();
+        assert_ne!(plan_key(&a), plan_key(&c));
+        let d = parse_query("ans(X) :- r(X,7), s(7,Z), t(Z,X).").unwrap();
+        assert_ne!(plan_key(&a), plan_key(&d));
+        let swapped = parse_query("ans(X) :- s(Y,Z), r(X,Y), t(Z,X).").unwrap();
+        assert_ne!(plan_key(&a), plan_key(&swapped), "atom order matters");
+    }
+
+    #[test]
+    fn acyclic_queries_skip_the_decomposition_cache() {
+        let cache = cache();
+        let p =
+            PreparedQuery::prepare("ans :- r(X,Y), s(Y,Z).", &cache, &Default::default()).unwrap();
+        assert_eq!(p.kind(), PlanKind::JoinTree);
+        assert_eq!(p.width(), 1);
+        assert_eq!(cache.hits() + cache.misses(), 0, "no cache traffic");
+    }
+
+    #[test]
+    fn cyclic_queries_share_one_decomposition() {
+        let cache = cache();
+        let cfg = PrepareConfig::default();
+        let p1 = PreparedQuery::prepare("ans :- r(X,Y), s(Y,Z), t(Z,X).", &cache, &cfg).unwrap();
+        assert_eq!(p1.kind(), PlanKind::Decomposition);
+        assert_eq!(p1.width(), 2);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        // Same hypergraph shape (different variable names): cache hit.
+        let p2 = PreparedQuery::prepare("ans :- r(A,B), s(B,C), t(C,A).", &cache, &cfg).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(p1.key(), p2.key());
+    }
+
+    #[test]
+    fn prepared_plans_execute_all_three_ops() {
+        let cache = cache();
+        let p = PreparedQuery::prepare(
+            "ans(X,Y,Z) :- r(X,Y), s(Y,Z), t(Z,X).",
+            &cache,
+            &Default::default(),
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.add_fact("r", &[1, 2]);
+        db.add_fact("s", &[2, 3]);
+        db.add_fact("t", &[3, 1]);
+        assert_eq!(p.boolean(&db), Ok(true));
+        let rows = p.enumerate(&db).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(p.count(&db), Ok(1));
+        // The very same plan object answers a different database.
+        let empty = Database::new();
+        assert_eq!(p.boolean(&empty), Ok(false));
+        assert_eq!(p.count(&empty), Ok(0));
+    }
+
+    #[test]
+    fn parse_failures_surface_as_service_errors() {
+        let err =
+            PreparedQuery::prepare("ans(X,X) :- r(X).", &cache(), &Default::default()).unwrap_err();
+        match err {
+            ServiceError::Parse(e) => assert_eq!(
+                e.kind,
+                cq::ParseErrorKind::DuplicateHeadVariable("X".to_string())
+            ),
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+    }
+}

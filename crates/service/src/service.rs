@@ -1,0 +1,524 @@
+//! The serving front-end: one shared database snapshot, two caches, and
+//! a batched, concurrent execution engine.
+//!
+//! A [`Service`] owns an `Arc<Database>` *snapshot*. Requests in a batch
+//! all see the snapshot that was current when the batch started;
+//! [`Service::replace_snapshot`] installs a new database for later
+//! batches without disturbing in-flight ones (readers clone the `Arc`,
+//! writers swap it — no relation data is ever mutated in place).
+//!
+//! Batches are deduplicated *before* planning: requests are grouped by
+//! their α-invariant plan key, each distinct key is prepared exactly once
+//! (through the [`PlanCache`], then the decomposition cache), and the
+//! prepared plans plus all request executions are spread over scoped
+//! worker threads — the same `std::thread::scope` idiom as
+//! `hypertree_core::parallel`, with a shared atomic cursor handing out
+//! work items so stragglers do not serialise the batch.
+
+use crate::prepared::{plan_key, PrepareConfig, PreparedQuery};
+use crate::{PlanCache, ServiceError};
+use cq::parse_query;
+use hypertree_core::DecompCache;
+use parking_lot::RwLock;
+use relation::{Database, Relation};
+use rustc_hash::FxHashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// What a request asks of its query.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Is the query non-empty on the snapshot?
+    Boolean,
+    /// The answer relation over the head variables.
+    Enumerate,
+    /// The number of satisfying assignments over `var(Q)`.
+    Count,
+}
+
+/// One textual query plus the operation to run.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The conjunctive query, in the `cq` parser's syntax.
+    pub text: String,
+    /// The operation to evaluate.
+    pub op: Op,
+}
+
+impl Request {
+    /// A Boolean request.
+    pub fn boolean(text: impl Into<String>) -> Self {
+        Request {
+            text: text.into(),
+            op: Op::Boolean,
+        }
+    }
+
+    /// An enumeration request.
+    pub fn enumerate(text: impl Into<String>) -> Self {
+        Request {
+            text: text.into(),
+            op: Op::Enumerate,
+        }
+    }
+
+    /// A counting request.
+    pub fn count(text: impl Into<String>) -> Self {
+        Request {
+            text: text.into(),
+            op: Op::Count,
+        }
+    }
+}
+
+/// A successful answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Answer to an [`Op::Boolean`] request.
+    Boolean(bool),
+    /// Answer to an [`Op::Enumerate`] request.
+    Rows(Relation),
+    /// Answer to an [`Op::Count`] request.
+    Count(u128),
+}
+
+/// Per-request result: an outcome, or why the request failed.
+pub type Response = Result<Outcome, ServiceError>;
+
+/// Serving configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Plan-cache capacity (LRU beyond it).
+    pub plan_cache_capacity: usize,
+    /// Decomposition-cache capacity (LRU beyond it).
+    pub decomp_cache_capacity: usize,
+    /// Planning budget (see [`PrepareConfig`]).
+    pub prepare: PrepareConfig,
+    /// Worker-thread cap for batch execution; `0` = the machine's
+    /// available parallelism.
+    pub max_threads: usize,
+    /// Batches smaller than this run inline on the calling thread.
+    pub min_parallel_batch: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            plan_cache_capacity: PlanCache::DEFAULT_CAPACITY,
+            decomp_cache_capacity: DecompCache::DEFAULT_CAPACITY,
+            prepare: PrepareConfig::default(),
+            max_threads: 0,
+            min_parallel_batch: 4,
+        }
+    }
+}
+
+/// A point-in-time view of the service counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Batches served.
+    pub batches: u64,
+    /// Requests served (across all batches and single executions).
+    pub requests: u64,
+    /// Plan-cache hits.
+    pub plan_hits: u64,
+    /// Plan-cache misses.
+    pub plan_misses: u64,
+    /// Plans evicted by capacity pressure.
+    pub plan_evictions: u64,
+    /// Plans currently cached.
+    pub plans_cached: usize,
+    /// Decomposition-cache hits.
+    pub decomp_hits: u64,
+    /// Decomposition-cache misses (each one paid for a decomposition).
+    pub decomp_misses: u64,
+    /// Decompositions evicted by capacity pressure.
+    pub decomp_evictions: u64,
+}
+
+/// The query-serving subsystem: compile once, execute many, in batches.
+pub struct Service {
+    db: RwLock<Arc<Database>>,
+    plans: PlanCache,
+    decomps: DecompCache,
+    cfg: ServiceConfig,
+    batches: AtomicU64,
+    requests: AtomicU64,
+}
+
+impl Service {
+    /// A service over `db` with default configuration.
+    pub fn new(db: Arc<Database>) -> Self {
+        Self::with_config(db, ServiceConfig::default())
+    }
+
+    /// A service over `db` with explicit configuration.
+    pub fn with_config(db: Arc<Database>, cfg: ServiceConfig) -> Self {
+        Service {
+            db: RwLock::new(db),
+            plans: PlanCache::with_capacity(cfg.plan_cache_capacity),
+            decomps: DecompCache::with_capacity(cfg.decomp_cache_capacity),
+            cfg,
+            batches: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// The current database snapshot. In-flight batches keep the snapshot
+    /// they started with; this returns whatever a *new* batch would see.
+    pub fn snapshot(&self) -> Arc<Database> {
+        Arc::clone(&self.db.read())
+    }
+
+    /// Install a new snapshot for future batches, returning the previous
+    /// one. Prepared plans are database-independent, so both caches stay
+    /// warm across the swap.
+    pub fn replace_snapshot(&self, db: Arc<Database>) -> Arc<Database> {
+        std::mem::replace(&mut *self.db.write(), db)
+    }
+
+    /// Prepare (or fetch from the plan cache) the plan for `text`.
+    pub fn prepare(&self, text: &str) -> Result<Arc<PreparedQuery>, ServiceError> {
+        let q = parse_query(text).map_err(ServiceError::Parse)?;
+        let key = plan_key(&q);
+        self.plans.get_or_prepare_with(&key, || {
+            Ok(PreparedQuery::prepare_parsed_with_key(
+                q,
+                key.clone(),
+                &self.decomps,
+                &self.cfg.prepare,
+            ))
+        })
+    }
+
+    /// Serve one request against the current snapshot.
+    pub fn execute(&self, req: &Request) -> Response {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let snapshot = self.snapshot();
+        let plan = self.prepare(&req.text)?;
+        run_op(&plan, req.op, &snapshot)
+    }
+
+    /// Serve a batch: all requests see one snapshot, duplicate (and
+    /// α-equivalent) query texts are planned once, and preparation and
+    /// execution are spread over scoped worker threads. Responses come
+    /// back in request order.
+    pub fn execute_batch(&self, reqs: &[Request]) -> Vec<Response> {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.requests
+            .fetch_add(reqs.len() as u64, Ordering::Relaxed);
+        let snapshot = self.snapshot();
+
+        // Parse phase (cheap, inline) + dedup by plan key.
+        let mut uniques: Vec<(String, cq::ConjunctiveQuery)> = Vec::new();
+        let mut key_to_unique: FxHashMap<String, usize> = FxHashMap::default();
+        let parsed: Vec<Result<usize, ServiceError>> = reqs
+            .iter()
+            .map(|req| {
+                let q = parse_query(&req.text).map_err(ServiceError::Parse)?;
+                let key = plan_key(&q);
+                let idx = *key_to_unique.entry(key.clone()).or_insert_with(|| {
+                    uniques.push((key, q));
+                    uniques.len() - 1
+                });
+                Ok(idx)
+            })
+            .collect();
+
+        // Prepare phase: each distinct key exactly once, in parallel —
+        // distinct keys mean distinct (potentially expensive) plans, and
+        // the dedup guarantees no two workers decompose the same shape.
+        let workers = self.worker_count(uniques.len());
+        let plans: Vec<Result<Arc<PreparedQuery>, ServiceError>> =
+            run_parallel(&uniques, workers, |_, (key, q)| {
+                self.plans.get_or_prepare_with(key, || {
+                    Ok(PreparedQuery::prepare_parsed_with_key(
+                        q.clone(),
+                        key.clone(),
+                        &self.decomps,
+                        &self.cfg.prepare,
+                    ))
+                })
+            });
+
+        // Execute phase: every request independently, against the shared
+        // snapshot, through its (shared) plan.
+        let workers = self.worker_count(reqs.len());
+        run_parallel(reqs, workers, |i, req| {
+            let unique = match &parsed[i] {
+                Ok(u) => *u,
+                Err(e) => return Err(e.clone()),
+            };
+            let plan = match &plans[unique] {
+                Ok(p) => p,
+                Err(e) => return Err(e.clone()),
+            };
+            run_op(plan, req.op, &snapshot)
+        })
+    }
+
+    /// The current counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            plan_hits: self.plans.hits(),
+            plan_misses: self.plans.misses(),
+            plan_evictions: self.plans.evictions(),
+            plans_cached: self.plans.len(),
+            decomp_hits: self.decomps.hits(),
+            decomp_misses: self.decomps.misses(),
+            decomp_evictions: self.decomps.evictions(),
+        }
+    }
+
+    /// Drop every cached plan and decomposition (counters are kept) —
+    /// the cold-start state, used by benchmarks and tests.
+    pub fn clear_caches(&self) {
+        self.plans.clear();
+        self.decomps.clear();
+    }
+
+    /// The plan cache (observability; execution goes through it anyway).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plans
+    }
+
+    /// The decomposition cache shared by all preparations.
+    pub fn decomp_cache(&self) -> &DecompCache {
+        &self.decomps
+    }
+
+    fn worker_count(&self, items: usize) -> usize {
+        if items < self.cfg.min_parallel_batch.max(2) {
+            return 1;
+        }
+        let cap = match self.cfg.max_threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        };
+        cap.min(items).max(1)
+    }
+}
+
+/// Evaluate one operation under a prepared plan.
+fn run_op(plan: &PreparedQuery, op: Op, db: &Database) -> Response {
+    match op {
+        Op::Boolean => plan.boolean(db).map(Outcome::Boolean),
+        Op::Enumerate => plan.enumerate(db).map(Outcome::Rows),
+        Op::Count => plan.count(db).map(Outcome::Count),
+    }
+    .map_err(ServiceError::Eval)
+}
+
+/// Run `f` over every item on `workers` scoped threads (inline when
+/// `workers <= 1`), preserving item order in the results. Work items are
+/// handed out by an atomic cursor so a slow item never strands the rest
+/// of a worker's share — the scoped-thread idiom of
+/// `hypertree_core::parallel`, applied to a flat work list. Each worker
+/// accumulates `(index, result)` pairs privately and the lists are merged
+/// after the scope joins, so result delivery needs no shared lock.
+fn run_parallel<T: Sync, R: Send>(
+    items: &[T],
+    workers: usize,
+    f: impl Fn(usize, &T) -> R + Sync,
+) -> Vec<R> {
+    let n = items.len();
+    if workers <= 1 || n <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(n))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for part in parts {
+        for (i, r) in part {
+            out[i] = Some(r);
+        }
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every index was claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::Value;
+
+    fn triangle_db() -> Arc<Database> {
+        let mut db = Database::new();
+        db.add_fact("r", &[1, 2]);
+        db.add_fact("s", &[2, 3]);
+        db.add_fact("t", &[3, 1]);
+        db.add_fact("t", &[3, 9]);
+        Arc::new(db)
+    }
+
+    const TRIANGLE: &str = "ans(X,Y,Z) :- r(X,Y), s(Y,Z), t(Z,X).";
+
+    #[test]
+    fn single_requests_round_trip() {
+        let svc = Service::new(triangle_db());
+        assert_eq!(
+            svc.execute(&Request::boolean(TRIANGLE)),
+            Ok(Outcome::Boolean(true))
+        );
+        assert_eq!(
+            svc.execute(&Request::count(TRIANGLE)),
+            Ok(Outcome::Count(1))
+        );
+        match svc.execute(&Request::enumerate(TRIANGLE)) {
+            Ok(Outcome::Rows(rows)) => {
+                assert_eq!(rows.len(), 1);
+                assert!(rows.contains_row(&[Value(1), Value(2), Value(3)]));
+            }
+            other => panic!("expected rows, got {other:?}"),
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.plan_misses, 1, "one compilation for three requests");
+        assert_eq!(stats.plan_hits, 2);
+    }
+
+    #[test]
+    fn plan_cache_hits_perform_zero_decompositions() {
+        // The acceptance gate: once a cyclic query's plan is cached,
+        // serving it again must not touch the decomposition machinery at
+        // all — not even for a cache probe.
+        let svc = Service::new(triangle_db());
+        svc.execute(&Request::boolean(TRIANGLE)).unwrap();
+        let cold = svc.stats();
+        assert_eq!(cold.decomp_misses, 1, "first request decomposes once");
+
+        // Same text, α-renamed text, and a different op over the same
+        // shape: all plan-cache hits.
+        let alpha = "ans(A,B,C) :- r(A,B), s(B,C), t(C,A).";
+        svc.execute(&Request::boolean(TRIANGLE)).unwrap();
+        svc.execute(&Request::count(TRIANGLE)).unwrap();
+        svc.execute(&Request::boolean(alpha)).unwrap();
+        let warm = svc.stats();
+        assert_eq!(warm.plan_hits, cold.plan_hits + 3);
+        assert_eq!(
+            (warm.decomp_hits, warm.decomp_misses),
+            (cold.decomp_hits, cold.decomp_misses),
+            "hit path must not reach the decomposition cache or solver"
+        );
+    }
+
+    #[test]
+    fn batches_dedup_and_answer_in_order() {
+        let svc = Service::new(triangle_db());
+        let alpha = "ans(A,B,C) :- r(A,B), s(B,C), t(C,A).";
+        let reqs = vec![
+            Request::boolean(TRIANGLE),
+            Request::boolean("broken((."),
+            Request::count(TRIANGLE),
+            Request::boolean(alpha), // α-equivalent: same plan as TRIANGLE
+            Request::boolean("ans :- r(X,Y)."),
+        ];
+        let responses = svc.execute_batch(&reqs);
+        assert_eq!(responses.len(), 5);
+        assert_eq!(responses[0], Ok(Outcome::Boolean(true)));
+        assert!(matches!(responses[1], Err(ServiceError::Parse(_))));
+        assert_eq!(responses[2], Ok(Outcome::Count(1)));
+        assert_eq!(responses[3], Ok(Outcome::Boolean(true)));
+        assert_eq!(responses[4], Ok(Outcome::Boolean(true)));
+        let stats = svc.stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.requests, 5);
+        // Two distinct plans compiled (triangle + acyclic r): duplicates
+        // and the α-variant rode along without a second preparation.
+        assert_eq!(stats.plan_misses, 2);
+        assert_eq!(stats.decomp_misses, 1);
+    }
+
+    #[test]
+    fn snapshots_swap_without_touching_plans() {
+        let svc = Service::new(triangle_db());
+        assert_eq!(
+            svc.execute(&Request::boolean(TRIANGLE)),
+            Ok(Outcome::Boolean(true))
+        );
+        let before = svc.stats();
+
+        // New snapshot with the closing edge removed: same plans, new data.
+        let mut db2 = Database::new();
+        db2.add_fact("r", &[1, 2]);
+        db2.add_fact("s", &[2, 3]);
+        db2.add_fact("t", &[8, 8]);
+        let old = svc.replace_snapshot(Arc::new(db2));
+        assert!(old.get("t").unwrap().contains_row(&[Value(3), Value(1)]));
+        assert_eq!(
+            svc.execute(&Request::boolean(TRIANGLE)),
+            Ok(Outcome::Boolean(false))
+        );
+        let after = svc.stats();
+        assert_eq!(after.plan_misses, before.plan_misses, "plans survived");
+        assert_eq!(after.decomp_misses, before.decomp_misses);
+    }
+
+    #[test]
+    fn large_parallel_batch_matches_sequential_answers() {
+        let svc = Service::with_config(
+            triangle_db(),
+            ServiceConfig {
+                min_parallel_batch: 2,
+                max_threads: 4,
+                ..Default::default()
+            },
+        );
+        let mut reqs = Vec::new();
+        for i in 0..64 {
+            reqs.push(match i % 3 {
+                0 => Request::boolean(TRIANGLE),
+                1 => Request::count(TRIANGLE),
+                _ => Request::boolean("ans :- r(X,Y), s(Y,Z)."),
+            });
+        }
+        let responses = svc.execute_batch(&reqs);
+        for (i, resp) in responses.iter().enumerate() {
+            match i % 3 {
+                0 => assert_eq!(resp, &Ok(Outcome::Boolean(true)), "slot {i}"),
+                1 => assert_eq!(resp, &Ok(Outcome::Count(1)), "slot {i}"),
+                _ => assert_eq!(resp, &Ok(Outcome::Boolean(true)), "slot {i}"),
+            }
+        }
+    }
+
+    #[test]
+    fn service_and_plans_are_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<Service>();
+        check::<PreparedQuery>();
+        check::<super::super::PlanCache>();
+    }
+
+    #[test]
+    fn missing_relations_answer_false_not_error() {
+        let svc = Service::new(Arc::new(Database::new()));
+        assert_eq!(
+            svc.execute(&Request::boolean(TRIANGLE)),
+            Ok(Outcome::Boolean(false))
+        );
+    }
+}

@@ -1,0 +1,274 @@
+//! Property tests for the serving layer: whatever the query mix, batch
+//! answers through [`service::Service`] must coincide with answering each
+//! query alone through the naive reference engine — on the first
+//! database, and again (through plan-cache hits, with the decomposition
+//! counters frozen) on a second database over the same schema.
+
+use cq::parse_query;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use relation::{Database, Relation};
+use service::{Op, Outcome, Request, Service, ServiceConfig};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// A schema: predicate `p{i}` has arity `arities[i]`.
+/// A workload: queries over that schema plus two databases for it.
+struct Workload {
+    /// Query texts, as served.
+    texts: Vec<String>,
+    /// The same queries with every distinct variable in the head — the
+    /// naive reference for counting assignments over `var(Q)`.
+    all_var_texts: Vec<String>,
+    db1: Database,
+    db2: Database,
+}
+
+fn gen_db(rng: &mut StdRng, arities: &[usize], domain: u64, max_rows: usize) -> Database {
+    let mut db = Database::new();
+    for (i, &arity) in arities.iter().enumerate() {
+        let name = format!("p{i}");
+        let mut rel = Relation::new(arity);
+        for _ in 0..rng.random_range(0..=max_rows) {
+            let row: Vec<relation::Value> = (0..arity)
+                .map(|_| relation::Value(rng.random_range(0..domain)))
+                .collect();
+            rel.push_row(&row);
+        }
+        rel.dedup();
+        db.insert(name, rel);
+    }
+    db
+}
+
+fn gen_workload(seed: u64, num_queries: usize) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_preds = rng.random_range(2usize..=4);
+    let arities: Vec<usize> = (0..num_preds)
+        .map(|_| rng.random_range(1usize..=3))
+        .collect();
+
+    let mut texts = Vec::new();
+    let mut all_var_texts = Vec::new();
+    for _ in 0..num_queries {
+        let num_atoms = rng.random_range(1usize..=4);
+        let mut body = String::new();
+        let mut seen_vars: Vec<String> = Vec::new();
+        for a in 0..num_atoms {
+            if a > 0 {
+                body.push_str(", ");
+            }
+            let p = rng.random_range(0..num_preds);
+            write!(body, "p{p}(").unwrap();
+            for pos in 0..arities[p] {
+                if pos > 0 {
+                    body.push(',');
+                }
+                if rng.random_range(0u32..4) == 0 {
+                    // A constant in the query.
+                    write!(body, "{}", rng.random_range(0u32..3)).unwrap();
+                } else {
+                    let v = format!("V{}", rng.random_range(0u32..6));
+                    if !seen_vars.contains(&v) {
+                        seen_vars.push(v.clone());
+                    }
+                    body.push_str(&v);
+                }
+            }
+            body.push(')');
+        }
+        // Head: a prefix of the distinct body variables (possibly empty —
+        // a Boolean query). Distinct by construction, so the parser's
+        // duplicate-head check never fires.
+        let head_k = if seen_vars.is_empty() {
+            0
+        } else {
+            rng.random_range(0..=seen_vars.len().min(2))
+        };
+        let head = if head_k == 0 {
+            "ans".to_string()
+        } else {
+            format!("ans({})", seen_vars[..head_k].join(","))
+        };
+        texts.push(format!("{head} :- {body}."));
+        let all_head = if seen_vars.is_empty() {
+            "ans".to_string()
+        } else {
+            format!("ans({})", seen_vars.join(","))
+        };
+        all_var_texts.push(format!("{all_head} :- {body}."));
+    }
+    // Always include one guaranteed-cyclic query so every case exercises
+    // the decomposition path, not just whatever shapes the dice rolled.
+    let p = arities.iter().position(|&a| a >= 2).unwrap_or(0);
+    if arities[p] >= 2 {
+        let pad = |s: &str, first: &str, second: &str| {
+            let mut t = format!("p{p}({first},{second}");
+            for _ in 2..arities[p] {
+                write!(t, ",{s}").unwrap();
+            }
+            t.push(')');
+            t
+        };
+        let tri = format!(
+            "ans :- {}, {}, {}.",
+            pad("0", "A", "B"),
+            pad("1", "B", "C"),
+            pad("2", "C", "A")
+        );
+        texts.push(tri.clone());
+        all_var_texts.push(tri.replace("ans :-", "ans(A,B,C) :-"));
+    }
+
+    let db1 = gen_db(&mut rng, &arities, 4, 8);
+    let db2 = gen_db(&mut rng, &arities, 4, 8);
+    Workload {
+        texts,
+        all_var_texts,
+        db1,
+        db2,
+    }
+}
+
+/// Rows of a relation as a sorted, deduplicated `Vec<Vec<u64>>`.
+fn row_set(rel: &Relation) -> Vec<Vec<u64>> {
+    let mut rows: Vec<Vec<u64>> = rel
+        .rows()
+        .map(|r| r.iter().map(|v| v.0).collect())
+        .collect();
+    rows.sort();
+    rows.dedup();
+    rows
+}
+
+const NAIVE_BUDGET: usize = 1 << 22;
+
+/// Answer every (query, op) pair through the naive engine.
+fn naive_reference(w: &Workload, db: &Database) -> Vec<(bool, Vec<Vec<u64>>, u128)> {
+    w.texts
+        .iter()
+        .zip(&w.all_var_texts)
+        .map(|(text, all_text)| {
+            let q = parse_query(text).unwrap();
+            let boolean =
+                eval::naive::evaluate_boolean(&q, db, Default::default(), NAIVE_BUDGET).unwrap();
+            let rows =
+                row_set(&eval::naive::evaluate(&q, db, Default::default(), NAIVE_BUDGET).unwrap());
+            let q_all = parse_query(all_text).unwrap();
+            let count = eval::naive::evaluate(&q_all, db, Default::default(), NAIVE_BUDGET)
+                .unwrap()
+                .len() as u128;
+            (boolean, rows, count)
+        })
+        .collect()
+}
+
+/// Serve every (query, op) pair as one batch and check it against the
+/// naive reference.
+fn check_batch(
+    svc: &Service,
+    w: &Workload,
+    db: &Database,
+    label: &str,
+) -> Result<(), TestCaseError> {
+    let mut reqs = Vec::new();
+    for text in &w.texts {
+        reqs.push(Request::boolean(text.clone()));
+        reqs.push(Request::enumerate(text.clone()));
+        reqs.push(Request::count(text.clone()));
+    }
+    let responses = svc.execute_batch(&reqs);
+    let reference = naive_reference(w, db);
+    for (qi, (exp_bool, exp_rows, exp_count)) in reference.iter().enumerate() {
+        match &responses[qi * 3] {
+            Ok(Outcome::Boolean(b)) => prop_assert_eq!(
+                b,
+                exp_bool,
+                "{}: boolean mismatch on {}",
+                label,
+                w.texts[qi]
+            ),
+            other => return Err(TestCaseError::Fail(format!("{label}: {other:?}"))),
+        }
+        match &responses[qi * 3 + 1] {
+            Ok(Outcome::Rows(rel)) => prop_assert_eq!(
+                &row_set(rel),
+                exp_rows,
+                "{}: enumeration mismatch on {}",
+                label,
+                w.texts[qi]
+            ),
+            other => return Err(TestCaseError::Fail(format!("{label}: {other:?}"))),
+        }
+        match &responses[qi * 3 + 2] {
+            Ok(Outcome::Count(c)) => {
+                prop_assert_eq!(c, exp_count, "{}: count mismatch on {}", label, w.texts[qi])
+            }
+            other => return Err(TestCaseError::Fail(format!("{label}: {other:?}"))),
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Batch answers ≡ naive answers, twice over: first on `db1`, then —
+    /// with every plan already cached — on `db2` (same schema, different
+    /// data), asserting that the second round performs zero
+    /// decompositions and zero plan compilations.
+    #[test]
+    fn batches_agree_with_naive_across_snapshots(seed in 0u64..1 << 48) {
+        let w = gen_workload(seed, 4);
+        let svc = Service::with_config(
+            Arc::new(w.db1.clone()),
+            ServiceConfig { min_parallel_batch: 2, max_threads: 4, ..Default::default() },
+        );
+        check_batch(&svc, &w, &w.db1, "db1")?;
+
+        let cold = svc.stats();
+        prop_assert!(cold.plan_misses > 0);
+
+        // Same queries, different database: plans and decompositions are
+        // reused — the hit path compiles and decomposes nothing.
+        svc.replace_snapshot(Arc::new(w.db2.clone()));
+        check_batch(&svc, &w, &w.db2, "db2")?;
+        let warm = svc.stats();
+        prop_assert_eq!(warm.plan_misses, cold.plan_misses, "no new plans");
+        prop_assert_eq!(warm.decomp_misses, cold.decomp_misses, "no new decompositions");
+        prop_assert_eq!(warm.decomp_hits, cold.decomp_hits, "hits bypass the decomp cache entirely");
+    }
+
+    /// Single-request serving agrees with batched serving.
+    #[test]
+    fn single_and_batched_serving_agree(seed in 0u64..1 << 48) {
+        let w = gen_workload(seed, 3);
+        let svc = Service::new(Arc::new(w.db1.clone()));
+        let reqs: Vec<Request> = w
+            .texts
+            .iter()
+            .flat_map(|t| [Request::boolean(t.clone()), Request::count(t.clone())])
+            .collect();
+        let batched = svc.execute_batch(&reqs);
+        for (req, expect) in reqs.iter().zip(&batched) {
+            let single = svc.execute(req);
+            prop_assert_eq!(&single, expect, "{:?} {}", req.op, req.text);
+        }
+    }
+}
+
+#[test]
+fn ops_enum_is_exhaustive_in_requests() {
+    // A change to `Op` should force this match (and the batch helpers
+    // above) to be revisited.
+    for op in [Op::Boolean, Op::Enumerate, Op::Count] {
+        let r = match op {
+            Op::Boolean => Request::boolean("ans :- p0(X)."),
+            Op::Enumerate => Request::enumerate("ans :- p0(X)."),
+            Op::Count => Request::count("ans :- p0(X)."),
+        };
+        assert_eq!(r.op, op);
+    }
+}

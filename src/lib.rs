@@ -42,6 +42,8 @@
 //! * [`heuristics`] — elimination-ordering GHDs, local improvement, and
 //!   the bounded-exact-search funnel for instances beyond `k-decomp`;
 //! * [`eval`] — naive, Yannakakis, and decomposition-guided engines;
+//! * [`service`] — the serving layer: prepared plans, a bounded plan
+//!   cache, and a batched concurrent execution front-end;
 //! * [`workloads`] — the paper's queries and figures, query families, the
 //!   Section 7 NP-hardness gadget, random generators, the `.hg` format,
 //!   and the large-instance tier.
@@ -54,6 +56,7 @@ pub use heuristics;
 pub use hypergraph;
 pub use hypertree_core as core;
 pub use relation;
+pub use service;
 pub use workloads;
 
 use cq::ConjunctiveQuery;
@@ -66,6 +69,7 @@ pub mod prelude {
     pub use hypergraph::{Hypergraph, JoinTree};
     pub use hypertree_core::{HypertreeDecomposition, QueryDecomposition};
     pub use relation::{Database, Relation, Value};
+    pub use service::{PreparedQuery, Request, Service};
 }
 
 /// The hypertree width `hw(Q)` of a conjunctive query (Definition 4.1;
@@ -113,5 +117,21 @@ mod tests {
         let ghd = crate::decompose_heuristic(&q);
         assert_eq!(ghd.validate_ghd(&q.hypergraph()), Ok(()));
         assert!(ghd.width() >= 2);
+    }
+
+    #[test]
+    fn facade_serves_batches() {
+        let mut db = Database::new();
+        db.add_fact("r", &[1, 2]);
+        db.add_fact("s", &[2, 3]);
+        db.add_fact("t", &[3, 1]);
+        let svc = Service::new(std::sync::Arc::new(db));
+        let responses = svc.execute_batch(&[
+            Request::boolean("ans :- r(X,Y), s(Y,Z), t(Z,X)."),
+            Request::count("ans :- r(A,B), s(B,C), t(C,A)."),
+        ]);
+        assert_eq!(responses[0], Ok(service::Outcome::Boolean(true)));
+        assert_eq!(responses[1], Ok(service::Outcome::Count(1)));
+        assert_eq!(svc.stats().decomp_misses, 1, "α-equivalent: one plan");
     }
 }
