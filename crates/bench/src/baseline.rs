@@ -172,6 +172,16 @@ pub fn fig11_workload() -> (
 pub fn run(cfg: &Config) -> Vec<Entry> {
     let mut entries = Vec::new();
 
+    // Intra-query sharding forced to 2 shards with the size threshold
+    // off, so the partition/merge machinery is on the measured path for
+    // the `_shard2` columns below. On a single-core host this measures
+    // the sharding *overhead*, not a speedup — see README.md §Sharded
+    // execution.
+    let shard2 = eval::ShardConfig {
+        shards: 2,
+        min_rows: 0,
+    };
+
     // --- eval_acyclic: Yannakakis over path queries (the E10a shape). ---
     let q = families::path(5);
     let plan = Strategy::plan(&q);
@@ -188,20 +198,42 @@ pub fn run(cfg: &Config) -> Vec<Entry> {
             std::hint::black_box(plan.boolean(&q, &db).unwrap());
         });
         entries.push(Entry { id, stats });
+        if degree == 4 {
+            assert!(plan.boolean_sharded(&q, &db, &shard2).unwrap());
+            let stats = measure(cfg, || {
+                std::hint::black_box(plan.boolean_sharded(&q, &db, &shard2).unwrap());
+            });
+            entries.push(Entry {
+                id: "eval_acyclic/boolean_path5_deg4_shard2",
+                stats,
+            });
+        }
     }
 
     // Output-polynomial enumeration (the E13 shape).
     let q = families::path_endpoints(4);
     let plan = Strategy::plan(&q);
     let db = random::successor_database(4, 400);
-    let expect = plan.enumerate(&q, &db).unwrap().len();
+    let expect = plan.enumerate(&q, &db).unwrap();
     let stats = measure(cfg, || {
         let out = plan.enumerate(&q, &db).unwrap();
-        assert_eq!(out.len(), expect);
+        assert_eq!(out.len(), expect.len());
         std::hint::black_box(out);
     });
     entries.push(Entry {
         id: "eval_acyclic/enumerate_endpoints_d400",
+        stats,
+    });
+    assert_eq!(
+        plan.enumerate_sharded(&q, &db, &shard2).unwrap(),
+        expect,
+        "sharded enumeration must be byte-identical"
+    );
+    let stats = measure(cfg, || {
+        std::hint::black_box(plan.enumerate_sharded(&q, &db, &shard2).unwrap());
+    });
+    entries.push(Entry {
+        id: "eval_acyclic/enumerate_endpoints_d400_shard2",
         stats,
     });
 
@@ -229,6 +261,16 @@ pub fn run(cfg: &Config) -> Vec<Entry> {
     });
     entries.push(Entry {
         id: "tps/fig11_boolean",
+        stats,
+    });
+    assert!(eval::reduction::boolean_via_hd_sharded(&query, &db, &hd, &shard2).unwrap());
+    let stats = measure(cfg, || {
+        std::hint::black_box(
+            eval::reduction::boolean_via_hd_sharded(&query, &db, &hd, &shard2).unwrap(),
+        );
+    });
+    entries.push(Entry {
+        id: "tps/fig11_boolean_shard2",
         stats,
     });
 

@@ -14,6 +14,12 @@
 //!   each request is a plan-cache hit whose cost is parse + key + one
 //!   `Arc` clone + evaluate. The hot phase is gated on the counters:
 //!   zero plan compilations, zero decompositions;
+//! * the **hot sharded** regime: the same hot replay through a service
+//!   with intra-query sharding forced on (`intra_query_shards: 2`,
+//!   threshold off), asserting identical answers — the column that
+//!   tracks what hash-sharded execution costs/saves per request (on a
+//!   single-core host it can only cost; see README.md §Sharded
+//!   execution);
 //! * a **mixed** 80/20 replay (80% of requests over the two hottest
 //!   queries, the rest uniform) starting cold — the shape of real
 //!   traffic;
@@ -89,6 +95,9 @@ pub struct ServeEntry {
     /// Median per-request latency with the working set fully cached,
     /// nanoseconds.
     pub hot_median_ns: u128,
+    /// Median per-request latency of the hot replay with intra-query
+    /// sharding forced to 2 shards (threshold off), nanoseconds.
+    pub hot_sharded_median_ns: u128,
     /// Median per-request latency of the 80/20 mixed replay, nanoseconds.
     pub mixed_median_ns: u128,
     /// Wall-clock of serving the whole stream as one batch, nanoseconds.
@@ -207,7 +216,8 @@ fn expect_bool(id: &str, resp: service::Response) -> bool {
 /// Replay one stream under `cfg`.
 pub fn run_stream(cfg: &ServeConfig, stream: Stream) -> ServeEntry {
     let id = stream.id.clone();
-    let svc = Service::new(Arc::new(stream.db));
+    let db = Arc::new(stream.db);
+    let svc = Service::new(Arc::clone(&db));
     let reqs: Vec<Request> = (0..cfg.requests)
         .map(|i| Request::boolean(stream.texts[i % stream.texts.len()].clone()))
         .collect();
@@ -245,6 +255,32 @@ pub fn run_stream(cfg: &ServeConfig, stream: Stream) -> ServeEntry {
         after_hot.decomp_misses, warm.decomp_misses,
         "{id}: hot requests must not decompose"
     );
+
+    // Hot replay with intra-query sharding forced on: a separate service
+    // (its own caches) so the main counters stay comparable across runs.
+    // Answers must match the sequential replay bit for bit.
+    let svc_sharded = Service::with_config(
+        Arc::clone(&db),
+        service::ServiceConfig {
+            intra_query_shards: 2,
+            shard_min_rows: 0,
+            ..Default::default()
+        },
+    );
+    for text in &stream.texts {
+        expect_bool(&id, svc_sharded.execute(&Request::boolean(text.clone())));
+    }
+    let mut hot_sharded = Vec::with_capacity(reqs.len());
+    for (r, &cold_answer) in reqs.iter().zip(&answers) {
+        let t0 = Instant::now();
+        let resp = svc_sharded.execute(r);
+        hot_sharded.push(t0.elapsed().as_nanos());
+        assert_eq!(
+            expect_bool(&id, resp),
+            cold_answer,
+            "{id}: sharded answer drifted"
+        );
+    }
 
     // Mixed 80/20 replay from cold: 80% of requests over the two hottest
     // texts, the rest uniform, no cache clearing — hits accumulate the
@@ -294,6 +330,7 @@ pub fn run_stream(cfg: &ServeConfig, stream: Stream) -> ServeEntry {
         requests: cfg.requests,
         cold_median_ns: median(cold),
         hot_median_ns: median(hot),
+        hot_sharded_median_ns: median(hot_sharded),
         mixed_median_ns: median(mixed),
         batch_ns,
         batch_requests: batch.len(),
@@ -311,17 +348,18 @@ pub fn run(cfg: &ServeConfig) -> Vec<ServeEntry> {
         .collect()
 }
 
-/// Serialise a run as `bench-service/1` JSON (hand-rolled like the other
+/// Serialise a run as `bench-service/2` JSON (hand-rolled like the other
 /// baselines — the workspace builds offline):
 ///
 /// ```json
 /// {
-///   "schema": "bench-service/1", "label": "...",
+///   "schema": "bench-service/2", "label": "...",
 ///   "mode": "smoke" | "full", "requests_per_stream": n,
 ///   "entries": {
 ///     "<tier/case>": {
 ///       "working_set": n, "requests": n,
 ///       "cold_median_ns": n, "hot_median_ns": n, "speedup": x.y,
+///       "hot_sharded_median_ns": n,
 ///       "mixed_median_ns": n, "batch_ns": n, "batch_requests": n,
 ///       "plan_hits": n, "plan_misses": n, "decomp_misses": n
 ///     }
@@ -331,10 +369,13 @@ pub fn run(cfg: &ServeConfig) -> Vec<ServeEntry> {
 ///
 /// `speedup` is `cold_median_ns / hot_median_ns` — the per-query factor
 /// the plan cache saves on a repeated (or α-equivalent) query.
+/// `bench-service/2` adds `hot_sharded_median_ns` (the hot replay with
+/// intra-query sharding forced to 2 shards); `/1` runs lack that field
+/// but are otherwise identical.
 pub fn to_json(label: &str, mode: &str, cfg: &ServeConfig, entries: &[ServeEntry]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    writeln!(out, "  \"schema\": \"bench-service/1\",").unwrap();
+    writeln!(out, "  \"schema\": \"bench-service/2\",").unwrap();
     writeln!(out, "  \"label\": {},", json_string(label)).unwrap();
     writeln!(out, "  \"mode\": {},", json_string(mode)).unwrap();
     writeln!(out, "  \"requests_per_stream\": {},", cfg.requests).unwrap();
@@ -345,6 +386,7 @@ pub fn to_json(label: &str, mode: &str, cfg: &ServeConfig, entries: &[ServeEntry
             out,
             "    {}: {{\"working_set\": {}, \"requests\": {}, \
              \"cold_median_ns\": {}, \"hot_median_ns\": {}, \"speedup\": {:.1}, \
+             \"hot_sharded_median_ns\": {}, \
              \"mixed_median_ns\": {}, \"batch_ns\": {}, \"batch_requests\": {}, \
              \"plan_hits\": {}, \"plan_misses\": {}, \"decomp_misses\": {}}}{}",
             json_string(&e.id),
@@ -353,6 +395,7 @@ pub fn to_json(label: &str, mode: &str, cfg: &ServeConfig, entries: &[ServeEntry
             e.cold_median_ns,
             e.hot_median_ns,
             e.speedup(),
+            e.hot_sharded_median_ns,
             e.mixed_median_ns,
             e.batch_ns,
             e.batch_requests,
@@ -419,6 +462,7 @@ mod tests {
             requests: 2,
             cold_median_ns: 1000,
             hot_median_ns: 100,
+            hot_sharded_median_ns: 120,
             mixed_median_ns: 200,
             batch_ns: 300,
             batch_requests: 2,
@@ -427,8 +471,9 @@ mod tests {
             decomp_misses: 1,
         }];
         let j = to_json("t", "smoke", &cfg, &entries);
-        assert!(j.contains("\"schema\": \"bench-service/1\""));
+        assert!(j.contains("\"schema\": \"bench-service/2\""));
         assert!(j.contains("\"speedup\": 10.0"));
+        assert!(j.contains("\"hot_sharded_median_ns\": 120"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 }

@@ -40,7 +40,61 @@ use crate::kdecomp::CandidateMode;
 use hypergraph::{Component, EdgeSet, Hypergraph, VertexSet};
 use parking_lot::RwLock;
 use rustc_hash::FxHashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread::ThreadId;
+
+/// Run `f` over every item on `workers` scoped threads (inline when
+/// `workers <= 1`), preserving item order in the results. Work items are
+/// handed out by a shared atomic cursor so a slow item never strands the
+/// rest of a worker's share — the same idiom as the component-level
+/// spawning below, applied to a flat work list. Each worker accumulates
+/// `(index, result)` pairs privately and the lists are merged after the
+/// scope joins, so result delivery needs no shared lock.
+///
+/// This is the workspace's one generic fork/join helper: the serving
+/// layer spreads batch requests over it, and the sharded evaluation
+/// pipeline runs per-shard sweep work through it.
+pub fn run_parallel<T: Sync, R: Send>(
+    items: &[T],
+    workers: usize,
+    f: impl Fn(usize, &T) -> R + Sync,
+) -> Vec<R> {
+    let n = items.len();
+    if workers <= 1 || n <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(n))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for part in parts {
+        for (i, r) in part {
+            out[i] = Some(r);
+        }
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every index was claimed exactly once"))
+        .collect()
+}
 
 /// Spawn threads only this deep in the recursion.
 const PARALLEL_DEPTH: usize = 3;

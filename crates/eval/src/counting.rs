@@ -18,8 +18,11 @@ use relation::Database;
 
 /// Count the satisfying substitutions of the (Boolean or not) query —
 /// i.e. `|⋈_A rel(A)|` over the distinct variables of `q` — using the
-/// automatically planned join tree or hypertree decomposition. The count
-/// is exact in `u128`.
+/// automatically planned join tree or hypertree decomposition.
+///
+/// The count is exact in `u128` up to `u128::MAX - 1`; beyond that the
+/// DP saturates and `u128::MAX` means "at least `u128::MAX`" (see
+/// [`crate::Pipeline::count`] for the full saturating contract).
 pub fn count_assignments(q: &ConjunctiveQuery, db: &Database) -> Result<u128, EvalError> {
     let plan = Strategy::plan(q);
     count_with(&plan, q, db)
@@ -39,6 +42,32 @@ pub fn count_with(plan: &Strategy, q: &ConjunctiveQuery, db: &Database) -> Resul
         Strategy::Hypertree(hd) => {
             let (pipeline, rels) = crate::reduction::reduce(q, db, hd)?.into_pipeline();
             Ok(pipeline.count(&rels))
+        }
+    }
+}
+
+/// [`count_with`] with the reduction joins and the counting DP
+/// hash-sharded across `cfg` shards (see [`crate::sharded`]). Identical
+/// value, saturation included.
+pub fn count_with_sharded(
+    plan: &Strategy,
+    q: &ConjunctiveQuery,
+    db: &Database,
+    cfg: &crate::ShardConfig,
+) -> Result<u128, EvalError> {
+    match plan {
+        Strategy::JoinTree(jt) => {
+            let bound = crate::bind_all(q, db)?;
+            if bound.is_empty() {
+                return Ok(1); // the empty substitution
+            }
+            let (pipeline, rels) = crate::pipeline_for(jt, bound);
+            Ok(pipeline.count_sharded(&rels, cfg))
+        }
+        Strategy::Hypertree(hd) => {
+            let (pipeline, rels) =
+                crate::reduction::reduce_sharded(q, db, hd, cfg)?.into_pipeline();
+            Ok(pipeline.count_sharded(&rels, cfg))
         }
     }
 }
@@ -131,6 +160,37 @@ mod tests {
             let full = naive_count(&bound);
             assert_eq!(counted, full, "count mismatch on {q}");
         }
+    }
+
+    #[test]
+    fn deep_chain_counts_saturate_at_u128_max() {
+        // 65 chained atoms, each bound to the complete 4×4 relation over
+        // {0..3}: every one of the 4^66 > 2^128 assignments satisfies the
+        // query, so the DP must overflow u128 somewhere on the way up.
+        // Regression for the unchecked `Sum` sites in `Pipeline::count`:
+        // this used to panic in debug builds (wrap in release); the
+        // saturating contract pins the answer to exactly u128::MAX.
+        let names: Vec<String> = (0..=65).map(|i| format!("X{i}")).collect();
+        let mut b = cq::ConjunctiveQuery::builder();
+        let mut db = Database::new();
+        for i in 0..65 {
+            let pred = format!("r{i}");
+            b.atom_vars(pred.clone(), &[names[i].as_str(), names[i + 1].as_str()]);
+            for a in 0..4u64 {
+                for c in 0..4u64 {
+                    db.add_fact(&pred, &[a, c]);
+                }
+            }
+        }
+        let q = b.build();
+        assert_eq!(count_assignments(&q, &db), Ok(u128::MAX));
+        // The sharded DP agrees bit for bit, saturation included.
+        let plan = Strategy::plan(&q);
+        let cfg = crate::ShardConfig {
+            shards: 4,
+            min_rows: 0,
+        };
+        assert_eq!(count_with_sharded(&plan, &q, &db, &cfg), Ok(u128::MAX));
     }
 
     /// Reference: nested-loop count of the full join.

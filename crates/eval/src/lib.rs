@@ -37,12 +37,14 @@ pub mod counting;
 pub mod naive;
 pub mod pipeline;
 pub mod reduction;
+pub mod sharded;
 pub mod yannakakis;
 
 pub use binding::{bind_all, bind_atom, BoundAtom, EvalError};
 pub use containment::{contained_in, equivalent};
 pub use counting::count_assignments;
 pub use pipeline::Pipeline;
+pub use sharded::ShardConfig;
 
 use cq::ConjunctiveQuery;
 use hypergraph::{acyclic, Ix};
@@ -152,6 +154,51 @@ impl Strategy {
             Strategy::Hypertree(hd) => reduction::enumerate_via_hd(q, db, hd),
         }
     }
+
+    /// [`Strategy::boolean`] with intra-query sharded execution (see
+    /// [`crate::sharded`]): large semijoin/join steps run hash-partitioned
+    /// across `cfg` shards. Byte-identical answers.
+    pub fn boolean_sharded(
+        &self,
+        q: &ConjunctiveQuery,
+        db: &Database,
+        cfg: &ShardConfig,
+    ) -> Result<bool, EvalError> {
+        match self {
+            Strategy::JoinTree(jt) => {
+                let bound = bind_all(q, db)?;
+                if bound.is_empty() {
+                    return Ok(true); // empty body is vacuously true
+                }
+                let (pipeline, mut rels) = pipeline_for(jt, bound);
+                Ok(pipeline.boolean_sharded(&mut rels, cfg))
+            }
+            Strategy::Hypertree(hd) => reduction::boolean_via_hd_sharded(q, db, hd, cfg),
+        }
+    }
+
+    /// [`Strategy::enumerate`] with intra-query sharded execution (see
+    /// [`crate::sharded`]). Byte-identical answers, row order included.
+    pub fn enumerate_sharded(
+        &self,
+        q: &ConjunctiveQuery,
+        db: &Database,
+        cfg: &ShardConfig,
+    ) -> Result<Relation, EvalError> {
+        match self {
+            Strategy::JoinTree(jt) => {
+                let bound = bind_all(q, db)?;
+                if bound.is_empty() {
+                    let mut rel = Relation::new(0);
+                    rel.push_row(&[]);
+                    return Ok(rel);
+                }
+                let (pipeline, mut rels) = pipeline_for(jt, bound);
+                Ok(pipeline.enumerate_sharded(&mut rels, &q.head_vars(), cfg))
+            }
+            Strategy::Hypertree(hd) => reduction::enumerate_via_hd_sharded(q, db, hd, cfg),
+        }
+    }
 }
 
 /// Compile a [`Pipeline`] for a join tree, moving each bound atom's
@@ -235,6 +282,81 @@ mod tests {
         let naive = naive::evaluate_boolean(&q, &db, Default::default(), 1 << 20).unwrap();
         assert_eq!(auto, naive);
         assert!(auto);
+    }
+
+    #[test]
+    fn repeated_variables_in_atoms_and_head() {
+        // q(X,X) :- e(X,X), f(X,Y) — the parser rejects duplicate head
+        // variables, but QueryBuilder allows them, and atoms may repeat
+        // variables freely. Binding canonicalizes e(X,X) via the equality
+        // selection, and the head projection duplicates the X column.
+        let mut b = cq::ConjunctiveQuery::builder();
+        b.atom_vars("e", &["X", "X"]);
+        b.atom_vars("f", &["X", "Y"]);
+        b.head("q", &["X", "X"]);
+        let q = b.build();
+        let mut db = Database::new();
+        db.add_fact("e", &[1, 1]);
+        db.add_fact("e", &[2, 2]);
+        db.add_fact("e", &[3, 4]);
+        db.add_fact("f", &[1, 5]);
+        db.add_fact("f", &[3, 6]);
+        // Only X = 1 survives: e(2,2) has no f-partner, e(3,4) is off the
+        // diagonal.
+        assert_eq!(evaluate_boolean(&q, &db), Ok(true));
+        // head_vars() defines the output schema as the *distinct* head
+        // variables, so q(X,X) enumerates over [X].
+        let out = evaluate(&q, &db).unwrap();
+        assert_eq!(out.arity(), 1);
+        assert_eq!(out.len(), 1);
+        assert!(out.contains_row(&[Value(1)]));
+        assert_eq!(counting::count_assignments(&q, &db), Ok(1));
+        // Agreement with the naive engine on the same query.
+        let naive = naive::evaluate(&q, &db, Default::default(), 1 << 20).unwrap();
+        assert_eq!(out, naive);
+        // A duplicated output list handed straight to the pipeline
+        // duplicates the column, as documented.
+        if let Strategy::JoinTree(jt) = Strategy::plan(&q) {
+            let x = q.var_by_name("X").unwrap();
+            let bound = bind_all(&q, &db).unwrap();
+            let (pipeline, mut rels) = pipeline_for(&jt, bound);
+            let wide = pipeline.enumerate(&mut rels, &[x, x]);
+            assert_eq!(wide.arity(), 2);
+            assert!(wide.contains_row(&[Value(1), Value(1)]));
+            assert_eq!(wide.len(), 1);
+        } else {
+            panic!("e/f chain is acyclic");
+        }
+        // Sharded execution is byte-identical here too.
+        let plan = Strategy::plan(&q);
+        let cfg = ShardConfig {
+            shards: 3,
+            min_rows: 0,
+        };
+        assert_eq!(plan.boolean_sharded(&q, &db, &cfg), Ok(true));
+        assert_eq!(plan.enumerate_sharded(&q, &db, &cfg).unwrap(), out);
+    }
+
+    #[test]
+    fn repeated_variables_through_a_decomposition() {
+        // Same shape driven through the Lemma 4.6 pipeline: wrap the
+        // trivial decomposition so the reduction's node-building joins see
+        // the canonicalized repeated-variable atoms.
+        let mut b = cq::ConjunctiveQuery::builder();
+        b.atom_vars("e", &["X", "X"]);
+        b.atom_vars("f", &["X", "Y"]);
+        b.head("q", &["X"]);
+        let q = b.build();
+        let mut db = Database::new();
+        db.add_fact("e", &[1, 1]);
+        db.add_fact("e", &[2, 2]);
+        db.add_fact("f", &[1, 5]);
+        let hd = hypertree_core::HypertreeDecomposition::trivial(&q.hypergraph());
+        let plan = Strategy::from_decomposition(hd);
+        let out = plan.enumerate(&q, &db).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains_row(&[Value(1)]));
+        assert_eq!(counting::count_with(&plan, &q, &db), Ok(1));
     }
 
     #[test]

@@ -27,12 +27,28 @@ use crate::binding::BoundAtom;
 use hypergraph::{Ix, NodeId, RootedTree, VertexId};
 use relation::{ops, Relation};
 
+/// The join-operator signature shared by the sequential pipeline, the
+/// sharded pipeline, and the Lemma 4.6 reduction: `(left, right,
+/// column pairs, right columns to keep) -> joined relation`.
+pub(crate) type JoinFn<'a> =
+    dyn Fn(&Relation, &Relation, &[(usize, usize)], &[usize]) -> Relation + 'a;
+
 /// Column pairs between two variable lists (join keys on shared vars).
+///
+/// Emits *every* `(i, j)` with `left[i] == right[j]`, not just the first
+/// occurrence on either side. On duplicate-free lists — what every
+/// in-tree constructor produces, see [`Pipeline::new`] — this is the same
+/// single pair per shared variable as before; on lists with repeats
+/// (possible through the public `Pipeline::new`) the all-pairs form is
+/// what actually enforces the variable's equality semantics: pairing only
+/// first occurrences would silently leave later columns unconstrained.
 pub(crate) fn var_pairs(left: &[VertexId], right: &[VertexId]) -> Vec<(usize, usize)> {
     let mut pairs = Vec::new();
     for (i, v) in left.iter().enumerate() {
-        if let Some(j) = right.iter().position(|w| w == v) {
-            pairs.push((i, j));
+        for (j, w) in right.iter().enumerate() {
+            if v == w {
+                pairs.push((i, j));
+            }
         }
     }
     pairs
@@ -42,22 +58,35 @@ pub(crate) fn var_pairs(left: &[VertexId], right: &[VertexId]) -> Vec<(usize, us
 /// plus per-edge join-column lists, computed once and reused by every run.
 #[derive(Clone, Debug)]
 pub struct Pipeline {
-    tree: RootedTree,
+    pub(crate) tree: RootedTree,
     /// Per node: its variable list (one column per variable).
-    vars: Vec<Vec<VertexId>>,
-    post: Vec<NodeId>,
-    pre: Vec<NodeId>,
+    pub(crate) vars: Vec<Vec<VertexId>>,
+    pub(crate) post: Vec<NodeId>,
+    pub(crate) pre: Vec<NodeId>,
     /// Per non-root node: the columns of the *parent* shared with it.
-    parent_cols: Vec<Vec<usize>>,
+    pub(crate) parent_cols: Vec<Vec<usize>>,
     /// Per non-root node: its own columns shared with the parent (aligned
     /// with `parent_cols`).
-    child_cols: Vec<Vec<usize>>,
+    pub(crate) child_cols: Vec<Vec<usize>>,
 }
 
 impl Pipeline {
     /// Plan the tree with the given per-node variable lists.
+    ///
+    /// Each node's variable list must be duplicate-free. The binding layer
+    /// guarantees this for every query-derived pipeline: repeated
+    /// variables in an atom are canonicalized at bind time
+    /// ([`crate::binding::bind_atom`] applies the equality selections and
+    /// projects onto first occurrences), and the Lemma 4.6 reduction only
+    /// accumulates fresh variables per node. Debug builds assert it;
+    /// `enumerate`'s column bookkeeping relies on it.
     pub fn new(tree: &RootedTree, vars: Vec<Vec<VertexId>>) -> Self {
         assert_eq!(tree.len(), vars.len(), "one variable list per node");
+        debug_assert!(
+            vars.iter()
+                .all(|vs| { vs.iter().enumerate().all(|(i, v)| !vs[..i].contains(v)) }),
+            "node variable lists must be duplicate-free (bind atoms first)"
+        );
         let mut parent_cols = Vec::with_capacity(tree.len());
         let mut child_cols = Vec::with_capacity(tree.len());
         for n in tree.nodes() {
@@ -154,6 +183,19 @@ impl Pipeline {
     /// Consumes the contents of `rels` (each slot is left empty).
     pub fn enumerate(&self, rels: &mut [Relation], output: &[VertexId]) -> Relation {
         self.full_reduce(rels);
+        self.join_phase(rels, output, &|l, r, on, keep| ops::join(l, r, on, keep))
+    }
+
+    /// The bottom-up join/projection phase of `enumerate`, over already
+    /// fully reduced relations, with the join operator abstracted out so
+    /// the sharded pipeline (see [`crate::sharded`]) can substitute the
+    /// hash-partitioned join without duplicating the bookkeeping.
+    pub(crate) fn join_phase(
+        &self,
+        rels: &mut [Relation],
+        output: &[VertexId],
+        join: &JoinFn,
+    ) -> Relation {
         // Working annotations: (vars, relation) per node, consumed
         // bottom-up; the reduced relations are moved in, not cloned.
         let mut work: Vec<(Vec<VertexId>, Relation)> = self
@@ -171,7 +213,7 @@ impl Pipeline {
                 let keep: Vec<usize> = (0..cvars.len())
                     .filter(|&j| !vars.contains(&cvars[j]))
                     .collect();
-                rel = ops::join(&rel, &crel, &pairs, &keep);
+                rel = join(&rel, &crel, &pairs, &keep);
                 for j in keep {
                     vars.push(cvars[j]);
                 }
@@ -211,6 +253,13 @@ impl Pipeline {
     /// (the counting extension of Yannakakis' algorithm; see
     /// [`crate::counting`]). Read-only: probes the nodes' cached indexes,
     /// clones nothing, and leaves `rels` untouched.
+    ///
+    /// **Saturating contract:** every accumulation step — the per-group
+    /// child sums, the per-tuple factor products, and the final root sum —
+    /// saturates at `u128::MAX` instead of panicking (debug) or wrapping
+    /// (release). A result of `u128::MAX` therefore means "at least
+    /// `u128::MAX`". Saturating addition is associative and commutative,
+    /// so the sharded counting path reproduces the same value bit for bit.
     pub fn count(&self, rels: &[Relation]) -> u128 {
         assert_eq!(rels.len(), self.tree.len(), "one relation per node");
         let mut counts: Vec<Vec<u128>> = rels.iter().map(|r| vec![1u128; r.len()]).collect();
@@ -227,7 +276,7 @@ impl Pipeline {
             let child_counts = &counts[n.index()];
             let sums: Vec<u128> = index
                 .groups()
-                .map(|g| g.iter().map(|&i| child_counts[i as usize]).sum())
+                .map(|g| saturating_sum(g.iter().map(|&i| child_counts[i as usize])))
                 .collect();
             let parent_cols = &self.parent_cols[n.index()];
             let parent_counts = &mut counts[p.index()];
@@ -237,12 +286,25 @@ impl Pipeline {
             }
         }
 
-        counts[self.tree.root().index()].iter().sum()
+        saturating_sum(counts[self.tree.root().index()].iter().copied())
     }
 }
 
+/// Saturating fold of tuple counts: the additive half of the counting
+/// DP's overflow contract (see [`Pipeline::count`]). Once any partial sum
+/// reaches `u128::MAX` it stays there — the old unchecked `Sum` panicked
+/// in debug builds and wrapped (returning garbage counts) in release.
+#[inline]
+pub(crate) fn saturating_sum(counts: impl Iterator<Item = u128>) -> u128 {
+    counts.fold(0u128, |acc, c| acc.saturating_add(c))
+}
+
 /// Split mutable access to a (parent, child) pair of node relations.
-fn pair_mut(rels: &mut [Relation], a: usize, b: usize) -> (&mut Relation, &mut Relation) {
+pub(crate) fn pair_mut(
+    rels: &mut [Relation],
+    a: usize,
+    b: usize,
+) -> (&mut Relation, &mut Relation) {
     assert_ne!(a, b, "tree edges never self-loop");
     if a < b {
         let (left, right) = rels.split_at_mut(b);

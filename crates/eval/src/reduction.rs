@@ -50,6 +50,42 @@ pub fn reduce(
     db: &Database,
     hd: &HypertreeDecomposition,
 ) -> Result<ReducedInstance, EvalError> {
+    reduce_with(q, db, hd, &|l, r, on, keep| ops::join(l, r, on, keep))
+}
+
+/// [`reduce`] with the node-building joins hash-sharded across `cfg`
+/// shards once they are large enough (see [`crate::sharded`]) — on wide
+/// decompositions the `r^k` node joins dominate evaluation, so the
+/// reduction itself is part of the sharded pipeline. Byte-identical
+/// output instance.
+pub fn reduce_sharded(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    hd: &HypertreeDecomposition,
+    cfg: &crate::ShardConfig,
+) -> Result<ReducedInstance, EvalError> {
+    let shards = cfg.effective_shards();
+    if shards <= 1 {
+        return reduce(q, db, hd);
+    }
+    let min_rows = cfg.min_rows;
+    reduce_with(q, db, hd, &move |l, r, on, keep| {
+        if l.len().max(r.len()) >= min_rows {
+            relation::shard::join_sharded(l, r, on, keep, shards)
+        } else {
+            ops::join(l, r, on, keep)
+        }
+    })
+}
+
+/// The construction body, with the accumulator join operator abstracted
+/// out (sequential vs. hash-sharded).
+fn reduce_with(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    hd: &HypertreeDecomposition,
+    join: &crate::pipeline::JoinFn,
+) -> Result<ReducedInstance, EvalError> {
     let h = q.hypergraph();
     // The construction only leans on conditions 1–3 (coverage gives every
     // atom a home node, connectedness makes the tree a join tree of the
@@ -97,7 +133,7 @@ pub fn reduce(
             let fresh: Vec<usize> = (0..restricted_vars.len())
                 .filter(|&j| !acc_vars.contains(&restricted_vars[j]))
                 .collect();
-            acc = ops::join(&acc, &restricted, &pairs, &fresh);
+            acc = join(&acc, &restricted, &pairs, &fresh);
             for j in fresh {
                 acc_vars.push(restricted_vars[j]);
             }
@@ -153,6 +189,31 @@ pub fn enumerate_via_hd(
 ) -> Result<Relation, EvalError> {
     let (pipeline, mut rels) = reduce(q, db, hd)?.into_pipeline();
     Ok(pipeline.enumerate(&mut rels, &q.head_vars()))
+}
+
+/// [`boolean_via_hd`] with the reduction and sweeps hash-sharded across
+/// `cfg` shards (see [`crate::sharded`]). Byte-identical answer.
+pub fn boolean_via_hd_sharded(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    hd: &HypertreeDecomposition,
+    cfg: &crate::ShardConfig,
+) -> Result<bool, EvalError> {
+    let (pipeline, mut rels) = reduce_sharded(q, db, hd, cfg)?.into_pipeline();
+    Ok(pipeline.boolean_sharded(&mut rels, cfg))
+}
+
+/// [`enumerate_via_hd`] with the reduction, sweeps, and join phase
+/// hash-sharded across `cfg` shards (see [`crate::sharded`]).
+/// Byte-identical answer, row order included.
+pub fn enumerate_via_hd_sharded(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    hd: &HypertreeDecomposition,
+    cfg: &crate::ShardConfig,
+) -> Result<Relation, EvalError> {
+    let (pipeline, mut rels) = reduce_sharded(q, db, hd, cfg)?.into_pipeline();
+    Ok(pipeline.enumerate_sharded(&mut rels, &q.head_vars(), cfg))
 }
 
 #[cfg(test)]

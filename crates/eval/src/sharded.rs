@@ -1,0 +1,387 @@
+//! Intra-query parallel execution: the Yannakakis sweeps, the enumerate
+//! join phase, and the counting DP, hash-sharded across cores.
+//!
+//! The paper places bounded-hypertree-width evaluation in LOGCFL —
+//! *highly parallelizable* — and `hypertree_core::parallel` already
+//! exploits that across decomposition subproblems. This module is the
+//! data-parallel counterpart inside a single query: every probe-heavy
+//! step (semijoin sweep, join, count factors) is run shard-parallel via
+//! [`relation::shard`], which hash-partitions the index side of each
+//! operator by the parent-connector join key and probes the scan side in
+//! contiguous chunks on scoped threads.
+//!
+//! Three properties shape the design:
+//!
+//! * **Byte-identical answers.** The scan side is never reordered —
+//!   chunk outputs concatenate in row order, per-shard indexes replay
+//!   the whole-relation group layout, and saturating addition is
+//!   associative — so every `*_sharded` entry point returns exactly the
+//!   bytes of its sequential counterpart. The proptest suite
+//!   (`tests/sharded_prop.rs`) pins this down.
+//! * **Planned once.** Sharding is a run-time choice on an existing
+//!   [`Pipeline`]; the plan (orders, per-edge column lists) is shared
+//!   with the sequential entry points and computed once.
+//! * **Zero overhead for toy queries.** Each step consults
+//!   [`ShardConfig::min_rows`]: a step whose relations are both smaller
+//!   stays on the sequential operator, so small queries never pay the
+//!   partition pass or thread spawns.
+
+use crate::pipeline::{pair_mut, saturating_sum, Pipeline};
+use hypergraph::{Ix, VertexId};
+use hypertree_core::parallel::run_parallel;
+use relation::{shard, Relation};
+use std::ops::Range;
+
+/// Knobs for intra-query sharded execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Shard (and worker-thread) count per sharded step; `0` = one shard
+    /// per available core, `1` = sequential.
+    pub shards: usize,
+    /// A step shards only when one of its relations has at least this
+    /// many rows; below it the sequential operator wins on overhead.
+    pub min_rows: usize,
+}
+
+impl ShardConfig {
+    /// Default [`ShardConfig::min_rows`]: sharding a step only pays once
+    /// partitioning amortizes thread spawns, which needs thousands of
+    /// rows on current hardware.
+    pub const DEFAULT_MIN_ROWS: usize = 4096;
+
+    /// Shard across all available cores (the default).
+    pub fn auto() -> Self {
+        ShardConfig {
+            shards: 0,
+            min_rows: Self::DEFAULT_MIN_ROWS,
+        }
+    }
+
+    /// Never shard: every step runs the sequential operator.
+    pub fn sequential() -> Self {
+        ShardConfig {
+            shards: 1,
+            min_rows: Self::DEFAULT_MIN_ROWS,
+        }
+    }
+
+    /// Exactly `shards` shards, with the default threshold.
+    pub fn with_shards(shards: usize) -> Self {
+        ShardConfig {
+            shards,
+            min_rows: Self::DEFAULT_MIN_ROWS,
+        }
+    }
+
+    /// The concrete shard count (`0` resolved to available parallelism).
+    pub fn effective_shards(&self) -> usize {
+        match self.shards {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        }
+    }
+
+    /// `true` iff this configuration can never shard a step.
+    pub fn is_sequential(&self) -> bool {
+        self.effective_shards() <= 1
+    }
+
+    /// `true` iff a step over relations of `left` and `right` rows should
+    /// shard under this configuration.
+    fn step_shards(&self, shards: usize, left: usize, right: usize) -> bool {
+        shards > 1 && left.max(right) >= self.min_rows
+    }
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+impl Pipeline {
+    /// One edge of a semijoin sweep, sharded when the step is large
+    /// enough under `cfg` (`left` keeps only rows matching `right`).
+    fn semijoin_step(
+        left: &mut Relation,
+        left_cols: &[usize],
+        right: &Relation,
+        right_cols: &[usize],
+        cfg: &ShardConfig,
+        shards: usize,
+    ) {
+        if cfg.step_shards(shards, left.len(), right.len()) {
+            shard::retain_semijoin_cols_sharded(left, left_cols, right, right_cols, shards);
+        } else {
+            left.retain_semijoin_cols(left_cols, right, right_cols);
+        }
+    }
+
+    /// [`Pipeline::boolean`] with large semijoin steps hash-sharded
+    /// across `cfg` shards. Byte-identical in-place effect and result.
+    pub fn boolean_sharded(&self, rels: &mut [Relation], cfg: &ShardConfig) -> bool {
+        assert_eq!(rels.len(), self.tree.len(), "one relation per node");
+        let shards = cfg.effective_shards();
+        for &n in &self.post {
+            if let Some(p) = self.tree.parent(n) {
+                let (parent, child) = pair_mut(rels, p.index(), n.index());
+                Self::semijoin_step(
+                    parent,
+                    &self.parent_cols[n.index()],
+                    child,
+                    &self.child_cols[n.index()],
+                    cfg,
+                    shards,
+                );
+                if parent.is_empty() {
+                    return false;
+                }
+            }
+        }
+        !rels[self.tree.root().index()].is_empty()
+    }
+
+    /// [`Pipeline::full_reduce`] with large semijoin steps hash-sharded
+    /// across `cfg` shards. Byte-identical in-place effect.
+    pub fn full_reduce_sharded(&self, rels: &mut [Relation], cfg: &ShardConfig) {
+        assert_eq!(rels.len(), self.tree.len(), "one relation per node");
+        let shards = cfg.effective_shards();
+        for &n in &self.post {
+            if let Some(p) = self.tree.parent(n) {
+                let (parent, child) = pair_mut(rels, p.index(), n.index());
+                Self::semijoin_step(
+                    parent,
+                    &self.parent_cols[n.index()],
+                    child,
+                    &self.child_cols[n.index()],
+                    cfg,
+                    shards,
+                );
+            }
+        }
+        for &n in &self.pre {
+            if let Some(p) = self.tree.parent(n) {
+                let (parent, child) = pair_mut(rels, p.index(), n.index());
+                Self::semijoin_step(
+                    child,
+                    &self.child_cols[n.index()],
+                    parent,
+                    &self.parent_cols[n.index()],
+                    cfg,
+                    shards,
+                );
+            }
+        }
+    }
+
+    /// [`Pipeline::enumerate`] with the full reduction *and* the
+    /// bottom-up join phase hash-sharded across `cfg` shards.
+    /// Byte-identical result (row order included).
+    pub fn enumerate_sharded(
+        &self,
+        rels: &mut [Relation],
+        output: &[VertexId],
+        cfg: &ShardConfig,
+    ) -> Relation {
+        self.full_reduce_sharded(rels, cfg);
+        let shards = cfg.effective_shards();
+        self.join_phase(rels, output, &|l, r, on, keep| {
+            if cfg.step_shards(shards, l.len(), r.len()) {
+                shard::join_sharded(l, r, on, keep, shards)
+            } else {
+                relation::ops::join(l, r, on, keep)
+            }
+        })
+    }
+
+    /// [`Pipeline::count`] with the per-edge group sums and factor probes
+    /// chunk-parallel across `cfg` shards. Identical value — including
+    /// at saturation, since saturating addition is associative and the
+    /// chunked folds preserve operand order.
+    pub fn count_sharded(&self, rels: &[Relation], cfg: &ShardConfig) -> u128 {
+        assert_eq!(rels.len(), self.tree.len(), "one relation per node");
+        let shards = cfg.effective_shards();
+        if shards <= 1 {
+            return self.count(rels);
+        }
+        let mut counts: Vec<Vec<u128>> = rels.iter().map(|r| vec![1u128; r.len()]).collect();
+
+        for &n in &self.post {
+            let Some(p) = self.tree.parent(n) else {
+                continue;
+            };
+            let child = &rels[n.index()];
+            let parent = &rels[p.index()];
+            let index = child.index_on(&self.child_cols[n.index()]);
+            let child_counts = &counts[n.index()];
+            // Group sums: each group is independent, so groups split into
+            // contiguous id ranges across workers.
+            let sums: Vec<u128> = if child.len() >= cfg.min_rows {
+                let ranges = chunk_ranges(index.num_keys(), shards);
+                run_parallel(&ranges, shards, |_, range| {
+                    range
+                        .clone()
+                        .map(|g| {
+                            saturating_sum(index.group(g).iter().map(|&i| child_counts[i as usize]))
+                        })
+                        .collect::<Vec<u128>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+            } else {
+                (0..index.num_keys())
+                    .map(|g| {
+                        saturating_sum(index.group(g).iter().map(|&i| child_counts[i as usize]))
+                    })
+                    .collect()
+            };
+            // Factor probes: read-only over the parent rows, chunked.
+            let parent_cols = &self.parent_cols[n.index()];
+            let factors: Vec<u128> = if parent.len() >= cfg.min_rows {
+                let ranges = chunk_ranges(parent.len(), shards);
+                run_parallel(&ranges, shards, |_, range| {
+                    range
+                        .clone()
+                        .map(|i| {
+                            index
+                                .probe_gid(parent.row(i), parent_cols)
+                                .map_or(0, |g| sums[g])
+                        })
+                        .collect::<Vec<u128>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+            } else {
+                parent
+                    .rows()
+                    .map(|row| index.probe_gid(row, parent_cols).map_or(0, |g| sums[g]))
+                    .collect()
+            };
+            let parent_counts = &mut counts[p.index()];
+            for (c, f) in parent_counts.iter_mut().zip(factors) {
+                *c = c.saturating_mul(f);
+            }
+        }
+
+        saturating_sum(counts[self.tree.root().index()].iter().copied())
+    }
+}
+
+/// `n` items split into at most `k` contiguous near-equal ranges.
+fn chunk_ranges(n: usize, k: usize) -> Vec<Range<usize>> {
+    let k = k.min(n).max(1);
+    if n == 0 {
+        return Vec::new();
+    }
+    let base = n / k;
+    let extra = n % k;
+    let mut ranges = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::bind_all;
+    use cq::parse_query;
+    use relation::Database;
+
+    /// Force sharding on tiny relations by zeroing the threshold.
+    fn forced(shards: usize) -> ShardConfig {
+        ShardConfig {
+            shards,
+            min_rows: 0,
+        }
+    }
+
+    fn pipeline_and_rels(q: &cq::ConjunctiveQuery, db: &Database) -> (Pipeline, Vec<Relation>) {
+        let h = q.hypergraph();
+        let jt = hypergraph::acyclic::join_tree(&h).expect("acyclic");
+        let bound = bind_all(q, db).unwrap();
+        crate::pipeline_for(&jt, bound)
+    }
+
+    fn star_db() -> Database {
+        let mut db = Database::new();
+        for i in 0..300u64 {
+            db.add_fact("hub", &[i % 40, i % 7, i % 5]);
+            db.add_fact("p", &[i % 9]);
+            db.add_fact("p2", &[i % 7]);
+            db.add_fact("p3", &[i % 4]);
+        }
+        db
+    }
+
+    #[test]
+    fn sharded_sweeps_match_sequential_in_place() {
+        let q = parse_query("ans :- hub(A,B,C), p(A), p2(B), p3(C).").unwrap();
+        let db = star_db();
+        for shards in [1, 2, 3, 8, 4096] {
+            let (pl, mut seq) = pipeline_and_rels(&q, &db);
+            let mut par = seq.clone();
+            pl.full_reduce(&mut seq);
+            pl.full_reduce_sharded(&mut par, &forced(shards));
+            assert_eq!(seq, par, "shards = {shards}");
+            for (s, p) in seq.iter().zip(&par) {
+                assert_eq!(
+                    s.rows().collect::<Vec<_>>(),
+                    p.rows().collect::<Vec<_>>(),
+                    "row order must be identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_boolean_enumerate_count_match_sequential() {
+        let q = parse_query("ans(A,B) :- hub(A,B,C), p(A), p2(B), p3(C).").unwrap();
+        let db = star_db();
+        let (pl, rels) = pipeline_and_rels(&q, &db);
+        let out_vars = q.head_vars();
+        let seq_bool = pl.boolean(&mut rels.clone());
+        let seq_rows = pl.enumerate(&mut rels.clone(), &out_vars);
+        let seq_count = pl.count(&rels);
+        for shards in [2, 5, 64] {
+            let cfg = forced(shards);
+            assert_eq!(pl.boolean_sharded(&mut rels.clone(), &cfg), seq_bool);
+            let par_rows = pl.enumerate_sharded(&mut rels.clone(), &out_vars, &cfg);
+            assert_eq!(par_rows, seq_rows);
+            assert_eq!(
+                par_rows.rows().collect::<Vec<_>>(),
+                seq_rows.rows().collect::<Vec<_>>()
+            );
+            assert_eq!(pl.count_sharded(&rels, &cfg), seq_count);
+        }
+    }
+
+    #[test]
+    fn thresholds_keep_small_steps_sequential() {
+        // Behavioral check: with a huge min_rows nothing shards, and the
+        // answers are still right (the gate must not change semantics).
+        let q = parse_query("ans :- r(X,Y), s(Y,Z).").unwrap();
+        let mut db = Database::new();
+        db.add_fact("r", &[1, 10]);
+        db.add_fact("s", &[10, 100]);
+        let (pl, mut rels) = pipeline_and_rels(&q, &db);
+        let cfg = ShardConfig {
+            shards: 8,
+            min_rows: usize::MAX,
+        };
+        assert!(pl.boolean_sharded(&mut rels, &cfg));
+    }
+
+    #[test]
+    fn shard_config_resolution() {
+        assert!(ShardConfig::sequential().is_sequential());
+        assert_eq!(ShardConfig::with_shards(7).effective_shards(), 7);
+        assert!(ShardConfig::auto().effective_shards() >= 1);
+    }
+}

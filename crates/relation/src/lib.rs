@@ -30,6 +30,7 @@ mod database;
 pub mod index;
 pub mod ops;
 mod relation;
+pub mod shard;
 pub mod stats;
 
 pub use database::{Database, Dictionary};

@@ -418,6 +418,27 @@ impl Relation {
         self.data.extend(cols.iter().map(|&c| row[c]));
     }
 
+    /// Append `row` verbatim — the bulk-scatter inner loop of
+    /// [`crate::shard`]. Crate-internal; same contract as
+    /// [`Relation::extend_joined`].
+    #[inline]
+    pub(crate) fn extend_row(&mut self, row: &[Value]) {
+        debug_assert_eq!(row.len(), self.arity, "row arity mismatch");
+        self.data.extend_from_slice(row);
+    }
+
+    /// Append every row of `other` verbatim, preserving order — the
+    /// shard-merge inner loop of [`crate::shard`]. Crate-internal; same
+    /// contract as [`Relation::extend_joined`].
+    pub(crate) fn extend_all_rows(&mut self, other: &Relation) {
+        debug_assert_eq!(other.arity, self.arity, "row arity mismatch");
+        if self.arity == 0 {
+            self.nullary |= other.nullary;
+            return;
+        }
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// Reserve space for `rows` additional rows.
     pub(crate) fn reserve_rows(&mut self, rows: usize) {
         self.data.reserve_exact(rows * self.arity);

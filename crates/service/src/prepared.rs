@@ -10,7 +10,7 @@
 
 use crate::ServiceError;
 use cq::{parse_query, ConjunctiveQuery, Term};
-use eval::{EvalError, Strategy};
+use eval::{EvalError, ShardConfig, Strategy};
 use hypergraph::acyclic;
 use hypertree_core::DecompCache;
 use relation::{Database, Relation};
@@ -147,8 +147,29 @@ impl PreparedQuery {
     }
 
     /// Count the satisfying assignments over `var(Q)` against `db`.
+    /// Saturates at `u128::MAX` (see [`eval::Pipeline::count`]).
     pub fn count(&self, db: &Database) -> Result<u128, EvalError> {
         eval::counting::count_with(&self.strategy, &self.query, db)
+    }
+
+    /// [`Self::boolean`] with the per-query work hash-sharded across
+    /// `cfg` shards (see [`eval::sharded`]). Identical answer.
+    pub fn boolean_sharded(&self, db: &Database, cfg: &ShardConfig) -> Result<bool, EvalError> {
+        self.strategy.boolean_sharded(&self.query, db, cfg)
+    }
+
+    /// [`Self::enumerate`] sharded: byte-identical rows, same order.
+    pub fn enumerate_sharded(
+        &self,
+        db: &Database,
+        cfg: &ShardConfig,
+    ) -> Result<Relation, EvalError> {
+        self.strategy.enumerate_sharded(&self.query, db, cfg)
+    }
+
+    /// [`Self::count`] sharded: identical value, saturation included.
+    pub fn count_sharded(&self, db: &Database, cfg: &ShardConfig) -> Result<u128, EvalError> {
+        eval::counting::count_with_sharded(&self.strategy, &self.query, db, cfg)
     }
 }
 

@@ -14,15 +14,26 @@
 //! worker threads — the same `std::thread::scope` idiom as
 //! `hypertree_core::parallel`, with a shared atomic cursor handing out
 //! work items so stragglers do not serialise the batch.
+//!
+//! Parallelism comes in two grains that must not multiply: *across*
+//! requests (the batch worker pool above) and *within* one query
+//! ([`eval::sharded`] hash-sharded execution, enabled by
+//! [`ServiceConfig::intra_query_shards`]). When a batch's execute phase
+//! runs on more than one worker, every request is executed sequentially
+//! (`shards = 1`) — the cores are already busy with other requests;
+//! single-request [`Service::execute`] and one-worker batches use the
+//! configured shard count instead. Sharded execution is byte-identical
+//! to sequential, so the choice is invisible in the answers.
 
 use crate::prepared::{plan_key, PrepareConfig, PreparedQuery};
 use crate::{PlanCache, ServiceError};
 use cq::parse_query;
+use hypertree_core::parallel::run_parallel;
 use hypertree_core::DecompCache;
 use parking_lot::RwLock;
 use relation::{Database, Relation};
 use rustc_hash::FxHashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// What a request asks of its query.
@@ -32,7 +43,10 @@ pub enum Op {
     Boolean,
     /// The answer relation over the head variables.
     Enumerate,
-    /// The number of satisfying assignments over `var(Q)`.
+    /// The number of satisfying assignments over `var(Q)`. The count is
+    /// exact up to `u128::MAX - 1` and *saturates* at `u128::MAX`, which
+    /// means "at least `u128::MAX`" (see [`eval::Pipeline::count`] for
+    /// the full contract).
     Count,
 }
 
@@ -99,6 +113,16 @@ pub struct ServiceConfig {
     pub max_threads: usize,
     /// Batches smaller than this run inline on the calling thread.
     pub min_parallel_batch: usize,
+    /// Intra-query shard count (see [`eval::ShardConfig`]): `1` keeps
+    /// every request sequential, `0` = the machine's available
+    /// parallelism, `n > 1` = exactly `n` shards. Only applies when the
+    /// batch worker pool is not already using the cores — a multi-worker
+    /// execute phase forces `shards = 1` per request so the two grains of
+    /// parallelism never oversubscribe.
+    pub intra_query_shards: usize,
+    /// Per-step size floor for intra-query sharding: a join or semijoin
+    /// shards only if one side has at least this many rows.
+    pub shard_min_rows: usize,
 }
 
 impl Default for ServiceConfig {
@@ -109,6 +133,8 @@ impl Default for ServiceConfig {
             prepare: PrepareConfig::default(),
             max_threads: 0,
             min_parallel_batch: 4,
+            intra_query_shards: 1,
+            shard_min_rows: eval::ShardConfig::DEFAULT_MIN_ROWS,
         }
     }
 }
@@ -191,12 +217,14 @@ impl Service {
         })
     }
 
-    /// Serve one request against the current snapshot.
+    /// Serve one request against the current snapshot. A single request
+    /// has the whole machine to itself, so it runs with the configured
+    /// intra-query shard count.
     pub fn execute(&self, req: &Request) -> Response {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let snapshot = self.snapshot();
         let plan = self.prepare(&req.text)?;
-        run_op(&plan, req.op, &snapshot)
+        run_op(&plan, req.op, &snapshot, &self.shard_config(1))
     }
 
     /// Serve a batch: all requests see one snapshot, duplicate (and
@@ -242,8 +270,12 @@ impl Service {
             });
 
         // Execute phase: every request independently, against the shared
-        // snapshot, through its (shared) plan.
+        // snapshot, through its (shared) plan. With more than one worker
+        // the cores are spoken for, so each request runs unsharded; a
+        // one-worker (small or capped) batch shards within the query
+        // instead.
         let workers = self.worker_count(reqs.len());
+        let shard = self.shard_config(workers);
         run_parallel(reqs, workers, |i, req| {
             let unique = match &parsed[i] {
                 Ok(u) => *u,
@@ -253,7 +285,7 @@ impl Service {
                 Ok(p) => p,
                 Err(e) => return Err(e.clone()),
             };
-            run_op(plan, req.op, &snapshot)
+            run_op(plan, req.op, &snapshot, &shard)
         })
     }
 
@@ -299,65 +331,32 @@ impl Service {
         };
         cap.min(items).max(1)
     }
-}
 
-/// Evaluate one operation under a prepared plan.
-fn run_op(plan: &PreparedQuery, op: Op, db: &Database) -> Response {
-    match op {
-        Op::Boolean => plan.boolean(db).map(Outcome::Boolean),
-        Op::Enumerate => plan.enumerate(db).map(Outcome::Rows),
-        Op::Count => plan.count(db).map(Outcome::Count),
-    }
-    .map_err(ServiceError::Eval)
-}
-
-/// Run `f` over every item on `workers` scoped threads (inline when
-/// `workers <= 1`), preserving item order in the results. Work items are
-/// handed out by an atomic cursor so a slow item never strands the rest
-/// of a worker's share — the scoped-thread idiom of
-/// `hypertree_core::parallel`, applied to a flat work list. Each worker
-/// accumulates `(index, result)` pairs privately and the lists are merged
-/// after the scope joins, so result delivery needs no shared lock.
-fn run_parallel<T: Sync, R: Send>(
-    items: &[T],
-    workers: usize,
-    f: impl Fn(usize, &T) -> R + Sync,
-) -> Vec<R> {
-    let n = items.len();
-    if workers <= 1 || n <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers.min(n))
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        local.push((i, f(i, &items[i])));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    for part in parts {
-        for (i, r) in part {
-            out[i] = Some(r);
+    /// The intra-query shard configuration for an execute phase running
+    /// on `workers` threads: sequential whenever the batch pool already
+    /// occupies more than one core (no oversubscription), the configured
+    /// shard count otherwise.
+    fn shard_config(&self, workers: usize) -> eval::ShardConfig {
+        if workers > 1 {
+            return eval::ShardConfig::sequential();
+        }
+        eval::ShardConfig {
+            shards: self.cfg.intra_query_shards,
+            min_rows: self.cfg.shard_min_rows,
         }
     }
-    out.into_iter()
-        .map(|slot| slot.expect("every index was claimed exactly once"))
-        .collect()
+}
+
+/// Evaluate one operation under a prepared plan. The sharded entry
+/// points collapse to the sequential kernels when `shard` resolves to a
+/// single shard, so there is one code path here.
+fn run_op(plan: &PreparedQuery, op: Op, db: &Database, shard: &eval::ShardConfig) -> Response {
+    match op {
+        Op::Boolean => plan.boolean_sharded(db, shard).map(Outcome::Boolean),
+        Op::Enumerate => plan.enumerate_sharded(db, shard).map(Outcome::Rows),
+        Op::Count => plan.count_sharded(db, shard).map(Outcome::Count),
+    }
+    .map_err(ServiceError::Eval)
 }
 
 #[cfg(test)]
@@ -502,6 +501,100 @@ mod tests {
                 1 => assert_eq!(resp, &Ok(Outcome::Count(1)), "slot {i}"),
                 _ => assert_eq!(resp, &Ok(Outcome::Boolean(true)), "slot {i}"),
             }
+        }
+    }
+
+    #[test]
+    fn sharded_service_answers_match_default() {
+        // Same snapshot, same requests: a service with intra-query
+        // sharding forced on (threshold off) answers byte-identically to
+        // the default sequential one — single requests and batches alike.
+        let seq = Service::new(triangle_db());
+        let shd = Service::with_config(
+            triangle_db(),
+            ServiceConfig {
+                intra_query_shards: 4,
+                shard_min_rows: 0,
+                ..Default::default()
+            },
+        );
+        let reqs = vec![
+            Request::boolean(TRIANGLE),
+            Request::enumerate(TRIANGLE),
+            Request::count(TRIANGLE),
+            Request::enumerate("ans(X,Y) :- r(X,Y), s(Y,Z)."),
+        ];
+        for req in &reqs {
+            assert_eq!(shd.execute(req), seq.execute(req), "{}", req.text);
+        }
+        assert_eq!(shd.execute_batch(&reqs), seq.execute_batch(&reqs));
+    }
+
+    #[test]
+    fn repeated_variables_serve_end_to_end() {
+        // Regression: a repeated variable inside an atom must act as an
+        // equality selection all the way through parse → plan → serve.
+        // e(X,X) keeps only the loops of e; the head projects onto X.
+        let mut db = Database::new();
+        db.add_fact("e", &[1, 1]);
+        db.add_fact("e", &[2, 2]);
+        db.add_fact("e", &[3, 4]);
+        db.add_fact("f", &[1, 5]);
+        db.add_fact("f", &[3, 6]);
+        let svc = Service::new(Arc::new(db));
+        let text = "ans(X) :- e(X,X), f(X,Y).";
+        assert_eq!(
+            svc.execute(&Request::boolean(text)),
+            Ok(Outcome::Boolean(true))
+        );
+        match svc.execute(&Request::enumerate(text)) {
+            Ok(Outcome::Rows(rows)) => {
+                assert_eq!(rows.arity(), 1);
+                assert_eq!(rows.len(), 1);
+                assert!(rows.contains_row(&[Value(1)]));
+            }
+            other => panic!("expected rows, got {other:?}"),
+        }
+        // Exactly one satisfying assignment over var(Q) = {X, Y}.
+        assert_eq!(svc.execute(&Request::count(text)), Ok(Outcome::Count(1)));
+        // And identically under forced intra-query sharding.
+        let svc2 = Service::with_config(
+            svc.snapshot(),
+            ServiceConfig {
+                intra_query_shards: 3,
+                shard_min_rows: 0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(svc2.execute(&Request::count(text)), Ok(Outcome::Count(1)));
+        match svc2.execute(&Request::enumerate(text)) {
+            Ok(Outcome::Rows(rows)) => assert!(rows.contains_row(&[Value(1)])),
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_worker_batches_run_requests_unsharded() {
+        // The no-oversubscription rule: a multi-worker execute phase must
+        // resolve to sequential per-request execution, a one-worker phase
+        // to the configured shard count.
+        let svc = Service::with_config(
+            triangle_db(),
+            ServiceConfig {
+                intra_query_shards: 8,
+                max_threads: 4,
+                min_parallel_batch: 2,
+                ..Default::default()
+            },
+        );
+        assert!(svc.shard_config(4).is_sequential());
+        assert!(svc.shard_config(2).is_sequential());
+        assert_eq!(svc.shard_config(1).shards, 8);
+        // And the answers are the same either way (64 requests → the
+        // parallel path on multicore hosts; capped workers on 1-core CI).
+        let reqs: Vec<Request> = (0..64).map(|_| Request::count(TRIANGLE)).collect();
+        for resp in svc.execute_batch(&reqs) {
+            assert_eq!(resp, Ok(Outcome::Count(1)));
         }
     }
 
