@@ -2,12 +2,17 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_service -- [--smoke] \
-//!     [--label <text>] [--out <path>]
+//!     [--label <text>] [--out <path>] [--deadline-ms <n>]
 //! ```
 //!
-//! Prints the `bench-service/1` JSON run to stdout (and to `--out` when
+//! Prints the `bench-service/3` JSON run to stdout (and to `--out` when
 //! given). `--smoke` uses the short CI streams; the default is the longer
-//! local replay. Recorded runs live in `bench/BENCH_service.json`; see
+//! local replay. `--deadline-ms <n>` runs the *degradation smoke*
+//! instead: every stream is replayed through a service with that
+//! per-request deadline and an admission cap, and the run succeeds iff
+//! every response is an answer or a typed governance error — CI drives
+//! this with a 1 ms deadline under `timeout` to pin "sheds or errors,
+//! never hangs". Recorded runs live in `bench/BENCH_service.json`; see
 //! README.md §Query serving.
 
 use bench::serving;
@@ -17,6 +22,7 @@ fn main() {
     let mut smoke = false;
     let mut label = String::from("local");
     let mut out_path: Option<String> = None;
+    let mut deadline_ms: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -29,9 +35,21 @@ fn main() {
                 i += 1;
                 out_path = Some(args.get(i).expect("--out needs a value").clone());
             }
+            "--deadline-ms" => {
+                i += 1;
+                deadline_ms = Some(
+                    args.get(i)
+                        .expect("--deadline-ms needs a value")
+                        .parse()
+                        .expect("--deadline-ms takes an integer"),
+                );
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench_service [--smoke] [--label <text>] [--out <path>]");
+                eprintln!(
+                    "usage: bench_service [--smoke] [--label <text>] [--out <path>] \
+                     [--deadline-ms <n>]"
+                );
                 std::process::exit(2);
             }
         }
@@ -43,6 +61,16 @@ fn main() {
     } else {
         (serving::ServeConfig::full(), "full")
     };
+
+    if let Some(ms) = deadline_ms {
+        let (answered, tripped, shed) =
+            serving::run_deadline_smoke(&cfg, std::time::Duration::from_millis(ms));
+        println!(
+            "deadline smoke ({ms} ms): {answered} answered, {tripped} budget-tripped, \
+             {shed} shed — no hangs, no untyped failures"
+        );
+        return;
+    }
     let entries = serving::run(&cfg);
     let json = serving::to_json(&label, mode, &cfg, &entries);
     print!("{json}");

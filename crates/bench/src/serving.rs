@@ -1,5 +1,5 @@
 //! The serving-layer benchmark (`bench/BENCH_service.json`, schema
-//! `bench-service/1`).
+//! `bench-service/3`).
 //!
 //! Where the other harnesses time isolated phases (kernel, decomposition,
 //! heuristics), this one replays *request streams* through a
@@ -20,6 +20,13 @@
 //!   tracks what hash-sharded execution costs/saves per request (on a
 //!   single-core host it can only cost; see README.md §Sharded
 //!   execution);
+//! * the **hot governed** regime: a hot replay through a service with
+//!   resource governance on (a generous deadline and byte quota that
+//!   never trip), asserting identical answers — the column that tracks
+//!   what cooperative budget polling costs on the hot path (the
+//!   acceptance bar is ≤ 5% over the ungoverned hot median). The plain
+//!   and governed hot replays are interleaved request by request so both
+//!   medians sample the same noise environment;
 //! * a **mixed** 80/20 replay (80% of requests over the two hottest
 //!   queries, the rest uniform) starting cold — the shape of real
 //!   traffic;
@@ -98,6 +105,10 @@ pub struct ServeEntry {
     /// Median per-request latency of the hot replay with intra-query
     /// sharding forced to 2 shards (threshold off), nanoseconds.
     pub hot_sharded_median_ns: u128,
+    /// Median per-request latency of the hot replay with resource
+    /// governance on (roomy deadline + byte quota, so the budget is
+    /// polled but never trips), nanoseconds.
+    pub hot_governed_median_ns: u128,
     /// Median per-request latency of the 80/20 mixed replay, nanoseconds.
     pub mixed_median_ns: u128,
     /// Wall-clock of serving the whole stream as one batch, nanoseconds.
@@ -233,18 +244,43 @@ pub fn run_stream(cfg: &ServeConfig, stream: Stream) -> ServeEntry {
         answers.push(expect_bool(&id, resp));
     }
 
-    // Warm the working set, then replay hot. The counters gate the whole
-    // point: the hot phase must not compile or decompose anything.
+    // Warm the working set on the plain service and on a governed twin
+    // whose deadline and byte quota are generous enough that no request
+    // ever trips — the only difference from the plain replay is the
+    // cooperative budget polling itself. The two hot replays are
+    // *interleaved* request by request so both medians sample the same
+    // noise environment (separate phases on a shared host can drift by
+    // more than the polling overhead being measured). The counters gate
+    // the whole point: the hot phase must not compile or decompose
+    // anything.
+    let svc_governed = Service::with_config(
+        Arc::clone(&db),
+        service::ServiceConfig {
+            deadline: Some(std::time::Duration::from_secs(600)),
+            max_result_bytes: Some(1 << 44),
+            ..Default::default()
+        },
+    );
     for text in &stream.texts {
         expect_bool(&id, svc.execute(&Request::boolean(text.clone())));
+        expect_bool(&id, svc_governed.execute(&Request::boolean(text.clone())));
     }
     let warm = svc.stats();
     let mut hot = Vec::with_capacity(reqs.len());
+    let mut hot_governed = Vec::with_capacity(reqs.len());
     for (r, &cold_answer) in reqs.iter().zip(&answers) {
         let t0 = Instant::now();
         let resp = svc.execute(r);
         hot.push(t0.elapsed().as_nanos());
         assert_eq!(expect_bool(&id, resp), cold_answer, "{id}: answer drifted");
+        let t0 = Instant::now();
+        let resp = svc_governed.execute(r);
+        hot_governed.push(t0.elapsed().as_nanos());
+        assert_eq!(
+            expect_bool(&id, resp),
+            cold_answer,
+            "{id}: governed answer drifted"
+        );
     }
     let after_hot = svc.stats();
     assert_eq!(
@@ -254,6 +290,11 @@ pub fn run_stream(cfg: &ServeConfig, stream: Stream) -> ServeEntry {
     assert_eq!(
         after_hot.decomp_misses, warm.decomp_misses,
         "{id}: hot requests must not decompose"
+    );
+    assert_eq!(
+        svc_governed.stats().budget_trips,
+        0,
+        "{id}: the roomy budget must never trip"
     );
 
     // Hot replay with intra-query sharding forced on: a separate service
@@ -331,6 +372,7 @@ pub fn run_stream(cfg: &ServeConfig, stream: Stream) -> ServeEntry {
         cold_median_ns: median(cold),
         hot_median_ns: median(hot),
         hot_sharded_median_ns: median(hot_sharded),
+        hot_governed_median_ns: median(hot_governed),
         mixed_median_ns: median(mixed),
         batch_ns,
         batch_requests: batch.len(),
@@ -348,18 +390,63 @@ pub fn run(cfg: &ServeConfig) -> Vec<ServeEntry> {
         .collect()
 }
 
-/// Serialise a run as `bench-service/2` JSON (hand-rolled like the other
+/// The degradation smoke: replay every stream through a service with a
+/// (typically absurd) per-request `deadline` plus an admission cap, and
+/// demand that every response is either a real outcome or a *typed*
+/// governance error — never a panic, never a hang. Returns
+/// `(answered, budget_tripped, shed)` counts across all streams.
+///
+/// CI runs this under `timeout` with `--deadline-ms 1`: with governance
+/// working, even a 1 ms deadline drains the whole request set in
+/// milliseconds per stream, because every long-running loop polls the
+/// budget and unwinds.
+pub fn run_deadline_smoke(
+    cfg: &ServeConfig,
+    deadline: std::time::Duration,
+) -> (usize, usize, usize) {
+    let (mut answered, mut tripped, mut shed) = (0usize, 0usize, 0usize);
+    for stream in streams(cfg.smoke) {
+        let id = stream.id.clone();
+        let svc = Service::with_config(
+            Arc::new(stream.db),
+            service::ServiceConfig {
+                deadline: Some(deadline),
+                // Cap admission at half the batch so shedding is exercised.
+                max_queue_depth: cfg.requests.div_ceil(2),
+                ..Default::default()
+            },
+        );
+        let reqs: Vec<Request> = (0..cfg.requests)
+            .map(|i| match i % 3 {
+                0 => Request::boolean(stream.texts[i % stream.texts.len()].clone()),
+                1 => Request::count(stream.texts[i % stream.texts.len()].clone()),
+                _ => Request::enumerate(stream.texts[i % stream.texts.len()].clone()),
+            })
+            .collect();
+        for resp in svc.execute_batch(&reqs) {
+            match resp {
+                Ok(_) => answered += 1,
+                Err(service::ServiceError::Budget(_)) => tripped += 1,
+                Err(service::ServiceError::Overloaded { .. }) => shed += 1,
+                Err(other) => panic!("{id}: untyped degradation: {other:?}"),
+            }
+        }
+    }
+    (answered, tripped, shed)
+}
+
+/// Serialise a run as `bench-service/3` JSON (hand-rolled like the other
 /// baselines — the workspace builds offline):
 ///
 /// ```json
 /// {
-///   "schema": "bench-service/2", "label": "...",
+///   "schema": "bench-service/3", "label": "...",
 ///   "mode": "smoke" | "full", "requests_per_stream": n,
 ///   "entries": {
 ///     "<tier/case>": {
 ///       "working_set": n, "requests": n,
 ///       "cold_median_ns": n, "hot_median_ns": n, "speedup": x.y,
-///       "hot_sharded_median_ns": n,
+///       "hot_sharded_median_ns": n, "hot_governed_median_ns": n,
 ///       "mixed_median_ns": n, "batch_ns": n, "batch_requests": n,
 ///       "plan_hits": n, "plan_misses": n, "decomp_misses": n
 ///     }
@@ -369,13 +456,16 @@ pub fn run(cfg: &ServeConfig) -> Vec<ServeEntry> {
 ///
 /// `speedup` is `cold_median_ns / hot_median_ns` — the per-query factor
 /// the plan cache saves on a repeated (or α-equivalent) query.
-/// `bench-service/2` adds `hot_sharded_median_ns` (the hot replay with
-/// intra-query sharding forced to 2 shards); `/1` runs lack that field
-/// but are otherwise identical.
+/// `bench-service/2` added `hot_sharded_median_ns` (the hot replay with
+/// intra-query sharding forced to 2 shards); `/3` adds
+/// `hot_governed_median_ns` (the hot replay with a never-tripping budget
+/// polled on every kernel chunk — its gap over `hot_median_ns` is the
+/// governance overhead). Earlier runs lack the newer fields but are
+/// otherwise identical.
 pub fn to_json(label: &str, mode: &str, cfg: &ServeConfig, entries: &[ServeEntry]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    writeln!(out, "  \"schema\": \"bench-service/2\",").unwrap();
+    writeln!(out, "  \"schema\": \"bench-service/3\",").unwrap();
     writeln!(out, "  \"label\": {},", json_string(label)).unwrap();
     writeln!(out, "  \"mode\": {},", json_string(mode)).unwrap();
     writeln!(out, "  \"requests_per_stream\": {},", cfg.requests).unwrap();
@@ -386,7 +476,7 @@ pub fn to_json(label: &str, mode: &str, cfg: &ServeConfig, entries: &[ServeEntry
             out,
             "    {}: {{\"working_set\": {}, \"requests\": {}, \
              \"cold_median_ns\": {}, \"hot_median_ns\": {}, \"speedup\": {:.1}, \
-             \"hot_sharded_median_ns\": {}, \
+             \"hot_sharded_median_ns\": {}, \"hot_governed_median_ns\": {}, \
              \"mixed_median_ns\": {}, \"batch_ns\": {}, \"batch_requests\": {}, \
              \"plan_hits\": {}, \"plan_misses\": {}, \"decomp_misses\": {}}}{}",
             json_string(&e.id),
@@ -396,6 +486,7 @@ pub fn to_json(label: &str, mode: &str, cfg: &ServeConfig, entries: &[ServeEntry
             e.hot_median_ns,
             e.speedup(),
             e.hot_sharded_median_ns,
+            e.hot_governed_median_ns,
             e.mixed_median_ns,
             e.batch_ns,
             e.batch_requests,
@@ -463,6 +554,7 @@ mod tests {
             cold_median_ns: 1000,
             hot_median_ns: 100,
             hot_sharded_median_ns: 120,
+            hot_governed_median_ns: 103,
             mixed_median_ns: 200,
             batch_ns: 300,
             batch_requests: 2,
@@ -471,9 +563,10 @@ mod tests {
             decomp_misses: 1,
         }];
         let j = to_json("t", "smoke", &cfg, &entries);
-        assert!(j.contains("\"schema\": \"bench-service/2\""));
+        assert!(j.contains("\"schema\": \"bench-service/3\""));
         assert!(j.contains("\"speedup\": 10.0"));
         assert!(j.contains("\"hot_sharded_median_ns\": 120"));
+        assert!(j.contains("\"hot_governed_median_ns\": 103"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 }

@@ -95,15 +95,29 @@ impl DecompCache {
         h: &Hypergraph,
         decompose: impl FnOnce(&Hypergraph) -> HypertreeDecomposition,
     ) -> Arc<HypertreeDecomposition> {
+        self.try_get_or_insert_with(h, |h| Ok::<_, std::convert::Infallible>(decompose(h)))
+            .unwrap_or_else(|e| match e {})
+    }
+
+    /// [`Self::get_or_insert_with`] with a *fallible* producer: an `Err`
+    /// propagates to the caller and nothing is inserted, so a failed
+    /// decomposition — a budget-tripped governed planning run, say — is
+    /// retried by the next request instead of poisoning the cache with a
+    /// partial result.
+    pub fn try_get_or_insert_with<E>(
+        &self,
+        h: &Hypergraph,
+        decompose: impl FnOnce(&Hypergraph) -> Result<HypertreeDecomposition, E>,
+    ) -> Result<Arc<HypertreeDecomposition>, E> {
         let key = Self::key_of(h);
         if let Some(hit) = self.map.lock().get(key.as_str()) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
+            return Ok(Arc::clone(hit));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let value = Arc::new(decompose(h));
+        let value = Arc::new(decompose(h)?);
         self.map.lock().insert(Arc::from(key), Arc::clone(&value));
-        value
+        Ok(value)
     }
 
     /// Cache hits so far.

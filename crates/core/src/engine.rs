@@ -38,6 +38,13 @@ use hypergraph::{
     VertexSet,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The candidate loop polls the clock once per this many steps when a
+/// deadline is set — `Instant::now()` per candidate would dominate the
+/// cheap set operations, while 256 candidates stay well under a
+/// millisecond on any instance the solver can touch at all.
+const DEADLINE_POLL_MASK: u64 = 255;
 
 /// One candidate-search engine for a fixed `(H, k, mode)` instance.
 pub(crate) struct SolverCore<'h> {
@@ -54,6 +61,11 @@ pub(crate) struct SolverCore<'h> {
     /// across scoped threads; ordering is relaxed — the budget is a fuel
     /// gauge, not a synchronisation point.
     step_limit: u64,
+    /// Optional wall-clock deadline: the same trip path as step
+    /// exhaustion ("cannot finish in budget" — the memo is tainted), but
+    /// driven by elapsed time instead of candidate count, polled every
+    /// [`DEADLINE_POLL_MASK`]` + 1` steps.
+    deadline: Option<Instant>,
     steps: AtomicU64,
     exhausted: AtomicBool,
 }
@@ -71,6 +83,7 @@ impl<'h> SolverCore<'h> {
             mode,
             pool_all,
             step_limit: u64::MAX,
+            deadline: None,
             steps: AtomicU64::new(0),
             exhausted: AtomicBool::new(false),
         }
@@ -83,6 +96,16 @@ impl<'h> SolverCore<'h> {
     /// discarded, never reused for a definitive answer.
     pub fn set_step_limit(&mut self, limit: u64) {
         self.step_limit = limit;
+    }
+
+    /// Give the search a wall-clock deadline: once it passes, searches
+    /// abort exactly like step exhaustion (`None` results,
+    /// [`Self::exhausted`] reports `true`, the memo is tainted). This is
+    /// the deadline-aware form of the candidate-step budget — callers
+    /// under a [`crate::budget::QueryBudget`] hand the solver its share of
+    /// the remaining time.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
     }
 
     /// Candidate steps spent so far. Only counted under a step limit;
@@ -102,12 +125,19 @@ impl<'h> SolverCore<'h> {
     /// `fetch_add` would tax it for a gauge nobody reads.
     #[inline]
     fn charge(&self) -> bool {
-        if self.step_limit == u64::MAX {
+        if self.step_limit == u64::MAX && self.deadline.is_none() {
             return true;
         }
-        if self.steps.fetch_add(1, Ordering::Relaxed) >= self.step_limit {
+        let n = self.steps.fetch_add(1, Ordering::Relaxed);
+        if n >= self.step_limit {
             self.exhausted.store(true, Ordering::Relaxed);
             return false;
+        }
+        if let Some(d) = self.deadline {
+            if n & DEADLINE_POLL_MASK == 0 && Instant::now() >= d {
+                self.exhausted.store(true, Ordering::Relaxed);
+                return false;
+            }
         }
         true
     }

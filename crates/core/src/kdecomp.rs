@@ -90,6 +90,17 @@ impl<'h> Solver<'h> {
         solver
     }
 
+    /// Additionally bound the search by a wall-clock deadline: once it
+    /// passes, the search aborts exactly like step exhaustion
+    /// ([`Self::decide_bounded`] returns `None`, the memo is tainted).
+    /// This is how a [`crate::budget::QueryBudget`] deadline reaches the
+    /// exact search — the caller hands it a *share* of the remaining time
+    /// so a slow exact search degrades to the heuristic tier instead of
+    /// eating the whole request budget.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.core.set_deadline(deadline);
+    }
+
     /// Decide `hw(H) ≤ k` within the step budget: `Some(verdict)` when the
     /// search completed, `None` when the budget ran out first (the verdict
     /// is then unknown — crucially *not* "no").
@@ -378,5 +389,22 @@ mod tests {
         assert_eq!(hd.validate(&h), Ok(()));
         let mut s = Solver::with_budget(&h, 1, CandidateMode::Pruned, 1_000_000);
         assert_eq!(s.decide_bounded(), Some(false));
+    }
+
+    #[test]
+    fn an_elapsed_deadline_exhausts_like_a_spent_budget() {
+        let h = q5();
+        let mut s = Solver::with_budget(&h, 2, CandidateMode::Pruned, u64::MAX);
+        s.set_deadline(Some(std::time::Instant::now()));
+        assert_eq!(s.decide_bounded(), None, "verdict is unknown, not 'no'");
+        assert!(s.budget_exhausted());
+        assert!(s.decompose().is_none());
+        // A far-away deadline leaves the verdict untouched.
+        let mut s = Solver::with_budget(&h, 2, CandidateMode::Pruned, u64::MAX);
+        s.set_deadline(Some(
+            std::time::Instant::now() + std::time::Duration::from_secs(3600),
+        ));
+        assert_eq!(s.decide_bounded(), Some(true));
+        assert!(!s.budget_exhausted());
     }
 }

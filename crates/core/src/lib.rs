@@ -39,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod cache;
 pub mod datalog;
 pub mod dot;
@@ -53,6 +54,7 @@ pub mod querydecomp;
 pub mod subsets;
 pub mod theorem45;
 
+pub use budget::{QueryBudget, QueryError};
 pub use cache::DecompCache;
 pub use hypertree::{HdViolation, HypertreeDecomposition, ValidityMode};
 pub use kdecomp::{CandidateMode, Solver};

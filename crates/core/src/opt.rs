@@ -104,6 +104,22 @@ pub fn hypertree_width_budgeted(
     window: RangeInclusive<usize>,
     steps_per_level: u64,
 ) -> BudgetedWidth {
+    hypertree_width_deadlined(h, mode, window, steps_per_level, None)
+}
+
+/// [`hypertree_width_budgeted`] with an additional wall-clock deadline
+/// shared by *all* levels: when it passes mid-search, the current level
+/// reports [`BudgetedWidth::Exhausted`] exactly as a spent step budget
+/// would. This is the deadline-aware form the resource-governance layer
+/// uses — a `QueryBudget` deadline (or a share of it) caps the exact
+/// search without changing its step semantics.
+pub fn hypertree_width_deadlined(
+    h: &Hypergraph,
+    mode: CandidateMode,
+    window: RangeInclusive<usize>,
+    steps_per_level: u64,
+    deadline: Option<std::time::Instant>,
+) -> BudgetedWidth {
     let m = nonempty_edge_count(h);
     if m == 0 {
         return BudgetedWidth::Exact(0);
@@ -112,6 +128,7 @@ pub fn hypertree_width_budgeted(
     let hi = (*window.end()).min(m);
     for k in lo..=hi {
         let mut solver = Solver::with_budget(h, k, mode, steps_per_level);
+        solver.set_deadline(deadline);
         match solver.decide_bounded() {
             Some(true) => return BudgetedWidth::Exact(k),
             Some(false) => continue,
@@ -329,6 +346,32 @@ mod tests {
             }
             other => panic!("expected exhaustion, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn deadlined_width_trips_on_an_elapsed_deadline_only() {
+        use std::time::{Duration, Instant};
+        let triangle = Hypergraph::from_edge_lists(3, &[&[0, 1], &[1, 2], &[0, 2]]);
+        match hypertree_width_deadlined(
+            &triangle,
+            CandidateMode::Pruned,
+            1..=3,
+            u64::MAX,
+            Some(Instant::now()),
+        ) {
+            BudgetedWidth::Exhausted { at_k, .. } => assert_eq!(at_k, 1),
+            other => panic!("expected deadline exhaustion, got {other:?}"),
+        }
+        assert_eq!(
+            hypertree_width_deadlined(
+                &triangle,
+                CandidateMode::Pruned,
+                1..=3,
+                u64::MAX,
+                Some(Instant::now() + Duration::from_secs(3600)),
+            ),
+            BudgetedWidth::Exact(2)
+        );
     }
 
     #[test]

@@ -21,7 +21,8 @@ pub struct BoundAtom {
     pub rel: Relation,
 }
 
-/// Errors surfaced while binding atoms to relations.
+/// Errors surfaced while binding atoms to relations or running a
+/// governed evaluation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EvalError {
     /// The database relation has a different arity than the atom.
@@ -33,6 +34,13 @@ pub enum EvalError {
         /// Arity of the stored relation.
         relation_arity: usize,
     },
+    /// A [`hypertree_core::QueryBudget`] tripped mid-run (deadline,
+    /// memory quota, or cancellation). Governed runs unwind with this
+    /// without leaving a torn relation behind: every metered kernel is
+    /// individually abort-safe (see `relation::meter`), and the pipeline
+    /// only ever mutates its own bound copies — the source
+    /// [`Database`] is never touched by a run, tripped or not.
+    Budget(hypertree_core::QueryError),
 }
 
 impl fmt::Display for EvalError {
@@ -46,11 +54,18 @@ impl fmt::Display for EvalError {
                 f,
                 "atom over '{predicate}' has arity {atom_arity} but the relation has arity {relation_arity}"
             ),
+            EvalError::Budget(e) => write!(f, "budget tripped: {e}"),
         }
     }
 }
 
 impl std::error::Error for EvalError {}
+
+impl From<hypertree_core::QueryError> for EvalError {
+    fn from(e: hypertree_core::QueryError) -> Self {
+        EvalError::Budget(e)
+    }
+}
 
 /// Bind atom `i` of `q` against `db`. A missing relation binds to the
 /// empty relation (the query is then unsatisfiable through this atom),

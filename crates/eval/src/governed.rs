@@ -1,0 +1,565 @@
+//! Budget-governed evaluation: every entry point of the pipeline, run
+//! under a [`QueryBudget`] that is polled cooperatively at chunk
+//! granularity.
+//!
+//! This module is the bridge between the two halves of the governance
+//! stack, which cannot see each other directly:
+//!
+//! * `hypertree_core::budget` defines [`QueryBudget`] / [`QueryError`]
+//!   but sits *above* the relational kernels in the crate order;
+//! * `relation::meter` defines the [`CostMeter`] hook the kernels poll
+//!   but knows nothing about budgets.
+//!
+//! The (crate-internal) `BudgetMeter` adapts one to the other, and the
+//! `*_governed` methods
+//! on [`Pipeline`] / [`crate::Strategy`] thread it through every
+//! long-running loop: semijoin sweeps, the enumerate join phase, the
+//! counting DP, and (via [`crate::reduction::reduce_governed`]) the
+//! Lemma 4.6 node joins. Between node steps the budget is checked
+//! directly, so even a pipeline whose individual steps are small cannot
+//! overrun a deadline by more than one step.
+//!
+//! **Degradation ladder for `enumerate`.** A deadline or cancellation
+//! trip always unwinds with an error — a caller out of time has no use
+//! for partial rows. A *memory* trip during the output-producing join
+//! phase instead degrades: the join keeps the prefix it already built
+//! (a sound subset of the answers — joins and projections are monotone)
+//! and the run completes with `truncated == true`, ignoring further
+//! memory charges for the now-bounded leftover work. Memory trips in the
+//! reduce/semijoin phases, or in `boolean`/`count` runs (whose outputs
+//! are scalars that must be exact), stay hard errors.
+
+use crate::binding::EvalError;
+use crate::pipeline::{pair_mut, saturating_sum, var_pairs, Pipeline};
+use crate::sharded::ShardConfig;
+use hypergraph::{Ix, VertexId};
+use hypertree_core::{QueryBudget, QueryError};
+use relation::meter::{CostMeter, Trip};
+use relation::{ops, shard, Relation};
+
+/// [`QueryBudget`] seen through the kernels' [`CostMeter`] hook.
+///
+/// `tick` maps deadline/cancellation onto [`Trip`]; `charge_bytes`
+/// accounts into the budget's byte gauge and trips its quota — unless
+/// `enforce_memory` is off, which the join phase uses after a truncation
+/// (the quota has by then already tripped once; the remaining work is
+/// bounded by the truncated prefix and still deadline-checked).
+pub(crate) struct BudgetMeter<'a> {
+    budget: &'a QueryBudget,
+    phase: &'static str,
+    enforce_memory: bool,
+}
+
+impl<'a> BudgetMeter<'a> {
+    pub(crate) fn new(budget: &'a QueryBudget, phase: &'static str) -> Self {
+        BudgetMeter {
+            budget,
+            phase,
+            enforce_memory: true,
+        }
+    }
+
+    fn unenforced(budget: &'a QueryBudget, phase: &'static str) -> Self {
+        BudgetMeter {
+            budget,
+            phase,
+            enforce_memory: false,
+        }
+    }
+}
+
+impl CostMeter for BudgetMeter<'_> {
+    #[inline]
+    fn tick(&self, _units: u64) -> Result<(), Trip> {
+        match self.budget.check(self.phase) {
+            Ok(()) => Ok(()),
+            Err(QueryError::Cancelled) => Err(Trip::Cancelled),
+            Err(_) => Err(Trip::Deadline),
+        }
+    }
+
+    #[inline]
+    fn charge_bytes(&self, bytes: u64) -> Result<(), Trip> {
+        match self.budget.charge_bytes(bytes) {
+            Ok(()) => Ok(()),
+            Err(QueryError::MemoryBudgetExceeded { bytes }) if self.enforce_memory => {
+                Err(Trip::Memory { bytes })
+            }
+            Err(_) => Ok(()),
+        }
+    }
+}
+
+/// Map a kernel [`Trip`] back onto the typed error taxonomy, restoring
+/// the phase context the meter hop dropped.
+pub(crate) fn trip_to_error(trip: Trip, phase: &'static str) -> QueryError {
+    match trip {
+        Trip::Deadline => QueryError::DeadlineExceeded { phase },
+        Trip::Memory { bytes } => QueryError::MemoryBudgetExceeded { bytes },
+        Trip::Cancelled => QueryError::Cancelled,
+    }
+}
+
+impl Pipeline {
+    /// One governed edge of a semijoin sweep, sharded when large enough
+    /// under `cfg` (mirrors the ungoverned `semijoin_step`).
+    fn semijoin_step_governed(
+        left: &mut Relation,
+        left_cols: &[usize],
+        right: &Relation,
+        right_cols: &[usize],
+        cfg: &ShardConfig,
+        shards: usize,
+        meter: &BudgetMeter<'_>,
+    ) -> Result<(), Trip> {
+        if cfg.step_shards(shards, left.len(), right.len()) {
+            shard::retain_semijoin_cols_sharded_governed(
+                left, left_cols, right, right_cols, shards, meter,
+            )
+        } else {
+            left.retain_semijoin_cols_governed(left_cols, right, right_cols, meter)
+        }
+    }
+
+    /// [`Pipeline::boolean`] / [`Pipeline::boolean_sharded`] under a
+    /// budget: the budget is checked before every edge and polled inside
+    /// each semijoin at chunk granularity. Sequential when
+    /// `cfg.is_sequential()`, sharded otherwise — same answer either way.
+    pub fn boolean_governed(
+        &self,
+        rels: &mut [Relation],
+        cfg: &ShardConfig,
+        budget: &QueryBudget,
+    ) -> Result<bool, QueryError> {
+        const PHASE: &str = "semijoin";
+        assert_eq!(rels.len(), self.tree.len(), "one relation per node");
+        let shards = cfg.effective_shards();
+        let meter = BudgetMeter::new(budget, PHASE);
+        for &n in &self.post {
+            if let Some(p) = self.tree.parent(n) {
+                budget.check(PHASE)?;
+                let (parent, child) = pair_mut(rels, p.index(), n.index());
+                Self::semijoin_step_governed(
+                    parent,
+                    &self.parent_cols[n.index()],
+                    child,
+                    &self.child_cols[n.index()],
+                    cfg,
+                    shards,
+                    &meter,
+                )
+                .map_err(|t| trip_to_error(t, PHASE))?;
+                if parent.is_empty() {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(!rels[self.tree.root().index()].is_empty())
+    }
+
+    /// [`Pipeline::full_reduce`] / [`Pipeline::full_reduce_sharded`]
+    /// under a budget; same per-edge checking as
+    /// [`Pipeline::boolean_governed`].
+    pub fn full_reduce_governed(
+        &self,
+        rels: &mut [Relation],
+        cfg: &ShardConfig,
+        budget: &QueryBudget,
+    ) -> Result<(), QueryError> {
+        const PHASE: &str = "semijoin";
+        assert_eq!(rels.len(), self.tree.len(), "one relation per node");
+        let shards = cfg.effective_shards();
+        let meter = BudgetMeter::new(budget, PHASE);
+        for &n in &self.post {
+            if let Some(p) = self.tree.parent(n) {
+                budget.check(PHASE)?;
+                let (parent, child) = pair_mut(rels, p.index(), n.index());
+                Self::semijoin_step_governed(
+                    parent,
+                    &self.parent_cols[n.index()],
+                    child,
+                    &self.child_cols[n.index()],
+                    cfg,
+                    shards,
+                    &meter,
+                )
+                .map_err(|t| trip_to_error(t, PHASE))?;
+            }
+        }
+        for &n in &self.pre {
+            if let Some(p) = self.tree.parent(n) {
+                budget.check(PHASE)?;
+                let (parent, child) = pair_mut(rels, p.index(), n.index());
+                Self::semijoin_step_governed(
+                    child,
+                    &self.child_cols[n.index()],
+                    parent,
+                    &self.parent_cols[n.index()],
+                    cfg,
+                    shards,
+                    &meter,
+                )
+                .map_err(|t| trip_to_error(t, PHASE))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Pipeline::enumerate`] / [`Pipeline::enumerate_sharded`] under a
+    /// budget. Returns `(answers, truncated)`: `truncated == true` means
+    /// the byte quota tripped during the join phase and the rows are a
+    /// sound subset of the full answer (see the module docs for the
+    /// degradation ladder). Deadline and cancellation trips error.
+    pub fn enumerate_governed(
+        &self,
+        rels: &mut [Relation],
+        output: &[VertexId],
+        cfg: &ShardConfig,
+        budget: &QueryBudget,
+    ) -> Result<(Relation, bool), QueryError> {
+        self.full_reduce_governed(rels, cfg, budget)?;
+        self.join_phase_governed(rels, output, budget)
+    }
+
+    /// The governed join/projection phase of `enumerate`. Runs the joins
+    /// sequentially — a truncated sharded join would cut rows at
+    /// arbitrary per-chunk positions, while the sequential kernel
+    /// truncates to a clean prefix — over relations the (sharded,
+    /// governed) full reduction has already filtered.
+    fn join_phase_governed(
+        &self,
+        rels: &mut [Relation],
+        output: &[VertexId],
+        budget: &QueryBudget,
+    ) -> Result<(Relation, bool), QueryError> {
+        const PHASE: &str = "join";
+        let mut truncated = false;
+        let mut work: Vec<(Vec<VertexId>, Relation)> = self
+            .vars
+            .iter()
+            .cloned()
+            .zip(rels.iter_mut().map(std::mem::take))
+            .collect();
+
+        for &n in &self.post {
+            budget.check(PHASE)?;
+            let (mut vars, mut rel) = std::mem::take(&mut work[n.index()]);
+            for &c in self.tree.children(n) {
+                let (cvars, crel) = std::mem::take(&mut work[c.index()]);
+                let pairs = var_pairs(&vars, &cvars);
+                let keep: Vec<usize> = (0..cvars.len())
+                    .filter(|&j| !vars.contains(&cvars[j]))
+                    .collect();
+                let meter = if truncated {
+                    BudgetMeter::unenforced(budget, PHASE)
+                } else {
+                    BudgetMeter::new(budget, PHASE)
+                };
+                let (joined, t) = ops::join_governed(&rel, &crel, &pairs, &keep, &meter, true)
+                    .map_err(|t| trip_to_error(t, PHASE))?;
+                truncated |= t;
+                rel = joined;
+                for j in keep {
+                    vars.push(cvars[j]);
+                }
+            }
+            let parent_vars: &[VertexId] = match self.tree.parent(n) {
+                Some(p) => &self.vars[p.index()],
+                None => &[],
+            };
+            let keep_cols: Vec<usize> = (0..vars.len())
+                .filter(|&i| output.contains(&vars[i]) || parent_vars.contains(&vars[i]))
+                .collect();
+            let projected_vars: Vec<VertexId> = keep_cols.iter().map(|&i| vars[i]).collect();
+            // Projections only shrink; memory charges are advisory once
+            // truncation has started, and always accounted.
+            let meter = if truncated {
+                BudgetMeter::unenforced(budget, PHASE)
+            } else {
+                BudgetMeter::new(budget, PHASE)
+            };
+            let projected = ops::project_governed(&rel, &keep_cols, &meter)
+                .map_err(|t| trip_to_error(t, PHASE))?;
+            work[n.index()] = (projected_vars, projected);
+        }
+
+        let (vars, rel) = &work[self.tree.root().index()];
+        if output.iter().any(|v| !vars.contains(v)) {
+            debug_assert!(rel.is_empty());
+            return Ok((Relation::new(output.len()), truncated));
+        }
+        let cols: Vec<usize> = output
+            .iter()
+            .map(|v| vars.iter().position(|w| w == v).expect("checked above"))
+            .collect();
+        let meter = if truncated {
+            BudgetMeter::unenforced(budget, PHASE)
+        } else {
+            BudgetMeter::new(budget, PHASE)
+        };
+        let out = ops::project_governed(rel, &cols, &meter).map_err(|t| trip_to_error(t, PHASE))?;
+        Ok((out, truncated))
+    }
+
+    /// [`Pipeline::count`] / [`Pipeline::count_sharded`] under a budget:
+    /// checked before every DP edge, with the per-edge scratch (group
+    /// sums, factor probes, tuple counts) charged against the byte
+    /// quota. A memory trip is a hard error — a truncated count would be
+    /// silently wrong, unlike a truncated enumeration.
+    pub fn count_governed(
+        &self,
+        rels: &[Relation],
+        cfg: &ShardConfig,
+        budget: &QueryBudget,
+    ) -> Result<u128, QueryError> {
+        const PHASE: &str = "count";
+        assert_eq!(rels.len(), self.tree.len(), "one relation per node");
+        budget.check(PHASE)?;
+        let cell = std::mem::size_of::<u128>() as u64;
+        budget.charge_bytes(rels.iter().map(|r| r.len() as u64 * cell).sum())?;
+        let shards = cfg.effective_shards();
+        let mut counts: Vec<Vec<u128>> = rels.iter().map(|r| vec![1u128; r.len()]).collect();
+        for &n in &self.post {
+            let Some(p) = self.tree.parent(n) else {
+                continue;
+            };
+            budget.check(PHASE)?;
+            // Upper bound on the edge's scratch: one sum per child group
+            // (≤ child rows) plus one factor per parent row.
+            budget.charge_bytes(
+                (rels[n.index()].len() as u64 + rels[p.index()].len() as u64) * cell,
+            )?;
+            self.count_edge(rels, &mut counts, n, p, cfg, shards);
+        }
+        Ok(saturating_sum(
+            counts[self.tree.root().index()].iter().copied(),
+        ))
+    }
+}
+
+impl crate::Strategy {
+    /// [`crate::Strategy::boolean_sharded`] under a budget (pass
+    /// [`ShardConfig::sequential`] for single-threaded execution).
+    pub fn boolean_governed(
+        &self,
+        q: &cq::ConjunctiveQuery,
+        db: &relation::Database,
+        cfg: &ShardConfig,
+        budget: &QueryBudget,
+    ) -> Result<bool, EvalError> {
+        budget.check("bind")?;
+        match self {
+            crate::Strategy::JoinTree(jt) => {
+                let bound = crate::bind_all(q, db)?;
+                if bound.is_empty() {
+                    return Ok(true); // empty body is vacuously true
+                }
+                let (pipeline, mut rels) = crate::pipeline_for(jt, bound);
+                Ok(pipeline.boolean_governed(&mut rels, cfg, budget)?)
+            }
+            crate::Strategy::Hypertree(hd) => {
+                let (pipeline, mut rels) =
+                    crate::reduction::reduce_governed(q, db, hd, cfg, budget)?.into_pipeline();
+                Ok(pipeline.boolean_governed(&mut rels, cfg, budget)?)
+            }
+        }
+    }
+
+    /// [`crate::Strategy::enumerate_sharded`] under a budget. Returns
+    /// `(answers, truncated)` — see [`Pipeline::enumerate_governed`] for
+    /// the truncation semantics.
+    pub fn enumerate_governed(
+        &self,
+        q: &cq::ConjunctiveQuery,
+        db: &relation::Database,
+        cfg: &ShardConfig,
+        budget: &QueryBudget,
+    ) -> Result<(Relation, bool), EvalError> {
+        budget.check("bind")?;
+        match self {
+            crate::Strategy::JoinTree(jt) => {
+                let bound = crate::bind_all(q, db)?;
+                if bound.is_empty() {
+                    let mut rel = Relation::new(0);
+                    rel.push_row(&[]);
+                    return Ok((rel, false));
+                }
+                let (pipeline, mut rels) = crate::pipeline_for(jt, bound);
+                Ok(pipeline.enumerate_governed(&mut rels, &q.head_vars(), cfg, budget)?)
+            }
+            crate::Strategy::Hypertree(hd) => {
+                let (pipeline, mut rels) =
+                    crate::reduction::reduce_governed(q, db, hd, cfg, budget)?.into_pipeline();
+                Ok(pipeline.enumerate_governed(&mut rels, &q.head_vars(), cfg, budget)?)
+            }
+        }
+    }
+
+    /// Governed counting (cf. [`crate::counting::count_with_sharded`]).
+    pub fn count_governed(
+        &self,
+        q: &cq::ConjunctiveQuery,
+        db: &relation::Database,
+        cfg: &ShardConfig,
+        budget: &QueryBudget,
+    ) -> Result<u128, EvalError> {
+        budget.check("bind")?;
+        match self {
+            crate::Strategy::JoinTree(jt) => {
+                let bound = crate::bind_all(q, db)?;
+                if bound.is_empty() {
+                    return Ok(1); // the empty substitution
+                }
+                let (pipeline, rels) = crate::pipeline_for(jt, bound);
+                Ok(pipeline.count_governed(&rels, cfg, budget)?)
+            }
+            crate::Strategy::Hypertree(hd) => {
+                let (pipeline, rels) =
+                    crate::reduction::reduce_governed(q, db, hd, cfg, budget)?.into_pipeline();
+                Ok(pipeline.count_governed(&rels, cfg, budget)?)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Strategy;
+    use cq::parse_query;
+    use relation::Database;
+    use std::time::Duration;
+
+    fn star_db(n: u64) -> Database {
+        let mut db = Database::new();
+        for i in 0..n {
+            db.add_fact("hub", &[i % 40, i % 7, i % 5]);
+            db.add_fact("p", &[i % 9]);
+            db.add_fact("p2", &[i % 7]);
+            db.add_fact("p3", &[i % 4]);
+        }
+        db
+    }
+
+    #[test]
+    fn unlimited_budget_matches_ungoverned_answers() {
+        let q = parse_query("ans(A,B) :- hub(A,B,C), p(A), p2(B), p3(C).").unwrap();
+        let db = star_db(300);
+        let budget = QueryBudget::unlimited();
+        for cfg in [
+            ShardConfig::sequential(),
+            ShardConfig {
+                shards: 3,
+                min_rows: 0,
+            },
+        ] {
+            let plan = Strategy::plan(&q);
+            assert_eq!(
+                plan.boolean_governed(&q, &db, &cfg, &budget).unwrap(),
+                plan.boolean(&q, &db).unwrap()
+            );
+            let (rows, truncated) = plan.enumerate_governed(&q, &db, &cfg, &budget).unwrap();
+            assert!(!truncated);
+            let plain = plan.enumerate(&q, &db).unwrap();
+            assert_eq!(rows, plain);
+            assert_eq!(
+                rows.rows().collect::<Vec<_>>(),
+                plain.rows().collect::<Vec<_>>()
+            );
+            assert_eq!(
+                plan.count_governed(&q, &db, &cfg, &budget).unwrap(),
+                crate::counting::count_with(&plan, &q, &db).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn governed_cyclic_queries_agree_too() {
+        let q = parse_query("ans(X,Y,Z) :- r(X,Y), s(Y,Z), t(Z,X).").unwrap();
+        let mut db = Database::new();
+        for i in 0..30u64 {
+            db.add_fact("r", &[i % 6, (i + 1) % 6]);
+            db.add_fact("s", &[(i + 1) % 6, (i + 2) % 6]);
+            db.add_fact("t", &[(i + 2) % 6, i % 6]);
+        }
+        let plan = Strategy::plan(&q);
+        assert!(matches!(plan, Strategy::Hypertree(_)));
+        let budget = QueryBudget::unlimited();
+        let cfg = ShardConfig::sequential();
+        assert_eq!(
+            plan.boolean_governed(&q, &db, &cfg, &budget).unwrap(),
+            plan.boolean(&q, &db).unwrap()
+        );
+        let (rows, truncated) = plan.enumerate_governed(&q, &db, &cfg, &budget).unwrap();
+        assert!(!truncated);
+        assert_eq!(rows, plan.enumerate(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn an_elapsed_deadline_errors_with_the_tripping_phase() {
+        let q = parse_query("ans :- hub(A,B,C), p(A), p2(B), p3(C).").unwrap();
+        let db = star_db(200);
+        let budget = QueryBudget::unlimited().with_deadline(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(2));
+        let plan = Strategy::plan(&q);
+        let err = plan
+            .boolean_governed(&q, &db, &ShardConfig::sequential(), &budget)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EvalError::Budget(QueryError::DeadlineExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn cancellation_unwinds_as_cancelled() {
+        let q = parse_query("ans :- hub(A,B,C), p(A), p2(B), p3(C).").unwrap();
+        let db = star_db(200);
+        let budget = QueryBudget::unlimited();
+        budget.cancel();
+        let plan = Strategy::plan(&q);
+        let err = plan
+            .boolean_governed(&q, &db, &ShardConfig::sequential(), &budget)
+            .unwrap_err();
+        assert_eq!(err, EvalError::Budget(QueryError::Cancelled));
+    }
+
+    #[test]
+    fn enumerate_degrades_to_a_truncated_sound_subset_on_memory_trips() {
+        // A fat cartesian-ish output: r(A) × s(B) through a shared hub.
+        let mut b = cq::ConjunctiveQuery::builder();
+        b.atom_vars("r", &["H", "A"]);
+        b.atom_vars("s", &["H", "B"]);
+        b.head("ans", &["A", "B"]);
+        let q = b.build();
+        let mut db = Database::new();
+        for i in 0..200u64 {
+            db.add_fact("r", &[1, i]);
+            db.add_fact("s", &[1, i]);
+        }
+        let plan = Strategy::plan(&q);
+        let full = plan.enumerate(&q, &db).unwrap();
+        assert_eq!(full.len(), 40_000);
+        // A quota big enough for the inputs but not the 40k-row output.
+        let budget = QueryBudget::unlimited().with_byte_quota(150 * 1024);
+        let (partial, truncated) = plan
+            .enumerate_governed(&q, &db, &ShardConfig::sequential(), &budget)
+            .unwrap();
+        assert!(truncated, "the quota must trip");
+        assert!(partial.len() < full.len());
+        // Soundness: every returned row is a real answer.
+        for row in partial.rows() {
+            assert!(full.contains_row(row), "unsound truncated row {row:?}");
+        }
+        // Counting under the same quota is a hard error, never a wrong
+        // number.
+        let budget = QueryBudget::unlimited().with_byte_quota(16);
+        let err = plan
+            .count_governed(&q, &db, &ShardConfig::sequential(), &budget)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EvalError::Budget(QueryError::MemoryBudgetExceeded { .. })
+        ));
+    }
+}

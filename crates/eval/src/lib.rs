@@ -34,6 +34,7 @@
 pub mod binding;
 pub mod containment;
 pub mod counting;
+pub mod governed;
 pub mod naive;
 pub mod pipeline;
 pub mod reduction;

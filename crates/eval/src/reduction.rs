@@ -78,6 +78,59 @@ pub fn reduce_sharded(
     })
 }
 
+/// [`reduce_sharded`] under a [`hypertree_core::QueryBudget`]: every
+/// accumulator join is
+/// metered (deadline polls at chunk granularity, intermediate bytes
+/// charged at the exact-size reserve points), sharded when large enough
+/// under `cfg`.
+///
+/// A trip unwinds the whole construction with the typed error — there is
+/// *no* truncating mode here. The node relations are inputs to later
+/// semijoin and join phases, and a silently shrunken node relation would
+/// drop answers without any marker; graceful degradation belongs to the
+/// output-producing join phase only (see
+/// [`crate::Pipeline::enumerate_governed`]). After the first trip the
+/// remaining node joins run on empty stand-ins, so unwinding costs O(tree)
+/// rather than finishing the expensive construction.
+pub fn reduce_governed(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    hd: &HypertreeDecomposition,
+    cfg: &crate::ShardConfig,
+    budget: &hypertree_core::QueryBudget,
+) -> Result<ReducedInstance, EvalError> {
+    const PHASE: &str = "reduce";
+    budget.check(PHASE)?;
+    let shards = cfg.effective_shards();
+    let min_rows = cfg.min_rows;
+    let meter = crate::governed::BudgetMeter::new(budget, PHASE);
+    // `reduce_with`'s join operator is infallible, so the first trip is
+    // parked here and every later join degenerates to an empty relation
+    // of the right arity (cheap, and discarded on unwind).
+    let tripped: std::cell::RefCell<Option<relation::meter::Trip>> = std::cell::RefCell::new(None);
+    let reduced = reduce_with(q, db, hd, &|l, r, on, keep| {
+        if tripped.borrow().is_some() {
+            return Relation::new(l.arity() + keep.len());
+        }
+        let result = if shards > 1 && l.len().max(r.len()) >= min_rows {
+            relation::shard::join_sharded_governed(l, r, on, keep, shards, &meter)
+        } else {
+            ops::join_governed(l, r, on, keep, &meter, false).map(|(out, _)| out)
+        };
+        match result {
+            Ok(out) => out,
+            Err(t) => {
+                *tripped.borrow_mut() = Some(t);
+                Relation::new(l.arity() + keep.len())
+            }
+        }
+    })?;
+    if let Some(t) = tripped.into_inner() {
+        return Err(crate::governed::trip_to_error(t, PHASE).into());
+    }
+    Ok(reduced)
+}
+
 /// The construction body, with the accumulator join operator abstracted
 /// out (sequential vs. hash-sharded).
 fn reduce_with(

@@ -88,7 +88,7 @@ impl ShardConfig {
 
     /// `true` iff a step over relations of `left` and `right` rows should
     /// shard under this configuration.
-    fn step_shards(&self, shards: usize, left: usize, right: usize) -> bool {
+    pub(crate) fn step_shards(&self, shards: usize, left: usize, right: usize) -> bool {
         shards > 1 && left.max(right) >= self.min_rows
     }
 }
@@ -210,62 +210,76 @@ impl Pipeline {
             let Some(p) = self.tree.parent(n) else {
                 continue;
             };
-            let child = &rels[n.index()];
-            let parent = &rels[p.index()];
-            let index = child.index_on(&self.child_cols[n.index()]);
-            let child_counts = &counts[n.index()];
-            // Group sums: each group is independent, so groups split into
-            // contiguous id ranges across workers.
-            let sums: Vec<u128> = if child.len() >= cfg.min_rows {
-                let ranges = chunk_ranges(index.num_keys(), shards);
-                run_parallel(&ranges, shards, |_, range| {
-                    range
-                        .clone()
-                        .map(|g| {
-                            saturating_sum(index.group(g).iter().map(|&i| child_counts[i as usize]))
-                        })
-                        .collect::<Vec<u128>>()
-                })
-                .into_iter()
-                .flatten()
-                .collect()
-            } else {
-                (0..index.num_keys())
-                    .map(|g| {
-                        saturating_sum(index.group(g).iter().map(|&i| child_counts[i as usize]))
-                    })
-                    .collect()
-            };
-            // Factor probes: read-only over the parent rows, chunked.
-            let parent_cols = &self.parent_cols[n.index()];
-            let factors: Vec<u128> = if parent.len() >= cfg.min_rows {
-                let ranges = chunk_ranges(parent.len(), shards);
-                run_parallel(&ranges, shards, |_, range| {
-                    range
-                        .clone()
-                        .map(|i| {
-                            index
-                                .probe_gid(parent.row(i), parent_cols)
-                                .map_or(0, |g| sums[g])
-                        })
-                        .collect::<Vec<u128>>()
-                })
-                .into_iter()
-                .flatten()
-                .collect()
-            } else {
-                parent
-                    .rows()
-                    .map(|row| index.probe_gid(row, parent_cols).map_or(0, |g| sums[g]))
-                    .collect()
-            };
-            let parent_counts = &mut counts[p.index()];
-            for (c, f) in parent_counts.iter_mut().zip(factors) {
-                *c = c.saturating_mul(f);
-            }
+            self.count_edge(rels, &mut counts, n, p, cfg, shards);
         }
 
         saturating_sum(counts[self.tree.root().index()].iter().copied())
+    }
+
+    /// One edge of the counting DP (group sums on the child, factor
+    /// probes on the parent), chunk-parallel when large enough under
+    /// `cfg`. Shared by [`Pipeline::count_sharded`] and the governed
+    /// counting run in [`crate::governed`].
+    pub(crate) fn count_edge(
+        &self,
+        rels: &[Relation],
+        counts: &mut [Vec<u128>],
+        n: hypergraph::NodeId,
+        p: hypergraph::NodeId,
+        cfg: &ShardConfig,
+        shards: usize,
+    ) {
+        let child = &rels[n.index()];
+        let parent = &rels[p.index()];
+        let index = child.index_on(&self.child_cols[n.index()]);
+        let child_counts = &counts[n.index()];
+        // Group sums: each group is independent, so groups split into
+        // contiguous id ranges across workers.
+        let sums: Vec<u128> = if shards > 1 && child.len() >= cfg.min_rows {
+            let ranges = chunk_ranges(index.num_keys(), shards);
+            run_parallel(&ranges, shards, |_, range| {
+                range
+                    .clone()
+                    .map(|g| {
+                        saturating_sum(index.group(g).iter().map(|&i| child_counts[i as usize]))
+                    })
+                    .collect::<Vec<u128>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        } else {
+            (0..index.num_keys())
+                .map(|g| saturating_sum(index.group(g).iter().map(|&i| child_counts[i as usize])))
+                .collect()
+        };
+        // Factor probes: read-only over the parent rows, chunked.
+        let parent_cols = &self.parent_cols[n.index()];
+        let factors: Vec<u128> = if shards > 1 && parent.len() >= cfg.min_rows {
+            let ranges = chunk_ranges(parent.len(), shards);
+            run_parallel(&ranges, shards, |_, range| {
+                range
+                    .clone()
+                    .map(|i| {
+                        index
+                            .probe_gid(parent.row(i), parent_cols)
+                            .map_or(0, |g| sums[g])
+                    })
+                    .collect::<Vec<u128>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        } else {
+            parent
+                .rows()
+                .map(|row| index.probe_gid(row, parent_cols).map_or(0, |g| sums[g]))
+                .collect()
+        };
+        let parent_counts = &mut counts[p.index()];
+        for (c, f) in parent_counts.iter_mut().zip(factors) {
+            *c = c.saturating_mul(f);
+        }
     }
 }
 

@@ -33,7 +33,8 @@ pub use improve::improve_order;
 
 use hypergraph::{Hypergraph, VertexId};
 use hypertree_core::kdecomp::{CandidateMode, Solver};
-use hypertree_core::{opt, HypertreeDecomposition, ValidityMode};
+use hypertree_core::{opt, HypertreeDecomposition, QueryBudget, QueryError, ValidityMode};
+use std::time::Instant;
 
 /// The ordering heuristics this crate ships.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -132,15 +133,48 @@ pub struct AutoDecomposition {
 /// examinations per level. Small instances come back exact; large ones
 /// fall back to the validated heuristic witness instead of hanging.
 pub fn decompose_auto(h: &Hypergraph, exact_steps: u64) -> AutoDecomposition {
-    let ghd = best_decomposition(h);
+    decompose_auto_governed(h, exact_steps, None, &QueryBudget::unlimited())
+        .expect("an unlimited budget never trips")
+}
+
+/// [`decompose_auto`] under a [`QueryBudget`] — the planning tier of the
+/// degradation ladder.
+///
+/// The heuristic pass runs first and is polled between orderings: a
+/// budget that trips before *any* witness exists unwinds with the check's
+/// error (there is no plan to degrade to). Once the heuristic witness is
+/// in hand, the bounded exact search runs under the step budget *and* a
+/// wall-clock deadline — the earlier of `exact_deadline` (the search's
+/// *share* of the request deadline, chosen by the caller) and the
+/// budget's own deadline. An exact search that trips either bound falls
+/// back to the validated heuristic witness ([`Provenance::Heuristic`])
+/// instead of erroring; only cancellation aborts outright at that point.
+pub fn decompose_auto_governed(
+    h: &Hypergraph,
+    exact_steps: u64,
+    exact_deadline: Option<Instant>,
+    budget: &QueryBudget,
+) -> Result<AutoDecomposition, QueryError> {
+    const PHASE: &str = "plan";
+    let mut witnesses = Vec::with_capacity(ALL_ORDERINGS.len());
+    for &heur in &ALL_ORDERINGS {
+        budget.check(PHASE)?;
+        let order = elimination_order(h, heur);
+        witnesses.push(improve_order(h, &order, improve::DEFAULT_ROUNDS).0);
+    }
+    let ghd = witnesses
+        .into_iter()
+        .min_by_key(HypertreeDecomposition::width)
+        .expect("ALL_ORDERINGS is non-empty");
     debug_assert!(ghd.violations_with(h, ValidityMode::Generalized).is_empty());
+    budget.check(PHASE)?;
     let lb = opt::hypertree_width_lower_bound(h);
     if ghd.width() <= lb {
         // Nothing can be narrower; the witness is optimal as it stands.
-        return AutoDecomposition {
+        return Ok(AutoDecomposition {
             hd: ghd,
             provenance: Provenance::HeuristicOptimal,
-        };
+        });
     }
     // When the witness happens to satisfy the descendant condition too, it
     // is a full HD and `hw(h) ≤ width`: the last level the exact engine
@@ -152,36 +186,53 @@ pub fn decompose_auto(h: &Hypergraph, exact_steps: u64) -> AutoDecomposition {
     } else {
         ghd.width()
     };
+    let solver_deadline = match (exact_deadline, budget.deadline()) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
     for k in lb.max(1)..=hi {
+        match budget.check(PHASE) {
+            Ok(()) => {}
+            Err(QueryError::Cancelled) => return Err(QueryError::Cancelled),
+            // A witness exists: a passed deadline degrades to it rather
+            // than failing the request during planning.
+            Err(_) => {
+                return Ok(AutoDecomposition {
+                    hd: ghd,
+                    provenance: Provenance::Heuristic,
+                })
+            }
+        }
         let mut solver = Solver::with_budget(h, k, CandidateMode::Pruned, exact_steps);
+        solver.set_deadline(solver_deadline);
         match solver.decide_bounded() {
             Some(true) => {
                 let hd = solver
                     .decompose()
                     .expect("a positive level admits a decomposition");
-                return AutoDecomposition {
+                return Ok(AutoDecomposition {
                     hd,
                     provenance: Provenance::Exact,
-                };
+                });
             }
             Some(false) => continue,
             None => {
-                return AutoDecomposition {
+                return Ok(AutoDecomposition {
                     hd: ghd,
                     provenance: Provenance::Heuristic,
-                }
+                })
             }
         }
     }
     // Every smaller width refuted within budget.
-    AutoDecomposition {
+    Ok(AutoDecomposition {
         hd: ghd,
         provenance: if is_full_hd {
             Provenance::HeuristicOptimal
         } else {
             Provenance::Heuristic
         },
-    }
+    })
 }
 
 #[cfg(test)]
@@ -239,6 +290,41 @@ mod tests {
         assert_eq!(auto.provenance, Provenance::Heuristic);
         assert_eq!(auto.hd.validate_ghd(&h), Ok(()));
         assert!(auto.hd.width() >= 2);
+    }
+
+    #[test]
+    fn governed_planning_degrades_and_cancels() {
+        let q = workloads::families::grid(4, 4);
+        let h = q.hypergraph();
+        // Unlimited budget: identical to the ungoverned funnel.
+        let plain = decompose_auto(&h, 1);
+        let governed = decompose_auto_governed(&h, 1, None, &QueryBudget::unlimited()).unwrap();
+        assert_eq!(governed.provenance, plain.provenance);
+        assert_eq!(governed.hd.width(), plain.hd.width());
+        // An already-elapsed exact-search deadline: the heuristic witness
+        // still comes back, marked as such.
+        let auto = decompose_auto_governed(
+            &h,
+            u64::MAX,
+            Some(Instant::now()),
+            &QueryBudget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(auto.provenance, Provenance::Heuristic);
+        assert_eq!(auto.hd.validate_ghd(&h), Ok(()));
+        // A budget that trips before any witness exists is a hard error.
+        let b = QueryBudget::unlimited().with_deadline(std::time::Duration::ZERO);
+        assert_eq!(
+            decompose_auto_governed(&h, 1, None, &b).unwrap_err(),
+            QueryError::DeadlineExceeded { phase: "plan" }
+        );
+        // Cancellation aborts outright, witness or not.
+        let b = QueryBudget::unlimited();
+        b.cancel();
+        assert_eq!(
+            decompose_auto_governed(&h, 1, None, &b).unwrap_err(),
+            QueryError::Cancelled
+        );
     }
 
     #[test]

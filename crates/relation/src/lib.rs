@@ -28,6 +28,7 @@
 
 mod database;
 pub mod index;
+pub mod meter;
 pub mod ops;
 mod relation;
 pub mod shard;
@@ -35,4 +36,5 @@ pub mod stats;
 
 pub use database::{Database, Dictionary};
 pub use index::Index;
+pub use meter::{CostMeter, NoMeter, Trip, METER_CHUNK};
 pub use relation::{Relation, Value};

@@ -13,6 +13,7 @@
 //! ([`Relation::retain_semijoin`], [`Relation::retain_select`]), which the
 //! evaluation pipeline prefers.
 
+use crate::meter::{CostMeter, Trip, METER_CHUNK};
 use crate::relation::{Relation, Value};
 
 /// `π_cols(r)` with set semantics (duplicates removed). Columns may repeat
@@ -24,24 +25,7 @@ use crate::relation::{Relation, Value};
 /// deduplication — a permutation of a set is still a set. The Lemma 4.6
 /// reduction's final per-node projections are exactly such permutations.
 pub fn project(r: &Relation, cols: &[usize]) -> Relation {
-    if r.is_set() && cols.len() == r.arity() && is_permutation(cols) {
-        if cols.iter().enumerate().all(|(i, &c)| i == c) {
-            return r.clone();
-        }
-        let mut out = Relation::with_capacity(cols.len(), r.len());
-        for row in r.rows() {
-            out.extend_projected(row, cols);
-        }
-        out.set_flags(false, true);
-        return out;
-    }
-    let mut out = Relation::with_capacity(cols.len(), r.len());
-    let mut buf: Vec<Value> = Vec::with_capacity(cols.len());
-    for row in r.rows() {
-        buf.clear();
-        buf.extend(cols.iter().map(|&c| row[c]));
-        out.push_row(&buf);
-    }
+    let mut out = project_no_dedup(r, cols);
     out.dedup();
     out
 }
@@ -99,24 +83,7 @@ pub fn join(
         }
         return out;
     }
-    // Structural flags for the output. It is a set when both inputs are
-    // sets and the kept right columns, together with the join columns,
-    // cover every right column (two matching right rows then can only
-    // produce equal output rows by being equal themselves); it is
-    // additionally sorted for cartesian products of sorted sets that keep
-    // the right columns verbatim.
-    let mut covered = vec![false; right.arity()];
-    for &(_, rc) in on {
-        covered[rc] = true;
-    }
-    for &c in right_keep {
-        covered[c] = true;
-    }
-    let covers_right = covered.iter().all(|&b| b);
-    let distinct = left.is_set() && right.is_set() && covers_right;
-    let keep_identity =
-        right_keep.len() == right.arity() && right_keep.iter().enumerate().all(|(i, &c)| i == c);
-    let sorted = on.is_empty() && keep_identity && left.is_sorted_set() && right.is_sorted_set();
+    let (sorted, distinct) = join_output_flags(left, right, on, right_keep);
     if on.is_empty() {
         // Cartesian product: one conceptual group holding every right
         // row — no index, no hashing, exact-size output.
@@ -145,6 +112,192 @@ pub fn join(
         }
     }
     out.set_flags(sorted, distinct);
+    out
+}
+
+/// Structural flags `(sorted, distinct)` for the output of a join. The
+/// output is a set when both inputs are sets and the kept right columns,
+/// together with the join columns, cover every right column (two matching
+/// right rows then can only produce equal output rows by being equal
+/// themselves); it is additionally sorted for cartesian products of
+/// sorted sets that keep the right columns verbatim. Shared by
+/// [`join`], [`join_governed`] and the sharded kernel so the rule cannot
+/// drift between them.
+pub(crate) fn join_output_flags(
+    left: &Relation,
+    right: &Relation,
+    on: &[(usize, usize)],
+    right_keep: &[usize],
+) -> (bool, bool) {
+    let mut covered = vec![false; right.arity()];
+    for &(_, rc) in on {
+        covered[rc] = true;
+    }
+    for &c in right_keep {
+        covered[c] = true;
+    }
+    let covers_right = covered.iter().all(|&b| b);
+    let distinct = left.is_set() && right.is_set() && covers_right;
+    let keep_identity =
+        right_keep.len() == right.arity() && right_keep.iter().enumerate().all(|(i, &c)| i == c);
+    let sorted = on.is_empty() && keep_identity && left.is_sorted_set() && right.is_sorted_set();
+    (sorted, distinct)
+}
+
+/// [`join`] under a [`CostMeter`]: the probe and build loops poll
+/// `meter.tick` once per [`METER_CHUNK`] rows, and the output allocation
+/// is charged through `meter.charge_bytes` before it is made.
+///
+/// Returns `(output, truncated)`. With `truncate_on_memory == false` a
+/// memory trip aborts the join (`Err(Trip::Memory)`). With it `true`, the
+/// build charges its output in [`METER_CHUNK`]-row instalments and a
+/// memory trip stops the build instead: the rows already built are
+/// returned with `truncated == true`. A truncated output is a *prefix* of
+/// the full output, hence a sound subset — the degraded-enumeration mode
+/// of the governance ladder. Deadline and cancellation trips always
+/// abort; there is no useful partial answer to a caller that has run out
+/// of time.
+pub fn join_governed(
+    left: &Relation,
+    right: &Relation,
+    on: &[(usize, usize)],
+    right_keep: &[usize],
+    meter: &dyn CostMeter,
+    truncate_on_memory: bool,
+) -> Result<(Relation, bool), Trip> {
+    let mut out = Relation::new(left.arity() + right_keep.len());
+    if out.arity() == 0 {
+        meter.tick(1)?;
+        if !left.is_empty() && !right.is_empty() {
+            out.push_row(&[]);
+        }
+        return Ok((out, false));
+    }
+    let (sorted, distinct) = join_output_flags(left, right, on, right_keep);
+    let row_bytes = (out.arity() * std::mem::size_of::<Value>()) as u64;
+
+    // Probe pass: exact output size, polling per chunk of left rows.
+    let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+    let right_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+    let index = if on.is_empty() {
+        None
+    } else {
+        Some(right.index_on(&right_cols))
+    };
+    let mut out_rows = 0usize;
+    for (i, lrow) in left.rows().enumerate() {
+        if i.is_multiple_of(METER_CHUNK) {
+            meter.tick(METER_CHUNK.min(left.len() - i) as u64)?;
+        }
+        out_rows += match &index {
+            Some(index) => index.probe_rows(lrow, &left_cols).len(),
+            None => right.len(),
+        };
+    }
+
+    // Build pass. `matches` yields the right-row indices joining each left
+    // row; a cartesian product joins every right row.
+    let matches = |lrow: &[Value]| -> MatchIter<'_> {
+        match &index {
+            Some(index) => MatchIter::Probed(index.probe_rows(lrow, &left_cols).iter()),
+            None => MatchIter::All(0..right.len() as u32),
+        }
+    };
+    let mut truncated = false;
+    let mut built = 0usize;
+    // Rows granted by the meter so far; in non-truncating mode the whole
+    // output is charged (and reserved) up front, keeping the exact-size
+    // single allocation of the unmetered kernel.
+    let mut granted = 0usize;
+    if !truncate_on_memory {
+        meter.charge_bytes(out_rows as u64 * row_bytes)?;
+        out.reserve_rows(out_rows);
+        granted = out_rows;
+    }
+    'build: for lrow in left.rows() {
+        for ri in matches(lrow) {
+            if built == granted {
+                debug_assert!(truncate_on_memory, "up-front grant covers every row");
+                let step = METER_CHUNK.min(out_rows - built);
+                match meter.charge_bytes(step as u64 * row_bytes) {
+                    Ok(()) => {
+                        out.reserve_rows(step);
+                        granted += step;
+                    }
+                    Err(Trip::Memory { .. }) => {
+                        truncated = true;
+                        break 'build;
+                    }
+                    Err(trip) => return Err(trip),
+                }
+            }
+            if built.is_multiple_of(METER_CHUNK) {
+                meter.tick(METER_CHUNK.min(out_rows - built) as u64)?;
+            }
+            out.extend_joined(lrow, right.row(ri as usize), right_keep);
+            built += 1;
+        }
+    }
+    out.set_flags(sorted, distinct);
+    Ok((out, truncated))
+}
+
+enum MatchIter<'a> {
+    Probed(std::slice::Iter<'a, u32>),
+    All(std::ops::Range<u32>),
+}
+
+impl Iterator for MatchIter<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            MatchIter::Probed(it) => it.next().copied(),
+            MatchIter::All(r) => r.next(),
+        }
+    }
+}
+
+/// [`project`] under a [`CostMeter`]: charges the projected copy and
+/// polls per chunk; the trailing deduplication goes through
+/// [`Relation::dedup_governed`]. Projections never truncate — they only
+/// ever shrink their input, so the join kernels are where degradation
+/// pays off.
+pub fn project_governed(
+    r: &Relation,
+    cols: &[usize],
+    meter: &dyn CostMeter,
+) -> Result<Relation, Trip> {
+    meter.tick(r.len() as u64)?;
+    meter.charge_bytes((r.len() * cols.len() * std::mem::size_of::<Value>()) as u64)?;
+    let mut out = project_no_dedup(r, cols);
+    out.dedup_governed(meter)?;
+    Ok(out)
+}
+
+/// The shared body of [`project`] / [`project_governed`]: the projected
+/// copy with fast paths, *before* the general path's deduplication. The
+/// returned relation's flags already reflect whether dedup is needed.
+fn project_no_dedup(r: &Relation, cols: &[usize]) -> Relation {
+    if r.is_set() && cols.len() == r.arity() && is_permutation(cols) {
+        if cols.iter().enumerate().all(|(i, &c)| i == c) {
+            return r.clone();
+        }
+        let mut out = Relation::with_capacity(cols.len(), r.len());
+        for row in r.rows() {
+            out.extend_projected(row, cols);
+        }
+        out.set_flags(false, true);
+        return out;
+    }
+    let mut out = Relation::with_capacity(cols.len(), r.len());
+    let mut buf: Vec<Value> = Vec::with_capacity(cols.len());
+    for row in r.rows() {
+        buf.clear();
+        buf.extend(cols.iter().map(|&c| row[c]));
+        out.push_row(&buf);
+    }
     out
 }
 
@@ -268,6 +421,69 @@ mod tests {
         assert_eq!(join(&a, &falsum, &[], &[]).len(), 0);
         assert_eq!(semijoin(&a, &truth, &[]).len(), 1);
         assert_eq!(semijoin(&a, &falsum, &[]).len(), 0);
+    }
+
+    #[test]
+    fn governed_join_with_no_meter_matches_the_unmetered_kernel() {
+        let a = r(&[[1, 10], [2, 20], [3, 30]]);
+        let b = r(&[[10, 100], [10, 101], [30, 300]]);
+        let (j, truncated) =
+            join_governed(&a, &b, &[(1, 0)], &[1], &crate::meter::NoMeter, false).unwrap();
+        assert!(!truncated);
+        let seq = join(&a, &b, &[(1, 0)], &[1]);
+        assert_eq!(j, seq);
+        assert_eq!(j.is_set(), seq.is_set());
+        // Cartesian path too.
+        let (c, truncated) =
+            join_governed(&a, &b, &[], &[0], &crate::meter::NoMeter, true).unwrap();
+        assert!(!truncated);
+        assert_eq!(c, join(&a, &b, &[], &[0]));
+        assert_eq!(c.is_sorted_set(), join(&a, &b, &[], &[0]).is_sorted_set());
+    }
+
+    #[test]
+    fn governed_join_deadline_trip_aborts_without_output() {
+        use crate::meter::{testing::TripAfter, Trip};
+        let rows: Vec<[u64; 2]> = (0..100).map(|i| [i, i]).collect();
+        let a = Relation::from_rows(2, &rows);
+        let meter = TripAfter::new(0, Trip::Deadline);
+        let err = join_governed(&a, &a, &[(0, 0)], &[1], &meter, true).unwrap_err();
+        assert_eq!(err, Trip::Deadline);
+    }
+
+    #[test]
+    fn governed_join_memory_trip_truncates_to_a_sound_prefix() {
+        use crate::meter::{testing::ByteQuota, Trip};
+        let rows: Vec<[u64; 1]> = (0..100).map(|i| [i]).collect();
+        let a = Relation::from_rows(1, &rows);
+        // Cartesian product: 10_000 two-value rows, far past the quota —
+        // which still grants the first METER_CHUNK-row instalment, so the
+        // partial result is non-trivial.
+        let quota = ByteQuota::new(70_000);
+        let (out, truncated) = join_governed(&a, &a, &[], &[0], &quota, true).unwrap();
+        assert!(truncated, "quota must have tripped");
+        assert!(!out.is_empty(), "truncation keeps the rows already built");
+        assert!(out.len() < 10_000);
+        let full = join(&a, &a, &[], &[0]);
+        // The partial output is a prefix of the full output.
+        for (got, want) in out.rows().zip(full.rows()) {
+            assert_eq!(got, want);
+        }
+        // Without truncation the same quota is a hard error.
+        let quota = ByteQuota::new(1024);
+        let err = join_governed(&a, &a, &[], &[0], &quota, false).unwrap_err();
+        assert!(matches!(err, Trip::Memory { bytes } if bytes > 1024));
+    }
+
+    #[test]
+    fn governed_project_matches_and_trips() {
+        use crate::meter::{testing::ByteQuota, NoMeter, Trip};
+        let rel = r(&[[1, 10], [2, 10], [1, 10]]);
+        let p = project_governed(&rel, &[1], &NoMeter).unwrap();
+        assert_eq!(p, project(&rel, &[1]));
+        let tiny = ByteQuota::new(4);
+        let err = project_governed(&rel, &[1], &tiny).unwrap_err();
+        assert!(matches!(err, Trip::Memory { .. }));
     }
 
     #[test]

@@ -320,6 +320,30 @@ impl Relation {
         self.invalidate();
     }
 
+    /// [`Relation::dedup`] under a [`CostMeter`](crate::meter::CostMeter):
+    /// polls once up front and charges the rebuilt row store (plus the
+    /// sort scratch) before running. The poll granularity is the whole
+    /// call rather than [`METER_CHUNK`](crate::meter::METER_CHUNK) — dedup
+    /// rebuilds `self.data` in one atomic swap, so there is no prefix
+    /// worth keeping, and its inputs are bounded by joins that were
+    /// themselves metered.
+    ///
+    /// Abort-safe: a trip surfaces before the sort starts and the swap at
+    /// the end is the only mutation, so `Err` leaves `self` untouched.
+    pub fn dedup_governed(
+        &mut self,
+        meter: &dyn crate::meter::CostMeter,
+    ) -> Result<(), crate::meter::Trip> {
+        if self.arity == 0 || self.distinct || self.sorted {
+            return Ok(());
+        }
+        meter.tick(self.len() as u64)?;
+        // Rebuilt row store + (key, index) sort scratch, both ~|data|.
+        meter.charge_bytes(2 * (self.data.len() * std::mem::size_of::<Value>()) as u64)?;
+        self.dedup();
+        Ok(())
+    }
+
     /// The memoized hash index of this relation on `cols` (building it on
     /// first use). Probing the returned [`Index`] allocates nothing; see
     /// the [`crate::index`] module docs for the key representation.
@@ -397,6 +421,55 @@ impl Relation {
         }
         let index = right.index_on(right_cols);
         self.retain(|row| index.contains(row, left_cols));
+    }
+
+    /// [`Relation::retain_semijoin_cols`] under a
+    /// [`CostMeter`](crate::meter::CostMeter): the probe loop polls
+    /// `meter.tick` once per [`METER_CHUNK`](crate::meter::METER_CHUNK)
+    /// rows and the keep-flag scratch is charged.
+    ///
+    /// Abort-safe by construction: every poll that can trip happens
+    /// *before* the first mutation, so `Err` guarantees `self` is
+    /// untouched and the next query sees an uncorrupted relation. A
+    /// relation within one chunk polls exactly once up front and then
+    /// runs the single-pass unmetered compaction (no scratch, no second
+    /// scan — this is the hot case on microsecond-scale queries); a
+    /// larger one probes over `&self` into a flag vector at chunk
+    /// granularity and compacts only once every row has been probed.
+    pub fn retain_semijoin_cols_governed(
+        &mut self,
+        left_cols: &[usize],
+        right: &Relation,
+        right_cols: &[usize],
+        meter: &dyn crate::meter::CostMeter,
+    ) -> Result<(), crate::meter::Trip> {
+        assert_eq!(left_cols.len(), right_cols.len(), "join column mismatch");
+        if left_cols.is_empty() {
+            meter.tick(1)?;
+            if right.is_empty() {
+                self.clear();
+            }
+            return Ok(());
+        }
+        let n = self.len();
+        if n <= crate::meter::METER_CHUNK {
+            meter.tick(n as u64)?;
+            let index = right.index_on(right_cols);
+            self.retain(|row| index.contains(row, left_cols));
+            return Ok(());
+        }
+        let index = right.index_on(right_cols);
+        meter.charge_bytes(n as u64)?; // keep-flag scratch, one byte per row
+        let mut keep = vec![false; n];
+        for (i, flag) in keep.iter_mut().enumerate() {
+            if i.is_multiple_of(crate::meter::METER_CHUNK) {
+                meter.tick(crate::meter::METER_CHUNK.min(n - i) as u64)?;
+            }
+            *flag = index.contains(self.row(i), left_cols);
+        }
+        let mut flags = keep.iter();
+        self.retain(|_| *flags.next().expect("one keep flag per row"));
+        Ok(())
     }
 
     /// Append the concatenation of `lrow` and the `keep` columns of
@@ -508,6 +581,60 @@ impl fmt::Debug for Relation {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn governed_semijoin_trip_leaves_the_relation_untouched() {
+        use crate::meter::{testing::TripAfter, NoMeter, Trip};
+        // 50 rows exercises the single-chunk fast path, METER_CHUNK + 10
+        // the flag-vector path — the abort-safety contract is the same.
+        for n in [50u64, crate::meter::METER_CHUNK as u64 + 10] {
+            let rows: Vec<[u64; 2]> = (0..n).map(|i| [i % 7, i]).collect();
+            let mut left = Relation::from_rows(2, &rows);
+            let before = left.clone();
+            let filter = Relation::from_rows(1, &[[0], [1], [2]]);
+            // Trip on the very first poll: the probe aborts before retain.
+            let meter = TripAfter::new(0, Trip::Cancelled);
+            let err = left
+                .retain_semijoin_cols_governed(&[0], &filter, &[0], &meter)
+                .unwrap_err();
+            assert_eq!(err, Trip::Cancelled);
+            assert_eq!(left, before, "Err must leave the relation byte-identical");
+            assert_eq!(
+                left.rows().collect::<Vec<_>>(),
+                before.rows().collect::<Vec<_>>()
+            );
+            // Untripped, the governed form matches the plain one.
+            let mut governed = before.clone();
+            governed
+                .retain_semijoin_cols_governed(&[0], &filter, &[0], &NoMeter)
+                .unwrap();
+            let mut plain = before.clone();
+            plain.retain_semijoin_cols(&[0], &filter, &[0]);
+            assert_eq!(governed, plain);
+            assert!(governed.len() < before.len());
+        }
+    }
+
+    #[test]
+    fn governed_dedup_trips_before_mutating_and_matches_when_allowed() {
+        use crate::meter::{testing::ByteQuota, NoMeter, Trip};
+        // push_row leaves the flags unset, so dedup has real work to do
+        // (from_rows would dedup eagerly).
+        let mut r = Relation::new(2);
+        for row in [[3u64, 4], [1, 2], [3, 4]] {
+            r.push_row(&[Value(row[0]), Value(row[1])]);
+        }
+        let before = r.clone();
+        let tiny = ByteQuota::new(8);
+        let err = r.dedup_governed(&tiny).unwrap_err();
+        assert!(matches!(err, Trip::Memory { .. }));
+        assert_eq!(r, before, "tripped dedup must not touch the rows");
+        r.dedup_governed(&NoMeter).unwrap();
+        let mut plain = before.clone();
+        plain.dedup();
+        assert_eq!(r, plain);
+        assert!(r.is_sorted_set());
+    }
 
     #[test]
     fn push_and_read_rows() {

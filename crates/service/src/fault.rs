@@ -1,0 +1,91 @@
+//! Deterministic fault injection for chaos-testing the serving stack.
+//!
+//! Compiled only under the `fault-injection` feature — production builds
+//! carry no hook at all. A [`FaultInjector`] maps *(site, request text)*
+//! to a [`Fault`]; the serving code probes it at two named sites
+//! ([`FaultSite::Prepare`], [`FaultSite::Execute`]) and the injected
+//! failure then travels the exact same unwind path a real one would:
+//!
+//! * [`Fault::Panic`] — a `panic!` at the site, which the service's
+//!   per-request `catch_unwind` isolation must convert to
+//!   [`crate::ServiceError::Internal`] without disturbing the rest of
+//!   the batch (and without inserting a plan-cache entry when it fires
+//!   during preparation);
+//! * [`Fault::Busy`] — a spin that never finishes on its own, polling
+//!   the request's budget like any governed loop: only a deadline or
+//!   cancellation gets out, which is precisely what the test asserts;
+//! * [`Fault::AllocSpike`] — a burst of bytes charged against the
+//!   request's memory quota, tripping it the same way a real oversized
+//!   intermediate result would.
+//!
+//! Everything is keyed by exact request text, so a batch can mix healthy
+//! and faulty requests deterministically.
+
+use hypertree_core::{QueryBudget, QueryError};
+use rustc_hash::FxHashMap;
+use std::sync::Arc;
+
+/// Where in the request lifecycle a fault fires.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// During planning, inside the plan-cache miss path.
+    Prepare,
+    /// During evaluation, after the plan resolved.
+    Execute,
+}
+
+/// The failure to inject.
+#[derive(Clone, Debug)]
+pub enum Fault {
+    /// Panic at the site (exercises `catch_unwind` isolation).
+    Panic,
+    /// Spin forever, cooperatively polling the budget — unwinds only via
+    /// the deadline or cancellation (exercises deadline enforcement).
+    Busy,
+    /// Charge this many bytes against the budget in one burst
+    /// (exercises the memory quota).
+    AllocSpike(u64),
+}
+
+/// A deterministic plan of faults, shared by every worker of a service.
+#[derive(Clone, Debug, Default)]
+pub struct FaultInjector {
+    faults: Arc<FxHashMap<(FaultSite, String), Fault>>,
+}
+
+impl FaultInjector {
+    /// An injector firing the given faults; everything else runs clean.
+    pub fn new(faults: impl IntoIterator<Item = (FaultSite, String, Fault)>) -> Self {
+        FaultInjector {
+            faults: Arc::new(
+                faults
+                    .into_iter()
+                    .map(|(site, text, fault)| ((site, text), fault))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Fire the fault registered for `(site, text)`, if any. `Ok(())`
+    /// when no fault is registered or the injected work completed;
+    /// panics for [`Fault::Panic`]; returns the budget's typed error for
+    /// [`Fault::Busy`] / [`Fault::AllocSpike`] trips.
+    pub fn fire(
+        &self,
+        site: FaultSite,
+        text: &str,
+        budget: &QueryBudget,
+    ) -> Result<(), QueryError> {
+        let Some(fault) = self.faults.get(&(site, text.to_string())) else {
+            return Ok(());
+        };
+        match fault {
+            Fault::Panic => panic!("injected fault: panic at {site:?} for {text:?}"),
+            Fault::Busy => loop {
+                budget.check("fault-busy")?;
+                std::thread::yield_now();
+            },
+            Fault::AllocSpike(bytes) => budget.charge_bytes(*bytes),
+        }
+    }
+}

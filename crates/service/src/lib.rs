@@ -45,6 +45,8 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod plan_cache;
 pub mod prepared;
 #[allow(clippy::module_inception)]
@@ -64,6 +66,25 @@ pub enum ServiceError {
     /// The query parsed and planned, but evaluation failed (e.g. an atom
     /// whose arity disagrees with the stored relation).
     Eval(eval::EvalError),
+    /// The request's [`hypertree_core::QueryBudget`] tripped — deadline,
+    /// memory quota, cancellation, or a planning budget spent before any
+    /// plan existed. The request did real work up to the trip and
+    /// unwound cleanly; retrying with a larger budget is safe.
+    Budget(hypertree_core::QueryError),
+    /// The request was shed at admission: the batch exceeded
+    /// [`ServiceConfig::max_queue_depth`](crate::ServiceConfig). No work
+    /// was done for it; retry when the queue drains.
+    Overloaded {
+        /// Requests in the batch that hit the cap.
+        depth: usize,
+        /// The configured admission cap it exceeded.
+        max: usize,
+    },
+    /// The request panicked inside the serving stack and was isolated by
+    /// the per-request `catch_unwind` boundary — a serving-layer bug (or
+    /// an injected fault), never a caller error. The rest of the batch
+    /// is unaffected.
+    Internal(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -71,6 +92,14 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::Parse(e) => write!(f, "parse: {e}"),
             ServiceError::Eval(e) => write!(f, "eval: {e}"),
+            ServiceError::Budget(e) => write!(f, "budget: {e}"),
+            ServiceError::Overloaded { depth, max } => {
+                write!(
+                    f,
+                    "overloaded: batch depth {depth} exceeds admission cap {max}"
+                )
+            }
+            ServiceError::Internal(detail) => write!(f, "internal: {detail}"),
         }
     }
 }
@@ -80,6 +109,20 @@ impl std::error::Error for ServiceError {
         match self {
             ServiceError::Parse(e) => Some(e),
             ServiceError::Eval(e) => Some(e),
+            ServiceError::Budget(e) => Some(e),
+            ServiceError::Overloaded { .. } | ServiceError::Internal(_) => None,
+        }
+    }
+}
+
+impl From<eval::EvalError> for ServiceError {
+    fn from(e: eval::EvalError) -> Self {
+        // A budget trip inside evaluation is a budget outcome of the
+        // *request*, not an evaluation bug — flatten it so callers match
+        // one variant per cause.
+        match e {
+            eval::EvalError::Budget(b) => ServiceError::Budget(b),
+            other => ServiceError::Eval(other),
         }
     }
 }

@@ -12,9 +12,10 @@ use crate::ServiceError;
 use cq::{parse_query, ConjunctiveQuery, Term};
 use eval::{EvalError, ShardConfig, Strategy};
 use hypergraph::acyclic;
-use hypertree_core::DecompCache;
+use hypertree_core::{DecompCache, QueryBudget, QueryError};
 use relation::{Database, Relation};
 use std::fmt::Write as _;
+use std::time::Instant;
 
 /// Planning knobs for [`PreparedQuery::prepare`].
 #[derive(Clone, Copy, Debug)]
@@ -116,6 +117,47 @@ impl PreparedQuery {
         }
     }
 
+    /// [`Self::prepare_parsed_with_key`] under a [`QueryBudget`] — the
+    /// planning tier of the degradation ladder. The budget is polled
+    /// before planning starts, and a cyclic query's decomposition runs
+    /// [`heuristics::decompose_auto_governed`] with the bounded exact
+    /// search capped to *half* the budget's remaining time: an exact
+    /// search that overruns its share degrades to the heuristic witness
+    /// rather than eating the whole request deadline. Preparation fails
+    /// only when the budget trips before *any* plan exists; a failed
+    /// preparation inserts nothing into `cache`.
+    pub fn prepare_parsed_governed(
+        q: ConjunctiveQuery,
+        key: String,
+        cache: &DecompCache,
+        cfg: &PrepareConfig,
+        budget: &QueryBudget,
+    ) -> Result<PreparedQuery, QueryError> {
+        debug_assert_eq!(key, plan_key(&q), "key must be the query's plan key");
+        budget.check("plan")?;
+        let h = q.hypergraph();
+        let (strategy, kind) = match acyclic::join_tree(&h) {
+            Some(jt) => (Strategy::JoinTree(jt), PlanKind::JoinTree),
+            None => {
+                let exact_deadline = budget.remaining().map(|rem| Instant::now() + rem / 2);
+                let hd = cache.try_get_or_insert_with(&h, |h| {
+                    heuristics::decompose_auto_governed(h, cfg.exact_steps, exact_deadline, budget)
+                        .map(|auto| auto.hd)
+                })?;
+                (
+                    Strategy::from_decomposition((*hd).clone()),
+                    PlanKind::Decomposition,
+                )
+            }
+        };
+        Ok(PreparedQuery {
+            query: q,
+            key,
+            strategy,
+            kind,
+        })
+    }
+
     /// The α-invariant plan-cache key of the compiled query.
     pub fn key(&self) -> &str {
         &self.key
@@ -171,6 +213,43 @@ impl PreparedQuery {
     pub fn count_sharded(&self, db: &Database, cfg: &ShardConfig) -> Result<u128, EvalError> {
         eval::counting::count_with_sharded(&self.strategy, &self.query, db, cfg)
     }
+
+    /// [`Self::boolean_sharded`] under a [`QueryBudget`]: every
+    /// long-running loop polls the budget at chunk granularity and
+    /// unwinds with [`EvalError::Budget`] on a trip.
+    pub fn boolean_governed(
+        &self,
+        db: &Database,
+        cfg: &ShardConfig,
+        budget: &QueryBudget,
+    ) -> Result<bool, EvalError> {
+        self.strategy.boolean_governed(&self.query, db, cfg, budget)
+    }
+
+    /// [`Self::enumerate_sharded`] under a [`QueryBudget`]. Returns
+    /// `(rows, truncated)`: `truncated == true` means the byte quota
+    /// tripped during the output join and the rows are a sound *subset*
+    /// of the answers (see [`eval::Pipeline::enumerate_governed`]).
+    pub fn enumerate_governed(
+        &self,
+        db: &Database,
+        cfg: &ShardConfig,
+        budget: &QueryBudget,
+    ) -> Result<(Relation, bool), EvalError> {
+        self.strategy
+            .enumerate_governed(&self.query, db, cfg, budget)
+    }
+
+    /// [`Self::count_sharded`] under a [`QueryBudget`]. Memory trips are
+    /// hard errors — a truncated count would be silently wrong.
+    pub fn count_governed(
+        &self,
+        db: &Database,
+        cfg: &ShardConfig,
+        budget: &QueryBudget,
+    ) -> Result<u128, EvalError> {
+        self.strategy.count_governed(&self.query, db, cfg, budget)
+    }
 }
 
 /// The plan-cache key of `q`: the query rendered with its variables
@@ -187,10 +266,12 @@ pub fn plan_key(q: &ConjunctiveQuery) -> String {
             if i > 0 {
                 out.push(',');
             }
-            match t {
-                Term::Var(v) => write!(out, "#{}", hypergraph::Ix::index(*v)).unwrap(),
-                Term::Const(c) => write!(out, "{c}").unwrap(),
-            }
+            // fmt::Write into a String cannot fail; no panic path on the
+            // request-handling route.
+            let _ = match t {
+                Term::Var(v) => write!(out, "#{}", hypergraph::Ix::index(*v)),
+                Term::Const(c) => write!(out, "{c}"),
+            };
         }
         out.push(')');
     };

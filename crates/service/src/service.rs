@@ -29,12 +29,13 @@ use crate::prepared::{plan_key, PrepareConfig, PreparedQuery};
 use crate::{PlanCache, ServiceError};
 use cq::parse_query;
 use hypertree_core::parallel::run_parallel;
-use hypertree_core::DecompCache;
+use hypertree_core::{DecompCache, QueryBudget};
 use parking_lot::RwLock;
 use relation::{Database, Relation};
 use rustc_hash::FxHashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// What a request asks of its query.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -94,13 +95,20 @@ pub enum Outcome {
     Rows(Relation),
     /// Answer to an [`Op::Count`] request.
     Count(u128),
+    /// A *degraded* answer to an [`Op::Enumerate`] request: the memory
+    /// budget tripped while materializing the output, and these rows are
+    /// a sound, deduplicated **subset** of the full answer (every row is
+    /// a real answer; some answers are missing). Only produced when
+    /// [`ServiceConfig::max_result_bytes`] is set — callers that prefer
+    /// an error to a partial result can treat this variant as one.
+    Partial(Relation),
 }
 
 /// Per-request result: an outcome, or why the request failed.
 pub type Response = Result<Outcome, ServiceError>;
 
 /// Serving configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// Plan-cache capacity (LRU beyond it).
     pub plan_cache_capacity: usize,
@@ -123,6 +131,28 @@ pub struct ServiceConfig {
     /// Per-step size floor for intra-query sharding: a join or semijoin
     /// shards only if one side has at least this many rows.
     pub shard_min_rows: usize,
+    /// Per-request wall-clock deadline; `None` = none. The clock starts
+    /// when the request's processing starts; in a batch, a preparation
+    /// shared by several requests runs under its own deadline of the same
+    /// length, so no request inherits a clock another request started.
+    /// Tripping yields [`ServiceError::Budget`] with
+    /// [`hypertree_core::QueryError::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
+    /// Per-request quota on bytes allocated for relation payloads during
+    /// evaluation; `None` = none. An enumeration that trips it mid-join
+    /// degrades to [`Outcome::Partial`]; any other trip yields
+    /// [`ServiceError::Budget`] with
+    /// [`hypertree_core::QueryError::MemoryBudgetExceeded`].
+    pub max_result_bytes: Option<u64>,
+    /// Batch admission cap: requests beyond this many in a single batch
+    /// are shed at admission with [`ServiceError::Overloaded`], before
+    /// any parsing or planning happens for them. `0` = no cap.
+    pub max_queue_depth: usize,
+    /// Deterministic fault plan probed at named sites inside the serving
+    /// stack (tests and benches only — the field and every probe compile
+    /// away without the `fault-injection` feature).
+    #[cfg(feature = "fault-injection")]
+    pub fault_injection: Option<crate::fault::FaultInjector>,
 }
 
 impl Default for ServiceConfig {
@@ -135,6 +165,11 @@ impl Default for ServiceConfig {
             min_parallel_batch: 4,
             intra_query_shards: 1,
             shard_min_rows: eval::ShardConfig::DEFAULT_MIN_ROWS,
+            deadline: None,
+            max_result_bytes: None,
+            max_queue_depth: 0,
+            #[cfg(feature = "fault-injection")]
+            fault_injection: None,
         }
     }
 }
@@ -160,6 +195,13 @@ pub struct ServiceStats {
     pub decomp_misses: u64,
     /// Decompositions evicted by capacity pressure.
     pub decomp_evictions: u64,
+    /// Requests shed at admission ([`ServiceError::Overloaded`]).
+    pub sheds: u64,
+    /// Requests whose budget tripped ([`ServiceError::Budget`]).
+    pub budget_trips: u64,
+    /// Panics isolated by the per-request `catch_unwind` boundary
+    /// ([`ServiceError::Internal`]).
+    pub panics_caught: u64,
 }
 
 /// The query-serving subsystem: compile once, execute many, in batches.
@@ -170,6 +212,9 @@ pub struct Service {
     cfg: ServiceConfig,
     batches: AtomicU64,
     requests: AtomicU64,
+    sheds: AtomicU64,
+    budget_trips: AtomicU64,
+    panics_caught: AtomicU64,
 }
 
 impl Service {
@@ -187,6 +232,9 @@ impl Service {
             cfg,
             batches: AtomicU64::new(0),
             requests: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
+            budget_trips: AtomicU64::new(0),
+            panics_caught: AtomicU64::new(0),
         }
     }
 
@@ -220,27 +268,67 @@ impl Service {
     /// Serve one request against the current snapshot. A single request
     /// has the whole machine to itself, so it runs with the configured
     /// intra-query shard count.
+    ///
+    /// The request runs inside a `catch_unwind` isolation boundary: a
+    /// panic anywhere in the serving stack comes back as
+    /// [`ServiceError::Internal`] instead of unwinding into the caller,
+    /// and leaves both caches free of half-built entries.
     pub fn execute(&self, req: &Request) -> Response {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let snapshot = self.snapshot();
-        let plan = self.prepare(&req.text)?;
-        run_op(&plan, req.op, &snapshot, &self.shard_config(1))
+        let shard = self.shard_config(1);
+        let resp = self.isolated(|| {
+            if !self.is_governed() {
+                let plan = self.prepare(&req.text)?;
+                return run_op(&plan, req.op, &snapshot, &shard);
+            }
+            let budget = self.new_budget();
+            let plan = self.prepare_governed(&req.text, &budget)?;
+            self.serve_prepared(req, &plan, &snapshot, &shard, &budget)
+        });
+        self.note(&resp);
+        resp
     }
 
     /// Serve a batch: all requests see one snapshot, duplicate (and
     /// α-equivalent) query texts are planned once, and preparation and
     /// execution are spread over scoped worker threads. Responses come
     /// back in request order.
+    ///
+    /// Resource governance, when configured:
+    ///
+    /// * requests beyond [`ServiceConfig::max_queue_depth`] are shed at
+    ///   admission with [`ServiceError::Overloaded`] — no parsing, no
+    ///   planning, no evaluation for them;
+    /// * each preparation and each evaluation runs inside its own
+    ///   `catch_unwind` boundary, so one panicking request yields
+    ///   [`ServiceError::Internal`] while the rest of the batch completes
+    ///   (a preparation that fails or panics never inserts into the plan
+    ///   cache, and every request sharing its plan key gets the same
+    ///   typed error);
+    /// * each preparation and each evaluation gets a fresh
+    ///   [`QueryBudget`] from the configured deadline and byte quota.
     pub fn execute_batch(&self, reqs: &[Request]) -> Vec<Response> {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.requests
             .fetch_add(reqs.len() as u64, Ordering::Relaxed);
         let snapshot = self.snapshot();
 
+        // Admission: shed everything past the queue-depth cap before any
+        // work happens on its behalf.
+        let cap = self.cfg.max_queue_depth;
+        let admitted = if cap > 0 && reqs.len() > cap {
+            &reqs[..cap]
+        } else {
+            reqs
+        };
+        let shed = reqs.len() - admitted.len();
+        self.sheds.fetch_add(shed as u64, Ordering::Relaxed);
+
         // Parse phase (cheap, inline) + dedup by plan key.
         let mut uniques: Vec<(String, cq::ConjunctiveQuery)> = Vec::new();
         let mut key_to_unique: FxHashMap<String, usize> = FxHashMap::default();
-        let parsed: Vec<Result<usize, ServiceError>> = reqs
+        let parsed: Vec<Result<usize, ServiceError>> = admitted
             .iter()
             .map(|req| {
                 let q = parse_query(&req.text).map_err(ServiceError::Parse)?;
@@ -253,19 +341,61 @@ impl Service {
             })
             .collect();
 
+        // The fault injector is keyed by request text, but preparation is
+        // per plan key — resolve each unique back to the first request
+        // text that produced it so Prepare-site faults can fire.
+        #[cfg(feature = "fault-injection")]
+        let unique_texts: Vec<&str> = {
+            let mut texts = vec![""; uniques.len()];
+            for (req, p) in admitted.iter().zip(&parsed) {
+                if let Ok(u) = p {
+                    if texts[*u].is_empty() {
+                        texts[*u] = &req.text;
+                    }
+                }
+            }
+            texts
+        };
+
         // Prepare phase: each distinct key exactly once, in parallel —
         // distinct keys mean distinct (potentially expensive) plans, and
         // the dedup guarantees no two workers decompose the same shape.
+        // Each preparation is isolated and governed on its own; its error
+        // (typed or panic-turned-Internal) is cloned to every request
+        // that deduplicated onto it.
         let workers = self.worker_count(uniques.len());
         let plans: Vec<Result<Arc<PreparedQuery>, ServiceError>> =
-            run_parallel(&uniques, workers, |_, (key, q)| {
-                self.plans.get_or_prepare_with(key, || {
-                    Ok(PreparedQuery::prepare_parsed_with_key(
-                        q.clone(),
-                        key.clone(),
-                        &self.decomps,
-                        &self.cfg.prepare,
-                    ))
+            run_parallel(&uniques, workers, |u, (key, q)| {
+                #[cfg(not(feature = "fault-injection"))]
+                let _ = u;
+                self.isolated(|| {
+                    if !self.is_governed() {
+                        return self.plans.get_or_prepare_with(key, || {
+                            Ok(PreparedQuery::prepare_parsed_with_key(
+                                q.clone(),
+                                key.clone(),
+                                &self.decomps,
+                                &self.cfg.prepare,
+                            ))
+                        });
+                    }
+                    let budget = self.new_budget();
+                    self.plans.get_or_prepare_with(key, || {
+                        #[cfg(feature = "fault-injection")]
+                        self.fire_fault(
+                            crate::fault::FaultSite::Prepare,
+                            unique_texts[u],
+                            &budget,
+                        )?;
+                        PreparedQuery::prepare_parsed_governed(
+                            q.clone(),
+                            key.clone(),
+                            &self.decomps,
+                            &self.cfg.prepare,
+                            &budget,
+                        )
+                        .map_err(ServiceError::Budget)
+                    })
                 })
             });
 
@@ -274,19 +404,35 @@ impl Service {
         // the cores are spoken for, so each request runs unsharded; a
         // one-worker (small or capped) batch shards within the query
         // instead.
-        let workers = self.worker_count(reqs.len());
+        let workers = self.worker_count(admitted.len());
         let shard = self.shard_config(workers);
-        run_parallel(reqs, workers, |i, req| {
+        let mut responses = run_parallel(admitted, workers, |i, req| {
             let unique = match &parsed[i] {
                 Ok(u) => *u,
                 Err(e) => return Err(e.clone()),
             };
             let plan = match &plans[unique] {
-                Ok(p) => p,
+                Ok(p) => Arc::clone(p),
                 Err(e) => return Err(e.clone()),
             };
-            run_op(plan, req.op, &snapshot, &shard)
-        })
+            self.isolated(|| {
+                if !self.is_governed() {
+                    return run_op(&plan, req.op, &snapshot, &shard);
+                }
+                let budget = self.new_budget();
+                self.serve_prepared(req, &plan, &snapshot, &shard, &budget)
+            })
+        });
+        for resp in &responses {
+            self.note(resp);
+        }
+        responses.extend((0..shed).map(|_| {
+            Err(ServiceError::Overloaded {
+                depth: reqs.len(),
+                max: cap,
+            })
+        }));
+        responses
     }
 
     /// The current counters.
@@ -301,6 +447,9 @@ impl Service {
             decomp_hits: self.decomps.hits(),
             decomp_misses: self.decomps.misses(),
             decomp_evictions: self.decomps.evictions(),
+            sheds: self.sheds.load(Ordering::Relaxed),
+            budget_trips: self.budget_trips.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
         }
     }
 
@@ -345,6 +494,115 @@ impl Service {
             min_rows: self.cfg.shard_min_rows,
         }
     }
+
+    /// Whether any resource-governance knob is set. When none is, every
+    /// request takes the legacy ungoverned kernels — zero budget-polling
+    /// overhead on the hot path.
+    fn is_governed(&self) -> bool {
+        let governed = self.cfg.deadline.is_some() || self.cfg.max_result_bytes.is_some();
+        #[cfg(feature = "fault-injection")]
+        let governed = governed || self.cfg.fault_injection.is_some();
+        governed
+    }
+
+    /// A fresh budget for one unit of work (a preparation or one
+    /// request's evaluation), with the configured deadline and byte
+    /// quota. The deadline clock starts *now*.
+    fn new_budget(&self) -> QueryBudget {
+        let mut budget = QueryBudget::unlimited();
+        if let Some(d) = self.cfg.deadline {
+            budget = budget.with_deadline(d);
+        }
+        if let Some(b) = self.cfg.max_result_bytes {
+            budget = budget.with_byte_quota(b);
+        }
+        budget
+    }
+
+    /// Prepare (or fetch) the plan for `text` under `budget`. The budget
+    /// is only consulted on the cache-miss path; a plan that fails to
+    /// prepare is not inserted, so the next request retries it.
+    fn prepare_governed(
+        &self,
+        text: &str,
+        budget: &QueryBudget,
+    ) -> Result<Arc<PreparedQuery>, ServiceError> {
+        let q = parse_query(text).map_err(ServiceError::Parse)?;
+        let key = plan_key(&q);
+        self.plans.get_or_prepare_with(&key, || {
+            #[cfg(feature = "fault-injection")]
+            self.fire_fault(crate::fault::FaultSite::Prepare, text, budget)?;
+            PreparedQuery::prepare_parsed_governed(
+                q,
+                key.clone(),
+                &self.decomps,
+                &self.cfg.prepare,
+                budget,
+            )
+            .map_err(ServiceError::Budget)
+        })
+    }
+
+    /// Evaluate one already-prepared request under `budget`.
+    fn serve_prepared(
+        &self,
+        req: &Request,
+        plan: &PreparedQuery,
+        db: &Database,
+        shard: &eval::ShardConfig,
+        budget: &QueryBudget,
+    ) -> Response {
+        #[cfg(feature = "fault-injection")]
+        self.fire_fault(crate::fault::FaultSite::Execute, &req.text, budget)?;
+        run_op_governed(plan, req.op, db, shard, budget)
+    }
+
+    /// Probe the configured fault injector at `site` for `text`.
+    #[cfg(feature = "fault-injection")]
+    fn fire_fault(
+        &self,
+        site: crate::fault::FaultSite,
+        text: &str,
+        budget: &QueryBudget,
+    ) -> Result<(), ServiceError> {
+        match &self.cfg.fault_injection {
+            Some(inj) => inj.fire(site, text, budget).map_err(ServiceError::Budget),
+            None => Ok(()),
+        }
+    }
+
+    /// Run `work` inside the per-request panic-isolation boundary. The
+    /// service's shared state stays sound across an unwind:
+    /// `parking_lot` locks do not poison, both caches insert only fully
+    /// built values (a panicking preparation unwinds *before* its
+    /// insert), and the counters are monotone atomics — which is what
+    /// makes the `AssertUnwindSafe` below correct.
+    fn isolated<T>(
+        &self,
+        work: impl FnOnce() -> Result<T, ServiceError>,
+    ) -> Result<T, ServiceError> {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(work)) {
+            Ok(resp) => resp,
+            Err(payload) => {
+                self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                let detail = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "panic with non-string payload".to_string()
+                };
+                Err(ServiceError::Internal(detail))
+            }
+        }
+    }
+
+    /// Bump the budget-trip counter when a response reports one.
+    fn note(&self, resp: &Response) {
+        if matches!(resp, Err(ServiceError::Budget(_))) {
+            self.budget_trips.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Evaluate one operation under a prepared plan. The sharded entry
@@ -357,6 +615,35 @@ fn run_op(plan: &PreparedQuery, op: Op, db: &Database, shard: &eval::ShardConfig
         Op::Count => plan.count_sharded(db, shard).map(Outcome::Count),
     }
     .map_err(ServiceError::Eval)
+}
+
+/// Evaluate one operation under a prepared plan with cooperative budget
+/// polling. An enumeration that trips the memory quota mid-join comes
+/// back as a truncated partial result ([`Outcome::Partial`]); every
+/// other trip is a typed [`ServiceError::Budget`].
+fn run_op_governed(
+    plan: &PreparedQuery,
+    op: Op,
+    db: &Database,
+    shard: &eval::ShardConfig,
+    budget: &QueryBudget,
+) -> Response {
+    match op {
+        Op::Boolean => plan
+            .boolean_governed(db, shard, budget)
+            .map(Outcome::Boolean),
+        Op::Enumerate => plan
+            .enumerate_governed(db, shard, budget)
+            .map(|(rows, truncated)| {
+                if truncated {
+                    Outcome::Partial(rows)
+                } else {
+                    Outcome::Rows(rows)
+                }
+            }),
+        Op::Count => plan.count_governed(db, shard, budget).map(Outcome::Count),
+    }
+    .map_err(ServiceError::from)
 }
 
 #[cfg(test)]

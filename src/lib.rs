@@ -43,7 +43,9 @@
 //!   the bounded-exact-search funnel for instances beyond `k-decomp`;
 //! * [`eval`] — naive, Yannakakis, and decomposition-guided engines;
 //! * [`service`] — the serving layer: prepared plans, a bounded plan
-//!   cache, and a batched concurrent execution front-end;
+//!   cache, a batched concurrent execution front-end, and resource
+//!   governance (per-request deadlines and byte quotas, admission
+//!   shedding, panic isolation, graceful degradation);
 //! * [`workloads`] — the paper's queries and figures, query families, the
 //!   Section 7 NP-hardness gadget, random generators, the `.hg` format,
 //!   and the large-instance tier.
@@ -67,9 +69,9 @@ pub mod prelude {
     pub use cq::{parse_query, ConjunctiveQuery, QueryBuilder, Term};
     pub use eval::{evaluate, evaluate_boolean, Pipeline, ShardConfig, Strategy};
     pub use hypergraph::{Hypergraph, JoinTree};
-    pub use hypertree_core::{HypertreeDecomposition, QueryDecomposition};
+    pub use hypertree_core::{HypertreeDecomposition, QueryBudget, QueryDecomposition, QueryError};
     pub use relation::{Database, Relation, Value};
-    pub use service::{PreparedQuery, Request, Service};
+    pub use service::{PreparedQuery, Request, Service, ServiceConfig};
 }
 
 /// The hypertree width `hw(Q)` of a conjunctive query (Definition 4.1;
@@ -117,6 +119,31 @@ mod tests {
         let ghd = crate::decompose_heuristic(&q);
         assert_eq!(ghd.validate_ghd(&q.hypergraph()), Ok(()));
         assert!(ghd.width() >= 2);
+    }
+
+    #[test]
+    fn facade_governs_requests() {
+        let mut db = Database::new();
+        db.add_fact("r", &[1, 2]);
+        db.add_fact("s", &[2, 3]);
+        let svc = Service::with_config(
+            std::sync::Arc::new(db),
+            ServiceConfig {
+                deadline: Some(std::time::Duration::ZERO),
+                ..Default::default()
+            },
+        );
+        let resp = svc.execute(&Request::boolean("ans :- r(X,Y), s(Y,Z)."));
+        assert!(
+            matches!(
+                resp,
+                Err(service::ServiceError::Budget(
+                    QueryError::DeadlineExceeded { .. }
+                ))
+            ),
+            "{resp:?}"
+        );
+        let _ = QueryBudget::unlimited(); // re-exported alongside the error
     }
 
     #[test]
