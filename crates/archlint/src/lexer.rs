@@ -1,0 +1,481 @@
+//! A hand-rolled Rust lexer: just enough token structure for rule
+//! matching — identifiers, literals, punctuation, and delimiters, each
+//! carrying its 1-based source line — with comments stripped except for
+//! `// archlint::allow(...)` suppressions, which are parsed here.
+//!
+//! This is deliberately not a full Rust grammar (the build environment
+//! is offline, so `syn` is not an option, and the rules below only need
+//! token shapes). The corner cases that matter for correctness of the
+//! rules *are* handled: nested block comments, raw strings with `#`
+//! fences, byte strings, char literals vs. lifetimes, and raw
+//! identifiers.
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `components`, …).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'outer`), without the quote.
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Single punctuation character (`.`, `:`, `!`, `#`, …).
+    Punct,
+    /// Opening delimiter: one of `(`, `[`, `{`.
+    Open,
+    /// Closing delimiter: one of `)`, `]`, `}`.
+    Close,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// `true` iff this is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// `true` iff this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+
+    /// `true` iff this is the opening delimiter `c`.
+    pub fn is_open(&self, c: char) -> bool {
+        self.kind == TokKind::Open && self.text.starts_with(c)
+    }
+
+    /// `true` iff this is the closing delimiter `c`.
+    pub fn is_close(&self, c: char) -> bool {
+        self.kind == TokKind::Close && self.text.starts_with(c)
+    }
+}
+
+/// An inline suppression: `// archlint::allow(rule-name, reason = "…")`.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub rule: String,
+    pub reason: String,
+    /// 1-based line of the comment itself.
+    pub line: u32,
+    /// `true` when the comment stands alone on its line (then it covers
+    /// the next code line); `false` for a trailing comment (covers its
+    /// own line).
+    pub standalone: bool,
+}
+
+/// Lexer output: the token stream plus suppression metadata.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub allows: Vec<Allow>,
+    /// Lines holding an `archlint::allow` comment that did not parse
+    /// (missing rule name or missing/empty `reason = "…"`), with a
+    /// human-readable explanation each.
+    pub malformed: Vec<(u32, String)>,
+}
+
+/// Lex `src` into tokens and suppression comments.
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    // Whether any token has been emitted on the current line (decides
+    // trailing vs. standalone for allow comments).
+    let mut token_on_line = false;
+
+    macro_rules! push {
+        ($kind:expr, $text:expr) => {{
+            out.tokens.push(Token {
+                kind: $kind,
+                text: $text,
+                line,
+            });
+            token_on_line = true;
+        }};
+    }
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            token_on_line = false;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments (incl. doc comments) — scan for suppressions.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            let text: String = b[start..i].iter().collect();
+            scan_allow_comment(&text, line, !token_on_line, &mut out);
+            continue;
+        }
+        // Block comments, nested.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                    token_on_line = false;
+                    i += 1;
+                } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw strings / raw identifiers / byte strings: r"…", r#"…"#,
+        // br#"…"#, b"…", r#ident.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let (skip_b, after) = if c == 'b' && b[i + 1] == 'r' {
+                (true, i + 2)
+            } else {
+                (false, i + 1)
+            };
+            let mut j = after;
+            let mut fences = 0;
+            while j < n && b[j] == '#' {
+                fences += 1;
+                j += 1;
+            }
+            let is_raw = c == 'r' || skip_b;
+            if j < n && b[j] == '"' && (is_raw || fences == 0) {
+                if is_raw {
+                    // Raw string: ends at `"` followed by `fences` hashes.
+                    j += 1;
+                    let start_line = line;
+                    'raw: while j < n {
+                        if b[j] == '\n' {
+                            line += 1;
+                        } else if b[j] == '"' {
+                            let mut k = 0;
+                            while k < fences && j + 1 + k < n && b[j + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == fences {
+                                j += 1 + fences;
+                                break 'raw;
+                            }
+                        }
+                        j += 1;
+                    }
+                    let text: String = b[i..j.min(n)].iter().collect();
+                    out.tokens.push(Token {
+                        kind: TokKind::Str,
+                        text,
+                        line: start_line,
+                    });
+                    token_on_line = true;
+                    i = j;
+                    continue;
+                }
+                // b"…" — fall through to the plain-string scanner below
+                // by treating the `b` as part of the literal.
+                let (end, endline) = scan_plain_string(&b, j, line);
+                let text: String = b[i..end].iter().collect();
+                push!(TokKind::Str, text);
+                line = endline;
+                i = end;
+                continue;
+            }
+            if c == 'r' && fences == 1 && j < n && is_ident_start(b[j]) {
+                // Raw identifier r#ident: emit as a plain ident.
+                let start = j;
+                while j < n && is_ident_char(b[j]) {
+                    j += 1;
+                }
+                let text: String = b[start..j].iter().collect();
+                push!(TokKind::Ident, text);
+                i = j;
+                continue;
+            }
+            if c == 'b' && i + 1 < n && b[i + 1] == '\'' {
+                // Byte literal b'x'.
+                let end = scan_char_literal(&b, i + 1);
+                let text: String = b[i..end].iter().collect();
+                push!(TokKind::Char, text);
+                i = end;
+                continue;
+            }
+            // Plain identifier starting with r/b.
+        }
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_char(b[i]) {
+                i += 1;
+            }
+            let text: String = b[start..i].iter().collect();
+            push!(TokKind::Ident, text);
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (is_ident_char(b[i]) || (b[i] == '.' && looks_like_fraction(&b, i))) {
+                i += 1;
+            }
+            let text: String = b[start..i].iter().collect();
+            push!(TokKind::Num, text);
+            continue;
+        }
+        if c == '"' {
+            let (end, endline) = scan_plain_string(&b, i, line);
+            let text: String = b[i..end].iter().collect();
+            push!(TokKind::Str, text);
+            line = endline;
+            i = end;
+            continue;
+        }
+        if c == '\'' {
+            // Char literal or lifetime. `'\…'` and `'x'` are chars; `'a`
+            // followed by a non-quote is a lifetime/label.
+            let is_char = i + 1 < n
+                && (b[i + 1] == '\\'
+                    || (i + 2 < n && b[i + 2] == '\'' && b[i + 1] != '\'')
+                    || !is_ident_start(b[i + 1]));
+            if is_char {
+                let end = scan_char_literal(&b, i);
+                let text: String = b[i..end].iter().collect();
+                push!(TokKind::Char, text);
+                i = end;
+            } else {
+                let start = i + 1;
+                let mut j = start;
+                while j < n && is_ident_char(b[j]) {
+                    j += 1;
+                }
+                let text: String = b[start..j].iter().collect();
+                push!(TokKind::Lifetime, text);
+                i = j;
+            }
+            continue;
+        }
+        match c {
+            '(' | '[' | '{' => push!(TokKind::Open, c.to_string()),
+            ')' | ']' | '}' => push!(TokKind::Close, c.to_string()),
+            _ => push!(TokKind::Punct, c.to_string()),
+        }
+        i += 1;
+    }
+    out
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// `12.` only continues a numeric token when followed by a digit
+/// (`1.5`), never for ranges (`1..n`) or method calls (`1.max(x)`).
+fn looks_like_fraction(b: &[char], dot: usize) -> bool {
+    b.get(dot + 1).is_some_and(|c| c.is_ascii_digit())
+}
+
+/// Scan a `"…"` literal starting at the quote; returns (index past the
+/// closing quote, updated line number).
+fn scan_plain_string(b: &[char], start: usize, mut line: u32) -> (usize, u32) {
+    let n = b.len();
+    let mut i = start + 1;
+    while i < n {
+        match b[i] {
+            '\\' => i += 2,
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '"' => return (i + 1, line),
+            _ => i += 1,
+        }
+    }
+    (n, line)
+}
+
+/// Scan a `'…'` char/byte literal starting at the quote; returns the
+/// index past the closing quote.
+fn scan_char_literal(b: &[char], start: usize) -> usize {
+    let n = b.len();
+    let mut i = start + 1;
+    while i < n {
+        match b[i] {
+            '\\' => i += 2,
+            '\'' => return (i + 1).min(n),
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// Parse an `archlint::allow` suppression out of a line comment, if the
+/// comment is one. Syntax:
+///
+/// ```text
+/// // archlint::allow(rule-name, reason = "why this is sound")
+/// ```
+fn scan_allow_comment(comment: &str, line: u32, standalone: bool, out: &mut Lexed) {
+    let body = comment.trim_start_matches('/').trim();
+    let Some(rest) = body.strip_prefix("archlint::allow") else {
+        return;
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        out.malformed
+            .push((line, "expected `(` after `archlint::allow`".into()));
+        return;
+    };
+    let Some(args) = rest.rfind(')').map(|end| &rest[..end]) else {
+        out.malformed
+            .push((line, "unclosed `archlint::allow(...)`".into()));
+        return;
+    };
+    let (rule, tail) = match args.split_once(',') {
+        Some((r, t)) => (r.trim(), t.trim()),
+        None => (args.trim(), ""),
+    };
+    if rule.is_empty() {
+        out.malformed
+            .push((line, "missing rule name in `archlint::allow`".into()));
+        return;
+    }
+    let reason = tail
+        .strip_prefix("reason")
+        .map(|t| t.trim_start())
+        .and_then(|t| t.strip_prefix('='))
+        .map(|t| t.trim())
+        .and_then(|t| t.strip_prefix('"'))
+        .and_then(|t| t.strip_suffix('"'))
+        .unwrap_or("");
+    if reason.trim().is_empty() {
+        out.malformed.push((
+            line,
+            format!("allow({rule}) needs a non-empty `reason = \"…\"`"),
+        ));
+        return;
+    }
+    out.allows.push(Allow {
+        rule: rule.to_string(),
+        reason: reason.to_string(),
+        line,
+        standalone,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens_and_lines() {
+        let l = lex("fn main() {\n    x.unwrap();\n}\n");
+        let unwrap = l.tokens.iter().find(|t| t.is_ident("unwrap")).unwrap();
+        assert_eq!(unwrap.line, 2);
+        assert_eq!(l.tokens.first().unwrap().line, 1);
+        assert_eq!(l.tokens.last().unwrap().line, 3);
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        assert_eq!(
+            idents("a // unwrap()\n/* panic! /* nested */ still comment */ b"),
+            ["a", "b"]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = "let s = \"x.unwrap()\"; let r = r#\"panic!()\"# ;";
+        let l = lex(src);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("panic")));
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn raw_string_with_fences_and_quotes() {
+        let l = lex("let s = r##\"contains \"# quote\"## ; tail");
+        assert!(l.tokens.iter().any(|t| t.is_ident("tail")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex(
+            "fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; 'outer: loop { break 'outer; } }",
+        );
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a", "outer", "outer"]);
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Char).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn allow_comments_parse() {
+        let l = lex(concat!(
+            "// archlint::allow(panic-free-request-path, reason = \"worker re-raise\")\n",
+            "x.unwrap(); // archlint::allow(no-std-sync, reason = \"trailing\")\n",
+            "// archlint::allow(missing-reason)\n",
+        ));
+        assert_eq!(l.allows.len(), 2);
+        assert_eq!(l.allows[0].rule, "panic-free-request-path");
+        assert!(l.allows[0].standalone);
+        assert_eq!(l.allows[1].rule, "no-std-sync");
+        assert!(!l.allows[1].standalone);
+        assert_eq!(l.allows[1].line, 2);
+        assert_eq!(l.malformed.len(), 1);
+        assert_eq!(l.malformed[0].0, 3);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        assert_eq!(
+            idents("for i in 0..n { x[i].max(1.5); }"),
+            ["for", "i", "in", "n", "x", "i", "max"]
+        );
+    }
+}

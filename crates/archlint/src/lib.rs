@@ -1,0 +1,57 @@
+//! `archlint` — workspace static analysis for the architecture
+//! invariants that keep this system correct under load.
+//!
+//! Seven PRs of invariants lived as prose in ROADMAP §Architecture
+//! invariants; this crate makes them executable. It lexes every
+//! first-party source file (a hand-rolled token scanner — the build
+//! environment is offline, so no `syn`) and runs a rule set over the
+//! token streams:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `panic-free-request-path` | no `unwrap`/`expect`/panicking macros in non-test serving-path code |
+//! | `budget-polled-loops` | substantial kernel/DP/search loops poll `CostMeter`/`QueryBudget` |
+//! | `lru-backed-caches` | types named `*Cache` are built on `core::lru::Lru` |
+//! | `scoped-component-sweeps` | recursion uses `components_inside`, unscoped sweeps are entry-point-only |
+//! | `no-std-sync` | `parking_lot` locks only — no `std::sync::{Mutex, RwLock}` |
+//! | `lock-order` | the static lock-acquisition graph is acyclic |
+//!
+//! Findings can be suppressed inline, with a mandatory reason:
+//!
+//! ```text
+//! // archlint::allow(panic-free-request-path, reason = "re-raises a worker panic")
+//! ```
+//!
+//! A standalone allow comment covers the next code line; a trailing one
+//! covers its own line. Malformed, unknown-rule, and *unused* allows
+//! are findings themselves (`allow-hygiene`), so the suppression
+//! surface cannot rot.
+//!
+//! CI runs `cargo run --release -p archlint` as a required gate;
+//! `tests/self_check.rs` pins the workspace clean and the serving
+//! layer's lock graph acyclic.
+
+#![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::print_stdout)]
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+pub use diag::Diagnostic;
+pub use rules::{acquisition_graph, all_rules, run, LockGraph};
+pub use workspace::Workspace;
+
+use std::path::PathBuf;
+
+/// The workspace root when running from the repo (the directory two
+/// levels above this crate's manifest).
+pub fn default_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.to_path_buf())
+        .unwrap_or_else(|| PathBuf::from("."))
+}

@@ -1,0 +1,90 @@
+//! The `archlint` CLI: lint the workspace, print `file:line` findings,
+//! exit non-zero when anything is wrong. CI runs this as a required
+//! gate (`cargo run --release -p archlint`).
+//!
+//! ```text
+//! archlint [--root PATH] [--lock-graph] [--list-rules]
+//! ```
+
+#![forbid(unsafe_code)]
+
+use archlint::{acquisition_graph, all_rules, default_root, run, Workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = default_root();
+    let mut show_graph = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => root = PathBuf::from(p),
+                    None => {
+                        eprintln!("--root needs a value");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--lock-graph" => show_graph = true,
+            "--list-rules" => {
+                for rule in all_rules() {
+                    println!("{:<26} {}", rule.name(), rule.explain());
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag `{other}` (try --list-rules, --lock-graph, --root)");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("archlint: cannot load workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let diags = run(&ws);
+    for d in &diags {
+        println!("{d}");
+    }
+
+    let graph = acquisition_graph(&ws);
+    if show_graph || !graph.cycles.is_empty() {
+        println!("lock classes ({}):", graph.classes.len());
+        for c in &graph.classes {
+            println!("  {c}");
+        }
+        println!("acquisition edges ({}):", graph.edges.len());
+        for e in &graph.edges {
+            match &e.via {
+                Some(via) => println!(
+                    "  {} -> {} (via {}, {}:{})",
+                    e.from, e.to, via, e.file, e.line
+                ),
+                None => println!("  {} -> {} ({}:{})", e.from, e.to, e.file, e.line),
+            }
+        }
+    }
+
+    if diags.is_empty() {
+        println!(
+            "archlint: {} files clean; lock graph: {} classes, {} edges, acyclic",
+            ws.files.len(),
+            graph.classes.len(),
+            graph.edges.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("archlint: {} finding(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,596 @@
+//! `lock-order`: a cheap static deadlock detector for the serving
+//! layer. The pass:
+//!
+//! 1. discovers *lock classes* — struct fields whose type mentions
+//!    `Mutex` / `RwLock` (the `Database` snapshot `RwLock`, the
+//!    `PlanCache` / `DecompCache` mutexes, the relation index cache) —
+//!    named `Struct.field`;
+//! 2. finds *acquisitions* — `self.field.lock() / .read() / .write()`
+//!    where `field` is a known class of the enclosing `impl` type — and
+//!    estimates each guard's live range: temporaries die at statement
+//!    end, `if let` / `while let` / `match` scrutinee temporaries live
+//!    through the consequent block (the parking_lot gotcha), `let`
+//!    bindings live to end of block or an explicit `drop(name)`;
+//! 3. builds the *acquisition graph*: an edge `A → B` when a guard of
+//!    `A` is provably live at a point that acquires `B` — directly, or
+//!    through a call to a function whose (transitive) summary acquires
+//!    `B`. Call resolution is conservative: `self.m(…)` resolves within
+//!    the impl type, `Type::m(…)` by path, and bare/dotted names only
+//!    when the name is unique workspace-wide — ambiguous names are
+//!    dropped rather than guessed, so edges are under- not
+//!    over-approximated;
+//! 4. errors on any cycle (including self-loops: parking_lot locks are
+//!    not re-entrant — re-acquiring a held mutex deadlocks *yourself*).
+//!
+//! The CLI prints the discovered graph (`archlint --lock-graph`), and
+//! `tests/self_check.rs` pins the serving layer's real graph acyclic.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::lexer::{TokKind, Token};
+use crate::source::{matching_close, SourceFile};
+use crate::workspace::Workspace;
+use std::collections::{BTreeMap, BTreeSet};
+
+const SCOPE: &[&str] = &["crates/", "src/"];
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
+const LOCK_TYPES: &[&str] = &["Mutex", "RwLock"];
+
+/// Ubiquitous std-trait method names: a dotted call through one of
+/// these is almost never the workspace function of the same name, so
+/// name-unique resolution would fabricate edges (e.g. the `.clone()` of
+/// a map inside a guard resolving to a manual `Clone` impl that locks).
+const UNIVERSAL_METHODS: &[&str] = &[
+    "clone",
+    "default",
+    "fmt",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "next",
+    "drop",
+    "from",
+    "into",
+    "as_ref",
+    "as_mut",
+    "deref",
+    "deref_mut",
+    "index",
+    "to_string",
+    "to_owned",
+    "borrow",
+    "borrow_mut",
+    "len",
+    "is_empty",
+    "get",
+    "insert",
+    "remove",
+    "iter",
+    "push",
+    "pop",
+    "extend",
+    "contains",
+    "clear",
+    "new",
+];
+
+/// The discovered acquisition graph.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    /// Lock classes (`Struct.field`), sorted.
+    pub classes: Vec<String>,
+    /// Held-while-acquiring edges with one witness site each.
+    pub edges: Vec<LockEdge>,
+    /// Classes involved in at least one cycle, as diagnostic fodder.
+    pub cycles: Vec<Vec<String>>,
+}
+
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    pub from: String,
+    pub to: String,
+    /// Witness: file, line of the inner acquisition/call.
+    pub file: String,
+    pub line: u32,
+    /// The callee chain when the inner acquisition is indirect.
+    pub via: Option<String>,
+}
+
+struct FnInfo {
+    name: String,
+    self_type: Option<String>,
+    file: usize,
+    body: std::ops::Range<usize>,
+}
+
+/// Build the acquisition graph for the workspace.
+pub fn acquisition_graph(ws: &Workspace) -> LockGraph {
+    // ---- 1. lock classes ------------------------------------------------
+    // field name -> class name, per struct; plus a flat field->classes
+    // multimap to resolve `self.field` when the impl type is known.
+    let mut classes: BTreeSet<String> = BTreeSet::new();
+    let mut by_struct_field: BTreeMap<(String, String), String> = BTreeMap::new();
+    for file in ws.files.iter().filter(|f| !f.is_test_path()) {
+        if !ws.in_scope(file, SCOPE) {
+            continue;
+        }
+        find_lock_fields(file, &mut classes, &mut by_struct_field);
+    }
+
+    // ---- function table -------------------------------------------------
+    let mut fns: Vec<FnInfo> = Vec::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        if !ws.in_scope(file, SCOPE) || file.is_test_path() {
+            continue;
+        }
+        for f in file.fns() {
+            if file.is_test_line(f.line) {
+                continue;
+            }
+            fns.push(FnInfo {
+                name: f.name,
+                self_type: f.self_type,
+                file: fi,
+                body: f.body,
+            });
+        }
+    }
+    let mut name_count: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in &fns {
+        *name_count.entry(f.name.as_str()).or_default() += 1;
+    }
+
+    // ---- 2+3. per-function acquisitions, calls, summaries ---------------
+    struct Acq {
+        class: String,
+        tok: usize,
+        scope_end: usize,
+    }
+    struct Call {
+        callee: usize,
+        tok: usize,
+        line: u32,
+    }
+    let mut acqs: Vec<Vec<Acq>> = Vec::new();
+    let mut calls: Vec<Vec<Call>> = Vec::new();
+    for f in &fns {
+        let file = &ws.files[f.file];
+        let t = &file.tokens;
+        let mut fa = Vec::new();
+        let mut fc = Vec::new();
+        for i in f.body.clone() {
+            // `self . FIELD . lock/read/write ( )`
+            if t[i].is_ident("self")
+                && t.get(i + 1).is_some_and(|x| x.is_punct('.'))
+                && t.get(i + 2).is_some_and(|x| x.kind == TokKind::Ident)
+                && t.get(i + 3).is_some_and(|x| x.is_punct('.'))
+                && t.get(i + 4)
+                    .is_some_and(|x| ACQUIRE_METHODS.iter().any(|m| x.is_ident(m)))
+                && t.get(i + 5).is_some_and(|x| x.is_open('('))
+            {
+                let field = &t[i + 2].text;
+                let class = f
+                    .self_type
+                    .as_ref()
+                    .and_then(|ty| by_struct_field.get(&(ty.clone(), field.clone())))
+                    .cloned();
+                if let Some(class) = class {
+                    let scope_end = guard_scope_end(t, i, f.body.end);
+                    fa.push(Acq {
+                        class,
+                        tok: i,
+                        scope_end,
+                    });
+                }
+            }
+            // Calls: `name (` — resolve conservatively.
+            if t[i].kind == TokKind::Ident && t.get(i + 1).is_some_and(|x| x.is_open('(')) {
+                let name = t[i].text.as_str();
+                if ACQUIRE_METHODS.contains(&name) {
+                    continue;
+                }
+                let prev_dot = i > 0 && t[i - 1].is_punct('.');
+                let self_recv = prev_dot
+                    && i >= 2
+                    && t[i - 2].is_ident("self")
+                    && (i < 3 || !t[i - 3].is_punct('.'));
+                let typed_path = i >= 3
+                    && t[i - 1].is_punct(':')
+                    && t[i - 2].is_punct(':')
+                    && t[i - 3].kind == TokKind::Ident;
+                let callee = if self_recv {
+                    fns.iter()
+                        .position(|g| g.name == name && g.self_type == f.self_type)
+                } else if typed_path {
+                    let ty = &t[i - 3].text;
+                    fns.iter()
+                        .position(|g| g.name == name && g.self_type.as_ref() == Some(ty))
+                } else if name_count.get(name) == Some(&1) && !UNIVERSAL_METHODS.contains(&name) {
+                    fns.iter().position(|g| g.name == name)
+                } else {
+                    None
+                };
+                if let Some(c) = callee {
+                    fc.push(Call {
+                        callee: c,
+                        tok: i,
+                        line: t[i].line,
+                    });
+                }
+            }
+        }
+        acqs.push(fa);
+        calls.push(fc);
+    }
+
+    // Transitive "acquires" summaries to a fixpoint.
+    let mut summary: Vec<BTreeSet<String>> = acqs
+        .iter()
+        .map(|fa| fa.iter().map(|a| a.class.clone()).collect())
+        .collect();
+    loop {
+        let mut changed = false;
+        for i in 0..fns.len() {
+            for c in &calls[i] {
+                let add: Vec<String> = summary[c.callee].difference(&summary[i]).cloned().collect();
+                if !add.is_empty() {
+                    summary[i].extend(add);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Edges: guard live at a later acquisition or lock-acquiring call.
+    let mut edges: Vec<LockEdge> = Vec::new();
+    let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
+    for (i, f) in fns.iter().enumerate() {
+        let file = &ws.files[f.file];
+        for a in &acqs[i] {
+            for b in &acqs[i] {
+                if b.tok > a.tok && b.tok <= a.scope_end {
+                    push_edge(
+                        &mut edges,
+                        &mut seen,
+                        &a.class,
+                        &b.class,
+                        &file.rel,
+                        file.tokens[b.tok].line,
+                        None,
+                    );
+                }
+            }
+            for c in &calls[i] {
+                if c.tok > a.tok && c.tok <= a.scope_end {
+                    for target in &summary[c.callee] {
+                        push_edge(
+                            &mut edges,
+                            &mut seen,
+                            &a.class,
+                            target,
+                            &file.rel,
+                            c.line,
+                            Some(fns[c.callee].name.clone()),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- 4. cycles -------------------------------------------------------
+    let cycles = find_cycles(&classes, &edges);
+    LockGraph {
+        classes: classes.into_iter().collect(),
+        edges,
+        cycles,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_edge(
+    edges: &mut Vec<LockEdge>,
+    seen: &mut BTreeSet<(String, String)>,
+    from: &str,
+    to: &str,
+    file: &str,
+    line: u32,
+    via: Option<String>,
+) {
+    if seen.insert((from.to_string(), to.to_string())) {
+        edges.push(LockEdge {
+            from: from.to_string(),
+            to: to.to_string(),
+            file: file.to_string(),
+            line,
+            via,
+        });
+    }
+}
+
+/// Struct fields whose type mentions a lock type.
+fn find_lock_fields(
+    file: &SourceFile,
+    classes: &mut BTreeSet<String>,
+    by_struct_field: &mut BTreeMap<(String, String), String>,
+) {
+    let t = &file.tokens;
+    for i in 0..t.len() {
+        if !t[i].is_ident("struct") || file.is_test_line(t[i].line) {
+            continue;
+        }
+        let Some(name_tok) = t.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokKind::Ident {
+            continue;
+        }
+        // Find the record body `{…}` (skip tuple structs).
+        let mut j = i + 2;
+        let mut angle = 0i32;
+        let mut open = None;
+        while j < t.len() {
+            let tok = &t[j];
+            if tok.is_punct('<') {
+                angle += 1;
+            } else if tok.is_punct('>') {
+                angle -= 1;
+            } else if angle == 0 && tok.is_open('{') {
+                open = Some(j);
+                break;
+            } else if angle == 0 && (tok.is_punct(';') || tok.is_open('(')) {
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = open else { continue };
+        let close = matching_close(t, open);
+        // Fields at depth 1: `name : type-tokens ,`
+        let mut k = open + 1;
+        while k < close {
+            if t[k].kind == TokKind::Ident
+                && t.get(k + 1).is_some_and(|x| x.is_punct(':'))
+                && !t.get(k + 2).is_some_and(|x| x.is_punct(':'))
+            {
+                let field = t[k].text.clone();
+                // Type tokens run to the next `,` at this depth.
+                let mut d = 0usize;
+                let mut m = k + 2;
+                let mut is_lock = false;
+                while m < close {
+                    match t[m].kind {
+                        TokKind::Open => d += 1,
+                        TokKind::Close => d = d.saturating_sub(1),
+                        _ => {
+                            if d == 0 && t[m].is_punct(',') {
+                                break;
+                            }
+                        }
+                    }
+                    if LOCK_TYPES.iter().any(|l| t[m].is_ident(l)) {
+                        is_lock = true;
+                    }
+                    m += 1;
+                }
+                if is_lock {
+                    let class = format!("{}.{}", name_tok.text, field);
+                    classes.insert(class.clone());
+                    by_struct_field.insert((name_tok.text.clone(), field), class);
+                }
+                k = m;
+            }
+            k += 1;
+        }
+    }
+}
+
+/// Where the guard produced by the acquisition at `acq` stops being
+/// live, as a token index (heuristic, under-approximating).
+fn guard_scope_end(t: &[Token], acq: usize, body_end: usize) -> usize {
+    // Walk back to the statement boundary.
+    let mut s = acq;
+    while s > 0 {
+        let tok = &t[s - 1];
+        if tok.is_punct(';') || tok.is_open('{') || tok.is_close('}') {
+            break;
+        }
+        s -= 1;
+    }
+    let starts_with = |kw: &str| t.get(s).is_some_and(|x| x.is_ident(kw));
+    let second_is = |kw: &str| t.get(s + 1).is_some_and(|x| x.is_ident(kw));
+
+    // `if let … = self.x.lock()…` / `while let …` / `match self.x.lock()`:
+    // the scrutinee temporary lives through the consequent block (and an
+    // `else` block for `if let`).
+    if (starts_with("if") && second_is("let"))
+        || (starts_with("while") && second_is("let"))
+        || starts_with("match")
+    {
+        let mut j = acq;
+        let mut depth = 0usize;
+        while j < body_end {
+            match t[j].kind {
+                TokKind::Open => {
+                    if t[j].is_open('{') && depth == 0 {
+                        let mut end = matching_close(t, j);
+                        // `} else {` / `} else if … {` chains extend it.
+                        while t.get(end + 1).is_some_and(|x| x.is_ident("else")) {
+                            let mut k = end + 2;
+                            while k < body_end && !t[k].is_open('{') {
+                                k += 1;
+                            }
+                            if k >= body_end {
+                                break;
+                            }
+                            end = matching_close(t, k);
+                        }
+                        return end.min(body_end);
+                    }
+                    depth += 1;
+                }
+                TokKind::Close => depth = depth.saturating_sub(1),
+                _ => {
+                    if depth == 0 && t[j].is_punct(';') {
+                        return j;
+                    }
+                }
+            }
+            j += 1;
+        }
+        return body_end;
+    }
+
+    // `let [mut] name = …;` — the guard lives to the end of the
+    // enclosing block, or to an explicit `drop(name)`.
+    if starts_with("let") {
+        let mut name_idx = s + 1;
+        if t.get(name_idx).is_some_and(|x| x.is_ident("mut")) {
+            name_idx += 1;
+        }
+        let bound = t
+            .get(name_idx)
+            .filter(|x| x.kind == TokKind::Ident)
+            .map(|x| x.text.clone());
+        // Enclosing block: track depth backwards is fiddly; go forward
+        // from the acquisition until the depth counter goes negative.
+        let mut depth = 0i64;
+        let mut j = acq;
+        while j < body_end {
+            match t[j].kind {
+                TokKind::Open => depth += 1,
+                TokKind::Close => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return j;
+                    }
+                }
+                _ => {
+                    if let Some(name) = &bound {
+                        if depth == 0
+                            && t[j].is_ident("drop")
+                            && t.get(j + 1).is_some_and(|x| x.is_open('('))
+                            && t.get(j + 2).is_some_and(|x| x.is_ident(name))
+                        {
+                            return j;
+                        }
+                    }
+                }
+            }
+            j += 1;
+        }
+        return body_end;
+    }
+
+    // Plain temporary: dies at the end of its statement.
+    let mut depth = 0i64;
+    let mut j = acq;
+    while j < body_end {
+        match t[j].kind {
+            TokKind::Open => depth += 1,
+            TokKind::Close => {
+                depth -= 1;
+                if depth < 0 {
+                    return j;
+                }
+            }
+            _ => {
+                if depth == 0 && t[j].is_punct(';') {
+                    return j;
+                }
+            }
+        }
+        j += 1;
+    }
+    body_end
+}
+
+/// Every elementary cycle's class list (via DFS from each node; small
+/// graphs, so no need for Johnson's algorithm).
+fn find_cycles(classes: &BTreeSet<String>, edges: &[LockEdge]) -> Vec<Vec<String>> {
+    let idx: BTreeMap<&str, usize> = classes.iter().map(|c| c.as_str()).zip(0..).collect();
+    let n = classes.len();
+    let mut adj = vec![Vec::new(); n];
+    for e in edges {
+        if let (Some(&a), Some(&b)) = (idx.get(e.from.as_str()), idx.get(e.to.as_str())) {
+            adj[a].push(b);
+        }
+    }
+    let names: Vec<&String> = classes.iter().collect();
+    let mut cycles: Vec<Vec<String>> = Vec::new();
+    // Colour DFS: any back edge closes a cycle; record the stack slice.
+    let mut colour = vec![0u8; n];
+    let mut stack: Vec<usize> = Vec::new();
+    fn dfs(
+        u: usize,
+        adj: &[Vec<usize>],
+        colour: &mut [u8],
+        stack: &mut Vec<usize>,
+        names: &[&String],
+        cycles: &mut Vec<Vec<String>>,
+    ) {
+        colour[u] = 1;
+        stack.push(u);
+        for &v in &adj[u] {
+            if colour[v] == 1 {
+                let pos = stack.iter().position(|&x| x == v).unwrap_or(0);
+                let mut cyc: Vec<String> = stack[pos..].iter().map(|&x| names[x].clone()).collect();
+                cyc.push(names[v].clone());
+                cycles.push(cyc);
+            } else if colour[v] == 0 {
+                dfs(v, adj, colour, stack, names, cycles);
+            }
+        }
+        stack.pop();
+        colour[u] = 2;
+    }
+    for u in 0..n {
+        if colour[u] == 0 {
+            dfs(u, &adj, &mut colour, &mut stack, &names, &mut cycles);
+        }
+    }
+    cycles
+}
+
+pub struct LockOrder;
+
+impl Rule for LockOrder {
+    fn name(&self) -> &'static str {
+        "lock-order"
+    }
+
+    fn explain(&self) -> &'static str {
+        "the static lock-acquisition graph (guards held while other locks are taken, \
+         direct or through calls) must be acyclic — cycles are potential deadlocks"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let graph = acquisition_graph(ws);
+        for cyc in &graph.cycles {
+            // Anchor the diagnostic at the witness site of the cycle's
+            // first edge.
+            let (from, to) = (&cyc[0], &cyc[1.min(cyc.len() - 1)]);
+            let site = graph
+                .edges
+                .iter()
+                .find(|e| &e.from == from && &e.to == to)
+                .or(graph.edges.first());
+            let (file, line) =
+                site.map_or(("<graph>".to_string(), 0), |e| (e.file.clone(), e.line));
+            out.push(Diagnostic {
+                rule: self.name(),
+                file,
+                line,
+                msg: format!(
+                    "lock-order cycle: {} — a thread interleaving exists that deadlocks \
+                     (parking_lot locks are not re-entrant); acquire in one global order",
+                    cyc.join(" -> ")
+                ),
+            });
+        }
+    }
+}

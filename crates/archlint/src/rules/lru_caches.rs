@@ -1,0 +1,97 @@
+//! `lru-backed-caches`: every type named `*Cache` must be built on the
+//! shared `core::lru::Lru` policy. A raw-map cache is unbounded — under
+//! serving traffic with adversarial query variety that is a memory
+//! leak with a hit counter. `PlanCache` and `DecompCache` both ride the
+//! one audited LRU; new caches must too (or argue their case in an
+//! allow reason).
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::matching_close;
+use crate::workspace::Workspace;
+
+/// All first-party library code (tests may build throwaway maps).
+const SCOPE: &[&str] = &["crates/", "src/"];
+
+pub struct LruCaches;
+
+impl Rule for LruCaches {
+    fn name(&self) -> &'static str {
+        "lru-backed-caches"
+    }
+
+    fn explain(&self) -> &'static str {
+        "types named *Cache must be built on core::lru::Lru, not raw maps — \
+         caches must be bounded and share the audited eviction policy"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            if !ws.in_scope(file, SCOPE) || file.is_test_path() {
+                continue;
+            }
+            let t = &file.tokens;
+            for i in 0..t.len() {
+                let is_def = t[i].is_ident("struct") || t[i].is_ident("enum");
+                let is_alias = t[i].is_ident("type");
+                if !is_def && !is_alias {
+                    continue;
+                }
+                let Some(name_tok) = t.get(i + 1) else {
+                    continue;
+                };
+                if name_tok.kind != TokKind::Ident
+                    || !name_tok.text.ends_with("Cache")
+                    || name_tok.text == "Cache"
+                    || file.is_test_line(name_tok.line)
+                {
+                    continue;
+                }
+                // Definition body: for struct/enum the `{…}` / `(…)` up
+                // to `;`; for a type alias everything up to `;`.
+                let mut j = i + 2;
+                let mut mentions_lru = false;
+                let mut depth = 0usize;
+                while j < t.len() {
+                    let tok = &t[j];
+                    if tok.is_ident("Lru") {
+                        mentions_lru = true;
+                    }
+                    match tok.kind {
+                        TokKind::Open => {
+                            if tok.is_open('{') && depth == 0 && is_def {
+                                let close = matching_close(t, j);
+                                mentions_lru = mentions_lru
+                                    || t[j..=close.min(t.len() - 1)]
+                                        .iter()
+                                        .any(|tok| tok.is_ident("Lru"));
+                                break;
+                            }
+                            depth += 1;
+                        }
+                        TokKind::Close => depth = depth.saturating_sub(1),
+                        _ => {
+                            if depth == 0 && tok.is_punct(';') {
+                                break;
+                            }
+                        }
+                    }
+                    j += 1;
+                }
+                if !mentions_lru {
+                    out.push(Diagnostic {
+                        rule: self.name(),
+                        file: file.rel.clone(),
+                        line: name_tok.line,
+                        msg: format!(
+                            "`{}` is not built on core::lru::Lru — caches must be bounded \
+                             (see PlanCache / DecompCache for the pattern)",
+                            name_tok.text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! `no-std-sync`: `std::sync::{Mutex, RwLock}` are banned in
+//! first-party code — the workspace standardises on `parking_lot`
+//! (vendored stand-in included): no lock poisoning to litter request
+//! paths with `.lock().unwrap()`, and one lock vocabulary for the
+//! `lock-order` pass to reason about. `Arc`, atomics, and `mpsc` are
+//! fine; this is about the lock types only.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::workspace::Workspace;
+
+/// Everything first-party, tests and benches included — a poisoned
+/// test lock is the same foot-gun.
+const SCOPE: &[&str] = &["crates/", "src/", "tests/", "examples/"];
+const BANNED: &[&str] = &["Mutex", "RwLock", "Condvar", "Barrier"];
+
+pub struct NoStdSync;
+
+impl Rule for NoStdSync {
+    fn name(&self) -> &'static str {
+        "no-std-sync"
+    }
+
+    fn explain(&self) -> &'static str {
+        "std::sync locks (Mutex/RwLock/Condvar/Barrier) are banned outside vendor/ — \
+         use parking_lot (no poisoning, one lock vocabulary)"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            if !ws.in_scope(file, SCOPE) {
+                continue;
+            }
+            let t = &file.tokens;
+            for i in 0..t.len() {
+                // `std :: sync :: X` or `std :: sync :: { …X… }`.
+                if !(t[i].is_ident("std")
+                    && t.get(i + 1).is_some_and(|x| x.is_punct(':'))
+                    && t.get(i + 2).is_some_and(|x| x.is_punct(':'))
+                    && t.get(i + 3).is_some_and(|x| x.is_ident("sync"))
+                    && t.get(i + 4).is_some_and(|x| x.is_punct(':'))
+                    && t.get(i + 5).is_some_and(|x| x.is_punct(':')))
+                {
+                    continue;
+                }
+                match t.get(i + 6) {
+                    Some(tok) if BANNED.iter().any(|b| tok.is_ident(b)) => {
+                        out.push(Diagnostic {
+                            rule: self.name(),
+                            file: file.rel.clone(),
+                            line: tok.line,
+                            msg: format!(
+                                "`std::sync::{}` — use `parking_lot::{}` instead",
+                                tok.text, tok.text
+                            ),
+                        });
+                    }
+                    Some(tok) if tok.is_open('{') => {
+                        let close = crate::source::matching_close(t, i + 6);
+                        for inner in &t[i + 6..=close.min(t.len() - 1)] {
+                            if BANNED.iter().any(|b| inner.is_ident(b)) {
+                                out.push(Diagnostic {
+                                    rule: self.name(),
+                                    file: file.rel.clone(),
+                                    line: inner.line,
+                                    msg: format!(
+                                        "`std::sync::{}` (grouped import) — use \
+                                         `parking_lot::{}` instead",
+                                        inner.text, inner.text
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! `panic-free-request-path`: nothing on a serving request path may
+//! exit via a panic. The service wraps every request in `catch_unwind`,
+//! but that is the airbag, not the brake — a panic still aborts the
+//! request, poisons no state only because PR 7 made it so, and turns a
+//! typed, actionable error into `ServiceError::Internal`.
+//!
+//! Scope: non-test code of the crates a request actually flows through
+//! (`service`, `eval`, `relation`, the `cq` parser it starts in, and
+//! the `.hg` parser/writer in `workloads`). Flagged: `.unwrap()`,
+//! `.expect(…)`, `.unwrap_unchecked()`, and the panicking macros
+//! (`panic!`, `todo!`, `unimplemented!`, `unreachable!`).
+//! `debug_assert!` and `#[cfg(test)]` code are exempt; precondition
+//! `assert!`s at public API boundaries are left to review (they guard
+//! caller bugs, not data).
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::workspace::Workspace;
+
+/// Crate paths whose non-test code serves requests.
+const SCOPE: &[&str] = &[
+    "crates/service/src/",
+    "crates/eval/src/",
+    "crates/relation/src/",
+    "crates/cq/src/",
+    "crates/workloads/src/hg.rs",
+];
+
+const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_unchecked"];
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
+
+pub struct PanicFree;
+
+impl Rule for PanicFree {
+    fn name(&self) -> &'static str {
+        "panic-free-request-path"
+    }
+
+    fn explain(&self) -> &'static str {
+        "request-path code (service/eval/relation/cq, non-test) must not exit via \
+         unwrap/expect or panicking macros — return a typed error instead"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            if !ws.in_scope(file, SCOPE) || file.is_test_path() {
+                continue;
+            }
+            let t = &file.tokens;
+            for (i, tok) in t.iter().enumerate() {
+                if file.is_test_line(tok.line) {
+                    continue;
+                }
+                // `.unwrap()` / `.expect(` — a method call, so require
+                // the leading dot (a fn *named* unwrap is not a call).
+                if PANIC_METHODS.iter().any(|m| tok.is_ident(m))
+                    && i > 0
+                    && t[i - 1].is_punct('.')
+                    && t.get(i + 1).is_some_and(|n| n.is_open('('))
+                {
+                    out.push(Diagnostic {
+                        rule: self.name(),
+                        file: file.rel.clone(),
+                        line: tok.line,
+                        msg: format!(
+                            "`.{}()` on a request path — convert to a typed error \
+                             (QueryError/EvalError/ServiceError) or justify with an allow",
+                            tok.text
+                        ),
+                    });
+                }
+                // `panic!(…)` and friends.
+                if PANIC_MACROS.iter().any(|m| tok.is_ident(m))
+                    && t.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                {
+                    out.push(Diagnostic {
+                        rule: self.name(),
+                        file: file.rel.clone(),
+                        line: tok.line,
+                        msg: format!(
+                            "`{}!` on a request path — requests must unwind as typed errors",
+                            tok.text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! `scoped-component-sweeps`: decomposition recursion must use
+//! `hypergraph::components_inside` — the PR-3 scoped sweep that BFSes
+//! only the current component's own edges, O(|C_R|) per recursion step.
+//! The unscoped `components` / `components_within` re-sweep the *whole*
+//! hypergraph; calling them per recursion step silently reintroduces
+//! the quadratic blowup PR 3 removed.
+//!
+//! The unscoped forms stay legal at *entry points* — the one top-level
+//! sweep that seeds a search, validation passes that run once per
+//! decomposition — which is exactly what the inline allowlist marks.
+//! `crates/hypergraph` itself (definitions, baselines, tests) is out of
+//! scope.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::workspace::Workspace;
+
+const SCOPE: &[&str] = &["crates/", "src/"];
+const DEFINING_CRATE: &str = "crates/hypergraph/";
+const UNSCOPED: &[&str] = &["components", "components_within"];
+
+pub struct ScopedSweeps;
+
+impl Rule for ScopedSweeps {
+    fn name(&self) -> &'static str {
+        "scoped-component-sweeps"
+    }
+
+    fn explain(&self) -> &'static str {
+        "recursion must sweep components via components_inside; the unscoped \
+         components/components_within are entry-point-only (inline allowlist)"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            if !ws.in_scope(file, SCOPE)
+                || (!ws.fixture_mode && file.rel.starts_with(DEFINING_CRATE))
+                || file.is_test_path()
+            {
+                continue;
+            }
+            let t = &file.tokens;
+            for (i, tok) in t.iter().enumerate() {
+                if !UNSCOPED.iter().any(|u| tok.is_ident(u))
+                    || !t.get(i + 1).is_some_and(|n| n.is_open('('))
+                    || file.is_test_line(tok.line)
+                {
+                    continue;
+                }
+                // Imports and definitions are fine; only *calls* count,
+                // and `use …::{components, …}` has no following `(`.
+                // A definition is `fn components(`; a *method* call
+                // (`path.components()`) is some other type's method, not
+                // the hypergraph sweep (which is a free function).
+                if i > 0 && (t[i - 1].is_ident("fn") || t[i - 1].is_punct('.')) {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    file: file.rel.clone(),
+                    line: tok.line,
+                    msg: format!(
+                        "unscoped `{}` call — recursion must use `components_inside` \
+                         (O(|C_R|) per step); if this is a top-level entry-point sweep, \
+                         mark it with an allow",
+                        tok.text
+                    ),
+                });
+            }
+        }
+    }
+}

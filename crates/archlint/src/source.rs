@@ -1,0 +1,297 @@
+//! Per-file source model: the token stream plus the structural facts
+//! the rules need — which lines are test code, where functions and
+//! `impl` blocks begin and end — recovered from token shapes alone.
+
+use crate::lexer::{lex, Allow, Lexed, Token};
+use std::ops::Range;
+use std::path::PathBuf;
+
+/// One analyzed file.
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Workspace-relative path with forward slashes (diagnostic key).
+    pub rel: String,
+    pub tokens: Vec<Token>,
+    pub allows: Vec<Allow>,
+    pub malformed_allows: Vec<(u32, String)>,
+    /// Line spans (inclusive) covered by `#[cfg(test)]` / `#[test]`
+    /// items — exempt from the request-path rules.
+    pub test_spans: Vec<(u32, u32)>,
+}
+
+/// A function definition found in the token stream.
+pub struct FnSpan {
+    pub name: String,
+    /// Self type of the enclosing `impl` block, if any.
+    pub self_type: Option<String>,
+    /// Token range of the body, *including* the outer braces.
+    pub body: Range<usize>,
+    pub line: u32,
+}
+
+impl SourceFile {
+    pub fn parse(path: PathBuf, rel: String, src: &str) -> SourceFile {
+        let Lexed {
+            tokens,
+            allows,
+            malformed,
+        } = lex(src);
+        let test_spans = find_test_spans(&tokens);
+        SourceFile {
+            path,
+            rel,
+            tokens,
+            allows,
+            malformed_allows: malformed,
+            test_spans,
+        }
+    }
+
+    /// `true` iff `line` falls inside a `#[cfg(test)]` / `#[test]` item,
+    /// or the whole file is test/bench/example code by path.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.is_test_path()
+            || self
+                .test_spans
+                .iter()
+                .any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+
+    /// `true` for integration tests, benches, and examples — code that
+    /// never runs on a serving path.
+    pub fn is_test_path(&self) -> bool {
+        let r = &self.rel;
+        r.contains("/tests/")
+            || r.starts_with("tests/")
+            || r.contains("/benches/")
+            || r.contains("/examples/")
+            || r.starts_with("examples/")
+    }
+
+    /// Every function definition with its body token range and the
+    /// enclosing `impl` type, in source order.
+    pub fn fns(&self) -> Vec<FnSpan> {
+        let impls = find_impl_blocks(&self.tokens);
+        let t = &self.tokens;
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < t.len() {
+            if t[i].is_ident("fn") && i + 1 < t.len() {
+                let name = t[i + 1].text.clone();
+                let line = t[i].line;
+                // Body = first `{` at delimiter depth 0 before a `;`
+                // (a `;` first means a bodiless trait/extern signature).
+                let mut j = i + 2;
+                let mut depth = 0usize;
+                let mut body = None;
+                while j < t.len() {
+                    match t[j].kind {
+                        crate::lexer::TokKind::Open => {
+                            if t[j].is_open('{') && depth == 0 {
+                                body = Some(j);
+                                break;
+                            }
+                            depth += 1;
+                        }
+                        crate::lexer::TokKind::Close => depth = depth.saturating_sub(1),
+                        _ => {
+                            if depth == 0 && t[j].is_punct(';') {
+                                break;
+                            }
+                        }
+                    }
+                    j += 1;
+                }
+                if let Some(open) = body {
+                    let close = matching_close(t, open);
+                    let self_type = impls
+                        .iter()
+                        .find(|(_, r)| r.contains(&open))
+                        .map(|(ty, _)| ty.clone());
+                    out.push(FnSpan {
+                        name,
+                        self_type,
+                        body: open..close + 1,
+                        line,
+                    });
+                    // Continue scanning *inside* the body too (closures
+                    // and nested fns) — step past the `fn` keyword only.
+                }
+                i += 2;
+                continue;
+            }
+            i += 1;
+        }
+        out
+    }
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+pub fn matching_close(t: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (j, tok) in t.iter().enumerate().skip(open) {
+        match tok.kind {
+            crate::lexer::TokKind::Open => depth += 1,
+            crate::lexer::TokKind::Close => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    t.len().saturating_sub(1)
+}
+
+/// Line spans of items annotated `#[test]`, `#[cfg(test)]`, or any
+/// attribute whose arguments mention `test` (covers `#[cfg(all(test, …))]`).
+fn find_test_spans(t: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < t.len() {
+        if t[i].is_punct('#') && i + 1 < t.len() && t[i + 1].is_open('[') {
+            let attr_close = matching_close(t, i + 1);
+            let mentions_test = t[i + 1..attr_close]
+                .iter()
+                .any(|tok| tok.is_ident("test") || tok.is_ident("bench"));
+            if mentions_test {
+                let start_line = t[i].line;
+                // Skip any further attributes (`#[test] #[ignore] fn …`),
+                // then find the item body or terminating `;`.
+                let mut j = attr_close + 1;
+                while j + 1 < t.len() && t[j].is_punct('#') && t[j + 1].is_open('[') {
+                    j = matching_close(t, j + 1) + 1;
+                }
+                let mut depth = 0usize;
+                let mut end_line = t.get(j).map_or(start_line, |tok| tok.line);
+                while j < t.len() {
+                    match t[j].kind {
+                        crate::lexer::TokKind::Open => {
+                            if t[j].is_open('{') && depth == 0 {
+                                let close = matching_close(t, j);
+                                end_line = t[close].line;
+                                i = close;
+                                break;
+                            }
+                            depth += 1;
+                        }
+                        crate::lexer::TokKind::Close => depth = depth.saturating_sub(1),
+                        _ => {
+                            if depth == 0 && t[j].is_punct(';') {
+                                end_line = t[j].line;
+                                i = j;
+                                break;
+                            }
+                        }
+                    }
+                    j += 1;
+                }
+                spans.push((start_line, end_line));
+            } else {
+                i = attr_close;
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// `(self type, body token range)` for every `impl` block: `impl Foo`,
+/// `impl<T> Foo<T>`, `impl Trait for Foo`.
+fn find_impl_blocks(t: &[Token]) -> Vec<(String, Range<usize>)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < t.len() {
+        if t[i].is_ident("impl") {
+            // Collect path idents up to the body `{`; the self type is
+            // the last path-segment ident before the body, preferring
+            // whatever follows `for` when present.
+            let mut j = i + 1;
+            let mut angle = 0i32;
+            let mut last_ident: Option<String> = None;
+            let mut after_for: Option<String> = None;
+            let mut saw_for = false;
+            while j < t.len() {
+                let tok = &t[j];
+                if tok.is_punct('<') {
+                    angle += 1;
+                } else if tok.is_punct('>') {
+                    angle -= 1;
+                } else if angle == 0 && tok.is_open('{') {
+                    let close = matching_close(t, j);
+                    let ty = after_for.or(last_ident).unwrap_or_default();
+                    out.push((ty, j..close + 1));
+                    break;
+                } else if angle == 0 && tok.is_ident("for") {
+                    saw_for = true;
+                } else if angle == 0 && tok.is_ident("where") {
+                    // Type position is over; keep scanning for `{`.
+                } else if angle == 0 && tok.kind == crate::lexer::TokKind::Ident {
+                    if saw_for {
+                        after_for = Some(tok.text.clone());
+                    } else {
+                        last_ident = Some(tok.text.clone());
+                    }
+                } else if angle == 0 && tok.is_punct(';') {
+                    break;
+                }
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from("mem.rs"), "crates/x/src/mem.rs".into(), src)
+    }
+
+    #[test]
+    fn test_spans_cover_cfg_test_modules() {
+        let f = file(concat!(
+            "fn live() { x.unwrap(); }\n",  // line 1
+            "#[cfg(test)]\n",               // line 2
+            "mod tests {\n",                // line 3
+            "    #[test]\n",                // line 4
+            "    fn t() { y.unwrap(); }\n", // line 5
+            "}\n",                          // line 6
+            "fn live2() {}\n",              // line 7
+        ));
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(5));
+        assert!(f.is_test_line(6));
+        assert!(!f.is_test_line(7));
+    }
+
+    #[test]
+    fn fns_and_impl_types_resolve() {
+        let f = file(concat!(
+            "impl<T: Clone> PlanCache<T> {\n",
+            "    pub fn get(&self) -> usize { self.map.lock().len() }\n",
+            "}\n",
+            "impl Default for Service { fn default() -> Self { todo() } }\n",
+            "fn free() {}\n",
+        ));
+        let fns = f.fns();
+        let names: Vec<_> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["get", "default", "free"]);
+        assert_eq!(fns[0].self_type.as_deref(), Some("PlanCache"));
+        assert_eq!(fns[1].self_type.as_deref(), Some("Service"));
+        assert_eq!(fns[2].self_type, None);
+    }
+
+    #[test]
+    fn bodiless_trait_sigs_are_skipped() {
+        let f = file("trait T { fn sig(&self); fn with_body(&self) { () } }");
+        let names: Vec<_> = f.fns().iter().map(|f| f.name.clone()).collect();
+        assert_eq!(names, ["with_body"]);
+    }
+}

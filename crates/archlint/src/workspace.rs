@@ -1,0 +1,87 @@
+//! Workspace discovery: find and lex every first-party `.rs` file.
+//!
+//! Excluded by design: `vendor/` (offline stand-ins for external
+//! crates — not ours to lint), `target/`, VCS/CI metadata, and
+//! `crates/archlint/tests/fixtures/` (fixture files *plant* violations
+//! on purpose).
+
+use crate::source::SourceFile;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The analyzed workspace: every first-party source file, lexed.
+pub struct Workspace {
+    pub root: PathBuf,
+    pub files: Vec<SourceFile>,
+    /// Fixture mode widens every path-scoped rule to all loaded files —
+    /// used by the per-rule fixture tests, never by the CLI.
+    pub fixture_mode: bool,
+}
+
+impl Workspace {
+    /// Load the workspace rooted at `root` (the directory holding the
+    /// root `Cargo.toml`).
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut paths = Vec::new();
+        collect(root, root, &mut paths)?;
+        paths.sort();
+        let mut files = Vec::with_capacity(paths.len());
+        for path in paths {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let src = std::fs::read_to_string(&path)?;
+            files.push(SourceFile::parse(path, rel, &src));
+        }
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+            fixture_mode: false,
+        })
+    }
+
+    /// Build a fixture workspace from in-memory `(rel-path, source)`
+    /// pairs; every rule treats every file as in scope.
+    pub fn fixture(files: impl IntoIterator<Item = (String, String)>) -> Workspace {
+        Workspace {
+            root: PathBuf::from("."),
+            files: files
+                .into_iter()
+                .map(|(rel, src)| SourceFile::parse(PathBuf::from(&rel), rel, &src))
+                .collect(),
+            fixture_mode: true,
+        }
+    }
+
+    /// `true` when `file` falls under one of the workspace-relative
+    /// `prefixes` — or always, in fixture mode.
+    pub fn in_scope(&self, file: &SourceFile, prefixes: &[&str]) -> bool {
+        self.fixture_mode || prefixes.iter().any(|p| file.rel.starts_with(p))
+    }
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name.starts_with('.') {
+                continue;
+            }
+            if name == "fixtures" && dir.ends_with("crates/archlint/tests") {
+                continue;
+            }
+            collect(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+        let _ = root;
+    }
+    Ok(())
+}

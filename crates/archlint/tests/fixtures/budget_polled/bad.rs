@@ -1,0 +1,23 @@
+//! Fixture: budget-polled-loops positive. A kernel-sized loop (well
+//! over the body-token threshold) that never references the budget
+//! machinery.
+
+pub fn scan(rows: &[Vec<u64>]) -> u64 {
+    let mut acc = 0u64;
+    for row in rows {
+        let a = row.first().copied().unwrap_or(0);
+        let b = row.get(1).copied().unwrap_or(0);
+        let c = row.get(2).copied().unwrap_or(0);
+        let d = row.get(3).copied().unwrap_or(0);
+        let e = row.get(4).copied().unwrap_or(0);
+        let f = row.get(5).copied().unwrap_or(0);
+        acc = acc.wrapping_add(a.wrapping_mul(3));
+        acc = acc.wrapping_add(b.wrapping_mul(5));
+        acc = acc.wrapping_add(c.wrapping_mul(7));
+        acc = acc.wrapping_add(d.wrapping_mul(11));
+        acc = acc.wrapping_add(e.wrapping_mul(13));
+        acc = acc.wrapping_add(f.wrapping_mul(17));
+        acc ^= acc >> 31;
+    }
+    acc
+}

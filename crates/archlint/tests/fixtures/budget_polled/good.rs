@@ -1,0 +1,31 @@
+//! Fixture: budget-polled-loops negatives. The same kernel loop polls
+//! a meter; a second loop is under the size threshold.
+
+pub fn scan(rows: &[Vec<u64>], meter: &Meter) -> Result<u64, Trip> {
+    let mut acc = 0u64;
+    for row in rows {
+        meter.charge(row.len())?;
+        let a = row.first().copied().unwrap_or(0);
+        let b = row.get(1).copied().unwrap_or(0);
+        let c = row.get(2).copied().unwrap_or(0);
+        let d = row.get(3).copied().unwrap_or(0);
+        let e = row.get(4).copied().unwrap_or(0);
+        let f = row.get(5).copied().unwrap_or(0);
+        acc = acc.wrapping_add(a.wrapping_mul(3));
+        acc = acc.wrapping_add(b.wrapping_mul(5));
+        acc = acc.wrapping_add(c.wrapping_mul(7));
+        acc = acc.wrapping_add(d.wrapping_mul(11));
+        acc = acc.wrapping_add(e.wrapping_mul(13));
+        acc = acc.wrapping_add(f.wrapping_mul(17));
+        acc ^= acc >> 31;
+    }
+    Ok(acc)
+}
+
+pub fn small(rows: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    for r in rows {
+        acc = acc.wrapping_add(*r);
+    }
+    acc
+}

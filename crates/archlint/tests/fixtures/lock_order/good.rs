@@ -1,0 +1,25 @@
+//! Fixture: lock-order negatives. One global order, plus an explicit
+//! `drop` that ends the guard before the other lock is taken.
+
+use parking_lot::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn ab(&self) -> u32 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    pub fn ba_released(&self) -> u32 {
+        let gb = self.b.lock();
+        let x = *gb;
+        drop(gb);
+        let ga = self.a.lock();
+        *ga + x
+    }
+}

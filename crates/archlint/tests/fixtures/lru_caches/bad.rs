@@ -1,0 +1,8 @@
+//! Fixture: lru-backed-caches positive. A `*Cache` type on a raw map
+//! is unbounded under serving traffic.
+
+use std::collections::HashMap;
+
+pub struct ShapeCache {
+    map: HashMap<String, u64>,
+}

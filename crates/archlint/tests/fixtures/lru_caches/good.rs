@@ -1,0 +1,10 @@
+//! Fixture: lru-backed-caches negatives. Lru-backed caches and
+//! non-cache types pass.
+
+pub struct ShapeCache {
+    map: Lru<String, u64>,
+}
+
+pub struct ShapeIndex {
+    map: Vec<(String, u64)>,
+}

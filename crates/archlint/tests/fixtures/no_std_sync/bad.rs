@@ -1,0 +1,9 @@
+//! Fixture: no-std-sync positives. Poisoning locks, plain or in a
+//! grouped import.
+
+use std::sync::Mutex;
+use std::sync::{Arc, RwLock};
+
+pub struct Guarded {
+    inner: std::sync::Mutex<u64>,
+}

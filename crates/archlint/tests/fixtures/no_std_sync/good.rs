@@ -1,0 +1,12 @@
+//! Fixture: no-std-sync negatives. parking_lot locks and the
+//! non-lock std::sync items are fine.
+
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::AtomicUsize;
+use std::sync::Arc;
+
+pub struct Guarded {
+    inner: Mutex<u64>,
+    shared: Arc<RwLock<u64>>,
+    count: AtomicUsize,
+}

@@ -1,0 +1,11 @@
+//! Fixture: panic-free-request-path positives. Every panic exit in
+//! non-test request-path code must be reported.
+
+pub fn lookup(v: &[u32]) -> u32 {
+    let first = v.first().unwrap();
+    let second = v.get(1).expect("a second element");
+    if *first > *second {
+        panic!("inverted input");
+    }
+    todo!("the rest of the request")
+}

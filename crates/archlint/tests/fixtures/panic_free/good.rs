@@ -1,0 +1,22 @@
+//! Fixture: panic-free-request-path negatives. Typed errors, debug
+//! asserts, suppressed sites, and test code are all clean.
+
+pub fn lookup(v: &[u32]) -> Result<u32, String> {
+    let first = v.first().ok_or("empty input")?;
+    debug_assert!(*first < 100, "bound checked upstream");
+    Ok(*first)
+}
+
+pub fn justified(v: &[u32]) -> u32 {
+    // archlint::allow(panic-free-request-path, reason = "fixture: invariant holds by construction")
+    *v.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v = [1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

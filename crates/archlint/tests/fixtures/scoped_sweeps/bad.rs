@@ -1,0 +1,8 @@
+//! Fixture: scoped-component-sweeps positives. Unscoped full-graph
+//! sweeps inside recursion re-introduce the quadratic blowup.
+
+pub fn decompose_step(h: &Hypergraph, sep: &Separator) -> Vec<Component> {
+    let comps = components(h, sep);
+    let within = components_within(h, sep, h.edge_set());
+    merge(comps, within)
+}

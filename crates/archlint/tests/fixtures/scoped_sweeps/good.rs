@@ -1,0 +1,15 @@
+//! Fixture: scoped-component-sweeps negatives. Scoped recursion, an
+//! allow-listed entry point, and foreign `.components()` methods pass.
+
+pub fn decompose_step(h: &Hypergraph, sep: &Separator, inside: &Scope) -> Vec<Component> {
+    components_inside(h, sep, inside)
+}
+
+pub fn entry_point(h: &Hypergraph) -> Vec<Component> {
+    // archlint::allow(scoped-component-sweeps, reason = "fixture: the one top-level seeding sweep")
+    components(h, &Separator::empty())
+}
+
+pub fn path_methods_are_fine(p: &std::path::Path) -> usize {
+    p.components().count()
+}

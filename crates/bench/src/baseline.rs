@@ -168,8 +168,21 @@ pub fn fig11_workload() -> (
     (query, hd, db)
 }
 
+/// Unwrap a measured call that was pre-flighted with `?` before the
+/// timing loop: a rerun can only fail nondeterministically, and if it
+/// does, the typed error's own rendering is the report. (The bench
+/// harness may panic — the panic-free boundary covers the request path
+/// itself, which returned through its typed `Result`.)
+pub(crate) fn checked<T, E: std::fmt::Display>(r: Result<T, E>) -> T {
+    r.unwrap_or_else(|e| panic!("measured call failed after pre-flight: {e}"))
+}
+
 /// Run every baseline workload under `cfg`, in a stable order.
-pub fn run(cfg: &Config) -> Vec<Entry> {
+///
+/// Evaluation errors from the `Strategy`/reduction pipeline propagate
+/// typed — the `bench_baseline` bin reports them and exits non-zero
+/// instead of panicking through the request path.
+pub fn run(cfg: &Config) -> Result<Vec<Entry>, eval::EvalError> {
     let mut entries = Vec::new();
 
     // Intra-query sharding forced to 2 shards with the size threshold
@@ -188,20 +201,20 @@ pub fn run(cfg: &Config) -> Vec<Entry> {
     for degree in [2usize, 4] {
         let mut rng = random::rng(100 + degree as u64);
         let db = random::blowup_database(&mut rng, 5, 150, degree);
-        assert!(plan.boolean(&q, &db).unwrap(), "blowup instances are true");
+        assert!(plan.boolean(&q, &db)?, "blowup instances are true");
         let id = if degree == 2 {
             "eval_acyclic/boolean_path5_deg2"
         } else {
             "eval_acyclic/boolean_path5_deg4"
         };
         let stats = measure(cfg, || {
-            std::hint::black_box(plan.boolean(&q, &db).unwrap());
+            std::hint::black_box(checked(plan.boolean(&q, &db)));
         });
         entries.push(Entry { id, stats });
         if degree == 4 {
-            assert!(plan.boolean_sharded(&q, &db, &shard2).unwrap());
+            assert!(plan.boolean_sharded(&q, &db, &shard2)?);
             let stats = measure(cfg, || {
-                std::hint::black_box(plan.boolean_sharded(&q, &db, &shard2).unwrap());
+                std::hint::black_box(checked(plan.boolean_sharded(&q, &db, &shard2)));
             });
             entries.push(Entry {
                 id: "eval_acyclic/boolean_path5_deg4_shard2",
@@ -214,9 +227,9 @@ pub fn run(cfg: &Config) -> Vec<Entry> {
     let q = families::path_endpoints(4);
     let plan = Strategy::plan(&q);
     let db = random::successor_database(4, 400);
-    let expect = plan.enumerate(&q, &db).unwrap();
+    let expect = plan.enumerate(&q, &db)?;
     let stats = measure(cfg, || {
-        let out = plan.enumerate(&q, &db).unwrap();
+        let out = checked(plan.enumerate(&q, &db));
         assert_eq!(out.len(), expect.len());
         std::hint::black_box(out);
     });
@@ -225,12 +238,12 @@ pub fn run(cfg: &Config) -> Vec<Entry> {
         stats,
     });
     assert_eq!(
-        plan.enumerate_sharded(&q, &db, &shard2).unwrap(),
+        plan.enumerate_sharded(&q, &db, &shard2)?,
         expect,
         "sharded enumeration must be byte-identical"
     );
     let stats = measure(cfg, || {
-        std::hint::black_box(plan.enumerate_sharded(&q, &db, &shard2).unwrap());
+        std::hint::black_box(checked(plan.enumerate_sharded(&q, &db, &shard2)));
     });
     entries.push(Entry {
         id: "eval_acyclic/enumerate_endpoints_d400_shard2",
@@ -245,11 +258,11 @@ pub fn run(cfg: &Config) -> Vec<Entry> {
     // and variables are untouched and the decomposition stays valid.
     let (query, hd, db) = fig11_workload();
     assert!(
-        eval::reduction::boolean_via_hd(&query, &db, &hd).unwrap(),
+        eval::reduction::boolean_via_hd(&query, &db, &hd)?,
         "planted gadget instance must be true"
     );
     let stats = measure(cfg, || {
-        let reduced = eval::reduction::reduce(&query, &db, &hd).unwrap();
+        let reduced = checked(eval::reduction::reduce(&query, &db, &hd));
         std::hint::black_box(reduced.size_cells());
     });
     entries.push(Entry {
@@ -257,24 +270,26 @@ pub fn run(cfg: &Config) -> Vec<Entry> {
         stats,
     });
     let stats = measure(cfg, || {
-        std::hint::black_box(eval::reduction::boolean_via_hd(&query, &db, &hd).unwrap());
+        std::hint::black_box(checked(eval::reduction::boolean_via_hd(&query, &db, &hd)));
     });
     entries.push(Entry {
         id: "tps/fig11_boolean",
         stats,
     });
-    assert!(eval::reduction::boolean_via_hd_sharded(&query, &db, &hd, &shard2).unwrap());
+    assert!(eval::reduction::boolean_via_hd_sharded(
+        &query, &db, &hd, &shard2
+    )?);
     let stats = measure(cfg, || {
-        std::hint::black_box(
-            eval::reduction::boolean_via_hd_sharded(&query, &db, &hd, &shard2).unwrap(),
-        );
+        std::hint::black_box(checked(eval::reduction::boolean_via_hd_sharded(
+            &query, &db, &hd, &shard2,
+        )));
     });
     entries.push(Entry {
         id: "tps/fig11_boolean_shard2",
         stats,
     });
 
-    entries
+    Ok(entries)
 }
 
 /// Serialise one run as a JSON object (hand-rolled: the workspace builds

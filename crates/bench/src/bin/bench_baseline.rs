@@ -43,7 +43,13 @@ fn main() {
     } else {
         (baseline::Config::full(), "full")
     };
-    let entries = baseline::run(&cfg);
+    let entries = match baseline::run(&cfg) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("bench_baseline: evaluation failed: {e}");
+            std::process::exit(1);
+        }
+    };
     let json = baseline::to_json(&label, mode, &entries);
     print!("{json}");
     if let Some(path) = out_path {

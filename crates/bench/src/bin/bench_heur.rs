@@ -43,7 +43,13 @@ fn main() {
     } else {
         (heur::HeurConfig::full(), "full")
     };
-    let entries = heur::run(&cfg);
+    let entries = match heur::run(&cfg) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("bench_heur: evaluation failed: {e}");
+            std::process::exit(1);
+        }
+    };
     let json = heur::to_json(&label, mode, &cfg, &entries);
     print!("{json}");
     if let Some(path) = out_path {

@@ -71,7 +71,13 @@ fn main() {
         );
         return;
     }
-    let entries = serving::run(&cfg);
+    let entries = match serving::run(&cfg) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("bench_service: service error: {e}");
+            std::process::exit(1);
+        }
+    };
     let json = serving::to_json(&label, mode, &cfg, &entries);
     print!("{json}");
     if let Some(path) = out_path {

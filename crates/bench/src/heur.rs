@@ -147,7 +147,7 @@ pub fn instances() -> Vec<(String, Hypergraph)> {
 /// GHD must validate (generalized mode), the planted query must answer
 /// `true` through it, and on controls the exact width must not exceed the
 /// heuristic width.
-pub fn run(cfg: &HeurConfig) -> Vec<HeurEntry> {
+pub fn run(cfg: &HeurConfig) -> Result<Vec<HeurEntry>, eval::EvalError> {
     instances()
         .into_iter()
         .map(|(id, h)| {
@@ -197,12 +197,15 @@ pub fn run(cfg: &HeurConfig) -> Vec<HeurEntry> {
             let q = canonical_query(&h);
             let mut rng = random::rng(0xEB0 ^ h.num_edges() as u64);
             let db = random::planted_database(&mut rng, &q, 3, 2);
-            let (eval_ns, answer) = clocked(cfg.runs, || {
-                eval::reduction::boolean_via_hd(&q, &db, &ghd).unwrap()
-            });
+            // Pre-flight through the typed error surface; the timed
+            // reruns can then only fail nondeterministically.
+            let answer = eval::reduction::boolean_via_hd(&q, &db, &ghd)?;
             assert!(answer, "{id}: planted instance must answer true");
+            let (eval_ns, _) = clocked(cfg.runs, || {
+                crate::baseline::checked(eval::reduction::boolean_via_hd(&q, &db, &ghd))
+            });
 
-            HeurEntry {
+            Ok(HeurEntry {
                 id,
                 vertices: h.num_vertices(),
                 edges: h.num_edges(),
@@ -211,7 +214,7 @@ pub fn run(cfg: &HeurConfig) -> Vec<HeurEntry> {
                 heur_ns,
                 exact: outcome,
                 eval_ns,
-            }
+            })
         })
         .collect()
 }

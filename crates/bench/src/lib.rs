@@ -5,6 +5,8 @@
 //! Run with `cargo run --release -p bench --bin experiments -- <id|all>`.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::print_stdout)]
 
 pub mod baseline;
 pub mod decomp;

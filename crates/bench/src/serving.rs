@@ -217,15 +217,21 @@ fn median(mut samples: Vec<u128>) -> u128 {
     samples[samples.len() / 2]
 }
 
-fn expect_bool(id: &str, resp: service::Response) -> bool {
+/// Unpack a boolean response through the typed error surface: a
+/// [`service::ServiceError`] propagates to the caller (the bin reports
+/// it and exits non-zero). A *successful* non-boolean outcome is a
+/// harness bug — the replay only submits boolean requests — and may
+/// panic (bench code sits outside the panic-free boundary).
+fn expect_bool(id: &str, resp: service::Response) -> Result<bool, service::ServiceError> {
     match resp {
-        Ok(Outcome::Boolean(b)) => b,
-        other => panic!("{id}: expected a boolean outcome, got {other:?}"),
+        Ok(Outcome::Boolean(b)) => Ok(b),
+        Ok(other) => panic!("{id}: requested a boolean, got {other:?}"),
+        Err(e) => Err(e),
     }
 }
 
-/// Replay one stream under `cfg`.
-pub fn run_stream(cfg: &ServeConfig, stream: Stream) -> ServeEntry {
+/// Replay one stream under `cfg`. Service errors propagate typed.
+pub fn run_stream(cfg: &ServeConfig, stream: Stream) -> Result<ServeEntry, service::ServiceError> {
     let id = stream.id.clone();
     let db = Arc::new(stream.db);
     let svc = Service::new(Arc::clone(&db));
@@ -241,7 +247,7 @@ pub fn run_stream(cfg: &ServeConfig, stream: Stream) -> ServeEntry {
         let t0 = Instant::now();
         let resp = svc.execute(r);
         cold.push(t0.elapsed().as_nanos());
-        answers.push(expect_bool(&id, resp));
+        answers.push(expect_bool(&id, resp)?);
     }
 
     // Warm the working set on the plain service and on a governed twin
@@ -262,8 +268,8 @@ pub fn run_stream(cfg: &ServeConfig, stream: Stream) -> ServeEntry {
         },
     );
     for text in &stream.texts {
-        expect_bool(&id, svc.execute(&Request::boolean(text.clone())));
-        expect_bool(&id, svc_governed.execute(&Request::boolean(text.clone())));
+        expect_bool(&id, svc.execute(&Request::boolean(text.clone())))?;
+        expect_bool(&id, svc_governed.execute(&Request::boolean(text.clone())))?;
     }
     let warm = svc.stats();
     let mut hot = Vec::with_capacity(reqs.len());
@@ -272,12 +278,12 @@ pub fn run_stream(cfg: &ServeConfig, stream: Stream) -> ServeEntry {
         let t0 = Instant::now();
         let resp = svc.execute(r);
         hot.push(t0.elapsed().as_nanos());
-        assert_eq!(expect_bool(&id, resp), cold_answer, "{id}: answer drifted");
+        assert_eq!(expect_bool(&id, resp)?, cold_answer, "{id}: answer drifted");
         let t0 = Instant::now();
         let resp = svc_governed.execute(r);
         hot_governed.push(t0.elapsed().as_nanos());
         assert_eq!(
-            expect_bool(&id, resp),
+            expect_bool(&id, resp)?,
             cold_answer,
             "{id}: governed answer drifted"
         );
@@ -309,7 +315,7 @@ pub fn run_stream(cfg: &ServeConfig, stream: Stream) -> ServeEntry {
         },
     );
     for text in &stream.texts {
-        expect_bool(&id, svc_sharded.execute(&Request::boolean(text.clone())));
+        expect_bool(&id, svc_sharded.execute(&Request::boolean(text.clone())))?;
     }
     let mut hot_sharded = Vec::with_capacity(reqs.len());
     for (r, &cold_answer) in reqs.iter().zip(&answers) {
@@ -317,7 +323,7 @@ pub fn run_stream(cfg: &ServeConfig, stream: Stream) -> ServeEntry {
         let resp = svc_sharded.execute(r);
         hot_sharded.push(t0.elapsed().as_nanos());
         assert_eq!(
-            expect_bool(&id, resp),
+            expect_bool(&id, resp)?,
             cold_answer,
             "{id}: sharded answer drifted"
         );
@@ -343,7 +349,7 @@ pub fn run_stream(cfg: &ServeConfig, stream: Stream) -> ServeEntry {
         let t0 = Instant::now();
         let resp = svc.execute(&req);
         mixed.push(t0.elapsed().as_nanos());
-        expect_bool(&id, resp);
+        expect_bool(&id, resp)?;
     }
 
     // The whole stream as one batch with mixed operations: dedup by
@@ -360,12 +366,12 @@ pub fn run_stream(cfg: &ServeConfig, stream: Stream) -> ServeEntry {
     let t0 = Instant::now();
     let responses = svc.execute_batch(&batch);
     let batch_ns = t0.elapsed().as_nanos();
-    for (i, resp) in responses.iter().enumerate() {
-        assert!(resp.is_ok(), "{id}: batch slot {i} failed: {resp:?}");
+    for resp in responses {
+        resp?;
     }
 
     let stats = svc.stats();
-    ServeEntry {
+    Ok(ServeEntry {
         id,
         working_set: stream.texts.len(),
         requests: cfg.requests,
@@ -379,11 +385,12 @@ pub fn run_stream(cfg: &ServeConfig, stream: Stream) -> ServeEntry {
         plan_hits: stats.plan_hits,
         plan_misses: stats.plan_misses,
         decomp_misses: stats.decomp_misses,
-    }
+    })
 }
 
-/// Run every stream under `cfg`, in a stable order.
-pub fn run(cfg: &ServeConfig) -> Vec<ServeEntry> {
+/// Run every stream under `cfg`, in a stable order. The first service
+/// error aborts the run and propagates typed.
+pub fn run(cfg: &ServeConfig) -> Result<Vec<ServeEntry>, service::ServiceError> {
     streams(cfg.smoke)
         .into_iter()
         .map(|s| run_stream(cfg, s))
@@ -534,7 +541,7 @@ mod tests {
         // `cargo test`.
         let stream = streams(true).remove(0);
         assert_eq!(stream.id, "families/cycle");
-        let entry = run_stream(&cfg, stream);
+        let entry = run_stream(&cfg, stream).expect("tiny replay serves");
         assert_eq!(entry.requests, 4);
         assert!(entry.cold_median_ns > 0 && entry.hot_median_ns > 0);
         assert!(entry.plan_misses > 0);

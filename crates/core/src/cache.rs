@@ -135,12 +135,12 @@ impl DecompCache {
         self.map.lock().evictions()
     }
 
-    /// The configured capacity.
+    /// The configured capacity. (`Lru` reports an unbounded map as
+    /// `None`; every `DecompCache` constructor bounds it, so read that
+    /// state as "effectively infinite" rather than panicking on a
+    /// request path.)
     pub fn capacity(&self) -> usize {
-        self.map
-            .lock()
-            .capacity()
-            .expect("DecompCache is always bounded")
+        self.map.lock().capacity().unwrap_or(usize::MAX)
     }
 
     /// Number of cached decompositions.

@@ -75,6 +75,7 @@ pub fn decide_bottom_up(h: &Hypergraph, k: usize) -> bool {
     let mut comp_edges: Vec<hypergraph::EdgeSet> = vec![h.all_edges()];
     for vars in &kvertex_vars {
         let mut ids = Vec::new();
+        // archlint::allow(scoped-component-sweeps, reason = "top-level entry-point sweep, once per datalog translation, not per recursion step")
         for c in components(h, vars) {
             let id = *comp_ids.entry(c.vertices.clone()).or_insert_with(|| {
                 comp_vertices.push(c.vertices.clone());

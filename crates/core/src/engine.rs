@@ -270,7 +270,9 @@ pub(crate) fn extract_witness(
 
     // (tree node, chosen label vars, component handled at that node)
     let mut stack = vec![(tree.root(), root_vars, c0)];
+    // archlint::allow(budget-polled-loops, reason = "post-solve witness walk bounded by the solved memo; the search itself is step-budgeted")
     while let Some((node, label_vars, comp)) = stack.pop() {
+        // archlint::allow(budget-polled-loops, reason = "child sweep of the bounded witness walk above")
         for child in components_inside(h, &label_vars, &comp) {
             let child_conn = connecting_set(h, &child, &label_vars);
             let child_label = label_of(&child, &child_conn);

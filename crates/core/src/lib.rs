@@ -38,6 +38,8 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::print_stdout)]
 
 pub mod budget;
 pub mod cache;

@@ -38,6 +38,7 @@ pub fn nf_violations(h: &Hypergraph, hd: &HypertreeDecomposition) -> Vec<NfViola
     let tree = hd.tree();
     for r in tree.nodes() {
         let chi_r = hd.chi(r);
+        // archlint::allow(scoped-component-sweeps, reason = "normal-form validation sweeps the full graph once per check, not per recursion step")
         let comps = components(h, chi_r);
         for &s in tree.children(r) {
             let chi_s = hd.chi(s);
@@ -183,6 +184,7 @@ fn process(h: &Hypergraph, arena: &mut Arena, r: usize) {
                 continue;
             }
 
+            // archlint::allow(scoped-component-sweeps, reason = "normal-form construction seeds from one full-graph sweep per level")
             let comps = components(h, &chi_r);
             let meets: Vec<usize> = comps
                 .iter()

@@ -272,6 +272,7 @@ impl QueryBuilder {
     pub fn build(&mut self) -> ConjunctiveQuery {
         match self.try_build() {
             Ok(q) => q,
+            // archlint::allow(panic-free-request-path, reason = "documented panicking constructor for tests/examples; try_build is the typed surface and the parser only uses it")
             Err(msg) => panic!("{msg}"),
         }
     }

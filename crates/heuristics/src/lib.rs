@@ -23,6 +23,8 @@
 //!   for exact search" to "validated decomposition".
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::print_stdout)]
 
 pub mod bucket;
 pub mod improve;

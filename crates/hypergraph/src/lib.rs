@@ -31,6 +31,8 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::print_stdout)]
 
 pub mod acyclic;
 pub mod baselines;

@@ -89,6 +89,7 @@ impl Index {
             for i in 0..n {
                 let row = rel.row(i);
                 let key = pack(cols.len(), &widths, |j| row[cols[j]])
+                    // archlint::allow(panic-free-request-path, reason = "packed-key widths were computed from the same rows being indexed")
                     .expect("indexed values fit their own widths");
                 let gid = *map.entry(key).or_insert_with(|| {
                     num_groups += 1;
@@ -101,6 +102,7 @@ impl Index {
             let mut map: FxHashMap<Box<[Value]>, u32> = FxHashMap::default();
             map.reserve(n);
             let mut buf: Vec<Value> = Vec::with_capacity(cols.len());
+            // archlint::allow(budget-polled-loops, reason = "index build is bounded by the relation being indexed; governed kernels charge before building")
             for i in 0..n {
                 let row = rel.row(i);
                 buf.clear();

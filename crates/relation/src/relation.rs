@@ -468,6 +468,7 @@ impl Relation {
             *flag = index.contains(self.row(i), left_cols);
         }
         let mut flags = keep.iter();
+        // archlint::allow(panic-free-request-path, reason = "retain_semijoin builds exactly one flag per row two lines up; silent row loss would be worse")
         self.retain(|_| *flags.next().expect("one keep flag per row"));
         Ok(())
     }

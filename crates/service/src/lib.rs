@@ -44,6 +44,8 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::print_stdout)]
 
 #[cfg(feature = "fault-injection")]
 pub mod fault;

@@ -102,12 +102,12 @@ impl PlanCache {
         self.len() == 0
     }
 
-    /// The configured capacity.
+    /// The configured capacity. (`Lru` reports an unbounded map as
+    /// `None`; every `PlanCache` constructor bounds it, so read that
+    /// state as "effectively infinite" rather than panicking on a
+    /// request path.)
     pub fn capacity(&self) -> usize {
-        self.map
-            .lock()
-            .capacity()
-            .expect("PlanCache is always bounded")
+        self.map.lock().capacity().unwrap_or(usize::MAX)
     }
 
     /// Drop every cached plan (counters are kept).

@@ -74,9 +74,9 @@ pub fn parse_hg(input: &str) -> Result<Hypergraph, HgParseError> {
                 format!("expected `name(v1,...)`, got `{code}`"),
             ));
         };
-        let Some(rest) = code[open..].strip_prefix('(') else {
-            unreachable!("find('(') guarantees the prefix");
-        };
+        // `find('(')` returned a byte offset of the ASCII `(`, so the
+        // slice one past it is always in bounds.
+        let rest = &code[open + 1..];
         let Some(args) = rest.strip_suffix(')') else {
             return Err(err(lineno, "missing closing `)`"));
         };

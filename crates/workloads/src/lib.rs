@@ -8,6 +8,8 @@
 //! subsystem ([`large`], hundreds of edges).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::print_stdout)]
 
 pub mod families;
 pub mod hg;

@@ -51,6 +51,8 @@
 //!   and the large-instance tier.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(clippy::dbg_macro, clippy::print_stdout)]
 
 pub use cq;
 pub use eval;
