@@ -1,0 +1,60 @@
+//! `timing-via-obs`: request-path code must not read the monotonic
+//! clock directly — `Instant::now()` in the serving and evaluation
+//! layers is either telemetry that belongs in an `obs` span /
+//! [`obs::Stopwatch`] (so the disabled path costs one branch and the
+//! enabled path lands in the trace), or deadline arithmetic that
+//! belongs in `core::QueryBudget`. Scattered ad-hoc timestamps are how
+//! per-phase accounting rots: a timing read the tracer cannot see is a
+//! number no trace or histogram will ever contain.
+//!
+//! The `obs` crate itself and the `core` budget layer are the two
+//! sanctioned clock owners and are out of scope; tests and benches may
+//! time whatever they like.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::workspace::Workspace;
+
+/// The layers whose timing must flow through `obs` (or the budget).
+const SCOPE: &[&str] = &["crates/service/src/", "crates/eval/src/"];
+
+pub struct TimingViaObs;
+
+impl Rule for TimingViaObs {
+    fn name(&self) -> &'static str {
+        "timing-via-obs"
+    }
+
+    fn explain(&self) -> &'static str {
+        "serving/eval code must not call Instant::now() directly — route timing \
+         through obs spans/Stopwatch (or QueryBudget deadlines) so traces see it"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            if !ws.in_scope(file, SCOPE) || file.is_test_path() {
+                continue;
+            }
+            let t = &file.tokens;
+            for i in 0..t.len() {
+                // `Instant :: now` — qualified or imported, the call
+                // always spells these three tokens.
+                if t[i].is_ident("Instant")
+                    && t.get(i + 1).is_some_and(|x| x.is_punct(':'))
+                    && t.get(i + 2).is_some_and(|x| x.is_punct(':'))
+                    && t.get(i + 3).is_some_and(|x| x.is_ident("now"))
+                    && !file.is_test_line(t[i].line)
+                {
+                    out.push(Diagnostic {
+                        rule: self.name(),
+                        file: file.rel.clone(),
+                        line: t[i].line,
+                        msg: "`Instant::now()` on the request path — use an obs span or \
+                              `obs::Stopwatch` (or QueryBudget deadline machinery) instead"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+}

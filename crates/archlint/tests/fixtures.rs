@@ -209,6 +209,37 @@ fn lock_order_sees_through_calls() {
     assert!(diags[0].msg.contains("S.a -> S.b"), "{diags:#?}");
 }
 
+// ---- timing-via-obs -----------------------------------------------------
+
+#[test]
+fn timing_via_obs_positive() {
+    let rel = "fixtures/timing_via_obs/bad.rs";
+    let diags = lint_one(rel, include_str!("fixtures/timing_via_obs/bad.rs"));
+    assert_eq!(
+        sites(&diags),
+        vec![(7, "timing-via-obs"), (9, "timing-via-obs")],
+        "{diags:#?}"
+    );
+    assert!(diags[0].msg.contains("obs span"), "{diags:#?}");
+}
+
+#[test]
+fn timing_via_obs_negative() {
+    assert_clean(
+        "fixtures/timing_via_obs/good.rs",
+        include_str!("fixtures/timing_via_obs/good.rs"),
+    );
+}
+
+#[test]
+fn timing_via_obs_allow_suppresses() {
+    let src = "pub fn split_deadline() -> std::time::Instant {\n\
+               \x20   // archlint::allow(timing-via-obs, reason = \"budget arithmetic\")\n\
+               \x20   std::time::Instant::now()\n\
+               }\n";
+    assert_clean("fixtures/inline/timing_allow.rs", src);
+}
+
 // ---- allow hygiene ------------------------------------------------------
 
 #[test]

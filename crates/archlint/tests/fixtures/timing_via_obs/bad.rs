@@ -1,0 +1,11 @@
+//! Fixture: timing-via-obs positives. Direct clock reads on the
+//! request path, qualified and imported.
+
+use std::time::Instant;
+
+pub fn serve(req: &str) -> (usize, u128) {
+    let start = Instant::now();
+    let answer = req.len();
+    let qualified = std::time::Instant::now();
+    (answer, start.elapsed().as_nanos() + qualified.elapsed().as_nanos())
+}

@@ -1,0 +1,22 @@
+//! Fixture: timing-via-obs negatives. Timing through obs spans and
+//! stopwatches, elapsed reads on values handed in, and test code.
+
+pub fn serve(req: &str, obs: &obs::Tracer) -> usize {
+    let _span = obs.span(obs::Phase::Join);
+    let watch = obs::Stopwatch::start();
+    let answer = req.len() + watch.elapsed_ns() as usize;
+    answer
+}
+
+pub fn remaining(deadline: std::time::Instant) -> bool {
+    deadline.elapsed().as_nanos() == 0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_time_freely() {
+        let start = std::time::Instant::now();
+        assert!(start.elapsed().as_nanos() < u128::MAX);
+    }
+}

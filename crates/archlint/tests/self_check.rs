@@ -69,6 +69,7 @@ fn every_rule_is_listed_with_an_explanation() {
             "scoped-component-sweeps",
             "no-std-sync",
             "lock-order",
+            "timing-via-obs",
         ]
     );
     for r in &rules {

@@ -22,7 +22,6 @@
 
 use eval::Strategy;
 use hypertree_core::HypertreeDecomposition;
-use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 use workloads::{families, random, xc3s};
 
@@ -314,60 +313,37 @@ pub fn to_json(label: &str, mode: &str, entries: &[Entry]) -> String {
 /// [`to_json`] with an explicit schema id — the decomposition baseline
 /// emits the same run shape under `bench-decomp/1`.
 pub fn to_json_with_schema(schema: &str, label: &str, mode: &str, entries: &[Entry]) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    writeln!(out, "  \"schema\": {},", json_string(schema)).unwrap();
-    writeln!(out, "  \"label\": {},", json_string(label)).unwrap();
-    writeln!(out, "  \"mode\": {},", json_string(mode)).unwrap();
-    writeln!(out, "  \"unit\": \"ns/iter\",").unwrap();
-    out.push_str("  \"entries\": {\n");
-    for (i, e) in entries.iter().enumerate() {
-        let comma = if i + 1 == entries.len() { "" } else { "," };
-        writeln!(
-            out,
-            "    {}: {{\"min\": {:.1}, \"median\": {:.1}, \"max\": {:.1}, \
-             \"samples\": {}, \"iters\": {}}}{}",
-            json_string(e.id),
-            e.stats.min_ns,
-            e.stats.median_ns,
-            e.stats.max_ns,
-            e.stats.samples,
-            e.stats.iters,
-            comma
-        )
-        .unwrap();
-    }
-    out.push_str("  }\n}\n");
-    out
+    let rendered: Vec<(String, String)> = entries
+        .iter()
+        .map(|e| {
+            (
+                e.id.to_string(),
+                format!(
+                    "{{\"min\": {:.1}, \"median\": {:.1}, \"max\": {:.1}, \
+                     \"samples\": {}, \"iters\": {}}}",
+                    e.stats.min_ns,
+                    e.stats.median_ns,
+                    e.stats.max_ns,
+                    e.stats.samples,
+                    e.stats.iters,
+                ),
+            )
+        })
+        .collect();
+    crate::emit::run_json(
+        schema,
+        label,
+        mode,
+        &[("unit", "\"ns/iter\"".to_string())],
+        &rendered,
+    )
 }
 
-pub(crate) fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => {
-                write!(out, "\\u{:04x}", c as u32).unwrap();
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
+pub(crate) use crate::emit::json_string;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn json_escaping() {
-        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
-        assert_eq!(json_string("x\ny"), "\"x\\ny\"");
-    }
 
     #[test]
     fn measure_reports_ordered_stats() {

@@ -10,38 +10,14 @@
 //! local budget. Recorded before/after pairs live in
 //! `bench/BENCH_eval.json`; see README.md §Benchmark baselines.
 
-use bench::baseline;
+use bench::{baseline, emit};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut smoke = false;
-    let mut label = String::from("local");
-    let mut out_path: Option<String> = None;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--smoke" => smoke = true,
-            "--label" => {
-                i += 1;
-                label = args.get(i).expect("--label needs a value").clone();
-            }
-            "--out" => {
-                i += 1;
-                out_path = Some(args.get(i).expect("--out needs a value").clone());
-            }
-            other => {
-                eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench_baseline [--smoke] [--label <text>] [--out <path>]");
-                std::process::exit(2);
-            }
-        }
-        i += 1;
-    }
-
-    let (cfg, mode) = if smoke {
-        (baseline::Config::smoke(), "smoke")
+    let args = emit::parse_common("bench_baseline", &[]);
+    let cfg = if args.smoke {
+        baseline::Config::smoke()
     } else {
-        (baseline::Config::full(), "full")
+        baseline::Config::full()
     };
     let entries = match baseline::run(&cfg) {
         Ok(entries) => entries,
@@ -50,10 +26,6 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let json = baseline::to_json(&label, mode, &entries);
-    print!("{json}");
-    if let Some(path) = out_path {
-        std::fs::write(&path, &json).expect("write --out file");
-        eprintln!("wrote {path}");
-    }
+    let json = baseline::to_json(&args.label, args.mode(), &entries);
+    emit::write_run("bench_baseline", &json, args.out.as_deref());
 }

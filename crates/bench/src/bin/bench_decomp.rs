@@ -10,44 +10,16 @@
 //! local budget. Recorded before/after pairs live in
 //! `bench/BENCH_decomp.json`; see README.md §The decomposition engine.
 
-use bench::{baseline, decomp};
+use bench::{baseline, decomp, emit};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut smoke = false;
-    let mut label = String::from("local");
-    let mut out_path: Option<String> = None;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--smoke" => smoke = true,
-            "--label" => {
-                i += 1;
-                label = args.get(i).expect("--label needs a value").clone();
-            }
-            "--out" => {
-                i += 1;
-                out_path = Some(args.get(i).expect("--out needs a value").clone());
-            }
-            other => {
-                eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench_decomp [--smoke] [--label <text>] [--out <path>]");
-                std::process::exit(2);
-            }
-        }
-        i += 1;
-    }
-
-    let (cfg, mode) = if smoke {
-        (baseline::Config::smoke(), "smoke")
+    let args = emit::parse_common("bench_decomp", &[]);
+    let cfg = if args.smoke {
+        baseline::Config::smoke()
     } else {
-        (baseline::Config::full(), "full")
+        baseline::Config::full()
     };
     let entries = decomp::run(&cfg);
-    let json = baseline::to_json_with_schema("bench-decomp/1", &label, mode, &entries);
-    print!("{json}");
-    if let Some(path) = out_path {
-        std::fs::write(&path, &json).expect("write --out file");
-        eprintln!("wrote {path}");
-    }
+    let json = baseline::to_json_with_schema("bench-decomp/1", &args.label, args.mode(), &entries);
+    emit::write_run("bench_decomp", &json, args.out.as_deref());
 }

@@ -2,67 +2,41 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_service -- [--smoke] \
-//!     [--label <text>] [--out <path>] [--deadline-ms <n>]
+//!     [--label <text>] [--out <path>] [--deadline-ms <n>] \
+//!     [--metrics-out <path>]
 //! ```
 //!
-//! Prints the `bench-service/3` JSON run to stdout (and to `--out` when
+//! Prints the `bench-service/4` JSON run to stdout (and to `--out` when
 //! given). `--smoke` uses the short CI streams; the default is the longer
-//! local replay. `--deadline-ms <n>` runs the *degradation smoke*
-//! instead: every stream is replayed through a service with that
-//! per-request deadline and an admission cap, and the run succeeds iff
-//! every response is an answer or a typed governance error — CI drives
-//! this with a 1 ms deadline under `timeout` to pin "sheds or errors,
-//! never hangs". Recorded runs live in `bench/BENCH_service.json`; see
-//! README.md §Query serving.
+//! local replay.
+//!
+//! Two side modes replace the replay:
+//!
+//! * `--deadline-ms <n>` runs the *degradation smoke*: every stream is
+//!   replayed through a service with that per-request deadline and an
+//!   admission cap, and the run succeeds iff every response is an answer
+//!   or a typed governance error — CI drives this with a 1 ms deadline
+//!   under `timeout` to pin "sheds or errors, never hangs".
+//! * `--metrics-out <path>` runs a short traffic sample through one
+//!   service, validates the resulting metrics snapshot as Prometheus
+//!   text (exit 1 if the renderer ever emits an invalid exposition), and
+//!   writes it to `<path>` — CI uploads this as the scrape artifact.
+//!
+//! Recorded runs live in `bench/BENCH_service.json`; see README.md
+//! §Query serving.
 
-use bench::serving;
+use bench::{emit, serving};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut smoke = false;
-    let mut label = String::from("local");
-    let mut out_path: Option<String> = None;
-    let mut deadline_ms: Option<u64> = None;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--smoke" => smoke = true,
-            "--label" => {
-                i += 1;
-                label = args.get(i).expect("--label needs a value").clone();
-            }
-            "--out" => {
-                i += 1;
-                out_path = Some(args.get(i).expect("--out needs a value").clone());
-            }
-            "--deadline-ms" => {
-                i += 1;
-                deadline_ms = Some(
-                    args.get(i)
-                        .expect("--deadline-ms needs a value")
-                        .parse()
-                        .expect("--deadline-ms takes an integer"),
-                );
-            }
-            other => {
-                eprintln!("unknown argument: {other}");
-                eprintln!(
-                    "usage: bench_service [--smoke] [--label <text>] [--out <path>] \
-                     [--deadline-ms <n>]"
-                );
-                std::process::exit(2);
-            }
-        }
-        i += 1;
-    }
-
-    let (cfg, mode) = if smoke {
-        (serving::ServeConfig::smoke(), "smoke")
+    let args = emit::parse_common("bench_service", &["--deadline-ms", "--metrics-out"]);
+    let cfg = if args.smoke {
+        serving::ServeConfig::smoke()
     } else {
-        (serving::ServeConfig::full(), "full")
+        serving::ServeConfig::full()
     };
 
-    if let Some(ms) = deadline_ms {
+    if let Some(ms) = args.value_of("--deadline-ms") {
+        let ms: u64 = ms.parse().expect("--deadline-ms takes an integer");
         let (answered, tripped, shed) =
             serving::run_deadline_smoke(&cfg, std::time::Duration::from_millis(ms));
         println!(
@@ -71,6 +45,24 @@ fn main() {
         );
         return;
     }
+
+    if let Some(path) = args.value_of("--metrics-out") {
+        let text = match serving::sample_metrics(args.smoke) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("bench_service: metrics sample failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = obs::validate_prometheus(&text) {
+            eprintln!("bench_service: invalid Prometheus exposition: {e}");
+            std::process::exit(1);
+        }
+        std::fs::write(path, &text).expect("write --metrics-out file");
+        eprintln!("bench_service: wrote valid Prometheus snapshot to {path}");
+        return;
+    }
+
     let entries = match serving::run(&cfg) {
         Ok(entries) => entries,
         Err(e) => {
@@ -78,10 +70,6 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let json = serving::to_json(&label, mode, &cfg, &entries);
-    print!("{json}");
-    if let Some(path) = out_path {
-        std::fs::write(&path, &json).expect("write --out file");
-        eprintln!("wrote {path}");
-    }
+    let json = serving::to_json(&args.label, args.mode(), &cfg, &entries);
+    emit::write_run("bench_service", &json, args.out.as_deref());
 }

@@ -1,0 +1,179 @@
+//! Shared CLI parsing and JSON-run emission for the `bench_*` binaries.
+//!
+//! Every baseline binary speaks the same dialect: `--smoke`, `--label
+//! <text>`, `--out <path>`, plus bin-specific value flags; every run
+//! file is a JSON object stamped with a `schema` version, a free-form
+//! `label`, the `mode`, optional top-level fields, and an `"entries"`
+//! map keyed by stable `tier/case` ids. This module is the single
+//! implementation of both, so a new baseline can't drift from the
+//! house format (and a schema bump happens in exactly one call site).
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+/// The arguments every bench binary shares, plus whatever bin-specific
+/// value flags the caller declared.
+#[derive(Clone, Debug)]
+pub struct CommonArgs {
+    /// `--smoke`: the short CI configuration.
+    pub smoke: bool,
+    /// `--label <text>`: free-form run label (default `local`).
+    pub label: String,
+    /// `--out <path>`: also write the JSON run here.
+    pub out: Option<String>,
+    /// Bin-specific `(flag, value)` pairs, in command-line order.
+    pub extra: Vec<(String, String)>,
+}
+
+impl CommonArgs {
+    /// The value of a bin-specific flag, if it was passed.
+    pub fn value_of(&self, flag: &str) -> Option<&str> {
+        self.extra
+            .iter()
+            .find(|(f, _)| f == flag)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// `"smoke"` or `"full"` — the `mode` field of the run.
+    pub fn mode(&self) -> &'static str {
+        if self.smoke {
+            "smoke"
+        } else {
+            "full"
+        }
+    }
+}
+
+/// Parse `std::env::args()` for `bin`. `value_flags` lists the
+/// bin-specific flags that take one value (e.g. `--deadline-ms`);
+/// anything else unrecognised prints usage and exits 2.
+pub fn parse_common(bin: &str, value_flags: &[&str]) -> CommonArgs {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut parsed = CommonArgs {
+        smoke: false,
+        label: String::from("local"),
+        out: None,
+        extra: Vec::new(),
+    };
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        args.get(*i)
+            .unwrap_or_else(|| {
+                eprintln!("{bin}: {flag} needs a value");
+                std::process::exit(2);
+            })
+            .clone()
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => parsed.smoke = true,
+            "--label" => parsed.label = value(&args, &mut i, "--label"),
+            "--out" => parsed.out = Some(value(&args, &mut i, "--out")),
+            flag if value_flags.contains(&flag) => {
+                let v = value(&args, &mut i, flag);
+                parsed.extra.push((flag.to_string(), v));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                let extras: String = value_flags.iter().map(|f| format!(" [{f} <v>]")).collect();
+                eprintln!("usage: {bin} [--smoke] [--label <text>] [--out <path>]{extras}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    parsed
+}
+
+/// Assemble one run as schema-stamped JSON (hand-rolled — the workspace
+/// builds offline, so no serde). `top_fields` are extra top-level
+/// `"key": value` pairs (values pre-rendered as JSON); `entries` maps
+/// each stable id to its pre-rendered JSON object.
+pub fn run_json(
+    schema: &str,
+    label: &str,
+    mode: &str,
+    top_fields: &[(&str, String)],
+    entries: &[(String, String)],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    writeln!(out, "  \"schema\": {},", json_string(schema)).unwrap();
+    writeln!(out, "  \"label\": {},", json_string(label)).unwrap();
+    writeln!(out, "  \"mode\": {},", json_string(mode)).unwrap();
+    for (key, value) in top_fields {
+        writeln!(out, "  {}: {},", json_string(key), value).unwrap();
+    }
+    out.push_str("  \"entries\": {\n");
+    for (i, (id, body)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        writeln!(out, "    {}: {}{}", json_string(id), body, comma).unwrap();
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Emit a finished run: the JSON to stdout, and to `out` when given.
+/// I/O failures are fatal — a baseline that silently vanished is worse
+/// than a failed run.
+pub fn write_run(bin: &str, json: &str, out: Option<&str>) {
+    std::io::stdout()
+        .write_all(json.as_bytes())
+        .expect("write run to stdout");
+    if let Some(path) = out {
+        std::fs::write(path, json).expect("write --out file");
+        eprintln!("{bin}: wrote {path}");
+    }
+}
+
+/// Render `s` as a JSON string literal (quotes, backslashes, control
+/// characters escaped).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).unwrap();
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_json_stamps_schema_and_balances() {
+        let j = run_json(
+            "bench-x/9",
+            "lbl",
+            "smoke",
+            &[("requests", "4".to_string())],
+            &[
+                ("a/b".to_string(), "{\"v\": 1}".to_string()),
+                ("c/d".to_string(), "{\"v\": 2}".to_string()),
+            ],
+        );
+        assert!(j.starts_with("{\n  \"schema\": \"bench-x/9\",\n"));
+        assert!(j.contains("\"requests\": 4,"));
+        assert!(j.contains("\"a/b\": {\"v\": 1},\n"));
+        assert!(j.contains("\"c/d\": {\"v\": 2}\n"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\ny\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

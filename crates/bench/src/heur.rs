@@ -27,7 +27,6 @@ use cq::canonical_query;
 use heuristics::{best_decomposition, decompose_with, ALL_ORDERINGS};
 use hypergraph::Hypergraph;
 use hypertree_core::{opt, CandidateMode};
-use std::fmt::Write as _;
 use std::time::Instant;
 use workloads::{families, large, paper, random};
 
@@ -244,52 +243,51 @@ pub fn run(cfg: &HeurConfig) -> Result<Vec<HeurEntry>, eval::EvalError> {
 /// `"exhausted"`, and the refuted window end (= the heuristic width, so
 /// `hw > at_k`) for `"above_window"`; it is `null` for `"exact"`.
 pub fn to_json(label: &str, mode: &str, cfg: &HeurConfig, entries: &[HeurEntry]) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    writeln!(out, "  \"schema\": \"bench-heur/1\",").unwrap();
-    writeln!(out, "  \"label\": {},", json_string(label)).unwrap();
-    writeln!(out, "  \"mode\": {},", json_string(mode)).unwrap();
-    writeln!(out, "  \"exact_step_budget\": {},", cfg.exact_steps).unwrap();
-    out.push_str("  \"entries\": {\n");
-    for (i, e) in entries.iter().enumerate() {
-        let comma = if i + 1 == entries.len() { "" } else { "," };
-        let widths: Vec<String> = e
-            .ordering_widths
-            .iter()
-            .map(|(name, w)| format!("{}: {}", json_string(name), w))
-            .collect();
-        let exact = match &e.exact {
-            ExactOutcome::Exact { width, ns } => format!(
-                "{{\"status\": \"exact\", \"width\": {width}, \"at_k\": null, \
-                 \"steps\": null, \"ns\": {ns}}}"
-            ),
-            ExactOutcome::Exhausted { at_k, steps, ns } => format!(
-                "{{\"status\": \"exhausted\", \"width\": null, \"at_k\": {at_k}, \
-                 \"steps\": {steps}, \"ns\": {ns}}}"
-            ),
-            ExactOutcome::AboveWindow { window_end, ns } => format!(
-                "{{\"status\": \"above_window\", \"width\": null, \"at_k\": {window_end}, \
-                 \"steps\": null, \"ns\": {ns}}}"
-            ),
-        };
-        writeln!(
-            out,
-            "    {}: {{\"vertices\": {}, \"edges\": {}, \"widths\": {{{}}}, \
-             \"heur_width\": {}, \"heur_ns\": {}, \"exact\": {}, \"eval_ns\": {}}}{}",
-            json_string(&e.id),
-            e.vertices,
-            e.edges,
-            widths.join(", "),
-            e.heur_width,
-            e.heur_ns,
-            exact,
-            e.eval_ns,
-            comma
-        )
-        .unwrap();
-    }
-    out.push_str("  }\n}\n");
-    out
+    let rendered: Vec<(String, String)> = entries
+        .iter()
+        .map(|e| {
+            let widths: Vec<String> = e
+                .ordering_widths
+                .iter()
+                .map(|(name, w)| format!("{}: {}", json_string(name), w))
+                .collect();
+            let exact = match &e.exact {
+                ExactOutcome::Exact { width, ns } => format!(
+                    "{{\"status\": \"exact\", \"width\": {width}, \"at_k\": null, \
+                     \"steps\": null, \"ns\": {ns}}}"
+                ),
+                ExactOutcome::Exhausted { at_k, steps, ns } => format!(
+                    "{{\"status\": \"exhausted\", \"width\": null, \"at_k\": {at_k}, \
+                     \"steps\": {steps}, \"ns\": {ns}}}"
+                ),
+                ExactOutcome::AboveWindow { window_end, ns } => format!(
+                    "{{\"status\": \"above_window\", \"width\": null, \"at_k\": {window_end}, \
+                     \"steps\": null, \"ns\": {ns}}}"
+                ),
+            };
+            (
+                e.id.clone(),
+                format!(
+                    "{{\"vertices\": {}, \"edges\": {}, \"widths\": {{{}}}, \
+                     \"heur_width\": {}, \"heur_ns\": {}, \"exact\": {}, \"eval_ns\": {}}}",
+                    e.vertices,
+                    e.edges,
+                    widths.join(", "),
+                    e.heur_width,
+                    e.heur_ns,
+                    exact,
+                    e.eval_ns,
+                ),
+            )
+        })
+        .collect();
+    crate::emit::run_json(
+        "bench-heur/1",
+        label,
+        mode,
+        &[("exact_step_budget", cfg.exact_steps.to_string())],
+        &rendered,
+    )
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 
 pub mod baseline;
 pub mod decomp;
+pub mod emit;
 pub mod heur;
 pub mod serving;
 

@@ -1,5 +1,5 @@
 //! The serving-layer benchmark (`bench/BENCH_service.json`, schema
-//! `bench-service/3`).
+//! `bench-service/4`).
 //!
 //! Where the other harnesses time isolated phases (kernel, decomposition,
 //! heuristics), this one replays *request streams* through a
@@ -27,6 +27,12 @@
 //!   acceptance bar is ≤ 5% over the ungoverned hot median). The plain
 //!   and governed hot replays are interleaved request by request so both
 //!   medians sample the same noise environment;
+//! * the **hot traced** regime: the same hot replay through
+//!   [`service::Service::execute_traced`] on the *same* service as the
+//!   plain hot replay (third leg of the interleave), asserting
+//!   byte-identical answers — the column that tracks what full
+//!   per-request tracing costs, and the source of the per-phase medians
+//!   (`phases` in the JSON);
 //! * a **mixed** 80/20 replay (80% of requests over the two hottest
 //!   queries, the rest uniform) starting cold — the shape of real
 //!   traffic;
@@ -41,11 +47,11 @@
 //!
 //! Run with `cargo run --release -p bench --bin bench_service -- [--smoke]`.
 
-use crate::baseline::{fig11_workload, json_string};
+use crate::baseline::fig11_workload;
+use crate::emit;
 use cq::canonical_query;
 use relation::Database;
 use service::{Outcome, Request, Service};
-use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 use workloads::{families, large, random};
@@ -109,6 +115,14 @@ pub struct ServeEntry {
     /// governance on (roomy deadline + byte quota, so the budget is
     /// polled but never trips), nanoseconds.
     pub hot_governed_median_ns: u128,
+    /// Median per-request latency of the hot replay through
+    /// [`service::Service::execute_traced`] (full tracing on),
+    /// nanoseconds.
+    pub hot_traced_median_ns: u128,
+    /// Median nanoseconds per phase across the traced hot replay, in
+    /// [`obs::Phase::ALL`] order (zeros for phases the stream never
+    /// enters).
+    pub phase_median_ns: [u128; obs::Phase::COUNT],
     /// Median per-request latency of the 80/20 mixed replay, nanoseconds.
     pub mixed_median_ns: u128,
     /// Wall-clock of serving the whole stream as one batch, nanoseconds.
@@ -253,12 +267,12 @@ pub fn run_stream(cfg: &ServeConfig, stream: Stream) -> Result<ServeEntry, servi
     // Warm the working set on the plain service and on a governed twin
     // whose deadline and byte quota are generous enough that no request
     // ever trips — the only difference from the plain replay is the
-    // cooperative budget polling itself. The two hot replays are
-    // *interleaved* request by request so both medians sample the same
-    // noise environment (separate phases on a shared host can drift by
-    // more than the polling overhead being measured). The counters gate
-    // the whole point: the hot phase must not compile or decompose
-    // anything.
+    // cooperative budget polling itself. The three hot replays (plain,
+    // governed, traced) are *interleaved* request by request so all
+    // medians sample the same noise environment (separate phases on a
+    // shared host can drift by more than the overheads being measured).
+    // The counters gate the whole point: the hot phase must not compile
+    // or decompose anything.
     let svc_governed = Service::with_config(
         Arc::clone(&db),
         service::ServiceConfig {
@@ -274,6 +288,8 @@ pub fn run_stream(cfg: &ServeConfig, stream: Stream) -> Result<ServeEntry, servi
     let warm = svc.stats();
     let mut hot = Vec::with_capacity(reqs.len());
     let mut hot_governed = Vec::with_capacity(reqs.len());
+    let mut hot_traced = Vec::with_capacity(reqs.len());
+    let mut traces = Vec::with_capacity(reqs.len());
     for (r, &cold_answer) in reqs.iter().zip(&answers) {
         let t0 = Instant::now();
         let resp = svc.execute(r);
@@ -287,6 +303,17 @@ pub fn run_stream(cfg: &ServeConfig, stream: Stream) -> Result<ServeEntry, servi
             cold_answer,
             "{id}: governed answer drifted"
         );
+        // Third leg: the same request, same service, tracing on. The
+        // answer must be byte-identical to the untraced one.
+        let t0 = Instant::now();
+        let traced = svc.execute_traced(r);
+        hot_traced.push(t0.elapsed().as_nanos());
+        assert_eq!(
+            expect_bool(&id, traced.response)?,
+            cold_answer,
+            "{id}: traced answer drifted"
+        );
+        traces.push(traced.trace);
     }
     let after_hot = svc.stats();
     assert_eq!(
@@ -370,6 +397,14 @@ pub fn run_stream(cfg: &ServeConfig, stream: Stream) -> Result<ServeEntry, servi
         resp?;
     }
 
+    // Per-phase medians over the traced replay: where a hot request's
+    // time actually goes (all-zero phases stay zero — e.g. `decompose`
+    // never runs hot).
+    let mut phase_median_ns = [0u128; obs::Phase::COUNT];
+    for p in obs::Phase::ALL {
+        phase_median_ns[p.index()] = median(traces.iter().map(|t| t.phase(p) as u128).collect());
+    }
+
     let stats = svc.stats();
     Ok(ServeEntry {
         id,
@@ -379,6 +414,8 @@ pub fn run_stream(cfg: &ServeConfig, stream: Stream) -> Result<ServeEntry, servi
         hot_median_ns: median(hot),
         hot_sharded_median_ns: median(hot_sharded),
         hot_governed_median_ns: median(hot_governed),
+        hot_traced_median_ns: median(hot_traced),
+        phase_median_ns,
         mixed_median_ns: median(mixed),
         batch_ns,
         batch_requests: batch.len(),
@@ -442,18 +479,38 @@ pub fn run_deadline_smoke(
     (answered, tripped, shed)
 }
 
-/// Serialise a run as `bench-service/3` JSON (hand-rolled like the other
-/// baselines — the workspace builds offline):
+/// Replay the first (cheapest) stream briefly — two untraced requests
+/// and one traced request per text — and return the service's metrics
+/// snapshot rendered as Prometheus text. This is the CI artifact: one
+/// honest scrape of every counter, gauge, and histogram the serving
+/// stack exports, produced by real traffic.
+pub fn sample_metrics(smoke: bool) -> Result<String, service::ServiceError> {
+    let stream = streams(smoke).remove(0);
+    let id = stream.id.clone();
+    let svc = Service::new(Arc::new(stream.db));
+    for text in &stream.texts {
+        expect_bool(&id, svc.execute(&Request::boolean(text.clone())))?;
+        expect_bool(&id, svc.execute(&Request::boolean(text.clone())))?;
+        let traced = svc.execute_traced(&Request::boolean(text.clone()));
+        expect_bool(&id, traced.response)?;
+    }
+    Ok(svc.metrics_snapshot().to_prometheus())
+}
+
+/// Serialise a run as `bench-service/4` JSON via the shared
+/// [`crate::emit`] envelope:
 ///
 /// ```json
 /// {
-///   "schema": "bench-service/3", "label": "...",
+///   "schema": "bench-service/4", "label": "...",
 ///   "mode": "smoke" | "full", "requests_per_stream": n,
 ///   "entries": {
 ///     "<tier/case>": {
 ///       "working_set": n, "requests": n,
 ///       "cold_median_ns": n, "hot_median_ns": n, "speedup": x.y,
 ///       "hot_sharded_median_ns": n, "hot_governed_median_ns": n,
+///       "hot_traced_median_ns": n,
+///       "phases": {"parse": n, "plan_cache": n, ...},
 ///       "mixed_median_ns": n, "batch_ns": n, "batch_requests": n,
 ///       "plan_hits": n, "plan_misses": n, "decomp_misses": n
 ///     }
@@ -464,48 +521,64 @@ pub fn run_deadline_smoke(
 /// `speedup` is `cold_median_ns / hot_median_ns` — the per-query factor
 /// the plan cache saves on a repeated (or α-equivalent) query.
 /// `bench-service/2` added `hot_sharded_median_ns` (the hot replay with
-/// intra-query sharding forced to 2 shards); `/3` adds
+/// intra-query sharding forced to 2 shards); `/3` added
 /// `hot_governed_median_ns` (the hot replay with a never-tripping budget
 /// polled on every kernel chunk — its gap over `hot_median_ns` is the
-/// governance overhead). Earlier runs lack the newer fields but are
-/// otherwise identical.
+/// governance overhead); `/4` adds `hot_traced_median_ns` (the hot
+/// replay with full tracing — its gap over `hot_median_ns` is the
+/// tracing overhead) and `phases` (median nanoseconds per [`obs::Phase`]
+/// across the traced replay, zero phases omitted). Earlier runs lack the
+/// newer fields but are otherwise identical.
 pub fn to_json(label: &str, mode: &str, cfg: &ServeConfig, entries: &[ServeEntry]) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    writeln!(out, "  \"schema\": \"bench-service/3\",").unwrap();
-    writeln!(out, "  \"label\": {},", json_string(label)).unwrap();
-    writeln!(out, "  \"mode\": {},", json_string(mode)).unwrap();
-    writeln!(out, "  \"requests_per_stream\": {},", cfg.requests).unwrap();
-    out.push_str("  \"entries\": {\n");
-    for (i, e) in entries.iter().enumerate() {
-        let comma = if i + 1 == entries.len() { "" } else { "," };
-        writeln!(
-            out,
-            "    {}: {{\"working_set\": {}, \"requests\": {}, \
-             \"cold_median_ns\": {}, \"hot_median_ns\": {}, \"speedup\": {:.1}, \
-             \"hot_sharded_median_ns\": {}, \"hot_governed_median_ns\": {}, \
-             \"mixed_median_ns\": {}, \"batch_ns\": {}, \"batch_requests\": {}, \
-             \"plan_hits\": {}, \"plan_misses\": {}, \"decomp_misses\": {}}}{}",
-            json_string(&e.id),
-            e.working_set,
-            e.requests,
-            e.cold_median_ns,
-            e.hot_median_ns,
-            e.speedup(),
-            e.hot_sharded_median_ns,
-            e.hot_governed_median_ns,
-            e.mixed_median_ns,
-            e.batch_ns,
-            e.batch_requests,
-            e.plan_hits,
-            e.plan_misses,
-            e.decomp_misses,
-            comma
-        )
-        .unwrap();
-    }
-    out.push_str("  }\n}\n");
-    out
+    let rendered: Vec<(String, String)> = entries
+        .iter()
+        .map(|e| {
+            let phases: Vec<String> = obs::Phase::ALL
+                .iter()
+                .filter(|p| e.phase_median_ns[p.index()] > 0)
+                .map(|p| {
+                    format!(
+                        "{}: {}",
+                        emit::json_string(p.as_str()),
+                        e.phase_median_ns[p.index()]
+                    )
+                })
+                .collect();
+            (
+                e.id.clone(),
+                format!(
+                    "{{\"working_set\": {}, \"requests\": {}, \
+                     \"cold_median_ns\": {}, \"hot_median_ns\": {}, \"speedup\": {:.1}, \
+                     \"hot_sharded_median_ns\": {}, \"hot_governed_median_ns\": {}, \
+                     \"hot_traced_median_ns\": {}, \"phases\": {{{}}}, \
+                     \"mixed_median_ns\": {}, \"batch_ns\": {}, \"batch_requests\": {}, \
+                     \"plan_hits\": {}, \"plan_misses\": {}, \"decomp_misses\": {}}}",
+                    e.working_set,
+                    e.requests,
+                    e.cold_median_ns,
+                    e.hot_median_ns,
+                    e.speedup(),
+                    e.hot_sharded_median_ns,
+                    e.hot_governed_median_ns,
+                    e.hot_traced_median_ns,
+                    phases.join(", "),
+                    e.mixed_median_ns,
+                    e.batch_ns,
+                    e.batch_requests,
+                    e.plan_hits,
+                    e.plan_misses,
+                    e.decomp_misses,
+                ),
+            )
+        })
+        .collect();
+    emit::run_json(
+        "bench-service/4",
+        label,
+        mode,
+        &[("requests_per_stream", cfg.requests.to_string())],
+        &rendered,
+    )
 }
 
 #[cfg(test)]
@@ -546,6 +619,19 @@ mod tests {
         assert!(entry.cold_median_ns > 0 && entry.hot_median_ns > 0);
         assert!(entry.plan_misses > 0);
         assert!(entry.plan_hits > 0);
+        // The traced leg really traced: total medians and the parse
+        // phase are nonzero, and a hot request never decomposes.
+        assert!(entry.hot_traced_median_ns > 0);
+        assert!(entry.phase_median_ns[obs::Phase::Parse.index()] > 0);
+        assert_eq!(entry.phase_median_ns[obs::Phase::Decompose.index()], 0);
+    }
+
+    #[test]
+    fn sample_metrics_renders_valid_prometheus() {
+        let text = sample_metrics(true).expect("metrics sample serves");
+        obs::validate_prometheus(&text).expect("valid Prometheus text");
+        assert!(text.contains("service_requests_total"));
+        assert!(text.contains("service_traced_requests_total"));
     }
 
     #[test]
@@ -562,6 +648,13 @@ mod tests {
             hot_median_ns: 100,
             hot_sharded_median_ns: 120,
             hot_governed_median_ns: 103,
+            hot_traced_median_ns: 107,
+            phase_median_ns: {
+                let mut p = [0u128; obs::Phase::COUNT];
+                p[obs::Phase::Parse.index()] = 40;
+                p[obs::Phase::Join.index()] = 60;
+                p
+            },
             mixed_median_ns: 200,
             batch_ns: 300,
             batch_requests: 2,
@@ -570,10 +663,14 @@ mod tests {
             decomp_misses: 1,
         }];
         let j = to_json("t", "smoke", &cfg, &entries);
-        assert!(j.contains("\"schema\": \"bench-service/3\""));
+        assert!(j.contains("\"schema\": \"bench-service/4\""));
         assert!(j.contains("\"speedup\": 10.0"));
         assert!(j.contains("\"hot_sharded_median_ns\": 120"));
         assert!(j.contains("\"hot_governed_median_ns\": 103"));
+        assert!(j.contains("\"hot_traced_median_ns\": 107"));
+        assert!(j.contains("\"phases\": {\"parse\": 40, \"join\": 60}"));
+        // Zero phases are omitted from the JSON.
+        assert!(!j.contains("\"decompose\""));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 }

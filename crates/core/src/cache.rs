@@ -26,7 +26,6 @@ use crate::lru::Lru;
 use hypergraph::{Hypergraph, Ix};
 use parking_lot::Mutex;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A small cache from canonical-query form to a shared decomposition.
@@ -35,8 +34,10 @@ pub struct DecompCache {
     // its recency slab, and structural keys of large-tier hypergraphs
     // run to kilobytes — share one allocation instead of copying it.
     map: Mutex<Lru<Arc<str>, Arc<HypertreeDecomposition>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    // Arc'd so the owning service can register the very same counters
+    // with its metrics registry (see `hits_handle`/`misses_handle`).
+    hits: Arc<obs::Counter>,
+    misses: Arc<obs::Counter>,
 }
 
 impl Default for DecompCache {
@@ -59,8 +60,8 @@ impl DecompCache {
     pub fn with_capacity(capacity: usize) -> Self {
         DecompCache {
             map: Mutex::new(Lru::with_capacity(capacity)),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: Arc::new(obs::Counter::new()),
+            misses: Arc::new(obs::Counter::new()),
         }
     }
 
@@ -111,10 +112,10 @@ impl DecompCache {
     ) -> Result<Arc<HypertreeDecomposition>, E> {
         let key = Self::key_of(h);
         if let Some(hit) = self.map.lock().get(key.as_str()) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.incr();
             return Ok(Arc::clone(hit));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.incr();
         let value = Arc::new(decompose(h)?);
         self.map.lock().insert(Arc::from(key), Arc::clone(&value));
         Ok(value)
@@ -122,12 +123,22 @@ impl DecompCache {
 
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Cache misses so far.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
+    }
+
+    /// The live hit counter, for registering with a metrics registry.
+    pub fn hits_handle(&self) -> Arc<obs::Counter> {
+        Arc::clone(&self.hits)
+    }
+
+    /// The live miss counter, for registering with a metrics registry.
+    pub fn misses_handle(&self) -> Arc<obs::Counter> {
+        Arc::clone(&self.misses)
     }
 
     /// Decompositions evicted by capacity pressure so far.

@@ -48,6 +48,10 @@ pub(crate) struct BudgetMeter<'a> {
     budget: &'a QueryBudget,
     phase: &'static str,
     enforce_memory: bool,
+    // Rows-scanned tap for tracing: the kernels already report chunk row
+    // counts through `tick`, so the tracer rides the existing hook. A
+    // disabled tap ([`obs::IoTap::disabled`]) is a single branch.
+    tap: obs::IoTap<'a>,
 }
 
 impl<'a> BudgetMeter<'a> {
@@ -56,6 +60,7 @@ impl<'a> BudgetMeter<'a> {
             budget,
             phase,
             enforce_memory: true,
+            tap: obs::IoTap::disabled(),
         }
     }
 
@@ -64,13 +69,20 @@ impl<'a> BudgetMeter<'a> {
             budget,
             phase,
             enforce_memory: false,
+            tap: obs::IoTap::disabled(),
         }
+    }
+
+    pub(crate) fn with_tap(mut self, tap: obs::IoTap<'a>) -> Self {
+        self.tap = tap;
+        self
     }
 }
 
 impl CostMeter for BudgetMeter<'_> {
     #[inline]
-    fn tick(&self, _units: u64) -> Result<(), Trip> {
+    fn tick(&self, units: u64) -> Result<(), Trip> {
+        self.tap.add_rows(units);
         match self.budget.check(self.phase) {
             Ok(()) => Ok(()),
             Err(QueryError::Cancelled) => Err(Trip::Cancelled),
@@ -131,10 +143,23 @@ impl Pipeline {
         cfg: &ShardConfig,
         budget: &QueryBudget,
     ) -> Result<bool, QueryError> {
+        self.boolean_observed(rels, cfg, budget, &obs::Tracer::off())
+    }
+
+    /// [`Pipeline::boolean_governed`] with the semijoin sweep timed
+    /// under the tracer's `reduce` span and its row scans tapped.
+    pub fn boolean_observed(
+        &self,
+        rels: &mut [Relation],
+        cfg: &ShardConfig,
+        budget: &QueryBudget,
+        obs: &obs::Tracer,
+    ) -> Result<bool, QueryError> {
         const PHASE: &str = "semijoin";
         assert_eq!(rels.len(), self.tree.len(), "one relation per node");
+        let _span = obs.span(obs::Phase::Reduce);
         let shards = cfg.effective_shards();
-        let meter = BudgetMeter::new(budget, PHASE);
+        let meter = BudgetMeter::new(budget, PHASE).with_tap(obs.io());
         for &n in &self.post {
             if let Some(p) = self.tree.parent(n) {
                 budget.check(PHASE)?;
@@ -166,10 +191,23 @@ impl Pipeline {
         cfg: &ShardConfig,
         budget: &QueryBudget,
     ) -> Result<(), QueryError> {
+        self.full_reduce_observed(rels, cfg, budget, &obs::Tracer::off())
+    }
+
+    /// [`Pipeline::full_reduce_governed`] with the sweep timed under
+    /// the tracer's `reduce` span and its row scans tapped.
+    pub fn full_reduce_observed(
+        &self,
+        rels: &mut [Relation],
+        cfg: &ShardConfig,
+        budget: &QueryBudget,
+        obs: &obs::Tracer,
+    ) -> Result<(), QueryError> {
         const PHASE: &str = "semijoin";
         assert_eq!(rels.len(), self.tree.len(), "one relation per node");
+        let _span = obs.span(obs::Phase::Reduce);
         let shards = cfg.effective_shards();
-        let meter = BudgetMeter::new(budget, PHASE);
+        let meter = BudgetMeter::new(budget, PHASE).with_tap(obs.io());
         for &n in &self.post {
             if let Some(p) = self.tree.parent(n) {
                 budget.check(PHASE)?;
@@ -217,8 +255,21 @@ impl Pipeline {
         cfg: &ShardConfig,
         budget: &QueryBudget,
     ) -> Result<(Relation, bool), QueryError> {
-        self.full_reduce_governed(rels, cfg, budget)?;
-        self.join_phase_governed(rels, output, budget)
+        self.enumerate_observed(rels, output, cfg, budget, &obs::Tracer::off())
+    }
+
+    /// [`Pipeline::enumerate_governed`] with the sweep and join phases
+    /// timed under the tracer's `reduce` and `join` spans.
+    pub fn enumerate_observed(
+        &self,
+        rels: &mut [Relation],
+        output: &[VertexId],
+        cfg: &ShardConfig,
+        budget: &QueryBudget,
+        obs: &obs::Tracer,
+    ) -> Result<(Relation, bool), QueryError> {
+        self.full_reduce_observed(rels, cfg, budget, obs)?;
+        self.join_phase_observed(rels, output, budget, obs)
     }
 
     /// The governed join/projection phase of `enumerate`. Runs the joins
@@ -226,13 +277,16 @@ impl Pipeline {
     /// arbitrary per-chunk positions, while the sequential kernel
     /// truncates to a clean prefix — over relations the (sharded,
     /// governed) full reduction has already filtered.
-    fn join_phase_governed(
+    fn join_phase_observed(
         &self,
         rels: &mut [Relation],
         output: &[VertexId],
         budget: &QueryBudget,
+        obs: &obs::Tracer,
     ) -> Result<(Relation, bool), QueryError> {
         const PHASE: &str = "join";
+        let _span = obs.span(obs::Phase::Join);
+        let tap = obs.io();
         let mut truncated = false;
         let mut work: Vec<(Vec<VertexId>, Relation)> = self
             .vars
@@ -254,7 +308,8 @@ impl Pipeline {
                     BudgetMeter::unenforced(budget, PHASE)
                 } else {
                     BudgetMeter::new(budget, PHASE)
-                };
+                }
+                .with_tap(tap);
                 let (joined, t) = ops::join_governed(&rel, &crel, &pairs, &keep, &meter, true)
                     .map_err(|t| trip_to_error(t, PHASE))?;
                 truncated |= t;
@@ -277,7 +332,8 @@ impl Pipeline {
                 BudgetMeter::unenforced(budget, PHASE)
             } else {
                 BudgetMeter::new(budget, PHASE)
-            };
+            }
+            .with_tap(tap);
             let projected = ops::project_governed(&rel, &keep_cols, &meter)
                 .map_err(|t| trip_to_error(t, PHASE))?;
             work[n.index()] = (projected_vars, projected);
@@ -297,7 +353,8 @@ impl Pipeline {
             BudgetMeter::unenforced(budget, PHASE)
         } else {
             BudgetMeter::new(budget, PHASE)
-        };
+        }
+        .with_tap(tap);
         let out = ops::project_governed(rel, &cols, &meter).map_err(|t| trip_to_error(t, PHASE))?;
         Ok((out, truncated))
     }
@@ -313,8 +370,23 @@ impl Pipeline {
         cfg: &ShardConfig,
         budget: &QueryBudget,
     ) -> Result<u128, QueryError> {
+        self.count_observed(rels, cfg, budget, &obs::Tracer::off())
+    }
+
+    /// [`Pipeline::count_governed`] with the DP timed under the
+    /// tracer's `count` span; each edge scans its child and parent node
+    /// relations once, and those rows are tapped.
+    pub fn count_observed(
+        &self,
+        rels: &[Relation],
+        cfg: &ShardConfig,
+        budget: &QueryBudget,
+        obs: &obs::Tracer,
+    ) -> Result<u128, QueryError> {
         const PHASE: &str = "count";
         assert_eq!(rels.len(), self.tree.len(), "one relation per node");
+        let _span = obs.span(obs::Phase::Count);
+        let tap = obs.io();
         budget.check(PHASE)?;
         let cell = std::mem::size_of::<u128>() as u64;
         budget.charge_bytes(rels.iter().map(|r| r.len() as u64 * cell).sum())?;
@@ -330,6 +402,7 @@ impl Pipeline {
             budget.charge_bytes(
                 (rels[n.index()].len() as u64 + rels[p.index()].len() as u64) * cell,
             )?;
+            tap.add_rows(rels[n.index()].len() as u64 + rels[p.index()].len() as u64);
             self.count_edge(rels, &mut counts, n, p, cfg, shards);
         }
         Ok(saturating_sum(
@@ -348,6 +421,19 @@ impl crate::Strategy {
         cfg: &ShardConfig,
         budget: &QueryBudget,
     ) -> Result<bool, EvalError> {
+        self.boolean_observed(q, db, cfg, budget, &obs::Tracer::off())
+    }
+
+    /// [`crate::Strategy::boolean_governed`] with the reduction and
+    /// sweep phases recorded into `obs`.
+    pub fn boolean_observed(
+        &self,
+        q: &cq::ConjunctiveQuery,
+        db: &relation::Database,
+        cfg: &ShardConfig,
+        budget: &QueryBudget,
+        obs: &obs::Tracer,
+    ) -> Result<bool, EvalError> {
         budget.check("bind")?;
         match self {
             crate::Strategy::JoinTree(jt) => {
@@ -356,12 +442,12 @@ impl crate::Strategy {
                     return Ok(true); // empty body is vacuously true
                 }
                 let (pipeline, mut rels) = crate::pipeline_for(jt, bound);
-                Ok(pipeline.boolean_governed(&mut rels, cfg, budget)?)
+                Ok(pipeline.boolean_observed(&mut rels, cfg, budget, obs)?)
             }
             crate::Strategy::Hypertree(hd) => {
                 let (pipeline, mut rels) =
-                    crate::reduction::reduce_governed(q, db, hd, cfg, budget)?.into_pipeline();
-                Ok(pipeline.boolean_governed(&mut rels, cfg, budget)?)
+                    crate::reduction::reduce_observed(q, db, hd, cfg, budget, obs)?.into_pipeline();
+                Ok(pipeline.boolean_observed(&mut rels, cfg, budget, obs)?)
             }
         }
     }
@@ -376,6 +462,22 @@ impl crate::Strategy {
         cfg: &ShardConfig,
         budget: &QueryBudget,
     ) -> Result<(Relation, bool), EvalError> {
+        self.enumerate_observed(q, db, cfg, budget, &obs::Tracer::off())
+    }
+
+    /// [`crate::Strategy::enumerate_governed`] recorded into `obs`: the
+    /// whole operation runs under an `enumerate` span (a container that
+    /// overlaps the nested `reduce` and `join` spans — see the
+    /// [`obs::phase`] docs).
+    pub fn enumerate_observed(
+        &self,
+        q: &cq::ConjunctiveQuery,
+        db: &relation::Database,
+        cfg: &ShardConfig,
+        budget: &QueryBudget,
+        obs: &obs::Tracer,
+    ) -> Result<(Relation, bool), EvalError> {
+        let _span = obs.span(obs::Phase::Enumerate);
         budget.check("bind")?;
         match self {
             crate::Strategy::JoinTree(jt) => {
@@ -386,12 +488,12 @@ impl crate::Strategy {
                     return Ok((rel, false));
                 }
                 let (pipeline, mut rels) = crate::pipeline_for(jt, bound);
-                Ok(pipeline.enumerate_governed(&mut rels, &q.head_vars(), cfg, budget)?)
+                Ok(pipeline.enumerate_observed(&mut rels, &q.head_vars(), cfg, budget, obs)?)
             }
             crate::Strategy::Hypertree(hd) => {
                 let (pipeline, mut rels) =
-                    crate::reduction::reduce_governed(q, db, hd, cfg, budget)?.into_pipeline();
-                Ok(pipeline.enumerate_governed(&mut rels, &q.head_vars(), cfg, budget)?)
+                    crate::reduction::reduce_observed(q, db, hd, cfg, budget, obs)?.into_pipeline();
+                Ok(pipeline.enumerate_observed(&mut rels, &q.head_vars(), cfg, budget, obs)?)
             }
         }
     }
@@ -404,6 +506,19 @@ impl crate::Strategy {
         cfg: &ShardConfig,
         budget: &QueryBudget,
     ) -> Result<u128, EvalError> {
+        self.count_observed(q, db, cfg, budget, &obs::Tracer::off())
+    }
+
+    /// [`crate::Strategy::count_governed`] with the reduction and DP
+    /// phases recorded into `obs`.
+    pub fn count_observed(
+        &self,
+        q: &cq::ConjunctiveQuery,
+        db: &relation::Database,
+        cfg: &ShardConfig,
+        budget: &QueryBudget,
+        obs: &obs::Tracer,
+    ) -> Result<u128, EvalError> {
         budget.check("bind")?;
         match self {
             crate::Strategy::JoinTree(jt) => {
@@ -412,12 +527,12 @@ impl crate::Strategy {
                     return Ok(1); // the empty substitution
                 }
                 let (pipeline, rels) = crate::pipeline_for(jt, bound);
-                Ok(pipeline.count_governed(&rels, cfg, budget)?)
+                Ok(pipeline.count_observed(&rels, cfg, budget, obs)?)
             }
             crate::Strategy::Hypertree(hd) => {
                 let (pipeline, rels) =
-                    crate::reduction::reduce_governed(q, db, hd, cfg, budget)?.into_pipeline();
-                Ok(pipeline.count_governed(&rels, cfg, budget)?)
+                    crate::reduction::reduce_observed(q, db, hd, cfg, budget, obs)?.into_pipeline();
+                Ok(pipeline.count_observed(&rels, cfg, budget, obs)?)
             }
         }
     }

@@ -99,11 +99,25 @@ pub fn reduce_governed(
     cfg: &crate::ShardConfig,
     budget: &hypertree_core::QueryBudget,
 ) -> Result<ReducedInstance, EvalError> {
+    reduce_observed(q, db, hd, cfg, budget, &obs::Tracer::off())
+}
+
+/// [`reduce_governed`] with the construction timed under the tracer's
+/// `reduce` span and its metered row scans tapped.
+pub fn reduce_observed(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    hd: &HypertreeDecomposition,
+    cfg: &crate::ShardConfig,
+    budget: &hypertree_core::QueryBudget,
+    obs: &obs::Tracer,
+) -> Result<ReducedInstance, EvalError> {
     const PHASE: &str = "reduce";
+    let _span = obs.span(obs::Phase::Reduce);
     budget.check(PHASE)?;
     let shards = cfg.effective_shards();
     let min_rows = cfg.min_rows;
-    let meter = crate::governed::BudgetMeter::new(budget, PHASE);
+    let meter = crate::governed::BudgetMeter::new(budget, PHASE).with_tap(obs.io());
     // `reduce_with`'s join operator is infallible, so the first trip is
     // parked here and every later join degenerates to an empty relation
     // of the right arity (cheap, and discarded on unwind).

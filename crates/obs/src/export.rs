@@ -1,0 +1,534 @@
+//! Exporters: a stable JSON snapshot and a Prometheus text-format
+//! renderer, both offline (strings only, no network, no allocation on
+//! any hot path — scraping is the cold path by construction).
+
+use std::fmt::Write as _;
+
+use crate::metrics::{Histogram, HISTOGRAM_BUCKETS};
+use crate::registry::{Entry, Labels, Metric};
+
+/// Schema tag stamped into the JSON export; bump on breaking change.
+pub const JSON_SCHEMA: &str = "obs-metrics/1";
+
+/// Point-in-time value of one metric series.
+///
+/// The histogram variant inlines its fixed bucket array — snapshots are
+/// scrape-time values, not hot-path state, so the size skew over the
+/// scalar variants is fine.
+#[derive(Clone, Debug)]
+#[allow(clippy::large_enum_variant)]
+pub enum Value {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(u64),
+    /// Histogram reading: per-bucket counts plus totals.
+    Histogram {
+        /// Per-bucket observation counts (bucket `i` = bit-length `i`).
+        buckets: [u64; HISTOGRAM_BUCKETS],
+        /// Total observation count.
+        count: u64,
+        /// Sum of all observations.
+        sum: u64,
+    },
+}
+
+/// One exported series: name, help, labels, and the sampled value.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Metric name (Prometheus-safe: `[a-zA-Z_][a-zA-Z0-9_]*`).
+    pub name: &'static str,
+    /// Help text for the `# HELP` line.
+    pub help: &'static str,
+    /// Label pairs, in registration order.
+    pub labels: Labels,
+    /// The sampled value.
+    pub value: Value,
+}
+
+/// A sorted, self-contained snapshot of a [`crate::Registry`].
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    samples: Vec<Sample>,
+}
+
+impl Snapshot {
+    pub(crate) fn scrape(entries: &[Entry]) -> Snapshot {
+        let mut samples: Vec<Sample> = entries
+            .iter()
+            .map(|e| Sample {
+                name: e.name,
+                help: e.help,
+                labels: e.labels.clone(),
+                value: match &e.metric {
+                    Metric::Counter(c) => Value::Counter(c.get()),
+                    Metric::Gauge(g) => Value::Gauge(g.get()),
+                    Metric::Histogram(h) => Value::Histogram {
+                        buckets: h.bucket_counts(),
+                        count: h.count(),
+                        sum: h.sum(),
+                    },
+                },
+            })
+            .collect();
+        samples.sort_by(|a, b| (a.name, &a.labels).cmp(&(b.name, &b.labels)));
+        Snapshot { samples }
+    }
+
+    /// The sampled series, sorted by `(name, labels)`.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Render the snapshot as a stable JSON document (schema
+    /// [`JSON_SCHEMA`]). Histograms additionally carry estimated
+    /// p50/p90/p99 so dashboards need no client-side bucket math.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", json_string(JSON_SCHEMA));
+        out.push_str("  \"metrics\": [\n");
+        for (i, s) in self.samples.iter().enumerate() {
+            out.push_str("    {");
+            let _ = write!(out, "\"name\": {}", json_string(s.name));
+            if !s.labels.is_empty() {
+                out.push_str(", \"labels\": {");
+                for (j, (k, v)) in s.labels.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "{}: {}", json_string(k), json_string(v));
+                }
+                out.push('}');
+            }
+            match &s.value {
+                Value::Counter(v) => {
+                    let _ = write!(out, ", \"type\": \"counter\", \"value\": {v}");
+                }
+                Value::Gauge(v) => {
+                    let _ = write!(out, ", \"type\": \"gauge\", \"value\": {v}");
+                }
+                Value::Histogram {
+                    buckets,
+                    count,
+                    sum,
+                } => {
+                    let _ = write!(
+                        out,
+                        ", \"type\": \"histogram\", \"count\": {count}, \"sum\": {sum}"
+                    );
+                    let _ = write!(
+                        out,
+                        ", \"p50\": {}, \"p90\": {}, \"p99\": {}",
+                        quantile_of(buckets, 0.50),
+                        quantile_of(buckets, 0.90),
+                        quantile_of(buckets, 0.99)
+                    );
+                    out.push_str(", \"buckets\": [");
+                    let top = highest_nonzero(buckets);
+                    for (j, b) in buckets.iter().take(top + 1).enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(out, "[{}, {}]", Histogram::le_bound(j), b);
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+            if i + 1 < self.samples.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Render the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` headers per metric name,
+    /// histograms as cumulative `_bucket{le="..."}` series (trimmed
+    /// past the highest non-empty bucket, always ending at `+Inf`)
+    /// plus `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name = "";
+        for s in &self.samples {
+            if s.name != last_name {
+                let _ = writeln!(out, "# HELP {} {}", s.name, escape_help(s.help));
+                let kind = match s.value {
+                    Value::Counter(_) => "counter",
+                    Value::Gauge(_) => "gauge",
+                    Value::Histogram { .. } => "histogram",
+                };
+                let _ = writeln!(out, "# TYPE {} {}", s.name, kind);
+                last_name = s.name;
+            }
+            match &s.value {
+                Value::Counter(v) | Value::Gauge(v) => {
+                    let _ = writeln!(out, "{}{} {}", s.name, render_labels(&s.labels, None), v);
+                }
+                Value::Histogram {
+                    buckets,
+                    count,
+                    sum,
+                } => {
+                    let top = highest_nonzero(buckets);
+                    let mut cum = 0u64;
+                    for (i, b) in buckets.iter().take(top + 1).enumerate() {
+                        cum += b;
+                        let le = Histogram::le_bound(i).to_string();
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            s.name,
+                            render_labels(&s.labels, Some(&le)),
+                            cum
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        s.name,
+                        render_labels(&s.labels, Some("+Inf")),
+                        count
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        s.name,
+                        render_labels(&s.labels, None),
+                        sum
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        s.name,
+                        render_labels(&s.labels, None),
+                        count
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+fn quantile_of(buckets: &[u64; HISTOGRAM_BUCKETS], q: f64) -> u64 {
+    let n: u64 = buckets.iter().sum();
+    if n == 0 {
+        return 0;
+    }
+    let rank = ((q * n as f64).ceil() as u64).max(1);
+    let mut cum = 0u64;
+    for (i, b) in buckets.iter().enumerate() {
+        cum += b;
+        if cum >= rank {
+            return Histogram::le_bound(i);
+        }
+    }
+    u64::MAX
+}
+
+fn highest_nonzero(buckets: &[u64; HISTOGRAM_BUCKETS]) -> usize {
+    buckets.iter().rposition(|&b| b != 0).unwrap_or(0)
+}
+
+/// Render a label set, optionally with a trailing `le` label (for
+/// histogram bucket series). Empty sets render as the empty string.
+fn render_labels(labels: &Labels, le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{}=\"{}\"", k, escape_label(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Escape a label value per the Prometheus text format: backslash,
+/// double-quote, and newline.
+pub fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape help text per the Prometheus text format: backslash and
+/// newline only (quotes are legal in help).
+pub fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render `s` as a JSON string literal (quotes included).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Validate a Prometheus text-format document: every non-comment,
+/// non-blank line must be `name[{labels}] value`, `# HELP`/`# TYPE`
+/// lines must be well-formed, and each `TYPE` must precede its
+/// samples. Returns the first problem found. This is a structural
+/// lint for CI, not a full parser.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    let mut typed: Vec<&str> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            if let Some(body) = rest.strip_prefix("HELP ") {
+                let mut it = body.splitn(2, ' ');
+                let name = it.next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("line {n}: bad HELP metric name {name:?}"));
+                }
+            } else if let Some(body) = rest.strip_prefix("TYPE ") {
+                let mut it = body.split(' ');
+                let name = it.next().unwrap_or("");
+                let kind = it.next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("line {n}: bad TYPE metric name {name:?}"));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("line {n}: bad TYPE kind {kind:?}"));
+                }
+                typed.push(name);
+            } else {
+                return Err(format!("line {n}: comment is neither HELP nor TYPE"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(format!("line {n}: comment must start with '# '"));
+        }
+        // Sample line: name[{labels}] value
+        let (series, value) = match line.rsplit_once(' ') {
+            Some(parts) => parts,
+            None => return Err(format!("line {n}: no value separator")),
+        };
+        if value.parse::<f64>().is_err() && !matches!(value, "+Inf" | "-Inf" | "NaN") {
+            return Err(format!("line {n}: bad sample value {value:?}"));
+        }
+        let name_part = match series.split_once('{') {
+            Some((name, labels)) => {
+                if !labels.ends_with('}') {
+                    return Err(format!("line {n}: unterminated label set"));
+                }
+                validate_labels(&labels[..labels.len() - 1])
+                    .map_err(|e| format!("line {n}: {e}"))?;
+                name
+            }
+            None => series,
+        };
+        if !valid_metric_name(name_part) {
+            return Err(format!("line {n}: bad metric name {name_part:?}"));
+        }
+        let base = name_part
+            .strip_suffix("_bucket")
+            .or_else(|| name_part.strip_suffix("_sum"))
+            .or_else(|| name_part.strip_suffix("_count"))
+            .unwrap_or(name_part);
+        if !typed.contains(&name_part) && !typed.contains(&base) {
+            return Err(format!(
+                "line {n}: sample {name_part:?} has no preceding TYPE"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn validate_labels(body: &str) -> Result<(), String> {
+    // Split on commas outside quotes; inside values only the three
+    // escapes \\ \" \n are legal.
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or("label without '='")?;
+        let key = &rest[..eq];
+        if !valid_metric_name(key) {
+            return Err(format!("bad label name {key:?}"));
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err("label value not quoted".into());
+        }
+        rest = &rest[1..];
+        let mut closed = false;
+        let mut iter = rest.char_indices();
+        while let Some((i, c)) = iter.next() {
+            match c {
+                '\\' => match iter.next() {
+                    Some((_, '\\' | '"' | 'n')) => {}
+                    _ => return Err("bad escape in label value".into()),
+                },
+                '"' => {
+                    rest = &rest[i + 1..];
+                    closed = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if !closed {
+            return Err("unterminated label value".into());
+        }
+        if rest.starts_with(',') {
+            rest = &rest[1..];
+        } else if !rest.is_empty() {
+            return Err("junk after label value".into());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("requests_total", "Total requests").add(42);
+        r.counter_with(
+            "op_total",
+            "Per-op requests",
+            vec![("op", "boolean".into())],
+        )
+        .add(7);
+        r.counter_with("op_total", "Per-op requests", vec![("op", "count".into())])
+            .add(3);
+        r.gauge("plan_cache_len", "Live plan-cache entries").set(5);
+        let h = r.histogram("request_latency_ns", "Request latency");
+        h.record(100);
+        h.record(100_000);
+        r
+    }
+
+    #[test]
+    fn prometheus_output_validates_and_is_stable() {
+        let snap = sample_registry().snapshot();
+        let text = snap.to_prometheus();
+        validate_prometheus(&text).unwrap();
+        // Sorted by name: op_total before plan_cache_len before
+        // request_latency_ns before requests_total.
+        let op = text.find("op_total{op=\"boolean\"} 7").unwrap();
+        let op2 = text.find("op_total{op=\"count\"} 3").unwrap();
+        let gauge = text.find("plan_cache_len 5").unwrap();
+        assert!(op < op2 && op2 < gauge);
+        // HELP/TYPE emitted once per name, before samples.
+        assert_eq!(text.matches("# TYPE op_total counter").count(), 1);
+        // Histogram renders cumulative buckets ending at +Inf.
+        assert!(text.contains("request_latency_ns_bucket{le=\"127\"} 1"));
+        assert!(text.contains("request_latency_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("request_latency_ns_sum 100100"));
+        assert!(text.contains("request_latency_ns_count 2"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter_with("weird", "h", vec![("q", "a\"b\\c\nd".into())])
+            .add(1);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains(r#"weird{q="a\"b\\c\nd"} 1"#));
+        validate_prometheus(&text).unwrap();
+    }
+
+    #[test]
+    fn json_snapshot_is_stable_and_carries_quantiles() {
+        let snap = sample_registry().snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("\"schema\": \"obs-metrics/1\""));
+        assert!(json.contains("\"name\": \"requests_total\", \"type\": \"counter\", \"value\": 42"));
+        assert!(json.contains("\"p50\": 127"));
+        assert!(json.contains("\"count\": 2, \"sum\": 100100"));
+        // Braces/brackets balance.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_prometheus("no_type_line 1").is_err());
+        assert!(validate_prometheus("# TYPE x counter\nx notanumber").is_err());
+        assert!(validate_prometheus("# TYPE x counter\nx{a=unquoted} 1").is_err());
+        assert!(validate_prometheus("# TYPE x counter\nx{a=\"open} 1").is_err());
+        assert!(validate_prometheus("# TYPE 9bad counter\n").is_err());
+        assert!(validate_prometheus("# TYPE x flavor\n").is_err());
+        assert!(validate_prometheus("#comment\n").is_err());
+        assert!(validate_prometheus(
+            "# TYPE x counter\nx 1\n\n# HELP y h\n# TYPE y gauge\ny{l=\"v\"} 2.5"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn json_string_escapes_controls() {
+        assert_eq!(json_string("a\"b"), r#""a\"b""#);
+        assert_eq!(json_string("a\\b"), r#""a\\b""#);
+        assert_eq!(json_string("a\nb"), r#""a\nb""#);
+        assert_eq!(json_string("a\u{1}b"), "\"a\\u0001b\"");
+    }
+}

@@ -1,0 +1,34 @@
+//! Observability substrate for the hypertree serving stack.
+//!
+//! Three layers, all offline (no network, no I/O, strings only):
+//!
+//! - **Spans & traces** ([`trace`], [`phase`]): an opt-in per-request
+//!   [`Tracer`] records wall time per lifecycle [`Phase`] plus row,
+//!   byte, cache, and plan provenance, assembled into a [`QueryTrace`].
+//!   With [`TraceConfig::Off`] every touch point is a single branch.
+//! - **Metrics** ([`metrics`], [`registry`]): lock-free [`Counter`]s,
+//!   [`Gauge`]s, and log₂-bucketed [`Histogram`]s behind a named,
+//!   labeled [`Registry`].
+//! - **Exporters** ([`export`]): a stable JSON snapshot, a Prometheus
+//!   text renderer (plus a structural validator for CI), and the
+//!   human-readable trace pretty-printer.
+//!
+//! The crate deliberately has no dependency on the rest of the
+//! workspace, so every layer — `core`, `relation`, `eval`, `service`,
+//! `bench` — can thread it without cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(clippy::dbg_macro, clippy::print_stdout)]
+
+pub mod export;
+pub mod metrics;
+pub mod phase;
+pub mod registry;
+pub mod trace;
+
+pub use export::{validate_prometheus, Snapshot};
+pub use metrics::{Counter, Gauge, Histogram};
+pub use phase::Phase;
+pub use registry::Registry;
+pub use trace::{IoTap, PlanShape, QueryTrace, Span, Stopwatch, TraceConfig, TraceOutcome, Tracer};

@@ -1,0 +1,253 @@
+//! Hot-path metric primitives: counters, gauges, and log₂-bucketed
+//! histograms.
+//!
+//! All three are lock-free and allocation-free on the record path — a
+//! [`Counter::incr`] or [`Histogram::record`] is a handful of relaxed
+//! atomic adds. Aggregation (quantile estimation, snapshotting) happens
+//! only at scrape time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+///
+/// `const`-constructible so components can own `static` counters that
+/// are later registered with a [`crate::Registry`] by handle.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A new counter starting at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one; returns the *previous* value (useful for 1-in-N
+    /// sampling decisions without a second atomic).
+    #[inline]
+    pub fn incr(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move in both directions (cache sizes,
+/// in-flight requests, scrape-time snapshots of external state).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A new gauge starting at zero.
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrite the gauge value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one per possible bit-length of a `u64`
+/// (0..=64), so bucket boundaries are `0, 1, 3, 7, …, 2^63-1, u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` observations (latencies in
+/// nanoseconds, row counts, …).
+///
+/// Bucket `i` counts observations whose bit-length is `i`, i.e. values
+/// `v` with `2^(i-1) <= v < 2^i` (bucket 0 holds exactly the zeros).
+/// The inclusive upper bound of bucket `i` is therefore `2^i - 1`
+/// (see [`Histogram::le_bound`]). Recording is three relaxed atomic
+/// adds; quantiles are estimated at scrape time from the cumulative
+/// bucket counts, reporting each bucket's upper bound — a ≤ 2×
+/// overestimate, which is the standard trade for allocation-free
+/// hot-path recording.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A new, empty histogram.
+    pub const fn new() -> Self {
+        // `AtomicU64` is not `Copy`; build the array element-by-element
+        // via a const block (stable since 1.79).
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Index of the bucket that holds `v`: the bit-length of `v`.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of bucket `i`: `2^i - 1` (saturating to
+    /// `u64::MAX` for the last bucket).
+    pub fn le_bound(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations (wrapping on overflow is acceptable for
+    /// the rates this is used at; Prometheus sums are floats anyway).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts, in bucket-index order.
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        let mut out = [0u64; HISTOGRAM_BUCKETS];
+        for (o, b) in out.iter_mut().zip(self.buckets.iter()) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) as the upper bound of
+    /// the first bucket whose cumulative count reaches `ceil(q * n)`.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts = self.bucket_counts();
+        let n: u64 = counts.iter().sum();
+        if n == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based; q=0 maps to rank 1.
+        let rank = ((q * n as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Self::le_bound(i);
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_incr_returns_previous_value() {
+        let c = Counter::new();
+        assert_eq!(c.incr(), 0);
+        assert_eq!(c.incr(), 1);
+        c.add(10);
+        assert_eq!(c.get(), 12);
+        c.add(0);
+        assert_eq!(c.get(), 12);
+    }
+
+    #[test]
+    fn gauge_set_overwrites() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0);
+        g.set(7);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn bucket_boundaries_follow_bit_length() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(7), 3);
+        assert_eq!(Histogram::bucket_index(8), 4);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        // Every value lands in the bucket whose le_bound covers it and
+        // whose predecessor's bound does not.
+        for v in [0u64, 1, 2, 3, 5, 100, 4096, 1 << 40, u64::MAX] {
+            let i = Histogram::bucket_index(v);
+            assert!(v <= Histogram::le_bound(i), "v={v} i={i}");
+            if i > 0 {
+                assert!(v > Histogram::le_bound(i - 1), "v={v} i={i}");
+            }
+        }
+        assert_eq!(Histogram::le_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        // 90 observations of ~100ns (bucket 7, bound 127) and 10 of
+        // ~1000ns (bucket 10, bound 1023).
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 90 * 100 + 10 * 1000);
+        assert_eq!(h.quantile(0.50), 127);
+        assert_eq!(h.quantile(0.90), 127);
+        assert_eq!(h.quantile(0.91), 1023);
+        assert_eq!(h.quantile(0.99), 1023);
+        assert_eq!(h.quantile(1.0), 1023);
+        assert_eq!(h.quantile(0.0), 127);
+    }
+
+    #[test]
+    fn quantile_of_zeros_is_zero() {
+        let h = Histogram::new();
+        for _ in 0..5 {
+            h.record(0);
+        }
+        assert_eq!(h.quantile(0.99), 0);
+    }
+}

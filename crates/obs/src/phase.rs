@@ -1,0 +1,109 @@
+//! The query-lifecycle phase taxonomy.
+//!
+//! Every span recorded by a [`crate::Tracer`] is attributed to exactly
+//! one of these phases. The taxonomy follows the serving pipeline of the
+//! paper's evaluation algorithm as it is deployed here: a request is
+//! parsed, looked up in the plan cache, (on a miss) decomposed and
+//! planned, then evaluated through the Yannakakis pipeline — semijoin
+//! reduction, output join, or the counting DP.
+//!
+//! Phases are *not* mutually exclusive in wall-clock terms: `enumerate`
+//! is an operation-level span that contains the `reduce` and `join`
+//! work of the same request (see each variant's docs). Consumers that
+//! want disjoint accounting should treat `enumerate` as a container.
+
+/// One phase of the query lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Parsing the request text into a conjunctive query.
+    Parse,
+    /// Rendering the α-invariant plan key and probing the plan cache.
+    PlanCache,
+    /// Computing a hypertree/GHD for a cyclic query (plan-cache **and**
+    /// decomposition-cache miss path only).
+    Decompose,
+    /// The rest of preparation: acyclicity test, join-tree or
+    /// decomposition-backed strategy construction. Contains `decompose`.
+    Plan,
+    /// Semijoin sweeps (Yannakakis full reduction) plus the Lemma 4.6
+    /// node-relation joins for decomposition-backed plans.
+    Reduce,
+    /// The output-producing join/projection phase of an enumeration.
+    Join,
+    /// Whole-operation span of an enumeration request: binding, the
+    /// `reduce` sweeps, and the output `join` all nest inside it.
+    Enumerate,
+    /// The counting dynamic program over the (reduced) join tree.
+    Count,
+}
+
+impl Phase {
+    /// Number of phases (the length of [`Phase::ALL`]).
+    pub const COUNT: usize = 8;
+
+    /// Every phase, in pipeline order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Parse,
+        Phase::PlanCache,
+        Phase::Decompose,
+        Phase::Plan,
+        Phase::Reduce,
+        Phase::Join,
+        Phase::Enumerate,
+        Phase::Count,
+    ];
+
+    /// The stable snake_case name used by exporters and the bench
+    /// schema (`parse`, `plan_cache`, `decompose`, `plan`, `reduce`,
+    /// `join`, `enumerate`, `count`).
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            Phase::Parse => "parse",
+            Phase::PlanCache => "plan_cache",
+            Phase::Decompose => "decompose",
+            Phase::Plan => "plan",
+            Phase::Reduce => "reduce",
+            Phase::Join => "join",
+            Phase::Enumerate => "enumerate",
+            Phase::Count => "count",
+        }
+    }
+
+    /// The phase's index into [`Phase::ALL`] (and into per-phase
+    /// accumulator arrays).
+    pub const fn index(self) -> usize {
+        match self {
+            Phase::Parse => 0,
+            Phase::PlanCache => 1,
+            Phase::Decompose => 2,
+            Phase::Plan => 3,
+            Phase::Reduce => 4,
+            Phase::Join => 5,
+            Phase::Enumerate => 6,
+            Phase::Count => 7,
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_match_all_order_and_names_are_unique() {
+        let mut names = Vec::new();
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+            names.push(p.as_str());
+        }
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Phase::COUNT);
+    }
+}

@@ -1,0 +1,221 @@
+//! The metrics registry: a named, labeled catalogue of counters,
+//! gauges, and histograms, snapshotted for the exporters.
+//!
+//! Handles returned by the registry are `Arc`s to the hot-path
+//! primitives in [`crate::metrics`]; the registry lock is taken only
+//! at registration and scrape time, never on the record path.
+//!
+//! The registry never panics: a name registered twice with a
+//! conflicting metric kind yields a fresh *detached* handle (usable,
+//! but not exported) rather than a panic, keeping this crate eligible
+//! for the panic-free request path.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::export::Snapshot;
+use crate::metrics::{Counter, Gauge, Histogram};
+
+/// Label set attached to a metric: `(key, value)` pairs.
+pub type Labels = Vec<(&'static str, String)>;
+
+/// The metric payload of a registry entry.
+#[derive(Clone)]
+pub enum Metric {
+    /// A monotonically increasing counter.
+    Counter(Arc<Counter>),
+    /// A free-moving gauge.
+    Gauge(Arc<Gauge>),
+    /// A log₂-bucketed histogram.
+    Histogram(Arc<Histogram>),
+}
+
+pub(crate) struct Entry {
+    pub(crate) name: &'static str,
+    pub(crate) help: &'static str,
+    pub(crate) labels: Labels,
+    pub(crate) metric: Metric,
+}
+
+/// A registry of named metrics.
+///
+/// Get-or-create semantics: asking for the same `(name, labels)` twice
+/// returns clones of the same underlying handle, so call sites don't
+/// need to coordinate initialisation order.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: Labels,
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let mut inner = self.inner.lock();
+        if let Some(e) = inner.iter().find(|e| e.name == name && e.labels == labels) {
+            return e.metric.clone();
+        }
+        let metric = make();
+        inner.push(Entry {
+            name,
+            help,
+            labels,
+            metric: metric.clone(),
+        });
+        metric
+    }
+
+    /// Get or create an unlabeled counter.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Arc<Counter> {
+        self.counter_with(name, help, Vec::new())
+    }
+
+    /// Get or create a labeled counter. On a kind conflict (the name
+    /// and labels already hold a non-counter) returns a detached
+    /// counter that records but is not exported.
+    pub fn counter_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: Labels,
+    ) -> Arc<Counter> {
+        match self.get_or_insert(name, help, labels, || {
+            Metric::Counter(Arc::new(Counter::new()))
+        }) {
+            Metric::Counter(c) => c,
+            _ => Arc::new(Counter::new()),
+        }
+    }
+
+    /// Get or create an unlabeled gauge.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Arc<Gauge> {
+        self.gauge_with(name, help, Vec::new())
+    }
+
+    /// Get or create a labeled gauge (detached handle on kind
+    /// conflict, as for [`Registry::counter_with`]).
+    pub fn gauge_with(&self, name: &'static str, help: &'static str, labels: Labels) -> Arc<Gauge> {
+        match self.get_or_insert(name, help, labels, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            _ => Arc::new(Gauge::new()),
+        }
+    }
+
+    /// Get or create an unlabeled histogram.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Arc<Histogram> {
+        self.histogram_with(name, help, Vec::new())
+    }
+
+    /// Get or create a labeled histogram (detached handle on kind
+    /// conflict, as for [`Registry::counter_with`]).
+    pub fn histogram_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: Labels,
+    ) -> Arc<Histogram> {
+        match self.get_or_insert(name, help, labels, || {
+            Metric::Histogram(Arc::new(Histogram::new()))
+        }) {
+            Metric::Histogram(h) => h,
+            _ => Arc::new(Histogram::new()),
+        }
+    }
+
+    /// Register an externally owned counter handle (e.g. a component's
+    /// `static` counter) under `name`. If the slot already exists the
+    /// existing registration wins and the call is a no-op.
+    pub fn register_counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: Labels,
+        counter: Arc<Counter>,
+    ) {
+        self.get_or_insert(name, help, labels, || Metric::Counter(counter));
+    }
+
+    /// Scrape-time convenience: get-or-create the gauge and set it in
+    /// one call, for values sampled from external state (cache sizes,
+    /// LRU evictions) during a snapshot.
+    pub fn set_gauge(&self, name: &'static str, help: &'static str, value: u64) {
+        self.gauge(name, help).set(value);
+    }
+
+    /// Labeled variant of [`Registry::set_gauge`].
+    pub fn set_gauge_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: Labels,
+        value: u64,
+    ) {
+        self.gauge_with(name, help, labels).set(value);
+    }
+
+    /// Take a point-in-time snapshot of every registered metric,
+    /// sorted by `(name, labels)` for stable export output.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::scrape(&self.inner.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_same_handle() {
+        let r = Registry::new();
+        let a = r.counter("requests_total", "help");
+        let b = r.counter("requests_total", "ignored on second call");
+        a.add(3);
+        assert_eq!(b.get(), 3);
+    }
+
+    #[test]
+    fn labels_distinguish_series() {
+        let r = Registry::new();
+        let boolean = r.counter_with("op_total", "h", vec![("op", "boolean".into())]);
+        let count = r.counter_with("op_total", "h", vec![("op", "count".into())]);
+        boolean.add(1);
+        count.add(2);
+        assert_eq!(boolean.get(), 1);
+        assert_eq!(count.get(), 2);
+    }
+
+    #[test]
+    fn kind_conflict_yields_detached_handle_not_panic() {
+        let r = Registry::new();
+        let _c = r.counter("x", "h");
+        let g = r.gauge("x", "h");
+        g.set(9);
+        // The detached gauge works but the exported entry is still the
+        // counter.
+        let snap = r.snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("\"counter\""));
+    }
+
+    #[test]
+    fn register_counter_is_first_wins() {
+        let r = Registry::new();
+        let mine = Arc::new(Counter::new());
+        mine.add(5);
+        r.register_counter("ext", "h", Vec::new(), mine.clone());
+        let same = r.counter("ext", "h");
+        assert_eq!(same.get(), 5);
+        mine.add(1);
+        assert_eq!(same.get(), 6);
+    }
+}

@@ -6,7 +6,9 @@
 //!
 //! Counters are **per thread** so that concurrent work (e.g. parallel
 //! test threads) cannot perturb a measurement taken around a
-//! single-threaded section of code.
+//! single-threaded section of code. A process-wide [`obs::Counter`]
+//! twin feeds the service metrics registry, where cross-thread totals
+//! are exactly what a scrape wants.
 
 use std::cell::Cell;
 
@@ -14,9 +16,12 @@ thread_local! {
     static INDEX_BUILDS: Cell<u64> = const { Cell::new(0) };
 }
 
+static INDEX_BUILDS_TOTAL: obs::Counter = obs::Counter::new();
+
 /// Record one physical index construction (called by the kernel).
 pub(crate) fn record_index_build() {
     INDEX_BUILDS.with(|c| c.set(c.get() + 1));
+    INDEX_BUILDS_TOTAL.incr();
 }
 
 /// Number of physical index builds on the current thread so far. Cache
@@ -25,4 +30,10 @@ pub(crate) fn record_index_build() {
 /// indexed by a section of code.
 pub fn index_builds() -> u64 {
     INDEX_BUILDS.with(Cell::get)
+}
+
+/// Process-wide total of physical index builds across all threads,
+/// for metrics scrapes. Monotone; never reset.
+pub fn index_builds_total() -> u64 {
+    INDEX_BUILDS_TOTAL.get()
 }

@@ -56,7 +56,9 @@ pub mod service;
 
 pub use plan_cache::PlanCache;
 pub use prepared::{plan_key, PlanKind, PrepareConfig, PreparedQuery};
-pub use service::{Op, Outcome, Request, Response, Service, ServiceConfig, ServiceStats};
+pub use service::{
+    Op, Outcome, Request, Response, Service, ServiceConfig, ServiceStats, TracedResponse,
+};
 
 use std::fmt;
 

@@ -13,7 +13,6 @@ use crate::PreparedQuery;
 use crate::ServiceError;
 use hypertree_core::lru::Lru;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A bounded LRU cache from plan key to shared prepared plan.
@@ -21,8 +20,11 @@ pub struct PlanCache {
     // Arc<str> keys: the LRU clones its key into both the hash map and
     // the recency slab — share one allocation per key.
     map: Mutex<Lru<Arc<str>, Arc<PreparedQuery>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    // Arc'd so the owning service can register the very same counters
+    // with its metrics registry (see the `*_handle` accessors).
+    hits: Arc<obs::Counter>,
+    misses: Arc<obs::Counter>,
+    redundant_prepares: Arc<obs::Counter>,
 }
 
 impl Default for PlanCache {
@@ -44,8 +46,9 @@ impl PlanCache {
     pub fn with_capacity(capacity: usize) -> Self {
         PlanCache {
             map: Mutex::new(Lru::with_capacity(capacity)),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: Arc::new(obs::Counter::new()),
+            misses: Arc::new(obs::Counter::new()),
+            redundant_prepares: Arc::new(obs::Counter::new()),
         }
     }
 
@@ -53,8 +56,8 @@ impl PlanCache {
     pub fn get(&self, key: &str) -> Option<Arc<PreparedQuery>> {
         let hit = self.map.lock().get(key).cloned();
         match &hit {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => self.hits.incr(),
+            None => self.misses.incr(),
         };
         hit
     }
@@ -73,18 +76,57 @@ impl PlanCache {
         }
         let plan = Arc::new(prepare()?);
         debug_assert_eq!(plan.key(), key, "plan key must match the lookup key");
-        self.map.lock().insert(Arc::from(key), Arc::clone(&plan));
+        self.insert_prepared(key, Arc::clone(&plan));
         Ok(plan)
+    }
+
+    /// Insert a freshly prepared plan under `key`, making the documented
+    /// double-prepare race observable: if another thread inserted this
+    /// key while the preparation ran outside the lock, that work was
+    /// redundant and [`PlanCache::redundant_prepares`] records it (the
+    /// entry itself is last-write-wins, which stays benign — every
+    /// compilation of a key is interchangeable).
+    pub fn insert_prepared(&self, key: &str, plan: Arc<PreparedQuery>) {
+        let mut map = self.map.lock();
+        if map.peek(key).is_some() {
+            self.redundant_prepares.incr();
+        }
+        map.insert(Arc::from(key), plan);
     }
 
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Cache misses so far.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
+    }
+
+    /// Preparations that lost the benign concurrent-miss race: the plan
+    /// was compiled, but an identical plan had already been inserted by
+    /// the time this one finished. A persistently climbing value means
+    /// hot keys are being compiled in parallel (wasted CPU), which is
+    /// the signal to consider per-key in-flight dedup.
+    pub fn redundant_prepares(&self) -> u64 {
+        self.redundant_prepares.get()
+    }
+
+    /// The live hit counter, for registering with a metrics registry.
+    pub fn hits_handle(&self) -> Arc<obs::Counter> {
+        Arc::clone(&self.hits)
+    }
+
+    /// The live miss counter, for registering with a metrics registry.
+    pub fn misses_handle(&self) -> Arc<obs::Counter> {
+        Arc::clone(&self.misses)
+    }
+
+    /// The live redundant-prepare counter, for registering with a
+    /// metrics registry.
+    pub fn redundant_prepares_handle(&self) -> Arc<obs::Counter> {
+        Arc::clone(&self.redundant_prepares)
     }
 
     /// Plans evicted by capacity pressure so far.
@@ -155,6 +197,70 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.evictions(), 1, "clear is not an eviction");
+    }
+
+    #[test]
+    fn redundant_prepares_are_counted_deterministically() {
+        // The documented race, provoked without threads: while this
+        // preparation runs (outside the lock), "another request" —
+        // here a nested call from inside the prepare closure — misses
+        // the same key and inserts first. The outer preparation then
+        // completes and inserts over it: one redundant compilation.
+        let decomps = DecompCache::new();
+        let cache = PlanCache::new();
+        let text = "ans :- r(X,Y), s(Y,Z), t(Z,X).";
+        let key = plan_key(&cq::parse_query(text).unwrap());
+        let outer = cache
+            .get_or_prepare_with(&key, || {
+                cache
+                    .get_or_prepare_with(&key, || Ok(prepare(text, &decomps)))
+                    .unwrap();
+                Ok(prepare(text, &decomps))
+            })
+            .unwrap();
+        assert_eq!(cache.redundant_prepares(), 1);
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        // Last write wins: the cached entry is the outer plan.
+        let cached = cache.get(&key).unwrap();
+        assert!(Arc::ptr_eq(&outer, &cached));
+        // An ordinary hit after the dust settles stays non-redundant.
+        cache
+            .get_or_prepare_with(&key, || unreachable!("hit"))
+            .unwrap();
+        assert_eq!(cache.redundant_prepares(), 1);
+    }
+
+    #[test]
+    fn concurrent_misses_on_one_key_record_redundant_prepares() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        const THREADS: usize = 4;
+        let decomps = DecompCache::new();
+        let cache = PlanCache::new();
+        let text = "ans :- r(X,Y), s(Y,Z), t(Z,X).";
+        let key = plan_key(&cq::parse_query(text).unwrap());
+        // Rendezvous *inside* the prepare closure (spin on an atomic —
+        // the workspace bans std::sync::Barrier) so every thread is
+        // guaranteed to have missed before any of them inserts.
+        let inside = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    cache
+                        .get_or_prepare_with(&key, || {
+                            inside.fetch_add(1, Ordering::SeqCst);
+                            while inside.load(Ordering::SeqCst) < THREADS {
+                                std::hint::spin_loop();
+                            }
+                            Ok(prepare(text, &decomps))
+                        })
+                        .unwrap();
+                });
+            }
+        });
+        // All THREADS prepared; all but the first insert were redundant.
+        assert_eq!(cache.misses(), THREADS as u64);
+        assert_eq!(cache.redundant_prepares(), THREADS as u64 - 1);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

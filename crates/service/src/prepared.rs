@@ -133,29 +133,64 @@ impl PreparedQuery {
         cfg: &PrepareConfig,
         budget: &QueryBudget,
     ) -> Result<PreparedQuery, QueryError> {
+        Self::prepare_parsed_observed(q, key, cache, cfg, budget, &obs::Tracer::off())
+    }
+
+    /// [`Self::prepare_parsed_governed`] recorded into `obs`: the whole
+    /// preparation runs under a `plan` span, a decomposition-cache miss
+    /// additionally runs under a nested `decompose` span, and the
+    /// decomposition-cache outcome and resulting plan shape/width are
+    /// noted on the trace.
+    pub fn prepare_parsed_observed(
+        q: ConjunctiveQuery,
+        key: String,
+        cache: &DecompCache,
+        cfg: &PrepareConfig,
+        budget: &QueryBudget,
+        obs: &obs::Tracer,
+    ) -> Result<PreparedQuery, QueryError> {
+        let _span = obs.span(obs::Phase::Plan);
         debug_assert_eq!(key, plan_key(&q), "key must be the query's plan key");
         budget.check("plan")?;
         let h = q.hypergraph();
         let (strategy, kind) = match acyclic::join_tree(&h) {
             Some(jt) => (Strategy::JoinTree(jt), PlanKind::JoinTree),
             None => {
+                // archlint::allow(timing-via-obs, reason = "deadline arithmetic for the exact-search budget split, not telemetry — the plan span already times this")
                 let exact_deadline = budget.remaining().map(|rem| Instant::now() + rem / 2);
+                let missed = std::cell::Cell::new(false);
                 let hd = cache.try_get_or_insert_with(&h, |h| {
+                    missed.set(true);
+                    let _span = obs.span(obs::Phase::Decompose);
                     heuristics::decompose_auto_governed(h, cfg.exact_steps, exact_deadline, budget)
                         .map(|auto| auto.hd)
                 })?;
+                obs.note_decomp_cache(!missed.get());
                 (
                     Strategy::from_decomposition((*hd).clone()),
                     PlanKind::Decomposition,
                 )
             }
         };
-        Ok(PreparedQuery {
+        let prepared = PreparedQuery {
             query: q,
             key,
             strategy,
             kind,
-        })
+        };
+        prepared.note_plan(obs);
+        Ok(prepared)
+    }
+
+    /// Record this plan's shape and width on a trace (used both when a
+    /// preparation runs under the tracer and when a plan-cache hit skips
+    /// preparation entirely).
+    pub fn note_plan(&self, obs: &obs::Tracer) {
+        let shape = match self.kind {
+            PlanKind::JoinTree => obs::PlanShape::JoinTree,
+            PlanKind::Decomposition => obs::PlanShape::Hypertree,
+        };
+        obs.note_plan(shape, self.width() as u64);
     }
 
     /// The α-invariant plan-cache key of the compiled query.
@@ -249,6 +284,45 @@ impl PreparedQuery {
         budget: &QueryBudget,
     ) -> Result<u128, EvalError> {
         self.strategy.count_governed(&self.query, db, cfg, budget)
+    }
+
+    /// [`Self::boolean_governed`] with phase spans and row scans
+    /// recorded into `obs`.
+    pub fn boolean_observed(
+        &self,
+        db: &Database,
+        cfg: &ShardConfig,
+        budget: &QueryBudget,
+        obs: &obs::Tracer,
+    ) -> Result<bool, EvalError> {
+        self.strategy
+            .boolean_observed(&self.query, db, cfg, budget, obs)
+    }
+
+    /// [`Self::enumerate_governed`] with phase spans and row scans
+    /// recorded into `obs`.
+    pub fn enumerate_observed(
+        &self,
+        db: &Database,
+        cfg: &ShardConfig,
+        budget: &QueryBudget,
+        obs: &obs::Tracer,
+    ) -> Result<(Relation, bool), EvalError> {
+        self.strategy
+            .enumerate_observed(&self.query, db, cfg, budget, obs)
+    }
+
+    /// [`Self::count_governed`] with phase spans and row scans recorded
+    /// into `obs`.
+    pub fn count_observed(
+        &self,
+        db: &Database,
+        cfg: &ShardConfig,
+        budget: &QueryBudget,
+        obs: &obs::Tracer,
+    ) -> Result<u128, EvalError> {
+        self.strategy
+            .count_observed(&self.query, db, cfg, budget, obs)
     }
 }
 

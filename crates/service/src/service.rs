@@ -30,12 +30,17 @@ use crate::{PlanCache, ServiceError};
 use cq::parse_query;
 use hypertree_core::parallel::run_parallel;
 use hypertree_core::{DecompCache, QueryBudget};
+use obs::{Phase, QueryTrace, TraceOutcome, Tracer};
 use parking_lot::RwLock;
 use relation::{Database, Relation};
 use rustc_hash::FxHashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Sample 1-in-N whole-request latencies into the latency histogram:
+/// a power of two so the sampling decision is a mask on the request
+/// counter, not a second atomic.
+const LATENCY_SAMPLE_MASK: u64 = 15;
 
 /// What a request asks of its query.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -210,11 +215,24 @@ pub struct Service {
     plans: PlanCache,
     decomps: DecompCache,
     cfg: ServiceConfig,
-    batches: AtomicU64,
-    requests: AtomicU64,
-    sheds: AtomicU64,
-    budget_trips: AtomicU64,
-    panics_caught: AtomicU64,
+    // All service counters live in (and are readable through) the
+    // metrics registry; the fields below are the hot-path handles to
+    // the same underlying atomics.
+    registry: obs::Registry,
+    batches: Arc<obs::Counter>,
+    requests: Arc<obs::Counter>,
+    sheds: Arc<obs::Counter>,
+    budget_trips: Arc<obs::Counter>,
+    panics_caught: Arc<obs::Counter>,
+    traced_requests: Arc<obs::Counter>,
+    rows_scanned: Arc<obs::Counter>,
+    bytes_charged: Arc<obs::Counter>,
+    /// Per-op request counters, indexed boolean/enumerate/count.
+    op_requests: [Arc<obs::Counter>; 3],
+    latency_ns: Arc<obs::Histogram>,
+    /// Per-phase latency histograms (traced requests only), indexed by
+    /// [`Phase::index`].
+    phase_ns: [Arc<obs::Histogram>; Phase::COUNT],
 }
 
 impl Service {
@@ -225,16 +243,106 @@ impl Service {
 
     /// A service over `db` with explicit configuration.
     pub fn with_config(db: Arc<Database>, cfg: ServiceConfig) -> Self {
+        let plans = PlanCache::with_capacity(cfg.plan_cache_capacity);
+        let decomps = DecompCache::with_capacity(cfg.decomp_cache_capacity);
+        let registry = obs::Registry::new();
+        // The cache counters are owned by the caches; registering their
+        // live handles makes every scrape see them with no copying.
+        registry.register_counter(
+            "plan_cache_hits_total",
+            "Plan-cache hits",
+            Vec::new(),
+            plans.hits_handle(),
+        );
+        registry.register_counter(
+            "plan_cache_misses_total",
+            "Plan-cache misses (each one compiled a plan)",
+            Vec::new(),
+            plans.misses_handle(),
+        );
+        registry.register_counter(
+            "plan_cache_redundant_prepares_total",
+            "Plans compiled by a concurrent miss that lost the insert race",
+            Vec::new(),
+            plans.redundant_prepares_handle(),
+        );
+        registry.register_counter(
+            "decomp_cache_hits_total",
+            "Decomposition-cache hits",
+            Vec::new(),
+            decomps.hits_handle(),
+        );
+        registry.register_counter(
+            "decomp_cache_misses_total",
+            "Decomposition-cache misses (each one ran the decomposer)",
+            Vec::new(),
+            decomps.misses_handle(),
+        );
+        let op_requests = [
+            registry.counter_with(
+                "service_requests_by_op_total",
+                "Requests by operation",
+                vec![("op", "boolean".to_string())],
+            ),
+            registry.counter_with(
+                "service_requests_by_op_total",
+                "Requests by operation",
+                vec![("op", "enumerate".to_string())],
+            ),
+            registry.counter_with(
+                "service_requests_by_op_total",
+                "Requests by operation",
+                vec![("op", "count".to_string())],
+            ),
+        ];
+        let phase_ns = Phase::ALL.map(|p| {
+            registry.histogram_with(
+                "service_phase_latency_ns",
+                "Per-phase wall time of traced requests, nanoseconds",
+                vec![("phase", p.as_str().to_string())],
+            )
+        });
         Service {
             db: RwLock::new(db),
-            plans: PlanCache::with_capacity(cfg.plan_cache_capacity),
-            decomps: DecompCache::with_capacity(cfg.decomp_cache_capacity),
+            plans,
+            decomps,
             cfg,
-            batches: AtomicU64::new(0),
-            requests: AtomicU64::new(0),
-            sheds: AtomicU64::new(0),
-            budget_trips: AtomicU64::new(0),
-            panics_caught: AtomicU64::new(0),
+            batches: registry.counter("service_batches_total", "Batches served"),
+            requests: registry.counter(
+                "service_requests_total",
+                "Requests served (single executions and batch members)",
+            ),
+            sheds: registry.counter(
+                "service_sheds_total",
+                "Requests shed at batch admission (Overloaded)",
+            ),
+            budget_trips: registry.counter(
+                "service_budget_trips_total",
+                "Requests whose budget tripped (deadline, memory, cancellation)",
+            ),
+            panics_caught: registry.counter(
+                "service_panics_caught_total",
+                "Panics isolated by the per-request catch_unwind boundary",
+            ),
+            traced_requests: registry.counter(
+                "service_traced_requests_total",
+                "Requests that produced a QueryTrace",
+            ),
+            rows_scanned: registry.counter(
+                "service_rows_scanned_total",
+                "Rows scanned by metered operators in traced requests",
+            ),
+            bytes_charged: registry.counter(
+                "service_bytes_charged_total",
+                "Bytes charged against memory budgets in traced requests",
+            ),
+            op_requests,
+            latency_ns: registry.histogram(
+                "service_request_latency_ns",
+                "Whole-request wall time, nanoseconds (1-in-16 sampled)",
+            ),
+            phase_ns,
+            registry,
         }
     }
 
@@ -274,20 +382,74 @@ impl Service {
     /// [`ServiceError::Internal`] instead of unwinding into the caller,
     /// and leaves both caches free of half-built entries.
     pub fn execute(&self, req: &Request) -> Response {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.execute_inner(req, &Tracer::off()).0
+    }
+
+    /// Serve one request with full tracing: same answer as
+    /// [`Service::execute`] (byte-identical — the trace rides on atomics
+    /// beside the computation, never in it), plus a [`QueryTrace`]
+    /// saying where the time went and what was touched.
+    pub fn execute_traced(&self, req: &Request) -> TracedResponse {
+        let obs = Tracer::on();
+        let (response, trace) = self.execute_inner(req, &obs);
+        TracedResponse {
+            response,
+            trace: trace.unwrap_or_default(),
+        }
+    }
+
+    /// The shared single-request path behind [`Service::execute`]
+    /// (disabled tracer: each would-be span costs one branch) and
+    /// [`Service::execute_traced`].
+    fn execute_inner(&self, req: &Request, obs: &Tracer) -> (Response, Option<QueryTrace>) {
+        let n = self.requests.incr();
+        self.op_counter(req.op).incr();
+        let watch = (n & LATENCY_SAMPLE_MASK == 0).then(obs::Stopwatch::start);
         let snapshot = self.snapshot();
         let shard = self.shard_config(1);
+        // The budget lives outside the isolation boundary so its byte and
+        // step gauges are still readable when the trace is assembled.
+        let budget = self.new_budget();
         let resp = self.isolated(|| {
-            if !self.is_governed() {
+            if !self.is_governed() && !obs.enabled() {
                 let plan = self.prepare(&req.text)?;
                 return run_op(&plan, req.op, &snapshot, &shard);
             }
-            let budget = self.new_budget();
-            let plan = self.prepare_governed(&req.text, &budget)?;
-            self.serve_prepared(req, &plan, &snapshot, &shard, &budget)
+            let plan = self.prepare_observed(&req.text, &budget, obs)?;
+            self.serve_prepared(req, &plan, &snapshot, &shard, &budget, obs)
         });
         self.note(&resp);
-        resp
+        if let Some(w) = watch {
+            self.latency_ns.record(w.elapsed_ns());
+        }
+        let trace = obs.finish(TraceOutcome {
+            op: op_name(req.op),
+            rows_emitted: match &resp {
+                Ok(Outcome::Rows(rows)) | Ok(Outcome::Partial(rows)) => rows.len() as u64,
+                _ => 0,
+            },
+            bytes_charged: budget.bytes_charged(),
+            steps_charged: budget.steps_charged(),
+            shards: shard.effective_shards() as u64,
+            truncated: matches!(&resp, Ok(Outcome::Partial(_))),
+        });
+        if let Some(t) = &trace {
+            self.record_trace(t);
+        }
+        (resp, trace)
+    }
+
+    /// Fold one finished trace into the aggregate metrics.
+    fn record_trace(&self, trace: &QueryTrace) {
+        self.traced_requests.incr();
+        self.rows_scanned.add(trace.rows_scanned);
+        self.bytes_charged.add(trace.bytes_charged);
+        for p in Phase::ALL {
+            let ns = trace.phase(p);
+            if ns > 0 {
+                self.phase_ns[p.index()].record(ns);
+            }
+        }
     }
 
     /// Serve a batch: all requests see one snapshot, duplicate (and
@@ -309,9 +471,8 @@ impl Service {
     /// * each preparation and each evaluation gets a fresh
     ///   [`QueryBudget`] from the configured deadline and byte quota.
     pub fn execute_batch(&self, reqs: &[Request]) -> Vec<Response> {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.requests
-            .fetch_add(reqs.len() as u64, Ordering::Relaxed);
+        self.batches.incr();
+        self.requests.add(reqs.len() as u64);
         let snapshot = self.snapshot();
 
         // Admission: shed everything past the queue-depth cap before any
@@ -323,7 +484,7 @@ impl Service {
             reqs
         };
         let shed = reqs.len() - admitted.len();
-        self.sheds.fetch_add(shed as u64, Ordering::Relaxed);
+        self.sheds.add(shed as u64);
 
         // Parse phase (cheap, inline) + dedup by plan key.
         let mut uniques: Vec<(String, cq::ConjunctiveQuery)> = Vec::new();
@@ -331,6 +492,7 @@ impl Service {
         let parsed: Vec<Result<usize, ServiceError>> = admitted
             .iter()
             .map(|req| {
+                self.op_counter(req.op).incr();
                 let q = parse_query(&req.text).map_err(ServiceError::Parse)?;
                 let key = plan_key(&q);
                 let idx = *key_to_unique.entry(key.clone()).or_insert_with(|| {
@@ -420,7 +582,7 @@ impl Service {
                     return run_op(&plan, req.op, &snapshot, &shard);
                 }
                 let budget = self.new_budget();
-                self.serve_prepared(req, &plan, &snapshot, &shard, &budget)
+                self.serve_prepared(req, &plan, &snapshot, &shard, &budget, &Tracer::off())
             })
         });
         for resp in &responses {
@@ -438,8 +600,8 @@ impl Service {
     /// The current counters.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
-            batches: self.batches.load(Ordering::Relaxed),
-            requests: self.requests.load(Ordering::Relaxed),
+            batches: self.batches.get(),
+            requests: self.requests.get(),
             plan_hits: self.plans.hits(),
             plan_misses: self.plans.misses(),
             plan_evictions: self.plans.evictions(),
@@ -447,10 +609,50 @@ impl Service {
             decomp_hits: self.decomps.hits(),
             decomp_misses: self.decomps.misses(),
             decomp_evictions: self.decomps.evictions(),
-            sheds: self.sheds.load(Ordering::Relaxed),
-            budget_trips: self.budget_trips.load(Ordering::Relaxed),
-            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            sheds: self.sheds.get(),
+            budget_trips: self.budget_trips.get(),
+            panics_caught: self.panics_caught.get(),
         }
+    }
+
+    /// The service's metrics registry, for registering additional
+    /// component counters or scraping directly.
+    pub fn registry(&self) -> &obs::Registry {
+        &self.registry
+    }
+
+    /// A point-in-time snapshot of every service metric, ready for the
+    /// JSON ([`obs::Snapshot::to_json`]) or Prometheus
+    /// ([`obs::Snapshot::to_prometheus`]) exporters. Scrape-time gauges
+    /// (cache sizes, evictions, process-wide index builds) are sampled
+    /// here, immediately before the snapshot.
+    pub fn metrics_snapshot(&self) -> obs::Snapshot {
+        self.registry.set_gauge(
+            "plan_cache_len",
+            "Plans currently cached",
+            self.plans.len() as u64,
+        );
+        self.registry.set_gauge(
+            "plan_cache_evictions",
+            "Plans evicted by capacity pressure",
+            self.plans.evictions(),
+        );
+        self.registry.set_gauge(
+            "decomp_cache_len",
+            "Decompositions currently cached",
+            self.decomps.len() as u64,
+        );
+        self.registry.set_gauge(
+            "decomp_cache_evictions",
+            "Decompositions evicted by capacity pressure",
+            self.decomps.evictions(),
+        );
+        self.registry.set_gauge(
+            "relation_index_builds",
+            "Hash indexes built over relation columns, process-wide",
+            relation::stats::index_builds_total(),
+        );
+        self.registry.snapshot()
     }
 
     /// Drop every cached plan and decomposition (counters are kept) —
@@ -519,28 +721,52 @@ impl Service {
         budget
     }
 
-    /// Prepare (or fetch) the plan for `text` under `budget`. The budget
-    /// is only consulted on the cache-miss path; a plan that fails to
-    /// prepare is not inserted, so the next request retries it.
-    fn prepare_governed(
+    /// Prepare (or fetch) the plan for `text` under `budget`, recording
+    /// parse/plan-cache/planning spans and cache provenance into `obs`.
+    /// The budget is only consulted on the cache-miss path; a plan that
+    /// fails to prepare is not inserted, so the next request retries it.
+    fn prepare_observed(
         &self,
         text: &str,
         budget: &QueryBudget,
+        obs: &Tracer,
     ) -> Result<Arc<PreparedQuery>, ServiceError> {
-        let q = parse_query(text).map_err(ServiceError::Parse)?;
-        let key = plan_key(&q);
-        self.plans.get_or_prepare_with(&key, || {
-            #[cfg(feature = "fault-injection")]
-            self.fire_fault(crate::fault::FaultSite::Prepare, text, budget)?;
-            PreparedQuery::prepare_parsed_governed(
+        let q = {
+            let _span = obs.span(Phase::Parse);
+            parse_query(text).map_err(ServiceError::Parse)?
+        };
+        let hit = {
+            let _span = obs.span(Phase::PlanCache);
+            let key = plan_key(&q);
+            match self.plans.get(&key) {
+                Some(plan) => Ok(plan),
+                None => Err((q, key)),
+            }
+        };
+        let (q, key) = match hit {
+            Ok(plan) => {
+                obs.note_plan_cache(true);
+                plan.note_plan(obs);
+                return Ok(plan);
+            }
+            Err(miss) => miss,
+        };
+        obs.note_plan_cache(false);
+        #[cfg(feature = "fault-injection")]
+        self.fire_fault(crate::fault::FaultSite::Prepare, text, budget)?;
+        let plan = Arc::new(
+            PreparedQuery::prepare_parsed_observed(
                 q,
                 key.clone(),
                 &self.decomps,
                 &self.cfg.prepare,
                 budget,
+                obs,
             )
-            .map_err(ServiceError::Budget)
-        })
+            .map_err(ServiceError::Budget)?,
+        );
+        self.plans.insert_prepared(&key, Arc::clone(&plan));
+        Ok(plan)
     }
 
     /// Evaluate one already-prepared request under `budget`.
@@ -551,10 +777,20 @@ impl Service {
         db: &Database,
         shard: &eval::ShardConfig,
         budget: &QueryBudget,
+        obs: &Tracer,
     ) -> Response {
         #[cfg(feature = "fault-injection")]
         self.fire_fault(crate::fault::FaultSite::Execute, &req.text, budget)?;
-        run_op_governed(plan, req.op, db, shard, budget)
+        run_op_observed(plan, req.op, db, shard, budget, obs)
+    }
+
+    /// The per-op request counter for `op`.
+    fn op_counter(&self, op: Op) -> &obs::Counter {
+        &self.op_requests[match op {
+            Op::Boolean => 0,
+            Op::Enumerate => 1,
+            Op::Count => 2,
+        }]
     }
 
     /// Probe the configured fault injector at `site` for `text`.
@@ -584,7 +820,7 @@ impl Service {
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(work)) {
             Ok(resp) => resp,
             Err(payload) => {
-                self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                self.panics_caught.incr();
                 let detail = if let Some(s) = payload.downcast_ref::<&str>() {
                     (*s).to_string()
                 } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -600,9 +836,20 @@ impl Service {
     /// Bump the budget-trip counter when a response reports one.
     fn note(&self, resp: &Response) {
         if matches!(resp, Err(ServiceError::Budget(_))) {
-            self.budget_trips.fetch_add(1, Ordering::Relaxed);
+            self.budget_trips.incr();
         }
     }
+}
+
+/// A response paired with its [`QueryTrace`]; see
+/// [`Service::execute_traced`].
+#[derive(Debug)]
+pub struct TracedResponse {
+    /// The answer, exactly as [`Service::execute`] would have returned.
+    pub response: Response,
+    /// Where the time went. Default-empty in the degenerate case where
+    /// the request panicked before the trace could be assembled.
+    pub trace: QueryTrace,
 }
 
 /// Evaluate one operation under a prepared plan. The sharded entry
@@ -618,32 +865,47 @@ fn run_op(plan: &PreparedQuery, op: Op, db: &Database, shard: &eval::ShardConfig
 }
 
 /// Evaluate one operation under a prepared plan with cooperative budget
-/// polling. An enumeration that trips the memory quota mid-join comes
-/// back as a truncated partial result ([`Outcome::Partial`]); every
-/// other trip is a typed [`ServiceError::Budget`].
-fn run_op_governed(
+/// polling, recording phase spans and row accounting into `obs` (one
+/// branch per span when the tracer is off). An enumeration that trips
+/// the memory quota mid-join comes back as a truncated partial result
+/// ([`Outcome::Partial`]); every other trip is a typed
+/// [`ServiceError::Budget`].
+fn run_op_observed(
     plan: &PreparedQuery,
     op: Op,
     db: &Database,
     shard: &eval::ShardConfig,
     budget: &QueryBudget,
+    obs: &Tracer,
 ) -> Response {
     match op {
         Op::Boolean => plan
-            .boolean_governed(db, shard, budget)
+            .boolean_observed(db, shard, budget, obs)
             .map(Outcome::Boolean),
-        Op::Enumerate => plan
-            .enumerate_governed(db, shard, budget)
-            .map(|(rows, truncated)| {
-                if truncated {
-                    Outcome::Partial(rows)
-                } else {
-                    Outcome::Rows(rows)
-                }
-            }),
-        Op::Count => plan.count_governed(db, shard, budget).map(Outcome::Count),
+        Op::Enumerate => {
+            plan.enumerate_observed(db, shard, budget, obs)
+                .map(|(rows, truncated)| {
+                    if truncated {
+                        Outcome::Partial(rows)
+                    } else {
+                        Outcome::Rows(rows)
+                    }
+                })
+        }
+        Op::Count => plan
+            .count_observed(db, shard, budget, obs)
+            .map(Outcome::Count),
     }
     .map_err(ServiceError::from)
+}
+
+/// The stable export name of an [`Op`].
+fn op_name(op: Op) -> &'static str {
+    match op {
+        Op::Boolean => "boolean",
+        Op::Enumerate => "enumerate",
+        Op::Count => "count",
+    }
 }
 
 #[cfg(test)]
@@ -883,6 +1145,63 @@ mod tests {
         for resp in svc.execute_batch(&reqs) {
             assert_eq!(resp, Ok(Outcome::Count(1)));
         }
+    }
+
+    #[test]
+    fn traced_requests_answer_identically_and_carry_provenance() {
+        let svc = Service::new(triangle_db());
+        let req = Request::enumerate(TRIANGLE);
+        let plain = svc.execute(&req);
+
+        // Cold plan cache was consumed by the untraced request; the
+        // traced repeat must hit it and still answer byte-identically.
+        let traced = svc.execute_traced(&req);
+        assert_eq!(traced.response, plain);
+        let t = &traced.trace;
+        assert_eq!(t.op, "enumerate");
+        assert_eq!(t.rows_emitted, 1);
+        assert_eq!(t.plan_cache_hit, Some(true));
+        assert_eq!(t.plan_kind, Some("hypertree"));
+        assert!(t.plan_width >= 1);
+        assert!(t.total_ns > 0);
+        assert!(t.rows_scanned > 0, "metered joins scanned input rows");
+        assert_eq!(t.shards, 1);
+        assert!(!t.truncated);
+
+        // A cold-cache traced request sees the miss and the planning
+        // phase.
+        svc.clear_caches();
+        let cold = svc.execute_traced(&Request::count(TRIANGLE));
+        assert_eq!(cold.response, Ok(Outcome::Count(1)));
+        assert_eq!(cold.trace.plan_cache_hit, Some(false));
+        assert_eq!(cold.trace.decomp_cache_hit, Some(false));
+        assert_eq!(cold.trace.op, "count");
+        // The rendering mentions the op — smoke for the pretty-printer.
+        assert!(cold.trace.render().contains("op=count"));
+    }
+
+    #[test]
+    fn metrics_snapshot_is_valid_prometheus_and_json() {
+        let svc = Service::new(triangle_db());
+        svc.execute(&Request::boolean(TRIANGLE)).unwrap();
+        svc.execute_traced(&Request::enumerate(TRIANGLE));
+        let snap = svc.metrics_snapshot();
+        let prom = snap.to_prometheus();
+        obs::validate_prometheus(&prom).expect("exporter output must be well-formed");
+        for name in [
+            "service_requests_total 2",
+            "service_traced_requests_total 1",
+            "plan_cache_hits_total",
+            "decomp_cache_misses_total",
+            "service_requests_by_op_total{op=\"boolean\"} 1",
+            "plan_cache_len",
+            "service_phase_latency_ns_bucket",
+        ] {
+            assert!(prom.contains(name), "missing {name:?} in:\n{prom}");
+        }
+        let json = snap.to_json();
+        assert!(json.contains(obs::export::JSON_SCHEMA));
+        assert!(json.contains("service_rows_scanned_total"));
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! The observability contract, property-tested: tracing must be purely
+//! observational. For any generated workload, any operation, and any
+//! service configuration (sequential, intra-query sharded, governed),
+//! [`service::Service::execute_traced`] must return a response
+//! byte-identical to [`service::Service::execute`] on the same request —
+//! and the trace it carries must be internally consistent (phases sum to
+//! no more than the total, provenance fields populated, row accounting
+//! nonzero whenever rows flowed).
+
+use cq::parse_query;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use relation::{Database, Relation};
+use service::{Op, Request, Service, ServiceConfig};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// A random schema, a random database, and query texts over both —
+/// always including one guaranteed-cyclic triangle so the decomposition
+/// path is exercised in every case.
+fn gen_workload(seed: u64) -> (Vec<String>, Database) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_preds = rng.random_range(2usize..=4);
+    let arities: Vec<usize> = (0..num_preds)
+        .map(|_| rng.random_range(1usize..=3))
+        .collect();
+
+    let mut texts = Vec::new();
+    for _ in 0..rng.random_range(2usize..=4) {
+        let num_atoms = rng.random_range(1usize..=4);
+        let mut body = String::new();
+        let mut seen_vars: Vec<String> = Vec::new();
+        for a in 0..num_atoms {
+            if a > 0 {
+                body.push_str(", ");
+            }
+            let p = rng.random_range(0..num_preds);
+            write!(body, "p{p}(").unwrap();
+            for pos in 0..arities[p] {
+                if pos > 0 {
+                    body.push(',');
+                }
+                if rng.random_range(0u32..4) == 0 {
+                    write!(body, "{}", rng.random_range(0u32..3)).unwrap();
+                } else {
+                    let v = format!("V{}", rng.random_range(0u32..6));
+                    if !seen_vars.contains(&v) {
+                        seen_vars.push(v.clone());
+                    }
+                    body.push_str(&v);
+                }
+            }
+            body.push(')');
+        }
+        let head_k = if seen_vars.is_empty() {
+            0
+        } else {
+            rng.random_range(0..=seen_vars.len().min(2))
+        };
+        let head = if head_k == 0 {
+            "ans".to_string()
+        } else {
+            format!("ans({})", seen_vars[..head_k].join(","))
+        };
+        texts.push(format!("{head} :- {body}."));
+    }
+    // One guaranteed-cyclic query per case.
+    let p = arities.iter().position(|&a| a >= 2).unwrap_or(0);
+    if arities[p] >= 2 {
+        let pad = |first: &str, second: &str| {
+            let mut t = format!("p{p}({first},{second}");
+            for _ in 2..arities[p] {
+                t.push_str(",0");
+            }
+            t.push(')');
+            t
+        };
+        texts.push(format!(
+            "ans :- {}, {}, {}.",
+            pad("A", "B"),
+            pad("B", "C"),
+            pad("C", "A")
+        ));
+    }
+
+    let mut db = Database::new();
+    for (i, &arity) in arities.iter().enumerate() {
+        let mut rel = Relation::new(arity);
+        for _ in 0..rng.random_range(0..=8usize) {
+            let row: Vec<relation::Value> = (0..arity)
+                .map(|_| relation::Value(rng.random_range(0u64..4)))
+                .collect();
+            rel.push_row(&row);
+        }
+        rel.dedup();
+        db.insert(format!("p{i}"), rel);
+    }
+    (texts, db)
+}
+
+/// Serve every (text, op) pair untraced then traced on `svc`, asserting
+/// byte-identical responses and a sane trace.
+fn check_service(svc: &Service, texts: &[String], label: &str) -> Result<(), TestCaseError> {
+    for text in texts {
+        for req in [
+            Request::boolean(text.clone()),
+            Request::enumerate(text.clone()),
+            Request::count(text.clone()),
+        ] {
+            let plain = svc.execute(&req);
+            let traced = svc.execute_traced(&req);
+            prop_assert_eq!(
+                &plain,
+                &traced.response,
+                "{}: traced response diverged on {:?} {}",
+                label,
+                req.op,
+                text
+            );
+            let t = &traced.trace;
+            // The trace is real: a total was measured, phase time is
+            // bounded by it (phases nest, so the sum can exceed a single
+            // phase but never the wall-clock by construction — parse and
+            // plan_cache are disjoint siblings), and provenance is set.
+            prop_assert!(t.total_ns > 0, "{label}: empty trace for {text}");
+            prop_assert!(
+                t.phase(obs::Phase::Parse) > 0,
+                "{label}: no parse span for {text}"
+            );
+            prop_assert!(
+                t.plan_cache_hit.is_some(),
+                "{label}: plan-cache provenance missing for {text}"
+            );
+            prop_assert!(
+                t.plan_kind.is_some(),
+                "{label}: plan kind missing for {text}"
+            );
+            let expect_op = match req.op {
+                Op::Boolean => "boolean",
+                Op::Enumerate => "enumerate",
+                Op::Count => "count",
+            };
+            prop_assert_eq!(t.op, expect_op, "{}: op label", label);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Traced and untraced execution coincide byte for byte — across all
+    /// three operations, on a sequential service, on an intra-query
+    /// sharded service, and on a governed service whose roomy budget
+    /// never trips.
+    #[test]
+    fn traced_equals_untraced(seed in 0u64..(1 << 48)) {
+        let (texts, db) = gen_workload(seed);
+        let texts: Vec<String> = texts
+            .into_iter()
+            .filter(|t| parse_query(t).is_ok())
+            .collect();
+        prop_assume!(!texts.is_empty());
+        let db = Arc::new(db);
+
+        let sequential = Service::new(Arc::clone(&db));
+        check_service(&sequential, &texts, "sequential")?;
+
+        let sharded = Service::with_config(
+            Arc::clone(&db),
+            ServiceConfig {
+                intra_query_shards: 2,
+                shard_min_rows: 0,
+                ..Default::default()
+            },
+        );
+        check_service(&sharded, &texts, "sharded")?;
+
+        let governed = Service::with_config(
+            Arc::clone(&db),
+            ServiceConfig {
+                deadline: Some(std::time::Duration::from_secs(600)),
+                max_result_bytes: Some(1 << 40),
+                ..Default::default()
+            },
+        );
+        check_service(&governed, &texts, "governed")?;
+        prop_assert_eq!(governed.stats().budget_trips, 0, "roomy budget tripped");
+    }
+}

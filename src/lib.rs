@@ -42,10 +42,15 @@
 //! * [`heuristics`] — elimination-ordering GHDs, local improvement, and
 //!   the bounded-exact-search funnel for instances beyond `k-decomp`;
 //! * [`eval`] — naive, Yannakakis, and decomposition-guided engines;
+//! * [`obs`] — query-lifecycle observability: phase-taxonomy spans and
+//!   per-request traces, a counters/gauges/histograms metrics registry,
+//!   and JSON / Prometheus-text / pretty-print exporters — all
+//!   dependency-free and allocation-free on the disabled path;
 //! * [`service`] — the serving layer: prepared plans, a bounded plan
-//!   cache, a batched concurrent execution front-end, and resource
+//!   cache, a batched concurrent execution front-end, resource
 //!   governance (per-request deadlines and byte quotas, admission
-//!   shedding, panic isolation, graceful degradation);
+//!   shedding, panic isolation, graceful degradation), and the traced
+//!   request/metrics-snapshot surface over [`obs`];
 //! * [`workloads`] — the paper's queries and figures, query families, the
 //!   Section 7 NP-hardness gadget, random generators, the `.hg` format,
 //!   and the large-instance tier.
@@ -59,6 +64,7 @@ pub use eval;
 pub use heuristics;
 pub use hypergraph;
 pub use hypertree_core as core;
+pub use obs;
 pub use relation;
 pub use service;
 pub use workloads;
