@@ -217,7 +217,11 @@ fn timing_via_obs_positive() {
     let diags = lint_one(rel, include_str!("fixtures/timing_via_obs/bad.rs"));
     assert_eq!(
         sites(&diags),
-        vec![(7, "timing-via-obs"), (9, "timing-via-obs")],
+        vec![
+            (7, "timing-via-obs"),
+            (9, "timing-via-obs"),
+            (16, "timing-via-obs"),
+        ],
         "{diags:#?}"
     );
     assert!(diags[0].msg.contains("obs span"), "{diags:#?}");

@@ -9,3 +9,11 @@ pub fn serve(req: &str) -> (usize, u128) {
     let qualified = std::time::Instant::now();
     (answer, start.elapsed().as_nanos() + qualified.elapsed().as_nanos())
 }
+
+pub fn hand_rolled_slow_log(req: &str, threshold_ns: u128) -> bool {
+    // A private slow-query detector: a clock read no trace will ever
+    // contain. Belongs in obs::FlightRecorder, fed by a QueryTrace.
+    let start = Instant::now();
+    let _ = req.len();
+    start.elapsed().as_nanos() >= threshold_ns
+}

@@ -12,6 +12,13 @@ pub fn remaining(deadline: std::time::Instant) -> bool {
     deadline.elapsed().as_nanos() == 0
 }
 
+pub fn record_slow(rec: &obs::FlightRecorder, trace: &obs::QueryTrace) -> Option<u64> {
+    // Slow-query detection flows through the recorder's configured
+    // threshold and the trace's measured total — the sanctioned clock
+    // owner (obs) did the timing, this layer only forwards it.
+    rec.record(trace)
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

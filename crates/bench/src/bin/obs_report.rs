@@ -1,0 +1,144 @@
+//! Render the serving stack's diagnostics surfaces for a short replay:
+//! EXPLAIN (or EXPLAIN ANALYZE) for every stream query, the flight
+//! recorder's recent-trace ring, the slow-query log, and a validated
+//! metrics snapshot carrying the per-plan statistics families.
+//!
+//! ```text
+//! cargo run --release -p bench --bin obs_report -- [--smoke] \
+//!     [--label <text>] [--out <path>] [--slow-out <path>] [--explain]
+//! ```
+//!
+//! * default: EXPLAIN each query, then serve it once through a fully
+//!   instrumented service (every request traced, every trace recorded,
+//!   everything over 1 ns offered to the slow log);
+//! * `--explain`: EXPLAIN ANALYZE instead — each query's plan tree is
+//!   rendered with the real execution's per-node rows and phase times;
+//! * `--slow-out <path>`: write the rendered slow-query log there (CI
+//!   uploads it as the chaos artifact);
+//! * `--out <path>`: write the `obs-report/1` JSON summary there.
+//!
+//! Exits 1 if any request fails, any plan refuses to explain, or the
+//! metrics snapshot fails Prometheus validation — the report doubles as
+//! the diagnostics smoke test.
+
+use bench::{emit, serving};
+use service::{Request, Service, ServiceConfig};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+fn main() {
+    let args = emit::parse_common_with("obs_report", &["--slow-out"], &["--explain"]);
+    let analyze = args.has("--explain");
+
+    let streams = serving::streams(true);
+    let take = if args.smoke { 3 } else { streams.len() };
+
+    let mut report = String::new();
+    let mut slow_log = String::new();
+    let mut entries: Vec<(String, String)> = Vec::new();
+
+    for stream in streams.into_iter().take(take) {
+        let db = Arc::new(stream.db);
+        let svc = Service::with_config(
+            Arc::clone(&db),
+            ServiceConfig {
+                trace_sample: 1,
+                recorder: obs::RecorderConfig {
+                    capacity: 32,
+                    slow_threshold_ns: 1,
+                    slow_capacity: 8,
+                    slow_min_interval_ns: 0,
+                },
+                ..Default::default()
+            },
+        );
+
+        writeln!(report, "== {} ==", stream.id).unwrap();
+        for text in &stream.texts {
+            if analyze {
+                match svc.explain_analyze(&Request::boolean(text.clone())) {
+                    Ok(ea) => {
+                        if let Err(e) = &ea.response {
+                            eprintln!("obs_report: {}: request failed: {e}", stream.id);
+                            std::process::exit(1);
+                        }
+                        report.push_str(&ea.explain.render_analyzed(&ea.trace));
+                    }
+                    Err(e) => {
+                        eprintln!("obs_report: {}: explain analyze failed: {e}", stream.id);
+                        std::process::exit(1);
+                    }
+                }
+            } else {
+                match svc.explain(text) {
+                    Ok(ex) => report.push_str(&ex.render()),
+                    Err(e) => {
+                        eprintln!("obs_report: {}: explain failed: {e}", stream.id);
+                        std::process::exit(1);
+                    }
+                }
+                // Serve it once so the recorder and per-plan statistics
+                // have a real execution behind the plan.
+                if let Err(e) = svc.execute(&Request::boolean(text.clone())) {
+                    eprintln!("obs_report: {}: request failed: {e}", stream.id);
+                    std::process::exit(1);
+                }
+            }
+        }
+
+        let recent = svc.recent_traces();
+        writeln!(report, "-- recent traces: {} --", recent.len()).unwrap();
+        if let Some(newest) = recent.first() {
+            report.push_str(&newest.trace.render());
+        }
+
+        let slow = svc.slow_queries();
+        writeln!(
+            slow_log,
+            "== {} slow queries ({}) ==",
+            stream.id,
+            slow.len()
+        )
+        .unwrap();
+        for e in &slow {
+            writeln!(slow_log, "#{}", e.id).unwrap();
+            slow_log.push_str(&e.trace.render());
+        }
+
+        // The exporter gate: recorder gauges and per-plan families must
+        // render a well-formed exposition.
+        let prom = svc.metrics_snapshot().to_prometheus();
+        if let Err(e) = obs::validate_prometheus(&prom) {
+            eprintln!(
+                "obs_report: {}: invalid Prometheus exposition: {e}",
+                stream.id
+            );
+            std::process::exit(1);
+        }
+
+        let rec = svc.flight_recorder();
+        entries.push((
+            stream.id.clone(),
+            format!(
+                "{{\"queries\": {}, \"recorded\": {}, \"slow_captured\": {}, \
+                 \"slow_suppressed\": {}, \"plans_tracked\": {}}}",
+                stream.texts.len(),
+                rec.recorded(),
+                rec.slow_captured(),
+                rec.slow_suppressed(),
+                svc.plan_cache().stats_len(),
+            ),
+        ));
+    }
+
+    println!("{report}");
+    if let Some(path) = args.value_of("--slow-out") {
+        std::fs::write(path, &slow_log).expect("write --slow-out file");
+        eprintln!("obs_report: wrote slow-query log to {path}");
+    }
+    if let Some(path) = args.out.as_deref() {
+        let json = emit::run_json("obs-report/1", &args.label, args.mode(), &[], &entries);
+        std::fs::write(path, &json).expect("write --out file");
+        eprintln!("obs_report: wrote {path}");
+    }
+}

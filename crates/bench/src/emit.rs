@@ -34,6 +34,12 @@ impl CommonArgs {
             .map(|(_, v)| v.as_str())
     }
 
+    /// Whether a bin-specific switch (a valueless flag declared via
+    /// [`parse_common_with`]) was passed.
+    pub fn has(&self, flag: &str) -> bool {
+        self.extra.iter().any(|(f, _)| f == flag)
+    }
+
     /// `"smoke"` or `"full"` — the `mode` field of the run.
     pub fn mode(&self) -> &'static str {
         if self.smoke {
@@ -48,6 +54,13 @@ impl CommonArgs {
 /// bin-specific flags that take one value (e.g. `--deadline-ms`);
 /// anything else unrecognised prints usage and exits 2.
 pub fn parse_common(bin: &str, value_flags: &[&str]) -> CommonArgs {
+    parse_common_with(bin, value_flags, &[])
+}
+
+/// [`parse_common`] plus `switches`: bin-specific flags that take no
+/// value (e.g. `--explain`), recorded with an empty value and queried
+/// with [`CommonArgs::has`].
+pub fn parse_common_with(bin: &str, value_flags: &[&str], switches: &[&str]) -> CommonArgs {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut parsed = CommonArgs {
         smoke: false,
@@ -74,9 +87,16 @@ pub fn parse_common(bin: &str, value_flags: &[&str]) -> CommonArgs {
                 let v = value(&args, &mut i, flag);
                 parsed.extra.push((flag.to_string(), v));
             }
+            flag if switches.contains(&flag) => {
+                parsed.extra.push((flag.to_string(), String::new()));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                let extras: String = value_flags.iter().map(|f| format!(" [{f} <v>]")).collect();
+                let extras: String = value_flags
+                    .iter()
+                    .map(|f| format!(" [{f} <v>]"))
+                    .chain(switches.iter().map(|f| format!(" [{f}]")))
+                    .collect();
                 eprintln!("usage: {bin} [--smoke] [--label <text>] [--out <path>]{extras}");
                 std::process::exit(2);
             }

@@ -52,6 +52,9 @@ pub(crate) struct BudgetMeter<'a> {
     // counts through `tick`, so the tracer rides the existing hook. A
     // disabled tap ([`obs::IoTap::disabled`]) is a single branch.
     tap: obs::IoTap<'a>,
+    // Second tap scoped to the plan node the metered step works on, so
+    // EXPLAIN ANALYZE can attribute scan work per node.
+    node_tap: obs::IoTap<'a>,
 }
 
 impl<'a> BudgetMeter<'a> {
@@ -61,6 +64,7 @@ impl<'a> BudgetMeter<'a> {
             phase,
             enforce_memory: true,
             tap: obs::IoTap::disabled(),
+            node_tap: obs::IoTap::disabled(),
         }
     }
 
@@ -70,11 +74,17 @@ impl<'a> BudgetMeter<'a> {
             phase,
             enforce_memory: false,
             tap: obs::IoTap::disabled(),
+            node_tap: obs::IoTap::disabled(),
         }
     }
 
     pub(crate) fn with_tap(mut self, tap: obs::IoTap<'a>) -> Self {
         self.tap = tap;
+        self
+    }
+
+    pub(crate) fn with_node_tap(mut self, tap: obs::IoTap<'a>) -> Self {
+        self.node_tap = tap;
         self
     }
 }
@@ -83,6 +93,7 @@ impl CostMeter for BudgetMeter<'_> {
     #[inline]
     fn tick(&self, units: u64) -> Result<(), Trip> {
         self.tap.add_rows(units);
+        self.node_tap.add_rows(units);
         match self.budget.check(self.phase) {
             Ok(()) => Ok(()),
             Err(QueryError::Cancelled) => Err(Trip::Cancelled),
@@ -98,6 +109,26 @@ impl CostMeter for BudgetMeter<'_> {
                 Err(Trip::Memory { bytes })
             }
             Err(_) => Ok(()),
+        }
+    }
+}
+
+/// Record every node relation's current size as its pipeline-entry row
+/// count (one branch per node when tracing is off).
+fn note_nodes_in(obs: &obs::Tracer, rels: &[Relation]) {
+    if obs.enabled() {
+        obs.init_nodes(rels.len());
+        for (i, r) in rels.iter().enumerate() {
+            obs.note_node_rows_in(i, r.len() as u64);
+        }
+    }
+}
+
+/// Record every node relation's current size as its survivor count.
+fn note_nodes_out(obs: &obs::Tracer, rels: &[Relation]) {
+    if obs.enabled() {
+        for (i, r) in rels.iter().enumerate() {
+            obs.note_node_rows_out(i, r.len() as u64);
         }
     }
 }
@@ -159,26 +190,36 @@ impl Pipeline {
         assert_eq!(rels.len(), self.tree.len(), "one relation per node");
         let _span = obs.span(obs::Phase::Reduce);
         let shards = cfg.effective_shards();
-        let meter = BudgetMeter::new(budget, PHASE).with_tap(obs.io());
+        note_nodes_in(obs, rels);
         for &n in &self.post {
             if let Some(p) = self.tree.parent(n) {
                 budget.check(PHASE)?;
-                let (parent, child) = pair_mut(rels, p.index(), n.index());
-                Self::semijoin_step_governed(
-                    parent,
-                    &self.parent_cols[n.index()],
-                    child,
-                    &self.child_cols[n.index()],
-                    cfg,
-                    shards,
-                    &meter,
-                )
-                .map_err(|t| trip_to_error(t, PHASE))?;
-                if parent.is_empty() {
+                // Scan work lands on the node being filtered (the
+                // parent, on the bottom-up sweep).
+                let meter = BudgetMeter::new(budget, PHASE)
+                    .with_tap(obs.io())
+                    .with_node_tap(obs.node_tap(p.index()));
+                let emptied = {
+                    let (parent, child) = pair_mut(rels, p.index(), n.index());
+                    Self::semijoin_step_governed(
+                        parent,
+                        &self.parent_cols[n.index()],
+                        child,
+                        &self.child_cols[n.index()],
+                        cfg,
+                        shards,
+                        &meter,
+                    )
+                    .map_err(|t| trip_to_error(t, PHASE))?;
+                    parent.is_empty()
+                };
+                if emptied {
+                    note_nodes_out(obs, rels);
                     return Ok(false);
                 }
             }
         }
+        note_nodes_out(obs, rels);
         Ok(!rels[self.tree.root().index()].is_empty())
     }
 
@@ -207,10 +248,14 @@ impl Pipeline {
         assert_eq!(rels.len(), self.tree.len(), "one relation per node");
         let _span = obs.span(obs::Phase::Reduce);
         let shards = cfg.effective_shards();
-        let meter = BudgetMeter::new(budget, PHASE).with_tap(obs.io());
+        note_nodes_in(obs, rels);
         for &n in &self.post {
             if let Some(p) = self.tree.parent(n) {
                 budget.check(PHASE)?;
+                // Bottom-up: the parent is filtered.
+                let meter = BudgetMeter::new(budget, PHASE)
+                    .with_tap(obs.io())
+                    .with_node_tap(obs.node_tap(p.index()));
                 let (parent, child) = pair_mut(rels, p.index(), n.index());
                 Self::semijoin_step_governed(
                     parent,
@@ -227,6 +272,10 @@ impl Pipeline {
         for &n in &self.pre {
             if let Some(p) = self.tree.parent(n) {
                 budget.check(PHASE)?;
+                // Top-down: the child is filtered.
+                let meter = BudgetMeter::new(budget, PHASE)
+                    .with_tap(obs.io())
+                    .with_node_tap(obs.node_tap(n.index()));
                 let (parent, child) = pair_mut(rels, p.index(), n.index());
                 Self::semijoin_step_governed(
                     child,
@@ -240,6 +289,7 @@ impl Pipeline {
                 .map_err(|t| trip_to_error(t, PHASE))?;
             }
         }
+        note_nodes_out(obs, rels);
         Ok(())
     }
 
@@ -309,7 +359,8 @@ impl Pipeline {
                 } else {
                     BudgetMeter::new(budget, PHASE)
                 }
-                .with_tap(tap);
+                .with_tap(tap)
+                .with_node_tap(obs.node_tap(n.index()));
                 let (joined, t) = ops::join_governed(&rel, &crel, &pairs, &keep, &meter, true)
                     .map_err(|t| trip_to_error(t, PHASE))?;
                 truncated |= t;
@@ -333,7 +384,8 @@ impl Pipeline {
             } else {
                 BudgetMeter::new(budget, PHASE)
             }
-            .with_tap(tap);
+            .with_tap(tap)
+            .with_node_tap(obs.node_tap(n.index()));
             let projected = ops::project_governed(&rel, &keep_cols, &meter)
                 .map_err(|t| trip_to_error(t, PHASE))?;
             work[n.index()] = (projected_vars, projected);
@@ -354,7 +406,8 @@ impl Pipeline {
         } else {
             BudgetMeter::new(budget, PHASE)
         }
-        .with_tap(tap);
+        .with_tap(tap)
+        .with_node_tap(obs.node_tap(self.tree.root().index()));
         let out = ops::project_governed(rel, &cols, &meter).map_err(|t| trip_to_error(t, PHASE))?;
         Ok((out, truncated))
     }
@@ -387,6 +440,9 @@ impl Pipeline {
         assert_eq!(rels.len(), self.tree.len(), "one relation per node");
         let _span = obs.span(obs::Phase::Count);
         let tap = obs.io();
+        // The DP never filters: rows in == rows out at every node.
+        note_nodes_in(obs, rels);
+        note_nodes_out(obs, rels);
         budget.check(PHASE)?;
         let cell = std::mem::size_of::<u128>() as u64;
         budget.charge_bytes(rels.iter().map(|r| r.len() as u64 * cell).sum())?;
@@ -403,6 +459,10 @@ impl Pipeline {
                 (rels[n.index()].len() as u64 + rels[p.index()].len() as u64) * cell,
             )?;
             tap.add_rows(rels[n.index()].len() as u64 + rels[p.index()].len() as u64);
+            obs.node_tap(n.index())
+                .add_rows(rels[n.index()].len() as u64);
+            obs.node_tap(p.index())
+                .add_rows(rels[p.index()].len() as u64);
             self.count_edge(rels, &mut counts, n, p, cfg, shards);
         }
         Ok(saturating_sum(
@@ -609,6 +669,44 @@ mod tests {
         let (rows, truncated) = plan.enumerate_governed(&q, &db, &cfg, &budget).unwrap();
         assert!(!truncated);
         assert_eq!(rows, plan.enumerate(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn observed_runs_attribute_rows_per_node() {
+        let q = parse_query("ans(X,Y,Z) :- r(X,Y), s(Y,Z), t(Z,X).").unwrap();
+        let mut db = Database::new();
+        for i in 0..30u64 {
+            db.add_fact("r", &[i % 6, (i + 1) % 6]);
+            db.add_fact("s", &[(i + 1) % 6, (i + 2) % 6]);
+            db.add_fact("t", &[(i + 2) % 6, i % 6]);
+        }
+        let plan = Strategy::plan(&q);
+        let budget = QueryBudget::unlimited();
+        let obs = obs::Tracer::on();
+        plan.enumerate_observed(&q, &db, &ShardConfig::sequential(), &budget, &obs)
+            .unwrap();
+        let tr = obs.finish(obs::TraceOutcome::default()).unwrap();
+        assert!(!tr.node_rows.is_empty(), "node table never declared");
+        assert!(tr.node_rows.iter().any(|nr| nr.rows_in > 0));
+        assert!(tr.node_rows.iter().any(|nr| nr.rows_scanned > 0));
+        for nr in &tr.node_rows {
+            // Semijoins only filter.
+            assert!(nr.rows_out <= nr.rows_in, "survivors exceed input");
+        }
+        // Sharded workers share the same cells through &Tracer.
+        let obs2 = obs::Tracer::on();
+        let cfg = ShardConfig {
+            shards: 2,
+            min_rows: 0,
+        };
+        plan.enumerate_observed(&q, &db, &cfg, &budget, &obs2)
+            .unwrap();
+        let tr2 = obs2.finish(obs::TraceOutcome::default()).unwrap();
+        assert_eq!(
+            tr.node_rows.iter().map(|n| n.rows_out).collect::<Vec<_>>(),
+            tr2.node_rows.iter().map(|n| n.rows_out).collect::<Vec<_>>(),
+            "survivor counts must not depend on sharding"
+        );
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //! - **Exporters** ([`export`]): a stable JSON snapshot, a Prometheus
 //!   text renderer (plus a structural validator for CI), and the
 //!   human-readable trace pretty-printer.
+//! - **Diagnostics** ([`explain`], [`recorder`]): a structured
+//!   [`PlanExplain`] with EXPLAIN / EXPLAIN ANALYZE renderers, and a
+//!   bounded [`FlightRecorder`] retaining recent traces plus a
+//!   rate-limited slow-query log.
 //!
 //! The crate deliberately has no dependency on the rest of the
 //! workspace, so every layer — `core`, `relation`, `eval`, `service`,
@@ -21,14 +25,20 @@
 #![warn(missing_docs)]
 #![deny(clippy::dbg_macro, clippy::print_stdout)]
 
+pub mod explain;
 pub mod export;
 pub mod metrics;
 pub mod phase;
+pub mod recorder;
 pub mod registry;
 pub mod trace;
 
+pub use explain::{ExplainNode, PlanExplain, EXPLAIN_SCHEMA};
 pub use export::{validate_prometheus, Snapshot};
 pub use metrics::{Counter, Gauge, Histogram};
 pub use phase::Phase;
+pub use recorder::{FlightRecorder, RecordedTrace, RecorderConfig};
 pub use registry::Registry;
-pub use trace::{IoTap, PlanShape, QueryTrace, Span, Stopwatch, TraceConfig, TraceOutcome, Tracer};
+pub use trace::{
+    IoTap, NodeRows, PlanShape, QueryTrace, Span, Stopwatch, TraceConfig, TraceOutcome, Tracer,
+};

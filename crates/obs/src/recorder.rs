@@ -1,0 +1,258 @@
+//! The flight recorder: a bounded ring of recently completed
+//! [`QueryTrace`]s plus a threshold-gated, rate-limited slow-query
+//! log.
+//!
+//! The recorder is built to sit on the request path of a serving
+//! layer: recording is one short [`parking_lot::Mutex`] critical
+//! section (a `VecDeque` push and a possible pop — no allocation
+//! beyond the trace clone), trace ids are assigned from an atomic so
+//! exemplar links in metrics never need the lock, and the slow log's
+//! rate limiter guarantees a pathological workload cannot turn the
+//! log into an allocation treadmill: captures past the configured
+//! minimum interval are counted as suppressed instead of stored.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::trace::QueryTrace;
+
+/// Sizing and gating for a [`FlightRecorder`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecorderConfig {
+    /// Ring capacity: the last `capacity` completed traces are kept.
+    /// `0` disables the recorder entirely ([`FlightRecorder::record`]
+    /// returns `None`).
+    pub capacity: usize,
+    /// Traces whose total wall time reaches this threshold are offered
+    /// to the slow-query log.
+    pub slow_threshold_ns: u64,
+    /// Slow-log capacity (oldest entries are dropped first). `0`
+    /// disables the slow log while keeping the ring.
+    pub slow_capacity: usize,
+    /// Minimum interval between slow-log captures; traces arriving
+    /// faster are counted as suppressed, not stored. `0` captures
+    /// every slow trace.
+    pub slow_min_interval_ns: u64,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            capacity: 64,
+            slow_threshold_ns: 100_000_000, // 100ms
+            slow_capacity: 16,
+            slow_min_interval_ns: 1_000_000_000, // 1s
+        }
+    }
+}
+
+/// A trace retained by the recorder, tagged with its exemplar id.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecordedTrace {
+    /// Monotonically increasing id (starts at 1); per-plan statistics
+    /// use it to link histogram tails back to a retained trace.
+    pub id: u64,
+    /// The completed trace.
+    pub trace: QueryTrace,
+}
+
+struct SlowLog {
+    entries: VecDeque<RecordedTrace>,
+    last_capture: Option<Instant>,
+}
+
+/// Bounded retention of completed traces; see the module docs.
+pub struct FlightRecorder {
+    cfg: RecorderConfig,
+    next_id: AtomicU64,
+    ring: Mutex<VecDeque<RecordedTrace>>,
+    slow: Mutex<SlowLog>,
+    slow_captured: AtomicU64,
+    slow_suppressed: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder with the given bounds.
+    pub fn new(cfg: RecorderConfig) -> FlightRecorder {
+        FlightRecorder {
+            cfg,
+            next_id: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(cfg.capacity.min(1024))),
+            slow: Mutex::new(SlowLog {
+                entries: VecDeque::with_capacity(cfg.slow_capacity.min(1024)),
+                last_capture: None,
+            }),
+            slow_captured: AtomicU64::new(0),
+            slow_suppressed: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration this recorder was built with.
+    pub fn config(&self) -> RecorderConfig {
+        self.cfg
+    }
+
+    /// Record a completed trace; returns its exemplar id, or `None`
+    /// when the recorder is disabled (`capacity == 0`).
+    pub fn record(&self, trace: &QueryTrace) -> Option<u64> {
+        if self.cfg.capacity == 0 {
+            return None;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let entry = RecordedTrace {
+            id,
+            trace: trace.clone(),
+        };
+        {
+            let mut ring = self.ring.lock();
+            if ring.len() >= self.cfg.capacity {
+                ring.pop_front();
+            }
+            ring.push_back(entry.clone());
+        }
+        if self.cfg.slow_capacity > 0 && trace.total_ns >= self.cfg.slow_threshold_ns {
+            self.offer_slow(entry);
+        }
+        Some(id)
+    }
+
+    fn offer_slow(&self, entry: RecordedTrace) {
+        let mut slow = self.slow.lock();
+        let rate_limited = match slow.last_capture {
+            Some(last) => (last.elapsed().as_nanos() as u64) < self.cfg.slow_min_interval_ns,
+            None => false,
+        };
+        if rate_limited {
+            self.slow_suppressed.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        slow.last_capture = Some(Instant::now());
+        if slow.entries.len() >= self.cfg.slow_capacity {
+            slow.entries.pop_front();
+        }
+        slow.entries.push_back(entry);
+        self.slow_captured.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The retained traces, most recent first.
+    pub fn recent(&self) -> Vec<RecordedTrace> {
+        self.ring.lock().iter().rev().cloned().collect()
+    }
+
+    /// The slow-query log, most recent first.
+    pub fn slow_queries(&self) -> Vec<RecordedTrace> {
+        self.slow.lock().entries.iter().rev().cloned().collect()
+    }
+
+    /// Look up a retained trace by exemplar id (ring first, then the
+    /// slow log, which retains ids longer under churn).
+    pub fn get(&self, id: u64) -> Option<RecordedTrace> {
+        if let Some(e) = self.ring.lock().iter().find(|e| e.id == id) {
+            return Some(e.clone());
+        }
+        self.slow
+            .lock()
+            .entries
+            .iter()
+            .find(|e| e.id == id)
+            .cloned()
+    }
+
+    /// Total traces ever recorded (== the last id handed out).
+    pub fn recorded(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed)
+    }
+
+    /// Slow traces captured into the log.
+    pub fn slow_captured(&self) -> u64 {
+        self.slow_captured.load(Ordering::Relaxed)
+    }
+
+    /// Slow traces suppressed by the rate limiter.
+    pub fn slow_suppressed(&self) -> u64 {
+        self.slow_suppressed.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(total_ns: u64) -> QueryTrace {
+        QueryTrace {
+            op: "boolean",
+            total_ns,
+            ..QueryTrace::default()
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_last_capacity_traces() {
+        let r = FlightRecorder::new(RecorderConfig {
+            capacity: 3,
+            slow_capacity: 0,
+            ..RecorderConfig::default()
+        });
+        for i in 1..=10u64 {
+            assert_eq!(r.record(&trace(i)), Some(i));
+        }
+        let recent = r.recent();
+        assert_eq!(recent.len(), 3);
+        assert_eq!(
+            recent.iter().map(|e| e.id).collect::<Vec<_>>(),
+            vec![10, 9, 8]
+        );
+        assert_eq!(r.recorded(), 10);
+        assert_eq!(r.get(10).unwrap().trace.total_ns, 10);
+        assert!(r.get(1).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables_recording() {
+        let r = FlightRecorder::new(RecorderConfig {
+            capacity: 0,
+            ..RecorderConfig::default()
+        });
+        assert_eq!(r.record(&trace(1)), None);
+        assert!(r.recent().is_empty());
+        assert_eq!(r.recorded(), 0);
+    }
+
+    #[test]
+    fn slow_log_gates_on_threshold() {
+        let r = FlightRecorder::new(RecorderConfig {
+            capacity: 8,
+            slow_threshold_ns: 100,
+            slow_capacity: 8,
+            slow_min_interval_ns: 0,
+        });
+        r.record(&trace(99));
+        r.record(&trace(100));
+        r.record(&trace(5_000));
+        let slow = r.slow_queries();
+        assert_eq!(slow.len(), 2);
+        assert_eq!(slow[0].trace.total_ns, 5_000);
+        assert_eq!(r.slow_captured(), 2);
+        assert_eq!(r.slow_suppressed(), 0);
+    }
+
+    #[test]
+    fn slow_log_rate_limit_suppresses_bursts() {
+        let r = FlightRecorder::new(RecorderConfig {
+            capacity: 8,
+            slow_threshold_ns: 0,
+            slow_capacity: 8,
+            slow_min_interval_ns: u64::MAX,
+        });
+        for i in 0..50u64 {
+            r.record(&trace(i + 1));
+        }
+        // Only the first capture lands inside an unbounded interval.
+        assert_eq!(r.slow_queries().len(), 1);
+        assert_eq!(r.slow_captured(), 1);
+        assert_eq!(r.slow_suppressed(), 49);
+    }
+}

@@ -163,6 +163,19 @@ impl Registry {
         self.gauge_with(name, help, labels).set(value);
     }
 
+    /// Drop every series whose label set carries `(key, value)`,
+    /// returning how many were removed. This keeps label cardinality
+    /// bounded for per-entity families (e.g. per-plan statistics):
+    /// when the owning cache evicts an entity, its series leave the
+    /// export too. Live handles held elsewhere keep working — they
+    /// just become detached from the snapshot.
+    pub fn remove_labeled(&self, key: &'static str, value: &str) -> usize {
+        let mut inner = self.inner.lock();
+        let before = inner.len();
+        inner.retain(|e| !e.labels.iter().any(|(k, v)| *k == key && v == value));
+        before - inner.len()
+    }
+
     /// Take a point-in-time snapshot of every registered metric,
     /// sorted by `(name, labels)` for stable export output.
     pub fn snapshot(&self) -> Snapshot {
@@ -205,6 +218,23 @@ mod tests {
         let snap = r.snapshot();
         let json = snap.to_json();
         assert!(json.contains("\"counter\""));
+    }
+
+    #[test]
+    fn remove_labeled_drops_matching_series_only() {
+        let r = Registry::new();
+        r.counter_with("plan_requests_total", "h", vec![("plan", "q1".into())])
+            .add(1);
+        r.counter_with("plan_requests_total", "h", vec![("plan", "q2".into())])
+            .add(2);
+        let keep = r.counter("requests_total", "h");
+        keep.add(9);
+        assert_eq!(r.remove_labeled("plan", "q1"), 1);
+        let json = r.snapshot().to_json();
+        assert!(!json.contains("\"q1\""));
+        assert!(json.contains("\"q2\""));
+        assert!(json.contains("requests_total"));
+        assert_eq!(r.remove_labeled("plan", "q1"), 0);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! already takes.
 
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use crate::phase::Phase;
@@ -57,10 +58,19 @@ const HIT: u8 = 2;
 const KIND_JOIN_TREE: u8 = 1;
 const KIND_HYPERTREE: u8 = 2;
 
+/// Per-plan-node accounting cells, allocated lazily the first time an
+/// evaluation pipeline declares its node count.
+struct NodeCell {
+    rows_in: AtomicU64,
+    rows_out: AtomicU64,
+    rows_scanned: AtomicU64,
+}
+
 struct Inner {
     started: Instant,
     phase_ns: [AtomicU64; Phase::COUNT],
     rows_scanned: AtomicU64,
+    nodes: OnceLock<Box<[NodeCell]>>,
     plan_cache: AtomicU8,
     decomp_cache: AtomicU8,
     plan_kind: AtomicU8,
@@ -92,6 +102,7 @@ impl Tracer {
                 started: Instant::now(),
                 phase_ns: [const { AtomicU64::new(0) }; Phase::COUNT],
                 rows_scanned: AtomicU64::new(0),
+                nodes: OnceLock::new(),
                 plan_cache: AtomicU8::new(UNKNOWN),
                 decomp_cache: AtomicU8::new(UNKNOWN),
                 plan_kind: AtomicU8::new(UNKNOWN),
@@ -134,6 +145,63 @@ impl Tracer {
     #[inline]
     pub fn io(&self) -> IoTap<'_> {
         IoTap(self.inner.as_deref().map(|i| &i.rows_scanned))
+    }
+
+    /// Declare the plan's node count, allocating one accounting cell
+    /// per join-tree / decomposition node. First caller wins: repeated
+    /// declarations (the reduction and the pipeline sweeps see the same
+    /// completed tree) are no-ops, so cells accumulate across phases of
+    /// one request. A no-op on disabled tracers.
+    pub fn init_nodes(&self, n: usize) {
+        if let Some(i) = &self.inner {
+            let _ = i.nodes.set(
+                (0..n)
+                    .map(|_| NodeCell {
+                        rows_in: AtomicU64::new(0),
+                        rows_out: AtomicU64::new(0),
+                        rows_scanned: AtomicU64::new(0),
+                    })
+                    .collect(),
+            );
+        }
+    }
+
+    /// A row-accounting tap scoped to one plan node's scanned-rows
+    /// cell. Disabled tracers, undeclared tables, and out-of-range
+    /// nodes all yield an inert tap.
+    #[inline]
+    pub fn node_tap(&self, node: usize) -> IoTap<'_> {
+        IoTap(
+            self.inner
+                .as_deref()
+                .and_then(|i| i.nodes.get())
+                .and_then(|cells| cells.get(node))
+                .map(|c| &c.rows_scanned),
+        )
+    }
+
+    /// Record the row count entering a plan node (its relation size
+    /// before any semijoin sweep). Last write wins.
+    pub fn note_node_rows_in(&self, node: usize, rows: u64) {
+        if let Some(c) = self.node_cell(node) {
+            c.rows_in.store(rows, Ordering::Relaxed);
+        }
+    }
+
+    /// Record the surviving row count at a plan node (its relation
+    /// size after the sweeps that touched it). Last write wins, so
+    /// after a full reduction this is the consistent-instance size.
+    pub fn note_node_rows_out(&self, node: usize, rows: u64) {
+        if let Some(c) = self.node_cell(node) {
+            c.rows_out.store(rows, Ordering::Relaxed);
+        }
+    }
+
+    fn node_cell(&self, node: usize) -> Option<&NodeCell> {
+        self.inner
+            .as_deref()
+            .and_then(|i| i.nodes.get())
+            .and_then(|cells| cells.get(node))
     }
 
     /// Record whether the plan cache hit for this request.
@@ -185,10 +253,25 @@ impl Tracer {
             KIND_HYPERTREE => Some(PlanShape::Hypertree.as_str()),
             _ => None,
         };
+        let node_rows = i
+            .nodes
+            .get()
+            .map(|cells| {
+                cells
+                    .iter()
+                    .map(|c| NodeRows {
+                        rows_in: c.rows_in.load(Ordering::Relaxed),
+                        rows_out: c.rows_out.load(Ordering::Relaxed),
+                        rows_scanned: c.rows_scanned.load(Ordering::Relaxed),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
         Some(QueryTrace {
             op: outcome.op,
             total_ns: i.started.elapsed().as_nanos() as u64,
             phase_ns,
+            node_rows,
             rows_scanned: i.rows_scanned.load(Ordering::Relaxed),
             rows_emitted: outcome.rows_emitted,
             bytes_charged: outcome.bytes_charged,
@@ -260,6 +343,19 @@ pub struct TraceOutcome {
     pub truncated: bool,
 }
 
+/// Row accounting for one plan node: relation size entering the
+/// pipeline, survivors after the semijoin sweeps, and metered scan
+/// work attributed to the node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeRows {
+    /// Node relation size entering the pipeline.
+    pub rows_in: u64,
+    /// Surviving rows after the sweeps that touched the node.
+    pub rows_out: u64,
+    /// Rows scanned by metered operators attributed to this node.
+    pub rows_scanned: u64,
+}
+
 /// A completed per-request trace: where the time went and what was
 /// touched.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -272,6 +368,11 @@ pub struct QueryTrace {
     /// [`Phase::index`]. `enumerate` is a container span that overlaps
     /// `reduce` and `join` (see the [`crate::phase`] docs).
     pub phase_ns: [u64; Phase::COUNT],
+    /// Per-plan-node row accounting, indexed by node id in the plan's
+    /// rooted tree. Empty unless the evaluation pipeline declared its
+    /// node count via [`Tracer::init_nodes`] (requests that fail
+    /// before evaluation, or legacy producers, leave it empty).
+    pub node_rows: Vec<NodeRows>,
     /// Rows scanned by metered operators.
     pub rows_scanned: u64,
     /// Rows in the answer (enumerations).
@@ -309,7 +410,7 @@ impl QueryTrace {
     }
 }
 
-fn fmt_ns(ns: u64) -> String {
+pub(crate) fn fmt_ns(ns: u64) -> String {
     if ns >= 10_000_000 {
         format!("{:.1}ms", ns as f64 / 1e6)
     } else if ns >= 10_000 {
@@ -333,6 +434,13 @@ impl std::fmt::Display for QueryTrace {
             "  rows: scanned={} emitted={}  budget: bytes={} steps={}",
             self.rows_scanned, self.rows_emitted, self.bytes_charged, self.steps_charged
         )?;
+        for (i, nr) in self.node_rows.iter().enumerate() {
+            writeln!(
+                f,
+                "  node[{i}]    in={} out={} scanned={}",
+                nr.rows_in, nr.rows_out, nr.rows_scanned
+            )?;
+        }
         let cache = |v: Option<bool>| match v {
             Some(true) => "hit",
             Some(false) => "miss",
@@ -441,6 +549,36 @@ mod tests {
         let mut truncated = tr.clone();
         truncated.truncated = true;
         assert!(truncated.render().contains("TRUNCATED"));
+    }
+
+    #[test]
+    fn node_accounting_is_declared_once_and_scoped() {
+        let t = Tracer::on();
+        // Taps before declaration are inert.
+        t.node_tap(0).add_rows(99);
+        t.init_nodes(2);
+        t.init_nodes(5); // first declaration wins
+        t.note_node_rows_in(0, 10);
+        t.note_node_rows_out(0, 4);
+        t.node_tap(0).add_rows(7);
+        t.node_tap(1).add_rows(3);
+        t.node_tap(9).add_rows(100); // out of range: inert
+        let tr = t.finish(TraceOutcome::default()).unwrap();
+        assert_eq!(tr.node_rows.len(), 2);
+        assert_eq!(tr.node_rows[0].rows_in, 10);
+        assert_eq!(tr.node_rows[0].rows_out, 4);
+        assert_eq!(tr.node_rows[0].rows_scanned, 7);
+        assert_eq!(tr.node_rows[1].rows_scanned, 3);
+        assert!(tr.render().contains("node[0]"));
+    }
+
+    #[test]
+    fn disabled_tracer_ignores_node_accounting() {
+        let t = Tracer::off();
+        t.init_nodes(3);
+        t.note_node_rows_in(0, 1);
+        t.node_tap(0).add_rows(1);
+        assert!(t.finish(TraceOutcome::default()).is_none());
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Exporter hardening: the JSON and Prometheus renderers under the
+//! inputs a serving layer actually throws at them — an empty registry,
+//! label values carrying query text (quotes, backslashes, newlines),
+//! kind conflicts, and the full set of per-plan statistics families.
+
+use obs::export::JSON_SCHEMA;
+use obs::{validate_prometheus, Registry};
+
+#[test]
+fn empty_registry_exports_cleanly() {
+    let r = Registry::new();
+    let snap = r.snapshot();
+    let prom = snap.to_prometheus();
+    validate_prometheus(&prom).expect("empty export is well-formed");
+    let json = snap.to_json();
+    assert!(json.contains(JSON_SCHEMA));
+}
+
+#[test]
+fn hostile_label_values_escape_and_validate() {
+    let r = Registry::new();
+    // Plan keys are query text: quotes, backslashes, and (defensively)
+    // newlines must all survive the trip through the exporter.
+    for (i, key) in [
+        "ans(0,1):-r(0,1),s(1,0).",
+        "quote\"inside",
+        "back\\slash",
+        "new\nline",
+    ]
+    .iter()
+    .enumerate()
+    {
+        r.counter_with(
+            "plan_requests_total",
+            "requests",
+            vec![("plan", key.to_string())],
+        )
+        .add(i as u64 + 1);
+    }
+    let prom = r.snapshot().to_prometheus();
+    validate_prometheus(&prom).expect("escaped labels validate");
+    // The raw control characters never appear inside a label value.
+    assert!(prom.contains("\\\""), "quote escaped: {prom}");
+    assert!(prom.contains("\\\\"), "backslash escaped: {prom}");
+    assert!(prom.contains("\\n"), "newline escaped: {prom}");
+    for line in prom.lines() {
+        assert!(!line.contains('\r'), "no raw CR in {line:?}");
+    }
+    let json = r.snapshot().to_json();
+    assert!(json.contains("plan_requests_total"));
+    assert!(
+        !json.contains('\n') || !json.contains("new\nline"),
+        "newline escaped in JSON"
+    );
+}
+
+#[test]
+fn kind_conflicts_keep_the_export_well_formed() {
+    let r = Registry::new();
+    r.counter("mixed_up", "first registration wins").add(7);
+    // Conflicting re-registrations hand back detached (usable,
+    // unexported) handles instead of panicking or corrupting the
+    // export.
+    let g = r.gauge("mixed_up", "conflicting gauge");
+    g.set(99);
+    let h = r.histogram("mixed_up", "conflicting histogram");
+    h.record(123);
+    let prom = r.snapshot().to_prometheus();
+    validate_prometheus(&prom).expect("conflicted registry still validates");
+    assert!(prom.contains("mixed_up 7"), "counter survives: {prom}");
+    assert!(!prom.contains("99"), "detached gauge not exported: {prom}");
+}
+
+#[test]
+fn per_plan_statistic_families_validate_end_to_end() {
+    // The exact shape the plan cache exports: counters, a histogram,
+    // and gauges, all sharing a "plan" label, over several plans.
+    let r = Registry::new();
+    for key in ["ans:-p0(A,B),p0(B,A).", "ans(X):-p1(X)."] {
+        let labels = || vec![("plan", key.to_string())];
+        r.counter_with("plan_requests_total", "requests", labels())
+            .add(4);
+        r.histogram_with("plan_request_latency_ns", "latency", labels())
+            .record(1_500);
+        r.counter_with("plan_rows_scanned_total", "rows", labels())
+            .add(12);
+        r.counter_with("plan_budget_trips_total", "trips", labels());
+        r.gauge_with("plan_slowest_ns", "slowest", labels())
+            .set(1_500);
+        r.gauge_with("plan_slowest_trace_id", "exemplar", labels())
+            .set(3);
+    }
+    let prom = r.snapshot().to_prometheus();
+    validate_prometheus(&prom).expect("per-plan families validate");
+    assert!(prom.contains("plan_request_latency_ns_bucket"));
+    assert!(prom.contains("plan_request_latency_ns_count"));
+    assert!(prom.contains("plan_slowest_trace_id"));
+
+    // Evicting one plan's series removes the whole family for that key
+    // and the export stays well-formed.
+    let removed = r.remove_labeled("plan", "ans(X):-p1(X).");
+    assert_eq!(removed, 6);
+    let prom = r.snapshot().to_prometheus();
+    validate_prometheus(&prom).expect("post-eviction export validates");
+    assert!(!prom.contains("p1(X)"));
+    assert!(prom.contains("plan_requests_total"));
+}

@@ -1,0 +1,106 @@
+//! Flight-recorder bounds, property-tested, plus a concurrency chaos
+//! batch for the slow-log rate limiter: however many traces arrive,
+//! from however many threads, the ring and the slow log never exceed
+//! their configured capacities and the capture/suppress accounting
+//! stays exact.
+
+use obs::{FlightRecorder, QueryTrace, RecorderConfig};
+use proptest::prelude::*;
+
+fn trace(total_ns: u64) -> QueryTrace {
+    QueryTrace {
+        op: "boolean",
+        total_ns,
+        ..QueryTrace::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any configuration and any stream of trace durations, the
+    /// recorder's bounds and ordering invariants hold.
+    #[test]
+    fn recorder_bounds_hold(
+        seed in 0u64..u64::MAX / 2,
+        capacity in 0usize..8,
+        slow_capacity in 0usize..4,
+        threshold in 0u64..2_000,
+    ) {
+        let rec = FlightRecorder::new(RecorderConfig {
+            capacity,
+            slow_threshold_ns: threshold,
+            slow_capacity,
+            slow_min_interval_ns: 0, // capture every slow trace
+        });
+        let mut x = seed;
+        let mut sent = 0u64;
+        let mut slow_sent = 0u64;
+        for _ in 0..40 {
+            // Splitmix-style scramble: deterministic per seed.
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let total = x % 4_000;
+            let id = rec.record(&trace(total));
+            if capacity == 0 {
+                prop_assert_eq!(id, None);
+                continue;
+            }
+            sent += 1;
+            prop_assert_eq!(id, Some(sent), "ids are dense from 1");
+            if slow_capacity > 0 && total >= threshold {
+                slow_sent += 1;
+            }
+        }
+        prop_assert_eq!(rec.recorded(), sent);
+
+        let recent = rec.recent();
+        prop_assert_eq!(recent.len() as u64, sent.min(capacity as u64));
+        prop_assert!(
+            recent.windows(2).all(|w| w[0].id > w[1].id),
+            "ring is newest-first"
+        );
+        for e in &recent {
+            let found = rec.get(e.id);
+            prop_assert_eq!(found.as_ref(), Some(e), "ids round-trip");
+        }
+
+        let slow = rec.slow_queries();
+        prop_assert!(slow.len() <= slow_capacity);
+        prop_assert_eq!(slow.len() as u64, slow_sent.min(slow_capacity as u64));
+        prop_assert!(slow.iter().all(|e| e.trace.total_ns >= threshold));
+        prop_assert_eq!(rec.slow_captured(), slow_sent, "interval 0 captures all");
+        prop_assert_eq!(rec.slow_suppressed(), 0u64);
+    }
+}
+
+#[test]
+fn rate_limiter_accounts_exactly_under_concurrent_hammering() {
+    // Chaos batch: eight threads race 200 slow traces each into a
+    // recorder whose rate limiter admits only the very first capture
+    // (unbounded minimum interval). Whatever the interleaving, the
+    // accounting must balance to the trace count and the log must hold
+    // exactly the one capture.
+    let rec = FlightRecorder::new(RecorderConfig {
+        capacity: 16,
+        slow_threshold_ns: 0,
+        slow_capacity: 8,
+        slow_min_interval_ns: u64::MAX,
+    });
+    std::thread::scope(|s| {
+        for t in 0..8u64 {
+            let rec = &rec;
+            s.spawn(move || {
+                for i in 0..200u64 {
+                    rec.record(&trace(t * 1_000 + i + 1));
+                }
+            });
+        }
+    });
+    assert_eq!(rec.recorded(), 1_600);
+    assert_eq!(rec.slow_captured(), 1);
+    assert_eq!(rec.slow_suppressed(), 1_599);
+    assert_eq!(rec.slow_queries().len(), 1);
+    let recent = rec.recent();
+    assert_eq!(recent.len(), 16);
+    assert!(recent.windows(2).all(|w| w[0].id > w[1].id));
+}

@@ -54,10 +54,11 @@ pub mod prepared;
 #[allow(clippy::module_inception)]
 pub mod service;
 
-pub use plan_cache::PlanCache;
+pub use plan_cache::{PlanCache, PlanStats};
 pub use prepared::{plan_key, PlanKind, PrepareConfig, PreparedQuery};
 pub use service::{
-    Op, Outcome, Request, Response, Service, ServiceConfig, ServiceStats, TracedResponse,
+    ExplainAnalyzed, Op, Outcome, Request, Response, Service, ServiceConfig, ServiceStats,
+    TracedResponse,
 };
 
 use std::fmt;

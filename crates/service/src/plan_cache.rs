@@ -15,11 +15,59 @@ use hypertree_core::lru::Lru;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
+/// Live per-plan aggregates: the handles are shared with the owning
+/// service's [`obs::Registry`] as `plan="<key>"`-labeled families, so
+/// they flow through `metrics_snapshot` without extra plumbing.
+pub struct PlanStats {
+    /// Requests that resolved to this plan (all execution paths).
+    pub requests: Arc<obs::Counter>,
+    /// Whole-request latency of traced/sampled executions (log₂
+    /// histogram).
+    pub latency_ns: Arc<obs::Histogram>,
+    /// Rows scanned by traced/sampled executions.
+    pub rows_scanned: Arc<obs::Counter>,
+    /// Bytes charged by traced/sampled executions.
+    pub bytes_charged: Arc<obs::Counter>,
+    /// Budget trips attributed to this plan.
+    pub budget_trips: Arc<obs::Counter>,
+    /// Panics caught while executing this plan.
+    pub panics: Arc<obs::Counter>,
+    /// Slowest traced latency seen for this plan.
+    pub slowest_ns: Arc<obs::Gauge>,
+    /// Flight-recorder exemplar id of that slowest trace (0 = none),
+    /// linking the histogram tail to a retained trace.
+    pub slowest_trace_id: Arc<obs::Gauge>,
+}
+
+impl PlanStats {
+    /// Fold a completed trace into the aggregates, keeping the slowest
+    /// trace as the exemplar. The max update is check-then-set over two
+    /// gauges — races between concurrent traced requests can momentarily
+    /// pair a latency with a neighbouring exemplar id, which is
+    /// acceptable for a diagnostics pointer.
+    pub fn observe_trace(&self, trace: &obs::QueryTrace, exemplar_id: Option<u64>) {
+        self.latency_ns.record(trace.total_ns);
+        self.rows_scanned.add(trace.rows_scanned);
+        self.bytes_charged.add(trace.bytes_charged);
+        if trace.total_ns >= self.slowest_ns.get() {
+            self.slowest_ns.set(trace.total_ns);
+            if let Some(id) = exemplar_id {
+                self.slowest_trace_id.set(id);
+            }
+        }
+    }
+}
+
 /// A bounded LRU cache from plan key to shared prepared plan.
 pub struct PlanCache {
     // Arc<str> keys: the LRU clones its key into both the hash map and
     // the recency slab — share one allocation per key.
     map: Mutex<Lru<Arc<str>, Arc<PreparedQuery>>>,
+    // Per-plan statistics, bounded by the same LRU policy (and the same
+    // capacity) as the plans themselves. Evicting a stats entry also
+    // removes its labeled series from the registry, keeping export
+    // cardinality bounded under unbounded distinct queries.
+    stats: Mutex<Lru<Arc<str>, Arc<PlanStats>>>,
     // Arc'd so the owning service can register the very same counters
     // with its metrics registry (see the `*_handle` accessors).
     hits: Arc<obs::Counter>,
@@ -46,10 +94,79 @@ impl PlanCache {
     pub fn with_capacity(capacity: usize) -> Self {
         PlanCache {
             map: Mutex::new(Lru::with_capacity(capacity)),
+            stats: Mutex::new(Lru::with_capacity(capacity)),
             hits: Arc::new(obs::Counter::new()),
             misses: Arc::new(obs::Counter::new()),
             redundant_prepares: Arc::new(obs::Counter::new()),
         }
+    }
+
+    /// Get or create the per-plan statistics entry for `key`, with its
+    /// metric handles registered in `registry` as `plan`-labeled
+    /// families. The entry table is LRU-bounded at the cache's
+    /// capacity; evicting an entry removes its series from `registry`
+    /// so per-plan label cardinality cannot grow without bound.
+    pub fn stats_for(&self, key: &str, registry: &obs::Registry) -> Arc<PlanStats> {
+        if let Some(s) = self.stats.lock().get(key) {
+            return Arc::clone(s);
+        }
+        // Build outside the lock: registration takes the registry lock.
+        let labels = || vec![("plan", key.to_string())];
+        let made = Arc::new(PlanStats {
+            requests: registry.counter_with(
+                "plan_requests_total",
+                "Requests resolved to this plan",
+                labels(),
+            ),
+            latency_ns: registry.histogram_with(
+                "plan_request_latency_ns",
+                "Latency of traced/sampled requests for this plan",
+                labels(),
+            ),
+            rows_scanned: registry.counter_with(
+                "plan_rows_scanned_total",
+                "Rows scanned by traced/sampled requests for this plan",
+                labels(),
+            ),
+            bytes_charged: registry.counter_with(
+                "plan_bytes_charged_total",
+                "Bytes charged by traced/sampled requests for this plan",
+                labels(),
+            ),
+            budget_trips: registry.counter_with(
+                "plan_budget_trips_total",
+                "Budget trips attributed to this plan",
+                labels(),
+            ),
+            panics: registry.counter_with(
+                "plan_panics_total",
+                "Panics caught while executing this plan",
+                labels(),
+            ),
+            slowest_ns: registry.gauge_with(
+                "plan_slowest_ns",
+                "Slowest traced latency seen for this plan",
+                labels(),
+            ),
+            slowest_trace_id: registry.gauge_with(
+                "plan_slowest_trace_id",
+                "Flight-recorder exemplar id of the slowest trace (0 = none)",
+                labels(),
+            ),
+        });
+        let mut stats = self.stats.lock();
+        // A concurrent builder may have raced us here; the registry's
+        // get-or-create semantics make both `made` values aliases of
+        // the same handles, so last-write-wins stays benign.
+        if let Some((evicted, _)) = stats.insert(Arc::from(key), Arc::clone(&made)) {
+            registry.remove_labeled("plan", &evicted);
+        }
+        made
+    }
+
+    /// Number of plans currently carrying statistics entries.
+    pub fn stats_len(&self) -> usize {
+        self.stats.lock().len()
     }
 
     /// Look up a plan by key, refreshing its recency.
@@ -261,6 +378,51 @@ mod tests {
         assert_eq!(cache.misses(), THREADS as u64);
         assert_eq!(cache.redundant_prepares(), THREADS as u64 - 1);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn per_plan_stats_are_bounded_and_evict_their_series() {
+        let registry = obs::Registry::new();
+        let cache = PlanCache::with_capacity(2);
+        for key in ["k1", "k2", "k3"] {
+            let s = cache.stats_for(key, &registry);
+            s.requests.incr();
+        }
+        assert_eq!(cache.stats_len(), 2);
+        let json = registry.snapshot().to_json();
+        assert!(
+            !json.contains("\"k1\""),
+            "evicted plan series must leave the export"
+        );
+        assert!(json.contains("\"k3\""));
+        // Re-asking for a live key returns aliases of the same handles.
+        let a = cache.stats_for("k2", &registry);
+        let b = cache.stats_for("k2", &registry);
+        a.requests.add(5);
+        assert_eq!(b.requests.get(), a.requests.get());
+    }
+
+    #[test]
+    fn plan_stats_track_the_slowest_exemplar() {
+        let registry = obs::Registry::new();
+        let cache = PlanCache::new();
+        let s = cache.stats_for("k", &registry);
+        let mut t = obs::QueryTrace {
+            total_ns: 10,
+            rows_scanned: 4,
+            bytes_charged: 100,
+            ..obs::QueryTrace::default()
+        };
+        s.observe_trace(&t, Some(1));
+        t.total_ns = 50;
+        s.observe_trace(&t, Some(2));
+        t.total_ns = 20;
+        s.observe_trace(&t, Some(3));
+        assert_eq!(s.slowest_ns.get(), 50);
+        assert_eq!(s.slowest_trace_id.get(), 2);
+        assert_eq!(s.rows_scanned.get(), 12);
+        assert_eq!(s.bytes_charged.get(), 300);
+        assert_eq!(s.latency_ns.count(), 3);
     }
 
     #[test]

@@ -58,6 +58,17 @@ pub struct PreparedQuery {
     key: String,
     strategy: Strategy,
     kind: PlanKind,
+    provenance: &'static str,
+    decomp_cache_hit: Option<bool>,
+}
+
+/// Render a decomposition provenance as its stable explain label.
+fn provenance_str(p: heuristics::Provenance) -> &'static str {
+    match p {
+        heuristics::Provenance::Exact => "exact",
+        heuristics::Provenance::HeuristicOptimal => "heuristic-optimal",
+        heuristics::Provenance::Heuristic => "heuristic",
+    }
 }
 
 impl PreparedQuery {
@@ -96,16 +107,28 @@ impl PreparedQuery {
     ) -> PreparedQuery {
         debug_assert_eq!(key, plan_key(&q), "key must be the query's plan key");
         let h = q.hypergraph();
-        let (strategy, kind) = match acyclic::join_tree(&h) {
-            Some(jt) => (Strategy::JoinTree(jt), PlanKind::JoinTree),
+        let (strategy, kind, provenance, decomp_cache_hit) = match acyclic::join_tree(&h) {
+            Some(jt) => (Strategy::JoinTree(jt), PlanKind::JoinTree, "acyclic", None),
             None => {
-                let hd = cache
-                    .get_or_insert_with(&h, |h| heuristics::decompose_auto(h, cfg.exact_steps).hd);
+                let fresh = std::cell::Cell::new(None::<heuristics::Provenance>);
+                let hd = cache.get_or_insert_with(&h, |h| {
+                    let auto = heuristics::decompose_auto(h, cfg.exact_steps);
+                    fresh.set(Some(auto.provenance));
+                    auto.hd
+                });
+                // The cache stores only the decomposition: a hit cannot
+                // recover how the original decomposer tier arrived at it.
+                let provenance = match fresh.get() {
+                    Some(p) => provenance_str(p),
+                    None => "cached",
+                };
                 // One decomposition clone per *prepare* (not per execution);
                 // the plan must own its data to outlive cache eviction.
                 (
                     Strategy::from_decomposition((*hd).clone()),
                     PlanKind::Decomposition,
+                    provenance,
+                    Some(fresh.get().is_none()),
                 )
             }
         };
@@ -114,6 +137,8 @@ impl PreparedQuery {
             key,
             strategy,
             kind,
+            provenance,
+            decomp_cache_hit,
         }
     }
 
@@ -153,22 +178,31 @@ impl PreparedQuery {
         debug_assert_eq!(key, plan_key(&q), "key must be the query's plan key");
         budget.check("plan")?;
         let h = q.hypergraph();
-        let (strategy, kind) = match acyclic::join_tree(&h) {
-            Some(jt) => (Strategy::JoinTree(jt), PlanKind::JoinTree),
+        let (strategy, kind, provenance, decomp_cache_hit) = match acyclic::join_tree(&h) {
+            Some(jt) => (Strategy::JoinTree(jt), PlanKind::JoinTree, "acyclic", None),
             None => {
                 // archlint::allow(timing-via-obs, reason = "deadline arithmetic for the exact-search budget split, not telemetry — the plan span already times this")
                 let exact_deadline = budget.remaining().map(|rem| Instant::now() + rem / 2);
-                let missed = std::cell::Cell::new(false);
+                let fresh = std::cell::Cell::new(None::<heuristics::Provenance>);
                 let hd = cache.try_get_or_insert_with(&h, |h| {
-                    missed.set(true);
                     let _span = obs.span(obs::Phase::Decompose);
                     heuristics::decompose_auto_governed(h, cfg.exact_steps, exact_deadline, budget)
-                        .map(|auto| auto.hd)
+                        .map(|auto| {
+                            fresh.set(Some(auto.provenance));
+                            auto.hd
+                        })
                 })?;
-                obs.note_decomp_cache(!missed.get());
+                let hit = fresh.get().is_none();
+                obs.note_decomp_cache(hit);
+                let provenance = match fresh.get() {
+                    Some(p) => provenance_str(p),
+                    None => "cached",
+                };
                 (
                     Strategy::from_decomposition((*hd).clone()),
                     PlanKind::Decomposition,
+                    provenance,
+                    Some(hit),
                 )
             }
         };
@@ -177,6 +211,8 @@ impl PreparedQuery {
             key,
             strategy,
             kind,
+            provenance,
+            decomp_cache_hit,
         };
         prepared.note_plan(obs);
         Ok(prepared)
@@ -211,6 +247,89 @@ impl PreparedQuery {
     /// Width of the underlying plan (1 for join trees).
     pub fn width(&self) -> usize {
         self.strategy.width()
+    }
+
+    /// How planning arrived at this plan: `acyclic` for join trees,
+    /// otherwise `exact` / `heuristic-optimal` / `heuristic` when this
+    /// prepare ran the decomposer and `cached` when the decomposition
+    /// came out of the shared [`DecompCache`].
+    pub fn provenance(&self) -> &'static str {
+        self.provenance
+    }
+
+    /// Whether the decomposition cache hit when this plan was prepared
+    /// (`None` for join trees, which never touch it).
+    pub fn decomp_cache_hit(&self) -> Option<bool> {
+        self.decomp_cache_hit
+    }
+
+    /// Build the structured EXPLAIN of this plan: shape, width,
+    /// provenance, and the plan tree with per-node variable bags and
+    /// edge covers. Node ids match the evaluation pipeline's tree (the
+    /// *completed* decomposition for hypertree plans — the same tree
+    /// the Lemma 4.6 reduction runs on), so
+    /// [`obs::QueryTrace::node_rows`] indices line up for EXPLAIN
+    /// ANALYZE. Cache lineage and shard configuration are left for the
+    /// serving layer to fill in.
+    pub fn explain(&self, query_text: &str) -> obs::PlanExplain {
+        let h = self.query.hypergraph();
+        let mut nodes = Vec::new();
+        match &self.strategy {
+            Strategy::JoinTree(jt) => {
+                let tree = jt.tree();
+                for n in tree.pre_order() {
+                    let e = jt.edge_at(n);
+                    nodes.push(obs::ExplainNode {
+                        id: hypergraph::Ix::index(n),
+                        parent: tree.parent(n).map(hypergraph::Ix::index),
+                        depth: tree.depth(n),
+                        bag: h
+                            .edge_vertex_list(e)
+                            .iter()
+                            .map(|&v| h.vertex_name(v).to_string())
+                            .collect(),
+                        cover: vec![h.edge_name(e).to_string()],
+                    });
+                }
+            }
+            Strategy::Hypertree(hd) => {
+                let complete = hd.complete(&h);
+                let tree = complete.tree();
+                for n in tree.pre_order() {
+                    nodes.push(obs::ExplainNode {
+                        id: hypergraph::Ix::index(n),
+                        parent: tree.parent(n).map(hypergraph::Ix::index),
+                        depth: tree.depth(n),
+                        bag: complete
+                            .chi(n)
+                            .iter()
+                            .map(|v| h.vertex_name(v).to_string())
+                            .collect(),
+                        cover: complete
+                            .lambda(n)
+                            .iter()
+                            .map(|e| h.edge_name(e).to_string())
+                            .collect(),
+                    });
+                }
+            }
+        }
+        let kind = match self.kind {
+            PlanKind::JoinTree => obs::PlanShape::JoinTree,
+            PlanKind::Decomposition => obs::PlanShape::Hypertree,
+        };
+        obs::PlanExplain {
+            query: query_text.to_string(),
+            plan_key: self.key.clone(),
+            kind: kind.as_str(),
+            width: self.width() as u64,
+            provenance: self.provenance,
+            plan_cache_hit: None,
+            decomp_cache_hit: self.decomp_cache_hit,
+            shards: 1,
+            shard_min_rows: 0,
+            nodes,
+        }
     }
 
     /// Answer the Boolean query against `db`.

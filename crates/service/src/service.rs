@@ -25,6 +25,7 @@
 //! configured shard count instead. Sharded execution is byte-identical
 //! to sequential, so the choice is invisible in the answers.
 
+use crate::plan_cache::PlanStats;
 use crate::prepared::{plan_key, PrepareConfig, PreparedQuery};
 use crate::{PlanCache, ServiceError};
 use cq::parse_query;
@@ -153,6 +154,21 @@ pub struct ServiceConfig {
     /// are shed at admission with [`ServiceError::Overloaded`], before
     /// any parsing or planning happens for them. `0` = no cap.
     pub max_queue_depth: usize,
+    /// Flight-recorder shape: how many completed traces to retain, the
+    /// slow-query threshold, and the slow-log capture rate limit (see
+    /// [`obs::RecorderConfig`]). Set `capacity: 0` to disable recording
+    /// entirely.
+    pub recorder: obs::RecorderConfig,
+    /// Trace 1-in-N single requests that did not ask for a trace
+    /// themselves, so the flight recorder and per-plan statistics see a
+    /// steady trickle of real executions; `0` disables sampling.
+    /// Rounded up to a power of two so the sampling decision is a mask
+    /// on the request counter. Traced execution is byte-identical to
+    /// untraced (property-tested), so promotion is invisible in the
+    /// answer. Batch members are never sampled — a batch's workers
+    /// share the cores, and per-plan request counts are cheap enough to
+    /// keep exact on every path.
+    pub trace_sample: u64,
     /// Deterministic fault plan probed at named sites inside the serving
     /// stack (tests and benches only — the field and every probe compile
     /// away without the `fault-injection` feature).
@@ -173,6 +189,8 @@ impl Default for ServiceConfig {
             deadline: None,
             max_result_bytes: None,
             max_queue_depth: 0,
+            recorder: obs::RecorderConfig::default(),
+            trace_sample: 16,
             #[cfg(feature = "fault-injection")]
             fault_injection: None,
         }
@@ -215,6 +233,14 @@ pub struct Service {
     plans: PlanCache,
     decomps: DecompCache,
     cfg: ServiceConfig,
+    /// Always-on ring of recent traces plus the slow-query log; fed by
+    /// explicit traces and by 1-in-N sampled promotions (see
+    /// [`ServiceConfig::trace_sample`]).
+    recorder: obs::FlightRecorder,
+    /// Sampling mask derived from [`ServiceConfig::trace_sample`]
+    /// (`None` = sampling off): request `n` is promoted to a traced
+    /// execution when `n & mask == 0`.
+    trace_mask: Option<u64>,
     // All service counters live in (and are readable through) the
     // metrics registry; the fields below are the hot-path handles to
     // the same underlying atomics.
@@ -306,6 +332,8 @@ impl Service {
             db: RwLock::new(db),
             plans,
             decomps,
+            recorder: obs::FlightRecorder::new(cfg.recorder),
+            trace_mask: (cfg.trace_sample > 0).then(|| cfg.trace_sample.next_power_of_two() - 1),
             cfg,
             batches: registry.counter("service_batches_total", "Batches served"),
             requests: registry.counter(
@@ -404,21 +432,46 @@ impl Service {
     fn execute_inner(&self, req: &Request, obs: &Tracer) -> (Response, Option<QueryTrace>) {
         let n = self.requests.incr();
         self.op_counter(req.op).incr();
+        // Promote 1-in-N untraced requests to a full trace so the flight
+        // recorder and per-plan statistics stay populated without any
+        // caller opting in. Only *explicit* traces (the caller's tracer
+        // was already on) count as traced requests in the metrics.
+        let explicit = obs.enabled();
+        let promoted;
+        let obs = if !explicit && self.trace_mask.is_some_and(|m| n & m == 0) {
+            promoted = Tracer::on();
+            &promoted
+        } else {
+            obs
+        };
         let watch = (n & LATENCY_SAMPLE_MASK == 0).then(obs::Stopwatch::start);
         let snapshot = self.snapshot();
         let shard = self.shard_config(1);
         // The budget lives outside the isolation boundary so its byte and
         // step gauges are still readable when the trace is assembled.
         let budget = self.new_budget();
+        // The resolved plan escapes the isolation boundary so the
+        // response and trace can be attributed to its plan key; a panic
+        // before resolution leaves it `None` (nothing to attribute to).
+        let mut resolved: Option<Arc<PreparedQuery>> = None;
         let resp = self.isolated(|| {
             if !self.is_governed() && !obs.enabled() {
                 let plan = self.prepare(&req.text)?;
+                resolved = Some(Arc::clone(&plan));
                 return run_op(&plan, req.op, &snapshot, &shard);
             }
             let plan = self.prepare_observed(&req.text, &budget, obs)?;
+            resolved = Some(Arc::clone(&plan));
             self.serve_prepared(req, &plan, &snapshot, &shard, &budget, obs)
         });
         self.note(&resp);
+        let stats = resolved
+            .as_ref()
+            .map(|p| self.plans.stats_for(p.key(), &self.registry));
+        if let Some(s) = &stats {
+            s.requests.incr();
+            self.note_plan_errors(s, &resp);
+        }
         if let Some(w) = watch {
             self.latency_ns.record(w.elapsed_ns());
         }
@@ -434,14 +487,20 @@ impl Service {
             truncated: matches!(&resp, Ok(Outcome::Partial(_))),
         });
         if let Some(t) = &trace {
-            self.record_trace(t);
+            self.record_trace(t, explicit, stats.as_deref());
         }
         (resp, trace)
     }
 
-    /// Fold one finished trace into the aggregate metrics.
-    fn record_trace(&self, trace: &QueryTrace) {
-        self.traced_requests.incr();
+    /// Fold one finished trace into the aggregate metrics, the flight
+    /// recorder, and (when the plan resolved) its per-plan statistics.
+    /// Only explicitly requested traces count toward
+    /// `service_traced_requests_total`; sampled promotions ride along in
+    /// everything else.
+    fn record_trace(&self, trace: &QueryTrace, explicit: bool, stats: Option<&PlanStats>) {
+        if explicit {
+            self.traced_requests.incr();
+        }
         self.rows_scanned.add(trace.rows_scanned);
         self.bytes_charged.add(trace.bytes_charged);
         for p in Phase::ALL {
@@ -449,6 +508,23 @@ impl Service {
             if ns > 0 {
                 self.phase_ns[p.index()].record(ns);
             }
+        }
+        let id = self.recorder.record(trace);
+        if let Some(s) = stats {
+            s.observe_trace(trace, id);
+        }
+    }
+
+    /// Attribute a failed response to its plan's error counters.
+    fn note_plan_errors(&self, stats: &PlanStats, resp: &Response) {
+        match resp {
+            Err(ServiceError::Budget(_)) => {
+                stats.budget_trips.incr();
+            }
+            Err(ServiceError::Internal(_)) => {
+                stats.panics.incr();
+            }
+            _ => {}
         }
     }
 
@@ -585,8 +661,18 @@ impl Service {
                 self.serve_prepared(req, &plan, &snapshot, &shard, &budget, &Tracer::off())
             })
         });
-        for resp in &responses {
+        // Attribute every admitted response to its plan's statistics
+        // (request counts and error counters; batch members carry no
+        // traces, so latency/row exemplars come from single executions).
+        for (i, resp) in responses.iter().enumerate() {
             self.note(resp);
+            if let Ok(u) = &parsed[i] {
+                if let Ok(plan) = &plans[*u] {
+                    let stats = self.plans.stats_for(plan.key(), &self.registry);
+                    stats.requests.incr();
+                    self.note_plan_errors(&stats, resp);
+                }
+            }
         }
         responses.extend((0..shed).map(|_| {
             Err(ServiceError::Overloaded {
@@ -595,6 +681,82 @@ impl Service {
             })
         }));
         responses
+    }
+
+    /// EXPLAIN: the structured plan for `text`, without executing it.
+    ///
+    /// The plan cache is probed for real — a hit is reported (and
+    /// counted) as a hit, and a miss prepares and caches the plan
+    /// exactly as serving it would, so an EXPLAIN warms the cache for
+    /// the requests that follow. Shard figures describe what a *single*
+    /// request would use; batch members may run sequential instead (see
+    /// [`ServiceConfig::intra_query_shards`]).
+    pub fn explain(&self, text: &str) -> Result<obs::PlanExplain, ServiceError> {
+        let q = parse_query(text).map_err(ServiceError::Parse)?;
+        let key = plan_key(&q);
+        let fresh = std::cell::Cell::new(false);
+        let plan = self.plans.get_or_prepare_with(&key, || {
+            fresh.set(true);
+            Ok(PreparedQuery::prepare_parsed_with_key(
+                q,
+                key.clone(),
+                &self.decomps,
+                &self.cfg.prepare,
+            ))
+        })?;
+        let mut explain = plan.explain(text);
+        explain.plan_cache_hit = Some(!fresh.get());
+        let shard = self.shard_config(1);
+        explain.shards = shard.effective_shards() as u64;
+        explain.shard_min_rows = self.cfg.shard_min_rows as u64;
+        Ok(explain)
+    }
+
+    /// EXPLAIN ANALYZE: execute `req` with full tracing and pair the
+    /// answer with the plan's [`obs::PlanExplain`] and the execution's
+    /// [`QueryTrace`] — render with
+    /// [`obs::PlanExplain::render_analyzed`]. Cache lineage in the
+    /// explain reflects what *this* execution saw, not the probe an
+    /// [`Service::explain`] would make afterwards.
+    ///
+    /// Errors only when no plan can be derived at all (parse or
+    /// preparation failure); an execution failure under a valid plan
+    /// comes back inside [`ExplainAnalyzed::response`].
+    pub fn explain_analyze(&self, req: &Request) -> Result<ExplainAnalyzed, ServiceError> {
+        let obs = Tracer::on();
+        let (response, trace) = self.execute_inner(req, &obs);
+        let trace = trace.unwrap_or_default();
+        let mut explain = self.explain(&req.text)?;
+        if trace.plan_cache_hit.is_some() {
+            explain.plan_cache_hit = trace.plan_cache_hit;
+        }
+        if trace.decomp_cache_hit.is_some() {
+            explain.decomp_cache_hit = trace.decomp_cache_hit;
+        }
+        explain.shards = trace.shards;
+        Ok(ExplainAnalyzed {
+            response,
+            explain,
+            trace,
+        })
+    }
+
+    /// The most recently completed traces (newest first) held by the
+    /// flight recorder: explicit [`Service::execute_traced`] /
+    /// [`Service::explain_analyze`] runs plus 1-in-N sampled promotions.
+    pub fn recent_traces(&self) -> Vec<obs::RecordedTrace> {
+        self.recorder.recent()
+    }
+
+    /// The slow-query log (newest first): traces over the configured
+    /// threshold, captured at most once per rate-limit interval.
+    pub fn slow_queries(&self) -> Vec<obs::RecordedTrace> {
+        self.recorder.slow_queries()
+    }
+
+    /// The flight recorder itself, for capture counters and id lookups.
+    pub fn flight_recorder(&self) -> &obs::FlightRecorder {
+        &self.recorder
     }
 
     /// The current counters.
@@ -651,6 +813,26 @@ impl Service {
             "relation_index_builds",
             "Hash indexes built over relation columns, process-wide",
             relation::stats::index_builds_total(),
+        );
+        self.registry.set_gauge(
+            "plan_stats_tracked",
+            "Plans with live per-plan statistics series",
+            self.plans.stats_len() as u64,
+        );
+        self.registry.set_gauge(
+            "flight_recorder_traces",
+            "Traces captured by the flight recorder since start",
+            self.recorder.recorded(),
+        );
+        self.registry.set_gauge(
+            "flight_recorder_slow_captured",
+            "Slow queries captured into the slow-query log",
+            self.recorder.slow_captured(),
+        );
+        self.registry.set_gauge(
+            "flight_recorder_slow_suppressed",
+            "Slow queries over threshold but suppressed by the rate limit",
+            self.recorder.slow_suppressed(),
         );
         self.registry.snapshot()
     }
@@ -839,6 +1021,20 @@ impl Service {
             self.budget_trips.incr();
         }
     }
+}
+
+/// A response paired with its plan's explain and the execution's
+/// trace; see [`Service::explain_analyze`].
+#[derive(Debug)]
+pub struct ExplainAnalyzed {
+    /// The answer, exactly as [`Service::execute`] would have returned.
+    pub response: Response,
+    /// The structured plan, with cache lineage and shard figures as
+    /// this execution saw them.
+    pub explain: obs::PlanExplain,
+    /// Where the time went, per phase and per join-tree node. Render
+    /// the pair with [`obs::PlanExplain::render_analyzed`].
+    pub trace: QueryTrace,
 }
 
 /// A response paired with its [`QueryTrace`]; see
@@ -1178,6 +1374,110 @@ mod tests {
         assert_eq!(cold.trace.op, "count");
         // The rendering mentions the op — smoke for the pretty-printer.
         assert!(cold.trace.render().contains("op=count"));
+    }
+
+    #[test]
+    fn explain_reports_plan_shape_and_cache_lineage() {
+        let svc = Service::new(triangle_db());
+        let ex = svc.explain(TRIANGLE).unwrap();
+        assert_eq!(ex.plan_cache_hit, Some(false), "cold cache: a real miss");
+        assert_eq!(ex.kind, "hypertree");
+        assert!(ex.width >= 1);
+        assert!(!ex.nodes.is_empty());
+        let text = ex.render();
+        assert!(text.starts_with("EXPLAIN "));
+        assert!(text.contains("kind=hypertree"));
+        // EXPLAIN warmed the cache: the repeat (and any execution) hits.
+        let again = svc.explain(TRIANGLE).unwrap();
+        assert_eq!(again.plan_cache_hit, Some(true));
+        assert_eq!(again.nodes, ex.nodes, "same plan, same tree");
+        svc.execute(&Request::boolean(TRIANGLE)).unwrap();
+        assert_eq!(svc.stats().plan_misses, 1, "EXPLAIN compiled the plan once");
+    }
+
+    #[test]
+    fn explain_analyze_pairs_answer_with_node_rows() {
+        let svc = Service::new(triangle_db());
+        let ea = svc.explain_analyze(&Request::enumerate(TRIANGLE)).unwrap();
+        match &ea.response {
+            Ok(Outcome::Rows(rows)) => assert_eq!(rows.len(), 1),
+            other => panic!("expected rows, got {other:?}"),
+        }
+        assert_eq!(ea.trace.op, "enumerate");
+        // The acceptance gate: per-node row accounting lines up with the
+        // plan tree, node for node.
+        assert_eq!(ea.explain.nodes.len(), ea.trace.node_rows.len());
+        assert!(ea.trace.node_rows.iter().any(|n| n.rows_in > 0));
+        assert!(ea.trace.node_rows.iter().all(|n| n.rows_out <= n.rows_in));
+        let text = ea.explain.render_analyzed(&ea.trace);
+        assert!(text.starts_with("EXPLAIN ANALYZE"));
+        assert!(text.contains("rows "));
+        assert!(text.contains("actual: "));
+    }
+
+    #[test]
+    fn flight_recorder_captures_traced_and_sampled_requests() {
+        let svc = Service::with_config(
+            triangle_db(),
+            ServiceConfig {
+                recorder: obs::RecorderConfig {
+                    capacity: 8,
+                    slow_threshold_ns: 0,
+                    slow_capacity: 4,
+                    slow_min_interval_ns: 0,
+                },
+                trace_sample: 1, // promote every request
+                ..Default::default()
+            },
+        );
+        svc.execute(&Request::boolean(TRIANGLE)).unwrap();
+        svc.execute_traced(&Request::count(TRIANGLE));
+        let recent = svc.recent_traces();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].trace.op, "count", "newest first");
+        assert_eq!(recent[1].trace.op, "boolean");
+        assert!(recent[0].id > recent[1].id);
+        assert!(svc.flight_recorder().get(recent[0].id).is_some());
+        // Threshold 0 + rate limit 0: everything lands in the slow log.
+        assert_eq!(svc.slow_queries().len(), 2);
+        // Sampled promotions feed the recorder but only the explicit
+        // trace counts as a traced request.
+        let prom = svc.metrics_snapshot().to_prometheus();
+        assert!(prom.contains("service_traced_requests_total 1"));
+        assert!(prom.contains("flight_recorder_traces 2"));
+
+        // Sampling off: plain executions leave no wake.
+        let quiet = Service::with_config(
+            triangle_db(),
+            ServiceConfig {
+                trace_sample: 0,
+                ..Default::default()
+            },
+        );
+        quiet.execute(&Request::boolean(TRIANGLE)).unwrap();
+        assert!(quiet.recent_traces().is_empty());
+    }
+
+    #[test]
+    fn per_plan_stats_aggregate_singles_and_batch_members() {
+        let svc = Service::with_config(
+            triangle_db(),
+            ServiceConfig {
+                trace_sample: 1,
+                ..Default::default()
+            },
+        );
+        svc.execute(&Request::boolean(TRIANGLE)).unwrap();
+        svc.execute_batch(&[Request::count(TRIANGLE), Request::boolean("ans :- r(X,Y).")]);
+        let key = plan_key(&parse_query(TRIANGLE).unwrap());
+        let stats = svc.plan_cache().stats_for(&key, svc.registry());
+        assert_eq!(stats.requests.get(), 2, "one single + one batch member");
+        assert!(stats.latency_ns.count() >= 1, "sampled single was traced");
+        assert!(stats.rows_scanned.get() > 0);
+        let prom = svc.metrics_snapshot().to_prometheus();
+        obs::validate_prometheus(&prom).expect("per-plan families export cleanly");
+        assert!(prom.contains("plan_requests_total"));
+        assert!(prom.contains("plan_slowest_trace_id"));
     }
 
     #[test]

@@ -7,98 +7,14 @@
 //! no more than the total, provenance fields populated, row accounting
 //! nonzero whenever rows flowed).
 
+mod common;
+
+use common::gen_workload;
 use cq::parse_query;
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use relation::{Database, Relation};
 use service::{Op, Request, Service, ServiceConfig};
-use std::fmt::Write as _;
 use std::sync::Arc;
-
-/// A random schema, a random database, and query texts over both —
-/// always including one guaranteed-cyclic triangle so the decomposition
-/// path is exercised in every case.
-fn gen_workload(seed: u64) -> (Vec<String>, Database) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let num_preds = rng.random_range(2usize..=4);
-    let arities: Vec<usize> = (0..num_preds)
-        .map(|_| rng.random_range(1usize..=3))
-        .collect();
-
-    let mut texts = Vec::new();
-    for _ in 0..rng.random_range(2usize..=4) {
-        let num_atoms = rng.random_range(1usize..=4);
-        let mut body = String::new();
-        let mut seen_vars: Vec<String> = Vec::new();
-        for a in 0..num_atoms {
-            if a > 0 {
-                body.push_str(", ");
-            }
-            let p = rng.random_range(0..num_preds);
-            write!(body, "p{p}(").unwrap();
-            for pos in 0..arities[p] {
-                if pos > 0 {
-                    body.push(',');
-                }
-                if rng.random_range(0u32..4) == 0 {
-                    write!(body, "{}", rng.random_range(0u32..3)).unwrap();
-                } else {
-                    let v = format!("V{}", rng.random_range(0u32..6));
-                    if !seen_vars.contains(&v) {
-                        seen_vars.push(v.clone());
-                    }
-                    body.push_str(&v);
-                }
-            }
-            body.push(')');
-        }
-        let head_k = if seen_vars.is_empty() {
-            0
-        } else {
-            rng.random_range(0..=seen_vars.len().min(2))
-        };
-        let head = if head_k == 0 {
-            "ans".to_string()
-        } else {
-            format!("ans({})", seen_vars[..head_k].join(","))
-        };
-        texts.push(format!("{head} :- {body}."));
-    }
-    // One guaranteed-cyclic query per case.
-    let p = arities.iter().position(|&a| a >= 2).unwrap_or(0);
-    if arities[p] >= 2 {
-        let pad = |first: &str, second: &str| {
-            let mut t = format!("p{p}({first},{second}");
-            for _ in 2..arities[p] {
-                t.push_str(",0");
-            }
-            t.push(')');
-            t
-        };
-        texts.push(format!(
-            "ans :- {}, {}, {}.",
-            pad("A", "B"),
-            pad("B", "C"),
-            pad("C", "A")
-        ));
-    }
-
-    let mut db = Database::new();
-    for (i, &arity) in arities.iter().enumerate() {
-        let mut rel = Relation::new(arity);
-        for _ in 0..rng.random_range(0..=8usize) {
-            let row: Vec<relation::Value> = (0..arity)
-                .map(|_| relation::Value(rng.random_range(0u64..4)))
-                .collect();
-            rel.push_row(&row);
-        }
-        rel.dedup();
-        db.insert(format!("p{i}"), rel);
-    }
-    (texts, db)
-}
 
 /// Serve every (text, op) pair untraced then traced on `svc`, asserting
 /// byte-identical responses and a sane trace.

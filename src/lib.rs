@@ -44,8 +44,10 @@
 //! * [`eval`] — naive, Yannakakis, and decomposition-guided engines;
 //! * [`obs`] — query-lifecycle observability: phase-taxonomy spans and
 //!   per-request traces, a counters/gauges/histograms metrics registry,
-//!   and JSON / Prometheus-text / pretty-print exporters — all
-//!   dependency-free and allocation-free on the disabled path;
+//!   JSON / Prometheus-text / pretty-print exporters, EXPLAIN /
+//!   EXPLAIN ANALYZE plan rendering, and a bounded flight recorder with
+//!   a slow-query log — all dependency-free and allocation-free on the
+//!   disabled path;
 //! * [`service`] — the serving layer: prepared plans, a bounded plan
 //!   cache, a batched concurrent execution front-end, resource
 //!   governance (per-request deadlines and byte quotas, admission
@@ -78,6 +80,7 @@ pub mod prelude {
     pub use eval::{evaluate, evaluate_boolean, Pipeline, ShardConfig, Strategy};
     pub use hypergraph::{Hypergraph, JoinTree};
     pub use hypertree_core::{HypertreeDecomposition, QueryBudget, QueryDecomposition, QueryError};
+    pub use obs::{PlanExplain, QueryTrace, Registry, Tracer};
     pub use relation::{Database, Relation, Value};
     pub use service::{PreparedQuery, Request, Service, ServiceConfig};
 }
@@ -152,6 +155,25 @@ mod tests {
             "{resp:?}"
         );
         let _ = QueryBudget::unlimited(); // re-exported alongside the error
+    }
+
+    #[test]
+    fn facade_explains_plans() {
+        let mut db = Database::new();
+        db.add_fact("r", &[1, 2]);
+        db.add_fact("s", &[2, 3]);
+        db.add_fact("t", &[3, 1]);
+        let svc = Service::new(std::sync::Arc::new(db));
+        let explain: PlanExplain = svc
+            .explain("ans :- r(X,Y), s(Y,Z), t(Z,X).")
+            .expect("triangle explains");
+        assert_eq!(explain.kind, "hypertree");
+        assert!(explain.render().contains("tree:"));
+        // The prelude carries the tracing types too.
+        let tracer = Tracer::off();
+        assert!(!tracer.enabled());
+        let _trace = QueryTrace::default();
+        let _registry = Registry::new();
     }
 
     #[test]
